@@ -1,0 +1,44 @@
+//! Build-phase benchmarks backing the paper's Table I timing rows:
+//! "build individual coverings [s]" and "build super covering [s]".
+//!
+//! Run on neighborhoods (fast enough for Criterion); the full-size numbers
+//! for all three datasets come from the `table1` binary.
+
+use act_core::{build_super_covering, cover_polygon, CoveringParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_build(c: &mut Criterion) {
+    let ds = datagen::neighborhoods(42);
+
+    let mut group = c.benchmark_group("table1_build");
+    group.sample_size(10);
+
+    for precision in [60.0, 15.0] {
+        let params = CoveringParams::new(precision);
+        group.bench_function(
+            BenchmarkId::new("individual_coverings", format!("{precision}m")),
+            |b| {
+                b.iter(|| {
+                    ds.polygons
+                        .iter()
+                        .map(|p| cover_polygon(p, &params).unwrap().cells.len())
+                        .sum::<usize>()
+                });
+            },
+        );
+
+        let coverings: Vec<_> = ds
+            .polygons
+            .iter()
+            .map(|p| cover_polygon(p, &params).unwrap())
+            .collect();
+        group.bench_function(
+            BenchmarkId::new("super_covering", format!("{precision}m")),
+            |b| b.iter(|| build_super_covering(&coverings).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

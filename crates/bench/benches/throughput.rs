@@ -1,0 +1,80 @@
+//! Criterion counterpart of the paper's Figure 3: single-threaded probe
+//! throughput of ACT at the three precision tiers versus the R-tree
+//! baseline, per dataset.
+//!
+//! Scaled for benchmark runtime: boroughs and neighborhoods run at full
+//! size; the census tier is represented by a 40×25 = 1000-polygon slice
+//! (the full 39,184-polygon run lives in the `fig3` binary). Probes use a
+//! 200k-point batch; Criterion reports per-element throughput.
+
+use act_core::ActIndex;
+use bench::{build_rtree, make_points, to_cells};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BATCH: usize = 200_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let datasets = vec![
+        datagen::boroughs(42),
+        datagen::neighborhoods(42),
+        datagen::blocks_scaled(40, 25, 42), // census-mini
+    ];
+
+    let mut group = c.benchmark_group("fig3_throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(20);
+
+    for ds in &datasets {
+        let points = make_points(ds, BATCH, 7);
+        let cells = to_cells(&points);
+        let n = ds.polygons.len();
+
+        for precision in [60.0, 15.0, 4.0] {
+            // Keep bench-time memory modest: skip 4 m for the census slice.
+            if ds.name.starts_with("blocks") && precision < 15.0 {
+                continue;
+            }
+            let index = ActIndex::build(&ds.polygons, precision).unwrap();
+            group.bench_function(
+                BenchmarkId::new(format!("act_{}m", precision), &ds.name),
+                |b| {
+                    let mut counts = vec![0u64; n];
+                    b.iter(|| {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        act_core::join_approx_cells(&index, &cells, &mut counts)
+                    });
+                },
+            );
+        }
+
+        let tree = build_rtree(ds);
+        group.bench_function(BenchmarkId::new("rtree_baseline", &ds.name), |b| {
+            let mut counts = vec![0u64; n];
+            let mut hits = Vec::with_capacity(16);
+            b.iter(|| {
+                counts.iter_mut().for_each(|c| *c = 0);
+                for &p in &points {
+                    hits.clear();
+                    tree.query_point_into(p, &mut hits);
+                    for &id in &hits {
+                        counts[id as usize] += 1;
+                    }
+                }
+            });
+        });
+
+        // End-to-end variant: includes per-point lat/lng → cell conversion.
+        let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
+        group.bench_function(BenchmarkId::new("act_15m_end_to_end", &ds.name), |b| {
+            let mut counts = vec![0u64; n];
+            b.iter(|| {
+                counts.iter_mut().for_each(|c| *c = 0);
+                act_core::join_approx_coords(&index, &points, &mut counts)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

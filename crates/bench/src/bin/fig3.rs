@@ -1,0 +1,93 @@
+//! Regenerates the paper's **Figure 3**: single-threaded join throughput
+//! (M points/s) of ACT-60m / ACT-15m / ACT-4m per dataset, against the
+//! R-tree baseline (the paper's dashed lines).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig3 [--points 10000000] [--full]
+//! ```
+//!
+//! The measured loop matches the paper's: probe the index with each point
+//! and bump the matched polygons' counters, no refinement. Points enter the
+//! ACT path as precomputed leaf cell ids (ingest-time conversion); the
+//! R-tree path consumes raw coordinates, as boost's R-tree would. For
+//! completeness the end-to-end ACT throughput (including the lat/lng→cell
+//! conversion per point) is also printed.
+
+use act_core::ActIndex;
+use bench::{
+    build_rtree, feasible, make_points, paper_datasets, run_act_join, run_rtree_join, to_cells,
+    Opts, PRECISIONS,
+};
+use std::time::Instant;
+
+fn main() {
+    let opts = Opts::parse();
+    println!(
+        "FIGURE 3: single-threaded throughput, {} M points, seed {}",
+        opts.points as f64 / 1e6,
+        opts.seed
+    );
+    println!();
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>12} {:>10}",
+        "dataset", "index", "M points/s", "end-to-end", "hits/point", "speedup"
+    );
+
+    for ds in paper_datasets(opts.seed) {
+        if !opts.wants(&ds.name) {
+            continue;
+        }
+        let points = make_points(&ds, opts.points, opts.seed);
+        let cells = to_cells(&points);
+
+        // Baseline first (the dashed line).
+        let tree = build_rtree(&ds);
+        let base = run_rtree_join(&tree, &points, ds.polygons.len());
+        println!(
+            "{:<14} {:>10} {:>14.1} {:>14} {:>12.3} {:>10}",
+            ds.name,
+            "R-tree",
+            base.mpts_per_sec,
+            "-",
+            base.stats.candidate_hits as f64 / base.stats.points as f64,
+            "1.00x"
+        );
+
+        for precision in PRECISIONS {
+            if !feasible(&ds.name, precision, opts.full) {
+                println!(
+                    "{:<14} {:>7}m   (skipped: needs several GB; rerun with --full)",
+                    ds.name, precision
+                );
+                continue;
+            }
+            let index = ActIndex::build(&ds.polygons, precision).expect("single-face datasets");
+            let run = run_act_join(&index, &cells, ds.polygons.len());
+
+            // End-to-end: includes lat/lng -> cell conversion per point.
+            let mut counts = vec![0u64; ds.polygons.len()];
+            let t = Instant::now();
+            act_core::join_approx_coords(&index, &points, &mut counts);
+            let e2e = points.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
+
+            let hits = run.stats.true_hits + run.stats.candidate_hits;
+            println!(
+                "{:<14} {:>7}m {:>14.1} {:>11.1}    {:>12.3} {:>9.2}x",
+                ds.name,
+                precision,
+                run.mpts_per_sec,
+                e2e,
+                hits as f64 / run.stats.points as f64,
+                run.mpts_per_sec / base.mpts_per_sec,
+            );
+        }
+        println!();
+    }
+
+    println!("shape checks vs. the paper:");
+    println!(" * ACT outperforms the R-tree baseline on every dataset");
+    println!(" * the ACT/R-tree factor grows with the number of polygons");
+    println!("   (paper: 3.54x boroughs, 5.86x neighborhoods, 10.3x census)");
+    println!(" * boroughs throughput barely drops at finer precision (large,");
+    println!("   cache-resident interior cells absorb most probes)");
+}

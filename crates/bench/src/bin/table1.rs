@@ -1,0 +1,70 @@
+//! Regenerates the paper's **Table I**: index metrics for the three polygon
+//! datasets at 60 m / 15 m / 4 m precision.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1 [--full] [--datasets boroughs,...]
+//! ```
+//!
+//! Columns follow the paper: indexed cells \[M\], ACT \[MB\], lookup table
+//! \[MB\], build individual coverings \[s\], build super covering \[s\]. We add
+//! the denormalized slot count and the trie node count for analysis.
+
+use act_core::ActIndex;
+use bench::{feasible, fmt_bytes, fmt_mcells, paper_datasets, Opts, PRECISIONS};
+
+fn main() {
+    let opts = Opts::parse();
+    println!("TABLE I: Metrics of our index");
+    println!("(paper: Kipf et al., ICDE 2018 — synthetic NYC datasets, see DESIGN.md)");
+    println!();
+    println!(
+        "{:<14} {:>6} {:>12} {:>10} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "dataset",
+        "prec",
+        "cells [M]",
+        "ACT",
+        "lookup tbl",
+        "cover [s]",
+        "super [s]",
+        "slots [M]",
+        "nodes"
+    );
+
+    for ds in paper_datasets(opts.seed) {
+        if !opts.wants(&ds.name) {
+            continue;
+        }
+        for precision in PRECISIONS {
+            if !feasible(&ds.name, precision, opts.full) {
+                println!(
+                    "{:<14} {:>4}m  (skipped: needs several GB; rerun with --full)",
+                    ds.name, precision
+                );
+                continue;
+            }
+            let index = ActIndex::build(&ds.polygons, precision).expect("single-face datasets");
+            let st = index.stats();
+            println!(
+                "{:<14} {:>4}m {:>12} {:>10} {:>12} {:>10.2} {:>10.2} {:>12} {:>10}",
+                ds.name,
+                precision,
+                fmt_mcells(st.indexed_cells),
+                fmt_bytes(st.act_bytes),
+                fmt_bytes(st.lookup_table_bytes),
+                st.build_coverings_secs,
+                st.build_supercover_secs,
+                fmt_mcells(st.denormalized_slots),
+                index.act().num_nodes(),
+            );
+        }
+    }
+
+    println!();
+    println!("shape checks vs. the paper:");
+    println!(" * index size grows with polygon count at fixed precision");
+    println!(" * two precisions whose terminal levels share a trie depth have");
+    println!("   (near-)identical ACT sizes — the high-fanout artifact the paper");
+    println!("   reports for 15 m vs 4 m (here it appears for 60 m vs 15 m, since");
+    println!("   our exact max-diagonal constant maps 60 m→18 and 15 m→20, both in");
+    println!("   the depth-5 node; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,241 @@
+//! # bench — shared harness for regenerating the paper's tables and figures
+//!
+//! Binaries (paper artifacts; run with `--release`):
+//!
+//! * `table1` — index metrics per dataset × precision (paper Table I)
+//! * `fig3`   — single-threaded throughput, ACT vs R-tree baseline (Fig. 3)
+//! * `fig4`   — multithreaded scalability (Fig. 4)
+//!
+//! Criterion benches (`cargo bench`): `throughput`, `scalability`,
+//! `ablations`, `build_phase`.
+//!
+//! All binaries accept `--points N`, `--seed S`, and `--full` (enable the
+//! census-blocks × 4 m cell, which needs several GB of RAM — see
+//! EXPERIMENTS.md).
+
+use act_core::{coord_to_cell, ActIndex, JoinStats};
+use datagen::{Dataset, PointGen};
+use geom::Coord;
+use s2cell::CellId;
+use std::time::Instant;
+
+/// The paper's three precision tiers, in meters.
+pub const PRECISIONS: [f64; 3] = [60.0, 15.0, 4.0];
+
+/// Simple CLI options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Number of query points (paper: 1 B; default here: 10 M).
+    pub points: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Include the census × 4 m configuration (multi-GB index).
+    pub full: bool,
+    /// Restrict to matching dataset names (empty = all).
+    pub datasets: Vec<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            points: 10_000_000,
+            seed: 42,
+            full: false,
+            datasets: Vec::new(),
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--points N --seed S --full --datasets a,b` from argv.
+    pub fn parse() -> Opts {
+        let mut o = Opts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--points" => {
+                    i += 1;
+                    o.points = args[i].replace('_', "").parse().expect("--points N");
+                }
+                "--seed" => {
+                    i += 1;
+                    o.seed = args[i].parse().expect("--seed S");
+                }
+                "--full" => o.full = true,
+                "--datasets" => {
+                    i += 1;
+                    o.datasets = args[i].split(',').map(str::to_string).collect();
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        if std::env::var("ACT_FULL").is_ok() {
+            o.full = true;
+        }
+        o
+    }
+
+    /// True if dataset `name` is selected.
+    pub fn wants(&self, name: &str) -> bool {
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d == name)
+    }
+}
+
+/// Loads the three paper datasets (boroughs, neighborhoods, census).
+pub fn paper_datasets(seed: u64) -> Vec<Dataset> {
+    vec![
+        datagen::boroughs(seed),
+        datagen::neighborhoods(seed),
+        datagen::census_blocks(seed),
+    ]
+}
+
+/// Whether a (dataset, precision) cell is feasible by default: census at
+/// 4 m needs several GB of trie nodes (see DESIGN.md §4) and is opt-in.
+pub fn feasible(dataset: &str, precision_m: f64, full: bool) -> bool {
+    full || dataset != "census" || precision_m > 4.0
+}
+
+/// Generates the taxi-like query points.
+pub fn make_points(ds: &Dataset, n: usize, seed: u64) -> Vec<Coord> {
+    PointGen::nyc_taxi_like(ds.bbox, seed).take_vec(n)
+}
+
+/// Converts points to leaf cell ids (done once, outside measured loops, as
+/// ingest would in a streaming system).
+pub fn to_cells(points: &[Coord]) -> Vec<CellId> {
+    points.iter().map(|&c| coord_to_cell(c)).collect()
+}
+
+/// Outcome of one timed join run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub secs: f64,
+    pub mpts_per_sec: f64,
+    pub stats: JoinStats,
+    pub counts: Vec<u64>,
+}
+
+/// Times the approximate cell-id join (the paper's measured hot path).
+/// A warmup pass over a prefix touches the trie's pages first, so the
+/// timed loop measures steady-state probing rather than page faults.
+pub fn run_act_join(index: &ActIndex, cells: &[CellId], num_polygons: usize) -> RunResult {
+    let mut counts = vec![0u64; num_polygons];
+    let warm = cells.len().min(200_000);
+    act_core::join_approx_cells(index, &cells[..warm], &mut counts);
+    counts.iter_mut().for_each(|c| *c = 0);
+    let t = Instant::now();
+    let stats = act_core::join_approx_cells(index, cells, &mut counts);
+    let secs = t.elapsed().as_secs_f64();
+    RunResult {
+        secs,
+        mpts_per_sec: cells.len() as f64 / secs / 1e6,
+        stats,
+        counts,
+    }
+}
+
+/// Times the R-tree baseline: candidate counting without refinement, as in
+/// the paper ("for each returned candidate, we simply increase the counter
+/// of the respective polygon").
+pub fn run_rtree_join(tree: &rtree::RTree, points: &[Coord], num_polygons: usize) -> RunResult {
+    let mut counts = vec![0u64; num_polygons];
+    let mut hits = Vec::with_capacity(16);
+    let mut total_hits = 0u64;
+    for &p in points.iter().take(200_000) {
+        hits.clear();
+        tree.query_point_into(p, &mut hits);
+    }
+    let t = Instant::now();
+    for &p in points {
+        hits.clear();
+        tree.query_point_into(p, &mut hits);
+        for &id in &hits {
+            counts[id as usize] += 1;
+        }
+        total_hits += hits.len() as u64;
+    }
+    let secs = t.elapsed().as_secs_f64();
+    RunResult {
+        secs,
+        mpts_per_sec: points.len() as f64 / secs / 1e6,
+        stats: JoinStats {
+            points: points.len() as u64,
+            candidate_hits: total_hits,
+            ..JoinStats::default()
+        },
+        counts,
+    }
+}
+
+/// Builds the paper's R-tree baseline (insertion-based, rstar-like splits,
+/// max 8 entries) over the polygons' MBRs.
+pub fn build_rtree(ds: &Dataset) -> rtree::RTree {
+    let mut t = rtree::RTree::new(8);
+    for (i, p) in ds.polygons.iter().enumerate() {
+        t.insert(*p.bbox(), i as u32);
+    }
+    t
+}
+
+/// Formats a byte count like the paper's Table I (kB / MB / GB).
+pub fn fmt_bytes(b: usize) -> String {
+    let b = b as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} kB", b / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Formats a cell count in millions, Table-I style.
+pub fn fmt_mcells(c: u64) -> String {
+    format!("{:.2}", c as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_gate() {
+        assert!(feasible("boroughs", 4.0, false));
+        assert!(feasible("census", 15.0, false));
+        assert!(!feasible("census", 4.0, false));
+        assert!(feasible("census", 4.0, true));
+    }
+
+    #[test]
+    fn harness_smoke() {
+        // Tiny end-to-end run: index a small dataset, join points both ways.
+        let ds = datagen::blocks_scaled(6, 5, 1);
+        let index = ActIndex::build(&ds.polygons, 60.0).unwrap();
+        let pts = make_points(&ds, 20_000, 7);
+        let cells = to_cells(&pts);
+        let act = run_act_join(&index, &cells, ds.polygons.len());
+        assert_eq!(act.stats.points, 20_000);
+        // Partition ⇒ nearly every point matches something.
+        assert!(act.stats.misses < 1_000, "misses {}", act.stats.misses);
+
+        let tree = build_rtree(&ds);
+        let rt = run_rtree_join(&tree, &pts, ds.polygons.len());
+        assert_eq!(rt.stats.points, 20_000);
+        // MBR candidates ⊇ actual matches.
+        assert!(rt.counts.iter().sum::<u64>() >= act.counts.iter().sum::<u64>() / 2);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(500), "500 B");
+        assert_eq!(fmt_bytes(2_500), "2.5 kB");
+        assert_eq!(fmt_bytes(3_100_000), "3.1 MB");
+        assert_eq!(fmt_bytes(1_210_000_000), "1.21 GB");
+        assert_eq!(fmt_mcells(1_330_000), "1.33");
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-polygon coverings with a precision bound.
+//!
+//! A *covering* of a polygon is a set of cells classified as:
+//!
+//! * **interior cells** — entirely inside the polygon (true hits). Emitted
+//!   at whatever level the recursion discovers them, so large interiors are
+//!   covered by few, coarse, cache-resident cells (the reason the paper's
+//!   boroughs stay fast even at high precision).
+//! * **boundary cells** — intersecting the polygon boundary (candidates).
+//!   These are refined to the *terminal level* `L(ε)` — the smallest level
+//!   whose maximum cell diagonal is ≤ ε — which bounds the distance of any
+//!   false positive to the polygon by ε (the paper's precision guarantee).
+//!
+//! The recursion runs in exact (u, v) face coordinates (see
+//! [`crate::uvpoly`]), narrowing the candidate edge set as it descends so
+//! per-cell work stays proportional to local boundary complexity.
+
+use crate::uvpoly::{MultiFaceError, UvPolygon, UvRect};
+use geom::{CellRelation, Polygon};
+use s2cell::coords::st_to_uv;
+use s2cell::{metrics, CellId, MAX_SIZE};
+
+/// Parameters of a covering computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CoveringParams {
+    /// The precision bound ε in meters: the maximum distance between the
+    /// partners of a false-positive join pair.
+    pub precision_m: f64,
+}
+
+impl CoveringParams {
+    /// Creates parameters, validating that ε is achievable: the deepest
+    /// indexable cell (level 28) has a ~6 cm diagonal, so ε must be at
+    /// least that ("up to a few centimeters", as the paper puts it).
+    pub fn new(precision_m: f64) -> CoveringParams {
+        assert!(
+            precision_m >= metrics::max_diag_meters(crate::trie::MAX_INDEX_LEVEL),
+            "precision {precision_m} m is below the ~6 cm limit of level-28 cells"
+        );
+        CoveringParams { precision_m }
+    }
+
+    /// The terminal level boundary cells are refined to.
+    pub fn terminal_level(&self) -> u8 {
+        metrics::level_for_max_diag_meters(self.precision_m)
+    }
+}
+
+/// The covering of one polygon.
+#[derive(Debug, Clone, Default)]
+pub struct Covering {
+    /// `(cell, interior)` pairs; `interior == true` marks a true-hit cell.
+    pub cells: Vec<(CellId, bool)>,
+}
+
+impl Covering {
+    /// Number of interior cells.
+    pub fn num_interior(&self) -> usize {
+        self.cells.iter().filter(|(_, i)| *i).count()
+    }
+
+    /// Number of boundary cells.
+    pub fn num_boundary(&self) -> usize {
+        self.cells.len() - self.num_interior()
+    }
+}
+
+/// Computes the covering of `poly` with the given precision bound.
+///
+/// Returns an error if the polygon spans multiple cube faces.
+pub fn cover_polygon(poly: &Polygon, params: &CoveringParams) -> Result<Covering, MultiFaceError> {
+    let uv = UvPolygon::from_polygon(poly)?;
+    Ok(cover_uv_polygon(&uv, params))
+}
+
+/// Computes the covering of an already-projected polygon.
+pub fn cover_uv_polygon(uv: &UvPolygon, params: &CoveringParams) -> Covering {
+    let terminal = params.terminal_level();
+    let mut out = Covering::default();
+    let mut scratch = RecursionScratch {
+        uv,
+        terminal,
+        out: &mut out,
+    };
+    // Start at the face cell: i, j in [0, 2^30), level 0.
+    scratch.recurse(0, 0, 0, None);
+    out
+}
+
+/// Computes the covering of `uv` restricted to the region of `within`
+/// (a cell on the same face), refining boundary cells to `params`'
+/// terminal level. Used by the adaptive index to re-cover hot cells at a
+/// finer precision than the base build.
+pub fn cover_uv_polygon_within(
+    uv: &UvPolygon,
+    params: &CoveringParams,
+    within: s2cell::CellId,
+) -> Covering {
+    debug_assert_eq!(within.face(), uv.face, "cell must be on the polygon's face");
+    let terminal = params.terminal_level().max(within.level());
+    let mut out = Covering::default();
+    let mut scratch = RecursionScratch {
+        uv,
+        terminal,
+        out: &mut out,
+    };
+    let level = within.level();
+    let (_, i, j, _) = within.to_face_ij_orientation();
+    let size = 1u32 << (s2cell::MAX_LEVEL - level);
+    scratch.recurse(level, i & !(size - 1), j & !(size - 1), None);
+    out
+}
+
+struct RecursionScratch<'a> {
+    uv: &'a UvPolygon,
+    terminal: u8,
+    out: &'a mut Covering,
+}
+
+impl RecursionScratch<'_> {
+    /// `i_lo`, `j_lo` are the cell's minimum leaf coordinates; `level` its
+    /// subdivision level; `subset` the parent's relevant edge indices.
+    fn recurse(&mut self, level: u8, i_lo: u32, j_lo: u32, subset: Option<&[u32]>) {
+        let rect = cell_uv_rect(level, i_lo, j_lo);
+        let (rel, sub) = self.uv.relate_rect(&rect, subset);
+        match rel {
+            CellRelation::Outside => {}
+            CellRelation::Inside => {
+                self.out
+                    .cells
+                    .push((cell_id_on_face(self.uv.face, level, i_lo, j_lo), true));
+            }
+            CellRelation::Boundary => {
+                if level >= self.terminal {
+                    self.out
+                        .cells
+                        .push((cell_id_on_face(self.uv.face, level, i_lo, j_lo), false));
+                } else {
+                    let half = 1u32 << (s2cell::MAX_LEVEL - level - 1);
+                    self.recurse(level + 1, i_lo, j_lo, Some(&sub));
+                    self.recurse(level + 1, i_lo + half, j_lo, Some(&sub));
+                    self.recurse(level + 1, i_lo, j_lo + half, Some(&sub));
+                    self.recurse(level + 1, i_lo + half, j_lo + half, Some(&sub));
+                }
+            }
+        }
+    }
+}
+
+/// The uv rectangle of the cell with minimum leaf coordinates (i_lo, j_lo)
+/// at `level`. Exact: cells are axis-aligned uv rectangles.
+fn cell_uv_rect(level: u8, i_lo: u32, j_lo: u32) -> UvRect {
+    let size = 1u64 << (s2cell::MAX_LEVEL - level);
+    let s_lo = i_lo as f64 / MAX_SIZE as f64;
+    let s_hi = (i_lo as u64 + size) as f64 / MAX_SIZE as f64;
+    let t_lo = j_lo as f64 / MAX_SIZE as f64;
+    let t_hi = (j_lo as u64 + size) as f64 / MAX_SIZE as f64;
+    UvRect {
+        u_lo: st_to_uv(s_lo),
+        u_hi: st_to_uv(s_hi),
+        v_lo: st_to_uv(t_lo),
+        v_hi: st_to_uv(t_hi),
+    }
+}
+
+/// The id of the cell with minimum leaf coordinates (i_lo, j_lo) at `level`
+/// on `face`.
+fn cell_id_on_face(face: u8, level: u8, i_lo: u32, j_lo: u32) -> CellId {
+    CellId::from_face_ij(face, i_lo, j_lo).parent(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Coord, Ring};
+    use s2cell::LatLng;
+
+    fn nyc_square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn covering_has_both_kinds_of_cells() {
+        let poly = nyc_square(-74.0, 40.7, 0.02); // ~3.4 km square
+        let params = CoveringParams::new(60.0);
+        let cov = cover_polygon(&poly, &params).unwrap();
+        assert!(cov.num_interior() > 0, "expected interior cells");
+        assert!(cov.num_boundary() > 0, "expected boundary cells");
+    }
+
+    #[test]
+    fn boundary_cells_at_terminal_level() {
+        let poly = nyc_square(-74.0, 40.7, 0.02);
+        let params = CoveringParams::new(60.0);
+        assert_eq!(params.terminal_level(), 18);
+        let cov = cover_polygon(&poly, &params).unwrap();
+        for (cell, interior) in &cov.cells {
+            if !interior {
+                assert_eq!(cell.level(), 18, "boundary cells sit at L(ε)");
+            } else {
+                assert!(cell.level() <= 18);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_cells_are_inside_boundary_cells_touch() {
+        let poly = nyc_square(-74.0, 40.7, 0.02);
+        let params = CoveringParams::new(15.0);
+        let cov = cover_polygon(&poly, &params).unwrap();
+        for (cell, interior) in cov.cells.iter().take(500) {
+            let center = cell.to_latlng();
+            let c = Coord::new(center.lng_degrees(), center.lat_degrees());
+            if *interior {
+                assert!(
+                    poly.contains(c),
+                    "interior cell center {c} must be inside the polygon"
+                );
+            } else {
+                // Boundary cell centers are within ε of the polygon.
+                assert!(
+                    poly.distance_meters(c) <= params.precision_m,
+                    "boundary cell center {c} too far from polygon"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_disjoint() {
+        let poly = nyc_square(-74.0, 40.7, 0.015);
+        let cov = cover_polygon(&poly, &CoveringParams::new(60.0)).unwrap();
+        let mut sorted: Vec<CellId> = cov.cells.iter().map(|(c, _)| *c).collect();
+        sorted.sort_by_key(|c| c.range_min().0);
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].range_max().0 < w[1].range_min().0,
+                "cells {:?} and {:?} overlap",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn covering_covers_the_polygon() {
+        // Every point inside the polygon must fall in some covering cell.
+        let poly = nyc_square(-74.0, 40.7, 0.02);
+        let cov = cover_polygon(&poly, &CoveringParams::new(60.0)).unwrap();
+        let cells: Vec<CellId> = cov.cells.iter().map(|(c, _)| *c).collect();
+        let mut rng = 12345u64;
+        for _ in 0..300 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fx = (rng >> 33) as f64 / (1u64 << 31) as f64;
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fy = (rng >> 33) as f64 / (1u64 << 31) as f64;
+            let c = Coord::new(-74.02 + 0.04 * fx, 40.68 + 0.04 * fy);
+            if !poly.contains(c) {
+                continue;
+            }
+            let leaf = CellId::from_latlng(LatLng::from_degrees(c.y, c.x));
+            assert!(
+                cells.iter().any(|cell| cell.contains(leaf)),
+                "contained point {c} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn finer_precision_more_boundary_cells() {
+        let poly = nyc_square(-74.0, 40.7, 0.01);
+        let coarse = cover_polygon(&poly, &CoveringParams::new(60.0)).unwrap();
+        let fine = cover_polygon(&poly, &CoveringParams::new(4.0)).unwrap();
+        assert!(
+            fine.num_boundary() > 4 * coarse.num_boundary(),
+            "coarse {} vs fine {}",
+            coarse.num_boundary(),
+            fine.num_boundary()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below the ~6 cm limit")]
+    fn unachievable_precision_panics() {
+        CoveringParams::new(0.01);
+    }
+
+    #[test]
+    fn covering_with_holes() {
+        let outer = Ring::new(vec![
+            Coord::new(-74.05, 40.65),
+            Coord::new(-73.95, 40.65),
+            Coord::new(-73.95, 40.75),
+            Coord::new(-74.05, 40.75),
+        ]);
+        let hole = Ring::new(vec![
+            Coord::new(-74.02, 40.68),
+            Coord::new(-73.98, 40.68),
+            Coord::new(-73.98, 40.72),
+            Coord::new(-74.02, 40.72),
+        ]);
+        let poly = Polygon::new(outer, vec![hole]);
+        let cov = cover_polygon(&poly, &CoveringParams::new(60.0)).unwrap();
+        // A point in the hole must not be in any interior cell.
+        let in_hole = CellId::from_latlng(LatLng::from_degrees(40.70, -74.0));
+        for (cell, interior) in &cov.cells {
+            if *interior {
+                assert!(!cell.contains(in_hole), "hole covered by interior cell");
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The end-to-end index: polygons → coverings → super covering → ACT.
+//!
+//! [`ActIndex::build`] runs the full paper pipeline and records the metrics
+//! reported in the paper's Table I (indexed cells, ACT size, lookup-table
+//! size, covering build time, super-covering build time).
+
+use crate::covering::{cover_uv_polygon, Covering, CoveringParams};
+use crate::lookup::{LookupTable, LookupTableBuilder};
+use crate::refs::MAX_POLYGON_ID;
+use crate::supercover::build_super_covering;
+use crate::trie::{Act, Probe};
+
+use crate::uvpoly::{MultiFaceError, UvPolygon};
+use geom::{Coord, Polygon};
+use s2cell::{CellId, LatLng};
+use std::time::Instant;
+
+/// Build-phase metrics (the paper's Table I rows).
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Precision bound ε in meters.
+    pub precision_m: f64,
+    /// Terminal level boundary cells were refined to.
+    pub terminal_level: u8,
+    /// Number of cells over all per-polygon coverings (pre-merge).
+    pub covering_cells: u64,
+    /// Cells in the merged super covering ("indexed cells").
+    pub indexed_cells: u64,
+    /// Slots written after denormalization.
+    pub denormalized_slots: u64,
+    /// Push-down splits during conflict resolution.
+    pub pushdown_splits: u64,
+    /// ACT node-arena size in bytes.
+    pub act_bytes: usize,
+    /// Lookup-table size in bytes.
+    pub lookup_table_bytes: usize,
+    /// Wall time to compute per-polygon coverings, seconds.
+    pub build_coverings_secs: f64,
+    /// Wall time to merge the super covering, seconds.
+    pub build_supercover_secs: f64,
+    /// Wall time to populate the trie, seconds.
+    pub build_insert_secs: f64,
+}
+
+/// The query-ready index over a set of polygons.
+#[derive(Debug)]
+pub struct ActIndex {
+    act: Act,
+    table: LookupTable,
+    stats: BuildStats,
+}
+
+impl ActIndex {
+    /// Builds the index for `polygons` with precision bound `precision_m`
+    /// meters. Polygon ids are the slice indices.
+    ///
+    /// # Errors
+    /// Returns an error if any polygon spans multiple cube faces.
+    ///
+    /// # Panics
+    /// Panics if more than 2³⁰ polygons are supplied (payloads hold 30-bit
+    /// ids) or if the precision is below the ~6 cm level-28 limit.
+    pub fn build(polygons: &[Polygon], precision_m: f64) -> Result<ActIndex, MultiFaceError> {
+        assert!(
+            polygons.len() <= MAX_POLYGON_ID as usize + 1,
+            "more than 2^30 polygons"
+        );
+        let params = CoveringParams::new(precision_m);
+
+        // Phase 1: per-polygon coverings (parallelized over polygons in the
+        // paper; kept sequential here — callers can shard polygons and use
+        // build_from_coverings for parallel builds).
+        let t0 = Instant::now();
+        let mut coverings = Vec::with_capacity(polygons.len());
+        for poly in polygons {
+            let uv = UvPolygon::from_polygon(poly)?;
+            coverings.push(cover_uv_polygon(&uv, &params));
+        }
+        let covering_secs = t0.elapsed().as_secs_f64();
+
+        Ok(Self::from_coverings(coverings, params, covering_secs))
+    }
+
+    /// Assembles the index from precomputed coverings (`coverings[i]` is
+    /// polygon `i`'s). Exposed for parallel builds and ablations.
+    pub fn from_coverings(
+        coverings: Vec<Covering>,
+        params: CoveringParams,
+        covering_secs: f64,
+    ) -> ActIndex {
+        let covering_cells: u64 = coverings.iter().map(|c| c.cells.len() as u64).sum();
+
+        // Phase 2: super covering (duplicate removal, conflict resolution).
+        let t1 = Instant::now();
+        let sc = build_super_covering(&coverings);
+        drop(coverings);
+        let supercover_secs = t1.elapsed().as_secs_f64();
+
+        // Phase 3: populate the trie.
+        let t2 = Instant::now();
+        let mut act = Act::new();
+        let mut table_builder = LookupTableBuilder::new();
+        for (cell, refs) in &sc.cells {
+            act.insert(*cell, refs, &mut table_builder);
+        }
+        let table = table_builder.build();
+        let insert_secs = t2.elapsed().as_secs_f64();
+
+        let stats = BuildStats {
+            precision_m: params.precision_m,
+            terminal_level: params.terminal_level(),
+            covering_cells,
+            indexed_cells: sc.cells.len() as u64,
+            denormalized_slots: act.denormalized_slots(),
+            pushdown_splits: sc.pushdown_splits,
+            act_bytes: act.memory_bytes(),
+            lookup_table_bytes: table.memory_bytes(),
+            build_coverings_secs: covering_secs,
+            build_supercover_secs: supercover_secs,
+            build_insert_secs: insert_secs,
+        };
+
+        ActIndex { act, table, stats }
+    }
+
+    /// Assembles an index directly from an already-merged super covering.
+    /// Used by the adaptive index (which maintains its own cell set) and by
+    /// baseline comparisons that share one covering across index types.
+    pub fn from_supercover(sc: crate::supercover::SuperCovering, params: CoveringParams) -> ActIndex {
+        let t = Instant::now();
+        let mut act = Act::new();
+        let mut table_builder = LookupTableBuilder::new();
+        for (cell, refs) in &sc.cells {
+            act.insert(*cell, refs, &mut table_builder);
+        }
+        let table = table_builder.build();
+        let stats = BuildStats {
+            precision_m: params.precision_m,
+            terminal_level: params.terminal_level(),
+            covering_cells: 0,
+            indexed_cells: sc.cells.len() as u64,
+            denormalized_slots: act.denormalized_slots(),
+            pushdown_splits: sc.pushdown_splits,
+            act_bytes: act.memory_bytes(),
+            lookup_table_bytes: table.memory_bytes(),
+            build_coverings_secs: 0.0,
+            build_supercover_secs: 0.0,
+            build_insert_secs: t.elapsed().as_secs_f64(),
+        };
+        ActIndex { act, table, stats }
+    }
+
+    /// Build metrics (Table I).
+    #[inline]
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The underlying trie (for structural inspection).
+    #[inline]
+    pub fn act(&self) -> &Act {
+        &self.act
+    }
+
+    /// The lookup table.
+    #[inline]
+    pub fn table(&self) -> &LookupTable {
+        &self.table
+    }
+
+    /// Total index memory (trie + lookup table) in bytes.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.act.memory_bytes() + self.table.memory_bytes()
+    }
+
+    /// Probes with a precomputed leaf cell id — the hot path.
+    #[inline]
+    pub fn probe_cell(&self, leaf: CellId) -> Probe {
+        self.act.lookup(leaf)
+    }
+
+    /// Probes with a lat/lng coordinate (degree-space `Coord`).
+    #[inline]
+    pub fn probe_coord(&self, c: Coord) -> Probe {
+        self.act
+            .lookup(CellId::from_latlng(LatLng::from_degrees(c.y, c.x)))
+    }
+
+    /// Returns the `(polygon id, is_true_hit)` pairs for a query point.
+    pub fn lookup_refs(&self, c: Coord) -> Vec<(u32, bool)> {
+        crate::trie::resolve_probe(self.probe_coord(c), &self.table).collect()
+    }
+}
+
+/// Converts a degree-space coordinate to the leaf cell id used for probes.
+#[inline]
+pub fn coord_to_cell(c: Coord) -> CellId {
+    CellId::from_latlng(LatLng::from_degrees(c.y, c.x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Ring;
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn build_and_probe_two_squares() {
+        let polys = vec![
+            square(-74.05, 40.70, 0.02),
+            square(-73.95, 40.70, 0.02),
+        ];
+        let idx = ActIndex::build(&polys, 15.0).unwrap();
+        // Deep inside polygon 0: a true hit for 0, nothing for 1.
+        let refs = idx.lookup_refs(Coord::new(-74.05, 40.70));
+        assert_eq!(refs, vec![(0, true)]);
+        // Deep inside polygon 1.
+        let refs = idx.lookup_refs(Coord::new(-73.95, 40.70));
+        assert_eq!(refs, vec![(1, true)]);
+        // Far away: miss.
+        assert!(idx.lookup_refs(Coord::new(-74.2, 40.9)).is_empty());
+        // Stats populated.
+        let st = idx.stats();
+        assert!(st.indexed_cells > 0);
+        assert!(st.act_bytes > 0);
+        assert_eq!(st.terminal_level, 20);
+    }
+
+    #[test]
+    fn boundary_points_are_candidates() {
+        let polys = vec![square(-74.0, 40.7, 0.02)];
+        let idx = ActIndex::build(&polys, 15.0).unwrap();
+        // A point just outside the edge (within ε) should be a candidate
+        // or a miss — never a true hit.
+        let just_outside = Coord::new(-74.0 + 0.02 + 0.00002, 40.7); // ~1.7 m out
+        for (id, interior) in idx.lookup_refs(just_outside) {
+            assert_eq!(id, 0);
+            assert!(!interior, "points outside must not be true hits");
+        }
+    }
+
+    #[test]
+    fn shared_border_probes_both() {
+        // Two squares sharing the x = -74.0 border: a point on the border
+        // area must reference both polygons (as candidates).
+        let polys = vec![
+            square(-74.02, 40.70, 0.02), // right edge at -74.0
+            square(-73.98, 40.70, 0.02), // left edge at -74.0
+        ];
+        let idx = ActIndex::build(&polys, 4.0).unwrap();
+        let refs = idx.lookup_refs(Coord::new(-74.0, 40.70));
+        let ids: Vec<u32> = refs.iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&0), "border point must see polygon 0: {refs:?}");
+        assert!(ids.contains(&1), "border point must see polygon 1: {refs:?}");
+    }
+
+    #[test]
+    fn memory_grows_with_precision() {
+        let polys = vec![square(-74.0, 40.7, 0.03)];
+        let coarse = ActIndex::build(&polys, 60.0).unwrap();
+        let fine = ActIndex::build(&polys, 4.0).unwrap();
+        assert!(fine.stats().indexed_cells > coarse.stats().indexed_cells);
+        assert!(fine.memory_bytes() >= coarse.memory_bytes());
+    }
+
+    #[test]
+    fn probe_cell_and_coord_agree() {
+        let polys = vec![square(-74.0, 40.7, 0.02)];
+        let idx = ActIndex::build(&polys, 15.0).unwrap();
+        let c = Coord::new(-74.01, 40.705);
+        assert_eq!(idx.probe_coord(c), idx.probe_cell(coord_to_cell(c)));
+    }
+}

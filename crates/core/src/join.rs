@@ -1,0 +1,413 @@
+//! The streaming point-polygon join: probe, classify, aggregate.
+//!
+//! The paper's evaluation joins a stream of points against the indexed
+//! polygons and *counts the number of points per polygon*. Two modes:
+//!
+//! * **Approximate** (the paper's contribution): every reference returned
+//!   by the probe counts — true hits are exact, candidate hits may be false
+//!   positives within ε of the polygon. No geometry is touched; the
+//!   refinement phase is entirely avoided.
+//! * **Exact** (validation / classical filter-and-refine): true hits count
+//!   directly, candidate hits are refined with a point-in-polygon test.
+//!
+//! The multithreaded driver partitions the point stream into contiguous
+//! chunks, one per thread, each with a private counter array — no shared
+//! mutable state, no atomics; counters are merged at the end. This mirrors
+//! the paper's scalability experiment (Figure 4).
+
+use crate::index::ActIndex;
+use crate::trie::Probe;
+use geom::{Coord, PreparedPolygon};
+use s2cell::CellId;
+
+/// Aggregate outcome of a join run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Points probed.
+    pub points: u64,
+    /// Probe outcomes that were true hits (counted without refinement).
+    pub true_hits: u64,
+    /// Probe outcomes that were candidate hits.
+    pub candidate_hits: u64,
+    /// Points matching no indexed cell.
+    pub misses: u64,
+    /// Candidate hits that survived refinement (exact mode only).
+    pub refined_hits: u64,
+}
+
+/// Counts points per polygon in **approximate** mode from precomputed leaf
+/// cell ids (the measured hot path of the paper's Figure 3).
+pub fn join_approx_cells(index: &ActIndex, cells: &[CellId], counts: &mut [u64]) -> JoinStats {
+    let mut stats = JoinStats {
+        points: cells.len() as u64,
+        ..JoinStats::default()
+    };
+    let table = index.table();
+    for &cell in cells {
+        match index.probe_cell(cell) {
+            Probe::Miss => stats.misses += 1,
+            Probe::One(r) => {
+                counts[r.id as usize] += 1;
+                if r.interior {
+                    stats.true_hits += 1;
+                } else {
+                    stats.candidate_hits += 1;
+                }
+            }
+            Probe::Two(a, b) => {
+                counts[a.id as usize] += 1;
+                counts[b.id as usize] += 1;
+                for r in [a, b] {
+                    if r.interior {
+                        stats.true_hits += 1;
+                    } else {
+                        stats.candidate_hits += 1;
+                    }
+                }
+            }
+            Probe::Table(off) => {
+                let (trues, cands) = table.decode(off);
+                for &id in trues {
+                    counts[id as usize] += 1;
+                }
+                for &id in cands {
+                    counts[id as usize] += 1;
+                }
+                stats.true_hits += trues.len() as u64;
+                stats.candidate_hits += cands.len() as u64;
+            }
+        }
+    }
+    stats
+}
+
+/// Approximate join from raw coordinates (includes the point→cell
+/// conversion in the measured work).
+pub fn join_approx_coords(index: &ActIndex, coords: &[Coord], counts: &mut [u64]) -> JoinStats {
+    let mut stats = JoinStats {
+        points: coords.len() as u64,
+        ..JoinStats::default()
+    };
+    let table = index.table();
+    for &c in coords {
+        let probe = index.probe_coord(c);
+        accumulate(probe, table, counts, &mut stats);
+    }
+    stats
+}
+
+#[inline]
+fn accumulate(
+    probe: Probe,
+    table: &crate::lookup::LookupTable,
+    counts: &mut [u64],
+    stats: &mut JoinStats,
+) {
+    match probe {
+        Probe::Miss => stats.misses += 1,
+        Probe::One(r) => {
+            counts[r.id as usize] += 1;
+            if r.interior {
+                stats.true_hits += 1;
+            } else {
+                stats.candidate_hits += 1;
+            }
+        }
+        Probe::Two(a, b) => {
+            for r in [a, b] {
+                counts[r.id as usize] += 1;
+                if r.interior {
+                    stats.true_hits += 1;
+                } else {
+                    stats.candidate_hits += 1;
+                }
+            }
+        }
+        Probe::Table(off) => {
+            let (trues, cands) = table.decode(off);
+            for &id in trues {
+                counts[id as usize] += 1;
+            }
+            for &id in cands {
+                counts[id as usize] += 1;
+            }
+            stats.true_hits += trues.len() as u64;
+            stats.candidate_hits += cands.len() as u64;
+        }
+    }
+}
+
+/// A refinement engine for exact mode: prepared polygons for fast PIP.
+#[derive(Debug)]
+pub struct Refiner {
+    prepared: Vec<PreparedPolygon>,
+}
+
+impl Refiner {
+    /// Prepares all polygons (one-time cost).
+    pub fn new(polygons: &[geom::Polygon]) -> Refiner {
+        Refiner {
+            prepared: polygons.iter().map(|p| PreparedPolygon::new(p, 0)).collect(),
+        }
+    }
+
+    /// Exact containment test for polygon `id`.
+    #[inline]
+    pub fn contains(&self, id: u32, c: Coord) -> bool {
+        self.prepared[id as usize].contains(c)
+    }
+
+    /// Number of prepared polygons.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// True if no polygons were prepared.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+}
+
+/// **Exact** join: candidates are refined by point-in-polygon tests. True
+/// hits skip refinement — the paper's true-hit-filtering benefit carries
+/// over to exact joins as avoided PIP calls (tracked in
+/// [`JoinStats::candidate_hits`] vs [`JoinStats::true_hits`]).
+pub fn join_exact(
+    index: &ActIndex,
+    refiner: &Refiner,
+    coords: &[Coord],
+    counts: &mut [u64],
+) -> JoinStats {
+    let mut stats = JoinStats {
+        points: coords.len() as u64,
+        ..JoinStats::default()
+    };
+    let table = index.table();
+    for &c in coords {
+        match index.probe_coord(c) {
+            Probe::Miss => stats.misses += 1,
+            Probe::One(r) => refine_one(r.id, r.interior, c, refiner, counts, &mut stats),
+            Probe::Two(a, b) => {
+                refine_one(a.id, a.interior, c, refiner, counts, &mut stats);
+                refine_one(b.id, b.interior, c, refiner, counts, &mut stats);
+            }
+            Probe::Table(off) => {
+                let (trues, cands) = table.decode(off);
+                for &id in trues {
+                    counts[id as usize] += 1;
+                    stats.true_hits += 1;
+                }
+                for &id in cands {
+                    stats.candidate_hits += 1;
+                    if refiner.contains(id, c) {
+                        counts[id as usize] += 1;
+                        stats.refined_hits += 1;
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[inline]
+fn refine_one(
+    id: u32,
+    interior: bool,
+    c: Coord,
+    refiner: &Refiner,
+    counts: &mut [u64],
+    stats: &mut JoinStats,
+) {
+    if interior {
+        counts[id as usize] += 1;
+        stats.true_hits += 1;
+    } else {
+        stats.candidate_hits += 1;
+        if refiner.contains(id, c) {
+            counts[id as usize] += 1;
+            stats.refined_hits += 1;
+        }
+    }
+}
+
+/// Multithreaded approximate join over precomputed cell ids.
+///
+/// Partitions `cells` into `threads` contiguous chunks with per-thread
+/// counter arrays, merged after the scoped threads join. Returns the merged
+/// counts and stats.
+pub fn join_parallel_cells(
+    index: &ActIndex,
+    cells: &[CellId],
+    num_polygons: usize,
+    threads: usize,
+) -> (Vec<u64>, JoinStats) {
+    assert!(threads >= 1);
+    let chunk = cells.len().div_ceil(threads);
+    let mut results: Vec<(Vec<u64>, JoinStats)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let slice = &cells[(t * chunk).min(cells.len())..((t + 1) * chunk).min(cells.len())];
+                scope.spawn(move || {
+                    let mut counts = vec![0u64; num_polygons];
+                    let stats = join_approx_cells(index, slice, &mut counts);
+                    (counts, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("join worker panicked"));
+        }
+    });
+    let mut counts = vec![0u64; num_polygons];
+    let mut stats = JoinStats::default();
+    for (c, s) in results {
+        for (acc, v) in counts.iter_mut().zip(c) {
+            *acc += v;
+        }
+        stats.points += s.points;
+        stats.true_hits += s.true_hits;
+        stats.candidate_hits += s.candidate_hits;
+        stats.misses += s.misses;
+        stats.refined_hits += s.refined_hits;
+    }
+    (counts, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::coord_to_cell;
+    use geom::{Polygon, Ring};
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    fn setup() -> (Vec<Polygon>, ActIndex) {
+        let polys = vec![
+            square(-74.05, 40.70, 0.02),
+            square(-73.95, 40.70, 0.02),
+        ];
+        let idx = ActIndex::build(&polys, 15.0).unwrap();
+        (polys, idx)
+    }
+
+    fn test_points() -> Vec<Coord> {
+        let mut pts = Vec::new();
+        // 10 points deep in polygon 0, 5 in polygon 1, 5 outside all.
+        for k in 0..10 {
+            pts.push(Coord::new(-74.05 + 0.001 * k as f64, 40.70));
+        }
+        for k in 0..5 {
+            pts.push(Coord::new(-73.95 + 0.001 * k as f64, 40.70));
+        }
+        for k in 0..5 {
+            pts.push(Coord::new(-74.2, 40.88 + 0.001 * k as f64));
+        }
+        pts
+    }
+
+    #[test]
+    fn approx_counts_match_geometry() {
+        let (_, idx) = setup();
+        let pts = test_points();
+        let mut counts = vec![0u64; 2];
+        let stats = join_approx_coords(&idx, &pts, &mut counts);
+        assert_eq!(counts, vec![10, 5]);
+        assert_eq!(stats.points, 20);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.true_hits + stats.candidate_hits, 15);
+        // Deep-interior points should be true hits.
+        assert!(stats.true_hits >= 13);
+    }
+
+    #[test]
+    fn cells_and_coords_paths_agree() {
+        let (_, idx) = setup();
+        let pts = test_points();
+        let cells: Vec<CellId> = pts.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut c1 = vec![0u64; 2];
+        let mut c2 = vec![0u64; 2];
+        let s1 = join_approx_coords(&idx, &pts, &mut c1);
+        let s2 = join_approx_cells(&idx, &cells, &mut c2);
+        assert_eq!(c1, c2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn exact_equals_brute_force() {
+        let (polys, idx) = setup();
+        let refiner = Refiner::new(&polys);
+        // Points including some within ε of the boundary.
+        let mut pts = test_points();
+        for k in 0..20 {
+            pts.push(Coord::new(-74.07 + 0.002 * k as f64, 40.68 + 0.0001 * k as f64));
+        }
+        let mut exact = vec![0u64; 2];
+        join_exact(&idx, &refiner, &pts, &mut exact);
+        // Brute force.
+        let mut brute = vec![0u64; 2];
+        for &c in &pts {
+            for (i, _p) in polys.iter().enumerate() {
+                // Use the same PIP engine as the refiner for boundary-rule
+                // consistency.
+                if refiner.contains(i as u32, c) {
+                    brute[i] += 1;
+                }
+            }
+        }
+        assert_eq!(exact, brute);
+    }
+
+    #[test]
+    fn approx_overcounts_only_within_epsilon() {
+        let (polys, idx) = setup();
+        let pts = test_points();
+        let mut approx = vec![0u64; 2];
+        join_approx_coords(&idx, &pts, &mut approx);
+        // Every approximate hit must be within ε of the polygon.
+        for &c in &pts {
+            for (id, _) in idx.lookup_refs(c) {
+                let d = polys[id as usize].distance_meters(c);
+                assert!(
+                    d <= idx.stats().precision_m,
+                    "approx hit at distance {d} exceeds ε"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (_, idx) = setup();
+        let pts = test_points();
+        let cells: Vec<CellId> = pts.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut seq = vec![0u64; 2];
+        let seq_stats = join_approx_cells(&idx, &cells, &mut seq);
+        for threads in [1usize, 2, 3, 8] {
+            let (par, par_stats) = join_parallel_cells(&idx, &cells, 2, threads);
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (_, idx) = setup();
+        let mut counts = vec![0u64; 2];
+        let stats = join_approx_cells(&idx, &[], &mut counts);
+        assert_eq!(stats.points, 0);
+        let (par, _) = join_parallel_cells(&idx, &[], 2, 4);
+        assert_eq!(par, vec![0, 0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The lookup table: deduplicated polygon-reference sets for cells that
+//! reference three or more polygons.
+//!
+//! The paper (§II, "Lookup table"): *"The lookup table is encoded as a
+//! single 32 bit unsigned integer array. The offsets stored in the tree are
+//! simply offsets into that array. Each encoded entry contains the number of
+//! true hits followed by the true hits, the number of candidate hits, and
+//! the candidate hits."* Cells often share reference sets, so only unique
+//! sets are materialized.
+
+use crate::refs::RefSet;
+use std::collections::HashMap;
+
+/// A deduplicating, flat `u32`-array lookup table.
+#[derive(Debug, Default)]
+pub struct LookupTableBuilder {
+    data: Vec<u32>,
+    dedup: HashMap<Vec<u32>, u32>,
+}
+
+impl LookupTableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> LookupTableBuilder {
+        LookupTableBuilder::default()
+    }
+
+    /// Interns a reference set, returning its offset in the array.
+    /// Identical sets return identical offsets.
+    pub fn intern(&mut self, refs: &RefSet) -> u32 {
+        let encoded = Self::encode(refs);
+        if let Some(&off) = self.dedup.get(&encoded) {
+            return off;
+        }
+        let off = self.data.len() as u32;
+        assert!(
+            off < (1 << 31),
+            "lookup table exceeds 2^31 entries; cannot be addressed by 31-bit offsets"
+        );
+        self.data.extend_from_slice(&encoded);
+        self.dedup.insert(encoded, off);
+        off
+    }
+
+    /// `[n_true, true ids ..., n_cand, cand ids ...]`
+    fn encode(refs: &RefSet) -> Vec<u32> {
+        let trues: Vec<u32> = refs.true_hits().collect();
+        let cands: Vec<u32> = refs.candidates().collect();
+        let mut out = Vec::with_capacity(trues.len() + cands.len() + 2);
+        out.push(trues.len() as u32);
+        out.extend_from_slice(&trues);
+        out.push(cands.len() as u32);
+        out.extend_from_slice(&cands);
+        out
+    }
+
+    /// Finalizes into the immutable query-time table.
+    pub fn build(self) -> LookupTable {
+        LookupTable { data: self.data }
+    }
+}
+
+/// The immutable query-time lookup table.
+#[derive(Debug, Default)]
+pub struct LookupTable {
+    data: Vec<u32>,
+}
+
+impl LookupTable {
+    /// Decodes the entry at `offset` into (true hits, candidate hits).
+    ///
+    /// Returned slices alias the table — zero-copy on the hot path.
+    #[inline]
+    pub fn decode(&self, offset: u32) -> (&[u32], &[u32]) {
+        let off = offset as usize;
+        let n_true = self.data[off] as usize;
+        let trues = &self.data[off + 1..off + 1 + n_true];
+        let n_cand = self.data[off + 1 + n_true] as usize;
+        let cands = &self.data[off + 2 + n_true..off + 2 + n_true + n_cand];
+        (trues, cands)
+    }
+
+    /// Memory used by the array, in bytes.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of `u32` words.
+    #[inline]
+    pub fn len_words(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs::PolygonRef;
+
+    fn set(ids: &[(u32, bool)]) -> RefSet {
+        RefSet::Many(
+            ids.iter()
+                .map(|&(id, interior)| PolygonRef { id, interior })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn encode_layout_matches_paper() {
+        let mut b = LookupTableBuilder::new();
+        let off = b.intern(&set(&[(5, true), (3, false), (1, false)]));
+        let t = b.build();
+        // [n_true=1, 5, n_cand=2, 3, 1]
+        assert_eq!(off, 0);
+        let (trues, cands) = t.decode(off);
+        assert_eq!(trues, &[5]);
+        assert_eq!(cands, &[3, 1]);
+        assert_eq!(t.len_words(), 5);
+    }
+
+    #[test]
+    fn dedup_identical_sets() {
+        let mut b = LookupTableBuilder::new();
+        let a = b.intern(&set(&[(1, true), (2, false), (3, false)]));
+        let c = b.intern(&set(&[(4, true), (5, true), (6, false)]));
+        let d = b.intern(&set(&[(1, true), (2, false), (3, false)]));
+        assert_eq!(a, d, "identical sets must share an entry");
+        assert_ne!(a, c);
+        let t = b.build();
+        assert_eq!(t.len_words(), 5 + 5);
+    }
+
+    #[test]
+    fn empty_candidate_or_true_sections() {
+        let mut b = LookupTableBuilder::new();
+        let all_true = b.intern(&set(&[(1, true), (2, true), (3, true)]));
+        let all_cand = b.intern(&set(&[(7, false), (8, false), (9, false)]));
+        let t = b.build();
+        let (tr, ca) = t.decode(all_true);
+        assert_eq!((tr.len(), ca.len()), (3, 0));
+        let (tr, ca) = t.decode(all_cand);
+        assert_eq!((tr.len(), ca.len()), (0, 3));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut b = LookupTableBuilder::new();
+        b.intern(&set(&[(1, true), (2, false), (3, false)]));
+        let t = b.build();
+        assert_eq!(t.memory_bytes(), 5 * 4);
+    }
+}

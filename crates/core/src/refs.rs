@@ -1,0 +1,225 @@
+//! Polygon references: the payloads stored in the Adaptive Cell Trie.
+//!
+//! A cell of the super covering references one or more polygons. Each
+//! reference carries an *interior flag*: `true` means the cell lies entirely
+//! inside that polygon (a **true hit** — any point in the cell is guaranteed
+//! to be in the polygon), `false` means the cell intersects the polygon's
+//! boundary (a **candidate hit** — a point in the cell is within the
+//! precision bound ε of the polygon, but possibly outside it).
+//!
+//! Following the paper, a reference is packed into a 31-bit payload whose
+//! least-significant bit is the interior flag, leaving 30 bits for the
+//! polygon id (up to 2³⁰ ≈ 1.07 B polygons).
+
+/// Maximum representable polygon id (30 bits).
+pub const MAX_POLYGON_ID: u32 = (1 << 30) - 1;
+
+/// A reference from a cell to a polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolygonRef {
+    /// The polygon id (dataset index), ≤ [`MAX_POLYGON_ID`].
+    pub id: u32,
+    /// True hit (interior cell) vs candidate hit (boundary cell).
+    pub interior: bool,
+}
+
+impl PolygonRef {
+    /// Creates a true-hit reference.
+    #[inline]
+    pub fn true_hit(id: u32) -> PolygonRef {
+        PolygonRef { id, interior: true }
+    }
+
+    /// Creates a candidate-hit reference.
+    #[inline]
+    pub fn candidate(id: u32) -> PolygonRef {
+        PolygonRef {
+            id,
+            interior: false,
+        }
+    }
+
+    /// Packs into the 31-bit payload: `(id << 1) | interior`.
+    #[inline]
+    pub fn encode(&self) -> u32 {
+        debug_assert!(self.id <= MAX_POLYGON_ID);
+        (self.id << 1) | self.interior as u32
+    }
+
+    /// Unpacks a 31-bit payload.
+    #[inline]
+    pub fn decode(payload: u32) -> PolygonRef {
+        PolygonRef {
+            id: payload >> 1,
+            interior: payload & 1 == 1,
+        }
+    }
+}
+
+/// The set of references attached to one cell of the super covering.
+///
+/// Most cells reference one or two polygons (the paper inlines those in the
+/// trie); the variants mirror that so the common cases stay allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefSet {
+    /// One reference — inlined in the trie as a single payload.
+    One(PolygonRef),
+    /// Two references — inlined in the trie as a double payload.
+    Two(PolygonRef, PolygonRef),
+    /// Three or more references — stored in the shared lookup table.
+    Many(Vec<PolygonRef>),
+}
+
+impl RefSet {
+    /// A set with a single reference.
+    #[inline]
+    pub fn single(r: PolygonRef) -> RefSet {
+        RefSet::One(r)
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        match self {
+            RefSet::One(_) => 1,
+            RefSet::Two(..) => 2,
+            RefSet::Many(v) => v.len(),
+        }
+    }
+
+    /// Ref sets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the references.
+    pub fn iter(&self) -> RefSetIter<'_> {
+        match self {
+            RefSet::One(a) => RefSetIter::Inline([Some(*a), None], 0),
+            RefSet::Two(a, b) => RefSetIter::Inline([Some(*a), Some(*b)], 0),
+            RefSet::Many(v) => RefSetIter::Slice(v.iter()),
+        }
+    }
+
+    /// Merges another reference into this set, keeping references sorted by
+    /// id and resolving duplicates: if the same polygon appears as both true
+    /// hit and candidate, **true hit wins** (the stronger claim — this
+    /// happens when a pushed-down interior ancestor meets a boundary cell;
+    /// the descendant is genuinely inside the polygon).
+    pub fn merge(&mut self, r: PolygonRef) {
+        let mut v: Vec<PolygonRef> = self.iter().collect();
+        match v.binary_search_by_key(&r.id, |x| x.id) {
+            Ok(i) => {
+                if r.interior {
+                    v[i].interior = true;
+                }
+            }
+            Err(i) => v.insert(i, r),
+        }
+        *self = RefSet::from_sorted(v);
+    }
+
+    /// Builds from a sorted, deduplicated vec.
+    fn from_sorted(v: Vec<PolygonRef>) -> RefSet {
+        match v.len() {
+            1 => RefSet::One(v[0]),
+            2 => RefSet::Two(v[0], v[1]),
+            _ => RefSet::Many(v),
+        }
+    }
+
+    /// The true-hit references.
+    pub fn true_hits(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().filter(|r| r.interior).map(|r| r.id)
+    }
+
+    /// The candidate references.
+    pub fn candidates(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().filter(|r| !r.interior).map(|r| r.id)
+    }
+}
+
+/// Iterator over a [`RefSet`].
+pub enum RefSetIter<'a> {
+    /// Inline storage (One / Two variants).
+    Inline([Option<PolygonRef>; 2], usize),
+    /// Heap storage (Many variant).
+    Slice(std::slice::Iter<'a, PolygonRef>),
+}
+
+impl Iterator for RefSetIter<'_> {
+    type Item = PolygonRef;
+
+    fn next(&mut self) -> Option<PolygonRef> {
+        match self {
+            RefSetIter::Inline(arr, i) => {
+                if *i < 2 {
+                    let r = arr[*i];
+                    *i += 1;
+                    r
+                } else {
+                    None
+                }
+            }
+            RefSetIter::Slice(it) => it.next().copied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        for &(id, interior) in &[(0u32, false), (0, true), (12345, true), (MAX_POLYGON_ID, false)] {
+            let r = PolygonRef { id, interior };
+            let enc = r.encode();
+            assert!(enc < (1 << 31), "payload must fit 31 bits");
+            assert_eq!(PolygonRef::decode(enc), r);
+        }
+    }
+
+    #[test]
+    fn interior_flag_is_lsb() {
+        // The paper: "we differentiate between a true hit and a candidate
+        // hit using the least significant bit of the 31 bit payload".
+        assert_eq!(PolygonRef::true_hit(5).encode() & 1, 1);
+        assert_eq!(PolygonRef::candidate(5).encode() & 1, 0);
+    }
+
+    #[test]
+    fn merge_grows_and_sorts() {
+        let mut s = RefSet::single(PolygonRef::candidate(5));
+        assert_eq!(s.len(), 1);
+        s.merge(PolygonRef::true_hit(2));
+        assert_eq!(s.len(), 2);
+        s.merge(PolygonRef::candidate(9));
+        assert_eq!(s.len(), 3);
+        let ids: Vec<u32> = s.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert!(matches!(s, RefSet::Many(_)));
+    }
+
+    #[test]
+    fn merge_duplicate_true_hit_wins() {
+        let mut s = RefSet::single(PolygonRef::candidate(7));
+        s.merge(PolygonRef::true_hit(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next().unwrap(), PolygonRef::true_hit(7));
+        // And the reverse order: merging a candidate into a true hit is a no-op.
+        let mut s = RefSet::single(PolygonRef::true_hit(7));
+        s.merge(PolygonRef::candidate(7));
+        assert_eq!(s.iter().next().unwrap(), PolygonRef::true_hit(7));
+    }
+
+    #[test]
+    fn split_accessors() {
+        let s = RefSet::Many(vec![
+            PolygonRef::true_hit(1),
+            PolygonRef::candidate(2),
+            PolygonRef::true_hit(3),
+        ]);
+        assert_eq!(s.true_hits().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.candidates().collect::<Vec<_>>(), vec![2]);
+    }
+}

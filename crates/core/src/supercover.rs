@@ -1,0 +1,269 @@
+//! The super covering: merging per-polygon coverings into one global,
+//! conflict-free cell set.
+//!
+//! Paper §II: *"Once the coverings of every polygon have been computed, we
+//! merge these individual coverings into a super covering that represents
+//! all polygons. This step involves removing duplicate cells and resolving
+//! conflicts between overlapping cells. The latter may require additional
+//! refinement steps and potentially increases the total number of cells."*
+//!
+//! Two kinds of conflicts exist (cells from a quadtree are *laminar*: any
+//! two are either disjoint or nested):
+//!
+//! 1. **Duplicates** — the same cell appears in several coverings (e.g. a
+//!    boundary cell on a shared border). Resolved by merging reference
+//!    sets.
+//! 2. **Nesting** — a cell of one polygon strictly contains a cell of
+//!    another (possible when polygons overlap). Resolved by *pushing the
+//!    ancestor down*: the ancestor is replaced by its four children, each
+//!    inheriting its references, repeatedly, until no ancestor remains.
+//!    This preserves semantics exactly (a cell's references apply to all
+//!    its descendants: an interior cell's descendants are still interior;
+//!    a boundary cell's descendants still satisfy the ε bound because they
+//!    are smaller) and is the paper's "additional refinement".
+//!
+//! The result is a set of **disjoint, unique** cells, each with a merged
+//! [`RefSet`] — exactly what [`crate::trie::Act::insert`] requires so that
+//! a lookup returns at most one entry.
+
+use crate::covering::Covering;
+use crate::refs::{PolygonRef, RefSet};
+use s2cell::CellId;
+
+/// The merged covering of a whole polygon set.
+#[derive(Debug, Default)]
+pub struct SuperCovering {
+    /// Disjoint cells with merged reference sets, sorted by id range.
+    pub cells: Vec<(CellId, RefSet)>,
+    /// Number of push-down splits performed during conflict resolution.
+    pub pushdown_splits: u64,
+}
+
+impl SuperCovering {
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Builds the super covering from per-polygon coverings.
+///
+/// `coverings[i]` must be the covering of polygon id `i`.
+pub fn build_super_covering(coverings: &[Covering]) -> SuperCovering {
+    let mut items: Vec<(CellId, PolygonRef)> = Vec::new();
+    for (poly_id, cov) in coverings.iter().enumerate() {
+        let id = poly_id as u32;
+        for &(cell, interior) in &cov.cells {
+            items.push((cell, PolygonRef { id, interior }));
+        }
+    }
+    build_from_pairs(items)
+}
+
+/// Builds from raw `(cell, reference)` pairs (used by tests and by adaptive
+/// extensions that inject extra cells).
+pub fn build_from_pairs(mut items: Vec<(CellId, PolygonRef)>) -> SuperCovering {
+    let mut pushdown_splits = 0u64;
+
+    // Resolve nesting by repeated push-down. Quadtree cells are laminar, so
+    // after sorting by (range_min, level) an ancestor immediately precedes
+    // its first descendant; a stack scan finds all nestings in O(n).
+    loop {
+        items.sort_unstable_by_key(|(c, _)| (c.range_min().0, c.level()));
+        let mut marked = vec![false; items.len()];
+        let mut any = false;
+        let mut stack: Vec<(usize, u64)> = Vec::new(); // (index, range_max)
+        for (idx, (cell, _)) in items.iter().enumerate() {
+            let min = cell.range_min().0;
+            let max = cell.range_max().0;
+            while let Some(&(_, top_max)) = stack.last() {
+                if top_max < min {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            for &(anc_idx, _) in &stack {
+                // Everything on the stack whose range is strictly larger
+                // contains this cell. Equal cells are duplicates (merged
+                // later), not nestings.
+                if items[anc_idx].0 != *cell && !marked[anc_idx] {
+                    marked[anc_idx] = true;
+                    any = true;
+                }
+            }
+            stack.push((idx, max));
+        }
+        if !any {
+            break;
+        }
+        // Split every marked ancestor one level down.
+        let mut next: Vec<(CellId, PolygonRef)> = Vec::with_capacity(items.len() + 3);
+        for (idx, (cell, r)) in items.iter().enumerate() {
+            if marked[idx] {
+                pushdown_splits += 1;
+                for child in cell.children() {
+                    next.push((child, *r));
+                }
+            } else {
+                next.push((*cell, *r));
+            }
+        }
+        items = next;
+    }
+
+    // Merge duplicates (items are sorted; equal cells are adjacent because
+    // equal ids share (range_min, level)).
+    let mut cells: Vec<(CellId, RefSet)> = Vec::with_capacity(items.len());
+    for (cell, r) in items {
+        match cells.last_mut() {
+            Some((last, refs)) if *last == cell => refs.merge(r),
+            _ => cells.push((cell, RefSet::single(r))),
+        }
+    }
+
+    SuperCovering {
+        cells,
+        pushdown_splits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2cell::LatLng;
+
+    fn leaf() -> CellId {
+        CellId::from_latlng(LatLng::from_degrees(40.7580, -73.9855))
+    }
+
+    fn th(id: u32) -> PolygonRef {
+        PolygonRef::true_hit(id)
+    }
+
+    fn ca(id: u32) -> PolygonRef {
+        PolygonRef::candidate(id)
+    }
+
+    #[test]
+    fn disjoint_cells_pass_through() {
+        let a = leaf().parent(12);
+        let b = CellId(a.range_max().0 + 2); // next sibling at level 12
+        let sc = build_from_pairs(vec![(a, th(0)), (b, ca(1))]);
+        assert_eq!(sc.len(), 2);
+        assert_eq!(sc.pushdown_splits, 0);
+    }
+
+    #[test]
+    fn duplicates_merge_refs() {
+        let a = leaf().parent(14);
+        let sc = build_from_pairs(vec![(a, ca(0)), (a, ca(1)), (a, th(2))]);
+        assert_eq!(sc.len(), 1);
+        let refs = &sc.cells[0].1;
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs.true_hits().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(refs.candidates().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn nesting_pushes_ancestor_down() {
+        let descendant = leaf().parent(14);
+        let ancestor = leaf().parent(12);
+        let sc = build_from_pairs(vec![(ancestor, th(0)), (descendant, ca(1))]);
+        assert!(sc.pushdown_splits > 0);
+        // No cell may contain another.
+        for i in 0..sc.cells.len() {
+            for j in 0..sc.cells.len() {
+                if i != j {
+                    assert!(
+                        !sc.cells[i].0.contains(sc.cells[j].0),
+                        "{:?} contains {:?}",
+                        sc.cells[i].0,
+                        sc.cells[j].0
+                    );
+                }
+            }
+        }
+        // The descendant cell must now carry both references.
+        let d = sc
+            .cells
+            .iter()
+            .find(|(c, _)| *c == descendant)
+            .expect("descendant survives");
+        assert_eq!(d.1.len(), 2);
+        assert_eq!(d.1.true_hits().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(d.1.candidates().collect::<Vec<_>>(), vec![1]);
+        // Area conservation: the ancestor's range is fully covered.
+        let total: u128 = sc
+            .cells
+            .iter()
+            .map(|(c, _)| c.range_max().0 as u128 - c.range_min().0 as u128 + 2)
+            .sum();
+        let anc_range = ancestor.range_max().0 as u128 - ancestor.range_min().0 as u128 + 2;
+        assert_eq!(total, anc_range);
+    }
+
+    #[test]
+    fn deep_nesting_resolves() {
+        let descendant = leaf().parent(16);
+        let ancestor = leaf().parent(10); // 6 levels apart
+        let sc = build_from_pairs(vec![(ancestor, th(0)), (descendant, ca(1))]);
+        // Push-down must recurse along the path: splits at levels 10..15.
+        assert!(sc.pushdown_splits >= 6);
+        for (cell, _) in &sc.cells {
+            assert!(cell.level() >= 11 || !cell.contains(descendant));
+        }
+        // Every cell still within the ancestor's range carries ref 0.
+        for (cell, refs) in &sc.cells {
+            if ancestor.contains(*cell) {
+                assert!(
+                    refs.iter().any(|r| r.id == 0),
+                    "cell {cell:?} lost the ancestor reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_overlap() {
+        let l = leaf();
+        let sc = build_from_pairs(vec![
+            (l.parent(10), ca(0)),
+            (l.parent(12), th(1)),
+            (l.parent(14), ca(2)),
+        ]);
+        // The deepest cell ends up with all three references.
+        let d = sc.cells.iter().find(|(c, _)| *c == l.parent(14)).unwrap();
+        assert_eq!(d.1.len(), 3);
+        // And the result is conflict-free.
+        let mut sorted: Vec<CellId> = sc.cells.iter().map(|(c, _)| *c).collect();
+        sorted.sort_by_key(|c| c.range_min().0);
+        for w in sorted.windows(2) {
+            assert!(w[0].range_max().0 < w[1].range_min().0);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let sc = build_from_pairs(vec![]);
+        assert!(sc.is_empty());
+    }
+
+    #[test]
+    fn true_hit_propagates_through_pushdown() {
+        // An interior (true hit) ancestor pushed down onto a boundary cell:
+        // the merged cell reports the polygon as a true hit (descendants of
+        // interior cells are interior).
+        let descendant = leaf().parent(13);
+        let ancestor = leaf().parent(12);
+        let sc = build_from_pairs(vec![(ancestor, th(7)), (descendant, ca(7))]);
+        let d = sc.cells.iter().find(|(c, _)| *c == descendant).unwrap();
+        assert_eq!(d.1.len(), 1);
+        assert!(d.1.iter().next().unwrap().interior, "true hit must win");
+    }
+}

@@ -1,0 +1,602 @@
+//! The Adaptive Cell Trie (ACT): a radix tree over hierarchical-grid cells.
+//!
+//! ## Structure (paper §II, Figure 2a)
+//!
+//! * Fanout **256**: every trie node is a fixed array of 256 tagged 8-byte
+//!   entries, so each trie level consumes 8 key bits = **4 quadtree levels**
+//!   (the *cell level granularity* `g = 4`).
+//! * The key of a cell is its Hilbert **position bit string** (2 bits per
+//!   level); the cube face selects one of six root nodes. With cells up to
+//!   level 28 the maximum key length is 56 bits → at most **7 node
+//!   accesses** per lookup; indexes bounded at level 24 need only 6, as in
+//!   the paper.
+//! * A tagged entry is one of (2 least-significant bits):
+//!   - `00` — a child reference (index into the node arena; index 0 is the
+//!     sentinel meaning *false hit*),
+//!   - `01` — one inlined 31-bit payload,
+//!   - `10` — two inlined 31-bit payloads,
+//!   - `11` — a 31-bit offset into the shared lookup table (≥ 3 references).
+//! * Payload bit 0 is the true-hit flag; the remaining 30 bits are the
+//!   polygon id (see [`crate::refs`]).
+//!
+//! ## Denormalization
+//!
+//! Cells whose level is not a multiple of 4 do not align with a single
+//! slot. Insertion *denormalizes* them: a level-`l` cell with
+//! `r = l mod 4 ≠ 0` spans `4^(4−r)` consecutive slots of one node, and its
+//! payload is **replicated** into that slot range. Replicating payloads
+//! (rather than materializing descendant cells) is why a finer covering
+//! does not necessarily grow the trie — the paper's Table I artifact where
+//! the 15 m and 4 m indexes have (almost) the same size.
+//!
+//! ## Safety
+//!
+//! Nodes live in a flat `Vec<u64>` arena and child references are node
+//! indices. This keeps the implementation 100% safe Rust with the same
+//! cache behaviour as raw pointers (one dependent load per level).
+
+use crate::lookup::{LookupTable, LookupTableBuilder};
+use crate::refs::{PolygonRef, RefSet};
+use s2cell::CellId;
+
+/// Entries per node (fanout).
+pub const FANOUT: usize = 256;
+/// Quadtree levels consumed per trie level.
+pub const GRANULARITY: u8 = 4;
+/// Maximum indexable cell level (7 key bytes × 4 levels/byte).
+pub const MAX_INDEX_LEVEL: u8 = 28;
+
+const TAG_MASK: u64 = 3;
+const TAG_CHILD: u64 = 0;
+const TAG_ONE: u64 = 1;
+const TAG_TWO: u64 = 2;
+const TAG_OFFSET: u64 = 3;
+
+#[inline]
+fn encode_child(index: u32) -> u64 {
+    (index as u64) << 2
+}
+
+#[inline]
+fn encode_one(payload: u32) -> u64 {
+    ((payload as u64) << 2) | TAG_ONE
+}
+
+#[inline]
+fn encode_two(p1: u32, p2: u32) -> u64 {
+    ((p2 as u64) << 33) | ((p1 as u64) << 2) | TAG_TWO
+}
+
+#[inline]
+fn encode_offset(offset: u32) -> u64 {
+    ((offset as u64) << 2) | TAG_OFFSET
+}
+
+/// The result of probing the trie with a query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// No indexed cell contains the point: guaranteed **not** within ε of
+    /// any polygon (a *false hit* in the paper's terms).
+    Miss,
+    /// The matched cell references one polygon.
+    One(PolygonRef),
+    /// The matched cell references two polygons.
+    Two(PolygonRef, PolygonRef),
+    /// The matched cell references ≥ 3 polygons; resolve via the
+    /// [`LookupTable`] at this offset.
+    Table(u32),
+}
+
+impl Probe {
+    /// Decodes a raw tagged entry (must not be a child reference).
+    #[inline]
+    fn from_entry(entry: u64) -> Probe {
+        match entry & TAG_MASK {
+            TAG_ONE => Probe::One(PolygonRef::decode((entry >> 2) as u32 & 0x7FFF_FFFF)),
+            TAG_TWO => Probe::Two(
+                PolygonRef::decode((entry >> 2) as u32 & 0x7FFF_FFFF),
+                PolygonRef::decode((entry >> 33) as u32 & 0x7FFF_FFFF),
+            ),
+            TAG_OFFSET => Probe::Table((entry >> 2) as u32 & 0x7FFF_FFFF),
+            _ => unreachable!("child entries are consumed by the descent"),
+        }
+    }
+}
+
+/// Per-depth structural statistics (for analysis and the paper's Table I).
+#[derive(Debug, Clone, Default)]
+pub struct TrieStats {
+    /// Nodes at each trie depth (depth 0 = root nodes).
+    pub nodes_per_depth: Vec<usize>,
+    /// Occupied (non-sentinel) slots at each depth.
+    pub occupied_per_depth: Vec<usize>,
+    /// Total terminal entries by kind: (one, two, offset).
+    pub terminals: (usize, usize, usize),
+}
+
+/// The Adaptive Cell Trie.
+#[derive(Debug)]
+pub struct Act {
+    /// Flat node arena: node `i` occupies `slots[i*256 .. (i+1)*256]`.
+    /// Node 0 is the all-zero sentinel.
+    slots: Vec<u64>,
+    /// Root node index per cube face (0 = no data on that face).
+    roots: [u32; 6],
+    /// Number of cells inserted (before denormalization) — the paper's
+    /// "indexed cells" metric counts denormalized slot ranges; both are
+    /// tracked.
+    inserted_cells: u64,
+    /// Number of slot writes performed by denormalization.
+    denormalized_slots: u64,
+}
+
+impl Default for Act {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Act {
+    /// Creates an empty trie (just the sentinel node).
+    pub fn new() -> Act {
+        Act {
+            slots: vec![0u64; FANOUT],
+            roots: [0; 6],
+            inserted_cells: 0,
+            denormalized_slots: 0,
+        }
+    }
+
+    #[inline]
+    fn alloc_node(&mut self) -> u32 {
+        let idx = (self.slots.len() / FANOUT) as u32;
+        self.slots.resize(self.slots.len() + FANOUT, 0);
+        idx
+    }
+
+    /// Inserts a cell with its reference set.
+    ///
+    /// # Preconditions (enforced by the super covering, asserted here)
+    /// * `cell.level() ≤ 28`
+    /// * no inserted cell is an ancestor or descendant of another
+    /// * no cell is inserted twice
+    pub fn insert(&mut self, cell: CellId, refs: &RefSet, table: &mut LookupTableBuilder) {
+        debug_assert!(cell.is_valid());
+        let level = cell.level();
+        assert!(
+            level <= MAX_INDEX_LEVEL,
+            "cell level {level} exceeds MAX_INDEX_LEVEL"
+        );
+
+        let entry = match refs {
+            RefSet::One(r) => encode_one(r.encode()),
+            RefSet::Two(a, b) => encode_two(a.encode(), b.encode()),
+            RefSet::Many(_) => encode_offset(table.intern(refs)),
+        };
+
+        let face = cell.face() as usize;
+        if self.roots[face] == 0 {
+            let n = self.alloc_node();
+            self.roots[face] = n;
+        }
+        let mut node = self.roots[face] as usize;
+
+        if level == 0 {
+            // A face cell covers the whole root node.
+            self.fill_range(node, 0, FANOUT, entry);
+            self.inserted_cells += 1;
+            return;
+        }
+
+        let d_last = ((level - 1) / GRANULARITY) as u32;
+        for d in 0..d_last {
+            let b = cell.key_byte(d) as usize;
+            let slot = node * FANOUT + b;
+            let e = self.slots[slot];
+            match e & TAG_MASK {
+                TAG_CHILD => {
+                    let mut idx = (e >> 2) as u32;
+                    if idx == 0 {
+                        idx = self.alloc_node();
+                        self.slots[slot] = encode_child(idx);
+                    }
+                    node = idx as usize;
+                }
+                _ => panic!(
+                    "ACT insert: cell {cell:?} is nested under an already-indexed cell; \
+                     the super covering must resolve nesting before insertion"
+                ),
+            }
+        }
+
+        let bits = 2 * (level as u32 - GRANULARITY as u32 * d_last);
+        debug_assert!((2..=8).contains(&bits));
+        let byte = cell.key_byte(d_last) as usize;
+        let base = byte & !((1usize << (8 - bits)) - 1);
+        let count = 1usize << (8 - bits);
+        self.fill_range(node, base, count, entry);
+        self.inserted_cells += 1;
+    }
+
+    fn fill_range(&mut self, node: usize, base: usize, count: usize, entry: u64) {
+        for s in base..base + count {
+            let slot = node * FANOUT + s;
+            assert_eq!(
+                self.slots[slot], 0,
+                "ACT insert: slot already occupied; cells must be disjoint and unique"
+            );
+            self.slots[slot] = entry;
+        }
+        self.denormalized_slots += count as u64;
+    }
+
+    /// Probes the trie with a leaf (or any sufficiently deep) cell id.
+    ///
+    /// The descent is comparison-free in the paper's sense: it extracts one
+    /// key byte per level and jumps; the only branches distinguish entry
+    /// tags.
+    #[inline]
+    pub fn lookup(&self, query: CellId) -> Probe {
+        let face = (query.0 >> 61) as usize;
+        let mut node = self.roots[face] as usize;
+        if node == 0 {
+            return Probe::Miss;
+        }
+        // Position bits at the top of the word; consume 8 per level.
+        let mut key = query.0 << 3;
+        for _ in 0..7 {
+            let b = (key >> 56) as usize;
+            key <<= 8;
+            let e = self.slots[node * FANOUT + b];
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if idx == 0 {
+                    return Probe::Miss;
+                }
+                node = idx;
+            } else {
+                return Probe::from_entry(e);
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Like [`Act::lookup`], additionally returning the quadtree level of
+    /// the *slot* that terminated the walk (a multiple of 4; the matched
+    /// indexed cell is that slot's cell or a denormalized ancestor of it).
+    /// The adaptive index uses this to attribute probe heat to regions.
+    #[inline]
+    pub fn lookup_with_slot_level(&self, query: CellId) -> (Probe, u8) {
+        let face = (query.0 >> 61) as usize;
+        let mut node = self.roots[face] as usize;
+        if node == 0 {
+            return (Probe::Miss, 0);
+        }
+        let mut key = query.0 << 3;
+        for d in 0..7u8 {
+            let b = (key >> 56) as usize;
+            key <<= 8;
+            let e = self.slots[node * FANOUT + b];
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if idx == 0 {
+                    return (Probe::Miss, (d + 1) * 4);
+                }
+                node = idx;
+            } else {
+                return (Probe::from_entry(e), (d + 1) * 4);
+            }
+        }
+        (Probe::Miss, MAX_INDEX_LEVEL)
+    }
+
+    /// Number of nodes (including the sentinel).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.slots.len() / FANOUT
+    }
+
+    /// Memory consumed by the node arena in bytes (the paper's "ACT \[MB\]").
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Number of `insert` calls (cells before denormalization).
+    #[inline]
+    pub fn inserted_cells(&self) -> u64 {
+        self.inserted_cells
+    }
+
+    /// Number of slots written (cells after denormalization) — the
+    /// fine-grained "indexed cells" count.
+    #[inline]
+    pub fn denormalized_slots(&self) -> u64 {
+        self.denormalized_slots
+    }
+
+    /// Walks the trie and gathers structural statistics.
+    pub fn stats(&self) -> TrieStats {
+        let mut st = TrieStats::default();
+        for f in 0..6 {
+            if self.roots[f] != 0 {
+                self.stats_rec(self.roots[f] as usize, 0, &mut st);
+            }
+        }
+        st
+    }
+
+    fn stats_rec(&self, node: usize, depth: usize, st: &mut TrieStats) {
+        if st.nodes_per_depth.len() <= depth {
+            st.nodes_per_depth.resize(depth + 1, 0);
+            st.occupied_per_depth.resize(depth + 1, 0);
+        }
+        st.nodes_per_depth[depth] += 1;
+        for s in 0..FANOUT {
+            let e = self.slots[node * FANOUT + s];
+            if e == 0 {
+                continue;
+            }
+            st.occupied_per_depth[depth] += 1;
+            match e & TAG_MASK {
+                TAG_CHILD => self.stats_rec((e >> 2) as usize, depth + 1, st),
+                TAG_ONE => st.terminals.0 += 1,
+                TAG_TWO => st.terminals.1 += 1,
+                _ => st.terminals.2 += 1,
+            }
+        }
+    }
+}
+
+/// Resolves a [`Probe`] into an iterator over `(polygon id, is_true_hit)`
+/// pairs, consulting the lookup table when necessary.
+#[inline]
+pub fn resolve_probe<'a>(
+    probe: Probe,
+    table: &'a LookupTable,
+) -> impl Iterator<Item = (u32, bool)> + 'a {
+    // A small state machine keeps the common One/Two cases allocation-free.
+    type Decoded<'t> = ([Option<PolygonRef>; 2], Option<(&'t [u32], &'t [u32])>);
+    let (inline, slices): Decoded<'a> = match probe {
+        Probe::Miss => ([None, None], None),
+        Probe::One(a) => ([Some(a), None], None),
+        Probe::Two(a, b) => ([Some(a), Some(b)], None),
+        Probe::Table(off) => ([None, None], Some(table.decode(off))),
+    };
+    let inline_iter = inline.into_iter().flatten().map(|r| (r.id, r.interior));
+    let table_iter = slices.into_iter().flat_map(|(t, c)| {
+        t.iter()
+            .map(|&id| (id, true))
+            .chain(c.iter().map(|&id| (id, false)))
+    });
+    inline_iter.chain(table_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2cell::LatLng;
+
+    fn nyc_leaf(lat: f64, lng: f64) -> CellId {
+        CellId::from_latlng(LatLng::from_degrees(lat, lng))
+    }
+
+    #[test]
+    fn empty_trie_misses() {
+        let act = Act::new();
+        assert_eq!(act.lookup(nyc_leaf(40.7, -74.0)), Probe::Miss);
+        assert_eq!(act.num_nodes(), 1); // sentinel only
+    }
+
+    #[test]
+    fn single_cell_hit_and_miss() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7580, -73.9855);
+        let cell = leaf.parent(16);
+        act.insert(cell, &RefSet::single(PolygonRef::true_hit(7)), &mut tb);
+        // Any leaf inside the cell hits.
+        assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(7)));
+        assert_eq!(
+            act.lookup(cell.child(3).child(0).range_min()),
+            Probe::One(PolygonRef::true_hit(7))
+        );
+        // A leaf outside misses.
+        let outside = nyc_leaf(41.5, -74.0);
+        assert_eq!(act.lookup(outside), Probe::Miss);
+        assert_eq!(act.inserted_cells(), 1);
+    }
+
+    #[test]
+    fn unaligned_levels_are_denormalized() {
+        // Levels 17..20 all live in the depth-5 node; a level-17 cell spans
+        // 64 slots, 18 → 16, 19 → 4, 20 → 1.
+        for (level, span) in [(17u8, 64u64), (18, 16), (19, 4), (20, 1)] {
+            let mut act = Act::new();
+            let mut tb = LookupTableBuilder::new();
+            let leaf = nyc_leaf(40.7580, -73.9855);
+            let cell = leaf.parent(level);
+            act.insert(cell, &RefSet::single(PolygonRef::candidate(1)), &mut tb);
+            assert_eq!(act.denormalized_slots(), span, "level {level}");
+            // Every descendant leaf of the cell must hit...
+            assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::candidate(1)));
+            assert_eq!(
+                act.lookup(cell.range_min()),
+                Probe::One(PolygonRef::candidate(1))
+            );
+            assert_eq!(
+                act.lookup(cell.range_max()),
+                Probe::One(PolygonRef::candidate(1))
+            );
+            // ...and the neighbor cell must miss.
+            assert_eq!(act.lookup(CellId(cell.range_max().0 + 2)), Probe::Miss);
+        }
+    }
+
+    #[test]
+    fn two_payloads_inline() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let cell = nyc_leaf(40.7, -74.0).parent(12);
+        let refs = RefSet::Two(PolygonRef::true_hit(3), PolygonRef::candidate(9));
+        act.insert(cell, &refs, &mut tb);
+        match act.lookup(cell.range_min()) {
+            Probe::Two(a, b) => {
+                assert_eq!(a, PolygonRef::true_hit(3));
+                assert_eq!(b, PolygonRef::candidate(9));
+            }
+            other => panic!("expected Two, got {other:?}"),
+        }
+        // No lookup table entries were created for inlined payloads.
+        assert_eq!(tb.build().len_words(), 0);
+    }
+
+    #[test]
+    fn three_refs_go_to_lookup_table() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let cell = nyc_leaf(40.7, -74.0).parent(8);
+        let refs = RefSet::Many(vec![
+            PolygonRef::true_hit(1),
+            PolygonRef::candidate(2),
+            PolygonRef::candidate(3),
+        ]);
+        act.insert(cell, &refs, &mut tb);
+        let table = tb.build();
+        match act.lookup(cell.range_min()) {
+            Probe::Table(off) => {
+                let (t, c) = table.decode(off);
+                assert_eq!(t, &[1]);
+                assert_eq!(c, &[2, 3]);
+            }
+            other => panic!("expected Table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_cells_in_same_node() {
+        // A level-18 cell and a sibling level-20 cell share the depth-5
+        // node but disjoint slot ranges.
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7580, -73.9855);
+        let a = leaf.parent(18);
+        // A level-20 cell in the *other half* of the level-16 ancestor.
+        let anc = leaf.parent(16);
+        let mut other = anc.child(0);
+        if a.parent(17) == other {
+            other = anc.child(1);
+        }
+        let b = other.child(2).child(1).child(3).parent(20);
+        act.insert(a, &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+        act.insert(b, &RefSet::single(PolygonRef::true_hit(2)), &mut tb);
+        assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(1)));
+        assert_eq!(act.lookup(b.range_min()), Probe::One(PolygonRef::true_hit(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nested_insert_panics() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7, -74.0);
+        act.insert(leaf.parent(8), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+        act.insert(leaf.parent(16), &RefSet::single(PolygonRef::true_hit(2)), &mut tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn duplicate_insert_panics() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let cell = nyc_leaf(40.7, -74.0).parent(12);
+        act.insert(cell, &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+        act.insert(cell, &RefSet::single(PolygonRef::true_hit(2)), &mut tb);
+    }
+
+    #[test]
+    fn level_and_face_boundaries() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        // Level 28 (max indexable).
+        let leaf = nyc_leaf(40.7, -74.0);
+        act.insert(leaf.parent(28), &RefSet::single(PolygonRef::true_hit(5)), &mut tb);
+        assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(5)));
+        // Different faces are independent roots.
+        let other_face = CellId::from_latlng(LatLng::from_degrees(0.0, 0.0));
+        assert_eq!(act.lookup(other_face), Probe::Miss);
+        act.insert(
+            other_face.parent(4),
+            &RefSet::single(PolygonRef::candidate(6)),
+            &mut tb,
+        );
+        assert_eq!(act.lookup(other_face), Probe::One(PolygonRef::candidate(6)));
+        assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(5)));
+    }
+
+    #[test]
+    fn face_cell_insert() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let face_cell = CellId::from_face(2);
+        act.insert(face_cell, &RefSet::single(PolygonRef::true_hit(0)), &mut tb);
+        let p = CellId::from_latlng(LatLng::from_degrees(89.0, 10.0)); // near north pole, face 2
+        assert_eq!(p.face(), 2);
+        assert_eq!(act.lookup(p), Probe::One(PolygonRef::true_hit(0)));
+    }
+
+    #[test]
+    fn max_node_accesses_bounded() {
+        // kmax = 56 bits / 8 bits per level = 7 node accesses. The stats
+        // walk must never report depth > 6 (0-based).
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7580, -73.9855);
+        for level in [4u8, 11, 19, 28] {
+            let mut a = Act::new();
+            a.insert(leaf.parent(level), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+            let st = a.stats();
+            assert!(st.nodes_per_depth.len() <= 7);
+        }
+        act.insert(leaf.parent(28), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+        assert_eq!(act.stats().nodes_per_depth.len(), 7);
+    }
+
+    #[test]
+    fn memory_accounting_matches_nodes() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        act.insert(
+            nyc_leaf(40.7, -74.0).parent(8),
+            &RefSet::single(PolygonRef::true_hit(1)),
+            &mut tb,
+        );
+        assert_eq!(act.memory_bytes(), act.num_nodes() * FANOUT * 8);
+        // sentinel + root + depth-1 node = 3 nodes.
+        assert_eq!(act.num_nodes(), 3);
+    }
+
+    #[test]
+    fn resolve_probe_variants() {
+        let table = {
+            let mut b = LookupTableBuilder::new();
+            b.intern(&RefSet::Many(vec![
+                PolygonRef::true_hit(1),
+                PolygonRef::true_hit(2),
+                PolygonRef::candidate(3),
+            ]));
+            b.build()
+        };
+        let collect = |p: Probe| resolve_probe(p, &table).collect::<Vec<_>>();
+        assert!(collect(Probe::Miss).is_empty());
+        assert_eq!(collect(Probe::One(PolygonRef::true_hit(9))), vec![(9, true)]);
+        assert_eq!(
+            collect(Probe::Two(PolygonRef::candidate(4), PolygonRef::true_hit(5))),
+            vec![(4, false), (5, true)]
+        );
+        assert_eq!(
+            collect(Probe::Table(0)),
+            vec![(1, true), (2, true), (3, false)]
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Polygons projected to cube-face (u, v) space.
+//!
+//! The covering recursion must classify grid cells against polygons. Doing
+//! that in lat/lng space would approximate cells by warped quads; doing it
+//! in (u, v) space is **exact**: a cell at any level is an axis-aligned
+//! rectangle in its face's (u, v) plane, and — because the face projection
+//! is gnomonic — great-circle arcs are straight lines, so polygon edges are
+//! exact segments. (Our datasets' edges are defined in lat/lng degree
+//! space; at the ≤ 200 m segment lengths the generators produce, the
+//! difference between a great-circle arc and a degree-space straight edge
+//! is sub-millimeter — far below any supported precision bound.)
+//!
+//! Restriction: a polygon must project onto a single cube face. This holds
+//! for any city-scale dataset away from face boundaries (all of NYC is
+//! comfortably inside face 4); multi-face polygons would need clipping,
+//! which the paper's workloads never exercise.
+
+use geom::{CellRelation, Coord, Polygon};
+use s2cell::coords::{valid_face_xyz_to_uv, xyz_to_face_uv};
+use s2cell::LatLng;
+
+/// An axis-aligned rectangle in (u, v) face coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UvRect {
+    pub u_lo: f64,
+    pub u_hi: f64,
+    pub v_lo: f64,
+    pub v_hi: f64,
+}
+
+impl UvRect {
+    /// Containment of a uv point (closed).
+    #[inline]
+    pub fn contains(&self, u: f64, v: f64) -> bool {
+        u >= self.u_lo && u <= self.u_hi && v >= self.v_lo && v <= self.v_hi
+    }
+
+    /// Center of the rectangle.
+    #[inline]
+    pub fn center(&self) -> (f64, f64) {
+        (0.5 * (self.u_lo + self.u_hi), 0.5 * (self.v_lo + self.v_hi))
+    }
+}
+
+/// One polygon edge as a uv segment, with its own bbox for pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct UvEdge {
+    pub au: f64,
+    pub av: f64,
+    pub bu: f64,
+    pub bv: f64,
+    bb_u_lo: f64,
+    bb_u_hi: f64,
+    bb_v_lo: f64,
+    bb_v_hi: f64,
+}
+
+impl UvEdge {
+    fn new(au: f64, av: f64, bu: f64, bv: f64) -> UvEdge {
+        UvEdge {
+            au,
+            av,
+            bu,
+            bv,
+            bb_u_lo: au.min(bu),
+            bb_u_hi: au.max(bu),
+            bb_v_lo: av.min(bv),
+            bb_v_hi: av.max(bv),
+        }
+    }
+
+    /// Bbox-vs-rect prefilter.
+    #[inline]
+    pub fn bbox_intersects(&self, r: &UvRect) -> bool {
+        self.bb_u_lo <= r.u_hi && self.bb_u_hi >= r.u_lo && self.bb_v_lo <= r.v_hi && self.bb_v_hi >= r.v_lo
+    }
+
+    /// Exact segment-vs-rectangle intersection (either endpoint inside, or
+    /// the segment crosses one of the four rectangle edges).
+    pub fn intersects_rect(&self, r: &UvRect) -> bool {
+        if r.contains(self.au, self.av) || r.contains(self.bu, self.bv) {
+            return true;
+        }
+        // Liang–Barsky style clipping test.
+        let (mut t0, mut t1) = (0.0f64, 1.0f64);
+        let dx = self.bu - self.au;
+        let dy = self.bv - self.av;
+        let clips = [
+            (-dx, self.au - r.u_lo),
+            (dx, r.u_hi - self.au),
+            (-dy, self.av - r.v_lo),
+            (dy, r.v_hi - self.av),
+        ];
+        for (p, q) in clips {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return false;
+                }
+            } else {
+                let t = q / p;
+                if p < 0.0 {
+                    if t > t1 {
+                        return false;
+                    }
+                    if t > t0 {
+                        t0 = t;
+                    }
+                } else {
+                    if t < t0 {
+                        return false;
+                    }
+                    if t < t1 {
+                        t1 = t;
+                    }
+                }
+            }
+        }
+        t0 <= t1
+    }
+}
+
+/// A polygon in uv space with a banded edge index for fast PIP.
+#[derive(Debug)]
+pub struct UvPolygon {
+    /// The cube face this polygon lives on.
+    pub face: u8,
+    /// All edges of all rings (outer + holes).
+    pub edges: Vec<UvEdge>,
+    /// Polygon bbox in uv.
+    pub bbox: UvRect,
+    /// Banded index over `edges` by v coordinate.
+    bands: Vec<Vec<u32>>,
+    v_lo: f64,
+    inv_band_h: f64,
+}
+
+/// Error raised when a polygon cannot be projected onto one face.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiFaceError {
+    /// The two faces that were encountered.
+    pub faces: (u8, u8),
+}
+
+impl std::fmt::Display for MultiFaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "polygon spans cube faces {} and {}; single-face polygons required",
+            self.faces.0, self.faces.1
+        )
+    }
+}
+
+impl std::error::Error for MultiFaceError {}
+
+fn project(face: u8, c: Coord) -> (f64, f64) {
+    let p = LatLng::from_degrees(c.y, c.x).to_point();
+    valid_face_xyz_to_uv(face, &p)
+}
+
+impl UvPolygon {
+    /// Projects a lat/lng polygon onto its cube face.
+    pub fn from_polygon(poly: &Polygon) -> Result<UvPolygon, MultiFaceError> {
+        let first = poly.outer().vertices()[0];
+        let p0 = LatLng::from_degrees(first.y, first.x).to_point();
+        let (face, _, _) = xyz_to_face_uv(&p0);
+
+        // Validate all vertices are on the same face.
+        for ring in std::iter::once(poly.outer()).chain(poly.holes().iter()) {
+            for v in ring.vertices() {
+                let p = LatLng::from_degrees(v.y, v.x).to_point();
+                let f = s2cell::coords::face(&p);
+                if f != face {
+                    return Err(MultiFaceError { faces: (face, f) });
+                }
+            }
+        }
+
+        let mut edges = Vec::with_capacity(poly.num_vertices());
+        let mut ring_uv = |ring: &geom::Ring| {
+            let uv: Vec<(f64, f64)> = ring.vertices().iter().map(|&c| project(face, c)).collect();
+            let n = uv.len();
+            for i in 0..n {
+                let (au, av) = uv[i];
+                let (bu, bv) = uv[(i + 1) % n];
+                edges.push(UvEdge::new(au, av, bu, bv));
+            }
+        };
+        ring_uv(poly.outer());
+        for h in poly.holes() {
+            ring_uv(h);
+        }
+
+        let (mut u_lo, mut u_hi, mut v_lo, mut v_hi) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for e in &edges {
+            u_lo = u_lo.min(e.bb_u_lo);
+            u_hi = u_hi.max(e.bb_u_hi);
+            v_lo = v_lo.min(e.bb_v_lo);
+            v_hi = v_hi.max(e.bb_v_hi);
+        }
+        let bbox = UvRect { u_lo, u_hi, v_lo, v_hi };
+
+        // Banded PIP index over v.
+        let n_bands = ((edges.len() as f64).sqrt().ceil() as usize).max(1);
+        let height = (v_hi - v_lo).max(f64::MIN_POSITIVE);
+        let inv_band_h = n_bands as f64 / height;
+        let mut bands = vec![Vec::new(); n_bands];
+        for (i, e) in edges.iter().enumerate() {
+            let lo = band_idx(e.bb_v_lo, v_lo, inv_band_h, n_bands);
+            let hi = band_idx(e.bb_v_hi, v_lo, inv_band_h, n_bands);
+            for band in bands.iter_mut().take(hi + 1).skip(lo) {
+                band.push(i as u32);
+            }
+        }
+
+        Ok(UvPolygon {
+            face,
+            edges,
+            bbox,
+            bands,
+            v_lo,
+            inv_band_h,
+        })
+    }
+
+    /// Point-in-polygon in uv space (even-odd rule over all rings, so holes
+    /// are handled naturally).
+    pub fn contains_uv(&self, u: f64, v: f64) -> bool {
+        if !self.bbox.contains(u, v) {
+            return false;
+        }
+        let band = band_idx(v, self.v_lo, self.inv_band_h, self.bands.len());
+        let mut inside = false;
+        for &i in &self.bands[band] {
+            let e = &self.edges[i as usize];
+            if (e.bv > v) != (e.av > v) {
+                let u_cross = e.bu + (v - e.bv) * (e.au - e.bu) / (e.av - e.bv);
+                if u < u_cross {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Classifies `rect` against this polygon, scanning only the edge
+    /// indices in `subset` (pass `None` for all edges). On `Boundary`,
+    /// also returns the sub-subset of edges relevant inside `rect`, for the
+    /// covering recursion to pass to the four children.
+    pub fn relate_rect(&self, rect: &UvRect, subset: Option<&[u32]>) -> (CellRelation, Vec<u32>) {
+        let mut out = Vec::new();
+        let mut boundary = false;
+        let mut scan = |i: u32| {
+            let e = &self.edges[i as usize];
+            if e.bbox_intersects(rect) {
+                out.push(i);
+                if !boundary && e.intersects_rect(rect) {
+                    boundary = true;
+                }
+            }
+        };
+        match subset {
+            Some(s) => s.iter().copied().for_each(&mut scan),
+            None => (0..self.edges.len() as u32).for_each(&mut scan),
+        }
+        if boundary {
+            return (CellRelation::Boundary, out);
+        }
+        // No edge touches the rect: it is uniformly inside or outside.
+        let (cu, cv) = rect.center();
+        if self.contains_uv(cu, cv) {
+            (CellRelation::Inside, out)
+        } else {
+            (CellRelation::Outside, out)
+        }
+    }
+}
+
+#[inline]
+fn band_idx(v: f64, v_lo: f64, inv_band_h: f64, n_bands: usize) -> usize {
+    let b = ((v - v_lo) * inv_band_h) as isize;
+    b.clamp(0, n_bands as isize - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Ring};
+
+    fn nyc_square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn projection_face_is_consistent() {
+        let poly = nyc_square(-74.0, 40.7, 0.05);
+        let uv = UvPolygon::from_polygon(&poly).unwrap();
+        assert_eq!(uv.face, 4);
+        assert_eq!(uv.edges.len(), 4);
+    }
+
+    #[test]
+    fn multi_face_is_rejected() {
+        // A polygon spanning from NYC to the prime meridian crosses faces.
+        let poly = Polygon::new(
+            Ring::new(vec![
+                Coord::new(-74.0, 40.7),
+                Coord::new(0.0, 40.7),
+                Coord::new(0.0, 45.0),
+            ]),
+            vec![],
+        );
+        assert!(UvPolygon::from_polygon(&poly).is_err());
+    }
+
+    #[test]
+    fn contains_uv_agrees_with_latlng_contains() {
+        let poly = nyc_square(-74.0, 40.7, 0.05);
+        let uv = UvPolygon::from_polygon(&poly).unwrap();
+        // Sample a grid around the square; projections of contained points
+        // must be contained in uv space and vice versa. (Edges here are
+        // ≤ 10 km, so arc-vs-straight discrepancy is ~cm — sample away from
+        // the boundary to stay clear of it.)
+        for i in -10..=10 {
+            for j in -10..=10 {
+                let c = Coord::new(-74.0 + i as f64 * 0.012 + 0.001, 40.7 + j as f64 * 0.012 + 0.001);
+                let (u, v) = project(uv.face, c);
+                assert_eq!(
+                    uv.contains_uv(u, v),
+                    poly.contains(c),
+                    "disagreement at {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relate_rect_classification() {
+        let poly = nyc_square(-74.0, 40.7, 0.05);
+        let uv = UvPolygon::from_polygon(&poly).unwrap();
+        // A rect well inside the square.
+        let (cu, cv) = project(uv.face, Coord::new(-74.0, 40.7));
+        let tiny = UvRect {
+            u_lo: cu - 1e-6,
+            u_hi: cu + 1e-6,
+            v_lo: cv - 1e-6,
+            v_hi: cv + 1e-6,
+        };
+        let (rel, edges) = uv.relate_rect(&tiny, None);
+        assert_eq!(rel, CellRelation::Inside);
+        assert!(edges.is_empty());
+        // A rect far away.
+        let far = UvRect {
+            u_lo: cu + 0.5,
+            u_hi: cu + 0.6,
+            v_lo: cv,
+            v_hi: cv + 0.1,
+        };
+        assert_eq!(uv.relate_rect(&far, None).0, CellRelation::Outside);
+        // A rect straddling the boundary.
+        let (bu, bv) = project(uv.face, Coord::new(-74.05, 40.7));
+        let straddle = UvRect {
+            u_lo: bu - 1e-4,
+            u_hi: bu + 1e-4,
+            v_lo: bv - 1e-4,
+            v_hi: bv + 1e-4,
+        };
+        let (rel, edges) = uv.relate_rect(&straddle, None);
+        assert_eq!(rel, CellRelation::Boundary);
+        assert!(!edges.is_empty());
+    }
+
+    #[test]
+    fn relate_rect_subset_recursion_is_consistent() {
+        // Classifying with the parent's edge subset must give the same
+        // answer as classifying against all edges.
+        let poly = nyc_square(-74.0, 40.7, 0.05);
+        let uv = UvPolygon::from_polygon(&poly).unwrap();
+        let (bu, bv) = project(uv.face, Coord::new(-74.05, 40.75));
+        let parent = UvRect {
+            u_lo: bu - 1e-3,
+            u_hi: bu + 1e-3,
+            v_lo: bv - 1e-3,
+            v_hi: bv + 1e-3,
+        };
+        let (_, subset) = uv.relate_rect(&parent, None);
+        let child = UvRect {
+            u_lo: bu - 1e-3,
+            u_hi: bu,
+            v_lo: bv - 1e-3,
+            v_hi: bv,
+        };
+        let (rel_full, _) = uv.relate_rect(&child, None);
+        let (rel_sub, _) = uv.relate_rect(&child, Some(&subset));
+        assert_eq!(rel_full, rel_sub);
+    }
+
+    #[test]
+    fn segment_rect_intersection_cases() {
+        let r = UvRect { u_lo: 0.0, u_hi: 1.0, v_lo: 0.0, v_hi: 1.0 };
+        // Fully inside.
+        assert!(UvEdge::new(0.2, 0.2, 0.8, 0.8).intersects_rect(&r));
+        // Crossing through.
+        assert!(UvEdge::new(-1.0, 0.5, 2.0, 0.5).intersects_rect(&r));
+        // Diagonal crossing a corner region.
+        assert!(UvEdge::new(-0.5, 0.5, 0.5, 1.5).intersects_rect(&r));
+        // Outside, parallel.
+        assert!(!UvEdge::new(-1.0, 2.0, 2.0, 2.0).intersects_rect(&r));
+        // Diagonal near-miss of the corner.
+        assert!(!UvEdge::new(1.5, 0.5, 0.5, 1.6).intersects_rect(&r));
+        // Touching an edge exactly.
+        assert!(UvEdge::new(1.0, 0.2, 2.0, 0.2).intersects_rect(&r));
+    }
+
+    #[test]
+    fn donut_pip_in_uv() {
+        let outer = Ring::new(vec![
+            Coord::new(-74.1, 40.6),
+            Coord::new(-73.9, 40.6),
+            Coord::new(-73.9, 40.8),
+            Coord::new(-74.1, 40.8),
+        ]);
+        let hole = Ring::new(vec![
+            Coord::new(-74.05, 40.65),
+            Coord::new(-73.95, 40.65),
+            Coord::new(-73.95, 40.75),
+            Coord::new(-74.05, 40.75),
+        ]);
+        let poly = Polygon::new(outer, vec![hole]);
+        let uv = UvPolygon::from_polygon(&poly).unwrap();
+        let probe = |c: Coord| {
+            let (u, v) = project(uv.face, c);
+            uv.contains_uv(u, v)
+        };
+        assert!(probe(Coord::new(-74.08, 40.62))); // in ring, not hole
+        assert!(!probe(Coord::new(-74.0, 40.7))); // in hole
+        assert!(!probe(Coord::new(-74.3, 40.7))); // outside
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the ACT core: trie ≡ model, super-covering
+//! semantics preservation, the precision guarantee, and index agreement.
+
+use act_core::supercover::build_from_pairs;
+use act_core::{
+    ActIndex, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex,
+};
+use geom::{Coord, Polygon, Ring};
+use proptest::prelude::*;
+use s2cell::{CellId, LatLng};
+
+fn arb_nyc_latlng() -> impl Strategy<Value = LatLng> {
+    (40.5f64..40.9, -74.2f64..-73.8).prop_map(|(lat, lng)| LatLng::from_degrees(lat, lng))
+}
+
+/// Random (cell, ref) pairs around NYC; cells may duplicate and nest —
+/// exactly what the super covering must resolve.
+fn arb_pairs() -> impl Strategy<Value = Vec<(CellId, PolygonRef)>> {
+    proptest::collection::vec(
+        (arb_nyc_latlng(), 6u8..=24, 0u32..6, proptest::bool::ANY),
+        1..24,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(ll, level, id, interior)| {
+                (CellId::from_latlng(ll).parent(level), PolygonRef { id, interior })
+            })
+            .collect()
+    })
+}
+
+/// The reference semantics of a covering pair set at a leaf: the merged
+/// refs of *all* input cells containing the leaf, true-hit winning on
+/// duplicates.
+fn model_refs_at(pairs: &[(CellId, PolygonRef)], leaf: CellId) -> Vec<PolygonRef> {
+    let mut out: Vec<PolygonRef> = Vec::new();
+    for &(cell, r) in pairs {
+        if cell.contains(leaf) {
+            match out.iter_mut().find(|x| x.id == r.id) {
+                Some(x) => x.interior |= r.interior,
+                None => out.push(r),
+            }
+        }
+    }
+    out.sort_by_key(|r| r.id);
+    out
+}
+
+fn resolve(index_probe: Probe, table: &act_core::LookupTable) -> Vec<PolygonRef> {
+    let mut v: Vec<PolygonRef> = act_core::resolve_probe(index_probe, table)
+        .map(|(id, interior)| PolygonRef { id, interior })
+        .collect();
+    v.sort_by_key(|r| r.id);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flagship property: for ANY set of (possibly nested, possibly
+    /// duplicated) covering pairs, the super covering + trie answer every
+    /// leaf query exactly like the naive "check all cells" model.
+    #[test]
+    fn supercover_and_trie_preserve_semantics(pairs in arb_pairs(), probes in proptest::collection::vec(arb_nyc_latlng(), 16)) {
+        let sc = build_from_pairs(pairs.clone());
+
+        // Structural invariant: cells are unique and non-nested.
+        let mut sorted: Vec<CellId> = sc.cells.iter().map(|(c, _)| *c).collect();
+        sorted.sort_by_key(|c| c.range_min().0);
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].range_max().0 < w[1].range_min().0,
+                "cells overlap: {:?} {:?}", w[0], w[1]);
+        }
+
+        // Build the trie.
+        let mut act = act_core::Act::new();
+        let mut tb = LookupTableBuilder::new();
+        for (cell, refs) in &sc.cells {
+            act.insert(*cell, refs, &mut tb);
+        }
+        let table = tb.build();
+
+        // Semantic equivalence at probe leaves + at every input cell's
+        // own center leaf (guaranteed interesting points).
+        let mut leaves: Vec<CellId> = probes.iter().map(|&ll| CellId::from_latlng(ll)).collect();
+        for (cell, _) in &pairs {
+            leaves.push(cell.range_min());
+            leaves.push(cell.range_max());
+        }
+        for leaf in leaves {
+            let expected = model_refs_at(&pairs, leaf);
+            let got = resolve(act.lookup(leaf), &table);
+            prop_assert_eq!(got, expected, "at leaf {:?}", leaf);
+        }
+    }
+
+    /// The sorted-array index answers identically to the trie.
+    #[test]
+    fn sorted_index_equals_trie(pairs in arb_pairs(), probes in proptest::collection::vec(arb_nyc_latlng(), 16)) {
+        let sc = build_from_pairs(pairs.clone());
+        let sorted = SortedCellIndex::build(&sc);
+        let mut act = act_core::Act::new();
+        let mut tb = LookupTableBuilder::new();
+        for (cell, refs) in &sc.cells {
+            act.insert(*cell, refs, &mut tb);
+        }
+        let table = tb.build();
+        for ll in probes {
+            let leaf = CellId::from_latlng(ll);
+            let a = resolve(act.lookup(leaf), &table);
+            let s = resolve(sorted.lookup(leaf), sorted.table());
+            prop_assert_eq!(a, s);
+        }
+    }
+
+    /// RefSet::merge is order-insensitive (set semantics with
+    /// true-hit-wins).
+    #[test]
+    fn refset_merge_order_insensitive(refs in proptest::collection::vec((0u32..8, proptest::bool::ANY), 1..10)) {
+        let make = |order: &[(u32, bool)]| {
+            let mut it = order.iter();
+            let &(id, interior) = it.next().unwrap();
+            let mut s = RefSet::single(PolygonRef { id, interior });
+            for &(id, interior) in it {
+                s.merge(PolygonRef { id, interior });
+            }
+            let mut v: Vec<PolygonRef> = s.iter().collect();
+            v.sort_by_key(|r| r.id);
+            v
+        };
+        let forward = make(&refs);
+        let mut rev = refs.clone();
+        rev.reverse();
+        prop_assert_eq!(forward, make(&rev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end precision guarantee on random convex polygons: no false
+    /// negatives, and every reported match is within ε.
+    #[test]
+    fn precision_guarantee_holds(
+        angles in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 8..14),
+        cx in -74.1f64..-73.9,
+        cy in 40.6f64..40.8,
+        r_km in 0.3f64..2.0,
+        precision in prop_oneof![Just(60.0f64), Just(15.0), Just(4.0)],
+        probes in proptest::collection::vec((-0.05f64..0.05, -0.05f64..0.05), 40),
+    ) {
+        let mut sorted = angles.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
+        prop_assume!(sorted.len() >= 3);
+        let r_deg = r_km / 111.0;
+        let verts: Vec<Coord> = sorted
+            .iter()
+            .map(|&th| Coord::new(cx + r_deg * th.cos(), cy + 0.75 * r_deg * th.sin()))
+            .collect();
+        let poly = Polygon::new(Ring::new(verts), vec![]);
+        let index = ActIndex::build(std::slice::from_ref(&poly), precision).unwrap();
+
+        for (dx, dy) in probes {
+            let p = Coord::new(cx + dx, cy + dy);
+            let matched = !index.lookup_refs(p).is_empty();
+            let dist = poly.distance_meters(p);
+            if poly.contains(p) {
+                prop_assert!(matched, "false negative at {} (dist {})", p, dist);
+            }
+            if matched {
+                prop_assert!(
+                    dist <= precision * 1.0001,
+                    "match at distance {} exceeds ε = {}", dist, precision
+                );
+            }
+            // Contrapositive: far points never match.
+            if dist > precision * 1.0001 {
+                prop_assert!(!matched);
+            }
+        }
+    }
+
+    /// True hits are always geometrically exact.
+    #[test]
+    fn true_hits_are_exact(
+        cx in -74.1f64..-73.9,
+        cy in 40.6f64..40.8,
+        half in 0.002f64..0.03,
+        probes in proptest::collection::vec((-0.05f64..0.05, -0.05f64..0.05), 30),
+    ) {
+        let poly = Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        );
+        let index = ActIndex::build(std::slice::from_ref(&poly), 15.0).unwrap();
+        for (dx, dy) in probes {
+            let p = Coord::new(cx + dx, cy + dy);
+            for (_, interior) in index.lookup_refs(p) {
+                if interior {
+                    prop_assert!(poly.contains(p), "true hit outside polygon at {}", p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Fractal edge refinement by midpoint displacement.
+//!
+//! The real NYC polygon datasets have intricate shared boundaries
+//! (coastlines, street grids). We reproduce that characteristic with
+//! midpoint displacement: each lattice edge is recursively subdivided, the
+//! midpoint displaced perpendicular to the edge by a random fraction of the
+//! segment length. The displacement RNG is seeded from the *endpoint
+//! coordinates* ([`edge_key`]), so the two polygons sharing an edge derive
+//! byte-identical polylines — the partition stays a partition.
+
+use crate::rng::{edge_key, mix, Rng64};
+use geom::Coord;
+
+/// Parameters for fractal refinement of one edge.
+#[derive(Debug, Clone, Copy)]
+pub struct FractalParams {
+    /// Number of subdivision rounds; the refined edge has `2^depth` segments.
+    pub depth: u32,
+    /// Initial perpendicular displacement as a fraction of segment length.
+    /// Values ≤ 0.35 keep the polyline within a lens around the edge so
+    /// adjacent edges of a lattice cell cannot cross (jitter permitting).
+    pub roughness: f64,
+    /// Global dataset seed, mixed into every edge's RNG.
+    pub seed: u64,
+}
+
+/// Refines the directed edge `a -> b`, returning the interior polyline
+/// **excluding** both endpoints (so rings can be concatenated without
+/// duplicates). Direction-independent: `refine_edge(a, b)` is the reverse
+/// of `refine_edge(b, a)`.
+pub fn refine_edge(a: Coord, b: Coord, params: &FractalParams) -> Vec<Coord> {
+    if params.depth == 0 {
+        return Vec::new();
+    }
+    // Canonical direction so both sides of the edge agree.
+    let flip = (b.x, b.y) < (a.x, a.y);
+    let (lo, hi) = if flip { (b, a) } else { (a, b) };
+    let mut pts = Vec::with_capacity((1usize << params.depth) + 1);
+    pts.push(lo);
+    subdivide(
+        lo,
+        hi,
+        params.depth,
+        params.roughness,
+        mix(params.seed, edge_key(lo.x, lo.y, hi.x, hi.y)),
+        &mut pts,
+    );
+    pts.push(hi);
+    // Drop the endpoints; reverse if we flipped.
+    pts.remove(0);
+    pts.pop();
+    if flip {
+        pts.reverse();
+    }
+    pts
+}
+
+fn subdivide(a: Coord, b: Coord, depth: u32, roughness: f64, seed: u64, out: &mut Vec<Coord>) {
+    if depth == 0 {
+        return;
+    }
+    let mid = Coord::new(0.5 * (a.x + b.x), 0.5 * (a.y + b.y));
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    // Perpendicular unit vector.
+    let (px, py) = if len > 0.0 { (-dy / len, dx / len) } else { (0.0, 0.0) };
+    let mut rng = Rng64::new(seed);
+    let disp = rng.next_signed() * roughness * len;
+    let m = Coord::new(mid.x + px * disp, mid.y + py * disp);
+    // Halve roughness each level: classic 1/f displacement.
+    subdivide(a, m, depth - 1, roughness * 0.5, mix(seed, 1), out);
+    out.push(m);
+    subdivide(m, b, depth - 1, roughness * 0.5, mix(seed, 2), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: FractalParams = FractalParams {
+        depth: 4,
+        roughness: 0.25,
+        seed: 99,
+    };
+
+    #[test]
+    fn segment_count() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 0.0);
+        let pts = refine_edge(a, b, &P);
+        // 2^4 segments => 15 interior points.
+        assert_eq!(pts.len(), 15);
+        let zero = FractalParams { depth: 0, ..P };
+        assert!(refine_edge(a, b, &zero).is_empty());
+    }
+
+    #[test]
+    fn direction_independence() {
+        let a = Coord::new(-74.1, 40.62);
+        let b = Coord::new(-73.93, 40.71);
+        let fwd = refine_edge(a, b, &P);
+        let mut rev = refine_edge(b, a, &P);
+        rev.reverse();
+        assert_eq!(fwd, rev, "shared edges must agree in both directions");
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 1.0);
+        assert_eq!(refine_edge(a, b, &P), refine_edge(a, b, &P));
+        let other = FractalParams { seed: 100, ..P };
+        assert_ne!(refine_edge(a, b, &P), refine_edge(a, b, &other));
+    }
+
+    #[test]
+    fn displacement_is_bounded() {
+        // All interior points stay within roughness·len of the base line
+        // (geometric series with ratio 1/2 doubles the worst case).
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 0.0);
+        let pts = refine_edge(a, b, &P);
+        for p in pts {
+            assert!(p.y.abs() <= 2.0 * P.roughness, "excursion {}", p.y);
+            assert!(p.x > 0.0 && p.x < 1.0);
+        }
+    }
+
+    #[test]
+    fn monotone_progress_along_edge() {
+        // With roughness ≤ 0.35 the polyline must not loop back on itself
+        // along the edge direction (a necessary condition for simple rings).
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(2.0, 0.0);
+        let pts = refine_edge(a, b, &FractalParams { depth: 6, roughness: 0.3, seed: 5 });
+        let mut last_x = 0.0;
+        for p in &pts {
+            assert!(p.x >= last_x - 0.25, "large backtrack at {p}");
+            last_x = p.x;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Jittered-lattice polygon partitions.
+//!
+//! The three NYC polygon datasets of the paper (boroughs, neighborhoods,
+//! census blocks) are *planar partitions* of the city: polygons tile the
+//! area without overlaps. We synthesize equivalents by:
+//!
+//! 1. laying an `nx × ny` lattice of points over the bounding box,
+//! 2. jittering interior lattice points (border points stay put so the
+//!    union of the polygons is exactly the box),
+//! 3. refining every lattice edge with deterministic midpoint displacement
+//!    ([`crate::fractal`]) keyed on the edge's endpoints, so the two cells
+//!    sharing an edge agree on the refined boundary,
+//! 4. assembling each cell's ring from its four refined edges.
+//!
+//! The result: `nx · ny` simple polygons that tile the box, with vertex
+//! complexity controlled by the fractal depth.
+
+use crate::fractal::{refine_edge, FractalParams};
+use crate::rng::{mix, Rng64};
+use geom::{Coord, Polygon, Rect, Ring};
+
+/// Parameters of a lattice partition.
+#[derive(Debug, Clone)]
+pub struct LatticeParams {
+    /// Number of cells horizontally.
+    pub nx: usize,
+    /// Number of cells vertically.
+    pub ny: usize,
+    /// Bounding box to partition.
+    pub bbox: Rect,
+    /// Jitter of interior lattice points as a fraction of cell spacing
+    /// (≤ 0.35 keeps cells simple when combined with fractal roughness ≤ 0.3).
+    pub jitter: f64,
+    /// Fractal refinement of the cell boundaries.
+    pub fractal: FractalParams,
+    /// Fraction of cells that receive a rectangular hole (0.0 to disable).
+    pub hole_fraction: f64,
+}
+
+/// Generates the partition. Returns `nx · ny` polygons in row-major order.
+pub fn generate(params: &LatticeParams) -> Vec<Polygon> {
+    let LatticeParams {
+        nx,
+        ny,
+        bbox,
+        jitter,
+        fractal,
+        hole_fraction,
+    } = params;
+    let (nx, ny) = (*nx, *ny);
+    assert!(nx >= 1 && ny >= 1, "lattice must have at least one cell");
+
+    let dx = (bbox.max.x - bbox.min.x) / nx as f64;
+    let dy = (bbox.max.y - bbox.min.y) / ny as f64;
+
+    // Lattice points with deterministic jitter on interior points.
+    let pt = |i: usize, j: usize| -> Coord {
+        let base_x = bbox.min.x + i as f64 * dx;
+        let base_y = bbox.min.y + j as f64 * dy;
+        if i == 0 || i == nx || j == 0 || j == ny {
+            return Coord::new(base_x, base_y);
+        }
+        let mut rng = Rng64::new(mix(fractal.seed, (i as u64) << 32 | j as u64));
+        Coord::new(
+            base_x + rng.next_signed() * jitter * dx,
+            base_y + rng.next_signed() * jitter * dy,
+        )
+    };
+
+    // Edges lying on the bounding-box border stay straight so the union of
+    // the polygons is exactly the box (no gaps, no spill-over).
+    let on_border = |a: Coord, b: Coord| -> bool {
+        (a.x == bbox.min.x && b.x == bbox.min.x)
+            || (a.x == bbox.max.x && b.x == bbox.max.x)
+            || (a.y == bbox.min.y && b.y == bbox.min.y)
+            || (a.y == bbox.max.y && b.y == bbox.max.y)
+    };
+    let refine = |a: Coord, b: Coord| -> Vec<Coord> {
+        if on_border(a, b) {
+            Vec::new()
+        } else {
+            refine_edge(a, b, fractal)
+        }
+    };
+
+    let mut polygons = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let c00 = pt(i, j);
+            let c10 = pt(i + 1, j);
+            let c11 = pt(i + 1, j + 1);
+            let c01 = pt(i, j + 1);
+            // CCW ring: bottom, right, top (reversed), left (reversed).
+            let mut v = Vec::new();
+            v.push(c00);
+            v.extend(refine(c00, c10));
+            v.push(c10);
+            v.extend(refine(c10, c11));
+            v.push(c11);
+            v.extend(refine(c11, c01));
+            v.push(c01);
+            v.extend(refine(c01, c00));
+
+            let holes = if *hole_fraction > 0.0 {
+                let mut rng = Rng64::new(mix(
+                    fractal.seed ^ HOLE_SALT,
+                    (i as u64) << 32 | j as u64,
+                ));
+                if rng.next_f64() < *hole_fraction {
+                    vec![make_hole(c00, c10, c11, c01, &mut rng)]
+                } else {
+                    Vec::new()
+                }
+            } else {
+                Vec::new()
+            };
+
+            polygons.push(Polygon::new(Ring::new(v), holes));
+        }
+    }
+    polygons
+}
+
+/// Salt separating the hole RNG stream from the jitter stream.
+const HOLE_SALT: u64 = 0x484F_4C45; // "HOLE"
+
+/// A small rectangle around the quad centroid — safely inside the cell as
+/// long as jitter + roughness keep boundary excursions under ~60% of the
+/// half-spacing (the presets do).
+fn make_hole(c00: Coord, c10: Coord, c11: Coord, c01: Coord, rng: &mut Rng64) -> Ring {
+    let cx = 0.25 * (c00.x + c10.x + c11.x + c01.x);
+    let cy = 0.25 * (c00.y + c10.y + c11.y + c01.y);
+    let w = 0.08 * ((c10.x - c00.x).abs() + (c11.x - c01.x).abs()) * rng.range(0.5, 1.0);
+    let h = 0.08 * ((c01.y - c00.y).abs() + (c11.y - c10.y).abs()) * rng.range(0.5, 1.0);
+    // Holes are CW (opposite of the CCW outer ring) by convention.
+    Ring::new(vec![
+        Coord::new(cx - w, cy - h),
+        Coord::new(cx - w, cy + h),
+        Coord::new(cx + w, cy + h),
+        Coord::new(cx + w, cy - h),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(nx: usize, ny: usize, depth: u32, holes: f64) -> LatticeParams {
+        LatticeParams {
+            nx,
+            ny,
+            bbox: Rect::new(Coord::new(-74.26, 40.49), Coord::new(-73.70, 40.92)),
+            jitter: 0.3,
+            fractal: FractalParams {
+                depth,
+                roughness: 0.25,
+                seed: 42,
+            },
+            hole_fraction: holes,
+        }
+    }
+
+    #[test]
+    fn cell_count_and_determinism() {
+        let p = small_params(4, 3, 2, 0.0);
+        let polys = generate(&p);
+        assert_eq!(polys.len(), 12);
+        let again = generate(&p);
+        assert_eq!(polys, again);
+    }
+
+    #[test]
+    fn vertex_complexity_scales_with_depth() {
+        // An interior cell of a 4×4 lattice has 4 fractal edges, so it has
+        // 4 + 4·(2^depth − 1) vertices.
+        for (depth, interior_verts) in [(0u32, 4usize), (2, 16), (4, 64)] {
+            let polys = generate(&small_params(4, 4, depth, 0.0));
+            let max = polys.iter().map(|p| p.num_vertices()).max().unwrap();
+            assert_eq!(max, interior_verts, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn rings_are_ccw_and_have_positive_area() {
+        let polys = generate(&small_params(3, 3, 3, 0.0));
+        for poly in &polys {
+            assert!(poly.outer().is_ccw(), "outer ring must be CCW");
+            assert!(poly.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn partition_tiles_the_box() {
+        // Random interior points must fall in exactly one polygon
+        // (two only in the measure-zero case of a shared edge).
+        let p = small_params(5, 4, 3, 0.0);
+        let polys = generate(&p);
+        let mut rng = Rng64::new(7);
+        for _ in 0..500 {
+            let pt = Coord::new(
+                rng.range(p.bbox.min.x, p.bbox.max.x),
+                rng.range(p.bbox.min.y, p.bbox.max.y),
+            );
+            let owners = polys.iter().filter(|poly| poly.contains(pt)).count();
+            assert!(
+                (1..=2).contains(&owners),
+                "point {pt} contained in {owners} polygons"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_edges_agree() {
+        // Adjacent cells must share their boundary exactly: the union of
+        // their areas equals the sum (no overlap beyond the shared polyline).
+        // We verify via the vertex sets: the right edge of cell (i,j) equals
+        // the reversed left edge of cell (i+1,j) — implied by refine_edge
+        // determinism, checked here end-to-end through area conservation.
+        let p = small_params(4, 4, 3, 0.0);
+        let polys = generate(&p);
+        let total: f64 = polys.iter().map(|poly| poly.area()).sum();
+        let box_area = p.bbox.area();
+        assert!(
+            (total - box_area).abs() / box_area < 1e-9,
+            "areas sum to {total}, box is {box_area}"
+        );
+    }
+
+    #[test]
+    fn holes_are_inside_their_polygon() {
+        let p = small_params(4, 4, 2, 1.0);
+        let polys = generate(&p);
+        let mut with_holes = 0;
+        for poly in &polys {
+            for h in poly.holes() {
+                with_holes += 1;
+                for v in h.vertices() {
+                    assert!(
+                        poly.outer().contains(*v),
+                        "hole vertex {v} escapes the outer ring"
+                    );
+                }
+                // A point inside the hole is not contained in the polygon.
+                let c = h.bbox().center();
+                assert!(!poly.contains(c));
+            }
+        }
+        assert!(with_holes > 0, "hole_fraction=1.0 must create holes");
+    }
+
+    #[test]
+    fn no_self_intersections_small_sample() {
+        // O(n^2) simplicity check on a small preset: no two non-adjacent
+        // edges of a ring may intersect.
+        let polys = generate(&small_params(2, 2, 3, 0.0));
+        for poly in &polys {
+            let edges: Vec<_> = poly.outer().edges().collect();
+            let n = edges.len();
+            for a in 0..n {
+                for b in (a + 2)..n {
+                    if a == 0 && b == n - 1 {
+                        continue; // adjacent via the closing edge
+                    }
+                    let (p1, p2) = edges[a];
+                    let (q1, q2) = edges[b];
+                    assert!(
+                        !geom::segments_intersect(p1, p2, q1, q2),
+                        "edges {a} and {b} intersect"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! # datagen — synthetic NYC-like workloads for the ACT reproduction
+//!
+//! The paper evaluates on three NYC polygon datasets and 1 B taxi pickup
+//! points, none of which ship with this repository. This crate generates
+//! *synthetic equivalents* that preserve what drives the experiments:
+//!
+//! | paper dataset  | polygons | character                    | preset |
+//! |----------------|----------|------------------------------|--------|
+//! | boroughs       | 5        | few, huge, very complex      | [`boroughs`] |
+//! | neighborhoods  | 289      | mid-sized, moderately complex| [`neighborhoods`] |
+//! | census blocks  | 39,184   | many, small, simple          | [`census_blocks`] |
+//!
+//! All three are **planar partitions** of the NYC bounding box (polygons
+//! tile the box without overlap), like the real datasets. Complexity is
+//! controlled by fractal boundary refinement; shared boundaries agree
+//! exactly between neighbors. Points come from a skewed hotspot mixture
+//! ([`PointGen::nyc_taxi_like`]).
+//!
+//! Everything is deterministic under a seed.
+
+pub mod fractal;
+pub mod lattice;
+pub mod points;
+pub mod rng;
+
+pub use fractal::FractalParams;
+pub use lattice::LatticeParams;
+pub use points::{Hotspot, PointGen};
+
+use geom::{Coord, Polygon, Rect};
+
+/// The NYC bounding box used by all presets:
+/// longitude −74.26 … −73.70, latitude 40.49 … 40.92.
+pub fn nyc_bbox() -> Rect {
+    Rect::new(Coord::new(-74.26, 40.49), Coord::new(-73.70, 40.92))
+}
+
+/// A named polygon dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name ("boroughs", …).
+    pub name: String,
+    /// The polygons; index = polygon id in the join.
+    pub polygons: Vec<Polygon>,
+    /// The box the polygons partition.
+    pub bbox: Rect,
+}
+
+impl Dataset {
+    /// Total vertex count over all polygons.
+    pub fn num_vertices(&self) -> usize {
+        self.polygons.iter().map(Polygon::num_vertices).sum()
+    }
+}
+
+/// Borough-like preset: 5 polygons with very complex boundaries
+/// (~16k vertices each — the paper notes boroughs are "significantly more
+/// complex" than the other datasets; real borough coastlines are intricate).
+pub fn boroughs(seed: u64) -> Dataset {
+    let params = LatticeParams {
+        nx: 5,
+        ny: 1,
+        bbox: nyc_bbox(),
+        jitter: 0.30,
+        fractal: FractalParams {
+            depth: 12, // 4096 segments per lattice edge: coastline-like
+            roughness: 0.30,
+            seed,
+        },
+        hole_fraction: 0.0,
+    };
+    Dataset {
+        name: "boroughs".into(),
+        polygons: lattice::generate(&params),
+        bbox: nyc_bbox(),
+    }
+}
+
+/// Neighborhood-like preset: 17 × 17 = 289 polygons (matching the paper's
+/// 289) with moderately complex boundaries (~130 vertices each).
+pub fn neighborhoods(seed: u64) -> Dataset {
+    let params = LatticeParams {
+        nx: 17,
+        ny: 17,
+        bbox: nyc_bbox(),
+        jitter: 0.30,
+        fractal: FractalParams {
+            depth: 5, // 32 segments per edge
+            roughness: 0.25,
+            seed,
+        },
+        hole_fraction: 0.0,
+    };
+    Dataset {
+        name: "neighborhoods".into(),
+        polygons: lattice::generate(&params),
+        bbox: nyc_bbox(),
+    }
+}
+
+/// Census-block-like preset: 248 × 158 = 39,184 polygons (exactly the
+/// paper's count) with simple boundaries (~12 vertices each).
+pub fn census_blocks(seed: u64) -> Dataset {
+    let params = LatticeParams {
+        nx: 248,
+        ny: 158,
+        bbox: nyc_bbox(),
+        jitter: 0.30,
+        fractal: FractalParams {
+            depth: 1, // 2 segments per edge
+            roughness: 0.20,
+            seed,
+        },
+        hole_fraction: 0.0,
+    };
+    Dataset {
+        name: "census".into(),
+        polygons: lattice::generate(&params),
+        bbox: nyc_bbox(),
+    }
+}
+
+/// A scaled-down census-like dataset for tests and quick benchmarks:
+/// `nx × ny` small simple polygons.
+pub fn blocks_scaled(nx: usize, ny: usize, seed: u64) -> Dataset {
+    let params = LatticeParams {
+        nx,
+        ny,
+        bbox: nyc_bbox(),
+        jitter: 0.30,
+        fractal: FractalParams {
+            depth: 1,
+            roughness: 0.20,
+            seed,
+        },
+        hole_fraction: 0.0,
+    };
+    Dataset {
+        name: format!("blocks-{nx}x{ny}"),
+        polygons: lattice::generate(&params),
+        bbox: nyc_bbox(),
+    }
+}
+
+/// A small dataset with holes, exercising the hole-handling paths.
+pub fn holed(nx: usize, ny: usize, seed: u64) -> Dataset {
+    let params = LatticeParams {
+        nx,
+        ny,
+        bbox: nyc_bbox(),
+        jitter: 0.25,
+        fractal: FractalParams {
+            depth: 2,
+            roughness: 0.20,
+            seed,
+        },
+        hole_fraction: 0.5,
+    };
+    Dataset {
+        name: format!("holed-{nx}x{ny}"),
+        polygons: lattice::generate(&params),
+        bbox: nyc_bbox(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_counts_match_paper() {
+        assert_eq!(boroughs(1).polygons.len(), 5);
+        assert_eq!(neighborhoods(1).polygons.len(), 289);
+        // census_blocks is exercised at full size in the benchmark harness;
+        // here we only verify the arithmetic matches the paper's count.
+        assert_eq!(248 * 158, 39_184);
+    }
+
+    #[test]
+    fn borough_complexity_dominates() {
+        let b = boroughs(1);
+        let n = neighborhoods(1);
+        let b_avg = b.num_vertices() / b.polygons.len();
+        let n_avg = n.num_vertices() / n.polygons.len();
+        assert!(
+            b_avg > 10 * n_avg,
+            "boroughs avg {b_avg} vs neighborhoods avg {n_avg}"
+        );
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        assert_eq!(neighborhoods(7).polygons, neighborhoods(7).polygons);
+        assert_ne!(neighborhoods(7).polygons, neighborhoods(8).polygons);
+    }
+
+    #[test]
+    fn polygons_stay_in_bbox() {
+        for ds in [neighborhoods(3), blocks_scaled(10, 8, 3)] {
+            for poly in &ds.polygons {
+                for v in poly.outer().vertices() {
+                    // Fractal displacement may push slightly past the border
+                    // edges of the box; tolerance is one cell's roughness.
+                    assert!(v.x > ds.bbox.min.x - 0.05 && v.x < ds.bbox.max.x + 0.05);
+                    assert!(v.y > ds.bbox.min.y - 0.05 && v.y < ds.bbox.max.y + 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holed_preset_has_holes() {
+        let ds = holed(4, 4, 2);
+        assert!(ds.polygons.iter().any(|p| !p.holes().is_empty()));
+    }
+}

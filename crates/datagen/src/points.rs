@@ -1,0 +1,205 @@
+//! Taxi-like query point streams.
+//!
+//! The paper joins 1 B NYC taxi pickup locations against the polygon
+//! datasets. Real pickups are heavily skewed (Manhattan hotspots) with a
+//! long uniform-ish tail across the city. We model that as a mixture of
+//! isotropic Gaussian clusters plus a uniform background, clamped to the
+//! bounding box — deterministic under a seed, and stream-generated so
+//! paper-scale (10⁹) runs never materialize the whole set.
+
+use crate::rng::{mix, Rng64};
+use geom::{Coord, Rect};
+
+/// One Gaussian hotspot of the mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// Cluster center.
+    pub center: Coord,
+    /// Standard deviation in degrees (isotropic).
+    pub sigma: f64,
+    /// Relative weight (normalized internally).
+    pub weight: f64,
+}
+
+/// A deterministic point stream: `uniform_fraction` of points are uniform in
+/// the box, the rest are drawn from the weighted hotspot mixture.
+#[derive(Debug, Clone)]
+pub struct PointGen {
+    bbox: Rect,
+    hotspots: Vec<Hotspot>,
+    cumulative: Vec<f64>,
+    uniform_fraction: f64,
+    seed: u64,
+}
+
+impl PointGen {
+    /// Creates a generator. `hotspots` may be empty, in which case all
+    /// points are uniform regardless of `uniform_fraction`.
+    pub fn new(bbox: Rect, hotspots: Vec<Hotspot>, uniform_fraction: f64, seed: u64) -> PointGen {
+        let total: f64 = hotspots.iter().map(|h| h.weight).sum();
+        let mut acc = 0.0;
+        let cumulative = hotspots
+            .iter()
+            .map(|h| {
+                acc += h.weight / total.max(f64::MIN_POSITIVE);
+                acc
+            })
+            .collect();
+        PointGen {
+            bbox,
+            hotspots,
+            cumulative,
+            uniform_fraction: uniform_fraction.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// A uniform-only generator over the box.
+    pub fn uniform(bbox: Rect, seed: u64) -> PointGen {
+        PointGen::new(bbox, Vec::new(), 1.0, seed)
+    }
+
+    /// The NYC-like default: three Manhattan-ish hotspots + two outer-borough
+    /// ones, 30% uniform background. Mirrors the skew of the taxi dataset.
+    pub fn nyc_taxi_like(bbox: Rect, seed: u64) -> PointGen {
+        let w = bbox.max.x - bbox.min.x;
+        let h = bbox.max.y - bbox.min.y;
+        let at = |fx: f64, fy: f64| Coord::new(bbox.min.x + fx * w, bbox.min.y + fy * h);
+        PointGen::new(
+            bbox,
+            vec![
+                // Midtown-like: dense, tight.
+                Hotspot { center: at(0.52, 0.62), sigma: 0.015 * w, weight: 4.0 },
+                // Downtown-like.
+                Hotspot { center: at(0.48, 0.52), sigma: 0.020 * w, weight: 2.5 },
+                // Airport-like (east).
+                Hotspot { center: at(0.80, 0.45), sigma: 0.012 * w, weight: 1.5 },
+                // Brooklyn-like spread.
+                Hotspot { center: at(0.60, 0.35), sigma: 0.060 * w, weight: 1.5 },
+                // Bronx-like spread.
+                Hotspot { center: at(0.55, 0.85), sigma: 0.050 * w, weight: 1.0 },
+            ],
+            0.30,
+            seed,
+        )
+    }
+
+    /// The bounding box points are clamped to.
+    #[inline]
+    pub fn bbox(&self) -> &Rect {
+        &self.bbox
+    }
+
+    /// Generates the `idx`-th point of the stream. Random-access: chunks of
+    /// the stream can be generated independently (and in parallel) without
+    /// sequential state.
+    pub fn point_at(&self, idx: u64) -> Coord {
+        let mut rng = Rng64::new(mix(self.seed, idx));
+        let u = rng.next_f64();
+        if self.hotspots.is_empty() || u < self.uniform_fraction {
+            return Coord::new(
+                rng.range(self.bbox.min.x, self.bbox.max.x),
+                rng.range(self.bbox.min.y, self.bbox.max.y),
+            );
+        }
+        // Pick a hotspot by cumulative weight.
+        let pick = rng.next_f64();
+        let mut k = 0;
+        while k + 1 < self.cumulative.len() && pick > self.cumulative[k] {
+            k += 1;
+        }
+        let hs = &self.hotspots[k];
+        let x = hs.center.x + rng.next_gaussian() * hs.sigma;
+        let y = hs.center.y + rng.next_gaussian() * hs.sigma;
+        Coord::new(
+            x.clamp(self.bbox.min.x, self.bbox.max.x),
+            y.clamp(self.bbox.min.y, self.bbox.max.y),
+        )
+    }
+
+    /// Materializes points `[0, n)`.
+    pub fn take_vec(&self, n: usize) -> Vec<Coord> {
+        (0..n as u64).map(|i| self.point_at(i)).collect()
+    }
+
+    /// An iterator over points `[start, start + n)`.
+    pub fn iter_range(&self, start: u64, n: u64) -> impl Iterator<Item = Coord> + '_ {
+        (start..start + n).map(move |i| self.point_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc_box() -> Rect {
+        Rect::new(Coord::new(-74.26, 40.49), Coord::new(-73.70, 40.92))
+    }
+
+    #[test]
+    fn all_points_in_bbox() {
+        let g = PointGen::nyc_taxi_like(nyc_box(), 1);
+        for p in g.iter_range(0, 5_000) {
+            assert!(g.bbox().contains(p), "{p} escapes the box");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_random_access() {
+        let g1 = PointGen::nyc_taxi_like(nyc_box(), 5);
+        let g2 = PointGen::nyc_taxi_like(nyc_box(), 5);
+        let v1 = g1.take_vec(1000);
+        // Random access must agree with sequential generation.
+        assert_eq!(v1[123], g2.point_at(123));
+        assert_eq!(v1[999], g2.point_at(999));
+        // Different seed, different stream.
+        let g3 = PointGen::nyc_taxi_like(nyc_box(), 6);
+        assert_ne!(v1[0], g3.point_at(0));
+    }
+
+    #[test]
+    fn skew_is_present() {
+        // The hotspot mixture must concentrate mass: the densest 10% of a
+        // coarse grid should hold far more than 10% of the points.
+        let g = PointGen::nyc_taxi_like(nyc_box(), 2);
+        let n = 20_000usize;
+        let grid = 20usize;
+        let mut counts = vec![0usize; grid * grid];
+        let b = nyc_box();
+        for p in g.iter_range(0, n as u64) {
+            let gx = (((p.x - b.min.x) / (b.max.x - b.min.x)) * grid as f64)
+                .clamp(0.0, grid as f64 - 1.0) as usize;
+            let gy = (((p.y - b.min.y) / (b.max.y - b.min.y)) * grid as f64)
+                .clamp(0.0, grid as f64 - 1.0) as usize;
+            counts[gy * grid + gx] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10pct: usize = counts.iter().take(grid * grid / 10).sum();
+        assert!(
+            top10pct as f64 > 0.4 * n as f64,
+            "top decile holds only {top10pct}/{n}"
+        );
+    }
+
+    #[test]
+    fn uniform_generator_is_roughly_uniform() {
+        let g = PointGen::uniform(nyc_box(), 3);
+        let n = 20_000usize;
+        let mut left = 0usize;
+        for p in g.iter_range(0, n as u64) {
+            if p.x < (nyc_box().min.x + nyc_box().max.x) / 2.0 {
+                left += 1;
+            }
+        }
+        let frac = left as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "left fraction {frac}");
+    }
+
+    #[test]
+    fn empty_hotspots_fall_back_to_uniform() {
+        let g = PointGen::new(nyc_box(), Vec::new(), 0.0, 9);
+        for p in g.iter_range(0, 100) {
+            assert!(g.bbox().contains(p));
+        }
+    }
+}

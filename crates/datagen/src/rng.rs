@@ -1,0 +1,154 @@
+//! Small deterministic RNG utilities.
+//!
+//! The generators must be reproducible across runs and platforms, and must
+//! be able to derive *independent* streams from structured keys (e.g. "the
+//! lattice edge between these two points"), so that two polygons sharing an
+//! edge derive the exact same fractal refinement. We use SplitMix64 both as
+//! a hash and as a tiny PRNG — statistically strong enough for workload
+//! generation and fully deterministic.
+
+/// One SplitMix64 scramble step.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines a key into a seed (order-dependent).
+#[inline]
+pub fn mix(seed: u64, key: u64) -> u64 {
+    splitmix64(seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// A tiny deterministic PRNG (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 {
+            state: splitmix64(seed ^ 0x1234_5678_9ABC_DEF0),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [-1, 1).
+    #[inline]
+    pub fn next_signed(&mut self) -> f64 {
+        2.0 * self.next_f64() - 1.0
+    }
+
+    /// Uniform in [lo, hi).
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in [0, n).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Hashes the quantized coordinates of two points into an orientation-
+/// independent edge key (sorted endpoints), so both directions of traversal
+/// derive the same value.
+pub fn edge_key(ax: f64, ay: f64, bx: f64, by: f64) -> u64 {
+    let q = |v: f64| (v * 1e9).round() as i64 as u64;
+    let a = splitmix64(q(ax) ^ q(ay).rotate_left(32));
+    let b = splitmix64(q(bx) ^ q(by).rotate_left(32));
+    // Symmetric combine: xor + min/max mixing keeps direction independence.
+    splitmix64(a.min(b)).wrapping_add(splitmix64(a.max(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(Rng64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean should be near 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::new(11);
+        let n = 20_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = r.next_gaussian();
+            s1 += g;
+            s2 += g * g;
+        }
+        let mean = s1 / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn edge_key_is_symmetric() {
+        let k1 = edge_key(-74.1, 40.6, -73.9, 40.8);
+        let k2 = edge_key(-73.9, 40.8, -74.1, 40.6);
+        assert_eq!(k1, k2);
+        let k3 = edge_key(-74.1, 40.6, -73.9, 40.800001);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! 2D coordinates in degree space (x = longitude, y = latitude).
+
+use std::fmt;
+
+/// Meters per degree of latitude on a mean-radius Earth (`π·R/180`).
+pub const METERS_PER_DEG_LAT: f64 = std::f64::consts::PI * 6_371_008.8 / 180.0;
+
+/// A 2D coordinate: `x` = longitude in degrees, `y` = latitude in degrees.
+///
+/// Also used as a plain 2D vector for planar predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Coord {
+    /// Longitude in degrees.
+    pub x: f64,
+    /// Latitude in degrees.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate from (longitude, latitude) in degrees.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// Creates a coordinate from (latitude, longitude) in degrees —
+    /// the argument order used by most mapping UIs.
+    #[inline]
+    pub const fn from_lat_lng(lat: f64, lng: f64) -> Self {
+        Coord { x: lng, y: lat }
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat(&self) -> f64 {
+        self.y
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lng(&self) -> f64 {
+        self.x
+    }
+
+    /// Component-wise subtraction (vector from `o` to `self`).
+    #[inline]
+    pub fn sub(&self, o: Coord) -> Coord {
+        Coord::new(self.x - o.x, self.y - o.y)
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    #[inline]
+    pub fn cross(&self, o: Coord) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: Coord) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// Euclidean distance in *degree* units (only meaningful for
+    /// topological tolerance checks, not for metric distances).
+    #[inline]
+    pub fn distance_deg(&self, o: Coord) -> f64 {
+        ((self.x - o.x).powi(2) + (self.y - o.y).powi(2)).sqrt()
+    }
+
+    /// Approximate ground distance in meters using the local equirectangular
+    /// scale at the mean latitude. Accurate to well under 0.1% at city scale,
+    /// which is all the precision-guarantee validation needs.
+    pub fn distance_meters(&self, o: Coord) -> f64 {
+        let mean_lat = 0.5 * (self.y + o.y);
+        let kx = METERS_PER_DEG_LAT * mean_lat.to_radians().cos();
+        let dx = (self.x - o.x) * kx;
+        let dy = (self.y - o.y) * METERS_PER_DEG_LAT;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.7}, {:.7})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        let a = Coord::new(-74.0, 40.7);
+        let b = Coord::from_lat_lng(40.7, -74.0);
+        assert_eq!(a, b);
+        assert_eq!(a.lat(), 40.7);
+        assert_eq!(a.lng(), -74.0);
+    }
+
+    #[test]
+    fn cross_sign_orientation() {
+        let a = Coord::new(1.0, 0.0);
+        let b = Coord::new(0.0, 1.0);
+        assert!(a.cross(b) > 0.0); // CCW
+        assert!(b.cross(a) < 0.0); // CW
+        assert_eq!(a.cross(a), 0.0);
+    }
+
+    #[test]
+    fn meter_distance_latitude_degree() {
+        // 1° of latitude ≈ 111.2 km, independent of longitude.
+        let a = Coord::new(-74.0, 40.0);
+        let b = Coord::new(-74.0, 41.0);
+        let d = a.distance_meters(b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn meter_distance_longitude_shrinks_with_latitude() {
+        // 1° of longitude at 40.7°N ≈ cos(40.7°)·111.2 km ≈ 84.3 km.
+        let a = Coord::new(-74.0, 40.7);
+        let b = Coord::new(-73.0, 40.7);
+        let d = a.distance_meters(b);
+        let expected = METERS_PER_DEG_LAT * (40.7f64).to_radians().cos();
+        assert!((d - expected).abs() < 1.0, "got {d} expected {expected}");
+    }
+
+    #[test]
+    fn meter_distance_agrees_with_haversine_at_city_scale() {
+        // Compare against the s2cell haversine for a ~5 km Manhattan span.
+        let a = Coord::new(-73.9855, 40.7580);
+        let b = Coord::new(-74.0445, 40.6892); // Statue of Liberty
+        let planar = a.distance_meters(b);
+        // Haversine on the same mean-radius sphere gives 9123.9 m.
+        let haversine = {
+            let (lat1, lat2) = (a.y.to_radians(), b.y.to_radians());
+            let dlat = lat2 - lat1;
+            let dlng = (b.x - a.x).to_radians();
+            let h = (dlat / 2.0).sin().powi(2)
+                + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+            2.0 * h.sqrt().asin() * 6_371_008.8
+        };
+        assert!(
+            (planar - haversine).abs() < 1.0,
+            "planar {planar} vs haversine {haversine}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # geom — planar geometry primitives for the ACT geospatial join
+//!
+//! This crate provides the geometric substrate of the reproduction of
+//! Kipf et al., *Approximate Geospatial Joins with Precision Guarantees*
+//! (ICDE 2018): polygons, point-in-polygon tests, segment predicates,
+//! distances, and the polygon-versus-cell classification used when
+//! computing quadtree coverings.
+//!
+//! ## Coordinate convention
+//!
+//! All geometry lives in **geodetic degree space**: `x` is longitude and
+//! `y` is latitude, both in degrees. Topological predicates (containment,
+//! intersection) are evaluated planarly, which is exact for the city-scale
+//! polygons this system targets (the datasets span ~0.5°; the projection
+//! error of treating great-circle edges as straight lines at that scale is
+//! far below GPS accuracy). Metric quantities (distances in meters) apply
+//! the local scale factors `meters/°lat` and `meters/°lng = cos(lat)·…`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use geom::{Coord, Polygon, Ring};
+//!
+//! let square = Polygon::new(
+//!     Ring::new(vec![
+//!         Coord::new(0.0, 0.0),
+//!         Coord::new(1.0, 0.0),
+//!         Coord::new(1.0, 1.0),
+//!         Coord::new(0.0, 1.0),
+//!     ]),
+//!     vec![],
+//! );
+//! assert!(square.contains(Coord::new(0.5, 0.5)));
+//! assert!(!square.contains(Coord::new(1.5, 0.5)));
+//! ```
+
+pub mod coord;
+pub mod polygon;
+pub mod prepared;
+pub mod rect;
+pub mod ring;
+pub mod segment;
+
+pub use coord::Coord;
+pub use polygon::{MultiPolygon, Polygon};
+pub use prepared::PreparedPolygon;
+pub use rect::Rect;
+pub use ring::Ring;
+pub use segment::{orient2d, segments_intersect, Orientation};
+
+/// The relation of a (convex) cell quad to a polygon, from the cell's
+/// perspective. This drives the covering recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellRelation {
+    /// The cell is entirely outside the polygon.
+    Outside,
+    /// The cell is entirely inside the polygon (a *true hit* / interior cell).
+    Inside,
+    /// The cell intersects the polygon boundary (a *candidate* cell).
+    Boundary,
+}

@@ -1,0 +1,386 @@
+//! Polygons (outer ring + holes) and multipolygons.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+use crate::ring::Ring;
+use crate::segment::{point_segment_distance_meters, segments_intersect};
+use crate::CellRelation;
+
+/// A polygon: one outer ring plus zero or more holes.
+///
+/// Winding order is not required to follow a convention — containment uses
+/// ray casting, which is orientation-insensitive. Holes must lie inside the
+/// outer ring and must not intersect each other (the generators guarantee
+/// this; it is not validated here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    outer: Ring,
+    holes: Vec<Ring>,
+    bbox: Rect,
+}
+
+impl Polygon {
+    /// Creates a polygon from its outer ring and holes.
+    pub fn new(outer: Ring, holes: Vec<Ring>) -> Polygon {
+        let bbox = outer.bbox();
+        Polygon { outer, holes, bbox }
+    }
+
+    /// The outer ring.
+    #[inline]
+    pub fn outer(&self) -> &Ring {
+        &self.outer
+    }
+
+    /// The holes.
+    #[inline]
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Cached bounding rectangle of the outer ring.
+    #[inline]
+    pub fn bbox(&self) -> &Rect {
+        &self.bbox
+    }
+
+    /// Total number of vertices across all rings.
+    pub fn num_vertices(&self) -> usize {
+        self.outer.len() + self.holes.iter().map(Ring::len).sum::<usize>()
+    }
+
+    /// Area (outer minus holes) in degree².
+    pub fn area(&self) -> f64 {
+        self.outer.area() - self.holes.iter().map(Ring::area).sum::<f64>()
+    }
+
+    /// Point containment with closed-set semantics on the outer boundary.
+    ///
+    /// A point inside a hole is *not* contained; a point exactly on a hole
+    /// boundary *is* contained (it lies on the polygon's boundary, and the
+    /// boundary belongs to the closed polygon).
+    pub fn contains(&self, p: Coord) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        if !self.outer.contains(p) {
+            return false;
+        }
+        for h in &self.holes {
+            // `Ring::contains` is closed, so on-hole-boundary points return
+            // true there; treat them as on the polygon boundary => contained.
+            if h.contains(p) && !on_ring_boundary(h, p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over all edges of all rings.
+    pub fn all_edges(&self) -> impl Iterator<Item = (Coord, Coord)> + '_ {
+        self.outer
+            .edges()
+            .chain(self.holes.iter().flat_map(|h| h.edges()))
+    }
+
+    /// Distance from `p` to the polygon in meters: 0 if contained,
+    /// otherwise the distance to the nearest boundary edge.
+    ///
+    /// This is the quantity the paper's precision guarantee bounds: every
+    /// approximate join partner reported for `p` has
+    /// `p.distance_to_polygon ≤ ε`.
+    pub fn distance_meters(&self, p: Coord) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        let mut best = f64::MAX;
+        for (a, b) in self.all_edges() {
+            let d = point_segment_distance_meters(p, a, b);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Classifies a convex quad (e.g. the lat/lng corners of a grid cell,
+    /// given in ring order) against this polygon.
+    ///
+    /// Returns:
+    /// * [`CellRelation::Outside`]  — quad ∩ polygon = ∅
+    /// * [`CellRelation::Inside`]   — quad ⊆ polygon (true-hit cell)
+    /// * [`CellRelation::Boundary`] — the quad intersects the boundary
+    ///
+    /// Touching counts as `Boundary` (conservative: never misclassifies a
+    /// partially-covered cell as `Inside`/`Outside`).
+    pub fn relate_quad(&self, quad: &[Coord; 4]) -> CellRelation {
+        let quad_bbox = Rect::from_points(quad.iter().copied());
+        if !self.bbox.intersects(&quad_bbox) {
+            return CellRelation::Outside;
+        }
+
+        // Any polygon edge crossing any quad edge => boundary cell.
+        // The bbox pre-filter on each edge keeps this O(edges near the quad).
+        for (a, b) in self.all_edges() {
+            let edge_bbox = Rect::from_points([a, b]);
+            if !edge_bbox.intersects(&quad_bbox) {
+                continue;
+            }
+            for i in 0..4 {
+                let (q1, q2) = (quad[i], quad[(i + 1) % 4]);
+                if segments_intersect(a, b, q1, q2) {
+                    return CellRelation::Boundary;
+                }
+            }
+        }
+
+        // No edge crossings: the quad is entirely inside or outside each
+        // ring. If any ring (outer or hole) is nested inside the quad, part
+        // of the quad is on both sides of the boundary.
+        if quad_contains_point(quad, self.outer.vertices()[0]) {
+            return CellRelation::Boundary;
+        }
+        for h in &self.holes {
+            if quad_contains_point(quad, h.vertices()[0]) {
+                return CellRelation::Boundary;
+            }
+        }
+
+        // The quad is now either fully inside the polygon interior or fully
+        // outside; one representative point decides.
+        if self.contains(quad_center(quad)) {
+            CellRelation::Inside
+        } else {
+            CellRelation::Outside
+        }
+    }
+}
+
+fn quad_center(quad: &[Coord; 4]) -> Coord {
+    Coord::new(
+        0.25 * (quad[0].x + quad[1].x + quad[2].x + quad[3].x),
+        0.25 * (quad[0].y + quad[1].y + quad[2].y + quad[3].y),
+    )
+}
+
+/// Point-in-convex-quad by ray casting over the 4 edges (reuses the ring
+/// logic on a stack-allocated ring would need an allocation; inline a
+/// minimal crossing test instead).
+fn quad_contains_point(quad: &[Coord; 4], p: Coord) -> bool {
+    let mut inside = false;
+    let mut j = 3;
+    for i in 0..4 {
+        let a = quad[j];
+        let b = quad[i];
+        if (b.y > p.y) != (a.y > p.y) {
+            let x_cross = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+            if p.x < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+fn on_ring_boundary(ring: &Ring, p: Coord) -> bool {
+    use crate::segment::{on_segment, orient2d, Orientation};
+    ring.edges()
+        .any(|(a, b)| orient2d(a, b, p) == Orientation::Collinear && on_segment(a, b, p))
+}
+
+/// A collection of polygons treated as one region (e.g. a borough made of
+/// several islands).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiPolygon {
+    polygons: Vec<Polygon>,
+}
+
+impl MultiPolygon {
+    /// Creates a multipolygon from parts.
+    pub fn new(polygons: Vec<Polygon>) -> MultiPolygon {
+        MultiPolygon { polygons }
+    }
+
+    /// The parts.
+    #[inline]
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// Union bounding box.
+    pub fn bbox(&self) -> Rect {
+        let mut r = Rect::EMPTY;
+        for p in &self.polygons {
+            r.merge(p.bbox());
+        }
+        r
+    }
+
+    /// True if any part contains `p`.
+    pub fn contains(&self, p: Coord) -> bool {
+        self.polygons.iter().any(|poly| poly.contains(p))
+    }
+
+    /// Minimum distance over parts.
+    pub fn distance_meters(&self, p: Coord) -> f64 {
+        self.polygons
+            .iter()
+            .map(|poly| poly.distance_meters(p))
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// Total vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.polygons.iter().map(Polygon::num_vertices).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Ring {
+        Ring::new(vec![
+            Coord::new(x0, y0),
+            Coord::new(x1, y0),
+            Coord::new(x1, y1),
+            Coord::new(x0, y1),
+        ])
+    }
+
+    fn donut() -> Polygon {
+        Polygon::new(square(0.0, 0.0, 10.0, 10.0), vec![square(4.0, 4.0, 6.0, 6.0)])
+    }
+
+    #[test]
+    fn contains_respects_holes() {
+        let d = donut();
+        assert!(d.contains(Coord::new(1.0, 1.0)));
+        assert!(!d.contains(Coord::new(5.0, 5.0))); // in the hole
+        assert!(!d.contains(Coord::new(11.0, 5.0)));
+        // On the hole boundary: closed polygon => contained.
+        assert!(d.contains(Coord::new(4.0, 5.0)));
+        // On the outer boundary.
+        assert!(d.contains(Coord::new(0.0, 5.0)));
+    }
+
+    #[test]
+    fn area_subtracts_holes() {
+        assert_eq!(donut().area(), 100.0 - 4.0);
+        assert_eq!(donut().num_vertices(), 8);
+    }
+
+    #[test]
+    fn distance_zero_inside_positive_outside() {
+        let d = donut();
+        assert_eq!(d.distance_meters(Coord::new(1.0, 1.0)), 0.0);
+        let out = d.distance_meters(Coord::new(12.0, 5.0));
+        assert!(out > 0.0);
+        // ~2 degrees from the right edge at y=5: ~2·111km·cos(5°).
+        let expected = 2.0 * crate::coord::METERS_PER_DEG_LAT * (5.0f64).to_radians().cos();
+        assert!((out - expected).abs() / expected < 0.01, "got {out}");
+        // Inside the hole: distance to hole boundary (1 degree from edge at (5,5)).
+        let inhole = d.distance_meters(Coord::new(5.0, 5.0));
+        assert!(inhole > 0.0);
+    }
+
+    #[test]
+    fn relate_quad_basic() {
+        let d = donut();
+        let inside: [Coord; 4] = [
+            Coord::new(1.0, 1.0),
+            Coord::new(2.0, 1.0),
+            Coord::new(2.0, 2.0),
+            Coord::new(1.0, 2.0),
+        ];
+        assert_eq!(d.relate_quad(&inside), CellRelation::Inside);
+
+        let outside: [Coord; 4] = [
+            Coord::new(20.0, 20.0),
+            Coord::new(21.0, 20.0),
+            Coord::new(21.0, 21.0),
+            Coord::new(20.0, 21.0),
+        ];
+        assert_eq!(d.relate_quad(&outside), CellRelation::Outside);
+
+        let straddling: [Coord; 4] = [
+            Coord::new(9.0, 1.0),
+            Coord::new(11.0, 1.0),
+            Coord::new(11.0, 2.0),
+            Coord::new(9.0, 2.0),
+        ];
+        assert_eq!(d.relate_quad(&straddling), CellRelation::Boundary);
+    }
+
+    #[test]
+    fn relate_quad_hole_cases() {
+        let d = donut();
+        // Quad entirely within the hole: outside the polygon.
+        let in_hole: [Coord; 4] = [
+            Coord::new(4.5, 4.5),
+            Coord::new(5.5, 4.5),
+            Coord::new(5.5, 5.5),
+            Coord::new(4.5, 5.5),
+        ];
+        assert_eq!(d.relate_quad(&in_hole), CellRelation::Outside);
+        // Quad straddling the hole boundary.
+        let straddle_hole: [Coord; 4] = [
+            Coord::new(3.5, 4.5),
+            Coord::new(4.5, 4.5),
+            Coord::new(4.5, 5.5),
+            Coord::new(3.5, 5.5),
+        ];
+        assert_eq!(d.relate_quad(&straddle_hole), CellRelation::Boundary);
+        // Quad swallowing the whole hole but inside the outer ring: boundary.
+        let swallow: [Coord; 4] = [
+            Coord::new(3.0, 3.0),
+            Coord::new(7.0, 3.0),
+            Coord::new(7.0, 7.0),
+            Coord::new(3.0, 7.0),
+        ];
+        assert_eq!(d.relate_quad(&swallow), CellRelation::Boundary);
+    }
+
+    #[test]
+    fn relate_quad_polygon_inside_quad() {
+        // Tiny polygon entirely within a big quad: the quad straddles the
+        // boundary (parts are in, parts are out).
+        let tiny = Polygon::new(square(1.0, 1.0, 1.1, 1.1), vec![]);
+        let big: [Coord; 4] = [
+            Coord::new(0.0, 0.0),
+            Coord::new(5.0, 0.0),
+            Coord::new(5.0, 5.0),
+            Coord::new(0.0, 5.0),
+        ];
+        assert_eq!(tiny.relate_quad(&big), CellRelation::Boundary);
+    }
+
+    #[test]
+    fn relate_quad_touching_counts_as_boundary() {
+        let d = donut();
+        // Quad sharing exactly one edge with the polygon's outer boundary.
+        let touching: [Coord; 4] = [
+            Coord::new(10.0, 1.0),
+            Coord::new(12.0, 1.0),
+            Coord::new(12.0, 2.0),
+            Coord::new(10.0, 2.0),
+        ];
+        assert_eq!(d.relate_quad(&touching), CellRelation::Boundary);
+    }
+
+    #[test]
+    fn multipolygon_union_semantics() {
+        let mp = MultiPolygon::new(vec![
+            Polygon::new(square(0.0, 0.0, 1.0, 1.0), vec![]),
+            Polygon::new(square(5.0, 5.0, 6.0, 6.0), vec![]),
+        ]);
+        assert!(mp.contains(Coord::new(0.5, 0.5)));
+        assert!(mp.contains(Coord::new(5.5, 5.5)));
+        assert!(!mp.contains(Coord::new(3.0, 3.0)));
+        assert_eq!(mp.num_vertices(), 8);
+        assert!(mp.bbox().contains(Coord::new(3.0, 3.0)));
+        let d = mp.distance_meters(Coord::new(2.0, 0.5));
+        assert!(d > 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Prepared polygons: latitude-banded edge buckets for fast repeated
+//! point-in-polygon tests.
+//!
+//! The refinement phase of a classical filter-and-refine join performs one
+//! PIP test per candidate pair. A naive test is O(edges); borough polygons
+//! have thousands of edges. `PreparedPolygon` buckets edges by latitude
+//! band so a test only scans edges whose y-span overlaps the query's band —
+//! O(edges/bands) expected. This is our stand-in for the optimized PIP
+//! engines inside boost::geometry / GEOS prepared geometries.
+
+use crate::coord::Coord;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// An edge in the flat SoA edge list.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    ax: f64,
+    ay: f64,
+    bx: f64,
+    by: f64,
+}
+
+/// A polygon preprocessed for fast point-in-polygon queries.
+#[derive(Debug, Clone)]
+pub struct PreparedPolygon {
+    bbox: Rect,
+    y_lo: f64,
+    inv_band_height: f64,
+    /// `bands[k]` lists indices into `edges` whose y-span overlaps band `k`.
+    bands: Vec<Vec<u32>>,
+    edges: Vec<Edge>,
+}
+
+impl PreparedPolygon {
+    /// Preprocesses `poly`. `bands_hint` of 0 picks `~sqrt(edges)` bands,
+    /// which balances band-list length against per-band edge count.
+    pub fn new(poly: &Polygon, bands_hint: usize) -> PreparedPolygon {
+        let bbox = *poly.bbox();
+        let edges: Vec<Edge> = poly
+            .all_edges()
+            .map(|(a, b)| Edge {
+                ax: a.x,
+                ay: a.y,
+                bx: b.x,
+                by: b.y,
+            })
+            .collect();
+        let n_bands = if bands_hint > 0 {
+            bands_hint
+        } else {
+            ((edges.len() as f64).sqrt().ceil() as usize).max(1)
+        };
+        let y_lo = bbox.min.y;
+        let height = (bbox.max.y - y_lo).max(f64::MIN_POSITIVE);
+        let inv_band_height = n_bands as f64 / height;
+        let mut bands = vec![Vec::new(); n_bands];
+        for (idx, e) in edges.iter().enumerate() {
+            let lo = band_of(e.ay.min(e.by), y_lo, inv_band_height, n_bands);
+            let hi = band_of(e.ay.max(e.by), y_lo, inv_band_height, n_bands);
+            for band in bands.iter_mut().take(hi + 1).skip(lo) {
+                band.push(idx as u32);
+            }
+        }
+        PreparedPolygon {
+            bbox,
+            y_lo,
+            inv_band_height,
+            bands,
+            edges,
+        }
+    }
+
+    /// The polygon's bounding box.
+    #[inline]
+    pub fn bbox(&self) -> &Rect {
+        &self.bbox
+    }
+
+    /// Point containment (crossing number over the point's latitude band).
+    ///
+    /// Boundary semantics differ slightly from [`Polygon::contains`]: points
+    /// exactly on an edge follow the half-open crossing rule rather than
+    /// closed-set semantics. For the join this is irrelevant — measure-zero
+    /// inputs — and it is what a production refinement engine does.
+    pub fn contains(&self, p: Coord) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let band = band_of(p.y, self.y_lo, self.inv_band_height, self.bands.len());
+        let mut inside = false;
+        for &idx in &self.bands[band] {
+            let e = &self.edges[idx as usize];
+            if (e.by > p.y) != (e.ay > p.y) {
+                let x_cross = e.bx + (p.y - e.by) * (e.ax - e.bx) / (e.ay - e.by);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Number of edges indexed.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Approximate heap memory used, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + self
+                .bands
+                .iter()
+                .map(|b| b.len() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
+    }
+}
+
+#[inline]
+fn band_of(y: f64, y_lo: f64, inv_band_height: f64, n_bands: usize) -> usize {
+    let b = ((y - y_lo) * inv_band_height) as isize;
+    b.clamp(0, n_bands as isize - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Ring;
+
+    fn star(n: usize) -> Polygon {
+        // A spiky star polygon around the origin — lots of concavity.
+        let mut v = Vec::new();
+        for k in 0..(2 * n) {
+            let r = if k % 2 == 0 { 1.0 } else { 0.4 };
+            let th = std::f64::consts::PI * k as f64 / n as f64;
+            v.push(Coord::new(r * th.cos(), r * th.sin()));
+        }
+        Polygon::new(Ring::new(v), vec![])
+    }
+
+    #[test]
+    fn agrees_with_polygon_contains_on_grid() {
+        let poly = star(12);
+        let prep = PreparedPolygon::new(&poly, 0);
+        assert_eq!(prep.num_edges(), 24);
+        let mut checked = 0;
+        for i in -11..=11 {
+            for j in -11..=11 {
+                let p = Coord::new(i as f64 / 10.0 + 0.003, j as f64 / 10.0 + 0.007);
+                assert_eq!(
+                    prep.contains(p),
+                    poly.contains(p),
+                    "disagreement at {p}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 500);
+    }
+
+    #[test]
+    fn band_count_is_respected() {
+        let poly = star(50);
+        for bands in [1usize, 2, 7, 64] {
+            let prep = PreparedPolygon::new(&poly, bands);
+            assert_eq!(prep.bands.len(), bands);
+            // Same answers regardless of band count.
+            for p in [
+                Coord::new(0.0, 0.0),
+                Coord::new(0.9, 0.0),
+                Coord::new(2.0, 2.0),
+                Coord::new(-0.5, 0.1),
+            ] {
+                assert_eq!(prep.contains(p), poly.contains(p), "bands={bands} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let prep = PreparedPolygon::new(&star(10), 0);
+        assert!(prep.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Axis-aligned bounding rectangles (MBRs).
+
+use crate::coord::Coord;
+
+/// An axis-aligned rectangle in degree space; the minimum bounding
+/// rectangle (MBR) type used by the R-tree baseline and by generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Coord,
+    pub max: Coord,
+}
+
+impl Rect {
+    /// An "empty" rectangle that behaves as the identity for
+    /// [`Rect::expand_to`] (contains nothing, min > max).
+    pub const EMPTY: Rect = Rect {
+        min: Coord::new(f64::MAX, f64::MAX),
+        max: Coord::new(f64::MIN, f64::MIN),
+    };
+
+    /// Creates a rectangle from corner coordinates.
+    #[inline]
+    pub fn new(min: Coord, max: Coord) -> Rect {
+        Rect { min, max }
+    }
+
+    /// The tight bound of a point set. Returns [`Rect::EMPTY`] for an empty
+    /// iterator.
+    pub fn from_points<I: IntoIterator<Item = Coord>>(pts: I) -> Rect {
+        let mut r = Rect::EMPTY;
+        for p in pts {
+            r.expand_to(p);
+        }
+        r
+    }
+
+    /// True if min > max on either axis (contains nothing).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Grows this rectangle to include `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: Coord) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grows this rectangle to include another rectangle.
+    #[inline]
+    pub fn merge(&mut self, o: &Rect) {
+        self.min.x = self.min.x.min(o.min.x);
+        self.min.y = self.min.y.min(o.min.y);
+        self.max.x = self.max.x.max(o.max.x);
+        self.max.y = self.max.y.max(o.max.y);
+    }
+
+    /// The union of two rectangles.
+    #[inline]
+    pub fn merged(&self, o: &Rect) -> Rect {
+        let mut r = *self;
+        r.merge(o);
+        r
+    }
+
+    /// Closed-set point containment.
+    #[inline]
+    pub fn contains(&self, p: Coord) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if the (closed) rectangles overlap.
+    #[inline]
+    pub fn intersects(&self, o: &Rect) -> bool {
+        self.min.x <= o.max.x && self.max.x >= o.min.x && self.min.y <= o.max.y && self.max.y >= o.min.y
+    }
+
+    /// True if `o` lies entirely within this rectangle.
+    #[inline]
+    pub fn contains_rect(&self, o: &Rect) -> bool {
+        o.min.x >= self.min.x && o.max.x <= self.max.x && o.min.y >= self.min.y && o.max.y <= self.max.y
+    }
+
+    /// Area in degree² (zero for empty rects).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max.x - self.min.x) * (self.max.y - self.min.y)
+        }
+    }
+
+    /// Half-perimeter in degrees (the R*-tree "margin" measure).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max.x - self.min.x) + (self.max.y - self.min.y)
+        }
+    }
+
+    /// Area of the intersection with `o` in degree².
+    #[inline]
+    pub fn intersection_area(&self, o: &Rect) -> f64 {
+        let w = (self.max.x.min(o.max.x) - self.min.x.max(o.min.x)).max(0.0);
+        let h = (self.max.y.min(o.max.y) - self.min.y.max(o.min.y)).max(0.0);
+        w * h
+    }
+
+    /// The increase in area needed to include `o`.
+    #[inline]
+    pub fn enlargement(&self, o: &Rect) -> f64 {
+        self.merged(o).area() - self.area()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Coord {
+        Coord::new(0.5 * (self.min.x + self.max.x), 0.5 * (self.min.y + self.max.y))
+    }
+
+    /// The four corners in CCW order starting at `min`.
+    #[inline]
+    pub fn corners(&self) -> [Coord; 4] {
+        [
+            self.min,
+            Coord::new(self.max.x, self.min.y),
+            self.max,
+            Coord::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Coord::new(x0, y0), Coord::new(x1, y1))
+    }
+
+    #[test]
+    fn empty_identity() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        let mut e = Rect::EMPTY;
+        e.expand_to(Coord::new(1.0, 2.0));
+        assert_eq!(e, r(1.0, 2.0, 1.0, 2.0));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(a.contains(Coord::new(1.0, 1.0)));
+        assert!(a.contains(Coord::new(0.0, 0.0))); // closed
+        assert!(a.contains(Coord::new(2.0, 2.0)));
+        assert!(!a.contains(Coord::new(2.01, 1.0)));
+
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&r(3.0, 3.0, 4.0, 4.0).merged(&r(5.0, 5.0, 6.0, 6.0))) || true);
+        assert!(!a.intersects(&r(2.1, 0.0, 3.0, 1.0)));
+        // Touching edges count as intersecting (closed sets).
+        assert!(a.intersects(&r(2.0, 0.0, 3.0, 1.0)));
+
+        assert!(a.contains_rect(&r(0.5, 0.5, 1.5, 1.5)));
+        assert!(!a.contains_rect(&b));
+    }
+
+    #[test]
+    fn measures() {
+        let a = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection_area(&b), 2.0);
+        assert_eq!(a.intersection_area(&r(5.0, 5.0, 6.0, 6.0)), 0.0);
+        assert_eq!(a.enlargement(&b), 9.0 - 6.0);
+        assert_eq!(a.enlargement(&r(0.5, 0.5, 1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Coord::new(1.0, 5.0),
+            Coord::new(-2.0, 3.0),
+            Coord::new(0.5, -1.0),
+        ];
+        let b = Rect::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b, r(-2.0, -1.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let a = r(0.0, 0.0, 1.0, 2.0);
+        let c = a.corners();
+        // Shoelace must be positive for CCW ordering.
+        let mut s = 0.0;
+        for i in 0..4 {
+            let p = c[i];
+            let q = c[(i + 1) % 4];
+            s += p.x * q.y - q.x * p.y;
+        }
+        assert!(s > 0.0);
+    }
+}

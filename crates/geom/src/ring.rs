@@ -1,0 +1,221 @@
+//! Linear rings: closed polylines that bound polygon faces.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+use crate::segment::{on_segment, orient2d, Orientation};
+
+/// A closed ring of vertices. The closing edge from the last vertex back to
+/// the first is implicit (vertices are stored without repetition).
+///
+/// Rings are stored as given; orientation can be queried with
+/// [`Ring::is_ccw`] and normalized with [`Ring::reversed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring {
+    vertices: Vec<Coord>,
+}
+
+impl Ring {
+    /// Creates a ring from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than 3 vertices are supplied (a degenerate ring).
+    pub fn new(vertices: Vec<Coord>) -> Ring {
+        assert!(
+            vertices.len() >= 3,
+            "a ring needs at least 3 vertices, got {}",
+            vertices.len()
+        );
+        Ring { vertices }
+    }
+
+    /// The vertices (closing edge implicit).
+    #[inline]
+    pub fn vertices(&self) -> &[Coord] {
+        &self.vertices
+    }
+
+    /// Number of vertices (== number of edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Rings can never be empty; provided for clippy symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = (Coord, Coord)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Twice the signed area (shoelace formula). Positive = CCW.
+    pub fn signed_area2(&self) -> f64 {
+        let mut s = 0.0;
+        for (p, q) in self.edges() {
+            s += p.cross(q);
+        }
+        s
+    }
+
+    /// Absolute area in degree² units.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        0.5 * self.signed_area2().abs()
+    }
+
+    /// True if vertices wind counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area2() > 0.0
+    }
+
+    /// A copy with reversed winding.
+    pub fn reversed(&self) -> Ring {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Ring { vertices: v }
+    }
+
+    /// The bounding rectangle.
+    pub fn bbox(&self) -> Rect {
+        Rect::from_points(self.vertices.iter().copied())
+    }
+
+    /// Point-in-ring test by the crossing-number (ray casting) rule.
+    ///
+    /// Points exactly on an edge are reported as **contained** (closed-set
+    /// semantics, which is what the join's exact-refinement mode wants: a
+    /// GPS point on a boundary should match the polygon).
+    pub fn contains(&self, p: Coord) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[j];
+            let b = self.vertices[i];
+            // On-edge check (closed semantics).
+            if orient2d(a, b, p) == Orientation::Collinear && on_segment(a, b, p) {
+                return true;
+            }
+            // Half-open crossing rule: count edges whose y-span straddles p.y.
+            if (b.y > p.y) != (a.y > p.y) {
+                let x_cross = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Perimeter length in degree units.
+    pub fn perimeter_deg(&self) -> f64 {
+        self.edges().map(|(p, q)| p.distance_deg(q)).sum()
+    }
+
+    /// Perimeter length in meters (local equirectangular approximation).
+    pub fn perimeter_meters(&self) -> f64 {
+        self.edges().map(|(p, q)| p.distance_meters(q)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Ring {
+        Ring::new(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(1.0, 0.0),
+            Coord::new(1.0, 1.0),
+            Coord::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn degenerate_ring_panics() {
+        Ring::new(vec![Coord::new(0.0, 0.0), Coord::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert!(sq.is_ccw());
+        let rev = sq.reversed();
+        assert!(!rev.is_ccw());
+        assert_eq!(rev.area(), 1.0);
+    }
+
+    #[test]
+    fn containment_interior_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Coord::new(0.5, 0.5)));
+        assert!(!sq.contains(Coord::new(1.5, 0.5)));
+        assert!(!sq.contains(Coord::new(-0.5, 0.5)));
+        assert!(!sq.contains(Coord::new(0.5, -0.5)));
+        assert!(!sq.contains(Coord::new(0.5, 1.5)));
+    }
+
+    #[test]
+    fn containment_on_boundary_is_closed() {
+        let sq = unit_square();
+        assert!(sq.contains(Coord::new(0.0, 0.5))); // edge
+        assert!(sq.contains(Coord::new(0.5, 0.0))); // edge
+        assert!(sq.contains(Coord::new(0.0, 0.0))); // vertex
+        assert!(sq.contains(Coord::new(1.0, 1.0))); // vertex
+    }
+
+    #[test]
+    fn containment_concave() {
+        // A "C" shape: point in the notch is outside.
+        let c = Ring::new(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(3.0, 0.0),
+            Coord::new(3.0, 1.0),
+            Coord::new(1.0, 1.0),
+            Coord::new(1.0, 2.0),
+            Coord::new(3.0, 2.0),
+            Coord::new(3.0, 3.0),
+            Coord::new(0.0, 3.0),
+        ]);
+        assert!(c.contains(Coord::new(0.5, 1.5)));
+        assert!(!c.contains(Coord::new(2.0, 1.5))); // inside the notch
+        assert!(c.contains(Coord::new(2.0, 0.5)));
+        assert!(c.contains(Coord::new(2.0, 2.5)));
+    }
+
+    #[test]
+    fn containment_ray_through_vertex() {
+        // A point whose rightward ray passes exactly through a vertex must
+        // not be double counted. Diamond with vertex at (1, 0.5).
+        let d = Ring::new(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(1.0, 0.5),
+            Coord::new(0.0, 1.0),
+            Coord::new(-1.0, 0.5),
+        ]);
+        assert!(d.contains(Coord::new(0.0, 0.5)));
+        assert!(!d.contains(Coord::new(-2.0, 0.5)));
+        assert!(!d.contains(Coord::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn edges_close_the_ring() {
+        let sq = unit_square();
+        let edges: Vec<_> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].1, sq.vertices()[0]);
+    }
+
+    #[test]
+    fn perimeter() {
+        assert!((unit_square().perimeter_deg() - 4.0).abs() < 1e-12);
+    }
+}

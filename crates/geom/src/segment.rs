@@ -1,0 +1,178 @@
+//! Segment predicates: orientation, intersection, point–segment distance.
+
+use crate::coord::Coord;
+
+/// The orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Robust-enough orientation predicate: the sign of the cross product
+/// `(b-a) × (c-a)` with a relative epsilon to absorb floating-point noise
+/// on nearly collinear inputs.
+#[inline]
+pub fn orient2d(a: Coord, b: Coord, c: Coord) -> Orientation {
+    let det = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    // Scale-aware tolerance: the determinant's rounding error is bounded by
+    // a few ulps of the largest intermediate product.
+    let mag = (b.x - a.x).abs().max((b.y - a.y).abs()) * (c.x - a.x).abs().max((c.y - a.y).abs());
+    let eps = 1e-14 * mag.max(f64::MIN_POSITIVE);
+    if det > eps {
+        Orientation::Ccw
+    } else if det < -eps {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Returns `true` if point `p` lies on the closed segment `(a, b)`,
+/// assuming `a`, `b`, `p` are collinear.
+#[inline]
+pub fn on_segment(a: Coord, b: Coord, p: Coord) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Tests whether closed segments `(p1, p2)` and `(q1, q2)` intersect,
+/// including touching endpoints and collinear overlap.
+pub fn segments_intersect(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool {
+    let o1 = orient2d(p1, p2, q1);
+    let o2 = orient2d(p1, p2, q2);
+    let o3 = orient2d(q1, q2, p1);
+    let o4 = orient2d(q1, q2, p2);
+
+    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+    {
+        return true;
+    }
+    // Collinear / touching special cases.
+    (o1 == Orientation::Collinear && on_segment(p1, p2, q1))
+        || (o2 == Orientation::Collinear && on_segment(p1, p2, q2))
+        || (o3 == Orientation::Collinear && on_segment(q1, q2, p1))
+        || (o4 == Orientation::Collinear && on_segment(q1, q2, p2))
+}
+
+/// Squared distance from `p` to the closed segment `(a, b)` in degree²
+/// units with the x-axis pre-scaled by `kx` (to account for longitude
+/// compression); used internally by the meter-distance helpers.
+#[inline]
+fn point_segment_dist2_scaled(p: Coord, a: Coord, b: Coord, kx: f64) -> f64 {
+    let (px, py) = ((p.x - a.x) * kx, p.y - a.y);
+    let (bx, by) = ((b.x - a.x) * kx, b.y - a.y);
+    let len2 = bx * bx + by * by;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+    };
+    let dx = px - t * bx;
+    let dy = py - t * by;
+    dx * dx + dy * dy
+}
+
+/// Distance in meters from point `p` to the closed segment `(a, b)`,
+/// using the local equirectangular approximation at `p`'s latitude.
+pub fn point_segment_distance_meters(p: Coord, a: Coord, b: Coord) -> f64 {
+    let kx = p.y.to_radians().cos();
+    let d2 = point_segment_dist2_scaled(p, a, b, kx);
+    d2.sqrt() * crate::coord::METERS_PER_DEG_LAT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Coord = Coord::new(0.0, 0.0);
+    const B: Coord = Coord::new(4.0, 0.0);
+
+    #[test]
+    fn orientation_basics() {
+        assert_eq!(orient2d(A, B, Coord::new(2.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orient2d(A, B, Coord::new(2.0, -1.0)), Orientation::Cw);
+        assert_eq!(orient2d(A, B, Coord::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(orient2d(A, B, Coord::new(9.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(segments_intersect(
+            A,
+            B,
+            Coord::new(2.0, -1.0),
+            Coord::new(2.0, 1.0)
+        ));
+        assert!(!segments_intersect(
+            A,
+            B,
+            Coord::new(2.0, 0.5),
+            Coord::new(2.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn endpoint_touching_counts() {
+        assert!(segments_intersect(A, B, B, Coord::new(5.0, 3.0)));
+        assert!(segments_intersect(
+            A,
+            B,
+            Coord::new(2.0, 0.0),
+            Coord::new(2.0, 5.0)
+        ));
+    }
+
+    #[test]
+    fn collinear_overlap_counts() {
+        assert!(segments_intersect(
+            A,
+            B,
+            Coord::new(3.0, 0.0),
+            Coord::new(6.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            A,
+            B,
+            Coord::new(5.0, 0.0),
+            Coord::new(6.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn parallel_disjoint() {
+        assert!(!segments_intersect(
+            A,
+            B,
+            Coord::new(0.0, 1.0),
+            Coord::new(4.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn shared_endpoint_degenerate() {
+        // Zero-length segment on the other segment.
+        assert!(segments_intersect(A, B, Coord::new(1.0, 0.0), Coord::new(1.0, 0.0)));
+        assert!(!segments_intersect(A, B, Coord::new(1.0, 1.0), Coord::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        // At the equator (kx ≈ 1) the math reduces to planar geometry.
+        let p = Coord::new(2.0, 3.0);
+        let d = point_segment_distance_meters(p, A, B);
+        let expected = 3.0 * crate::coord::METERS_PER_DEG_LAT;
+        assert!((d - expected).abs() / expected < 2e-3, "got {d}");
+        // Beyond an endpoint, distance is to the endpoint.
+        let q = Coord::new(7.0, 0.0);
+        let d = point_segment_distance_meters(q, A, B);
+        let expected = 3.0 * crate::coord::METERS_PER_DEG_LAT;
+        assert!((d - expected).abs() / expected < 2e-2, "got {d}");
+        // On the segment: zero.
+        assert_eq!(point_segment_distance_meters(Coord::new(1.0, 0.0), A, B), 0.0);
+    }
+}

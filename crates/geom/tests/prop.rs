@@ -1,0 +1,181 @@
+//! Property-based tests for the geometry primitives.
+
+use geom::{segments_intersect, CellRelation, Coord, Polygon, PreparedPolygon, Rect, Ring};
+use proptest::prelude::*;
+
+/// A random convex polygon around (cx, cy): sorted random angles on a
+/// radius-perturbed circle. Convexity gives us an independent containment
+/// oracle (all-cross-products-same-sign).
+fn arb_convex(n: usize) -> impl Strategy<Value = Vec<Coord>> {
+    (
+        proptest::collection::vec(0.0f64..std::f64::consts::TAU, n),
+        0.5f64..2.0,
+    )
+        .prop_map(|(mut angles, r)| {
+            angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            angles.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+            angles
+                .iter()
+                .map(|&th| Coord::new(r * th.cos(), r * th.sin()))
+                .collect()
+        })
+        .prop_filter("need >=3 distinct vertices", |v: &Vec<Coord>| v.len() >= 3)
+}
+
+fn convex_contains(verts: &[Coord], p: Coord) -> bool {
+    // Strictly-inside-or-on test for CCW convex vertices.
+    let n = verts.len();
+    for i in 0..n {
+        let a = verts[i];
+        let b = verts[(i + 1) % n];
+        let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+        if cross < -1e-12 {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn ring_contains_matches_convex_oracle(
+        verts in arb_convex(12),
+        px in -3.0f64..3.0,
+        py in -3.0f64..3.0,
+    ) {
+        let ring = Ring::new(verts.clone());
+        let p = Coord::new(px, py);
+        // Skip points within a whisker of the boundary, where the oracle's
+        // epsilon and the ring's closed-set rule may legitimately differ.
+        let poly = Polygon::new(ring.clone(), vec![]);
+        let d = poly.distance_meters(p);
+        prop_assume!(d == 0.0 || d > 50.0);
+        prop_assert_eq!(ring.contains(p), convex_contains(&verts, p));
+    }
+
+    #[test]
+    fn prepared_agrees_with_ring(
+        verts in arb_convex(16),
+        px in -3.0f64..3.0,
+        py in -3.0f64..3.0,
+    ) {
+        let poly = Polygon::new(Ring::new(verts), vec![]);
+        let prep = PreparedPolygon::new(&poly, 0);
+        let p = Coord::new(px, py);
+        // Boundary semantics differ (closed vs half-open); skip on-edge.
+        prop_assume!(poly.distance_meters(p) == 0.0 || poly.distance_meters(p) > 1.0);
+        let on_boundary = poly
+            .all_edges()
+            .any(|(a, b)| geom::segment::point_segment_distance_meters(p, a, b) < 1.0);
+        prop_assume!(!on_boundary);
+        prop_assert_eq!(prep.contains(p), poly.contains(p));
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+        bx in -5.0f64..5.0, by in -5.0f64..5.0,
+        cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+        dx in -5.0f64..5.0, dy in -5.0f64..5.0,
+    ) {
+        let (a, b) = (Coord::new(ax, ay), Coord::new(bx, by));
+        let (c, d) = (Coord::new(cx, cy), Coord::new(dx, dy));
+        prop_assert_eq!(
+            segments_intersect(a, b, c, d),
+            segments_intersect(c, d, a, b)
+        );
+        prop_assert_eq!(
+            segments_intersect(a, b, c, d),
+            segments_intersect(b, a, d, c)
+        );
+        // A segment always intersects itself and its endpoints.
+        prop_assert!(segments_intersect(a, b, a, b));
+        prop_assert!(segments_intersect(a, b, a, a));
+    }
+
+    #[test]
+    fn distance_zero_iff_contained(
+        verts in arb_convex(10),
+        px in -3.0f64..3.0,
+        py in -3.0f64..3.0,
+    ) {
+        let poly = Polygon::new(Ring::new(verts), vec![]);
+        let p = Coord::new(px, py);
+        let d = poly.distance_meters(p);
+        if poly.contains(p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn relate_quad_consistent_with_containment(
+        verts in arb_convex(10),
+        qx in -3.0f64..3.0,
+        qy in -3.0f64..3.0,
+        half in 0.01f64..0.5,
+    ) {
+        let poly = Polygon::new(Ring::new(verts), vec![]);
+        let quad = [
+            Coord::new(qx - half, qy - half),
+            Coord::new(qx + half, qy - half),
+            Coord::new(qx + half, qy + half),
+            Coord::new(qx - half, qy + half),
+        ];
+        let center = Coord::new(qx, qy);
+        match poly.relate_quad(&quad) {
+            CellRelation::Inside => {
+                // Everything sampled inside the quad is inside the polygon.
+                prop_assert!(poly.contains(center));
+                for c in &quad {
+                    prop_assert!(poly.contains(*c));
+                }
+            }
+            CellRelation::Outside => {
+                prop_assert!(!poly.contains(center));
+                for c in &quad {
+                    prop_assert!(!poly.contains(*c));
+                }
+            }
+            CellRelation::Boundary => {} // conservative; nothing to check
+        }
+    }
+
+    #[test]
+    fn rect_algebra(
+        x0 in -10.0f64..10.0, y0 in -10.0f64..10.0,
+        w0 in 0.0f64..5.0, h0 in 0.0f64..5.0,
+        x1 in -10.0f64..10.0, y1 in -10.0f64..10.0,
+        w1 in 0.0f64..5.0, h1 in 0.0f64..5.0,
+        px in -12.0f64..12.0, py in -12.0f64..12.0,
+    ) {
+        let a = Rect::new(Coord::new(x0, y0), Coord::new(x0 + w0, y0 + h0));
+        let b = Rect::new(Coord::new(x1, y1), Coord::new(x1 + w1, y1 + h1));
+        let m = a.merged(&b);
+        prop_assert!(m.contains_rect(&a) && m.contains_rect(&b));
+        prop_assert!(m.area() + 1e-12 >= a.area().max(b.area()));
+        // Intersection area symmetric and bounded.
+        prop_assert!((a.intersection_area(&b) - b.intersection_area(&a)).abs() < 1e-12);
+        prop_assert!(a.intersection_area(&b) <= a.area().min(b.area()) + 1e-12);
+        // Point containment monotone under merge.
+        let p = Coord::new(px, py);
+        if a.contains(p) || b.contains(p) {
+            prop_assert!(m.contains(p));
+        }
+        // contains_rect implies intersects (for non-empty).
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn ring_area_invariant_under_rotation(verts in arb_convex(8), k in 0usize..8) {
+        let ring = Ring::new(verts.clone());
+        let mut rotated = verts.clone();
+        rotated.rotate_left(k % verts.len());
+        let ring2 = Ring::new(rotated);
+        prop_assert!((ring.area() - ring2.area()).abs() < 1e-9);
+        prop_assert_eq!(ring.is_ccw(), ring2.is_ccw());
+    }
+}

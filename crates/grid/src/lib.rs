@@ -1,0 +1,262 @@
+//! # grid — a non-hierarchical uniform grid baseline
+//!
+//! The paper contrasts ACT's *hierarchical* grid with systems that use flat
+//! grids for true-hit filtering (Spark Magellan is the named example). This
+//! crate implements that design point: one fixed-resolution grid over the
+//! dataset bounding box; each grid cell stores the polygons it intersects,
+//! flagged *interior* (the cell lies entirely inside the polygon — a true
+//! hit) or *boundary* (a candidate).
+//!
+//! The flat grid's weakness — which the ablation benchmark demonstrates —
+//! is that one resolution must serve both huge-interior polygons (wasting
+//! millions of identical interior entries) and fine boundaries (forcing
+//! coarse, imprecise candidate cells). ACT's adaptive cell levels solve
+//! both at once.
+//!
+//! ```
+//! use geom::{Coord, Polygon, Rect, Ring};
+//! use grid::UniformGrid;
+//!
+//! let square = Polygon::new(
+//!     Ring::new(vec![
+//!         Coord::new(0.0, 0.0),
+//!         Coord::new(1.0, 0.0),
+//!         Coord::new(1.0, 1.0),
+//!         Coord::new(0.0, 1.0),
+//!     ]),
+//!     vec![],
+//! );
+//! let bbox = Rect::new(Coord::new(0.0, 0.0), Coord::new(4.0, 4.0));
+//! let grid = UniformGrid::build(&[square], bbox, 64, 64);
+//! let refs = grid.query(Coord::new(0.5, 0.5));
+//! assert_eq!(refs, &[(0, true)]); // true hit
+//! ```
+
+use geom::{CellRelation, Coord, Polygon, Rect};
+
+/// A fixed-resolution grid index with true-hit filtering.
+#[derive(Debug)]
+pub struct UniformGrid {
+    bbox: Rect,
+    nx: usize,
+    ny: usize,
+    inv_dx: f64,
+    inv_dy: f64,
+    /// CSR layout: cell `k`'s references are
+    /// `refs[offsets[k] .. offsets[k+1]]`, encoded as `(id << 1) | interior`.
+    offsets: Vec<u32>,
+    refs: Vec<u32>,
+}
+
+impl UniformGrid {
+    /// Builds an `nx × ny` grid over `bbox` for `polygons`.
+    pub fn build(polygons: &[Polygon], bbox: Rect, nx: usize, ny: usize) -> UniformGrid {
+        assert!(nx >= 1 && ny >= 1);
+        let dx = (bbox.max.x - bbox.min.x) / nx as f64;
+        let dy = (bbox.max.y - bbox.min.y) / ny as f64;
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+
+        for (id, poly) in polygons.iter().enumerate() {
+            let pb = poly.bbox();
+            // Only cells overlapping the polygon's bbox can intersect it.
+            let i0 = (((pb.min.x - bbox.min.x) / dx).floor() as isize).clamp(0, nx as isize - 1);
+            let i1 = (((pb.max.x - bbox.min.x) / dx).floor() as isize).clamp(0, nx as isize - 1);
+            let j0 = (((pb.min.y - bbox.min.y) / dy).floor() as isize).clamp(0, ny as isize - 1);
+            let j1 = (((pb.max.y - bbox.min.y) / dy).floor() as isize).clamp(0, ny as isize - 1);
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    let x0 = bbox.min.x + i as f64 * dx;
+                    let y0 = bbox.min.y + j as f64 * dy;
+                    let quad = [
+                        Coord::new(x0, y0),
+                        Coord::new(x0 + dx, y0),
+                        Coord::new(x0 + dx, y0 + dy),
+                        Coord::new(x0, y0 + dy),
+                    ];
+                    match poly.relate_quad(&quad) {
+                        CellRelation::Outside => {}
+                        CellRelation::Inside => {
+                            cells[j as usize * nx + i as usize].push(((id as u32) << 1) | 1);
+                        }
+                        CellRelation::Boundary => {
+                            cells[j as usize * nx + i as usize].push((id as u32) << 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flatten into CSR.
+        let mut offsets = Vec::with_capacity(nx * ny + 1);
+        let mut refs = Vec::new();
+        offsets.push(0u32);
+        for cell in &cells {
+            refs.extend_from_slice(cell);
+            offsets.push(refs.len() as u32);
+        }
+
+        UniformGrid {
+            bbox,
+            nx,
+            ny,
+            inv_dx: 1.0 / dx,
+            inv_dy: 1.0 / dy,
+            offsets,
+            refs,
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Heap memory in bytes (CSR arrays).
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.refs.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Total stored references.
+    pub fn num_refs(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// The raw encoded references of the cell containing `p` (empty slice
+    /// if `p` is outside the bbox). Encoding: `(id << 1) | interior`.
+    #[inline]
+    pub fn query_raw(&self, p: Coord) -> &[u32] {
+        if !self.bbox.contains(p) {
+            return &[];
+        }
+        let i = (((p.x - self.bbox.min.x) * self.inv_dx) as usize).min(self.nx - 1);
+        let j = (((p.y - self.bbox.min.y) * self.inv_dy) as usize).min(self.ny - 1);
+        let k = j * self.nx + i;
+        &self.refs[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// Decoded query: `(polygon id, is_true_hit)` pairs.
+    pub fn query(&self, p: Coord) -> Vec<(u32, bool)> {
+        self.query_raw(p)
+            .iter()
+            .map(|&r| (r >> 1, r & 1 == 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Ring;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(x0, y0),
+                Coord::new(x1, y0),
+                Coord::new(x1, y1),
+                Coord::new(x0, y1),
+            ]),
+            vec![],
+        )
+    }
+
+    fn world() -> Rect {
+        Rect::new(Coord::new(0.0, 0.0), Coord::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn true_hits_and_candidates() {
+        let polys = vec![square(1.0, 1.0, 5.0, 5.0)];
+        let g = UniformGrid::build(&polys, world(), 100, 100);
+        // Deep inside: true hit.
+        assert_eq!(g.query(Coord::new(3.0, 3.0)), vec![(0, true)]);
+        // Near the edge (within one cell of it): candidate.
+        let near_edge = g.query(Coord::new(1.01, 3.0));
+        assert_eq!(near_edge.len(), 1);
+        assert!(!near_edge[0].1, "boundary cell must be a candidate");
+        // Outside.
+        assert!(g.query(Coord::new(8.0, 8.0)).is_empty());
+        // Outside the bbox entirely.
+        assert!(g.query(Coord::new(-1.0, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let polys = vec![square(1.0, 1.0, 5.0, 5.0), square(4.0, 4.0, 8.0, 9.0)];
+        let g = UniformGrid::build(&polys, world(), 64, 64);
+        let mut state = 11u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..1000 {
+            let p = Coord::new(next() * 10.0, next() * 10.0);
+            let hits: Vec<u32> = g.query(p).iter().map(|&(id, _)| id).collect();
+            for (id, poly) in polys.iter().enumerate() {
+                if poly.contains(p) {
+                    assert!(
+                        hits.contains(&(id as u32)),
+                        "false negative for {p} polygon {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn true_hits_are_truly_inside() {
+        let polys = vec![square(1.0, 1.0, 5.0, 5.0)];
+        let g = UniformGrid::build(&polys, world(), 64, 64);
+        let mut state = 23u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..1000 {
+            let p = Coord::new(next() * 10.0, next() * 10.0);
+            for (id, interior) in g.query(p) {
+                if interior {
+                    assert!(
+                        polys[id as usize].contains(p),
+                        "true hit at {p} is not inside polygon {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finer_grid_fewer_candidates() {
+        let polys = vec![square(1.0, 1.0, 9.0, 9.0)];
+        let coarse = UniformGrid::build(&polys, world(), 8, 8);
+        let fine = UniformGrid::build(&polys, world(), 256, 256);
+        // Sample: fraction of probes answered as candidates shrinks with
+        // resolution.
+        let count_cands = |g: &UniformGrid| {
+            let mut cands = 0;
+            for i in 0..100 {
+                for j in 0..100 {
+                    let p = Coord::new(0.05 + i as f64 * 0.1, 0.05 + j as f64 * 0.1);
+                    cands += g.query(p).iter().filter(|&&(_, t)| !t).count();
+                }
+            }
+            cands
+        };
+        assert!(count_cands(&fine) < count_cands(&coarse));
+        // ... at the cost of more memory.
+        assert!(fine.memory_bytes() > coarse.memory_bytes());
+    }
+
+    #[test]
+    fn memory_and_ref_accounting() {
+        let polys = vec![square(1.0, 1.0, 5.0, 5.0)];
+        let g = UniformGrid::build(&polys, world(), 32, 32);
+        assert!(g.num_refs() > 0);
+        assert_eq!(g.dims(), (32, 32));
+        assert!(g.memory_bytes() >= (32 * 32 + 1) * 4);
+    }
+}

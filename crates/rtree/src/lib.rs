@@ -1,0 +1,31 @@
+//! # rtree — an R*-tree over polygon MBRs (the paper's baseline)
+//!
+//! The paper compares ACT against the boost::geometry R-tree with the
+//! `rstar` splitting strategy and a maximum of 8 entries per node,
+//! "measuring its lookup performance without refining candidates". This
+//! crate reimplements that baseline from scratch:
+//!
+//! * insertion-based construction with the R\* ChooseSubtree and split
+//!   (margin-driven axis choice, overlap-driven index choice; forced
+//!   reinsertion is omitted — it affects construction quality marginally
+//!   and the paper's workload is query-bound),
+//! * an STR (Sort-Tile-Recursive) bulk loader as an alternative,
+//! * point queries returning candidate ids (MBR containment only), and
+//!   rectangle queries for completeness.
+//!
+//! ```
+//! use geom::{Coord, Rect};
+//! use rtree::RTree;
+//!
+//! let mut t = RTree::new(8);
+//! t.insert(Rect::new(Coord::new(0.0, 0.0), Coord::new(1.0, 1.0)), 0);
+//! t.insert(Rect::new(Coord::new(2.0, 2.0), Coord::new(3.0, 3.0)), 1);
+//! assert_eq!(t.query_point(Coord::new(0.5, 0.5)), vec![0]);
+//! ```
+
+mod node;
+mod split;
+mod str_load;
+
+pub use node::RTree;
+pub use str_load::bulk_load_str;

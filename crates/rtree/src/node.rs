@@ -1,0 +1,523 @@
+//! R-tree structure, insertion, and queries.
+
+use crate::split::{choose_split, Entry};
+use geom::{Coord, Rect};
+
+/// An arena-allocated node.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Bounding rect of the node's entries (kept in the parent too; this
+    /// copy simplifies root handling).
+    pub rect: Rect,
+    /// Children: boxes + payload (leaf: external id; inner: child node index).
+    pub entries: Vec<Entry>,
+    /// True if entries carry external ids.
+    pub is_leaf: bool,
+    /// Parent node index (`NO_PARENT` for the root).
+    pub parent: usize,
+}
+
+/// Sentinel parent index for the root node.
+pub(crate) const NO_PARENT: usize = usize::MAX;
+
+/// An in-memory R-tree with R\*-style insertion.
+#[derive(Debug)]
+pub struct RTree {
+    pub(crate) nodes: Vec<Node>,
+    root: usize,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+    height: usize,
+}
+
+impl RTree {
+    /// Creates an empty tree. `max_entries` must be ≥ 4; the minimum fill
+    /// is 40% (the R\* recommendation). The paper uses `max_entries = 8`.
+    pub fn new(max_entries: usize) -> RTree {
+        assert!(max_entries >= 4, "max_entries must be >= 4");
+        let root = Node {
+            rect: Rect::EMPTY,
+            entries: Vec::new(),
+            is_leaf: true,
+            parent: NO_PARENT,
+        };
+        RTree {
+            nodes: vec![root],
+            root: 0,
+            max_entries,
+            min_entries: (max_entries * 2).div_ceil(5).max(2),
+            len: 0,
+            height: 1,
+        }
+    }
+
+    pub(crate) fn with_parts(nodes: Vec<Node>, root: usize, max_entries: usize, len: usize, height: usize) -> RTree {
+        RTree {
+            nodes,
+            root,
+            max_entries,
+            min_entries: (max_entries * 2).div_ceil(5).max(2),
+            len,
+            height,
+        }
+    }
+
+    /// Number of indexed rectangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Approximate heap memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.entries.capacity() * std::mem::size_of::<Entry>())
+                .sum::<usize>()
+    }
+
+    /// Inserts a rectangle with an external id.
+    pub fn insert(&mut self, rect: Rect, id: u32) {
+        let leaf = self.choose_leaf(rect);
+        self.nodes[leaf].entries.push(Entry {
+            rect,
+            payload: id as usize,
+        });
+        self.nodes[leaf].rect.merge(&rect);
+        self.len += 1;
+        if self.nodes[leaf].entries.len() > self.max_entries {
+            self.split_upwards(leaf);
+        } else {
+            self.fix_rects_from(leaf, rect);
+        }
+    }
+
+    /// R\* ChooseSubtree: descend minimizing overlap enlargement at the
+    /// level above the leaves, and area enlargement elsewhere (ties broken
+    /// by area).
+    fn choose_leaf(&self, rect: Rect) -> usize {
+        let mut node = self.root;
+        loop {
+            if self.nodes[node].is_leaf {
+                return node;
+            }
+            let children_are_leaves = self.nodes[node]
+                .entries
+                .first()
+                .map(|e| self.nodes[e.payload].is_leaf)
+                .unwrap_or(true);
+            let entries = &self.nodes[node].entries;
+            let mut best = 0usize;
+            let mut best_key = (f64::MAX, f64::MAX, f64::MAX);
+            for (i, e) in entries.iter().enumerate() {
+                let enlarged = e.rect.merged(&rect);
+                let area_enl = enlarged.area() - e.rect.area();
+                let key = if children_are_leaves {
+                    // Overlap enlargement against siblings.
+                    let mut overlap_before = 0.0;
+                    let mut overlap_after = 0.0;
+                    for (j, s) in entries.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        overlap_before += e.rect.intersection_area(&s.rect);
+                        overlap_after += enlarged.intersection_area(&s.rect);
+                    }
+                    (overlap_after - overlap_before, area_enl, e.rect.area())
+                } else {
+                    (area_enl, e.rect.area(), 0.0)
+                };
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            node = entries[best].payload;
+        }
+    }
+
+    /// Splits `node` and propagates upward (splitting parents as needed).
+    fn split_upwards(&mut self, mut node: usize) {
+        loop {
+            let (left_entries, right_entries) = {
+                let n = &mut self.nodes[node];
+                choose_split(std::mem::take(&mut n.entries), self.min_entries)
+            };
+            let is_leaf = self.nodes[node].is_leaf;
+            let left_rect = bound_of(&left_entries);
+            let right_rect = bound_of(&right_entries);
+
+            // Reuse `node` for the left half; allocate the right half.
+            self.nodes[node].entries = left_entries;
+            self.nodes[node].rect = left_rect;
+            let right = self.nodes.len();
+            let parent_of_node = self.nodes[node].parent;
+            self.nodes.push(Node {
+                rect: right_rect,
+                entries: right_entries,
+                is_leaf,
+                parent: parent_of_node,
+            });
+            // Children moved to the right node must learn their new parent.
+            if !is_leaf {
+                let kids: Vec<usize> =
+                    self.nodes[right].entries.iter().map(|e| e.payload).collect();
+                for k in kids {
+                    self.nodes[k].parent = right;
+                }
+            }
+
+            match self.parent_of(node) {
+                None => {
+                    // Root split: grow the tree.
+                    let new_root = self.nodes.len();
+                    self.nodes.push(Node {
+                        rect: left_rect.merged(&right_rect),
+                        entries: vec![
+                            Entry {
+                                rect: left_rect,
+                                payload: node,
+                            },
+                            Entry {
+                                rect: right_rect,
+                                payload: right,
+                            },
+                        ],
+                        is_leaf: false,
+                        parent: NO_PARENT,
+                    });
+                    self.root = new_root;
+                    self.nodes[node].parent = new_root;
+                    self.nodes[right].parent = new_root;
+                    self.height += 1;
+                    return;
+                }
+                Some(parent) => {
+                    // Update the parent's entry for `node`, add one for `right`.
+                    let p = &mut self.nodes[parent];
+                    for e in p.entries.iter_mut() {
+                        if e.payload == node {
+                            e.rect = left_rect;
+                            break;
+                        }
+                    }
+                    p.entries.push(Entry {
+                        rect: right_rect,
+                        payload: right,
+                    });
+                    p.rect = p.rect.merged(&right_rect);
+                    if p.entries.len() > self.max_entries {
+                        node = parent;
+                        continue;
+                    }
+                    self.recompute_path_rects(parent);
+                    return;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn parent_of(&self, node: usize) -> Option<usize> {
+        let p = self.nodes[node].parent;
+        (p != NO_PARENT).then_some(p)
+    }
+
+    fn fix_rects_from(&mut self, node: usize, rect: Rect) {
+        // Bubble the enlargement up to the root.
+        let mut cur = node;
+        loop {
+            self.nodes[cur].rect.merge(&rect);
+            match self.parent_of(cur) {
+                Some(p) => {
+                    for e in self.nodes[p].entries.iter_mut() {
+                        if e.payload == cur {
+                            e.rect.merge(&rect);
+                            break;
+                        }
+                    }
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn recompute_path_rects(&mut self, mut node: usize) {
+        loop {
+            let r = bound_of(&self.nodes[node].entries);
+            self.nodes[node].rect = r;
+            match self.parent_of(node) {
+                Some(p) => {
+                    for e in self.nodes[p].entries.iter_mut() {
+                        if e.payload == node {
+                            e.rect = r;
+                            break;
+                        }
+                    }
+                    node = p;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Returns the ids of all rectangles containing `p` (the paper's
+    /// baseline query: candidates are **not** refined).
+    pub fn query_point(&self, p: Coord) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_point_into(p, &mut out);
+        out
+    }
+
+    /// Allocation-free variant: appends matches to `out`.
+    #[inline]
+    pub fn query_point_into(&self, p: Coord, out: &mut Vec<u32>) {
+        if self.len == 0 {
+            return;
+        }
+        self.query_rec(self.root, p, out);
+    }
+
+    fn query_rec(&self, node: usize, p: Coord, out: &mut Vec<u32>) {
+        let n = &self.nodes[node];
+        if n.is_leaf {
+            for e in &n.entries {
+                if e.rect.contains(p) {
+                    out.push(e.payload as u32);
+                }
+            }
+        } else {
+            for e in &n.entries {
+                if e.rect.contains(p) {
+                    self.query_rec(e.payload, p, out);
+                }
+            }
+        }
+    }
+
+    /// Returns the ids of all rectangles intersecting `q`.
+    pub fn query_rect(&self, q: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.len > 0 {
+            self.query_rect_rec(self.root, q, &mut out);
+        }
+        out
+    }
+
+    fn query_rect_rec(&self, node: usize, q: &Rect, out: &mut Vec<u32>) {
+        let n = &self.nodes[node];
+        for e in &n.entries {
+            if e.rect.intersects(q) {
+                if n.is_leaf {
+                    out.push(e.payload as u32);
+                } else {
+                    self.query_rect_rec(e.payload, q, out);
+                }
+            }
+        }
+    }
+
+    /// Validates structural invariants (test support): entry counts, rect
+    /// containment, uniform leaf depth. Returns the number of ids found.
+    pub fn check_invariants(&self) -> usize {
+        let mut ids = 0;
+        let depth = self.check_rec(self.root, true, &mut ids);
+        assert_eq!(depth, self.height, "height bookkeeping");
+        ids
+    }
+
+    fn check_rec(&self, node: usize, is_root: bool, ids: &mut usize) -> usize {
+        let n = &self.nodes[node];
+        if !is_root && self.len > 0 {
+            assert!(
+                n.entries.len() <= self.max_entries,
+                "node overflow: {}",
+                n.entries.len()
+            );
+            assert!(
+                n.entries.len() >= self.min_entries,
+                "node underflow: {}",
+                n.entries.len()
+            );
+        }
+        for e in &n.entries {
+            assert!(
+                n.rect.contains_rect(&e.rect),
+                "node rect must contain entry rects"
+            );
+        }
+        if n.is_leaf {
+            *ids += n.entries.len();
+            1
+        } else {
+            let mut depth = None;
+            for e in &n.entries {
+                assert_eq!(
+                    self.nodes[e.payload].rect, e.rect,
+                    "parent entry rect must equal child rect"
+                );
+                let d = self.check_rec(e.payload, false, ids);
+                match depth {
+                    None => depth = Some(d),
+                    Some(prev) => assert_eq!(prev, d, "leaves at uniform depth"),
+                }
+            }
+            depth.unwrap_or(0) + 1
+        }
+    }
+}
+
+pub(crate) fn bound_of(entries: &[Entry]) -> Rect {
+    let mut r = Rect::EMPTY;
+    for e in entries {
+        r.merge(&e.rect);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Coord::new(x0, y0), Coord::new(x1, y1))
+    }
+
+    /// Deterministic pseudo-random rects.
+    fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let x = next() * 100.0;
+                let y = next() * 100.0;
+                let w = next() * 5.0;
+                let h = next() * 5.0;
+                rect(x, y, x + w, y + h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new(8);
+        assert!(t.is_empty());
+        assert!(t.query_point(Coord::new(0.0, 0.0)).is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn single_and_overlapping() {
+        let mut t = RTree::new(8);
+        t.insert(rect(0.0, 0.0, 2.0, 2.0), 0);
+        t.insert(rect(1.0, 1.0, 3.0, 3.0), 1);
+        let mut hits = t.query_point(Coord::new(1.5, 1.5));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+        assert_eq!(t.query_point(Coord::new(0.5, 0.5)), vec![0]);
+        assert_eq!(t.query_point(Coord::new(2.5, 2.5)), vec![1]);
+        assert!(t.query_point(Coord::new(5.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn splits_maintain_invariants() {
+        let mut t = RTree::new(8);
+        for (i, r) in random_rects(500, 42).into_iter().enumerate() {
+            t.insert(r, i as u32);
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.check_invariants(), 500);
+        assert!(t.height() >= 3, "500 entries at max 8 must stack levels");
+    }
+
+    #[test]
+    fn equals_brute_force_point_queries() {
+        let rects = random_rects(300, 7);
+        let mut t = RTree::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u32);
+        }
+        let mut state = 99u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..500 {
+            let p = Coord::new(next() * 110.0 - 5.0, next() * 110.0 - 5.0);
+            let mut got = t.query_point(p);
+            got.sort_unstable();
+            let expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, expected, "at {p}");
+        }
+    }
+
+    #[test]
+    fn equals_brute_force_rect_queries() {
+        let rects = random_rects(200, 13);
+        let mut t = RTree::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u32);
+        }
+        let queries = random_rects(50, 31);
+        for q in queries {
+            let mut got = t.query_rect(&q);
+            got.sort_unstable();
+            let expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn duplicate_rects_are_kept() {
+        let mut t = RTree::new(8);
+        let r = rect(0.0, 0.0, 1.0, 1.0);
+        for i in 0..20 {
+            t.insert(r, i);
+        }
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.query_point(Coord::new(0.5, 0.5)).len(), 20);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let mut t = RTree::new(8);
+        for (i, r) in random_rects(100, 5).into_iter().enumerate() {
+            t.insert(r, i as u32);
+        }
+        assert!(t.memory_bytes() > 100 * std::mem::size_of::<Entry>());
+    }
+}

@@ -1,0 +1,149 @@
+//! The R\* node split: margin-driven axis selection, overlap-driven
+//! distribution selection (Beckmann et al., SIGMOD 1990).
+
+#[cfg(test)]
+use crate::node::bound_of;
+use geom::Rect;
+
+/// One node entry: a rectangle plus a payload (external id in leaves,
+/// child node index in inner nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    pub rect: Rect,
+    pub payload: usize,
+}
+
+/// Splits an overflowing entry list into two groups per the R\* algorithm.
+///
+/// For each axis, entries are sorted by lower then by upper coordinate; all
+/// distributions with at least `min_entries` on each side are considered.
+/// The axis with the smallest *margin sum* wins; within it, the
+/// distribution with the smallest overlap (ties: smallest total area).
+pub fn choose_split(entries: Vec<Entry>, min_entries: usize) -> (Vec<Entry>, Vec<Entry>) {
+    debug_assert!(entries.len() >= 2 * min_entries);
+
+    let mut best: Option<(f64, f64, Vec<Entry>, usize)> = None; // (overlap, area, sorted, split_at)
+    let mut best_margin = f64::MAX;
+
+    for axis in 0..2 {
+        for by_upper in [false, true] {
+            let mut sorted = entries.clone();
+            sorted.sort_by(|a, b| {
+                let ka = sort_key(&a.rect, axis, by_upper);
+                let kb = sort_key(&b.rect, axis, by_upper);
+                ka.partial_cmp(&kb).unwrap()
+            });
+
+            // Prefix/suffix bounding rects for O(n) margin evaluation.
+            let n = sorted.len();
+            let mut prefix = vec![Rect::EMPTY; n];
+            let mut acc = Rect::EMPTY;
+            for (i, e) in sorted.iter().enumerate() {
+                acc.merge(&e.rect);
+                prefix[i] = acc;
+            }
+            let mut suffix = vec![Rect::EMPTY; n];
+            let mut acc = Rect::EMPTY;
+            for i in (0..n).rev() {
+                acc.merge(&sorted[i].rect);
+                suffix[i] = acc;
+            }
+
+            // Margin sum over all legal distributions for this sort.
+            let mut margin_sum = 0.0;
+            for k in min_entries..=(n - min_entries) {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+
+            if margin_sum < best_margin {
+                best_margin = margin_sum;
+                // Pick the best distribution within this sort.
+                let mut best_k = min_entries;
+                let mut best_key = (f64::MAX, f64::MAX);
+                for k in min_entries..=(n - min_entries) {
+                    let l = prefix[k - 1];
+                    let r = suffix[k];
+                    let key = (l.intersection_area(&r), l.area() + r.area());
+                    if key < best_key {
+                        best_key = key;
+                        best_k = k;
+                    }
+                }
+                best = Some((best_key.0, best_key.1, sorted, best_k));
+            }
+        }
+    }
+
+    let (_, _, sorted, k) = best.expect("at least one axis considered");
+    let right = sorted[k..].to_vec();
+    let left = sorted[..k].to_vec();
+    debug_assert_eq!(left.len() + right.len(), entries.len());
+    (left, right)
+}
+
+#[inline]
+fn sort_key(r: &Rect, axis: usize, by_upper: bool) -> f64 {
+    match (axis, by_upper) {
+        (0, false) => r.min.x,
+        (0, true) => r.max.x,
+        (1, false) => r.min.y,
+        _ => r.max.y,
+    }
+}
+
+/// Bounding rect helper for split tests.
+#[cfg(test)]
+pub(crate) fn bound_entries(entries: &[Entry]) -> Rect {
+    bound_of(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Coord;
+
+    fn e(x0: f64, y0: f64, x1: f64, y1: f64, id: usize) -> Entry {
+        Entry {
+            rect: Rect::new(Coord::new(x0, y0), Coord::new(x1, y1)),
+            payload: id,
+        }
+    }
+
+    #[test]
+    fn split_separates_clusters() {
+        // Two clear clusters on the x axis must be split apart.
+        let mut entries = Vec::new();
+        for i in 0..5 {
+            entries.push(e(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0, i));
+        }
+        for i in 0..5 {
+            entries.push(e(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0, 5 + i));
+        }
+        let (l, r) = choose_split(entries, 3);
+        let l_ids: Vec<usize> = l.iter().map(|x| x.payload).collect();
+        let r_ids: Vec<usize> = r.iter().map(|x| x.payload).collect();
+        let (low, high) = if l_ids.contains(&0) { (l_ids, r_ids) } else { (r_ids, l_ids) };
+        assert!(low.iter().all(|&i| i < 5), "low cluster split: {low:?}");
+        assert!(high.iter().all(|&i| i >= 5), "high cluster split: {high:?}");
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let entries: Vec<Entry> = (0..9).map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0, i)).collect();
+        let (l, r) = choose_split(entries, 3);
+        assert!(l.len() >= 3 && r.len() >= 3);
+        assert_eq!(l.len() + r.len(), 9);
+    }
+
+    #[test]
+    fn split_minimizes_overlap() {
+        // A vertical stack: splitting on y gives zero overlap.
+        let entries: Vec<Entry> = (0..8)
+            .map(|i| e(0.0, i as f64 * 2.0, 10.0, i as f64 * 2.0 + 1.0, i))
+            .collect();
+        let (l, r) = choose_split(entries, 3);
+        let lb = bound_entries(&l);
+        let rb = bound_entries(&r);
+        assert_eq!(lb.intersection_area(&rb), 0.0);
+    }
+}

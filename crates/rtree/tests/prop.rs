@@ -1,0 +1,106 @@
+//! Property-based tests: the R-tree answers exactly like a linear scan and
+//! maintains its structural invariants under arbitrary insertion orders.
+
+use geom::{Coord, Rect};
+use proptest::prelude::*;
+use rtree::{bulk_load_str, RTree};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-50.0f64..50.0, -50.0f64..50.0, 0.0f64..10.0, 0.0f64..10.0)
+        .prop_map(|(x, y, w, h)| Rect::new(Coord::new(x, y), Coord::new(x + w, y + h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn point_queries_equal_linear_scan(
+        rects in proptest::collection::vec(arb_rect(), 0..120),
+        probes in proptest::collection::vec((-55.0f64..55.0, -55.0f64..55.0), 20),
+    ) {
+        let mut tree = RTree::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u32);
+        }
+        prop_assert_eq!(tree.len(), rects.len());
+        if !rects.is_empty() {
+            tree.check_invariants();
+        }
+        for (px, py) in probes {
+            let p = Coord::new(px, py);
+            let mut got = tree.query_point(p);
+            got.sort_unstable();
+            let expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn rect_queries_equal_linear_scan(
+        rects in proptest::collection::vec(arb_rect(), 1..80),
+        query in arb_rect(),
+    ) {
+        let mut tree = RTree::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u32);
+        }
+        let mut got = tree.query_rect(&query);
+        got.sort_unstable();
+        let expected: Vec<u32> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn str_and_insertion_answer_identically(
+        rects in proptest::collection::vec(arb_rect(), 1..100),
+        probes in proptest::collection::vec((-55.0f64..55.0, -55.0f64..55.0), 15),
+    ) {
+        let items: Vec<(Rect, u32)> = rects.iter().enumerate().map(|(i, r)| (*r, i as u32)).collect();
+        let str_tree = bulk_load_str(&items, 8);
+        let mut ins_tree = RTree::new(8);
+        for &(r, id) in &items {
+            ins_tree.insert(r, id);
+        }
+        for (px, py) in probes {
+            let p = Coord::new(px, py);
+            let mut a = str_tree.query_point(p);
+            let mut b = ins_tree.query_point(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_answers(
+        rects in proptest::collection::vec(arb_rect(), 2..60),
+        probes in proptest::collection::vec((-55.0f64..55.0, -55.0f64..55.0), 10),
+    ) {
+        let mut fwd = RTree::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            fwd.insert(*r, i as u32);
+        }
+        let mut rev = RTree::new(8);
+        for (i, r) in rects.iter().enumerate().rev() {
+            rev.insert(*r, i as u32);
+        }
+        for (px, py) in probes {
+            let p = Coord::new(px, py);
+            let mut a = fwd.query_point(p);
+            let mut b = rev.query_point(p);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Cell geometry: the spherical quadrilateral denoted by a [`CellId`].
+
+use crate::cellid::CellId;
+use crate::coords::{self, size_ij};
+use crate::latlng::LatLng;
+use crate::point::Point;
+use crate::MAX_SIZE;
+
+/// The geometric extent of a cell: its face and its (u, v) rectangle.
+///
+/// Vertices are returned in counter-clockwise order (as seen from outside
+/// the sphere) starting from the (u_lo, v_lo) corner.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// The id this geometry was derived from.
+    pub id: CellId,
+    /// Cube face.
+    pub face: u8,
+    /// Subdivision level.
+    pub level: u8,
+    /// Inclusive (u, v) bounds on the face: `[u_lo, u_hi] × [v_lo, v_hi]`.
+    pub u_lo: f64,
+    pub u_hi: f64,
+    pub v_lo: f64,
+    pub v_hi: f64,
+}
+
+impl Cell {
+    /// Computes the geometry of `id`.
+    pub fn from_cellid(id: CellId) -> Cell {
+        debug_assert!(id.is_valid());
+        let level = id.level();
+        let (face, i, j, _) = id.to_face_ij_orientation();
+        let size = size_ij(level);
+        let i_lo = i & !(size - 1);
+        let j_lo = j & !(size - 1);
+        let s_lo = i_lo as f64 / MAX_SIZE as f64;
+        let s_hi = (i_lo + size) as f64 / MAX_SIZE as f64;
+        let t_lo = j_lo as f64 / MAX_SIZE as f64;
+        let t_hi = (j_lo + size) as f64 / MAX_SIZE as f64;
+        Cell {
+            id,
+            face,
+            level,
+            u_lo: coords::st_to_uv(s_lo),
+            u_hi: coords::st_to_uv(s_hi),
+            v_lo: coords::st_to_uv(t_lo),
+            v_hi: coords::st_to_uv(t_hi),
+        }
+    }
+
+    /// The four corner directions in CCW order:
+    /// (u_lo,v_lo), (u_hi,v_lo), (u_hi,v_hi), (u_lo,v_hi).
+    pub fn vertices(&self) -> [Point; 4] {
+        [
+            coords::face_uv_to_xyz(self.face, self.u_lo, self.v_lo).normalized(),
+            coords::face_uv_to_xyz(self.face, self.u_hi, self.v_lo).normalized(),
+            coords::face_uv_to_xyz(self.face, self.u_hi, self.v_hi).normalized(),
+            coords::face_uv_to_xyz(self.face, self.u_lo, self.v_hi).normalized(),
+        ]
+    }
+
+    /// The four corners as lat/lng, same order as [`Cell::vertices`].
+    pub fn vertices_latlng(&self) -> [LatLng; 4] {
+        let vs = self.vertices();
+        [
+            vs[0].to_latlng(),
+            vs[1].to_latlng(),
+            vs[2].to_latlng(),
+            vs[3].to_latlng(),
+        ]
+    }
+
+    /// Center of the cell (the midpoint in (s, t) space, matching
+    /// [`CellId::to_point`] — note this is *not* the (u, v) midpoint because
+    /// the quadratic transform is nonlinear).
+    pub fn center(&self) -> Point {
+        self.id.to_point()
+    }
+
+    /// The maximum distance (in radians) from the center to any point of the
+    /// cell — half the diagonal, computed exactly from the corners.
+    pub fn circumradius_radians(&self) -> f64 {
+        let c = self.center();
+        self.vertices()
+            .iter()
+            .map(|v| c.angle(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Longest diagonal of this particular cell in meters.
+    pub fn diag_meters(&self) -> f64 {
+        let v = self.vertices();
+        let d1 = v[0].angle(&v[2]);
+        let d2 = v[1].angle(&v[3]);
+        d1.max(d2) * crate::metrics::EARTH_RADIUS_METERS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn nyc_cell(level: u8) -> Cell {
+        let id = CellId::from_latlng(LatLng::from_degrees(40.7580, -73.9855)).parent(level);
+        Cell::from_cellid(id)
+    }
+
+    #[test]
+    fn vertices_bound_the_center() {
+        for level in [0u8, 4, 10, 17, 21, 28, 30] {
+            let cell = nyc_cell(level);
+            let center = cell.center();
+            let r = cell.circumradius_radians();
+            for v in cell.vertices() {
+                assert!(center.angle(&v) <= r + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn center_matches_cellid_center() {
+        for level in [3u8, 9, 17, 24] {
+            let cell = nyc_cell(level);
+            let a = cell.center();
+            let b = cell.id.to_point();
+            assert!(a.angle(&b) < 1e-12, "level {level}");
+        }
+    }
+
+    #[test]
+    fn diag_within_metric_bound() {
+        // Every concrete cell diagonal must be ≤ the metric's max and ≥ min.
+        for level in [4u8, 10, 14, 17, 19, 21, 24] {
+            let cell = nyc_cell(level);
+            let diag = cell.diag_meters();
+            let max = metrics::max_diag_meters(level);
+            let min = metrics::MIN_DIAG_DERIV / (1u64 << level) as f64
+                * metrics::EARTH_RADIUS_METERS;
+            assert!(
+                diag <= max * (1.0 + 1e-9),
+                "level {level}: diag {diag} > max {max}"
+            );
+            assert!(
+                diag >= min * (1.0 - 1e-9),
+                "level {level}: diag {diag} < min {min}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_diag_metric_bounds_sampled_cells_globally() {
+        // The precision guarantee requires max_diag_meters(level) to bound
+        // the diagonal of *every* cell at that level. Sample cells across
+        // the whole sphere (all faces, centers, edges, corners) and check.
+        for level in [2u8, 5, 9, 13, 18, 22] {
+            for lat_i in -9..=9 {
+                for lng_i in -18..18 {
+                    let ll = LatLng::from_degrees(lat_i as f64 * 9.9, lng_i as f64 * 10.0 + 0.123);
+                    let cell = Cell::from_cellid(CellId::from_latlng(ll).parent(level));
+                    let diag = cell.diag_meters();
+                    let bound = metrics::max_diag_meters(level);
+                    assert!(
+                        diag <= bound,
+                        "level {level} at {ll}: diag {diag} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_tile_parent_uv() {
+        let parent = nyc_cell(10);
+        let kids: Vec<Cell> = parent.id.children().iter().map(|c| Cell::from_cellid(*c)).collect();
+        // Union of children's uv-rects equals the parent's rect: total area
+        // matches and each child rect is inside the parent rect.
+        let area = |c: &Cell| (c.u_hi - c.u_lo) * (c.v_hi - c.v_lo);
+        let kid_area: f64 = kids.iter().map(area).sum();
+        assert!((kid_area - area(&parent)).abs() < 1e-15 * area(&parent).max(1.0));
+        for k in &kids {
+            assert!(k.u_lo >= parent.u_lo - 1e-15 && k.u_hi <= parent.u_hi + 1e-15);
+            assert!(k.v_lo >= parent.v_lo - 1e-15 && k.v_hi <= parent.v_hi + 1e-15);
+        }
+    }
+
+    #[test]
+    fn vertex_corners_contain_query_point() {
+        // The lat/lng quad of a small NYC cell must contain the point it was
+        // built from (planar check is fine at this scale).
+        let ll = LatLng::from_degrees(40.7580, -73.9855);
+        let cell = Cell::from_cellid(CellId::from_latlng(ll).parent(16));
+        let quad = cell.vertices_latlng();
+        let (lats, lngs): (Vec<f64>, Vec<f64>) =
+            quad.iter().map(|p| (p.lat, p.lng)).unzip();
+        let lat_min = lats.iter().cloned().fold(f64::MAX, f64::min);
+        let lat_max = lats.iter().cloned().fold(f64::MIN, f64::max);
+        let lng_min = lngs.iter().cloned().fold(f64::MAX, f64::min);
+        let lng_max = lngs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(ll.lat >= lat_min && ll.lat <= lat_max);
+        assert!(ll.lng >= lng_min && ll.lng <= lng_max);
+    }
+}

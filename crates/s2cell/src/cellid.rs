@@ -1,0 +1,472 @@
+//! 64-bit hierarchical cell identifiers.
+//!
+//! A [`CellId`] uniquely identifies one node of the 6-face quadtree
+//! hierarchy. The bit layout (matching S2) is:
+//!
+//! ```text
+//!  63      61 60                                            0
+//! +----------+----------------------------------------------+
+//! |  face(3) |  Hilbert position (2 bits/level) | 1 | 0...0 |
+//! +----------+----------------------------------------------+
+//! ```
+//!
+//! A cell at level `L` uses `2·L` position bits followed by a sentinel `1`
+//! bit and zero padding. Two properties make this encoding ideal for a radix
+//! tree (the property ACT relies on):
+//!
+//! 1. The position bits of a child extend those of its parent — ids are
+//!    *prefix codes* for quadtree paths.
+//! 2. All descendants of a cell form a contiguous id range
+//!    `[range_min, range_max]`.
+
+use crate::coords::{
+    self, st_to_ij, xyz_to_face_uv, INVERT_MASK, LOOKUP_BITS, LOOKUP_IJ, LOOKUP_POS, SWAP_MASK,
+};
+use crate::latlng::LatLng;
+use crate::point::Point;
+use crate::{MAX_LEVEL, NUM_FACES, POS_BITS};
+use std::fmt;
+
+/// A 64-bit hierarchical cell identifier (see module docs for the layout).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u64);
+
+impl CellId {
+    /// The invalid/none cell id.
+    pub const NONE: CellId = CellId(0);
+
+    /// Returns the level-0 cell covering an entire cube face (0..6).
+    #[inline]
+    pub fn from_face(face: u8) -> CellId {
+        debug_assert!(face < NUM_FACES);
+        CellId(((face as u64) << (POS_BITS)) + Self::lsb_for_level(0))
+    }
+
+    /// Builds the **leaf** cell id for discrete face coordinates (i, j).
+    ///
+    /// This is the hot path of the whole system: it maps 4 bits of `i` and
+    /// 4 bits of `j` to 8 Hilbert-position bits per step via lookup tables.
+    pub fn from_face_ij(face: u8, i: u32, j: u32) -> CellId {
+        debug_assert!(face < NUM_FACES);
+        let mut n: u64 = (face as u64) << (POS_BITS - 1);
+        // Alternate faces have opposite Hilbert curve orientations; this is
+        // required for the curve to be continuous across face boundaries.
+        let mut bits: u64 = (face & SWAP_MASK) as u64;
+        let mask: u64 = (1 << LOOKUP_BITS) - 1;
+        let mut k: i32 = 7;
+        while k >= 0 {
+            let shift = (k as u32) * LOOKUP_BITS;
+            bits += (((i >> shift) as u64) & mask) << (LOOKUP_BITS + 2);
+            bits += (((j >> shift) as u64) & mask) << 2;
+            bits = LOOKUP_POS[bits as usize] as u64;
+            n |= (bits >> 2) << (k as u32 * 2 * LOOKUP_BITS);
+            bits &= (SWAP_MASK | INVERT_MASK) as u64;
+            k -= 1;
+        }
+        CellId(n * 2 + 1)
+    }
+
+    /// Builds the leaf cell containing the given unit vector.
+    #[inline]
+    pub fn from_point(p: &Point) -> CellId {
+        let (face, u, v) = xyz_to_face_uv(p);
+        let i = st_to_ij(coords::uv_to_st(u));
+        let j = st_to_ij(coords::uv_to_st(v));
+        Self::from_face_ij(face, i, j)
+    }
+
+    /// Builds the leaf cell containing the given lat/lng.
+    #[inline]
+    pub fn from_latlng(ll: LatLng) -> CellId {
+        Self::from_point(&ll.to_point())
+    }
+
+    /// Decodes this id into (face, i, j) leaf coordinates and the Hilbert
+    /// orientation at the cell's level. For non-leaf cells the returned
+    /// (i, j) identify a leaf cell near the center of this cell.
+    pub fn to_face_ij_orientation(&self) -> (u8, u32, u32, u8) {
+        let face = self.face();
+        let mut bits: u64 = (face & SWAP_MASK) as u64;
+        let mut i: u32 = 0;
+        let mut j: u32 = 0;
+        let mut k: i32 = 7;
+        while k >= 0 {
+            let nbits: u32 = if k == 7 {
+                MAX_LEVEL as u32 - 7 * LOOKUP_BITS
+            } else {
+                LOOKUP_BITS
+            };
+            bits += ((self.0 >> (k as u32 * 2 * LOOKUP_BITS + 1)) & ((1 << (2 * nbits)) - 1)) << 2;
+            bits = LOOKUP_IJ[bits as usize] as u64;
+            i += ((bits >> (LOOKUP_BITS + 2)) as u32) << (k as u32 * LOOKUP_BITS);
+            j += (((bits >> 2) as u32) & ((1 << LOOKUP_BITS) - 1)) << (k as u32 * LOOKUP_BITS);
+            bits &= (SWAP_MASK | INVERT_MASK) as u64;
+            k -= 1;
+        }
+        (face, i, j, bits as u8)
+    }
+
+    /// The cube face (0..6) of this cell.
+    #[inline]
+    pub fn face(&self) -> u8 {
+        (self.0 >> POS_BITS) as u8
+    }
+
+    /// The lowest set bit: `1 << (2 · (30 − level))`.
+    #[inline]
+    pub fn lsb(&self) -> u64 {
+        self.0 & self.0.wrapping_neg()
+    }
+
+    /// The lsb value a cell at `level` would have.
+    #[inline]
+    pub fn lsb_for_level(level: u8) -> u64 {
+        1u64 << (2 * (MAX_LEVEL - level))
+    }
+
+    /// The subdivision level of this cell (0 = face cell, 30 = leaf).
+    #[inline]
+    pub fn level(&self) -> u8 {
+        debug_assert!(self.is_valid());
+        MAX_LEVEL - (self.0.trailing_zeros() as u8 >> 1)
+    }
+
+    /// True if this is a leaf (level 30) cell.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if this is a face (level 0) cell.
+    #[inline]
+    pub fn is_face(&self) -> bool {
+        self.0 & (Self::lsb_for_level(0) - 1) == 0 && self.0 != 0
+    }
+
+    /// True if this encodes a structurally valid cell id.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.face() < NUM_FACES && (self.lsb() & 0x1555_5555_5555_5555) != 0
+    }
+
+    /// The ancestor of this cell at the given (coarser or equal) level.
+    #[inline]
+    pub fn parent(&self, level: u8) -> CellId {
+        debug_assert!(level <= self.level());
+        let new_lsb = Self::lsb_for_level(level);
+        CellId((self.0 & new_lsb.wrapping_neg()) | new_lsb)
+    }
+
+    /// The immediate parent (one level up).
+    #[inline]
+    pub fn immediate_parent(&self) -> CellId {
+        debug_assert!(!self.is_face());
+        let new_lsb = self.lsb() << 2;
+        CellId((self.0 & new_lsb.wrapping_neg()) | new_lsb)
+    }
+
+    /// The `k`-th child (0..4) of this cell, in Hilbert order.
+    #[inline]
+    pub fn child(&self, k: u8) -> CellId {
+        debug_assert!(!self.is_leaf() && k < 4);
+        let new_lsb = self.lsb() >> 2;
+        CellId(
+            self.0
+                .wrapping_add((2 * k as u64).wrapping_sub(3).wrapping_mul(new_lsb)),
+        )
+    }
+
+    /// All four children in Hilbert order.
+    #[inline]
+    pub fn children(&self) -> [CellId; 4] {
+        [self.child(0), self.child(1), self.child(2), self.child(3)]
+    }
+
+    /// The index (0..4) of the child of `level`-1 ancestor on the path to
+    /// this cell; i.e. which quadrant this cell's level-`level` ancestor
+    /// occupies within its parent.
+    #[inline]
+    pub fn child_position(&self, level: u8) -> u8 {
+        debug_assert!(level >= 1 && level <= self.level());
+        ((self.0 >> (2 * (MAX_LEVEL - level) + 1)) & 3) as u8
+    }
+
+    /// Smallest leaf id contained in this cell.
+    #[inline]
+    pub fn range_min(&self) -> CellId {
+        CellId(self.0 - (self.lsb() - 1))
+    }
+
+    /// Largest leaf id contained in this cell.
+    #[inline]
+    pub fn range_max(&self) -> CellId {
+        CellId(self.0 + (self.lsb() - 1))
+    }
+
+    /// True if `other` is this cell or a descendant of it.
+    #[inline]
+    pub fn contains(&self, other: CellId) -> bool {
+        other.0 >= self.range_min().0 && other.0 <= self.range_max().0
+    }
+
+    /// True if the two cells overlap (one contains the other).
+    #[inline]
+    pub fn intersects(&self, other: CellId) -> bool {
+        other.range_min().0 <= self.range_max().0 && other.range_max().0 >= self.range_min().0
+    }
+
+    /// The next cell at this level along the Hilbert curve (may wrap past
+    /// the last face; callers should check [`CellId::is_valid`]).
+    #[inline]
+    pub fn next(&self) -> CellId {
+        CellId(self.0.wrapping_add(self.lsb() << 1))
+    }
+
+    /// The previous cell at this level along the Hilbert curve.
+    #[inline]
+    pub fn prev(&self) -> CellId {
+        CellId(self.0.wrapping_sub(self.lsb() << 1))
+    }
+
+    /// The center of this cell.
+    pub fn to_point(&self) -> Point {
+        let (face, si, ti) = self.center_st();
+        coords::face_uv_to_xyz(face, coords::st_to_uv(si), coords::st_to_uv(ti)).normalized()
+    }
+
+    /// The center of this cell in lat/lng.
+    #[inline]
+    pub fn to_latlng(&self) -> LatLng {
+        self.to_point().to_latlng()
+    }
+
+    /// The (face, s, t) coordinates of this cell's center.
+    pub fn center_st(&self) -> (u8, f64, f64) {
+        let (face, i, j, _) = self.to_face_ij_orientation();
+        let size = coords::size_ij(self.level());
+        let i_lo = i & !(size - 1);
+        let j_lo = j & !(size - 1);
+        let half = size as f64 * 0.5;
+        let s = (i_lo as f64 + half) / crate::MAX_SIZE as f64;
+        let t = (j_lo as f64 + half) / crate::MAX_SIZE as f64;
+        (face, s, t)
+    }
+
+    /// Extracts the `d`-th byte (0-based, most significant first) of the
+    /// position-bit string. This is the radix-tree key chunk used by ACT:
+    /// byte `d` discriminates quadtree levels `4d+1 ..= 4d+4`.
+    #[inline]
+    pub fn key_byte(&self, d: u32) -> u8 {
+        debug_assert!(d < 8);
+        ((self.0 << 3) >> (56 - 8 * d)) as u8
+    }
+
+    /// A compact hex token for debugging (trailing zeros stripped), e.g.
+    /// `"89c25a34"`.
+    pub fn token(&self) -> String {
+        if self.0 == 0 {
+            return "X".to_string();
+        }
+        let hex = format!("{:016x}", self.0);
+        hex.trim_end_matches('0').to_string()
+    }
+
+    /// Parses a token produced by [`CellId::token`].
+    pub fn from_token(tok: &str) -> Option<CellId> {
+        if tok.is_empty() || tok.len() > 16 || tok == "X" {
+            return None;
+        }
+        let mut padded = tok.to_string();
+        while padded.len() < 16 {
+            padded.push('0');
+        }
+        u64::from_str_radix(&padded, 16).ok().map(CellId)
+    }
+}
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_valid() {
+            return write!(f, "CellId(invalid: {:#x})", self.0);
+        }
+        write!(f, "CellId({}/", self.face())?;
+        for l in 1..=self.level() {
+            write!(f, "{}", self.child_position(l))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_cells() {
+        for face in 0..6u8 {
+            let c = CellId::from_face(face);
+            assert!(c.is_valid());
+            assert!(c.is_face());
+            assert_eq!(c.face(), face);
+            assert_eq!(c.level(), 0);
+            assert!(!c.is_leaf());
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip_face_ij() {
+        for &(face, i, j) in &[
+            (0u8, 0u32, 0u32),
+            (1, 12345, 67890),
+            (4, 0x3fff_ffff, 0x3fff_ffff),
+            (5, 0x2000_0000, 0x1fff_ffff),
+            (3, 1, 0x3fff_fffe),
+        ] {
+            let c = CellId::from_face_ij(face, i, j);
+            assert!(c.is_leaf(), "({face},{i},{j})");
+            assert!(c.is_valid());
+            let (f2, i2, j2, _) = c.to_face_ij_orientation();
+            assert_eq!((f2, i2, j2), (face, i, j));
+        }
+    }
+
+    #[test]
+    fn parent_child_algebra() {
+        let leaf = CellId::from_latlng(LatLng::from_degrees(40.7580, -73.9855));
+        assert_eq!(leaf.level(), 30);
+        for level in (0..30u8).rev() {
+            let p = leaf.parent(level);
+            assert_eq!(p.level(), level);
+            assert!(p.contains(leaf));
+            assert!(!leaf.contains(p));
+            // The parent is reachable from its own parent via `child`.
+            if level < 30 {
+                let q = leaf.parent(level + 1);
+                assert_eq!(q.immediate_parent(), p);
+                let pos = leaf.child_position(level + 1);
+                assert_eq!(p.child(pos), q);
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let cell = CellId::from_latlng(LatLng::from_degrees(40.7, -74.0)).parent(10);
+        let kids = cell.children();
+        // Children are disjoint, contained in parent, and cover its range.
+        for (a, k) in kids.iter().enumerate() {
+            assert_eq!(k.level(), 11);
+            assert!(cell.contains(*k));
+            assert_eq!(k.immediate_parent(), cell);
+            for kb in kids.iter().skip(a + 1) {
+                assert!(!k.intersects(*kb));
+            }
+        }
+        assert_eq!(kids[0].range_min(), cell.range_min());
+        assert_eq!(kids[3].range_max(), cell.range_max());
+        // Consecutive children are adjacent in id space.
+        for w in kids.windows(2) {
+            assert_eq!(w[0].range_max().0 + 2, w[1].range_min().0);
+        }
+    }
+
+    #[test]
+    fn containment_is_range_containment() {
+        let a = CellId::from_latlng(LatLng::from_degrees(40.7, -74.0)).parent(8);
+        let b = a.child(2).child(1);
+        assert!(a.contains(b));
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        let sibling = a.next();
+        assert!(!a.intersects(sibling));
+        assert!(!a.contains(sibling));
+    }
+
+    #[test]
+    fn next_prev() {
+        let c = CellId::from_face(2).child(1).child(3);
+        assert_eq!(c.next().prev(), c);
+        assert_eq!(c.next().level(), c.level());
+        assert!(c.next().0 > c.0);
+    }
+
+    #[test]
+    fn center_is_contained() {
+        // The center of a cell must map back into the same cell.
+        let mut cell = CellId::from_latlng(LatLng::from_degrees(40.7580, -73.9855)).parent(0);
+        for _ in 0..30 {
+            let center = cell.to_latlng();
+            let leaf = CellId::from_latlng(center);
+            assert!(
+                cell.contains(leaf),
+                "center of {cell:?} maps to {leaf:?} outside the cell"
+            );
+            cell = cell.child(2);
+        }
+    }
+
+    #[test]
+    fn latlng_cell_roundtrip_precision() {
+        // A leaf cell is ~1 cm; its center must be within 1 cm of the input.
+        let ll = LatLng::from_degrees(40.7580, -73.9855);
+        let c = CellId::from_latlng(ll);
+        let back = c.to_latlng();
+        assert!(ll.distance_meters(&back) < 0.01);
+    }
+
+    #[test]
+    fn key_bytes_are_prefix_stable() {
+        // Key bytes of an ancestor are a prefix of the descendant's bytes
+        // for all full byte positions of the ancestor's level.
+        let leaf = CellId::from_latlng(LatLng::from_degrees(40.7, -74.0));
+        let anc = leaf.parent(16); // 32 position bits = 4 full key bytes
+        for d in 0..4 {
+            assert_eq!(anc.key_byte(d), leaf.key_byte(d), "byte {d}");
+        }
+    }
+
+    #[test]
+    fn key_byte_extracts_position_bits() {
+        // For a level-4 cell, key byte 0 holds exactly the 8 position bits.
+        let cell = CellId::from_face(4).child(1).child(2).child(3).child(0);
+        let expected = (1 << 6) | (2 << 4) | (3 << 2); // 01_10_11_00
+        assert_eq!(cell.key_byte(0), expected);
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        for cell in [
+            CellId::from_face(0),
+            CellId::from_face(5),
+            CellId::from_latlng(LatLng::from_degrees(40.7, -74.0)),
+            CellId::from_latlng(LatLng::from_degrees(-33.9, 151.2)).parent(12),
+        ] {
+            let tok = cell.token();
+            assert_eq!(CellId::from_token(&tok), Some(cell), "token {tok}");
+        }
+        assert_eq!(CellId::from_token("X"), None);
+        assert_eq!(CellId::from_token(""), None);
+    }
+
+    #[test]
+    fn invalid_ids() {
+        assert!(!CellId(0).is_valid());
+        assert!(!CellId(u64::MAX).is_valid()); // face 7
+        assert!(CellId::from_face(0).is_valid());
+    }
+
+    #[test]
+    fn hilbert_locality_smoke() {
+        // Nearby points should share a long cell-id prefix.
+        let a = CellId::from_latlng(LatLng::from_degrees(40.758000, -73.985500));
+        let b = CellId::from_latlng(LatLng::from_degrees(40.758001, -73.985501));
+        // Within ~20 cm, they must share at least a level-20 ancestor.
+        assert_eq!(a.parent(20), b.parent(20));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cell unions: normalized sets of cells representing a region.
+//!
+//! A [`CellUnion`] is a sorted set of disjoint cells. *Normalization*
+//! additionally replaces any complete group of four sibling cells by their
+//! parent, recursively — the canonical minimal representation of a region
+//! as cells. The covering pipeline uses this to compact interior coverings
+//! (four interior siblings collapse into one coarser interior cell, which
+//! is both smaller to store and faster to hit in upper trie nodes).
+
+use crate::cellid::CellId;
+
+/// A sorted, disjoint, normalized set of cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CellUnion {
+    cells: Vec<CellId>,
+}
+
+impl CellUnion {
+    /// Builds a union from arbitrary cells: sorts, removes cells contained
+    /// in other cells, and merges complete sibling groups into parents.
+    pub fn from_cells(mut cells: Vec<CellId>) -> CellUnion {
+        if cells.is_empty() {
+            return CellUnion::default();
+        }
+        cells.sort_unstable();
+        // Drop descendants of earlier cells (after sorting by id, a
+        // descendant always falls in some ancestor's [range_min, range_max],
+        // and ancestors sort inside their own range).
+        let mut disjoint: Vec<CellId> = Vec::with_capacity(cells.len());
+        for c in cells {
+            match disjoint.last() {
+                Some(last) if last.contains(c) => continue,
+                Some(last) if c.contains(*last) => {
+                    // Replace descendants of c already emitted.
+                    while let Some(&tail) = disjoint.last() {
+                        if c.contains(tail) {
+                            disjoint.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    disjoint.push(c);
+                }
+                _ => disjoint.push(c),
+            }
+        }
+
+        // Merge complete sibling groups bottom-up. One pass with a stack:
+        // whenever the top four stack entries are the four children of one
+        // parent, collapse them.
+        let mut stack: Vec<CellId> = Vec::with_capacity(disjoint.len());
+        for c in disjoint {
+            stack.push(c);
+            while stack.len() >= 4 {
+                let n = stack.len();
+                let last = stack[n - 1];
+                if last.is_face() {
+                    break;
+                }
+                let parent = last.immediate_parent();
+                if stack[n - 4..]
+                    .iter()
+                    .zip(parent.children())
+                    .all(|(a, b)| *a == b)
+                {
+                    stack.truncate(n - 4);
+                    stack.push(parent);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        CellUnion { cells: stack }
+    }
+
+    /// The normalized cells, sorted by id.
+    #[inline]
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the union is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True if the union contains `target` (i.e. some cell is `target` or
+    /// an ancestor of it). Binary search: O(log n).
+    pub fn contains(&self, target: CellId) -> bool {
+        // The candidate is the last cell with range_min <= target.
+        let idx = self
+            .cells
+            .partition_point(|c| c.range_min().0 <= target.0);
+        idx > 0 && self.cells[idx - 1].range_max().0 >= target.0
+    }
+
+    /// Sum of the (exact leaf-count) sizes, as a fraction of the sphere.
+    pub fn leaf_fraction(&self) -> f64 {
+        let total: f64 = self
+            .cells
+            .iter()
+            .map(|c| ((c.range_max().0 - c.range_min().0) / 2 + 1) as f64)
+            .sum();
+        // 6 faces × 4^30 leaves per face.
+        total / (6.0 * (4.0f64).powi(30))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latlng::LatLng;
+
+    fn leaf() -> CellId {
+        CellId::from_latlng(LatLng::from_degrees(40.7580, -73.9855))
+    }
+
+    #[test]
+    fn empty_union() {
+        let u = CellUnion::from_cells(vec![]);
+        assert!(u.is_empty());
+        assert!(!u.contains(leaf()));
+    }
+
+    #[test]
+    fn dedup_and_containment_pruning() {
+        let c = leaf().parent(10);
+        let u = CellUnion::from_cells(vec![c, c, c.child(2), c.child(0).child(1)]);
+        assert_eq!(u.cells(), &[c]);
+        assert!(u.contains(leaf()));
+        assert!(u.contains(c));
+        assert!(!u.contains(c.next()));
+    }
+
+    #[test]
+    fn ancestor_added_after_descendants() {
+        let c = leaf().parent(10);
+        let u = CellUnion::from_cells(vec![c.child(0), c.child(2).child(1), c]);
+        assert_eq!(u.cells(), &[c]);
+    }
+
+    #[test]
+    fn four_siblings_collapse_to_parent() {
+        let p = leaf().parent(12);
+        let kids = p.children().to_vec();
+        let u = CellUnion::from_cells(kids);
+        assert_eq!(u.cells(), &[p]);
+        // Recursive collapse: all 16 grandchildren → grandparent... built
+        // from two levels down.
+        let mut grandkids = Vec::new();
+        for k in p.children() {
+            grandkids.extend(k.children());
+        }
+        let u = CellUnion::from_cells(grandkids);
+        assert_eq!(u.cells(), &[p]);
+    }
+
+    #[test]
+    fn incomplete_siblings_do_not_collapse() {
+        let p = leaf().parent(12);
+        let u = CellUnion::from_cells(vec![p.child(0), p.child(1), p.child(3)]);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(p.child(0).range_min()));
+        assert!(!u.contains(p.child(2).range_min()));
+    }
+
+    #[test]
+    fn mixed_faces_and_levels() {
+        let a = CellId::from_face(0).child(1);
+        let b = CellId::from_face(3);
+        let c = leaf().parent(20);
+        let u = CellUnion::from_cells(vec![c, b, a]);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(a.child(2).range_min()));
+        assert!(u.contains(b.range_max()));
+        assert!(u.contains(leaf()));
+    }
+
+    #[test]
+    fn leaf_fraction_of_face() {
+        let u = CellUnion::from_cells(vec![CellId::from_face(2)]);
+        assert!((u.leaf_fraction() - 1.0 / 6.0).abs() < 1e-12);
+        // All six faces = whole sphere; also exercises the collapse guard
+        // at face level.
+        let u = CellUnion::from_cells((0..6).map(CellId::from_face).collect());
+        assert!((u.leaf_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,366 @@
+//! The S2 coordinate-transform chain and Hilbert-curve lookup tables.
+//!
+//! The chain from a direction on the sphere to a discrete cell coordinate:
+//!
+//! ```text
+//! (x, y, z)  --face projection-->  (face, u, v)   u, v ∈ [-1, 1]
+//! (u, v)     --quadratic-->        (s, t)         s, t ∈ [0, 1]
+//! (s, t)     --discretize-->       (i, j)         i, j ∈ [0, 2^30)
+//! (i, j)     --Hilbert curve-->    64-bit position (see `cellid`)
+//! ```
+//!
+//! The quadratic (s, t) ↔ (u, v) transform is the same one S2 uses by
+//! default: it roughly equalizes cell areas across a face (the raw gnomonic
+//! projection would make corner cells ~5× smaller than center cells).
+
+use crate::point::Point;
+use crate::{MAX_LEVEL, MAX_SIZE};
+
+// ---------------------------------------------------------------------------
+// Face projection
+// ---------------------------------------------------------------------------
+
+/// Returns the cube face (0..6) whose axis has the largest absolute
+/// component in `p`. Faces 0, 1, 2 are the +x, +y, +z faces; 3, 4, 5 are
+/// -x, -y, -z.
+#[inline]
+pub fn face(p: &Point) -> u8 {
+    let (ax, ay, az) = (p.x.abs(), p.y.abs(), p.z.abs());
+    let axis = if ax > ay {
+        if ax > az {
+            0
+        } else {
+            2
+        }
+    } else if ay > az {
+        1
+    } else {
+        2
+    };
+    let comp = match axis {
+        0 => p.x,
+        1 => p.y,
+        _ => p.z,
+    };
+    if comp < 0.0 {
+        axis + 3
+    } else {
+        axis
+    }
+}
+
+/// Projects `p` onto the given `face`, returning (u, v) coordinates.
+///
+/// The result is only meaningful if `p` actually lies in the half-space of
+/// that face (the face axis component must be nonzero).
+#[inline]
+pub fn valid_face_xyz_to_uv(face: u8, p: &Point) -> (f64, f64) {
+    debug_assert!(face < 6);
+    match face {
+        0 => (p.y / p.x, p.z / p.x),
+        1 => (-p.x / p.y, p.z / p.y),
+        2 => (-p.x / p.z, -p.y / p.z),
+        3 => (p.z / p.x, p.y / p.x),
+        4 => (p.z / p.y, -p.x / p.y),
+        _ => (-p.y / p.z, -p.x / p.z),
+    }
+}
+
+/// Projects `p` onto its containing face; returns (face, u, v).
+#[inline]
+pub fn xyz_to_face_uv(p: &Point) -> (u8, f64, f64) {
+    let f = face(p);
+    let (u, v) = valid_face_xyz_to_uv(f, p);
+    (f, u, v)
+}
+
+/// Inverse of [`xyz_to_face_uv`]: returns the (non-normalized) direction
+/// vector for face-local coordinates (u, v).
+#[inline]
+pub fn face_uv_to_xyz(face: u8, u: f64, v: f64) -> Point {
+    debug_assert!(face < 6);
+    match face {
+        0 => Point::new(1.0, u, v),
+        1 => Point::new(-u, 1.0, v),
+        2 => Point::new(-u, -v, 1.0),
+        3 => Point::new(-1.0, -v, -u),
+        4 => Point::new(v, -1.0, -u),
+        _ => Point::new(v, u, -1.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quadratic (s,t) <-> (u,v)
+// ---------------------------------------------------------------------------
+
+/// Converts an s- or t-value in [0, 1] to the corresponding u- or v-value in
+/// [-1, 1] using the quadratic transform.
+#[inline]
+pub fn st_to_uv(s: f64) -> f64 {
+    if s >= 0.5 {
+        (1.0 / 3.0) * (4.0 * s * s - 1.0)
+    } else {
+        (1.0 / 3.0) * (1.0 - 4.0 * (1.0 - s) * (1.0 - s))
+    }
+}
+
+/// Inverse of [`st_to_uv`].
+#[inline]
+pub fn uv_to_st(u: f64) -> f64 {
+    if u >= 0.0 {
+        0.5 * (1.0 + 3.0 * u).sqrt()
+    } else {
+        1.0 - 0.5 * (1.0 - 3.0 * u).sqrt()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (s,t) <-> (i,j)
+// ---------------------------------------------------------------------------
+
+/// Converts an s- or t-value to the discrete leaf-cell coordinate in
+/// `[0, 2^30)`, clamping out-of-range inputs.
+#[inline]
+pub fn st_to_ij(s: f64) -> u32 {
+    let v = (MAX_SIZE as f64 * s).floor();
+    v.clamp(0.0, (MAX_SIZE - 1) as f64) as u32
+}
+
+/// Returns the s-value of the *center* of the leaf cell with coordinate `i`.
+#[inline]
+pub fn ij_to_st(i: u32) -> f64 {
+    debug_assert!(i < MAX_SIZE);
+    (i as f64 + 0.5) / MAX_SIZE as f64
+}
+
+/// Returns the s-value of the *lower edge* of the leaf cell with
+/// coordinate `i` (also accepts `i == MAX_SIZE` for the upper face edge).
+#[inline]
+pub fn ij_to_st_min(i: u32) -> f64 {
+    debug_assert!(i <= MAX_SIZE);
+    i as f64 / MAX_SIZE as f64
+}
+
+// ---------------------------------------------------------------------------
+// Hilbert curve tables
+// ---------------------------------------------------------------------------
+
+/// Orientation modifier: swap the i and j axes.
+pub const SWAP_MASK: u8 = 0x01;
+/// Orientation modifier: invert the i and j axes.
+pub const INVERT_MASK: u8 = 0x02;
+
+/// `POS_TO_IJ[orientation][position]` gives the 2-bit (i, j) sub-cell index
+/// (i in the high bit, j in the low bit) traversed at `position` along the
+/// Hilbert curve under the given orientation.
+pub const POS_TO_IJ: [[u8; 4]; 4] = [
+    [0, 1, 3, 2], // canonical order
+    [0, 2, 3, 1], // axes swapped
+    [3, 2, 0, 1], // axes inverted
+    [3, 1, 0, 2], // swapped & inverted
+];
+
+/// `IJ_TO_POS[orientation][ij]` is the inverse of [`POS_TO_IJ`].
+pub const IJ_TO_POS: [[u8; 4]; 4] = [
+    [0, 1, 3, 2],
+    [0, 3, 1, 2],
+    [2, 3, 1, 0],
+    [2, 1, 3, 0],
+];
+
+/// `POS_TO_ORIENTATION[position]` is the orientation modifier XOR-ed into the
+/// current orientation when descending into the sub-cell at `position`.
+pub const POS_TO_ORIENTATION: [u8; 4] = [SWAP_MASK, 0, 0, INVERT_MASK | SWAP_MASK];
+
+/// Number of (i, j) bits processed per lookup-table step.
+pub const LOOKUP_BITS: u32 = 4;
+
+/// `LOOKUP_POS[(ij << 2) | orientation]` = `(pos << 2) | new_orientation`,
+/// where `ij` packs 4 i-bits and 4 j-bits (`iiii_jjjj`) and `pos` is the
+/// corresponding 8-bit Hilbert position.
+pub static LOOKUP_POS: [u16; 1 << (2 * LOOKUP_BITS + 2)] = build_lookup_tables().0;
+
+/// `LOOKUP_IJ[(pos << 2) | orientation]` = `(ij << 2) | new_orientation`
+/// (inverse of [`LOOKUP_POS`]).
+pub static LOOKUP_IJ: [u16; 1 << (2 * LOOKUP_BITS + 2)] = build_lookup_tables().1;
+
+const fn build_lookup_tables() -> ([u16; 1024], [u16; 1024]) {
+    let mut lookup_pos = [0u16; 1024];
+    let mut lookup_ij = [0u16; 1024];
+    let mut orig: usize = 0;
+    while orig < 4 {
+        let mut pos: usize = 0;
+        while pos < 256 {
+            // Walk 4 quadtree levels from orientation `orig` following the
+            // Hilbert position `pos`, accumulating i and j bits.
+            let mut i: usize = 0;
+            let mut j: usize = 0;
+            let mut o: usize = orig;
+            let mut k: i32 = 3;
+            while k >= 0 {
+                let subpos = (pos >> (2 * k as usize)) & 3;
+                let ij = POS_TO_IJ[o][subpos] as usize;
+                i = (i << 1) | (ij >> 1);
+                j = (j << 1) | (ij & 1);
+                o ^= POS_TO_ORIENTATION[subpos] as usize;
+                k -= 1;
+            }
+            let ij_packed = (i << 4) | j;
+            lookup_pos[(ij_packed << 2) | orig] = ((pos << 2) | o) as u16;
+            lookup_ij[(pos << 2) | orig] = ((ij_packed << 2) | o) as u16;
+            pos += 1;
+        }
+        orig += 1;
+    }
+    (lookup_pos, lookup_ij)
+}
+
+/// Size of a cell at `level` in (i, j) leaf-coordinate units: `2^(30-level)`.
+#[inline]
+pub fn size_ij(level: u8) -> u32 {
+    debug_assert!(level <= MAX_LEVEL);
+    1u32 << (MAX_LEVEL - level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latlng::LatLng;
+
+    #[test]
+    fn face_of_axis_vectors() {
+        assert_eq!(face(&Point::new(1.0, 0.0, 0.0)), 0);
+        assert_eq!(face(&Point::new(0.0, 1.0, 0.0)), 1);
+        assert_eq!(face(&Point::new(0.0, 0.0, 1.0)), 2);
+        assert_eq!(face(&Point::new(-1.0, 0.0, 0.0)), 3);
+        assert_eq!(face(&Point::new(0.0, -1.0, 0.0)), 4);
+        assert_eq!(face(&Point::new(0.0, 0.0, -1.0)), 5);
+    }
+
+    #[test]
+    fn nyc_is_on_face_4() {
+        // NYC's dominant component is -y, so it must project to face 4.
+        let p = LatLng::from_degrees(40.7, -74.0).to_point();
+        assert_eq!(face(&p), 4);
+    }
+
+    #[test]
+    fn face_uv_roundtrip() {
+        for f in 0..6u8 {
+            // Stay off the exact corners/edges (|u| = |v| = 1), where the
+            // owning face is ambiguous.
+            for &(u, v) in &[(0.0, 0.0), (0.5, -0.3), (-0.99, 0.99), (0.999, 0.999)] {
+                let p = face_uv_to_xyz(f, u, v);
+                assert_eq!(face(&p), f, "face {f} uv ({u},{v})");
+                let (u2, v2) = valid_face_xyz_to_uv(f, &p);
+                assert!((u - u2).abs() < 1e-14);
+                assert!((v - v2).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn st_uv_roundtrip_and_monotone() {
+        let mut last = -2.0;
+        for k in 0..=1000 {
+            let s = k as f64 / 1000.0;
+            let u = st_to_uv(s);
+            assert!((-1.0 - 1e-15..=1.0 + 1e-15).contains(&u));
+            assert!(u > last, "st_to_uv must be strictly increasing");
+            last = u;
+            let s2 = uv_to_st(u);
+            assert!((s - s2).abs() < 1e-14, "s={s}");
+        }
+        // Fixed points of the transform.
+        assert_eq!(st_to_uv(0.5), 0.0);
+        assert_eq!(st_to_uv(0.0), -1.0);
+        assert_eq!(st_to_uv(1.0), 1.0);
+    }
+
+    #[test]
+    fn ij_to_st_min_edges() {
+        assert_eq!(ij_to_st_min(0), 0.0);
+        assert_eq!(ij_to_st_min(MAX_SIZE), 1.0);
+        // min < center < next min.
+        for &i in &[0u32, 7, MAX_SIZE / 3, MAX_SIZE - 1] {
+            assert!(ij_to_st_min(i) < ij_to_st(i));
+            assert!(ij_to_st(i) < ij_to_st_min(i + 1));
+        }
+    }
+
+    #[test]
+    fn st_ij_discretization() {
+        assert_eq!(st_to_ij(0.0), 0);
+        assert_eq!(st_to_ij(1.0), MAX_SIZE - 1); // clamped
+        assert_eq!(st_to_ij(-0.1), 0); // clamped
+        // Center of cell i maps back to i.
+        for &i in &[0u32, 1, 12345, MAX_SIZE / 2, MAX_SIZE - 1] {
+            assert_eq!(st_to_ij(ij_to_st(i)), i);
+        }
+    }
+
+    #[test]
+    fn lookup_tables_are_inverse() {
+        for orientation in 0..4usize {
+            for ij in 0..256usize {
+                let r = LOOKUP_POS[(ij << 2) | orientation] as usize;
+                let pos = r >> 2;
+                let back = LOOKUP_IJ[(pos << 2) | orientation] as usize;
+                assert_eq!(back >> 2, ij);
+                assert_eq!(back & 3, r & 3, "orientations must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_tables_match_bitwise_walk() {
+        // Spot-check against the 2-bit-per-level reference walk.
+        for orientation in 0..4usize {
+            for pos in [0usize, 1, 37, 128, 255] {
+                let r = LOOKUP_IJ[(pos << 2) | orientation] as usize;
+                let (mut i, mut j, mut o) = (0usize, 0usize, orientation);
+                for k in (0..4).rev() {
+                    let subpos = (pos >> (2 * k)) & 3;
+                    let ij = POS_TO_IJ[o][subpos] as usize;
+                    i = (i << 1) | (ij >> 1);
+                    j = (j << 1) | (ij & 1);
+                    o ^= POS_TO_ORIENTATION[subpos] as usize;
+                }
+                assert_eq!(r >> 2, (i << 4) | j);
+                assert_eq!(r & 3, o);
+            }
+        }
+    }
+
+    #[test]
+    fn pos_to_ij_tables_consistent() {
+        for o in 0..4usize {
+            for (pos, &ij) in POS_TO_IJ[o].iter().enumerate() {
+                assert_eq!(IJ_TO_POS[o][ij as usize] as usize, pos);
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_curve_is_continuous() {
+        // Successive positions at the 4-level granularity must be adjacent
+        // (Manhattan distance 1) in (i, j) space — the defining property of
+        // the Hilbert curve.
+        for orientation in 0..4usize {
+            let mut prev: Option<(i32, i32)> = None;
+            for pos in 0..256usize {
+                let r = LOOKUP_IJ[(pos << 2) | orientation] as usize;
+                let ij = r >> 2;
+                let (i, j) = ((ij >> 4) as i32, (ij & 15) as i32);
+                if let Some((pi, pj)) = prev {
+                    assert_eq!(
+                        (i - pi).abs() + (j - pj).abs(),
+                        1,
+                        "discontinuity at pos {pos} orientation {orientation}"
+                    );
+                }
+                prev = Some((i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Geodetic latitude/longitude coordinates.
+
+use crate::point::Point;
+use std::fmt;
+
+/// A point on the sphere expressed as geodetic latitude and longitude,
+/// stored in **radians**.
+///
+/// Latitude is in `[-π/2, π/2]`, longitude in `[-π, π]` for normalized
+/// values. Constructors do not normalize; use [`LatLng::normalized`] when the
+/// input may be out of range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatLng {
+    /// Latitude in radians.
+    pub lat: f64,
+    /// Longitude in radians.
+    pub lng: f64,
+}
+
+impl LatLng {
+    /// Creates a `LatLng` from radians without normalization.
+    #[inline]
+    pub const fn from_radians(lat: f64, lng: f64) -> Self {
+        LatLng { lat, lng }
+    }
+
+    /// Creates a `LatLng` from degrees without normalization.
+    #[inline]
+    pub fn from_degrees(lat_deg: f64, lng_deg: f64) -> Self {
+        LatLng {
+            lat: lat_deg.to_radians(),
+            lng: lng_deg.to_radians(),
+        }
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat_degrees(&self) -> f64 {
+        self.lat.to_degrees()
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lng_degrees(&self) -> f64 {
+        self.lng.to_degrees()
+    }
+
+    /// Returns `true` if latitude and longitude are within the canonical
+    /// ranges `[-π/2, π/2]` and `[-π, π]`.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lat.abs() <= std::f64::consts::FRAC_PI_2 && self.lng.abs() <= std::f64::consts::PI
+    }
+
+    /// Clamps latitude to `[-π/2, π/2]` and wraps longitude into `[-π, π]`.
+    pub fn normalized(&self) -> Self {
+        let lat = self
+            .lat
+            .clamp(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+        let mut lng = self.lng;
+        if !(-std::f64::consts::PI..=std::f64::consts::PI).contains(&lng) {
+            lng = lng.rem_euclid(2.0 * std::f64::consts::PI);
+            if lng > std::f64::consts::PI {
+                lng -= 2.0 * std::f64::consts::PI;
+            }
+        }
+        LatLng { lat, lng }
+    }
+
+    /// Converts to a unit vector on the sphere.
+    #[inline]
+    pub fn to_point(&self) -> Point {
+        let (sin_lat, cos_lat) = self.lat.sin_cos();
+        let (sin_lng, cos_lng) = self.lng.sin_cos();
+        Point {
+            x: cos_lat * cos_lng,
+            y: cos_lat * sin_lng,
+            z: sin_lat,
+        }
+    }
+
+    /// Great-circle distance to `other` in radians (haversine formula,
+    /// numerically stable for small distances).
+    pub fn distance_radians(&self, other: &LatLng) -> f64 {
+        let dlat = other.lat - self.lat;
+        let dlng = other.lng - self.lng;
+        let a = (dlat / 2.0).sin().powi(2)
+            + self.lat.cos() * other.lat.cos() * (dlng / 2.0).sin().powi(2);
+        2.0 * a.sqrt().asin()
+    }
+
+    /// Great-circle distance to `other` in meters on a mean-radius Earth.
+    #[inline]
+    pub fn distance_meters(&self, other: &LatLng) -> f64 {
+        self.distance_radians(other) * crate::metrics::EARTH_RADIUS_METERS
+    }
+}
+
+impl fmt::Display for LatLng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.7}, {:.7}]",
+            self.lat.to_degrees(),
+            self.lng.to_degrees()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_roundtrip() {
+        let ll = LatLng::from_degrees(40.7580, -73.9855);
+        assert!((ll.lat_degrees() - 40.7580).abs() < 1e-12);
+        assert!((ll.lng_degrees() - -73.9855).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(LatLng::from_degrees(90.0, 180.0).is_valid());
+        assert!(LatLng::from_degrees(-90.0, -180.0).is_valid());
+        assert!(!LatLng::from_degrees(90.1, 0.0).is_valid());
+        assert!(!LatLng::from_degrees(0.0, 180.1).is_valid());
+    }
+
+    #[test]
+    fn normalization_wraps_longitude() {
+        let ll = LatLng::from_degrees(0.0, 190.0).normalized();
+        assert!((ll.lng_degrees() - -170.0).abs() < 1e-9);
+        let ll = LatLng::from_degrees(0.0, -190.0).normalized();
+        assert!((ll.lng_degrees() - 170.0).abs() < 1e-9);
+        let ll = LatLng::from_degrees(95.0, 0.0).normalized();
+        assert!((ll.lat_degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_point_poles_and_equator() {
+        let north = LatLng::from_degrees(90.0, 0.0).to_point();
+        assert!((north.z - 1.0).abs() < 1e-15);
+        let equator = LatLng::from_degrees(0.0, 0.0).to_point();
+        assert!((equator.x - 1.0).abs() < 1e-15);
+        let east = LatLng::from_degrees(0.0, 90.0).to_point();
+        assert!((east.y - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distance_known_values() {
+        // One degree of latitude is about 111.2 km.
+        let a = LatLng::from_degrees(40.0, -74.0);
+        let b = LatLng::from_degrees(41.0, -74.0);
+        let d = a.distance_meters(&b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+        // Distance to self is zero.
+        assert_eq!(a.distance_meters(&a), 0.0);
+        // Symmetry.
+        assert_eq!(a.distance_meters(&b), b.distance_meters(&a));
+    }
+
+    #[test]
+    fn distance_small_scale_accuracy() {
+        // ~10 m apart in Manhattan; haversine must not lose precision.
+        let a = LatLng::from_degrees(40.758000, -73.985500);
+        let b = LatLng::from_degrees(40.758090, -73.985500);
+        let d = a.distance_meters(&b);
+        assert!((d - 10.0).abs() < 0.05, "got {d}");
+    }
+}

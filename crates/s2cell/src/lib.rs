@@ -1,0 +1,70 @@
+//! # s2cell — a from-scratch S2-style hierarchical grid
+//!
+//! This crate reimplements the cell-id subsystem of Google's S2 geometry
+//! library in pure Rust. It is the hierarchical-grid substrate required by
+//! the ACT (Adaptive Cell Trie) approximate geospatial join of
+//! Kipf et al., *Approximate Geospatial Joins with Precision Guarantees*
+//! (ICDE 2018).
+//!
+//! The grid decomposes the unit sphere into six cube faces; each face is a
+//! quadtree of 30 levels. Every quadtree node (a *cell*) is identified by a
+//! 64-bit [`CellId`] that encodes the face (3 bits) and the Hilbert-curve
+//! path from the face root to the node (2 bits per level, followed by a
+//! sentinel `1` bit). Crucially for ACT, the id of a child cell shares a
+//! bit-prefix with its parent, so cells can be stored in a radix tree and
+//! looked up with prefix matching alone.
+//!
+//! The mapping from geodetic coordinates to cells goes through the chain
+//!
+//! ```text
+//! (lat, lng) -> unit vector (x, y, z) -> cube face + (u, v)
+//!            -> quadratic (s, t) -> discrete (i, j) -> Hilbert position
+//! ```
+//!
+//! implemented in [`coords`], with the same quadratic projection and the
+//! same Hilbert-curve orientation rules as the original S2, so cell sizes
+//! and the precision-to-level mapping (e.g. level 24 ⇒ sub-meter cells)
+//! match the numbers reported in the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use s2cell::{CellId, LatLng, metrics};
+//!
+//! // Times Square, NYC.
+//! let p = LatLng::from_degrees(40.7580, -73.9855);
+//! let leaf = CellId::from_latlng(p);
+//! assert!(leaf.is_leaf());
+//!
+//! // Walk up to a ~60 m cell (level 18) and check containment.
+//! let level = metrics::level_for_max_diag_meters(60.0);
+//! assert_eq!(level, 18);
+//! let coarse = leaf.parent(level);
+//! assert!(coarse.contains(leaf));
+//! ```
+
+pub mod cell;
+pub mod cellid;
+pub mod cellunion;
+pub mod coords;
+pub mod latlng;
+pub mod metrics;
+pub mod point;
+
+pub use cell::Cell;
+pub use cellid::CellId;
+pub use cellunion::CellUnion;
+pub use latlng::LatLng;
+pub use point::Point;
+
+/// Number of quadtree levels below the face root (leaf cells are level 30).
+pub const MAX_LEVEL: u8 = 30;
+
+/// Number of discrete (i, j) coordinates along one face axis: `2^MAX_LEVEL`.
+pub const MAX_SIZE: u32 = 1 << MAX_LEVEL;
+
+/// Number of bits used for the Hilbert position (including the sentinel bit).
+pub const POS_BITS: u32 = 2 * MAX_LEVEL as u32 + 1;
+
+/// Number of cube faces.
+pub const NUM_FACES: u8 = 6;

@@ -1,0 +1,133 @@
+//! Per-level cell-size metrics and the precision ↔ level mapping.
+//!
+//! The ACT paper's precision guarantee hinges on one fact: if a query point
+//! falls into a *covering* (boundary) cell of a polygon, its distance to the
+//! polygon is at most the cell diagonal. Refining boundary cells until the
+//! diagonal is below a user-chosen ε therefore bounds the error of every
+//! false positive by ε.
+//!
+//! We use the standard S2 metric constants for the quadratic projection.
+//! They are *derivatives*: the metric value at level `L` is
+//! `deriv · 2^-L` (in radians on the unit sphere for length metrics).
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_METERS: f64 = 6_371_008.8;
+
+/// Maximum cell diagonal metric derivative (quadratic projection):
+/// `max_diag(level) = MAX_DIAG_DERIV · 2^-level` radians. This is a true
+/// upper bound on the diagonal of *any* cell at a level (verified
+/// empirically in this crate's tests), which is what the precision
+/// guarantee of the ACT join rests on.
+pub const MAX_DIAG_DERIV: f64 = 2.438_654_594_434_021;
+
+/// Minimum cell diagonal metric derivative (quadratic projection): `8√2/9`.
+pub const MIN_DIAG_DERIV: f64 = 1.257_078_722_109_418;
+
+/// Average cell diagonal metric derivative (quadratic projection).
+pub const AVG_DIAG_DERIV: f64 = 2.060_422_738_998_471;
+
+/// Maximum cell edge length derivative (quadratic projection).
+pub const MAX_EDGE_DERIV: f64 = 1.704_897_179_199_218;
+
+/// Average cell edge length derivative (quadratic projection).
+pub const AVG_EDGE_DERIV: f64 = 1.459_213_746_386_106;
+
+/// Minimum cell edge length derivative (quadratic projection): `2√2/3`.
+pub const MIN_EDGE_DERIV: f64 = 0.942_809_041_582_063;
+
+/// Average cell area derivative: `avg_area(level) = 4π/6 · 4^-level` sr
+/// (exact — the six faces partition the sphere).
+pub const AVG_AREA_DERIV: f64 = 4.0 * std::f64::consts::PI / 6.0;
+
+/// Maximum diagonal of a cell at `level`, in radians on the unit sphere.
+#[inline]
+pub fn max_diag_radians(level: u8) -> f64 {
+    MAX_DIAG_DERIV / (1u64 << level) as f64
+}
+
+/// Maximum diagonal of a cell at `level`, in meters on the Earth.
+///
+/// This is the worst-case distance between any two points of any cell at
+/// that level, i.e. the paper's false-positive distance bound.
+#[inline]
+pub fn max_diag_meters(level: u8) -> f64 {
+    max_diag_radians(level) * EARTH_RADIUS_METERS
+}
+
+/// Average edge length of a cell at `level`, in meters.
+#[inline]
+pub fn avg_edge_meters(level: u8) -> f64 {
+    AVG_EDGE_DERIV / (1u64 << level) as f64 * EARTH_RADIUS_METERS
+}
+
+/// Average area of a cell at `level`, in square meters.
+#[inline]
+pub fn avg_area_sq_meters(level: u8) -> f64 {
+    AVG_AREA_DERIV / (1u64 << (2 * level)) as f64 * EARTH_RADIUS_METERS * EARTH_RADIUS_METERS
+}
+
+/// The smallest level whose maximum cell diagonal is ≤ `meters`.
+///
+/// Covering cells at this level (or deeper) satisfy a precision bound of
+/// `meters`. Returns 30 (the leaf level) if even leaves are too big — which
+/// cannot happen for `meters` ≥ ~2 cm.
+pub fn level_for_max_diag_meters(meters: f64) -> u8 {
+    assert!(meters > 0.0, "precision must be positive");
+    for level in 0..=30u8 {
+        if max_diag_meters(level) <= meters {
+            return level;
+        }
+    }
+    30
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_level_table() {
+        // The precision→level mapping the paper relies on:
+        // 60 m ⇒ 18, 15 m ⇒ 20, 4 m ⇒ 22, and level 24 ⇒ < 1 m
+        // ("kmax = 48 allows for indexing cells up to level 24 which limits
+        //  the error of false positives to less than 1 m").
+        assert_eq!(level_for_max_diag_meters(60.0), 18);
+        assert_eq!(level_for_max_diag_meters(15.0), 20);
+        assert_eq!(level_for_max_diag_meters(4.0), 22);
+        assert!(max_diag_meters(24) < 1.0);
+        // "up to a few centimeters": level 30 leaves are ~1.5 cm.
+        assert!(max_diag_meters(30) < 0.02);
+    }
+
+    #[test]
+    fn metrics_monotone() {
+        for level in 1..=30u8 {
+            assert!(max_diag_meters(level) < max_diag_meters(level - 1));
+            assert_eq!(max_diag_meters(level) * 2.0, max_diag_meters(level - 1));
+        }
+    }
+
+    #[test]
+    fn level_for_diag_is_tight() {
+        for &m in &[0.5, 1.0, 4.0, 15.0, 60.0, 1000.0, 1e7] {
+            let l = level_for_max_diag_meters(m);
+            assert!(max_diag_meters(l) <= m);
+            if l > 0 {
+                assert!(max_diag_meters(l - 1) > m);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_area_level0_is_face() {
+        // A level-0 cell is one cube face: 1/6 of the sphere.
+        let sphere = 4.0 * std::f64::consts::PI * EARTH_RADIUS_METERS * EARTH_RADIUS_METERS;
+        assert!((avg_area_sq_meters(0) - sphere / 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be positive")]
+    fn zero_precision_panics() {
+        level_for_max_diag_meters(0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Points on the unit sphere (3-vectors).
+
+use crate::latlng::LatLng;
+
+/// A point in ℝ³, usually (but not necessarily) of unit length, representing
+/// a direction from the center of the Earth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point {
+    /// Creates a new point; does not normalize.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns this vector scaled to unit length.
+    ///
+    /// Returns the zero vector unchanged (callers are expected to avoid it).
+    #[inline]
+    pub fn normalized(&self) -> Point {
+        let n = self.norm();
+        if n == 0.0 {
+            *self
+        } else {
+            Point {
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &Point) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, o: &Point) -> Point {
+        Point {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Angle between two vectors in radians, stable for small angles.
+    pub fn angle(&self, o: &Point) -> f64 {
+        self.cross(o).norm().atan2(self.dot(o))
+    }
+
+    /// Converts to geodetic latitude/longitude.
+    #[inline]
+    pub fn to_latlng(&self) -> LatLng {
+        LatLng {
+            lat: self.z.atan2((self.x * self.x + self.y * self.y).sqrt()),
+            lng: self.y.atan2(self.x),
+        }
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, o: Point) -> Point {
+        Point::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, o: Point) -> Point {
+        Point::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_normalize() {
+        let p = Point::new(3.0, 4.0, 0.0);
+        assert_eq!(p.norm(), 5.0);
+        let n = p.normalized();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(Point::new(0.0, 0.0, 0.0).normalized().norm(), 0.0);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Point::new(1.0, 2.0, 3.0);
+        let b = Point::new(-2.0, 0.5, 1.0);
+        let c = a.cross(&b);
+        assert!(c.dot(&a).abs() < 1e-12);
+        assert!(c.dot(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_basics() {
+        let x = Point::new(1.0, 0.0, 0.0);
+        let y = Point::new(0.0, 1.0, 0.0);
+        assert!((x.angle(&y) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert_eq!(x.angle(&x), 0.0);
+    }
+
+    #[test]
+    fn latlng_point_roundtrip() {
+        for &(lat, lng) in &[
+            (40.7580, -73.9855),
+            (0.0, 0.0),
+            (-33.9, 151.2),
+            (89.9, 10.0),
+            (-89.9, -170.0),
+        ] {
+            let ll = LatLng::from_degrees(lat, lng);
+            let back = ll.to_point().to_latlng();
+            assert!((back.lat - ll.lat).abs() < 1e-12, "lat for ({lat},{lng})");
+            assert!((back.lng - ll.lng).abs() < 1e-12, "lng for ({lat},{lng})");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the hierarchical-grid substrate.
+
+use proptest::prelude::*;
+use s2cell::{metrics, Cell, CellId, CellUnion, LatLng};
+
+fn arb_latlng() -> impl Strategy<Value = LatLng> {
+    // Stay a hair off the poles where longitude degenerates.
+    (-89.9f64..89.9, -179.99f64..179.99).prop_map(|(lat, lng)| LatLng::from_degrees(lat, lng))
+}
+
+fn arb_level() -> impl Strategy<Value = u8> {
+    0u8..=30
+}
+
+proptest! {
+    #[test]
+    fn latlng_cell_roundtrip_within_leaf_diag(ll in arb_latlng()) {
+        let cell = CellId::from_latlng(ll);
+        prop_assert!(cell.is_valid());
+        prop_assert!(cell.is_leaf());
+        let back = cell.to_latlng();
+        // The center of the containing leaf is within one leaf diagonal.
+        prop_assert!(ll.distance_meters(&back) <= metrics::max_diag_meters(30));
+    }
+
+    #[test]
+    fn face_ij_roundtrip(face in 0u8..6, i in 0u32..(1 << 30), j in 0u32..(1 << 30)) {
+        let cell = CellId::from_face_ij(face, i, j);
+        prop_assert!(cell.is_valid());
+        let (f2, i2, j2, _) = cell.to_face_ij_orientation();
+        prop_assert_eq!((f2, i2, j2), (face, i, j));
+    }
+
+    #[test]
+    fn parent_algebra(ll in arb_latlng(), level in arb_level()) {
+        let leaf = CellId::from_latlng(ll);
+        let cell = leaf.parent(level);
+        prop_assert_eq!(cell.level(), level);
+        prop_assert!(cell.contains(leaf));
+        // Parent of parent == parent at the coarser level.
+        if level >= 1 {
+            prop_assert_eq!(cell.parent(level - 1), leaf.parent(level - 1));
+            prop_assert_eq!(cell.immediate_parent(), cell.parent(level - 1));
+        }
+        // range_min/max are leaves and contained.
+        prop_assert!(cell.range_min().is_leaf());
+        prop_assert!(cell.range_max().is_leaf());
+        prop_assert!(cell.contains(cell.range_min()));
+        prop_assert!(cell.contains(cell.range_max()));
+    }
+
+    #[test]
+    fn children_partition(ll in arb_latlng(), level in 0u8..30) {
+        let cell = CellId::from_latlng(ll).parent(level);
+        let kids = cell.children();
+        let mut covered = 0u128;
+        for (a, k) in kids.iter().enumerate() {
+            prop_assert_eq!(k.level(), level + 1);
+            prop_assert!(cell.contains(*k));
+            covered += (k.range_max().0 - k.range_min().0) as u128 + 2;
+            for kb in kids.iter().skip(a + 1) {
+                prop_assert!(!k.intersects(*kb));
+            }
+        }
+        prop_assert_eq!(covered, (cell.range_max().0 - cell.range_min().0) as u128 + 2);
+    }
+
+    #[test]
+    fn containment_iff_range(ll1 in arb_latlng(), ll2 in arb_latlng(), l1 in arb_level(), l2 in arb_level()) {
+        let a = CellId::from_latlng(ll1).parent(l1);
+        let b = CellId::from_latlng(ll2).parent(l2);
+        // Laminar family: intersecting cells must nest.
+        if a.intersects(b) {
+            prop_assert!(a.contains(b) || b.contains(a));
+        } else {
+            prop_assert!(!a.contains(b) && !b.contains(a));
+        }
+    }
+
+    #[test]
+    fn key_bytes_are_prefixes(ll in arb_latlng(), level in 4u8..=28) {
+        let leaf = CellId::from_latlng(ll);
+        let anc = leaf.parent(level);
+        for d in 0..(level as u32 / 4) {
+            prop_assert_eq!(anc.key_byte(d), leaf.key_byte(d), "byte {}", d);
+        }
+    }
+
+    #[test]
+    fn next_prev_inverse(ll in arb_latlng(), level in 1u8..=30) {
+        let cell = CellId::from_latlng(ll).parent(level);
+        prop_assert_eq!(cell.next().prev(), cell);
+        if cell.next().is_valid() {
+            prop_assert_eq!(cell.next().level(), level);
+            prop_assert!(!cell.intersects(cell.next()));
+        }
+    }
+
+    #[test]
+    fn token_roundtrip(ll in arb_latlng(), level in arb_level()) {
+        let cell = CellId::from_latlng(ll).parent(level);
+        prop_assert_eq!(CellId::from_token(&cell.token()), Some(cell));
+    }
+
+    #[test]
+    fn cell_geometry_bounds_center(ll in arb_latlng(), level in 0u8..=28) {
+        let cell = Cell::from_cellid(CellId::from_latlng(ll).parent(level));
+        let diag = cell.diag_meters();
+        prop_assert!(diag <= metrics::max_diag_meters(level) * (1.0 + 1e-9));
+        // The generating point is inside the cell, so it is within one
+        // diagonal of the center.
+        let center = cell.center().to_latlng();
+        prop_assert!(ll.distance_meters(&center) <= diag * 0.5 + 1e-9 * diag + 0.02);
+    }
+
+    #[test]
+    fn union_contains_matches_members(ll in arb_latlng(), levels in proptest::collection::vec(4u8..20, 1..8)) {
+        // Build a union from ancestors of nearby points.
+        let cells: Vec<CellId> = levels
+            .iter()
+            .enumerate()
+            .map(|(k, &lvl)| {
+                let p = LatLng::from_degrees(
+                    ll.lat_degrees() + k as f64 * 0.01,
+                    ll.lng_degrees() + k as f64 * 0.013,
+                );
+                CellId::from_latlng(p).parent(lvl)
+            })
+            .collect();
+        let union = CellUnion::from_cells(cells.clone());
+        // Membership must agree with the raw member list for probes at
+        // member corners and centers.
+        for c in &cells {
+            prop_assert!(union.contains(*c), "member {:?} lost", c);
+            prop_assert!(union.contains(c.range_min()));
+            prop_assert!(union.contains(c.range_max()));
+        }
+        // A far-away leaf is not contained.
+        let far = CellId::from_latlng(LatLng::from_degrees(-ll.lat_degrees().clamp(-80.0, 80.0) + 5.0, ll.lng_degrees()));
+        if !cells.iter().any(|c| c.contains(far)) {
+            prop_assert!(!union.contains(far));
+        }
+    }
+
+    #[test]
+    fn hilbert_locality(lat in -60.0f64..60.0, lng in -170.0f64..170.0, d in 1e-7f64..1e-5) {
+        // Points within distance d (degrees) share an ancestor whose size
+        // is commensurate with d — Hilbert locality (loose bound: two
+        // points d apart share a level-L ancestor for some L with cell
+        // size >= d; they may straddle a cell boundary at finer levels).
+        let a = CellId::from_latlng(LatLng::from_degrees(lat, lng));
+        let b = CellId::from_latlng(LatLng::from_degrees(lat + d, lng));
+        let mut level = 30u8;
+        while level > 0 && a.parent(level) != b.parent(level) {
+            level -= 1;
+        }
+        // Shared ancestor's diagonal must be at least the point distance.
+        let dist_m = LatLng::from_degrees(lat, lng)
+            .distance_meters(&LatLng::from_degrees(lat + d, lng));
+        prop_assert!(
+            metrics::max_diag_meters(level) >= dist_m,
+            "shared level {} too fine for {} m", level, dist_m
+        );
+    }
+}

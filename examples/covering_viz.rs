@@ -1,0 +1,127 @@
+//! Reproduces the paper's **Figure 1**: the covering (boundary cells) and
+//! interior covering of a single polygon, and the super covering of several
+//! adjacent polygons. Renders an ASCII preview to stdout and writes SVG
+//! files (`covering.svg`, `super_covering.svg`) for close inspection.
+//!
+//! ```text
+//! cargo run --release -p act-examples --example covering_viz
+//! ```
+
+use act_core::{build_super_covering, cover_polygon, CoveringParams};
+use geom::Polygon;
+use s2cell::{Cell, CellId};
+use std::fmt::Write as _;
+
+fn main() {
+    // A single neighborhood-like polygon.
+    let ds = datagen::neighborhoods(42);
+    let poly = &ds.polygons[144]; // a central cell of the 17×17 lattice
+    let params = CoveringParams::new(60.0);
+    let cov = cover_polygon(poly, &params).unwrap();
+    println!(
+        "single polygon: {} interior cells (green/'#'), {} boundary cells (blue/'+')",
+        cov.num_interior(),
+        cov.num_boundary()
+    );
+    ascii_render(poly, &cov.cells);
+    svg_render("covering.svg", std::slice::from_ref(poly), &cov.cells);
+
+    // Super covering of a 3×3 block of neighborhoods (Figure 1b).
+    let block: Vec<Polygon> = [126usize, 127, 128, 143, 144, 145, 160, 161, 162]
+        .iter()
+        .map(|&i| ds.polygons[i].clone())
+        .collect();
+    let coverings: Vec<_> = block
+        .iter()
+        .map(|p| cover_polygon(p, &params).unwrap())
+        .collect();
+    let sc = build_super_covering(&coverings);
+    let cells: Vec<(CellId, bool)> = sc
+        .cells
+        .iter()
+        .map(|(c, refs)| (*c, refs.iter().all(|r| r.interior)))
+        .collect();
+    println!(
+        "\nsuper covering of 9 neighborhoods: {} cells ({} push-down splits)",
+        sc.len(),
+        sc.pushdown_splits
+    );
+    svg_render("super_covering.svg", &block, &cells);
+    println!("wrote covering.svg and super_covering.svg");
+}
+
+/// Coarse terminal ASCII rendering of a covering.
+fn ascii_render(poly: &Polygon, cells: &[(CellId, bool)]) {
+    let bb = poly.bbox();
+    let (w, h) = (68usize, 30usize);
+    let mut canvas = vec![vec![' '; w]; h];
+    for &(cell, interior) in cells {
+        let c = Cell::from_cellid(cell);
+        let center = c.center().to_latlng();
+        let x = ((center.lng_degrees() - bb.min.x) / (bb.max.x - bb.min.x) * (w as f64 - 1.0))
+            .clamp(0.0, w as f64 - 1.0) as usize;
+        let y = ((bb.max.y - center.lat_degrees()) / (bb.max.y - bb.min.y) * (h as f64 - 1.0))
+            .clamp(0.0, h as f64 - 1.0) as usize;
+        let glyph = if interior { '#' } else { '+' };
+        // Interior cells win the pixel (they are bigger).
+        if canvas[y][x] == ' ' || interior {
+            canvas[y][x] = glyph;
+        }
+    }
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        println!("{}", line.trim_end());
+    }
+}
+
+/// SVG rendering: blue boundary cells, green interior cells, black polygon
+/// outlines — matching the paper's color scheme.
+fn svg_render(path: &str, polygons: &[Polygon], cells: &[(CellId, bool)]) {
+    let mut bb = geom::Rect::EMPTY;
+    for p in polygons {
+        bb.merge(p.bbox());
+    }
+    let scale = 1200.0 / (bb.max.x - bb.min.x);
+    let sx = |x: f64| (x - bb.min.x) * scale;
+    let sy = |y: f64| (bb.max.y - y) * scale;
+    let height = (bb.max.y - bb.min.y) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="1200" height="{height:.0}" viewBox="0 0 1200 {height:.0}">"#
+    );
+
+    // Cells beneath the outlines; interior green, boundary blue.
+    for &(cell, interior) in cells {
+        let c = Cell::from_cellid(cell);
+        let vs = c.vertices_latlng();
+        let pts: Vec<String> = vs
+            .iter()
+            .map(|v| format!("{:.2},{:.2}", sx(v.lng_degrees()), sy(v.lat_degrees())))
+            .collect();
+        let fill = if interior { "#79d279" } else { "#7db5e8" };
+        let _ = writeln!(
+            svg,
+            r#"<polygon points="{}" fill="{}" stroke="white" stroke-width="0.3"/>"#,
+            pts.join(" "),
+            fill
+        );
+    }
+
+    for poly in polygons {
+        let pts: Vec<String> = poly
+            .outer()
+            .vertices()
+            .iter()
+            .map(|v| format!("{:.2},{:.2}", sx(v.x), sy(v.y)))
+            .collect();
+        let _ = writeln!(
+            svg,
+            r#"<polygon points="{}" fill="none" stroke="black" stroke-width="1.2"/>"#,
+            pts.join(" ")
+        );
+    }
+    let _ = writeln!(svg, "</svg>");
+    std::fs::write(path, svg).expect("write svg");
+}

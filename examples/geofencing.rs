@@ -1,0 +1,103 @@
+//! Geofencing: the paper's motivating Uber-style scenario — a stream of
+//! ride requests must be mapped to pricing zones in real time.
+//!
+//! A producer thread emits taxi-like pickup locations into a bounded
+//! crossbeam channel; a pool of consumer threads probes the shared ACT
+//! index and aggregates per-zone demand under a parking_lot mutex (the
+//! aggregation is intentionally coarse-grained here to keep the example
+//! simple; the benchmark harness shows the share-nothing fast path).
+//!
+//! ```text
+//! cargo run --release -p act-examples --example geofencing
+//! ```
+
+use act_core::ActIndex;
+use crossbeam::channel;
+use datagen::PointGen;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REQUESTS: u64 = 2_000_000;
+const WORKERS: usize = 4;
+const BATCH: usize = 4096;
+
+fn main() {
+    // Zones: the neighborhood-like dataset (289 polygons).
+    let ds = datagen::neighborhoods(42);
+    println!("building index over {} zones...", ds.polygons.len());
+    let index = Arc::new(ActIndex::build(&ds.polygons, 15.0).unwrap());
+    println!(
+        "index: {:.1} MB, ε = {} m",
+        index.memory_bytes() as f64 / 1e6,
+        index.stats().precision_m
+    );
+
+    let (tx, rx) = channel::bounded::<Vec<geom::Coord>>(64);
+    let demand = Arc::new(Mutex::new(vec![0u64; ds.polygons.len()]));
+    let start = Instant::now();
+
+    // Producer: stream ride requests in batches.
+    let bbox = ds.bbox;
+    let producer = std::thread::spawn(move || {
+        let gen = PointGen::nyc_taxi_like(bbox, 7);
+        let mut batch = Vec::with_capacity(BATCH);
+        for i in 0..REQUESTS {
+            batch.push(gen.point_at(i));
+            if batch.len() == BATCH {
+                tx.send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))
+                    .unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            tx.send(batch).unwrap();
+        }
+        // Channel closes when tx drops.
+    });
+
+    // Consumers: probe and aggregate.
+    let mut workers = Vec::new();
+    for _ in 0..WORKERS {
+        let rx = rx.clone();
+        let index = Arc::clone(&index);
+        let demand = Arc::clone(&demand);
+        workers.push(std::thread::spawn(move || {
+            let mut local = vec![0u64; demand.lock().len()];
+            let mut processed = 0u64;
+            while let Ok(batch) = rx.recv() {
+                for &p in &batch {
+                    for (zone, _true_hit) in index.lookup_refs(p) {
+                        local[zone as usize] += 1;
+                    }
+                }
+                processed += batch.len() as u64;
+            }
+            // Merge once at the end.
+            let mut global = demand.lock();
+            for (g, l) in global.iter_mut().zip(&local) {
+                *g += l;
+            }
+            processed
+        }));
+    }
+
+    producer.join().unwrap();
+    drop(rx);
+    let processed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let secs = start.elapsed().as_secs_f64();
+
+    let demand = demand.lock();
+    let mut top: Vec<(usize, u64)> = demand.iter().copied().enumerate().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    println!(
+        "\nprocessed {processed} requests in {secs:.2} s  ({:.1} M req/s with {WORKERS} workers)",
+        processed as f64 / secs / 1e6
+    );
+    println!("hottest zones (surge candidates):");
+    for (zone, count) in top.iter().take(5) {
+        println!("  zone {zone:>4}: {count} requests");
+    }
+    let total: u64 = demand.iter().sum();
+    println!("total matches: {total} (≥ requests: boundary points may match 2 zones)");
+}

@@ -1,0 +1,75 @@
+//! Memory-constrained deployments: budgeted builds and query-adaptive
+//! refinement — the operating modes sketched in the paper's introduction
+//! ("Our approach is also applicable to situations with strict memory
+//! constraints... Our solution is to adaptively alter the trie structure
+//! based on the distribution of query points").
+//!
+//! ```text
+//! cargo run --release -p act-examples --example memory_budget
+//! ```
+
+use act_core::{build_with_budget, AdaptiveIndex, AdaptiveParams};
+use datagen::PointGen;
+
+fn main() {
+    let ds = datagen::blocks_scaled(30, 20, 42);
+    let target_eps = 4.0;
+
+    // ------------------------------------------------------------------
+    // Part 1: budgeted builds — precision degrades gracefully with memory.
+    // ------------------------------------------------------------------
+    println!("budgeted builds over {} polygons, target ε = {target_eps} m:", ds.polygons.len());
+    println!("{:>12} {:>16} {:>12} {:>11}", "budget", "achieved ε [m]", "index size", "guaranteed");
+    for budget_mb in [1usize, 8, 64, 512] {
+        let b = build_with_budget(&ds.polygons, target_eps, budget_mb << 20).unwrap();
+        println!(
+            "{:>10} MB {:>16.2} {:>9.1} MB {:>11}",
+            budget_mb,
+            b.achieved_precision_m,
+            b.index.memory_bytes() as f64 / 1e6,
+            if b.guaranteed { "yes" } else { "no → refine" },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Part 2: adaptive refinement — spend memory where the queries are.
+    // ------------------------------------------------------------------
+    println!("\nadaptive refinement (base 60 m, target {target_eps} m):");
+    let params = AdaptiveParams {
+        target_precision_m: target_eps,
+        base_precision_m: 60.0,
+        budget_bytes: 768 << 20,
+        max_refined_cells: 4_000,
+    };
+    let mut adaptive = AdaptiveIndex::build(&ds.polygons, params).unwrap();
+    println!(
+        "  base index: {:.1} MB",
+        adaptive.index().memory_bytes() as f64 / 1e6
+    );
+
+    // The observed workload: skewed taxi-like traffic.
+    let gen = PointGen::nyc_taxi_like(ds.bbox, 7);
+    for round in 1..=3 {
+        let sample: Vec<_> = gen
+            .iter_range(round * 100_000, 50_000)
+            .map(act_core::coord_to_cell)
+            .collect();
+        let report = adaptive.adapt(&sample);
+        println!(
+            "  round {round}: refined {:>5} cells | candidate rate {:.3}% → {:.3}% | {:.1} MB → {:.1} MB",
+            report.refined_cells,
+            100.0 * report.candidate_rate_before,
+            100.0 * report.candidate_rate_after,
+            report.bytes_before as f64 / 1e6,
+            report.bytes_after as f64 / 1e6,
+        );
+        if report.bytes_after > params.budget_bytes {
+            println!("  budget reached — stopping");
+            break;
+        }
+    }
+    println!(
+        "\nhot regions now answer with fine (≤ {target_eps} m) cells and more true hits,\n\
+         while cold regions keep the cheap 60 m representation."
+    );
+}

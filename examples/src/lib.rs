@@ -1,0 +1,7 @@
+//! Support library for the ACT examples (see the `[[example]]` targets:
+//! `quickstart`, `geofencing`, `traffic_cells`, `covering_viz`,
+//! `trie_anatomy`, `memory_budget`). Run one with:
+//!
+//! ```text
+//! cargo run --release -p act-examples --example quickstart
+//! ```

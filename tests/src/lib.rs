@@ -1,0 +1,7 @@
+//! Integration-test package: cross-crate tests live in `tests/tests/`.
+//!
+//! * `pipeline.rs` — datasets → index → join, validated against geometry
+//! * `precision.rs` — the ε guarantee end-to-end (incl. adaptive/budgeted)
+//! * `cross_index.rs` — ACT / sorted-array / flat-grid / R-tree agreement
+//! * `parallel_and_determinism.rs` — parallel ≡ sequential; seeded determinism
+//! * `full_scale.rs` — paper-sized runs (`--ignored`)

@@ -1,0 +1,133 @@
+//! Cross-index agreement: every index structure in the workspace must
+//! produce the same *exact* join result when combined with refinement, and
+//! the filters must relate by containment (ACT hits ⊆ R-tree candidates
+//! modulo the ε fringe, grid true hits ⊆ polygon, …).
+
+use act_core::supercover::build_super_covering;
+use act_core::{cover_polygon, ActIndex, CoveringParams, Refiner, SortedCellIndex};
+use datagen::PointGen;
+use geom::Coord;
+use grid::UniformGrid;
+
+fn exact_via_act(index: &ActIndex, refiner: &Refiner, p: Coord, out: &mut Vec<u32>) {
+    for (id, interior) in index.lookup_refs(p) {
+        if interior || refiner.contains(id, p) {
+            out.push(id);
+        }
+    }
+    out.sort_unstable();
+}
+
+#[test]
+fn all_indexes_agree_on_exact_results() {
+    let ds = datagen::blocks_scaled(12, 10, 9);
+    let _n = ds.polygons.len();
+    let refiner = Refiner::new(&ds.polygons);
+
+    // ACT.
+    let act = ActIndex::build(&ds.polygons, 15.0).unwrap();
+
+    // Sorted-array index over the same covering.
+    let params = CoveringParams::new(15.0);
+    let coverings: Vec<_> = ds
+        .polygons
+        .iter()
+        .map(|p| cover_polygon(p, &params).unwrap())
+        .collect();
+    let sorted = SortedCellIndex::build(&build_super_covering(&coverings));
+
+    // Flat grid.
+    let flat = UniformGrid::build(&ds.polygons, ds.bbox, 512, 512);
+
+    // R-tree over MBRs.
+    let mut tree = rtree::RTree::new(8);
+    for (i, p) in ds.polygons.iter().enumerate() {
+        tree.insert(*p.bbox(), i as u32);
+    }
+
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 3).take_vec(5_000);
+    for &p in &pts {
+        // Ground truth by refined R-tree (classical filter-and-refine).
+        let mut truth: Vec<u32> = tree
+            .query_point(p)
+            .into_iter()
+            .filter(|&id| refiner.contains(id, p))
+            .collect();
+        truth.sort_unstable();
+
+        // ACT exact.
+        let mut via_act = Vec::new();
+        exact_via_act(&act, &refiner, p, &mut via_act);
+        assert_eq!(via_act, truth, "ACT+refine disagrees at {p}");
+
+        // Sorted index exact.
+        let mut via_sorted: Vec<u32> = act_core::resolve_probe(
+            sorted.lookup(act_core::coord_to_cell(p)),
+            sorted.table(),
+        )
+        .filter(|&(id, interior)| interior || refiner.contains(id, p))
+        .map(|(id, _)| id)
+        .collect();
+        via_sorted.sort_unstable();
+        assert_eq!(via_sorted, truth, "sorted+refine disagrees at {p}");
+
+        // Grid exact.
+        let mut via_grid: Vec<u32> = flat
+            .query(p)
+            .into_iter()
+            .filter(|&(id, interior)| interior || refiner.contains(id, p))
+            .map(|(id, _)| id)
+            .collect();
+        via_grid.sort_unstable();
+        assert_eq!(via_grid, truth, "grid+refine disagrees at {p}");
+    }
+}
+
+#[test]
+fn act_filter_is_no_looser_than_epsilon() {
+    // Every ACT match (even candidates) is within ε; R-tree candidates can
+    // be arbitrarily far inside the MBR. Quantify both on one workload.
+    let ds = datagen::neighborhoods(5);
+    let act = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    let mut tree = rtree::RTree::new(8);
+    for (i, p) in ds.polygons.iter().enumerate() {
+        tree.insert(*p.bbox(), i as u32);
+    }
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 11).take_vec(2_000);
+    let mut act_worst: f64 = 0.0;
+    let mut rtree_worst: f64 = 0.0;
+    for &p in &pts {
+        for (id, _) in act.lookup_refs(p) {
+            act_worst = act_worst.max(ds.polygons[id as usize].distance_meters(p));
+        }
+        for id in tree.query_point(p) {
+            rtree_worst = rtree_worst.max(ds.polygons[id as usize].distance_meters(p));
+        }
+    }
+    assert!(act_worst <= 15.0, "ACT fringe {act_worst} m exceeds ε");
+    assert!(
+        rtree_worst > 100.0,
+        "expected MBR candidates far from their polygons, worst {rtree_worst} m"
+    );
+}
+
+#[test]
+fn true_hit_rate_improves_with_interior_cells() {
+    // The ACT filter classifies the vast majority of matches as true hits
+    // (paper's claim: "covering the majority of the interior area").
+    let ds = datagen::neighborhoods(5);
+    let act = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 11).take_vec(20_000);
+    let mut cells = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        cells.push(act_core::coord_to_cell(p));
+    }
+    let mut counts = vec![0u64; ds.polygons.len()];
+    let stats = act_core::join_approx_cells(&act, &cells, &mut counts);
+    let hit_total = stats.true_hits + stats.candidate_hits;
+    assert!(
+        stats.true_hits as f64 > 0.95 * hit_total as f64,
+        "true hits {} of {hit_total}",
+        stats.true_hits
+    );
+}

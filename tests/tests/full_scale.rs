@@ -1,0 +1,51 @@
+//! Full-scale (paper-sized) runs, ignored by default — run explicitly:
+//!
+//! ```text
+//! cargo test --release -p integration-tests -- --ignored
+//! ```
+
+use act_core::ActIndex;
+use datagen::PointGen;
+
+#[test]
+#[ignore = "full 39,184-polygon census build (~5 s release, ~1 min debug)"]
+fn census_full_60m_builds_and_probes() {
+    let ds = datagen::census_blocks(42);
+    assert_eq!(ds.polygons.len(), 39_184);
+    let index = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    assert!(index.stats().indexed_cells > 1_000_000);
+
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(200_000);
+    let mut counts = vec![0u64; ds.polygons.len()];
+    let stats = act_core::join_approx_coords(&index, &pts, &mut counts);
+    assert!(stats.misses < 2_000, "misses {}", stats.misses);
+    // The precision guarantee on a sample.
+    for &p in pts.iter().take(2_000) {
+        for (id, interior) in index.lookup_refs(p) {
+            let d = ds.polygons[id as usize].distance_meters(p);
+            if interior {
+                assert_eq!(d, 0.0);
+            } else {
+                assert!(d <= 60.0 * 1.0001, "candidate at {d} m");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "boroughs at 4 m: finest feasible precision on the complex tier"]
+fn boroughs_full_4m_guarantee() {
+    let ds = datagen::boroughs(42);
+    let index = ActIndex::build(&ds.polygons, 4.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 9).take_vec(50_000);
+    for &p in &pts {
+        for (id, interior) in index.lookup_refs(p) {
+            let d = ds.polygons[id as usize].distance_meters(p);
+            if interior {
+                assert_eq!(d, 0.0);
+            } else {
+                assert!(d <= 4.0 * 1.0001, "candidate at {d} m");
+            }
+        }
+    }
+}

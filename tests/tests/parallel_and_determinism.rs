@@ -1,0 +1,63 @@
+//! Parallel-driver equivalence and whole-pipeline determinism.
+
+use act_core::{join_parallel_cells, ActIndex};
+use datagen::PointGen;
+
+#[test]
+fn parallel_join_equals_sequential_on_datasets() {
+    let ds = datagen::neighborhoods(42);
+    let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(100_000);
+    let cells: Vec<_> = pts.iter().map(|&p| act_core::coord_to_cell(p)).collect();
+
+    let mut seq = vec![0u64; ds.polygons.len()];
+    let seq_stats = act_core::join_approx_cells(&index, &cells, &mut seq);
+
+    for threads in [1usize, 2, 3, 4, 7, 16, 32] {
+        let (par, par_stats) = join_parallel_cells(&index, &cells, ds.polygons.len(), threads);
+        assert_eq!(par, seq, "counts differ at {threads} threads");
+        assert_eq!(par_stats, seq_stats, "stats differ at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_join_more_threads_than_points() {
+    let ds = datagen::blocks_scaled(4, 3, 1);
+    let index = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(5);
+    let cells: Vec<_> = pts.iter().map(|&p| act_core::coord_to_cell(p)).collect();
+    let (counts, stats) = join_parallel_cells(&index, &cells, ds.polygons.len(), 16);
+    assert_eq!(stats.points, 5);
+    assert_eq!(counts.iter().sum::<u64>(), stats.true_hits + stats.candidate_hits);
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    // Same seed ⇒ identical datasets, identical index structure (stats),
+    // identical join counts.
+    let build = || {
+        let ds = datagen::neighborhoods(99);
+        let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
+        let pts = PointGen::nyc_taxi_like(ds.bbox, 5).take_vec(20_000);
+        let mut counts = vec![0u64; ds.polygons.len()];
+        act_core::join_approx_coords(&index, &pts, &mut counts);
+        (
+            index.stats().indexed_cells,
+            index.stats().act_bytes,
+            index.stats().lookup_table_bytes,
+            counts,
+        )
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cells = |seed| {
+        let ds = datagen::neighborhoods(seed);
+        ActIndex::build(&ds.polygons, 60.0).unwrap().stats().indexed_cells
+    };
+    assert_ne!(cells(1), cells(2));
+}

@@ -1,0 +1,115 @@
+//! End-to-end pipeline tests: datasets → index → join, validated against
+//! exact geometry.
+
+use act_core::{ActIndex, Refiner};
+use datagen::PointGen;
+
+/// Builds, joins, and cross-checks one dataset tier at one precision.
+fn check_tier(ds: &datagen::Dataset, precision: f64, points: usize) {
+    let index = ActIndex::build(&ds.polygons, precision)
+        .unwrap_or_else(|e| panic!("{}: {e}", ds.name));
+    let st = index.stats();
+    assert!(st.indexed_cells > 0);
+    assert_eq!(st.precision_m, precision);
+
+    let gen = PointGen::nyc_taxi_like(ds.bbox, 7);
+    let pts = gen.take_vec(points);
+
+    // Approximate join.
+    let mut approx = vec![0u64; ds.polygons.len()];
+    let astats = act_core::join_approx_coords(&index, &pts, &mut approx);
+    assert_eq!(astats.points, points as u64);
+
+    // The datasets tile the bbox: essentially every point matches. A tiny
+    // miss rate can occur hard against the bbox border (boundary cells of
+    // the outermost polygons end exactly at the border).
+    let miss_rate = astats.misses as f64 / points as f64;
+    assert!(miss_rate < 0.01, "{}: miss rate {miss_rate}", ds.name);
+
+    // Exact join ≡ brute force (on a sample — brute force over 39k
+    // polygons is slow).
+    let refiner = Refiner::new(&ds.polygons);
+    let sample = &pts[..points.min(3_000)];
+    let mut exact = vec![0u64; ds.polygons.len()];
+    act_core::join_exact(&index, &refiner, sample, &mut exact);
+    let mut brute = vec![0u64; ds.polygons.len()];
+    for &p in sample {
+        for (i, poly) in ds.polygons.iter().enumerate() {
+            // Bbox prefilter keeps this fast.
+            if poly.bbox().contains(p) && refiner.contains(i as u32, p) {
+                brute[i] += 1;
+            }
+        }
+    }
+    assert_eq!(exact, brute, "{}: exact join must equal brute force", ds.name);
+
+    // Approximate counts dominate exact counts per polygon (approx adds
+    // only false positives, never loses true positives).
+    let mut exact_full = vec![0u64; ds.polygons.len()];
+    act_core::join_exact(&index, &refiner, &pts, &mut exact_full);
+    for (i, (&a, &e)) in approx.iter().zip(&exact_full).enumerate() {
+        assert!(
+            a >= e,
+            "{}: polygon {i} approx {a} < exact {e}",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn boroughs_tier() {
+    let ds = datagen::boroughs(42);
+    check_tier(&ds, 60.0, 30_000);
+}
+
+#[test]
+fn neighborhoods_tier() {
+    let ds = datagen::neighborhoods(42);
+    check_tier(&ds, 15.0, 30_000);
+}
+
+#[test]
+fn census_like_tier() {
+    // A scaled census slice keeps CI fast; the full 39,184-polygon build
+    // runs in the benchmark harness.
+    let ds = datagen::blocks_scaled(40, 25, 42);
+    check_tier(&ds, 15.0, 30_000);
+}
+
+#[test]
+fn holed_polygons_tier() {
+    let ds = datagen::holed(6, 6, 3);
+    check_tier(&ds, 15.0, 20_000);
+}
+
+#[test]
+fn fine_precision_tier() {
+    let ds = datagen::blocks_scaled(10, 8, 5);
+    check_tier(&ds, 4.0, 20_000);
+}
+
+#[test]
+fn multi_precision_index_sizes_are_monotone_in_cells() {
+    let ds = datagen::neighborhoods(42);
+    let coarse = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    let fine = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    assert!(fine.stats().indexed_cells > coarse.stats().indexed_cells);
+    // Table-I artifact: 60 m (level 18) and 15 m (level 20) share trie
+    // depth 5, so the node count — and hence ACT bytes — coincide.
+    assert_eq!(coarse.stats().act_bytes, fine.stats().act_bytes);
+}
+
+#[test]
+fn counts_are_plausibly_distributed() {
+    // Sanity: the skewed point stream concentrates counts in hotspot
+    // polygons; the max polygon gets far more than the mean.
+    let ds = datagen::neighborhoods(42);
+    let index = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(50_000);
+    let mut counts = vec![0u64; ds.polygons.len()];
+    act_core::join_approx_coords(&index, &pts, &mut counts);
+    let total: u64 = counts.iter().sum();
+    let max = *counts.iter().max().unwrap();
+    let mean = total / counts.len() as u64;
+    assert!(max > 5 * mean, "max {max} vs mean {mean}");
+}
