@@ -57,8 +57,7 @@ fn main() {
         let mut base = 0.0;
         for threads in THREADS {
             let t = std::time::Instant::now();
-            let (counts, _stats) =
-                join_parallel_cells(&index, &cells, ds.polygons.len(), threads);
+            let (counts, _stats) = join_parallel_cells(&index, &cells, ds.polygons.len(), threads);
             let secs = t.elapsed().as_secs_f64();
             assert_eq!(
                 counts, seq.counts,
@@ -83,6 +82,9 @@ fn main() {
     println!(" * per-thread counts merge to exactly the sequential result");
     println!("   (embarrassingly parallel by construction — validated above)");
     println!(" * on multi-core hardware the curve is near-linear in physical");
-    println!("   cores with extra gains from SMT; on this {} -thread machine the", cores);
+    println!(
+        "   cores with extra gains from SMT; on this {} -thread machine the",
+        cores
+    );
     println!("   curve's plateau reflects the hardware, not the algorithm");
 }

@@ -109,7 +109,10 @@ pub struct AdaptiveIndex {
 
 impl AdaptiveIndex {
     /// Builds the coarse base index.
-    pub fn build(polygons: &[Polygon], params: AdaptiveParams) -> Result<AdaptiveIndex, MultiFaceError> {
+    pub fn build(
+        polygons: &[Polygon],
+        params: AdaptiveParams,
+    ) -> Result<AdaptiveIndex, MultiFaceError> {
         assert!(
             params.base_precision_m >= params.target_precision_m,
             "base precision must be coarser than (≥) the target"
@@ -121,7 +124,13 @@ impl AdaptiveIndex {
             let uv = UvPolygon::from_polygon(poly)?;
             let cov = cover_uv_polygon(&uv, &base);
             for &(cell, interior) in &cov.cells {
-                pairs.push((cell, PolygonRef { id: id as u32, interior }));
+                pairs.push((
+                    cell,
+                    PolygonRef {
+                        id: id as u32,
+                        interior,
+                    },
+                ));
             }
             uvpolys.push(uv);
         }

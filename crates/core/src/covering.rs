@@ -258,9 +258,13 @@ mod tests {
         let cells: Vec<CellId> = cov.cells.iter().map(|(c, _)| *c).collect();
         let mut rng = 12345u64;
         for _ in 0..300 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let fx = (rng >> 33) as f64 / (1u64 << 31) as f64;
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let fy = (rng >> 33) as f64 / (1u64 << 31) as f64;
             let c = Coord::new(-74.02 + 0.04 * fx, 40.68 + 0.04 * fy);
             if !poly.contains(c) {

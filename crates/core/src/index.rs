@@ -126,7 +126,10 @@ impl ActIndex {
     /// Assembles an index directly from an already-merged super covering.
     /// Used by the adaptive index (which maintains its own cell set) and by
     /// baseline comparisons that share one covering across index types.
-    pub fn from_supercover(sc: crate::supercover::SuperCovering, params: CoveringParams) -> ActIndex {
+    pub fn from_supercover(
+        sc: crate::supercover::SuperCovering,
+        params: CoveringParams,
+    ) -> ActIndex {
         let t = Instant::now();
         let mut act = Act::new();
         let mut table_builder = LookupTableBuilder::new();
@@ -218,10 +221,7 @@ mod tests {
 
     #[test]
     fn build_and_probe_two_squares() {
-        let polys = vec![
-            square(-74.05, 40.70, 0.02),
-            square(-73.95, 40.70, 0.02),
-        ];
+        let polys = vec![square(-74.05, 40.70, 0.02), square(-73.95, 40.70, 0.02)];
         let idx = ActIndex::build(&polys, 15.0).unwrap();
         // Deep inside polygon 0: a true hit for 0, nothing for 1.
         let refs = idx.lookup_refs(Coord::new(-74.05, 40.70));
@@ -262,8 +262,14 @@ mod tests {
         let idx = ActIndex::build(&polys, 4.0).unwrap();
         let refs = idx.lookup_refs(Coord::new(-74.0, 40.70));
         let ids: Vec<u32> = refs.iter().map(|(id, _)| *id).collect();
-        assert!(ids.contains(&0), "border point must see polygon 0: {refs:?}");
-        assert!(ids.contains(&1), "border point must see polygon 1: {refs:?}");
+        assert!(
+            ids.contains(&0),
+            "border point must see polygon 0: {refs:?}"
+        );
+        assert!(
+            ids.contains(&1),
+            "border point must see polygon 1: {refs:?}"
+        );
     }
 
     #[test]

@@ -147,7 +147,10 @@ impl Refiner {
     /// Prepares all polygons (one-time cost).
     pub fn new(polygons: &[geom::Polygon]) -> Refiner {
         Refiner {
-            prepared: polygons.iter().map(|p| PreparedPolygon::new(p, 0)).collect(),
+            prepared: polygons
+                .iter()
+                .map(|p| PreparedPolygon::new(p, 0))
+                .collect(),
         }
     }
 
@@ -248,7 +251,8 @@ pub fn join_parallel_cells(
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let slice = &cells[(t * chunk).min(cells.len())..((t + 1) * chunk).min(cells.len())];
+                let slice =
+                    &cells[(t * chunk).min(cells.len())..((t + 1) * chunk).min(cells.len())];
                 scope.spawn(move || {
                     let mut counts = vec![0u64; num_polygons];
                     let stats = join_approx_cells(index, slice, &mut counts);
@@ -294,10 +298,7 @@ mod tests {
     }
 
     fn setup() -> (Vec<Polygon>, ActIndex) {
-        let polys = vec![
-            square(-74.05, 40.70, 0.02),
-            square(-73.95, 40.70, 0.02),
-        ];
+        let polys = vec![square(-74.05, 40.70, 0.02), square(-73.95, 40.70, 0.02)];
         let idx = ActIndex::build(&polys, 15.0).unwrap();
         (polys, idx)
     }
@@ -351,7 +352,10 @@ mod tests {
         // Points including some within ε of the boundary.
         let mut pts = test_points();
         for k in 0..20 {
-            pts.push(Coord::new(-74.07 + 0.002 * k as f64, 40.68 + 0.0001 * k as f64));
+            pts.push(Coord::new(
+                -74.07 + 0.002 * k as f64,
+                40.68 + 0.0001 * k as f64,
+            ));
         }
         let mut exact = vec![0u64; 2];
         join_exact(&idx, &refiner, &pts, &mut exact);

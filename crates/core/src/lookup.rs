@@ -143,6 +143,27 @@ mod tests {
     }
 
     #[test]
+    fn intern_decode_roundtrip() {
+        // Every RefSet variant survives intern → decode with its true-hit /
+        // candidate partition intact, and offsets stay independently
+        // decodable regardless of interleaving.
+        let sets = [
+            set(&[(0, true)]),
+            set(&[(1, false), (2, true)]),
+            set(&[(3, true), (4, false), (5, true), (6, false)]),
+            set(&[(crate::refs::MAX_POLYGON_ID, true), (7, false), (8, false)]),
+        ];
+        let mut b = LookupTableBuilder::new();
+        let offsets: Vec<u32> = sets.iter().map(|s| b.intern(s)).collect();
+        let t = b.build();
+        for (s, &off) in sets.iter().zip(&offsets) {
+            let (trues, cands) = t.decode(off);
+            assert_eq!(trues, s.true_hits().collect::<Vec<_>>().as_slice());
+            assert_eq!(cands, s.candidates().collect::<Vec<_>>().as_slice());
+        }
+    }
+
+    #[test]
     fn memory_accounting() {
         let mut b = LookupTableBuilder::new();
         b.intern(&set(&[(1, true), (2, false), (3, false)]));

@@ -171,7 +171,12 @@ mod tests {
 
     #[test]
     fn payload_roundtrip() {
-        for &(id, interior) in &[(0u32, false), (0, true), (12345, true), (MAX_POLYGON_ID, false)] {
+        for &(id, interior) in &[
+            (0u32, false),
+            (0, true),
+            (12345, true),
+            (MAX_POLYGON_ID, false),
+        ] {
             let r = PolygonRef { id, interior };
             let enc = r.encode();
             assert!(enc < (1 << 31), "payload must fit 31 bits");
@@ -210,6 +215,65 @@ mod tests {
         let mut s = RefSet::single(PolygonRef::true_hit(7));
         s.merge(PolygonRef::candidate(7));
         assert_eq!(s.iter().next().unwrap(), PolygonRef::true_hit(7));
+    }
+
+    #[test]
+    fn max_polygon_id_boundary() {
+        // 30-bit id space: MAX encodes into 31 bits with either flag, and
+        // the id survives the round trip exactly at the boundary.
+        assert_eq!(MAX_POLYGON_ID, (1 << 30) - 1);
+        for interior in [false, true] {
+            let r = PolygonRef {
+                id: MAX_POLYGON_ID,
+                interior,
+            };
+            let enc = r.encode();
+            assert!(enc < (1 << 31), "31-bit payload overflow at MAX");
+            assert_eq!(PolygonRef::decode(enc), r);
+        }
+        // The true-hit payload at MAX is the largest representable payload.
+        assert_eq!(PolygonRef::true_hit(MAX_POLYGON_ID).encode(), (1 << 31) - 1);
+        // Ids remain distinguishable at the top of the range.
+        assert_ne!(
+            PolygonRef::candidate(MAX_POLYGON_ID).encode(),
+            PolygonRef::candidate(MAX_POLYGON_ID - 1).encode()
+        );
+    }
+
+    #[test]
+    fn merge_dedups_repeated_refs() {
+        // Merging the same reference many times never grows the set, for
+        // every storage variant (One, Two, Many).
+        let mut s = RefSet::single(PolygonRef::candidate(3));
+        for _ in 0..5 {
+            s.merge(PolygonRef::candidate(3));
+        }
+        assert_eq!(s.len(), 1);
+        assert!(matches!(s, RefSet::One(_)));
+
+        s.merge(PolygonRef::candidate(8));
+        for _ in 0..5 {
+            s.merge(PolygonRef::candidate(8));
+            s.merge(PolygonRef::candidate(3));
+        }
+        assert_eq!(s.len(), 2);
+        assert!(matches!(s, RefSet::Two(..)));
+
+        s.merge(PolygonRef::true_hit(5));
+        for _ in 0..5 {
+            s.merge(PolygonRef::candidate(5)); // true hit must survive
+            s.merge(PolygonRef::candidate(8));
+        }
+        assert_eq!(s.len(), 3);
+        let v: Vec<PolygonRef> = s.iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                PolygonRef::candidate(3),
+                PolygonRef::true_hit(5),
+                PolygonRef::candidate(8),
+            ]
+        );
     }
 
     #[test]

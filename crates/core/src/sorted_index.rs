@@ -73,7 +73,9 @@ impl SortedCellIndex {
         }
         let e = self.payloads[i];
         match e & 3 {
-            TAG_ONE => Probe::One(crate::refs::PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF)),
+            TAG_ONE => Probe::One(crate::refs::PolygonRef::decode(
+                (e >> 2) as u32 & 0x7FFF_FFFF,
+            )),
             TAG_TWO => Probe::Two(
                 crate::refs::PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF),
                 crate::refs::PolygonRef::decode((e >> 33) as u32 & 0x7FFF_FFFF),

@@ -491,7 +491,10 @@ mod tests {
         act.insert(a, &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
         act.insert(b, &RefSet::single(PolygonRef::true_hit(2)), &mut tb);
         assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(1)));
-        assert_eq!(act.lookup(b.range_min()), Probe::One(PolygonRef::true_hit(2)));
+        assert_eq!(
+            act.lookup(b.range_min()),
+            Probe::One(PolygonRef::true_hit(2))
+        );
     }
 
     #[test]
@@ -500,8 +503,16 @@ mod tests {
         let mut act = Act::new();
         let mut tb = LookupTableBuilder::new();
         let leaf = nyc_leaf(40.7, -74.0);
-        act.insert(leaf.parent(8), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
-        act.insert(leaf.parent(16), &RefSet::single(PolygonRef::true_hit(2)), &mut tb);
+        act.insert(
+            leaf.parent(8),
+            &RefSet::single(PolygonRef::true_hit(1)),
+            &mut tb,
+        );
+        act.insert(
+            leaf.parent(16),
+            &RefSet::single(PolygonRef::true_hit(2)),
+            &mut tb,
+        );
     }
 
     #[test]
@@ -520,7 +531,11 @@ mod tests {
         let mut tb = LookupTableBuilder::new();
         // Level 28 (max indexable).
         let leaf = nyc_leaf(40.7, -74.0);
-        act.insert(leaf.parent(28), &RefSet::single(PolygonRef::true_hit(5)), &mut tb);
+        act.insert(
+            leaf.parent(28),
+            &RefSet::single(PolygonRef::true_hit(5)),
+            &mut tb,
+        );
         assert_eq!(act.lookup(leaf), Probe::One(PolygonRef::true_hit(5)));
         // Different faces are independent roots.
         let other_face = CellId::from_latlng(LatLng::from_degrees(0.0, 0.0));
@@ -554,11 +569,19 @@ mod tests {
         let leaf = nyc_leaf(40.7580, -73.9855);
         for level in [4u8, 11, 19, 28] {
             let mut a = Act::new();
-            a.insert(leaf.parent(level), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+            a.insert(
+                leaf.parent(level),
+                &RefSet::single(PolygonRef::true_hit(1)),
+                &mut tb,
+            );
             let st = a.stats();
             assert!(st.nodes_per_depth.len() <= 7);
         }
-        act.insert(leaf.parent(28), &RefSet::single(PolygonRef::true_hit(1)), &mut tb);
+        act.insert(
+            leaf.parent(28),
+            &RefSet::single(PolygonRef::true_hit(1)),
+            &mut tb,
+        );
         assert_eq!(act.stats().nodes_per_depth.len(), 7);
     }
 
@@ -589,9 +612,15 @@ mod tests {
         };
         let collect = |p: Probe| resolve_probe(p, &table).collect::<Vec<_>>();
         assert!(collect(Probe::Miss).is_empty());
-        assert_eq!(collect(Probe::One(PolygonRef::true_hit(9))), vec![(9, true)]);
         assert_eq!(
-            collect(Probe::Two(PolygonRef::candidate(4), PolygonRef::true_hit(5))),
+            collect(Probe::One(PolygonRef::true_hit(9))),
+            vec![(9, true)]
+        );
+        assert_eq!(
+            collect(Probe::Two(
+                PolygonRef::candidate(4),
+                PolygonRef::true_hit(5)
+            )),
             vec![(4, false), (5, true)]
         );
         assert_eq!(

@@ -72,7 +72,10 @@ impl UvEdge {
     /// Bbox-vs-rect prefilter.
     #[inline]
     pub fn bbox_intersects(&self, r: &UvRect) -> bool {
-        self.bb_u_lo <= r.u_hi && self.bb_u_hi >= r.u_lo && self.bb_v_lo <= r.v_hi && self.bb_v_hi >= r.v_lo
+        self.bb_u_lo <= r.u_hi
+            && self.bb_u_hi >= r.u_lo
+            && self.bb_v_lo <= r.v_hi
+            && self.bb_v_hi >= r.v_lo
     }
 
     /// Exact segment-vs-rectangle intersection (either endpoint inside, or
@@ -198,7 +201,12 @@ impl UvPolygon {
             v_lo = v_lo.min(e.bb_v_lo);
             v_hi = v_hi.max(e.bb_v_hi);
         }
-        let bbox = UvRect { u_lo, u_hi, v_lo, v_hi };
+        let bbox = UvRect {
+            u_lo,
+            u_hi,
+            v_lo,
+            v_hi,
+        };
 
         // Banded PIP index over v.
         let n_bands = ((edges.len() as f64).sqrt().ceil() as usize).max(1);
@@ -285,7 +293,7 @@ fn band_idx(v: f64, v_lo: f64, inv_band_h: f64, n_bands: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geom::{Ring};
+    use geom::Ring;
 
     fn nyc_square(cx: f64, cy: f64, half: f64) -> Polygon {
         Polygon::new(
@@ -331,7 +339,10 @@ mod tests {
         // the boundary to stay clear of it.)
         for i in -10..=10 {
             for j in -10..=10 {
-                let c = Coord::new(-74.0 + i as f64 * 0.012 + 0.001, 40.7 + j as f64 * 0.012 + 0.001);
+                let c = Coord::new(
+                    -74.0 + i as f64 * 0.012 + 0.001,
+                    40.7 + j as f64 * 0.012 + 0.001,
+                );
                 let (u, v) = project(uv.face, c);
                 assert_eq!(
                     uv.contains_uv(u, v),
@@ -405,7 +416,12 @@ mod tests {
 
     #[test]
     fn segment_rect_intersection_cases() {
-        let r = UvRect { u_lo: 0.0, u_hi: 1.0, v_lo: 0.0, v_hi: 1.0 };
+        let r = UvRect {
+            u_lo: 0.0,
+            u_hi: 1.0,
+            v_lo: 0.0,
+            v_hi: 1.0,
+        };
         // Fully inside.
         assert!(UvEdge::new(0.2, 0.2, 0.8, 0.8).intersects_rect(&r));
         // Crossing through.

@@ -2,9 +2,7 @@
 //! semantics preservation, the precision guarantee, and index agreement.
 
 use act_core::supercover::build_from_pairs;
-use act_core::{
-    ActIndex, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex,
-};
+use act_core::{ActIndex, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex};
 use geom::{Coord, Polygon, Ring};
 use proptest::prelude::*;
 use s2cell::{CellId, LatLng};
@@ -24,7 +22,10 @@ fn arb_pairs() -> impl Strategy<Value = Vec<(CellId, PolygonRef)>> {
         specs
             .into_iter()
             .map(|(ll, level, id, interior)| {
-                (CellId::from_latlng(ll).parent(level), PolygonRef { id, interior })
+                (
+                    CellId::from_latlng(ll).parent(level),
+                    PolygonRef { id, interior },
+                )
             })
             .collect()
     })

@@ -64,7 +64,11 @@ fn subdivide(a: Coord, b: Coord, depth: u32, roughness: f64, seed: u64, out: &mu
     let dy = b.y - a.y;
     let len = (dx * dx + dy * dy).sqrt();
     // Perpendicular unit vector.
-    let (px, py) = if len > 0.0 { (-dy / len, dx / len) } else { (0.0, 0.0) };
+    let (px, py) = if len > 0.0 {
+        (-dy / len, dx / len)
+    } else {
+        (0.0, 0.0)
+    };
     let mut rng = Rng64::new(seed);
     let disp = rng.next_signed() * roughness * len;
     let m = Coord::new(mid.x + px * disp, mid.y + py * disp);
@@ -133,7 +137,15 @@ mod tests {
         // along the edge direction (a necessary condition for simple rings).
         let a = Coord::new(0.0, 0.0);
         let b = Coord::new(2.0, 0.0);
-        let pts = refine_edge(a, b, &FractalParams { depth: 6, roughness: 0.3, seed: 5 });
+        let pts = refine_edge(
+            a,
+            b,
+            &FractalParams {
+                depth: 6,
+                roughness: 0.3,
+                seed: 5,
+            },
+        );
         let mut last_x = 0.0;
         for p in &pts {
             assert!(p.x >= last_x - 0.25, "large backtrack at {p}");

@@ -102,10 +102,8 @@ pub fn generate(params: &LatticeParams) -> Vec<Polygon> {
             v.extend(refine(c01, c00));
 
             let holes = if *hole_fraction > 0.0 {
-                let mut rng = Rng64::new(mix(
-                    fractal.seed ^ HOLE_SALT,
-                    (i as u64) << 32 | j as u64,
-                ));
+                let mut rng =
+                    Rng64::new(mix(fractal.seed ^ HOLE_SALT, (i as u64) << 32 | j as u64));
                 if rng.next_f64() < *hole_fraction {
                     vec![make_hole(c00, c10, c11, c01, &mut rng)]
                 } else {

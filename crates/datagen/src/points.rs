@@ -69,15 +69,35 @@ impl PointGen {
             bbox,
             vec![
                 // Midtown-like: dense, tight.
-                Hotspot { center: at(0.52, 0.62), sigma: 0.015 * w, weight: 4.0 },
+                Hotspot {
+                    center: at(0.52, 0.62),
+                    sigma: 0.015 * w,
+                    weight: 4.0,
+                },
                 // Downtown-like.
-                Hotspot { center: at(0.48, 0.52), sigma: 0.020 * w, weight: 2.5 },
+                Hotspot {
+                    center: at(0.48, 0.52),
+                    sigma: 0.020 * w,
+                    weight: 2.5,
+                },
                 // Airport-like (east).
-                Hotspot { center: at(0.80, 0.45), sigma: 0.012 * w, weight: 1.5 },
+                Hotspot {
+                    center: at(0.80, 0.45),
+                    sigma: 0.012 * w,
+                    weight: 1.5,
+                },
                 // Brooklyn-like spread.
-                Hotspot { center: at(0.60, 0.35), sigma: 0.060 * w, weight: 1.5 },
+                Hotspot {
+                    center: at(0.60, 0.35),
+                    sigma: 0.060 * w,
+                    weight: 1.5,
+                },
                 // Bronx-like spread.
-                Hotspot { center: at(0.55, 0.85), sigma: 0.050 * w, weight: 1.0 },
+                Hotspot {
+                    center: at(0.55, 0.85),
+                    sigma: 0.050 * w,
+                    weight: 1.0,
+                },
             ],
             0.30,
             seed,

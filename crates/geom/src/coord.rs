@@ -137,8 +137,8 @@ mod tests {
             let (lat1, lat2) = (a.y.to_radians(), b.y.to_radians());
             let dlat = lat2 - lat1;
             let dlng = (b.x - a.x).to_radians();
-            let h = (dlat / 2.0).sin().powi(2)
-                + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+            let h =
+                (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
             2.0 * h.sqrt().asin() * 6_371_008.8
         };
         assert!(

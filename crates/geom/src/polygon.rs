@@ -250,7 +250,10 @@ mod tests {
     }
 
     fn donut() -> Polygon {
-        Polygon::new(square(0.0, 0.0, 10.0, 10.0), vec![square(4.0, 4.0, 6.0, 6.0)])
+        Polygon::new(
+            square(0.0, 0.0, 10.0, 10.0),
+            vec![square(4.0, 4.0, 6.0, 6.0)],
+        )
     }
 
     #[test]

@@ -149,11 +149,7 @@ mod tests {
         for i in -11..=11 {
             for j in -11..=11 {
                 let p = Coord::new(i as f64 / 10.0 + 0.003, j as f64 / 10.0 + 0.007);
-                assert_eq!(
-                    prep.contains(p),
-                    poly.contains(p),
-                    "disagreement at {p}"
-                );
+                assert_eq!(prep.contains(p), poly.contains(p), "disagreement at {p}");
                 checked += 1;
             }
         }

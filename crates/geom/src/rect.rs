@@ -75,13 +75,19 @@ impl Rect {
     /// True if the (closed) rectangles overlap.
     #[inline]
     pub fn intersects(&self, o: &Rect) -> bool {
-        self.min.x <= o.max.x && self.max.x >= o.min.x && self.min.y <= o.max.y && self.max.y >= o.min.y
+        self.min.x <= o.max.x
+            && self.max.x >= o.min.x
+            && self.min.y <= o.max.y
+            && self.max.y >= o.min.y
     }
 
     /// True if `o` lies entirely within this rectangle.
     #[inline]
     pub fn contains_rect(&self, o: &Rect) -> bool {
-        o.min.x >= self.min.x && o.max.x <= self.max.x && o.min.y >= self.min.y && o.max.y <= self.max.y
+        o.min.x >= self.min.x
+            && o.max.x <= self.max.x
+            && o.min.y >= self.min.y
+            && o.max.y <= self.max.y
     }
 
     /// Area in degree² (zero for empty rects).
@@ -121,7 +127,10 @@ impl Rect {
     /// Center point.
     #[inline]
     pub fn center(&self) -> Coord {
-        Coord::new(0.5 * (self.min.x + self.max.x), 0.5 * (self.min.y + self.max.y))
+        Coord::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+        )
     }
 
     /// The four corners in CCW order starting at `min`.
@@ -165,7 +174,7 @@ mod tests {
         let b = r(1.0, 1.0, 3.0, 3.0);
         assert!(a.intersects(&b));
         assert!(b.intersects(&a));
-        assert!(!a.intersects(&r(3.0, 3.0, 4.0, 4.0).merged(&r(5.0, 5.0, 6.0, 6.0))) || true);
+        assert!(!a.intersects(&r(3.0, 3.0, 4.0, 4.0).merged(&r(5.0, 5.0, 6.0, 6.0))));
         assert!(!a.intersects(&r(2.1, 0.0, 3.0, 1.0)));
         // Touching edges count as intersecting (closed sets).
         assert!(a.intersects(&r(2.0, 0.0, 3.0, 1.0)));

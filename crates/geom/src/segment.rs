@@ -47,8 +47,12 @@ pub fn segments_intersect(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool {
     let o3 = orient2d(q1, q2, p1);
     let o4 = orient2d(q1, q2, p2);
 
-    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-        && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
     {
         return true;
     }
@@ -156,8 +160,18 @@ mod tests {
     #[test]
     fn shared_endpoint_degenerate() {
         // Zero-length segment on the other segment.
-        assert!(segments_intersect(A, B, Coord::new(1.0, 0.0), Coord::new(1.0, 0.0)));
-        assert!(!segments_intersect(A, B, Coord::new(1.0, 1.0), Coord::new(1.0, 1.0)));
+        assert!(segments_intersect(
+            A,
+            B,
+            Coord::new(1.0, 0.0),
+            Coord::new(1.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            A,
+            B,
+            Coord::new(1.0, 1.0),
+            Coord::new(1.0, 1.0)
+        ));
     }
 
     #[test]
@@ -173,6 +187,9 @@ mod tests {
         let expected = 3.0 * crate::coord::METERS_PER_DEG_LAT;
         assert!((d - expected).abs() / expected < 2e-2, "got {d}");
         // On the segment: zero.
-        assert_eq!(point_segment_distance_meters(Coord::new(1.0, 0.0), A, B), 0.0);
+        assert_eq!(
+            point_segment_distance_meters(Coord::new(1.0, 0.0), A, B),
+            0.0
+        );
     }
 }

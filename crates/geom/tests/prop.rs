@@ -37,6 +37,10 @@ fn convex_contains(verts: &[Coord], p: Coord) -> bool {
 }
 
 proptest! {
+    // Explicit case count: keeps this suite deterministic-duration in CI
+    // (the whole workspace test run must stay under ~60 s).
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     #[test]
     fn ring_contains_matches_convex_oracle(
         verts in arb_convex(12),

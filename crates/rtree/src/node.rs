@@ -52,7 +52,13 @@ impl RTree {
         }
     }
 
-    pub(crate) fn with_parts(nodes: Vec<Node>, root: usize, max_entries: usize, len: usize, height: usize) -> RTree {
+    pub(crate) fn with_parts(
+        nodes: Vec<Node>,
+        root: usize,
+        max_entries: usize,
+        len: usize,
+        height: usize,
+    ) -> RTree {
         RTree {
             nodes,
             root,
@@ -175,8 +181,11 @@ impl RTree {
             });
             // Children moved to the right node must learn their new parent.
             if !is_leaf {
-                let kids: Vec<usize> =
-                    self.nodes[right].entries.iter().map(|e| e.payload).collect();
+                let kids: Vec<usize> = self.nodes[right]
+                    .entries
+                    .iter()
+                    .map(|e| e.payload)
+                    .collect();
                 for k in kids {
                     self.nodes[k].parent = right;
                 }

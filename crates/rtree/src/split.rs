@@ -117,19 +117,31 @@ mod tests {
             entries.push(e(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0, i));
         }
         for i in 0..5 {
-            entries.push(e(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0, 5 + i));
+            entries.push(e(
+                100.0 + i as f64 * 0.1,
+                0.0,
+                100.0 + i as f64 * 0.1 + 0.05,
+                1.0,
+                5 + i,
+            ));
         }
         let (l, r) = choose_split(entries, 3);
         let l_ids: Vec<usize> = l.iter().map(|x| x.payload).collect();
         let r_ids: Vec<usize> = r.iter().map(|x| x.payload).collect();
-        let (low, high) = if l_ids.contains(&0) { (l_ids, r_ids) } else { (r_ids, l_ids) };
+        let (low, high) = if l_ids.contains(&0) {
+            (l_ids, r_ids)
+        } else {
+            (r_ids, l_ids)
+        };
         assert!(low.iter().all(|&i| i < 5), "low cluster split: {low:?}");
         assert!(high.iter().all(|&i| i >= 5), "high cluster split: {high:?}");
     }
 
     #[test]
     fn split_respects_min_entries() {
-        let entries: Vec<Entry> = (0..9).map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0, i)).collect();
+        let entries: Vec<Entry> = (0..9)
+            .map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0, i))
+            .collect();
         let (l, r) = choose_split(entries, 3);
         assert!(l.len() >= 3 && r.len() >= 3);
         assert_eq!(l.len() + r.len(), 9);

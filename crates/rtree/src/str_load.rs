@@ -112,7 +112,10 @@ mod tests {
                 let x = next() * 100.0;
                 let y = next() * 100.0;
                 (
-                    Rect::new(Coord::new(x, y), Coord::new(x + next() * 3.0, y + next() * 3.0)),
+                    Rect::new(
+                        Coord::new(x, y),
+                        Coord::new(x + next() * 3.0, y + next() * 3.0),
+                    ),
                     i as u32,
                 )
             })

@@ -136,8 +136,8 @@ mod tests {
             let cell = nyc_cell(level);
             let diag = cell.diag_meters();
             let max = metrics::max_diag_meters(level);
-            let min = metrics::MIN_DIAG_DERIV / (1u64 << level) as f64
-                * metrics::EARTH_RADIUS_METERS;
+            let min =
+                metrics::MIN_DIAG_DERIV / (1u64 << level) as f64 * metrics::EARTH_RADIUS_METERS;
             assert!(
                 diag <= max * (1.0 + 1e-9),
                 "level {level}: diag {diag} > max {max}"
@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn children_tile_parent_uv() {
         let parent = nyc_cell(10);
-        let kids: Vec<Cell> = parent.id.children().iter().map(|c| Cell::from_cellid(*c)).collect();
+        let kids: Vec<Cell> = parent
+            .id
+            .children()
+            .iter()
+            .map(|c| Cell::from_cellid(*c))
+            .collect();
         // Union of children's uv-rects equals the parent's rect: total area
         // matches and each child rect is inside the parent rect.
         let area = |c: &Cell| (c.u_hi - c.u_lo) * (c.v_hi - c.v_lo);
@@ -192,8 +197,7 @@ mod tests {
         let ll = LatLng::from_degrees(40.7580, -73.9855);
         let cell = Cell::from_cellid(CellId::from_latlng(ll).parent(16));
         let quad = cell.vertices_latlng();
-        let (lats, lngs): (Vec<f64>, Vec<f64>) =
-            quad.iter().map(|p| (p.lat, p.lng)).unzip();
+        let (lats, lngs): (Vec<f64>, Vec<f64>) = quad.iter().map(|p| (p.lat, p.lng)).unzip();
         let lat_min = lats.iter().cloned().fold(f64::MAX, f64::min);
         let lat_max = lats.iter().cloned().fold(f64::MIN, f64::max);
         let lng_min = lngs.iter().cloned().fold(f64::MAX, f64::min);

@@ -96,9 +96,7 @@ impl CellUnion {
     /// an ancestor of it). Binary search: O(log n).
     pub fn contains(&self, target: CellId) -> bool {
         // The candidate is the last cell with range_min <= target.
-        let idx = self
-            .cells
-            .partition_point(|c| c.range_min().0 <= target.0);
+        let idx = self.cells.partition_point(|c| c.range_min().0 <= target.0);
         idx > 0 && self.cells[idx - 1].range_max().0 >= target.0
     }
 

@@ -161,12 +161,7 @@ pub const POS_TO_IJ: [[u8; 4]; 4] = [
 ];
 
 /// `IJ_TO_POS[orientation][ij]` is the inverse of [`POS_TO_IJ`].
-pub const IJ_TO_POS: [[u8; 4]; 4] = [
-    [0, 1, 3, 2],
-    [0, 3, 1, 2],
-    [2, 3, 1, 0],
-    [2, 1, 3, 0],
-];
+pub const IJ_TO_POS: [[u8; 4]; 4] = [[0, 1, 3, 2], [0, 3, 1, 2], [2, 3, 1, 0], [2, 1, 3, 0]];
 
 /// `POS_TO_ORIENTATION[position]` is the orientation modifier XOR-ed into the
 /// current orientation when descending into the sub-cell at `position`.
@@ -293,7 +288,7 @@ mod tests {
         assert_eq!(st_to_ij(0.0), 0);
         assert_eq!(st_to_ij(1.0), MAX_SIZE - 1); // clamped
         assert_eq!(st_to_ij(-0.1), 0); // clamped
-        // Center of cell i maps back to i.
+                                       // Center of cell i maps back to i.
         for &i in &[0u32, 1, 12345, MAX_SIZE / 2, MAX_SIZE - 1] {
             assert_eq!(st_to_ij(ij_to_st(i)), i);
         }

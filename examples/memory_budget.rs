@@ -18,8 +18,14 @@ fn main() {
     // ------------------------------------------------------------------
     // Part 1: budgeted builds — precision degrades gracefully with memory.
     // ------------------------------------------------------------------
-    println!("budgeted builds over {} polygons, target ε = {target_eps} m:", ds.polygons.len());
-    println!("{:>12} {:>16} {:>12} {:>11}", "budget", "achieved ε [m]", "index size", "guaranteed");
+    println!(
+        "budgeted builds over {} polygons, target ε = {target_eps} m:",
+        ds.polygons.len()
+    );
+    println!(
+        "{:>12} {:>16} {:>12} {:>11}",
+        "budget", "achieved ε [m]", "index size", "guaranteed"
+    );
     for budget_mb in [1usize, 8, 64, 512] {
         let b = build_with_budget(&ds.polygons, target_eps, budget_mb << 20).unwrap();
         println!(

@@ -25,9 +25,11 @@ fn zone(name: &str, cx: f64, cy: f64, half: f64) -> (String, Polygon) {
 
 fn main() {
     // 1. Define polygons (here: three square "zones" around Manhattan).
-    let zones = [zone("midtown", -73.98, 40.76, 0.02),
+    let zones = [
+        zone("midtown", -73.98, 40.76, 0.02),
         zone("downtown", -74.01, 40.71, 0.02),
-        zone("uptown", -73.95, 40.81, 0.02)];
+        zone("uptown", -73.95, 40.81, 0.02),
+    ];
     let polygons: Vec<Polygon> = zones.iter().map(|(_, p)| p.clone()).collect();
 
     // 2. Build the index with a 15 m precision guarantee: every reported
@@ -55,7 +57,11 @@ fn main() {
                 println!(
                     "{label:>15}: {} ({})",
                     zones[id as usize].0,
-                    if true_hit { "true hit — exact" } else { "candidate — within ε" }
+                    if true_hit {
+                        "true hit — exact"
+                    } else {
+                        "candidate — within ε"
+                    }
                 );
             }
         }

@@ -13,12 +13,12 @@
 //! cargo run --release -p act-examples --example traffic_cells
 //! ```
 
+use self::helpers::percentile;
 use act_core::{ActIndex, Refiner};
-use bench_free::percentile;
 use std::time::Instant;
 
 // Tiny local helpers (the examples crate is dependency-light on purpose).
-mod bench_free {
+mod helpers {
     pub fn percentile(sorted: &[f64], p: f64) -> f64 {
         if sorted.is_empty() {
             return 0.0;
@@ -54,7 +54,11 @@ fn main() {
     // probing, not first-touch page faults on a fresh multi-hundred-MB
     // allocation.
     let mut warmup = vec![0u64; ds.polygons.len()];
-    act_core::join_approx_coords(&index, &positions[..100_000.min(positions.len())], &mut warmup);
+    act_core::join_approx_coords(
+        &index,
+        &positions[..100_000.min(positions.len())],
+        &mut warmup,
+    );
 
     // Approximate join (no refinement).
     let mut approx = vec![0u64; ds.polygons.len()];

@@ -18,17 +18,26 @@ fn main() {
 
     println!("ADAPTIVE CELL TRIE — structure (cf. paper Figure 2a)");
     println!("dataset: {} ({} polygons)", ds.name, ds.polygons.len());
-    println!("precision ε = {} m  →  terminal level {}", st.precision_m, st.terminal_level);
+    println!(
+        "precision ε = {} m  →  terminal level {}",
+        st.precision_m, st.terminal_level
+    );
     println!();
     println!("indexed cells:       {:>12}", st.indexed_cells);
     println!("denormalized slots:  {:>12}", st.denormalized_slots);
-    println!("trie nodes:          {:>12}  (fanout 256, 2 KiB each)", act.num_nodes());
+    println!(
+        "trie nodes:          {:>12}  (fanout 256, 2 KiB each)",
+        act.num_nodes()
+    );
     println!("trie memory:         {:>12} bytes", act.memory_bytes());
     println!("lookup table:        {:>12} bytes", st.lookup_table_bytes);
     println!();
 
     let ts = act.stats();
-    println!("{:<7} {:>8} {:>12} {:>10}", "depth", "nodes", "occupied", "fill");
+    println!(
+        "{:<7} {:>8} {:>12} {:>10}",
+        "depth", "nodes", "occupied", "fill"
+    );
     for (d, (&nodes, &occ)) in ts
         .nodes_per_depth
         .iter()
@@ -55,7 +64,10 @@ fn main() {
     let leaf = coord_to_cell(q);
     println!();
     println!("lookup walk for {q} (leaf cell {leaf}):");
-    println!("  key bytes: {:?}", (0..7).map(|d| leaf.key_byte(d)).collect::<Vec<_>>());
+    println!(
+        "  key bytes: {:?}",
+        (0..7).map(|d| leaf.key_byte(d)).collect::<Vec<_>>()
+    );
     match index.probe_cell(leaf) {
         Probe::Miss => println!("  → miss (sentinel)"),
         Probe::One(r) => println!(

@@ -61,13 +61,11 @@ fn all_indexes_agree_on_exact_results() {
         assert_eq!(via_act, truth, "ACT+refine disagrees at {p}");
 
         // Sorted index exact.
-        let mut via_sorted: Vec<u32> = act_core::resolve_probe(
-            sorted.lookup(act_core::coord_to_cell(p)),
-            sorted.table(),
-        )
-        .filter(|&(id, interior)| interior || refiner.contains(id, p))
-        .map(|(id, _)| id)
-        .collect();
+        let mut via_sorted: Vec<u32> =
+            act_core::resolve_probe(sorted.lookup(act_core::coord_to_cell(p)), sorted.table())
+                .filter(|&(id, interior)| interior || refiner.contains(id, p))
+                .map(|(id, _)| id)
+                .collect();
         via_sorted.sort_unstable();
         assert_eq!(via_sorted, truth, "sorted+refine disagrees at {p}");
 

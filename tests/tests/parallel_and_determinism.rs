@@ -28,7 +28,10 @@ fn parallel_join_more_threads_than_points() {
     let cells: Vec<_> = pts.iter().map(|&p| act_core::coord_to_cell(p)).collect();
     let (counts, stats) = join_parallel_cells(&index, &cells, ds.polygons.len(), 16);
     assert_eq!(stats.points, 5);
-    assert_eq!(counts.iter().sum::<u64>(), stats.true_hits + stats.candidate_hits);
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        stats.true_hits + stats.candidate_hits
+    );
 }
 
 #[test]
@@ -57,7 +60,10 @@ fn full_pipeline_is_deterministic() {
 fn different_seeds_differ() {
     let cells = |seed| {
         let ds = datagen::neighborhoods(seed);
-        ActIndex::build(&ds.polygons, 60.0).unwrap().stats().indexed_cells
+        ActIndex::build(&ds.polygons, 60.0)
+            .unwrap()
+            .stats()
+            .indexed_cells
     };
     assert_ne!(cells(1), cells(2));
 }

@@ -6,8 +6,8 @@ use datagen::PointGen;
 
 /// Builds, joins, and cross-checks one dataset tier at one precision.
 fn check_tier(ds: &datagen::Dataset, precision: f64, points: usize) {
-    let index = ActIndex::build(&ds.polygons, precision)
-        .unwrap_or_else(|e| panic!("{}: {e}", ds.name));
+    let index =
+        ActIndex::build(&ds.polygons, precision).unwrap_or_else(|e| panic!("{}: {e}", ds.name));
     let st = index.stats();
     assert!(st.indexed_cells > 0);
     assert_eq!(st.precision_m, precision);
@@ -41,18 +41,18 @@ fn check_tier(ds: &datagen::Dataset, precision: f64, points: usize) {
             }
         }
     }
-    assert_eq!(exact, brute, "{}: exact join must equal brute force", ds.name);
+    assert_eq!(
+        exact, brute,
+        "{}: exact join must equal brute force",
+        ds.name
+    );
 
     // Approximate counts dominate exact counts per polygon (approx adds
     // only false positives, never loses true positives).
     let mut exact_full = vec![0u64; ds.polygons.len()];
     act_core::join_exact(&index, &refiner, &pts, &mut exact_full);
     for (i, (&a, &e)) in approx.iter().zip(&exact_full).enumerate() {
-        assert!(
-            a >= e,
-            "{}: polygon {i} approx {a} < exact {e}",
-            ds.name
-        );
+        assert!(a >= e, "{}: polygon {i} approx {a} < exact {e}", ds.name);
     }
 }
 

@@ -1,0 +1,157 @@
+//! # crossbeam — minimal offline stand-in
+//!
+//! The workspace builds without a crate registry, so the real
+//! [crossbeam](https://crates.io/crates/crossbeam) is unavailable. Only
+//! the `channel` module is provided: a blocking bounded/unbounded MPMC
+//! channel over `Mutex<VecDeque>` + two condvars. Semantically compatible
+//! with `crossbeam::channel` for the send/recv/clone/disconnect surface;
+//! not lock-free, so expect lower peak throughput than the real thing.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value like the real crossbeam.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.shared.not_full.wait(q).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                let _guard = self.shared.queue.lock().unwrap();
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.not_empty.wait(q).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            match q.pop_front() {
+                Some(v) => {
+                    drop(q);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None => Err(RecvError),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake all blocked senders.
+                let _guard = self.shared.queue.lock().unwrap();
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel that blocks senders once `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+
+    /// A channel with an unbounded queue.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+}

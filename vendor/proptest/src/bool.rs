@@ -1,0 +1,17 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Rejected, TestRng};
+
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> Result<bool, Rejected> {
+        Ok(rng.next_u64() & 1 == 1)
+    }
+}
+
+/// Fair coin flip.
+pub const ANY: BoolAny = BoolAny;

@@ -1,0 +1,182 @@
+//! # proptest — minimal offline stand-in
+//!
+//! This workspace builds in an environment with **no crate registry**, so
+//! the real [proptest](https://crates.io/crates/proptest) cannot be
+//! fetched. This crate reimplements the small slice of its API that the
+//! workspace's property tests use, with the same macro surface
+//! (`proptest!`, `prop_assert*`, `prop_assume!`, `prop_oneof!`) and the
+//! same strategy combinators (`prop_map`, `prop_filter`,
+//! `collection::vec`, ranges, tuples, `Just`, `bool::ANY`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message
+//!   and the case's deterministic seed; it does not search for a minimal
+//!   counterexample.
+//! * **Fully deterministic.** Case `k` of test `t` is generated from
+//!   `splitmix64(fnv1a(t) ⊕ k)` — there is no environment-dependent
+//!   entropy, so CI runs are reproducible by construction (no
+//!   `PROPTEST_*` env vars needed).
+//!
+//! If the workspace ever gains registry access, swapping this out for the
+//! real proptest requires only deleting `vendor/proptest` and pointing
+//! `[workspace.dependencies] proptest` back at crates.io.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, Rejected, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case returns a [`TestCaseError::Fail`] instead of unwinding, so the
+/// runner can report the deterministic case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case (does not count as a failure); the runner
+/// draws a replacement case, up to a global rejection budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// The `proptest!` block: each contained `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests!(($cfg); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr); ) => {};
+    ( ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            'cases: while accepted < config.cases {
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} rejects, {} accepted)",
+                        stringify!($name), rejected, accepted
+                    );
+                }
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                case += 1;
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(_) => { rejected += 1; continue 'cases; }
+                    };
+                )+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at deterministic case {}:\n{}",
+                            stringify!($name), case - 1, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg); $($rest)*);
+    };
+}

@@ -1,0 +1,81 @@
+//! Deterministic RNG and runner configuration for the proptest stand-in.
+
+/// Why a test case did not complete normally.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// `prop_assume!` (or a `prop_filter`) discarded the case.
+    Reject,
+}
+
+/// Marker for a strategy-level rejection (e.g. an exhausted `prop_filter`).
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Runner configuration; mirrors the fields of the real
+/// `proptest::test_runner::Config` that this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each test must pass.
+    pub cases: u32,
+    /// Global budget of rejected cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// SplitMix64 seeded from `fnv1a(test_name) ^ case_index`: deterministic
+/// across runs, machines, and thread schedules.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Decorrelate consecutive case indices through one splitmix step.
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` (n > 0), by rejection-free multiply-shift.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
