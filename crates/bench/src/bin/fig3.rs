@@ -9,28 +9,32 @@
 //! The measured loop matches the paper's: probe the index with each point
 //! and bump the matched polygons' counters, no refinement. Points enter the
 //! ACT path as precomputed leaf cell ids (ingest-time conversion); the
-//! R-tree path consumes raw coordinates, as boost's R-tree would. For
-//! completeness the end-to-end ACT throughput (including the lat/lng→cell
-//! conversion per point) is also printed.
+//! R-tree path consumes raw coordinates, as boost's R-tree would. Both the
+//! scalar probe loop and the batched walk (`--batch`, default 64 — see
+//! `Act::lookup_batch`) are measured; the speedup column uses the batched
+//! number, which is the production path. For completeness the end-to-end
+//! ACT throughput (including the lat/lng→cell conversion per point) is
+//! also printed.
 
 use act_core::ActIndex;
 use bench::{
-    build_rtree, feasible, make_points, paper_datasets, run_act_join, run_rtree_join, to_cells,
-    Opts, PRECISIONS,
+    build_rtree, feasible, make_points, paper_datasets, run_act_join, run_act_join_batch,
+    run_rtree_join, to_cells, Opts, PRECISIONS,
 };
 use std::time::Instant;
 
 fn main() {
     let opts = Opts::parse();
     println!(
-        "FIGURE 3: single-threaded throughput, {} M points, seed {}",
+        "FIGURE 3: single-threaded throughput, {} M points, seed {}, batch {}",
         opts.points as f64 / 1e6,
-        opts.seed
+        opts.seed,
+        opts.batch
     );
     println!();
     println!(
-        "{:<14} {:>10} {:>14} {:>14} {:>12} {:>10}",
-        "dataset", "index", "M points/s", "end-to-end", "hits/point", "speedup"
+        "{:<14} {:>10} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "dataset", "index", "scalar M/s", "batch M/s", "end-to-end", "hits/point", "speedup"
     );
 
     for ds in paper_datasets(opts.seed) {
@@ -44,10 +48,11 @@ fn main() {
         let tree = build_rtree(&ds);
         let base = run_rtree_join(&tree, &points, ds.polygons.len());
         println!(
-            "{:<14} {:>10} {:>14.1} {:>14} {:>12.3} {:>10}",
+            "{:<14} {:>10} {:>11.1} {:>11} {:>11} {:>11.3} {:>9}",
             ds.name,
             "R-tree",
             base.mpts_per_sec,
+            "-",
             "-",
             base.stats.candidate_hits as f64 / base.stats.points as f64,
             "1.00x"
@@ -62,7 +67,8 @@ fn main() {
                 continue;
             }
             let index = ActIndex::build(&ds.polygons, precision).expect("single-face datasets");
-            let run = run_act_join(&index, &cells, ds.polygons.len());
+            let scalar = run_act_join(&index, &cells, ds.polygons.len());
+            let batched = run_act_join_batch(&index, &cells, ds.polygons.len(), opts.batch);
 
             // End-to-end: includes lat/lng -> cell conversion per point.
             let mut counts = vec![0u64; ds.polygons.len()];
@@ -70,15 +76,16 @@ fn main() {
             act_core::join_approx_coords(&index, &points, &mut counts);
             let e2e = points.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
 
-            let hits = run.stats.true_hits + run.stats.candidate_hits;
+            let hits = batched.stats.true_hits + batched.stats.candidate_hits;
             println!(
-                "{:<14} {:>7}m {:>14.1} {:>11.1}    {:>12.3} {:>9.2}x",
+                "{:<14} {:>7}m {:>11.1} {:>11.1} {:>11.1} {:>11.3} {:>8.2}x",
                 ds.name,
                 precision,
-                run.mpts_per_sec,
+                scalar.mpts_per_sec,
+                batched.mpts_per_sec,
                 e2e,
-                hits as f64 / run.stats.points as f64,
-                run.mpts_per_sec / base.mpts_per_sec,
+                hits as f64 / batched.stats.points as f64,
+                batched.mpts_per_sec / base.mpts_per_sec,
             );
         }
         println!();

@@ -16,19 +16,21 @@
 //! Census runs at 4 m only with `--full` (multi-GB index); without it, the
 //! census series uses 15 m and is labelled accordingly.
 
-use act_core::{join_parallel_cells, ActIndex};
+use act_core::{join_parallel_cells_batch, ActIndex};
 use bench::{feasible, make_points, paper_datasets, run_act_join, to_cells, Opts};
 
 const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let opts = Opts::parse();
+    let threads = opts.threads_or(&THREADS);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "FIGURE 4: scalability, {} M points, {} hardware thread(s) on this machine",
+        "FIGURE 4: scalability, {} M points, batch {}, {} hardware thread(s) on this machine",
         opts.points as f64 / 1e6,
+        opts.batch,
         cores
     );
     println!("(paper: 14 cores / 28 hyperthreads, ACT-4m, peak 4.30 B points/s)");
@@ -52,25 +54,28 @@ fn main() {
         let points = make_points(&ds, opts.points, opts.seed);
         let cells = to_cells(&points);
 
-        // Sequential reference for correctness checking.
+        // Sequential reference for correctness checking. Workers probe in
+        // batches (Act::lookup_batch), so each thread also exploits
+        // memory-level parallelism within its partition.
         let seq = run_act_join(&index, &cells, ds.polygons.len());
         let mut base = 0.0;
-        for threads in THREADS {
+        for &t_count in &threads {
             let t = std::time::Instant::now();
-            let (counts, _stats) = join_parallel_cells(&index, &cells, ds.polygons.len(), threads);
+            let (counts, _stats) =
+                join_parallel_cells_batch(&index, &cells, ds.polygons.len(), t_count, opts.batch);
             let secs = t.elapsed().as_secs_f64();
             assert_eq!(
                 counts, seq.counts,
                 "parallel join must reproduce sequential counts exactly"
             );
             let mpts = cells.len() as f64 / secs / 1e6;
-            if threads == 1 {
+            if base == 0.0 {
                 base = mpts;
             }
             println!(
                 "{:<18} {:>8} {:>14.1} {:>9.2}x",
                 label,
-                threads,
+                t_count,
                 mpts,
                 mpts / base
             );

@@ -2,22 +2,25 @@
 //!
 //! Binaries (paper artifacts; run with `--release`):
 //!
-//! * `table1` — index metrics per dataset × precision (paper Table I)
-//! * `fig3`   — single-threaded throughput, ACT vs R-tree baseline (Fig. 3)
-//! * `fig4`   — multithreaded scalability (Fig. 4)
+//! * `table1`   — index metrics per dataset × precision (paper Table I)
+//! * `fig3`     — single-threaded throughput, ACT vs R-tree baseline (Fig. 3)
+//! * `fig4`     — multithreaded scalability (Fig. 4)
+//! * `baseline` — machine-readable perf baseline (`BENCH_build.json` /
+//!   `BENCH_probe.json`, committed at the repo root)
 //!
 //! Criterion benches (`cargo bench`): `throughput`, `scalability`,
 //! `ablations`, `build_phase`.
 //!
-//! All binaries accept `--points N`, `--seed S`, and `--full` (enable the
-//! census-blocks × 4 m cell, which needs several GB of RAM — see
-//! EXPERIMENTS.md).
+//! All binaries share the [`Opts`] flags (see [`USAGE`]); unknown flags
+//! print the usage message and exit non-zero.
 
 use act_core::{coord_to_cell, ActIndex, JoinStats};
 use datagen::{Dataset, PointGen};
 use geom::Coord;
 use s2cell::CellId;
 use std::time::Instant;
+
+pub mod json;
 
 /// The paper's three precision tiers, in meters.
 pub const PRECISIONS: [f64; 3] = [60.0, 15.0, 4.0];
@@ -33,6 +36,10 @@ pub struct Opts {
     pub full: bool,
     /// Restrict to matching dataset names (empty = all).
     pub datasets: Vec<String>,
+    /// Thread counts for scaling sweeps (empty = the binary's default).
+    pub threads: Vec<usize>,
+    /// Points per batched-probe block (`--batch 1` degenerates to scalar).
+    pub batch: usize,
 }
 
 impl Default for Opts {
@@ -42,44 +49,108 @@ impl Default for Opts {
             seed: 42,
             full: false,
             datasets: Vec::new(),
+            threads: Vec::new(),
+            batch: act_core::DEFAULT_PROBE_BATCH,
         }
     }
 }
 
+/// The usage text printed when CLI parsing fails.
+pub const USAGE: &str = "\
+usage: <bin> [options]
+  --points N        query points (default 10_000_000; '_' separators ok)
+  --seed S          workload seed (default 42)
+  --full            include the census x 4 m configuration (multi-GB index)
+  --datasets a,b    restrict to matching dataset names (default: all)
+  --threads 1,2,4   thread counts for scaling sweeps (default: per binary)
+  --batch B         points per batched-probe block (default 64; 1 = scalar)
+(env: ACT_FULL=1 behaves like --full)";
+
 impl Opts {
-    /// Parses `--points N --seed S --full --datasets a,b` from argv.
+    /// Parses the shared experiment flags from argv; unknown or malformed
+    /// flags print [`USAGE`] to stderr and exit with status 2.
     pub fn parse() -> Opts {
-        let mut o = Opts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--points" => {
-                    i += 1;
-                    o.points = args[i].replace('_', "").parse().expect("--points N");
-                }
-                "--seed" => {
-                    i += 1;
-                    o.seed = args[i].parse().expect("--seed S");
-                }
-                "--full" => o.full = true,
-                "--datasets" => {
-                    i += 1;
-                    o.datasets = args[i].split(',').map(str::to_string).collect();
-                }
-                other => panic!("unknown argument: {other}"),
+        let mut o = match Self::try_parse(&args) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
             }
-            i += 1;
-        }
+        };
         if std::env::var("ACT_FULL").is_ok() {
             o.full = true;
         }
         o
     }
 
+    /// [`Opts::parse`] on an explicit argument list, returning an error
+    /// message instead of exiting (testable core of the parser).
+    pub fn try_parse(args: &[String]) -> Result<Opts, String> {
+        fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+            *i += 1;
+            args.get(*i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} requires a value"))
+        }
+        let mut o = Opts::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--points" => {
+                    o.points = value(args, &mut i, "--points")?
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| "--points expects an integer".to_string())?;
+                }
+                "--seed" => {
+                    o.seed = value(args, &mut i, "--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?;
+                }
+                "--full" => o.full = true,
+                "--datasets" => {
+                    o.datasets = value(args, &mut i, "--datasets")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect();
+                }
+                "--threads" => {
+                    o.threads = value(args, &mut i, "--threads")?
+                        .split(',')
+                        .map(|t| {
+                            t.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                                "--threads expects positive integers like 1,2,4".to_string()
+                            })
+                        })
+                        .collect::<Result<Vec<usize>, String>>()?;
+                }
+                "--batch" => {
+                    o.batch = value(args, &mut i, "--batch")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&b| b >= 1)
+                        .ok_or_else(|| "--batch expects a positive integer".to_string())?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+            i += 1;
+        }
+        Ok(o)
+    }
+
     /// True if dataset `name` is selected.
     pub fn wants(&self, name: &str) -> bool {
         self.datasets.is_empty() || self.datasets.iter().any(|d| d == name)
+    }
+
+    /// The sweep thread counts, or `default` when `--threads` wasn't given.
+    pub fn threads_or(&self, default: &[usize]) -> Vec<usize> {
+        if self.threads.is_empty() {
+            default.to_vec()
+        } else {
+            self.threads.clone()
+        }
     }
 }
 
@@ -118,16 +189,21 @@ pub struct RunResult {
     pub counts: Vec<u64>,
 }
 
-/// Times the approximate cell-id join (the paper's measured hot path).
-/// A warmup pass over a prefix touches the trie's pages first, so the
-/// timed loop measures steady-state probing rather than page faults.
-pub fn run_act_join(index: &ActIndex, cells: &[CellId], num_polygons: usize) -> RunResult {
+/// The shared warmup/timing protocol of every join runner: a warmup pass
+/// over a prefix touches the trie's pages first, so the timed loop
+/// measures steady-state probing rather than page faults. Scalar and
+/// batched numbers are directly comparable because both go through here.
+fn timed_join(
+    cells: &[CellId],
+    num_polygons: usize,
+    join: impl Fn(&[CellId], &mut [u64]) -> JoinStats,
+) -> RunResult {
     let mut counts = vec![0u64; num_polygons];
     let warm = cells.len().min(200_000);
-    act_core::join_approx_cells(index, &cells[..warm], &mut counts);
+    join(&cells[..warm], &mut counts);
     counts.iter_mut().for_each(|c| *c = 0);
     let t = Instant::now();
-    let stats = act_core::join_approx_cells(index, cells, &mut counts);
+    let stats = join(cells, &mut counts);
     let secs = t.elapsed().as_secs_f64();
     RunResult {
         secs,
@@ -135,6 +211,26 @@ pub fn run_act_join(index: &ActIndex, cells: &[CellId], num_polygons: usize) -> 
         stats,
         counts,
     }
+}
+
+/// Times the approximate cell-id join (the paper's measured hot path).
+pub fn run_act_join(index: &ActIndex, cells: &[CellId], num_polygons: usize) -> RunResult {
+    timed_join(cells, num_polygons, |c, counts| {
+        act_core::join_approx_cells(index, c, counts)
+    })
+}
+
+/// Times the approximate join with **batched** probes (blocks of `batch`
+/// through [`act_core::join_approx_cells_batch`]).
+pub fn run_act_join_batch(
+    index: &ActIndex,
+    cells: &[CellId],
+    num_polygons: usize,
+    batch: usize,
+) -> RunResult {
+    timed_join(cells, num_polygons, |c, counts| {
+        act_core::join_approx_cells_batch(index, c, counts, batch)
+    })
 }
 
 /// Times the R-tree baseline: candidate counting without refinement, as in
@@ -228,6 +324,67 @@ mod tests {
         assert_eq!(rt.stats.points, 20_000);
         // MBR candidates ⊇ actual matches.
         assert!(rt.counts.iter().sum::<u64>() >= act.counts.iter().sum::<u64>() / 2);
+    }
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        Opts::try_parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cli_parses_all_flags() {
+        let o = parse(&[
+            "--points",
+            "1_000_000",
+            "--seed",
+            "7",
+            "--full",
+            "--datasets",
+            "boroughs,census",
+            "--threads",
+            "1,2,4",
+            "--batch",
+            "128",
+        ])
+        .unwrap();
+        assert_eq!(o.points, 1_000_000);
+        assert_eq!(o.seed, 7);
+        assert!(o.full);
+        assert_eq!(o.datasets, vec!["boroughs", "census"]);
+        assert_eq!(o.threads, vec![1, 2, 4]);
+        assert_eq!(o.batch, 128);
+    }
+
+    #[test]
+    fn cli_rejects_unknown_and_malformed_flags() {
+        assert!(parse(&["--nope"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["--points"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--points", "abc"]).unwrap_err().contains("integer"));
+        assert!(parse(&["--threads", "1,0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--batch", "0"]).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn cli_threads_default_fallback() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.threads_or(&[1, 2, 4]), vec![1, 2, 4]);
+        let o = parse(&["--threads", "8"]).unwrap();
+        assert_eq!(o.threads_or(&[1, 2, 4]), vec![8]);
+    }
+
+    #[test]
+    fn batched_harness_agrees_with_scalar() {
+        let ds = datagen::blocks_scaled(6, 5, 1);
+        let index = ActIndex::build(&ds.polygons, 60.0).unwrap();
+        let pts = make_points(&ds, 20_000, 7);
+        let cells = to_cells(&pts);
+        let scalar = run_act_join(&index, &cells, ds.polygons.len());
+        let batched = run_act_join_batch(&index, &cells, ds.polygons.len(), 64);
+        assert_eq!(scalar.counts, batched.counts);
+        assert_eq!(scalar.stats, batched.stats);
     }
 
     #[test]

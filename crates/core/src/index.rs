@@ -7,7 +7,7 @@
 use crate::covering::{cover_uv_polygon, Covering, CoveringParams};
 use crate::lookup::{LookupTable, LookupTableBuilder};
 use crate::refs::MAX_POLYGON_ID;
-use crate::supercover::build_super_covering;
+use crate::supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 use crate::trie::{Act, Probe};
 
 use crate::uvpoly::{MultiFaceError, UvPolygon};
@@ -67,9 +67,9 @@ impl ActIndex {
         );
         let params = CoveringParams::new(precision_m);
 
-        // Phase 1: per-polygon coverings (parallelized over polygons in the
-        // paper; kept sequential here — callers can shard polygons and use
-        // build_from_coverings for parallel builds).
+        // Phase 1: per-polygon coverings. See build_parallel for the
+        // fanned-out version; this serial loop is the reference the
+        // parallel build must reproduce byte-for-byte.
         let t0 = Instant::now();
         let mut coverings = Vec::with_capacity(polygons.len());
         for poly in polygons {
@@ -79,6 +79,61 @@ impl ActIndex {
         let covering_secs = t0.elapsed().as_secs_f64();
 
         Ok(Self::from_coverings(coverings, params, covering_secs))
+    }
+
+    /// [`ActIndex::build`] with both build hot spots fanned out over
+    /// `pool`: per-polygon coverings (phase 1, embarrassingly parallel) and
+    /// the super-covering merge (phase 2, sharded by cube face). The trie
+    /// populate (phase 3) stays serial — it is a fraction of build time and
+    /// arena allocation order must not depend on thread interleaving.
+    ///
+    /// Output is **deterministic**: coverings are collected in polygon
+    /// order and face shards concatenate in face order, so the node arena,
+    /// lookup table, and every [`BuildStats`] counter are identical to the
+    /// serial build whatever `pool`'s width (only the wall-time fields
+    /// differ). A 1-thread pool degenerates to inline execution.
+    ///
+    /// # Errors
+    /// Returns an error if any polygon spans multiple cube faces.
+    ///
+    /// # Panics
+    /// As [`ActIndex::build`].
+    pub fn build_parallel(
+        polygons: &[Polygon],
+        precision_m: f64,
+        pool: &jobs::JobPool,
+    ) -> Result<ActIndex, MultiFaceError> {
+        assert!(
+            polygons.len() <= MAX_POLYGON_ID as usize + 1,
+            "more than 2^30 polygons"
+        );
+        let params = CoveringParams::new(precision_m);
+
+        // Phase 1: independent per-polygon coverings, in input order.
+        let t0 = Instant::now();
+        let coverings = pool
+            .map(polygons, |poly| {
+                UvPolygon::from_polygon(poly).map(|uv| cover_uv_polygon(&uv, &params))
+            })
+            .into_iter()
+            .collect::<Result<Vec<Covering>, MultiFaceError>>()?;
+        let covering_secs = t0.elapsed().as_secs_f64();
+
+        let covering_cells: u64 = coverings.iter().map(|c| c.cells.len() as u64).sum();
+
+        // Phase 2: super covering, one shard per cube face.
+        let t1 = Instant::now();
+        let sc = build_super_covering_sharded(&coverings, pool);
+        drop(coverings);
+        let supercover_secs = t1.elapsed().as_secs_f64();
+
+        Ok(Self::finish(
+            sc,
+            params,
+            covering_cells,
+            covering_secs,
+            supercover_secs,
+        ))
     }
 
     /// Assembles the index from precomputed coverings (`coverings[i]` is
@@ -96,7 +151,28 @@ impl ActIndex {
         drop(coverings);
         let supercover_secs = t1.elapsed().as_secs_f64();
 
-        // Phase 3: populate the trie.
+        Self::finish(sc, params, covering_cells, covering_secs, supercover_secs)
+    }
+
+    /// Assembles an index directly from an already-merged super covering.
+    /// Used by the adaptive index (which maintains its own cell set) and by
+    /// baseline comparisons that share one covering across index types.
+    pub fn from_supercover(
+        sc: crate::supercover::SuperCovering,
+        params: CoveringParams,
+    ) -> ActIndex {
+        Self::finish(sc, params, 0, 0.0, 0.0)
+    }
+
+    /// Phase 3 (trie populate) + stats assembly, shared by every build
+    /// entry point.
+    fn finish(
+        sc: SuperCovering,
+        params: CoveringParams,
+        covering_cells: u64,
+        covering_secs: f64,
+        supercover_secs: f64,
+    ) -> ActIndex {
         let t2 = Instant::now();
         let mut act = Act::new();
         let mut table_builder = LookupTableBuilder::new();
@@ -120,36 +196,6 @@ impl ActIndex {
             build_insert_secs: insert_secs,
         };
 
-        ActIndex { act, table, stats }
-    }
-
-    /// Assembles an index directly from an already-merged super covering.
-    /// Used by the adaptive index (which maintains its own cell set) and by
-    /// baseline comparisons that share one covering across index types.
-    pub fn from_supercover(
-        sc: crate::supercover::SuperCovering,
-        params: CoveringParams,
-    ) -> ActIndex {
-        let t = Instant::now();
-        let mut act = Act::new();
-        let mut table_builder = LookupTableBuilder::new();
-        for (cell, refs) in &sc.cells {
-            act.insert(*cell, refs, &mut table_builder);
-        }
-        let table = table_builder.build();
-        let stats = BuildStats {
-            precision_m: params.precision_m,
-            terminal_level: params.terminal_level(),
-            covering_cells: 0,
-            indexed_cells: sc.cells.len() as u64,
-            denormalized_slots: act.denormalized_slots(),
-            pushdown_splits: sc.pushdown_splits,
-            act_bytes: act.memory_bytes(),
-            lookup_table_bytes: table.memory_bytes(),
-            build_coverings_secs: 0.0,
-            build_supercover_secs: 0.0,
-            build_insert_secs: t.elapsed().as_secs_f64(),
-        };
         ActIndex { act, table, stats }
     }
 
@@ -181,6 +227,17 @@ impl ActIndex {
     #[inline]
     pub fn probe_cell(&self, leaf: CellId) -> Probe {
         self.act.lookup(leaf)
+    }
+
+    /// Probes a batch of precomputed leaf cell ids, writing one [`Probe`]
+    /// per query — the batched hot path (see [`Act::lookup_batch`] for why
+    /// this beats a loop over [`ActIndex::probe_cell`]).
+    ///
+    /// # Panics
+    /// Panics if `cells.len() != out.len()`.
+    #[inline]
+    pub fn probe_batch(&self, cells: &[CellId], out: &mut [Probe]) {
+        self.act.lookup_batch(cells, out);
     }
 
     /// Probes with a lat/lng coordinate (degree-space `Coord`).
@@ -279,6 +336,43 @@ mod tests {
         let fine = ActIndex::build(&polys, 4.0).unwrap();
         assert!(fine.stats().indexed_cells > coarse.stats().indexed_cells);
         assert!(fine.memory_bytes() >= coarse.memory_bytes());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        let polys = vec![
+            square(-74.05, 40.70, 0.02),
+            square(-73.95, 40.70, 0.02),
+            square(-74.00, 40.70, 0.03), // overlaps both
+        ];
+        let serial = ActIndex::build(&polys, 15.0).unwrap();
+        for threads in [1usize, 2, 4] {
+            let pool = jobs::JobPool::new(threads);
+            let par = ActIndex::build_parallel(&polys, 15.0, &pool).unwrap();
+            assert_eq!(par.act().slots(), serial.act().slots(), "{threads} threads");
+            assert_eq!(par.act().roots(), serial.act().roots());
+            assert_eq!(par.stats().indexed_cells, serial.stats().indexed_cells);
+            assert_eq!(par.stats().covering_cells, serial.stats().covering_cells);
+            assert_eq!(par.stats().pushdown_splits, serial.stats().pushdown_splits);
+            assert_eq!(
+                par.stats().lookup_table_bytes,
+                serial.stats().lookup_table_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn probe_batch_agrees_with_probe_cell() {
+        let polys = vec![square(-74.05, 40.70, 0.02), square(-73.95, 40.70, 0.02)];
+        let idx = ActIndex::build(&polys, 15.0).unwrap();
+        let cells: Vec<CellId> = (0..300)
+            .map(|k| coord_to_cell(Coord::new(-74.1 + 0.001 * k as f64, 40.70)))
+            .collect();
+        let mut out = vec![Probe::Miss; cells.len()];
+        idx.probe_batch(&cells, &mut out);
+        for (c, p) in cells.iter().zip(&out) {
+            assert_eq!(*p, idx.probe_cell(*c));
+        }
     }
 
     #[test]

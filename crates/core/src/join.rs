@@ -35,8 +35,22 @@ pub struct JoinStats {
     pub refined_hits: u64,
 }
 
+/// Default points per [`join_approx_cells_batch`] block: enough lanes to
+/// saturate the memory pipeline's outstanding-miss capacity, small enough
+/// that lane state stays in registers/L1.
+///
+/// Tradeoff: batching pays for itself when probes miss cache — the larger
+/// tries in `BENCH_probe.json` gain ~1.3–1.5× — but on indexes whose hot
+/// node set is cache-resident (few polygons, shallow probe termination)
+/// the lane bookkeeping can cost ~10%. Workloads in that regime should
+/// pass `batch = 1` to [`join_approx_cells_batch`] /
+/// [`join_parallel_cells_batch`], which degenerates to scalar probing.
+pub const DEFAULT_PROBE_BATCH: usize = 64;
+
 /// Counts points per polygon in **approximate** mode from precomputed leaf
-/// cell ids (the measured hot path of the paper's Figure 3).
+/// cell ids (the measured hot path of the paper's Figure 3), probing one
+/// point at a time. [`join_approx_cells_batch`] is the faster batched
+/// variant; this scalar loop stays as the reference implementation.
 pub fn join_approx_cells(index: &ActIndex, cells: &[CellId], counts: &mut [u64]) -> JoinStats {
     let mut stats = JoinStats {
         points: cells.len() as u64,
@@ -44,38 +58,35 @@ pub fn join_approx_cells(index: &ActIndex, cells: &[CellId], counts: &mut [u64])
     };
     let table = index.table();
     for &cell in cells {
-        match index.probe_cell(cell) {
-            Probe::Miss => stats.misses += 1,
-            Probe::One(r) => {
-                counts[r.id as usize] += 1;
-                if r.interior {
-                    stats.true_hits += 1;
-                } else {
-                    stats.candidate_hits += 1;
-                }
-            }
-            Probe::Two(a, b) => {
-                counts[a.id as usize] += 1;
-                counts[b.id as usize] += 1;
-                for r in [a, b] {
-                    if r.interior {
-                        stats.true_hits += 1;
-                    } else {
-                        stats.candidate_hits += 1;
-                    }
-                }
-            }
-            Probe::Table(off) => {
-                let (trues, cands) = table.decode(off);
-                for &id in trues {
-                    counts[id as usize] += 1;
-                }
-                for &id in cands {
-                    counts[id as usize] += 1;
-                }
-                stats.true_hits += trues.len() as u64;
-                stats.candidate_hits += cands.len() as u64;
-            }
+        accumulate(index.probe_cell(cell), table, counts, &mut stats);
+    }
+    stats
+}
+
+/// [`join_approx_cells`] with batched trie probes: points are processed in
+/// blocks of `batch` (see [`DEFAULT_PROBE_BATCH`]) via
+/// [`crate::Act::lookup_batch`], overlapping the dependent loads of
+/// different keys in the memory pipeline. Counts and stats are identical
+/// to the scalar loop for any `batch`; `batch == 0` is treated as 1.
+pub fn join_approx_cells_batch(
+    index: &ActIndex,
+    cells: &[CellId],
+    counts: &mut [u64],
+    batch: usize,
+) -> JoinStats {
+    let mut stats = JoinStats {
+        points: cells.len() as u64,
+        ..JoinStats::default()
+    };
+    let batch = batch.clamp(1, cells.len().max(1));
+    let table = index.table();
+    let act = index.act();
+    let mut probes = vec![Probe::Miss; batch];
+    for chunk in cells.chunks(batch) {
+        let out = &mut probes[..chunk.len()];
+        act.lookup_batch(chunk, out);
+        for &p in out.iter() {
+            accumulate(p, table, counts, &mut stats);
         }
     }
     stats
@@ -234,35 +245,40 @@ fn refine_one(
     }
 }
 
-/// Multithreaded approximate join over precomputed cell ids.
+/// Multithreaded approximate join over precomputed cell ids, with batched
+/// probes ([`DEFAULT_PROBE_BATCH`]) inside each worker.
 ///
-/// Partitions `cells` into `threads` contiguous chunks with per-thread
-/// counter arrays, merged after the scoped threads join. Returns the merged
-/// counts and stats.
+/// Partitions `cells` into `threads` contiguous chunks on a [`jobs::JobPool`]
+/// with per-chunk counter arrays — no shared mutable state, no atomics;
+/// counters are merged after the pool drains. Returns the merged counts and
+/// stats, bit-identical to the sequential join. For cache-resident indexes
+/// where batching does not pay (see [`DEFAULT_PROBE_BATCH`]), use
+/// [`join_parallel_cells_batch`] with `batch = 1`.
 pub fn join_parallel_cells(
     index: &ActIndex,
     cells: &[CellId],
     num_polygons: usize,
     threads: usize,
 ) -> (Vec<u64>, JoinStats) {
-    assert!(threads >= 1);
-    let chunk = cells.len().div_ceil(threads);
-    let mut results: Vec<(Vec<u64>, JoinStats)> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let slice =
-                    &cells[(t * chunk).min(cells.len())..((t + 1) * chunk).min(cells.len())];
-                scope.spawn(move || {
-                    let mut counts = vec![0u64; num_polygons];
-                    let stats = join_approx_cells(index, slice, &mut counts);
-                    (counts, stats)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("join worker panicked"));
-        }
+    join_parallel_cells_batch(index, cells, num_polygons, threads, DEFAULT_PROBE_BATCH)
+}
+
+/// [`join_parallel_cells`] with an explicit probe batch size (`batch == 0`
+/// or `1` degenerates to scalar probing; the bench harness's `--batch`
+/// knob lands here).
+pub fn join_parallel_cells_batch(
+    index: &ActIndex,
+    cells: &[CellId],
+    num_polygons: usize,
+    threads: usize,
+    batch: usize,
+) -> (Vec<u64>, JoinStats) {
+    let pool = jobs::JobPool::new(threads);
+    let chunk = cells.len().div_ceil(threads).max(1);
+    let results = pool.map_range(0..cells.len(), chunk, |r| {
+        let mut counts = vec![0u64; num_polygons];
+        let stats = join_approx_cells_batch(index, &cells[r], &mut counts, batch);
+        (counts, stats)
     });
     let mut counts = vec![0u64; num_polygons];
     let mut stats = JoinStats::default();
@@ -413,5 +429,36 @@ mod tests {
         assert_eq!(stats.points, 0);
         let (par, _) = join_parallel_cells(&idx, &[], 2, 4);
         assert_eq!(par, vec![0, 0]);
+        let stats = join_approx_cells_batch(&idx, &[], &mut counts, 64);
+        assert_eq!(stats.points, 0);
+    }
+
+    #[test]
+    fn batched_equals_scalar_for_any_batch_size() {
+        let (_, idx) = setup();
+        let pts = test_points();
+        let cells: Vec<CellId> = pts.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut scalar = vec![0u64; 2];
+        let scalar_stats = join_approx_cells(&idx, &cells, &mut scalar);
+        for batch in [0usize, 1, 2, 7, 64, 256, 1000] {
+            let mut counts = vec![0u64; 2];
+            let stats = join_approx_cells_batch(&idx, &cells, &mut counts, batch);
+            assert_eq!(counts, scalar, "batch={batch}");
+            assert_eq!(stats, scalar_stats, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential() {
+        let (_, idx) = setup();
+        let pts = test_points();
+        let cells: Vec<CellId> = pts.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut seq = vec![0u64; 2];
+        let seq_stats = join_approx_cells(&idx, &cells, &mut seq);
+        for (threads, batch) in [(2usize, 1usize), (3, 8), (4, 64)] {
+            let (par, par_stats) = join_parallel_cells_batch(&idx, &cells, 2, threads, batch);
+            assert_eq!(par, seq, "threads={threads} batch={batch}");
+            assert_eq!(par_stats, seq_stats, "threads={threads} batch={batch}");
+        }
     }
 }

@@ -59,10 +59,11 @@ pub use adaptive::{build_with_budget, AdaptReport, AdaptiveIndex, AdaptiveParams
 pub use covering::{cover_polygon, Covering, CoveringParams};
 pub use index::{coord_to_cell, ActIndex, BuildStats};
 pub use join::{
-    join_approx_cells, join_approx_coords, join_exact, join_parallel_cells, JoinStats, Refiner,
+    join_approx_cells, join_approx_cells_batch, join_approx_coords, join_exact,
+    join_parallel_cells, join_parallel_cells_batch, JoinStats, Refiner, DEFAULT_PROBE_BATCH,
 };
 pub use lookup::{LookupTable, LookupTableBuilder};
 pub use refs::{PolygonRef, RefSet, MAX_POLYGON_ID};
 pub use sorted_index::SortedCellIndex;
-pub use supercover::{build_super_covering, SuperCovering};
+pub use supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 pub use trie::{resolve_probe, Act, Probe};

@@ -65,6 +65,32 @@ pub fn build_super_covering(coverings: &[Covering]) -> SuperCovering {
     build_from_pairs(items)
 }
 
+/// [`build_super_covering`], sharded by cube face across `pool`.
+///
+/// Cells on different faces can neither nest nor collide, and the global
+/// sort key (`range_min`, whose top bits are the face) orders whole faces
+/// contiguously — so merging each face independently and concatenating the
+/// results in face order yields the **exact** cell sequence (and push-down
+/// split count) of the serial merge. [`crate::ActIndex::build_parallel`]
+/// relies on this for byte-identical arenas.
+pub fn build_super_covering_sharded(coverings: &[Covering], pool: &jobs::JobPool) -> SuperCovering {
+    let mut by_face: Vec<Vec<(CellId, PolygonRef)>> = (0..6).map(|_| Vec::new()).collect();
+    for (poly_id, cov) in coverings.iter().enumerate() {
+        let id = poly_id as u32;
+        for &(cell, interior) in &cov.cells {
+            by_face[cell.face() as usize].push((cell, PolygonRef { id, interior }));
+        }
+    }
+    let parts = pool.map_owned(by_face, build_from_pairs);
+    let mut out = SuperCovering::default();
+    out.cells.reserve(parts.iter().map(|p| p.cells.len()).sum());
+    for part in parts {
+        out.cells.extend(part.cells);
+        out.pushdown_splits += part.pushdown_splits;
+    }
+    out
+}
+
 /// Builds from raw `(cell, reference)` pairs (used by tests and by adaptive
 /// extensions that inject extra cells).
 pub fn build_from_pairs(mut items: Vec<(CellId, PolygonRef)>) -> SuperCovering {
@@ -252,6 +278,48 @@ mod tests {
     fn empty_input() {
         let sc = build_from_pairs(vec![]);
         assert!(sc.is_empty());
+    }
+
+    #[test]
+    fn sharded_matches_serial_across_faces() {
+        use crate::covering::Covering;
+        // Coverings spanning three faces, with duplicates and nesting on
+        // each face.
+        let nyc = leaf(); // face 4
+        let equator = CellId::from_latlng(LatLng::from_degrees(0.0, 0.0));
+        let pole = CellId::from_latlng(LatLng::from_degrees(89.0, 10.0));
+        assert_ne!(nyc.face(), equator.face());
+        assert_ne!(equator.face(), pole.face());
+        let coverings = vec![
+            Covering {
+                cells: vec![
+                    (nyc.parent(12), true),
+                    (equator.parent(10), false),
+                    (pole.parent(8), true),
+                ],
+            },
+            Covering {
+                cells: vec![
+                    (nyc.parent(14), false),    // nests under poly 0's cell
+                    (equator.parent(10), true), // duplicate of poly 0's cell
+                    (pole.parent(11), false),   // nests under poly 0's cell
+                ],
+            },
+        ];
+        let serial = build_super_covering(&coverings);
+        for threads in [1usize, 2, 4] {
+            let pool = jobs::JobPool::new(threads);
+            let sharded = build_super_covering_sharded(&coverings, &pool);
+            assert_eq!(sharded.pushdown_splits, serial.pushdown_splits);
+            assert_eq!(sharded.cells.len(), serial.cells.len());
+            for (a, b) in sharded.cells.iter().zip(&serial.cells) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(
+                    a.1.iter().collect::<Vec<_>>(),
+                    b.1.iter().collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //! Nodes live in a flat `Vec<u64>` arena and child references are node
 //! indices. This keeps the implementation 100% safe Rust with the same
 //! cache behaviour as raw pointers (one dependent load per level).
+//!
+//! ## Batched probing
+//!
+//! [`Act::lookup`] issues one *dependent* load per level — the probe's
+//! latency is the sum of its cache misses. [`Act::lookup_batch`] walks a
+//! block of keys level-synchronously instead, so the misses of different
+//! keys overlap in the memory pipeline (memory-level parallelism); on
+//! larger-than-cache tries this is worth ~1.3–1.5× single-threaded (see
+//! `BENCH_probe.json`).
 
 use crate::lookup::{LookupTable, LookupTableBuilder};
 use crate::refs::{PolygonRef, RefSet};
@@ -45,6 +54,9 @@ pub const FANOUT: usize = 256;
 pub const GRANULARITY: u8 = 4;
 /// Maximum indexable cell level (7 key bytes × 4 levels/byte).
 pub const MAX_INDEX_LEVEL: u8 = 28;
+/// Maximum lanes walked together by one [`Act::lookup_batch`] block (the
+/// lane state must stay stack- and L1-resident; see the method docs).
+pub const MAX_PROBE_BLOCK: usize = 256;
 
 const TAG_MASK: u64 = 3;
 const TAG_CHILD: u64 = 0;
@@ -261,6 +273,78 @@ impl Act {
         Probe::Miss
     }
 
+    /// Probes a batch of keys, writing `out[i]` = [`Act::lookup`]`(queries[i])`.
+    ///
+    /// Rationale: a single lookup is a chain of up to 7 *dependent*
+    /// cache-missing loads — the memory pipeline stalls on every level.
+    /// This walk instead advances a block of up to [`MAX_PROBE_BLOCK`] keys
+    /// *level-synchronously*: within one level the loads of different lanes
+    /// are independent, so the core keeps many misses in flight
+    /// (memory-level parallelism) instead of serializing them. Lanes that
+    /// resolve early are compacted out of the active list.
+    ///
+    /// # Panics
+    /// Panics if `queries.len() != out.len()`.
+    pub fn lookup_batch(&self, queries: &[CellId], out: &mut [Probe]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lookup_batch: queries/out length mismatch"
+        );
+        for (q, o) in queries
+            .chunks(MAX_PROBE_BLOCK)
+            .zip(out.chunks_mut(MAX_PROBE_BLOCK))
+        {
+            self.lookup_block(q, o);
+        }
+    }
+
+    /// One level-synchronous block (≤ [`MAX_PROBE_BLOCK`] lanes).
+    fn lookup_block(&self, queries: &[CellId], out: &mut [Probe]) {
+        let n = queries.len();
+        debug_assert!(n <= MAX_PROBE_BLOCK);
+        let mut node = [0u32; MAX_PROBE_BLOCK];
+        let mut key = [0u64; MAX_PROBE_BLOCK];
+        // Active lane ids, compacted as lanes resolve.
+        let mut lanes = [0u16; MAX_PROBE_BLOCK];
+        let mut live = 0usize;
+        for (i, (&q, o)) in queries.iter().zip(out.iter_mut()).enumerate() {
+            let root = self.roots[(q.0 >> 61) as usize];
+            *o = Probe::Miss;
+            if root != 0 {
+                node[i] = root;
+                key[i] = q.0 << 3;
+                lanes[live] = i as u16;
+                live += 1;
+            }
+        }
+        for _ in 0..7 {
+            if live == 0 {
+                return;
+            }
+            let mut kept = 0usize;
+            for j in 0..live {
+                let i = lanes[j] as usize;
+                let b = (key[i] >> 56) as usize;
+                key[i] <<= 8;
+                let e = self.slots[node[i] as usize * FANOUT + b];
+                if e & TAG_MASK == TAG_CHILD {
+                    let idx = (e >> 2) as u32;
+                    if idx != 0 {
+                        node[i] = idx;
+                        lanes[kept] = i as u16;
+                        kept += 1;
+                    }
+                    // idx == 0: stays the Miss written above.
+                } else {
+                    out[i] = Probe::from_entry(e);
+                }
+            }
+            live = kept;
+        }
+        // Lanes still live after 7 levels ran off the key: Miss (pre-set).
+    }
+
     /// Like [`Act::lookup`], additionally returning the quadtree level of
     /// the *slot* that terminated the walk (a multiple of 4; the matched
     /// indexed cell is that slot's cell or a denormalized ancestor of it).
@@ -288,6 +372,19 @@ impl Act {
             }
         }
         (Probe::Miss, MAX_INDEX_LEVEL)
+    }
+
+    /// The raw node arena (node `i` is `slots()[i*256..(i+1)*256]`).
+    /// Exposed so builds can be compared for byte-identity.
+    #[inline]
+    pub fn slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// The per-face root node indices.
+    #[inline]
+    pub fn roots(&self) -> &[u32; 6] {
+        &self.roots
     }
 
     /// Number of nodes (including the sentinel).
@@ -583,6 +680,76 @@ mod tests {
             &mut tb,
         );
         assert_eq!(act.stats().nodes_per_depth.len(), 7);
+    }
+
+    #[test]
+    fn lookup_batch_matches_scalar() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7580, -73.9855);
+        act.insert(
+            leaf.parent(18),
+            &RefSet::single(PolygonRef::true_hit(1)),
+            &mut tb,
+        );
+        let anc = leaf.parent(16);
+        let mut half = anc.child(0);
+        if leaf.parent(17) == half {
+            half = anc.child(1);
+        }
+        act.insert(
+            half.child(2).child(1).child(3),
+            &RefSet::Two(PolygonRef::true_hit(2), PolygonRef::candidate(3)),
+            &mut tb,
+        );
+        let other_face = CellId::from_latlng(LatLng::from_degrees(0.0, 0.0));
+        act.insert(
+            other_face.parent(6),
+            &RefSet::Many(vec![
+                PolygonRef::true_hit(4),
+                PolygonRef::candidate(5),
+                PolygonRef::candidate(6),
+            ]),
+            &mut tb,
+        );
+        // Queries spanning hits on two faces, misses, and an empty face —
+        // sized to exercise multiple internal blocks.
+        let mut queries = Vec::new();
+        for k in 0..600u64 {
+            queries.push(CellId(leaf.parent(18).range_min().0 + 2 * k));
+            queries.push(CellId(other_face.range_min().0 + 2 * k));
+            queries.push(nyc_leaf(41.5, -74.0 + 0.0001 * k as f64));
+            queries.push(CellId::from_latlng(LatLng::from_degrees(-41.0, 100.0)));
+        }
+        queries.push(half.child(2).child(1).child(3).range_min());
+        queries.push(half.child(2).child(1).child(3).range_max());
+        let mut out = vec![Probe::Miss; queries.len()];
+        act.lookup_batch(&queries, &mut out);
+        for (q, got) in queries.iter().zip(&out) {
+            assert_eq!(*got, act.lookup(*q), "query {q:?}");
+        }
+        assert!(out.iter().any(|p| matches!(p, Probe::One(_))));
+        assert!(out.iter().any(|p| matches!(p, Probe::Two(..))));
+        assert!(out.iter().any(|p| matches!(p, Probe::Table(_))));
+        assert!(out.iter().any(|p| matches!(p, Probe::Miss)));
+    }
+
+    #[test]
+    fn lookup_batch_empty_and_empty_trie() {
+        let act = Act::new();
+        act.lookup_batch(&[], &mut []);
+        let q = [nyc_leaf(40.7, -74.0)];
+        let mut out = [Probe::One(PolygonRef::true_hit(9))];
+        act.lookup_batch(&q, &mut out);
+        assert_eq!(out[0], Probe::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn lookup_batch_length_mismatch_panics() {
+        let act = Act::new();
+        let q = [nyc_leaf(40.7, -74.0)];
+        act.lookup_batch(&q, &mut []);
     }
 
     #[test]

@@ -96,6 +96,29 @@ proptest! {
         }
     }
 
+    /// Batched probing is exactly the scalar probe, lane by lane, for any
+    /// trie shape and any query mix (hits, misses, empty faces, partial
+    /// final blocks).
+    #[test]
+    fn lookup_batch_equals_scalar_lookup(pairs in arb_pairs(), probes in proptest::collection::vec(arb_nyc_latlng(), 1..96)) {
+        let sc = build_from_pairs(pairs.clone());
+        let mut act = act_core::Act::new();
+        let mut tb = LookupTableBuilder::new();
+        for (cell, refs) in &sc.cells {
+            act.insert(*cell, refs, &mut tb);
+        }
+        let mut leaves: Vec<CellId> = probes.iter().map(|&ll| CellId::from_latlng(ll)).collect();
+        for (cell, _) in &pairs {
+            leaves.push(cell.range_min());
+            leaves.push(cell.range_max());
+        }
+        let mut out = vec![Probe::Miss; leaves.len()];
+        act.lookup_batch(&leaves, &mut out);
+        for (leaf, got) in leaves.iter().zip(&out) {
+            prop_assert_eq!(*got, act.lookup(*leaf), "at leaf {:?}", leaf);
+        }
+    }
+
     /// The sorted-array index answers identically to the trie.
     #[test]
     fn sorted_index_equals_trie(pairs in arb_pairs(), probes in proptest::collection::vec(arb_nyc_latlng(), 16)) {

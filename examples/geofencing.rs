@@ -1,21 +1,26 @@
 //! Geofencing: the paper's motivating Uber-style scenario — a stream of
 //! ride requests must be mapped to pricing zones in real time.
 //!
-//! A producer thread emits taxi-like pickup locations into a bounded
-//! crossbeam channel; a pool of consumer threads probes the shared ACT
-//! index and aggregates per-zone demand under a parking_lot mutex (the
-//! aggregation is intentionally coarse-grained here to keep the example
-//! simple; the benchmark harness shows the share-nothing fast path).
+//! Earlier revisions piped batches from a producer thread through a
+//! bounded Mutex+Condvar channel into a worker pool; profiling showed the
+//! channel, not the index, was the throughput ceiling (see ROADMAP). This
+//! version is **share-nothing**: the request stream is deterministic and
+//! randomly addressable (`PointGen::point_at`), so each worker owns a
+//! contiguous stripe of request indices outright — no queue, no locks, no
+//! shared mutable state. Workers convert each block of requests to leaf
+//! cells and probe the ACT with the batched walk
+//! (`join_approx_cells_batch`), which overlaps the trie's dependent loads
+//! across the block instead of serializing them. Per-zone counters are
+//! private per worker and merged once at the end, exactly like the
+//! paper's Figure 4 driver.
 //!
 //! ```text
 //! cargo run --release -p act-examples --example geofencing
 //! ```
 
-use act_core::ActIndex;
-use crossbeam::channel;
+use act_core::{coord_to_cell, ActIndex};
 use datagen::PointGen;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use s2cell::CellId;
 use std::time::Instant;
 
 const REQUESTS: u64 = 2_000_000;
@@ -26,72 +31,65 @@ fn main() {
     // Zones: the neighborhood-like dataset (289 polygons).
     let ds = datagen::neighborhoods(42);
     println!("building index over {} zones...", ds.polygons.len());
-    let index = Arc::new(ActIndex::build(&ds.polygons, 15.0).unwrap());
+    let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
     println!(
         "index: {:.1} MB, ε = {} m",
         index.memory_bytes() as f64 / 1e6,
         index.stats().precision_m
     );
 
-    let (tx, rx) = channel::bounded::<Vec<geom::Coord>>(64);
-    let demand = Arc::new(Mutex::new(vec![0u64; ds.polygons.len()]));
+    let num_zones = ds.polygons.len();
+    let bbox = ds.bbox;
     let start = Instant::now();
 
-    // Producer: stream ride requests in batches.
-    let bbox = ds.bbox;
-    let producer = std::thread::spawn(move || {
-        let gen = PointGen::nyc_taxi_like(bbox, 7);
-        let mut batch = Vec::with_capacity(BATCH);
-        for i in 0..REQUESTS {
-            batch.push(gen.point_at(i));
-            if batch.len() == BATCH {
-                tx.send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))
-                    .unwrap();
-            }
-        }
-        if !batch.is_empty() {
-            tx.send(batch).unwrap();
-        }
-        // Channel closes when tx drops.
-    });
-
-    // Consumers: probe and aggregate.
-    let mut workers = Vec::new();
-    for _ in 0..WORKERS {
-        let rx = rx.clone();
-        let index = Arc::clone(&index);
-        let demand = Arc::clone(&demand);
-        workers.push(std::thread::spawn(move || {
-            let mut local = vec![0u64; demand.lock().len()];
-            let mut processed = 0u64;
-            while let Ok(batch) = rx.recv() {
-                for &p in &batch {
-                    for (zone, _true_hit) in index.lookup_refs(p) {
-                        local[zone as usize] += 1;
+    // Share-nothing workers: stripe w owns requests [w*per, (w+1)*per).
+    let per_worker = REQUESTS.div_ceil(WORKERS as u64);
+    let (demand, processed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS as u64)
+            .map(|w| {
+                let index = &index;
+                scope.spawn(move || {
+                    let gen = PointGen::nyc_taxi_like(bbox, 7);
+                    let lo = w * per_worker;
+                    let hi = ((w + 1) * per_worker).min(REQUESTS);
+                    let mut local = vec![0u64; num_zones];
+                    let mut cells: Vec<CellId> = Vec::with_capacity(BATCH);
+                    let mut i = lo;
+                    while i < hi {
+                        cells.clear();
+                        cells.extend(
+                            (i..hi.min(i + BATCH as u64)).map(|k| coord_to_cell(gen.point_at(k))),
+                        );
+                        act_core::join_approx_cells_batch(
+                            index,
+                            &cells,
+                            &mut local,
+                            act_core::DEFAULT_PROBE_BATCH,
+                        );
+                        i += cells.len() as u64;
                     }
-                }
-                processed += batch.len() as u64;
-            }
-            // Merge once at the end.
-            let mut global = demand.lock();
-            for (g, l) in global.iter_mut().zip(&local) {
+                    (local, hi.saturating_sub(lo))
+                })
+            })
+            .collect();
+        let mut demand = vec![0u64; num_zones];
+        let mut processed = 0u64;
+        for h in handles {
+            let (local, n) = h.join().expect("geofencing worker panicked");
+            for (g, l) in demand.iter_mut().zip(&local) {
                 *g += l;
             }
-            processed
-        }));
-    }
-
-    producer.join().unwrap();
-    drop(rx);
-    let processed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            processed += n;
+        }
+        (demand, processed)
+    });
     let secs = start.elapsed().as_secs_f64();
 
-    let demand = demand.lock();
     let mut top: Vec<(usize, u64)> = demand.iter().copied().enumerate().collect();
     top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
 
     println!(
-        "\nprocessed {processed} requests in {secs:.2} s  ({:.1} M req/s with {WORKERS} workers)",
+        "\nprocessed {processed} requests in {secs:.2} s  ({:.1} M req/s with {WORKERS} share-nothing workers)",
         processed as f64 / secs / 1e6
     );
     println!("hottest zones (surge candidates):");

@@ -1,14 +1,19 @@
-//! Full-scale (paper-sized) runs, ignored by default — run explicitly:
+//! Full-scale (paper-sized) runs, compiled out unless the `full-scale`
+//! feature is enabled — run explicitly:
 //!
 //! ```text
-//! cargo test --release -p integration-tests -- --ignored
+//! cargo test --release -p act-tests --features full-scale
 //! ```
+//!
+//! Runtime budget: ~10 s wall in release on one core (census serial +
+//! parallel builds dominate), a few minutes in the dev profile. CI runs
+//! these only via the manual-dispatch `full-scale` workflow.
+#![cfg(feature = "full-scale")]
 
 use act_core::ActIndex;
 use datagen::PointGen;
 
 #[test]
-#[ignore = "full 39,184-polygon census build (~5 s release, ~1 min debug)"]
 fn census_full_60m_builds_and_probes() {
     let ds = datagen::census_blocks(42);
     assert_eq!(ds.polygons.len(), 39_184);
@@ -32,8 +37,22 @@ fn census_full_60m_builds_and_probes() {
     }
 }
 
+// Paper-sized determinism check: the 4-thread build of the full census
+// dataset must be byte-identical to the serial one.
 #[test]
-#[ignore = "boroughs at 4 m: finest feasible precision on the complex tier"]
+fn census_parallel_build_matches_serial() {
+    let ds = datagen::census_blocks(42);
+    let serial = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    let pool = jobs::JobPool::new(4);
+    let par = ActIndex::build_parallel(&ds.polygons, 60.0, &pool).unwrap();
+    assert_eq!(par.act().slots(), serial.act().slots());
+    assert_eq!(par.act().roots(), serial.act().roots());
+    assert_eq!(par.stats().indexed_cells, serial.stats().indexed_cells);
+    assert_eq!(par.stats().pushdown_splits, serial.stats().pushdown_splits);
+}
+
+// Boroughs at 4 m: finest feasible precision on the complex tier.
+#[test]
 fn boroughs_full_4m_guarantee() {
     let ds = datagen::boroughs(42);
     let index = ActIndex::build(&ds.polygons, 4.0).unwrap();

@@ -1,7 +1,11 @@
-//! Parallel-driver equivalence and whole-pipeline determinism.
+//! Parallel-driver equivalence and whole-pipeline determinism — for both
+//! hot paths: the parallel index build (must be byte-identical to serial)
+//! and the batched/multithreaded probe drivers (must count identically to
+//! the scalar sequential join).
 
-use act_core::{join_parallel_cells, ActIndex};
+use act_core::{join_approx_cells_batch, join_parallel_cells, ActIndex};
 use datagen::PointGen;
+use jobs::JobPool;
 
 #[test]
 fn parallel_join_equals_sequential_on_datasets() {
@@ -32,6 +36,57 @@ fn parallel_join_more_threads_than_points() {
         counts.iter().sum::<u64>(),
         stats.true_hits + stats.candidate_hits
     );
+}
+
+/// The tentpole determinism contract: whatever the pool width, the
+/// parallel build's node arena is byte-identical to the serial build's and
+/// every structural BuildStats counter matches (wall-time fields may of
+/// course differ).
+#[test]
+fn parallel_build_byte_identical_on_dataset() {
+    let ds = datagen::neighborhoods(42);
+    let serial = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    for threads in [1usize, 2, 4, 7] {
+        let pool = JobPool::new(threads);
+        let par = ActIndex::build_parallel(&ds.polygons, 15.0, &pool).unwrap();
+        assert_eq!(
+            par.act().slots(),
+            serial.act().slots(),
+            "node arena differs at {threads} threads"
+        );
+        assert_eq!(par.act().roots(), serial.act().roots());
+        let (s, p) = (serial.stats(), par.stats());
+        assert_eq!(p.precision_m, s.precision_m);
+        assert_eq!(p.terminal_level, s.terminal_level);
+        assert_eq!(p.covering_cells, s.covering_cells);
+        assert_eq!(p.indexed_cells, s.indexed_cells);
+        assert_eq!(p.denormalized_slots, s.denormalized_slots);
+        assert_eq!(p.pushdown_splits, s.pushdown_splits);
+        assert_eq!(p.act_bytes, s.act_bytes);
+        assert_eq!(p.lookup_table_bytes, s.lookup_table_bytes);
+        // The two builds must also answer queries identically.
+        let pts = PointGen::nyc_taxi_like(ds.bbox, 3).take_vec(5_000);
+        for &pt in &pts {
+            assert_eq!(par.probe_coord(pt), serial.probe_coord(pt));
+        }
+    }
+}
+
+#[test]
+fn batched_join_equals_scalar_on_dataset() {
+    let ds = datagen::neighborhoods(42);
+    let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(50_000);
+    let cells: Vec<_> = pts.iter().map(|&p| act_core::coord_to_cell(p)).collect();
+
+    let mut scalar = vec![0u64; ds.polygons.len()];
+    let scalar_stats = act_core::join_approx_cells(&index, &cells, &mut scalar);
+    for batch in [1usize, 16, 64, 256, 4096] {
+        let mut counts = vec![0u64; ds.polygons.len()];
+        let stats = join_approx_cells_batch(&index, &cells, &mut counts, batch);
+        assert_eq!(counts, scalar, "counts differ at batch={batch}");
+        assert_eq!(stats, scalar_stats, "stats differ at batch={batch}");
+    }
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! # jobs — minimal scoped data-parallel pool
+//!
+//! The workspace builds without a crate registry, so rayon is unavailable.
+//! This crate provides the small slice of it that the ACT build pipeline
+//! needs: fan a range (or slice) of independent work items out over a fixed
+//! number of threads and collect the results **in input order**.
+//!
+//! Deliberately *work-stealing-free*: there are no per-thread deques to
+//! steal from. Load balancing comes from *self-scheduling* instead — workers
+//! atomically claim the next unclaimed chunk (an `AtomicUsize` cursor for
+//! range jobs, a shared MPMC [`crossbeam::channel`] for owned items), so a
+//! thread that finishes a cheap chunk immediately picks up the next one.
+//! For the coarse-grained chunks of an index build this captures almost all
+//! of work stealing's benefit at a fraction of the complexity.
+//!
+//! Scoping: [`JobPool`] stores only the thread *count*; each call spawns
+//! workers inside [`std::thread::scope`], which lets closures borrow from
+//! the caller's stack safely (no `'static` bounds, no `Arc` plumbing) and
+//! re-raises worker panics on the caller. Spawn overhead (~tens of µs per
+//! worker) is negligible against the multi-millisecond phases it amortizes
+//! over; a persistent pool would buy nothing here but unsafe lifetime
+//! erasure.
+//!
+//! Determinism contract: `map`, `map_range`, and `map_owned` return results
+//! ordered exactly as the inputs, whatever the execution interleaving, so a
+//! parallel build that is per-item deterministic stays *globally*
+//! deterministic (the property `ActIndex::build_parallel` relies on for
+//! byte-identical arenas).
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width data-parallel executor.
+///
+/// Cheap to create; holds no threads between calls (see module docs).
+#[derive(Debug, Clone)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// A pool that runs jobs on `threads` workers. `threads == 1` executes
+    /// every job inline on the caller with zero spawn overhead, so serial
+    /// baselines can share the parallel code path.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> JobPool {
+        assert!(threads >= 1, "JobPool needs at least one thread");
+        JobPool { threads }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to 1).
+    pub fn with_available_parallelism() -> JobPool {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        JobPool::new(threads)
+    }
+
+    /// Worker count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over `range` split into chunks of `chunk` indices.
+    ///
+    /// Chunks are claimed by an atomic cursor in ascending order, but may
+    /// *complete* in any order — `f` must only touch state it owns or that
+    /// is safe to share. Blocks until every chunk ran; worker panics
+    /// propagate to the caller.
+    pub fn run<F>(&self, range: Range<usize>, chunk: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n = range.len();
+        if n == 0 {
+            return;
+        }
+        let num_chunks = n.div_ceil(chunk);
+        let workers = self.threads.min(num_chunks);
+        let piece = |i: usize| {
+            let start = range.start + i * chunk;
+            start..(start + chunk).min(range.end)
+        };
+        if workers == 1 {
+            for i in 0..num_chunks {
+                f(piece(i));
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= num_chunks {
+                        break;
+                    }
+                    f(piece(i));
+                });
+            }
+        });
+    }
+
+    /// Maps `f` over chunk sub-ranges of `range`, returning one result per
+    /// chunk **in range order**.
+    pub fn map_range<R, F>(&self, range: Range<usize>, chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+        self.run(range, chunk, |r| {
+            let start = r.start;
+            let out = f(r);
+            results.lock().push((start, out));
+        });
+        let mut results = results.into_inner();
+        results.sort_unstable_by_key(|&(start, _)| start);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Order-preserving parallel map over a slice (the `par_chunks` shape:
+    /// items are processed in chunks sized for ~4 chunks per worker).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let chunk = items.len().div_ceil(self.threads * 4).max(1);
+        let per_chunk = self.map_range(0..items.len(), chunk, |r| {
+            items[r].iter().map(&f).collect::<Vec<R>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Order-preserving parallel map that *consumes* its items (for jobs
+    /// like per-face super-covering merges whose input is taken by value).
+    /// Items are distributed through an MPMC channel: idle workers pull the
+    /// next item, so a handful of very uneven jobs still balances.
+    pub fn map_owned<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+        for pair in items.into_iter().enumerate() {
+            if tx.send(pair).is_err() {
+                unreachable!("jobs: receiver alive until scope ends");
+            }
+        }
+        drop(tx);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let workers = self.threads.min(n);
+        let (f_ref, results_ref) = (&f, &results);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    // recv (not try_recv): exits only on disconnect, so the
+                    // loop stays correct even if a future variant streams
+                    // sends concurrently with the workers.
+                    while let Ok((i, item)) = rx.recv() {
+                        let out = f_ref(item);
+                        results_ref.lock().push((i, out));
+                    }
+                });
+            }
+        });
+        let mut results = results.into_inner();
+        debug_assert_eq!(results.len(), n);
+        results.sort_unstable_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_covers_range_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            for (len, chunk) in [(0usize, 3usize), (1, 3), (10, 3), (64, 64), (100, 1)] {
+                let pool = JobPool::new(threads);
+                let hits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+                pool.run(0..len, chunk, |r| {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} len={len} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1usize, 3, 8] {
+            let pool = JobPool::new(threads);
+            let out = pool.map(&items, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_range_orders_by_chunk() {
+        let pool = JobPool::new(4);
+        let out = pool.map_range(10..35, 10, |r| (r.start, r.end));
+        assert_eq!(out, vec![(10, 20), (20, 30), (30, 35)]);
+    }
+
+    #[test]
+    fn map_owned_preserves_order_and_consumes() {
+        let items: Vec<Vec<u32>> = (0..17).map(|i| vec![i; i as usize + 1]).collect();
+        for threads in [1usize, 2, 6] {
+            let pool = JobPool::new(threads);
+            let out = pool.map_owned(items.clone(), |v| v.iter().sum::<u32>());
+            let expect: Vec<u32> = items.iter().map(|v| v.iter().sum()).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pool = JobPool::new(4);
+        pool.run(5..5, 8, |_| panic!("must not be called"));
+        assert!(pool.map(&[] as &[u32], |&x| x).is_empty());
+        assert!(pool.map_owned(Vec::<u32>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        JobPool::new(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = JobPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(0..8, 1, |r| {
+                if r.start == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+}
