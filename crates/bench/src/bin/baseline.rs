@@ -76,6 +76,42 @@ fn main() {
             st.build_coverings_secs, st.build_supercover_secs, st.build_insert_secs
         );
 
+        // --snapshot DIR: persist the built index on first run; on later
+        // runs load the file back and verify it matches today's build
+        // byte for byte (a drifted snapshot would invalidate every number
+        // recorded against it).
+        if let Some(dir) = &opts.snapshot {
+            let path = bench::snapshot_path(dir, &ds.name, precision);
+            if path.exists() {
+                let t = Instant::now();
+                let mut f = std::fs::File::open(&path).expect("open snapshot");
+                let loaded = ActIndex::load_snapshot(&mut f)
+                    .unwrap_or_else(|e| panic!("load snapshot {}: {e}", path.display()));
+                let load_secs = t.elapsed().as_secs_f64();
+                assert!(
+                    loaded.identical_to(&serial),
+                    "snapshot {} does not match today's build — delete it and re-save",
+                    path.display()
+                );
+                println!(
+                    "snapshot load: {load_secs:.3} s from {} ({:.2}x vs serial build)",
+                    path.display(),
+                    serial_secs / load_secs
+                );
+            } else {
+                std::fs::create_dir_all(dir).expect("create snapshot dir");
+                let t = Instant::now();
+                let mut f = std::fs::File::create(&path).expect("create snapshot");
+                let bytes = serial.save_snapshot(&mut f).expect("save snapshot");
+                let save_secs = t.elapsed().as_secs_f64();
+                println!(
+                    "snapshot save: {save_secs:.3} s, {} bytes to {}",
+                    bytes,
+                    path.display()
+                );
+            }
+        }
+
         // ----- build: parallel sweep -----
         let mut parallel_entries = Vec::new();
         for &t_count in &threads {

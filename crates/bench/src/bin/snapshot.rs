@@ -1,0 +1,168 @@
+//! Emits `BENCH_snapshot.json`: build-once / load-many timings for the
+//! versioned index snapshots (`act_core::snapshot`). The question this
+//! baseline answers: how much faster is a warm start from disk than
+//! rebuilding the index from the polygon set?
+//!
+//! ```text
+//! cargo run --release -p bench --bin snapshot [--datasets a,b] [--seed S] [--snapshot DIR]
+//! ```
+//!
+//! Per selected dataset it builds the index once (timed), saves the
+//! snapshot (timed), then loads it back [`LOADS`] times in both modes —
+//! owned ([`ActIndex::load_snapshot`]) and zero-copy
+//! ([`act_core::SnapshotBuf`] + [`act_core::ActIndexView`]) — verifying
+//! after every load that the arena is byte-identical to the built one
+//! and that a probe sample agrees. Minimum load times are recorded (the
+//! steady warm-page-cache state a restarting fleet node sees).
+
+use act_core::{ActIndex, Probe, SnapshotBuf};
+use bench::json::{array, pretty, Obj};
+use bench::{make_points, paper_datasets, snapshot_path, to_cells, Opts};
+use std::time::Instant;
+
+/// Loads per mode; the minimum is recorded.
+const LOADS: usize = 5;
+/// Probe sample size for post-load verification.
+const VERIFY_POINTS: usize = 50_000;
+
+fn main() {
+    let opts = Opts::parse();
+    // Census at 15 m is the census-scale configuration this baseline is
+    // about; neighborhoods rides along as a small-index contrast.
+    let selected: Vec<String> = if opts.datasets.is_empty() {
+        vec!["neighborhoods".into(), "census".into()]
+    } else {
+        opts.datasets.clone()
+    };
+    let dir = opts
+        .snapshot
+        .clone()
+        .unwrap_or_else(|| "target/snapshot-bench".to_string());
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    println!("SNAPSHOT: build-once/load-many, datasets {selected:?}, dir {dir}");
+
+    let mut entries = Vec::new();
+    for ds in paper_datasets(opts.seed) {
+        if !selected.iter().any(|d| d == &ds.name) {
+            continue;
+        }
+        let precision = 15.0;
+        println!(
+            "\n=== {} ({} polygons, {precision} m) ===",
+            ds.name,
+            ds.polygons.len()
+        );
+
+        // Build once (the cost a warm start avoids).
+        let t = Instant::now();
+        let built = ActIndex::build(&ds.polygons, precision).expect("single-face datasets");
+        let build_secs = t.elapsed().as_secs_f64();
+        println!(
+            "build: {build_secs:.3} s ({} nodes, {:.1} MB)",
+            built.act().num_nodes(),
+            built.memory_bytes() as f64 / 1e6
+        );
+
+        // Save once.
+        let path = snapshot_path(&dir, &ds.name, precision);
+        let t = Instant::now();
+        let mut f = std::fs::File::create(&path).expect("create snapshot file");
+        let snapshot_bytes = built.save_snapshot(&mut f).expect("save snapshot");
+        drop(f);
+        let save_secs = t.elapsed().as_secs_f64();
+        println!(
+            "save:  {save_secs:.3} s, {:.1} MB to {}",
+            snapshot_bytes as f64 / 1e6,
+            path.display()
+        );
+
+        // The probe sample every loaded copy must answer identically.
+        let cells = to_cells(&make_points(&ds, VERIFY_POINTS, opts.seed));
+        let mut want = vec![Probe::Miss; cells.len()];
+        built.probe_batch(&cells, &mut want);
+        let mut got = vec![Probe::Miss; cells.len()];
+
+        // Owned loads.
+        let mut owned_runs = Vec::new();
+        for _ in 0..LOADS {
+            let t = Instant::now();
+            let mut f = std::fs::File::open(&path).expect("open snapshot file");
+            let loaded = ActIndex::load_snapshot(&mut f).expect("load snapshot");
+            owned_runs.push(t.elapsed().as_secs_f64());
+            assert!(
+                loaded.identical_to(&built),
+                "loaded index diverged — not recording"
+            );
+            loaded.probe_batch(&cells, &mut got);
+            assert_eq!(got, want, "loaded probes diverged — not recording");
+        }
+
+        // Zero-copy view loads (read into an aligned buffer + validate +
+        // borrow; probing happens straight off the buffer).
+        let mut view_runs = Vec::new();
+        for _ in 0..LOADS {
+            let t = Instant::now();
+            let mut f = std::fs::File::open(&path).expect("open snapshot file");
+            let buf = SnapshotBuf::read_from(&mut f).expect("read snapshot");
+            let view = buf.view().expect("open snapshot view");
+            view_runs.push(t.elapsed().as_secs_f64());
+            view.probe_batch(&cells, &mut got);
+            assert_eq!(got, want, "view probes diverged — not recording");
+        }
+
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let (owned_min, view_min) = (min(&owned_runs), min(&view_runs));
+        println!(
+            "load:  owned {owned_min:.3} s ({:.0}x vs build), zero-copy {view_min:.3} s ({:.0}x vs build)",
+            build_secs / owned_min,
+            build_secs / view_min
+        );
+
+        let runs = |v: &[f64]| array(v.iter().map(|s| format!("{s:.6}")));
+        entries.push(
+            Obj::new()
+                .str("dataset", &ds.name)
+                .int("polygons", ds.polygons.len() as u64)
+                .num("precision_m", precision)
+                .int("snapshot_bytes", snapshot_bytes)
+                .int("index_nodes", built.act().num_nodes() as u64)
+                .num("build_secs", build_secs)
+                .num("save_secs", save_secs)
+                .num("load_owned_secs_min", owned_min)
+                .num("load_view_secs_min", view_min)
+                .num("build_over_load_owned", build_secs / owned_min)
+                .num("build_over_load_view", build_secs / view_min)
+                .raw("load_owned_secs", runs(&owned_runs))
+                .raw("load_view_secs", runs(&view_runs))
+                .build(),
+        );
+    }
+
+    let doc = Obj::new()
+        .str("bench", "snapshot")
+        .str("command", "cargo run --release -p bench --bin snapshot")
+        .raw(
+            "machine",
+            Obj::new()
+                .int(
+                    "hardware_threads",
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as u64)
+                        .unwrap_or(1),
+                )
+                .str("os", std::env::consts::OS)
+                .str("arch", std::env::consts::ARCH)
+                .build(),
+        )
+        .int("seed", opts.seed)
+        .int("loads_per_mode", LOADS as u64)
+        .raw("snapshot_runs", array(entries))
+        .build();
+
+    // Anchor to the workspace root (two levels above crates/bench) so the
+    // committed baseline is updated regardless of the invocation CWD.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join("BENCH_snapshot.json"), pretty(&doc))
+        .expect("write BENCH_snapshot.json");
+    println!("\nwrote BENCH_snapshot.json to {}", root.display());
+}

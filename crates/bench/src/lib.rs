@@ -7,6 +7,8 @@
 //! * `fig4`     — multithreaded scalability (Fig. 4)
 //! * `baseline` — machine-readable perf baseline (`BENCH_build.json` /
 //!   `BENCH_probe.json`, committed at the repo root)
+//! * `snapshot` — build-once/load-many index-persistence baseline
+//!   (`BENCH_snapshot.json`, committed at the repo root)
 //!
 //! Criterion benches (`cargo bench`): `throughput`, `scalability`,
 //! `ablations`, `build_phase`.
@@ -40,6 +42,9 @@ pub struct Opts {
     pub threads: Vec<usize>,
     /// Points per batched-probe block (`--batch 1` degenerates to scalar).
     pub batch: usize,
+    /// Directory for index snapshots: binaries that support it save each
+    /// built index there on first run and load-and-verify on later runs.
+    pub snapshot: Option<String>,
 }
 
 impl Default for Opts {
@@ -51,6 +56,7 @@ impl Default for Opts {
             datasets: Vec::new(),
             threads: Vec::new(),
             batch: act_core::DEFAULT_PROBE_BATCH,
+            snapshot: None,
         }
     }
 }
@@ -64,6 +70,8 @@ usage: <bin> [options]
   --datasets a,b    restrict to matching dataset names (default: all)
   --threads 1,2,4   thread counts for scaling sweeps (default: per binary)
   --batch B         points per batched-probe block (default 64; 1 = scalar)
+  --snapshot DIR    save built indexes as snapshots in DIR on first run;
+                    load-and-verify them on later runs
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -132,6 +140,13 @@ impl Opts {
                         .filter(|&b| b >= 1)
                         .ok_or_else(|| "--batch expects a positive integer".to_string())?;
                 }
+                "--snapshot" => {
+                    let dir = value(args, &mut i, "--snapshot")?;
+                    if dir.is_empty() {
+                        return Err("--snapshot expects a directory path".to_string());
+                    }
+                    o.snapshot = Some(dir.to_string());
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -152,6 +167,12 @@ impl Opts {
             self.threads.clone()
         }
     }
+}
+
+/// The snapshot file naming convention shared by the experiment binaries:
+/// `<dir>/<dataset>-<precision>m.snap`.
+pub fn snapshot_path(dir: &str, dataset: &str, precision_m: f64) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{dataset}-{precision_m}m.snap"))
 }
 
 /// Loads the three paper datasets (boroughs, neighborhoods, census).
@@ -344,6 +365,8 @@ mod tests {
             "1,2,4",
             "--batch",
             "128",
+            "--snapshot",
+            "target/snaps",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -352,6 +375,7 @@ mod tests {
         assert_eq!(o.datasets, vec!["boroughs", "census"]);
         assert_eq!(o.threads, vec![1, 2, 4]);
         assert_eq!(o.batch, 128);
+        assert_eq!(o.snapshot.as_deref(), Some("target/snaps"));
     }
 
     #[test]
@@ -365,6 +389,20 @@ mod tests {
             .unwrap_err()
             .contains("positive"));
         assert!(parse(&["--batch", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--snapshot"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--snapshot", ""])
+            .unwrap_err()
+            .contains("directory"));
+    }
+
+    #[test]
+    fn snapshot_path_convention() {
+        assert_eq!(
+            snapshot_path("d", "census", 15.0),
+            std::path::Path::new("d").join("census-15m.snap")
+        );
     }
 
     #[test]

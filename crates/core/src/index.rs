@@ -7,6 +7,7 @@
 use crate::covering::{cover_uv_polygon, Covering, CoveringParams};
 use crate::lookup::{LookupTable, LookupTableBuilder};
 use crate::refs::MAX_POLYGON_ID;
+use crate::snapshot::SnapshotError;
 use crate::supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 use crate::trie::{Act, Probe};
 
@@ -197,6 +198,49 @@ impl ActIndex {
         };
 
         ActIndex { act, table, stats }
+    }
+
+    /// Reassembles an index from already-validated parts (snapshot load
+    /// path; see [`crate::snapshot`]).
+    pub(crate) fn from_parts(act: Act, table: LookupTable, stats: BuildStats) -> ActIndex {
+        ActIndex { act, table, stats }
+    }
+
+    /// Serializes the built index into the versioned snapshot format
+    /// (see [`crate::snapshot`] for the layout), returning the number of
+    /// bytes written. Loading the snapshot back — via
+    /// [`ActIndex::load_snapshot`] or a zero-copy
+    /// [`crate::snapshot::ActIndexView`] — reproduces the node arena,
+    /// lookup table, and build stats exactly.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn save_snapshot(&self, w: &mut impl std::io::Write) -> Result<u64, SnapshotError> {
+        crate::snapshot::save(self, w)
+    }
+
+    /// Reads a snapshot produced by [`ActIndex::save_snapshot`] into an
+    /// owned index, validating magic, version, section structure, and the
+    /// checksum before any field is used.
+    ///
+    /// # Errors
+    /// Returns a typed [`SnapshotError`] on I/O failure or any form of
+    /// corruption; never panics on malformed input.
+    pub fn load_snapshot(r: &mut impl std::io::Read) -> Result<ActIndex, SnapshotError> {
+        crate::snapshot::load(r)
+    }
+
+    /// True when two indexes are the same query artifact byte for byte:
+    /// node arena, roots, lookup-table words, and insertion counters all
+    /// equal (build wall-times excluded — they are measurements, not
+    /// index content). Used to verify snapshot round trips and parallel
+    /// builds before recording benchmark numbers against them.
+    pub fn identical_to(&self, other: &ActIndex) -> bool {
+        self.act.slots() == other.act.slots()
+            && self.act.roots() == other.act.roots()
+            && self.act.inserted_cells() == other.act.inserted_cells()
+            && self.act.denormalized_slots() == other.act.denormalized_slots()
+            && self.table.words() == other.table.words()
     }
 
     /// Build metrics (Table I).

@@ -50,6 +50,7 @@ pub mod index;
 pub mod join;
 pub mod lookup;
 pub mod refs;
+pub mod snapshot;
 pub mod sorted_index;
 pub mod supercover;
 pub mod trie;
@@ -64,6 +65,7 @@ pub use join::{
 };
 pub use lookup::{LookupTable, LookupTableBuilder};
 pub use refs::{PolygonRef, RefSet, MAX_POLYGON_ID};
+pub use snapshot::{ActIndexView, SnapshotBuf, SnapshotError};
 pub use sorted_index::SortedCellIndex;
 pub use supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 pub use trie::{resolve_probe, Act, Probe};

@@ -65,18 +65,37 @@ pub struct LookupTable {
     data: Vec<u32>,
 }
 
+/// Decodes the entry at `offset` of a raw word array into
+/// (true hits, candidate hits). Shared by the owned [`LookupTable`] and the
+/// borrowed snapshot views in [`crate::snapshot`].
+#[inline]
+pub(crate) fn decode_at(data: &[u32], offset: u32) -> (&[u32], &[u32]) {
+    let off = offset as usize;
+    let n_true = data[off] as usize;
+    let trues = &data[off + 1..off + 1 + n_true];
+    let n_cand = data[off + 1 + n_true] as usize;
+    let cands = &data[off + 2 + n_true..off + 2 + n_true + n_cand];
+    (trues, cands)
+}
+
 impl LookupTable {
+    /// Reassembles a table from its raw word array (snapshot load path).
+    pub(crate) fn from_words(data: Vec<u32>) -> LookupTable {
+        LookupTable { data }
+    }
+
+    /// The raw word array (snapshot save path and shared decoding).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u32] {
+        &self.data
+    }
+
     /// Decodes the entry at `offset` into (true hits, candidate hits).
     ///
     /// Returned slices alias the table — zero-copy on the hot path.
     #[inline]
     pub fn decode(&self, offset: u32) -> (&[u32], &[u32]) {
-        let off = offset as usize;
-        let n_true = self.data[off] as usize;
-        let trues = &self.data[off + 1..off + 1 + n_true];
-        let n_cand = self.data[off + 1 + n_true] as usize;
-        let cands = &self.data[off + 2 + n_true..off + 2 + n_true + n_cand];
-        (trues, cands)
+        decode_at(&self.data, offset)
     }
 
     /// Memory used by the array, in bytes.

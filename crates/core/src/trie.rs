@@ -126,6 +126,138 @@ pub struct TrieStats {
     pub terminals: (usize, usize, usize),
 }
 
+/// A borrowed `(node arena, roots)` pair: the probe-side core of the
+/// trie, shared by the owned [`Act`] and the zero-copy snapshot views in
+/// [`crate::snapshot`]. All lookup walks live here so a memory-mapped
+/// arena probes through exactly the code paths the built one does.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawTrie<'a> {
+    pub(crate) slots: &'a [u64],
+    pub(crate) roots: &'a [u32; 6],
+}
+
+impl RawTrie<'_> {
+    /// See [`Act::lookup`].
+    #[inline]
+    pub(crate) fn lookup(self, query: CellId) -> Probe {
+        let face = (query.0 >> 61) as usize;
+        let mut node = self.roots[face] as usize;
+        if node == 0 {
+            return Probe::Miss;
+        }
+        // Position bits at the top of the word; consume 8 per level.
+        let mut key = query.0 << 3;
+        for _ in 0..7 {
+            let b = (key >> 56) as usize;
+            key <<= 8;
+            let e = self.slots[node * FANOUT + b];
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if idx == 0 {
+                    return Probe::Miss;
+                }
+                node = idx;
+            } else {
+                return Probe::from_entry(e);
+            }
+        }
+        Probe::Miss
+    }
+
+    /// See [`Act::lookup_batch`].
+    pub(crate) fn lookup_batch(self, queries: &[CellId], out: &mut [Probe]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lookup_batch: queries/out length mismatch"
+        );
+        for (q, o) in queries
+            .chunks(MAX_PROBE_BLOCK)
+            .zip(out.chunks_mut(MAX_PROBE_BLOCK))
+        {
+            self.lookup_block(q, o);
+        }
+    }
+
+    /// One level-synchronous block (≤ [`MAX_PROBE_BLOCK`] lanes).
+    fn lookup_block(self, queries: &[CellId], out: &mut [Probe]) {
+        let n = queries.len();
+        debug_assert!(n <= MAX_PROBE_BLOCK);
+        let mut node = [0u32; MAX_PROBE_BLOCK];
+        let mut key = [0u64; MAX_PROBE_BLOCK];
+        // Active lane ids, compacted as lanes resolve.
+        let mut lanes = [0u16; MAX_PROBE_BLOCK];
+        let mut live = 0usize;
+        for (i, (&q, o)) in queries.iter().zip(out.iter_mut()).enumerate() {
+            let root = self.roots[(q.0 >> 61) as usize];
+            *o = Probe::Miss;
+            if root != 0 {
+                node[i] = root;
+                key[i] = q.0 << 3;
+                lanes[live] = i as u16;
+                live += 1;
+            }
+        }
+        for _ in 0..7 {
+            if live == 0 {
+                return;
+            }
+            let mut kept = 0usize;
+            for j in 0..live {
+                let i = lanes[j] as usize;
+                let b = (key[i] >> 56) as usize;
+                key[i] <<= 8;
+                let e = self.slots[node[i] as usize * FANOUT + b];
+                if e & TAG_MASK == TAG_CHILD {
+                    let idx = (e >> 2) as u32;
+                    if idx != 0 {
+                        node[i] = idx;
+                        lanes[kept] = i as u16;
+                        kept += 1;
+                    }
+                    // idx == 0: stays the Miss written above.
+                } else {
+                    out[i] = Probe::from_entry(e);
+                }
+            }
+            live = kept;
+        }
+        // Lanes still live after 7 levels ran off the key: Miss (pre-set).
+    }
+
+    /// Checks every arena entry for out-of-bounds child pointers and
+    /// lookup-table offsets against `table` (the raw word array). The
+    /// snapshot loader runs this so that probing a validated arena can
+    /// never index out of bounds, whatever the bytes came from; `Err` is
+    /// the first violation's reason.
+    pub(crate) fn validate_entries(self, table: &[u32]) -> Result<(), &'static str> {
+        let num_nodes = self.slots.len() / FANOUT;
+        for &e in self.slots {
+            match e & TAG_MASK {
+                TAG_CHILD if (e >> 2) as usize >= num_nodes => {
+                    return Err("trie child pointer out of arena range");
+                }
+                TAG_OFFSET => {
+                    // Entry layout: [n_true, trues…, n_cand, cands…].
+                    let off = ((e >> 2) as u32 & 0x7FFF_FFFF) as usize;
+                    let n_true = *table.get(off).ok_or("lookup-table offset out of range")?;
+                    let at = off + 1 + n_true as usize;
+                    let n_cand = *table
+                        .get(at)
+                        .ok_or("lookup-table entry exceeds the table")?;
+                    if at + 1 + n_cand as usize > table.len() {
+                        return Err("lookup-table entry exceeds the table");
+                    }
+                }
+                // Inlined payloads (TAG_ONE/TAG_TWO) decode without
+                // indexing anything — any bit pattern is safe.
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The Adaptive Cell Trie.
 #[derive(Debug)]
 pub struct Act {
@@ -156,6 +288,34 @@ impl Act {
             roots: [0; 6],
             inserted_cells: 0,
             denormalized_slots: 0,
+        }
+    }
+
+    /// Reassembles a trie from its raw parts (snapshot load path). The
+    /// caller is responsible for having validated the arena: slot count a
+    /// positive multiple of [`FANOUT`], roots within bounds.
+    pub(crate) fn from_raw_parts(
+        slots: Vec<u64>,
+        roots: [u32; 6],
+        inserted_cells: u64,
+        denormalized_slots: u64,
+    ) -> Act {
+        debug_assert!(!slots.is_empty() && slots.len().is_multiple_of(FANOUT));
+        debug_assert!(roots.iter().all(|&r| (r as usize) < slots.len() / FANOUT));
+        Act {
+            slots,
+            roots,
+            inserted_cells,
+            denormalized_slots,
+        }
+    }
+
+    /// The borrowed probe core (shared with snapshot views).
+    #[inline]
+    pub(crate) fn raw(&self) -> RawTrie<'_> {
+        RawTrie {
+            slots: &self.slots,
+            roots: &self.roots,
         }
     }
 
@@ -249,28 +409,7 @@ impl Act {
     /// tags.
     #[inline]
     pub fn lookup(&self, query: CellId) -> Probe {
-        let face = (query.0 >> 61) as usize;
-        let mut node = self.roots[face] as usize;
-        if node == 0 {
-            return Probe::Miss;
-        }
-        // Position bits at the top of the word; consume 8 per level.
-        let mut key = query.0 << 3;
-        for _ in 0..7 {
-            let b = (key >> 56) as usize;
-            key <<= 8;
-            let e = self.slots[node * FANOUT + b];
-            if e & TAG_MASK == TAG_CHILD {
-                let idx = (e >> 2) as usize;
-                if idx == 0 {
-                    return Probe::Miss;
-                }
-                node = idx;
-            } else {
-                return Probe::from_entry(e);
-            }
-        }
-        Probe::Miss
+        self.raw().lookup(query)
     }
 
     /// Probes a batch of keys, writing `out[i]` = [`Act::lookup`]`(queries[i])`.
@@ -286,63 +425,7 @@ impl Act {
     /// # Panics
     /// Panics if `queries.len() != out.len()`.
     pub fn lookup_batch(&self, queries: &[CellId], out: &mut [Probe]) {
-        assert_eq!(
-            queries.len(),
-            out.len(),
-            "lookup_batch: queries/out length mismatch"
-        );
-        for (q, o) in queries
-            .chunks(MAX_PROBE_BLOCK)
-            .zip(out.chunks_mut(MAX_PROBE_BLOCK))
-        {
-            self.lookup_block(q, o);
-        }
-    }
-
-    /// One level-synchronous block (≤ [`MAX_PROBE_BLOCK`] lanes).
-    fn lookup_block(&self, queries: &[CellId], out: &mut [Probe]) {
-        let n = queries.len();
-        debug_assert!(n <= MAX_PROBE_BLOCK);
-        let mut node = [0u32; MAX_PROBE_BLOCK];
-        let mut key = [0u64; MAX_PROBE_BLOCK];
-        // Active lane ids, compacted as lanes resolve.
-        let mut lanes = [0u16; MAX_PROBE_BLOCK];
-        let mut live = 0usize;
-        for (i, (&q, o)) in queries.iter().zip(out.iter_mut()).enumerate() {
-            let root = self.roots[(q.0 >> 61) as usize];
-            *o = Probe::Miss;
-            if root != 0 {
-                node[i] = root;
-                key[i] = q.0 << 3;
-                lanes[live] = i as u16;
-                live += 1;
-            }
-        }
-        for _ in 0..7 {
-            if live == 0 {
-                return;
-            }
-            let mut kept = 0usize;
-            for j in 0..live {
-                let i = lanes[j] as usize;
-                let b = (key[i] >> 56) as usize;
-                key[i] <<= 8;
-                let e = self.slots[node[i] as usize * FANOUT + b];
-                if e & TAG_MASK == TAG_CHILD {
-                    let idx = (e >> 2) as u32;
-                    if idx != 0 {
-                        node[i] = idx;
-                        lanes[kept] = i as u16;
-                        kept += 1;
-                    }
-                    // idx == 0: stays the Miss written above.
-                } else {
-                    out[i] = Probe::from_entry(e);
-                }
-            }
-            live = kept;
-        }
-        // Lanes still live after 7 levels ran off the key: Miss (pre-set).
+        self.raw().lookup_batch(queries, out);
     }
 
     /// Like [`Act::lookup`], additionally returning the quadtree level of
@@ -452,13 +535,23 @@ pub fn resolve_probe<'a>(
     probe: Probe,
     table: &'a LookupTable,
 ) -> impl Iterator<Item = (u32, bool)> + 'a {
+    resolve_probe_words(probe, table.words())
+}
+
+/// [`resolve_probe`] over the raw lookup-table word array — the shared
+/// implementation behind the owned table and borrowed snapshot views.
+#[inline]
+pub(crate) fn resolve_probe_words(
+    probe: Probe,
+    words: &[u32],
+) -> impl Iterator<Item = (u32, bool)> + '_ {
     // A small state machine keeps the common One/Two cases allocation-free.
     type Decoded<'t> = ([Option<PolygonRef>; 2], Option<(&'t [u32], &'t [u32])>);
-    let (inline, slices): Decoded<'a> = match probe {
+    let (inline, slices): Decoded<'_> = match probe {
         Probe::Miss => ([None, None], None),
         Probe::One(a) => ([Some(a), None], None),
         Probe::Two(a, b) => ([Some(a), Some(b)], None),
-        Probe::Table(off) => ([None, None], Some(table.decode(off))),
+        Probe::Table(off) => ([None, None], Some(crate::lookup::decode_at(words, off))),
     };
     let inline_iter = inline.into_iter().flatten().map(|r| (r.id, r.interior));
     let table_iter = slices.into_iter().flat_map(|(t, c)| {

@@ -1,6 +1,7 @@
 //! Property-based tests for the ACT core: trie ≡ model, super-covering
 //! semantics preservation, the precision guarantee, and index agreement.
 
+use act_core::snapshot::SnapshotBuf;
 use act_core::supercover::build_from_pairs;
 use act_core::{ActIndex, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex};
 use geom::{Coord, Polygon, Ring};
@@ -157,6 +158,70 @@ proptest! {
         let mut rev = refs.clone();
         rev.reverse();
         prop_assert_eq!(forward, make(&rev));
+    }
+}
+
+/// Random overlapping axis-aligned squares around NYC — a quick-to-cover
+/// polygon set for snapshot round-trip properties.
+fn arb_squares() -> impl Strategy<Value = Vec<Polygon>> {
+    proptest::collection::vec((-74.15f64..-73.85, 40.55f64..40.85, 0.003f64..0.02), 1..5).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(cx, cy, half)| {
+                    Polygon::new(
+                        Ring::new(vec![
+                            Coord::new(cx - half, cy - half),
+                            Coord::new(cx + half, cy - half),
+                            Coord::new(cx + half, cy + half),
+                            Coord::new(cx - half, cy + half),
+                        ]),
+                        vec![],
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// save → load → probe ≡ in-memory probe, in both load modes (owned
+    /// [`ActIndex::load_snapshot`] and zero-copy
+    /// [`act_core::ActIndexView`]), and the loaded index's batched walk
+    /// ≡ its scalar walk, for random polygon sets and probe points.
+    #[test]
+    fn snapshot_roundtrip_preserves_probes(
+        polys in arb_squares(),
+        probes in proptest::collection::vec((-74.2f64..-73.8, 40.5f64..40.9), 1..48),
+    ) {
+        let built = ActIndex::build(&polys, 60.0).unwrap();
+        let mut bytes = Vec::new();
+        built.save_snapshot(&mut bytes).unwrap();
+
+        let owned = ActIndex::load_snapshot(&mut bytes.as_slice()).unwrap();
+        let buf = SnapshotBuf::from_bytes(&bytes).unwrap();
+        let view = buf.view().unwrap();
+
+        let coords: Vec<Coord> = probes.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        let cells: Vec<CellId> = coords.iter().map(|&c| act_core::coord_to_cell(c)).collect();
+        for (&c, &cell) in coords.iter().zip(&cells) {
+            let want = built.probe_cell(cell);
+            prop_assert_eq!(owned.probe_cell(cell), want, "owned probe at {}", c);
+            prop_assert_eq!(view.probe_cell(cell), want, "view probe at {}", c);
+            prop_assert_eq!(owned.lookup_refs(c), built.lookup_refs(c), "owned refs at {}", c);
+            prop_assert_eq!(view.lookup_refs(c), built.lookup_refs(c), "view refs at {}", c);
+        }
+        // lookup_batch ≡ scalar on both loaded forms.
+        let mut owned_out = vec![Probe::Miss; cells.len()];
+        let mut view_out = vec![Probe::Miss; cells.len()];
+        owned.probe_batch(&cells, &mut owned_out);
+        view.probe_batch(&cells, &mut view_out);
+        for (i, &cell) in cells.iter().enumerate() {
+            prop_assert_eq!(owned_out[i], built.probe_cell(cell));
+            prop_assert_eq!(view_out[i], built.probe_cell(cell));
+        }
     }
 }
 

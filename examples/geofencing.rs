@@ -14,6 +14,14 @@
 //! private per worker and merged once at the end, exactly like the
 //! paper's Figure 4 driver.
 //!
+//! **Warm starts:** a production fleet restarts processes far more often
+//! than its zone set changes, so the first run persists the built index
+//! as a versioned snapshot (`act_core::snapshot`) and every later run
+//! loads it back instead of re-covering the polygons — the same code
+//! path a rolling restart or a new shard joining the fleet would take.
+//! Point `ACT_SNAPSHOT` at a different path (or delete the default one)
+//! to force a cold build.
+//!
 //! ```text
 //! cargo run --release -p act-examples --example geofencing
 //! ```
@@ -26,12 +34,72 @@ use std::time::Instant;
 const REQUESTS: u64 = 2_000_000;
 const WORKERS: usize = 4;
 const BATCH: usize = 4096;
+/// Precision the zones are indexed at; a snapshot built with a different
+/// ε is stale and rebuilt.
+const PRECISION_M: f64 = 15.0;
+
+/// Seed of the zone dataset (see `main`). Part of the snapshot path, so
+/// changing the zone set can never silently serve a stale snapshot.
+const ZONE_SEED: u64 = 42;
+
+/// Loads the zone index from `path`, falling back to a cold build (then
+/// persisting the result for the next start). Any load failure — missing
+/// file, truncation, corruption, a stale precision — downgrades to a
+/// rebuild; a warm start is an optimization, never a correctness risk.
+/// Staleness guards: the default path fingerprints the zone set (count,
+/// seed, ε), and the loaded snapshot's precision is checked before it is
+/// served.
+fn load_or_build(path: &str, ds: &datagen::Dataset) -> ActIndex {
+    if let Ok(mut f) = std::fs::File::open(path) {
+        let t = Instant::now();
+        match ActIndex::load_snapshot(&mut f) {
+            Ok(idx) if idx.stats().precision_m == PRECISION_M => {
+                println!(
+                    "warm start: loaded index from {path} in {:.3} s",
+                    t.elapsed().as_secs_f64()
+                );
+                return idx;
+            }
+            Ok(idx) => println!(
+                "snapshot {path} was built at ε = {} m, want {PRECISION_M} m; rebuilding",
+                idx.stats().precision_m
+            ),
+            Err(e) => println!("snapshot {path} unusable ({e}); rebuilding"),
+        }
+    }
+    println!(
+        "cold start: building index over {} zones...",
+        ds.polygons.len()
+    );
+    let t = Instant::now();
+    let idx = ActIndex::build(&ds.polygons, PRECISION_M).unwrap();
+    println!("built in {:.3} s", t.elapsed().as_secs_f64());
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path).map_err(act_core::SnapshotError::from) {
+        Ok(mut f) => match idx.save_snapshot(&mut f) {
+            Ok(n) => println!("saved snapshot: {n} bytes to {path} (next start is warm)"),
+            Err(e) => println!("could not save snapshot to {path}: {e}"),
+        },
+        Err(e) => println!("could not save snapshot to {path}: {e}"),
+    }
+    idx
+}
 
 fn main() {
     // Zones: the neighborhood-like dataset (289 polygons).
-    let ds = datagen::neighborhoods(42);
-    println!("building index over {} zones...", ds.polygons.len());
-    let index = ActIndex::build(&ds.polygons, 15.0).unwrap();
+    let ds = datagen::neighborhoods(ZONE_SEED);
+    // The default path fingerprints the zone set: a different zone
+    // count, seed, or ε lands on a different file and cold-builds
+    // instead of serving a stale index. ACT_SNAPSHOT overrides.
+    let snap_path = std::env::var("ACT_SNAPSHOT").unwrap_or_else(|_| {
+        format!(
+            "target/geofencing-{}zones-seed{ZONE_SEED}-{PRECISION_M}m.snap",
+            ds.polygons.len()
+        )
+    });
+    let index = load_or_build(&snap_path, &ds);
     println!(
         "index: {:.1} MB, ε = {} m",
         index.memory_bytes() as f64 / 1e6,

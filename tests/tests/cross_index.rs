@@ -3,19 +3,25 @@
 //! the filters must relate by containment (ACT hits ⊆ R-tree candidates
 //! modulo the ε fringe, grid true hits ⊆ polygon, …).
 
+use act_core::snapshot::SnapshotBuf;
 use act_core::supercover::build_super_covering;
 use act_core::{cover_polygon, ActIndex, CoveringParams, Refiner, SortedCellIndex};
 use datagen::PointGen;
 use geom::Coord;
 use grid::UniformGrid;
 
-fn exact_via_act(index: &ActIndex, refiner: &Refiner, p: Coord, out: &mut Vec<u32>) {
-    for (id, interior) in index.lookup_refs(p) {
-        if interior || refiner.contains(id, p) {
-            out.push(id);
-        }
-    }
+fn refine(refs: Vec<(u32, bool)>, refiner: &Refiner, p: Coord) -> Vec<u32> {
+    let mut out: Vec<u32> = refs
+        .into_iter()
+        .filter(|&(id, interior)| interior || refiner.contains(id, p))
+        .map(|(id, _)| id)
+        .collect();
     out.sort_unstable();
+    out
+}
+
+fn exact_via_act(index: &ActIndex, refiner: &Refiner, p: Coord, out: &mut Vec<u32>) {
+    *out = refine(index.lookup_refs(p), refiner, p);
 }
 
 #[test]
@@ -26,6 +32,15 @@ fn all_indexes_agree_on_exact_results() {
 
     // ACT.
     let act = ActIndex::build(&ds.polygons, 15.0).unwrap();
+
+    // ACT through a snapshot round trip, in both load modes: the
+    // persisted index must agree with every baseline exactly like the
+    // freshly built one.
+    let mut snap = Vec::new();
+    act.save_snapshot(&mut snap).unwrap();
+    let act_loaded = ActIndex::load_snapshot(&mut snap.as_slice()).unwrap();
+    let snap_buf = SnapshotBuf::from_bytes(&snap).unwrap();
+    let act_view = snap_buf.view().unwrap();
 
     // Sorted-array index over the same covering.
     let params = CoveringParams::new(15.0);
@@ -59,6 +74,15 @@ fn all_indexes_agree_on_exact_results() {
         let mut via_act = Vec::new();
         exact_via_act(&act, &refiner, p, &mut via_act);
         assert_eq!(via_act, truth, "ACT+refine disagrees at {p}");
+
+        // Snapshot-loaded ACT (owned) exact.
+        let mut via_loaded = Vec::new();
+        exact_via_act(&act_loaded, &refiner, p, &mut via_loaded);
+        assert_eq!(via_loaded, truth, "snapshot-loaded ACT disagrees at {p}");
+
+        // Snapshot-loaded ACT (zero-copy view) exact.
+        let via_view = refine(act_view.lookup_refs(p), &refiner, p);
+        assert_eq!(via_view, truth, "snapshot view disagrees at {p}");
 
         // Sorted index exact.
         let mut via_sorted: Vec<u32> =

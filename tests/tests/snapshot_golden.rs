@@ -1,0 +1,103 @@
+//! Golden-snapshot regression: a committed fixture (built from a seeded
+//! `datagen` lattice) pins snapshot format version 1. Today's loader must
+//! read it, and today's writer must reproduce it **byte for byte** —
+//! any layout change breaks this test until the format version is bumped
+//! and the fixture re-blessed (see the `act_core::snapshot` module docs).
+//!
+//! Re-bless after an intentional format change:
+//!
+//! ```sh
+//! ACT_BLESS_SNAPSHOT=1 cargo test -p act-tests --test snapshot_golden
+//! ```
+//!
+//! The fixture's trie/roots/table bytes are also cross-checked against a
+//! fresh build of the same seeded dataset, so the fixture can never
+//! drift away from what the pipeline actually produces. (The fresh-build
+//! comparison assumes the platform's f64 math matches the blessing
+//! machine's — true for the tier-1 linux-x86_64 CI; the byte-for-byte
+//! writer check is platform-independent.)
+
+use act_core::snapshot::SnapshotBuf;
+use act_core::ActIndex;
+use datagen::PointGen;
+
+/// The seeded dataset the fixture was built from. Changing any of these
+/// constants requires re-blessing the fixture.
+const GRID: (usize, usize) = (3, 2);
+const SEED: u64 = 11;
+// 4 km keeps the fixture tiny (11 trie nodes ≈ 23 kB) while still
+// exercising a multi-node arena and a non-empty lookup table.
+const PRECISION_M: f64 = 4000.0;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/snapshot_golden_v1.snap")
+}
+
+fn build_fixture_index() -> (ActIndex, datagen::Dataset) {
+    let ds = datagen::blocks_scaled(GRID.0, GRID.1, SEED);
+    let idx = ActIndex::build(&ds.polygons, PRECISION_M).unwrap();
+    (idx, ds)
+}
+
+#[test]
+fn golden_snapshot_round_trips_byte_for_byte() {
+    let path = fixture_path();
+    let (fresh, ds) = build_fixture_index();
+
+    if std::env::var("ACT_BLESS_SNAPSHOT").is_ok() {
+        let mut bytes = Vec::new();
+        fresh.save_snapshot(&mut bytes).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        panic!(
+            "blessed {} ({} bytes) — rerun without ACT_BLESS_SNAPSHOT",
+            path.display(),
+            bytes.len()
+        );
+    }
+
+    let fixture = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); bless it with \
+             ACT_BLESS_SNAPSHOT=1 cargo test -p act-tests --test snapshot_golden",
+            path.display()
+        )
+    });
+
+    // 1. Today's loader reads yesterday's bytes (owned + zero-copy).
+    let loaded = ActIndex::load_snapshot(&mut fixture.as_slice())
+        .expect("fixture must load with the current loader");
+    let buf = SnapshotBuf::from_bytes(&fixture).unwrap();
+    let view = buf.view().expect("fixture must open as a zero-copy view");
+
+    // 2. Today's writer reproduces the fixture byte for byte.
+    let mut rewritten = Vec::new();
+    loaded.save_snapshot(&mut rewritten).unwrap();
+    assert!(
+        rewritten == fixture,
+        "writer no longer reproduces the v1 fixture byte-for-byte; \
+         if the format change is intentional, bump FORMAT_VERSION and re-bless"
+    );
+
+    // 3. The fixture is what the pipeline produces today: structural
+    //    equality with a fresh build (wall-time stats excluded).
+    assert_eq!(loaded.act().slots(), fresh.act().slots());
+    assert_eq!(loaded.act().roots(), fresh.act().roots());
+    assert_eq!(loaded.stats().indexed_cells, fresh.stats().indexed_cells);
+    assert_eq!(loaded.stats().covering_cells, fresh.stats().covering_cells);
+    assert_eq!(loaded.stats().precision_m, fresh.stats().precision_m);
+    assert_eq!(loaded.stats().terminal_level, fresh.stats().terminal_level);
+    assert_eq!(
+        loaded.stats().lookup_table_bytes,
+        fresh.stats().lookup_table_bytes
+    );
+    assert_eq!(loaded.stats().act_bytes, fresh.stats().act_bytes);
+
+    // 4. Probes through fixture, view, and fresh index all agree.
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 3).take_vec(2_000);
+    for &p in &pts {
+        let want = fresh.lookup_refs(p);
+        assert_eq!(loaded.lookup_refs(p), want, "fixture disagrees at {p}");
+        assert_eq!(view.lookup_refs(p), want, "view disagrees at {p}");
+    }
+}
