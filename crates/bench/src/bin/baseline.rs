@@ -227,13 +227,7 @@ fn main() {
         );
     }
 
-    let machine = || {
-        Obj::new()
-            .int("hardware_threads", hw)
-            .str("os", std::env::consts::OS)
-            .str("arch", std::env::consts::ARCH)
-            .build()
-    };
+    let machine = bench::json::machine_stamp;
     let build_doc = Obj::new()
         .str("bench", "build")
         .str("command", "cargo run --release -p bench --bin baseline")

@@ -1,0 +1,250 @@
+//! loadgen — drives an `act-serve` server over TCP and records the
+//! client-observed latency distribution and throughput to
+//! `BENCH_serve.json` (committed at the repo root).
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen -- \
+//!     [--datasets census] [--points N] [--seed S] [--threads C] [--batch B] [--snapshot DIR]
+//! ```
+//!
+//! The server is spawned **in-process** on an ephemeral loopback port —
+//! same code path as an external `act-serve`, but the run is
+//! self-contained and the numbers include the full protocol round trip
+//! (frame encode → TCP → decode → cell conversion → micro-batched probe
+//! → response encode → TCP → decode). `--threads` is the number of
+//! client connections (micro-batches form *across* connections),
+//! `--batch` the points per request frame.
+//!
+//! Every run verifies before it records: the per-zone counts aggregated
+//! from server replies must equal an offline probe of the same snapshot
+//! over the same points, and an exact-mode sample must match refining
+//! locally. On a single-core container the server and clients share one
+//! hardware thread, so recorded numbers are a *floor* — see the
+//! machine stamp.
+
+use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner};
+use act_serve::{Client, ServeConfig, Server};
+use bench::json::{array, machine_stamp, pretty, Obj};
+use bench::{make_points, paper_datasets, snapshot_path, Opts};
+use geom::Coord;
+use std::time::Instant;
+
+/// Points per exact-mode verification sample.
+const EXACT_SAMPLE: usize = 2_000;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let selected: Vec<String> = if opts.datasets.is_empty() {
+        // The acceptance configuration: the census-scale lattice.
+        vec!["census".into()]
+    } else {
+        opts.datasets.clone()
+    };
+    let connections = opts.threads_or(&[1]);
+    let connections = connections.first().copied().unwrap_or(1).max(1);
+    let frame = opts.batch.clamp(1, act_serve::protocol::MAX_POINTS);
+    let dir = opts
+        .snapshot
+        .clone()
+        .unwrap_or_else(|| "target/serve-bench".to_string());
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    println!(
+        "LOADGEN: {} points, {connections} connection(s), {frame} points/frame, datasets {selected:?}",
+        opts.points
+    );
+
+    let mut entries = Vec::new();
+    for ds in paper_datasets(opts.seed) {
+        if !selected.iter().any(|d| d == &ds.name) {
+            continue;
+        }
+        let precision = 15.0;
+        println!(
+            "\n=== {} ({} polygons, {precision} m) ===",
+            ds.name,
+            ds.polygons.len()
+        );
+
+        // Snapshot cache: build + save on first run, reuse afterwards
+        // (restarts ship snapshots, not polygon sets).
+        let path = snapshot_path(&dir, &ds.name, precision);
+        if !path.exists() {
+            let t = Instant::now();
+            let built = act_core::ActIndex::build(&ds.polygons, precision).expect("build index");
+            println!(
+                "built index in {:.2} s (no cached snapshot)",
+                t.elapsed().as_secs_f64()
+            );
+            let mut f = std::fs::File::create(&path).expect("create snapshot");
+            built.save_snapshot(&mut f).expect("save snapshot");
+        }
+
+        // The workload, striped across connections.
+        let points = make_points(&ds, opts.points, opts.seed);
+        let num_zones = ds.polygons.len();
+
+        // Offline truth from the same snapshot the server maps.
+        let snap = MappedSnapshot::open(&path).expect("map snapshot");
+        let mut expected = vec![0u64; num_zones];
+        {
+            let view = snap.view();
+            let cells: Vec<_> = points.iter().map(|&c| coord_to_cell(c)).collect();
+            let mut probes = vec![Probe::Miss; cells.len()];
+            view.probe_batch(&cells, &mut probes);
+            for &p in &probes {
+                for (id, _) in view.resolve_refs(p) {
+                    expected[id as usize] += 1;
+                }
+            }
+        }
+
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                refiner: Some(Refiner::new(&ds.polygons)),
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("spawn act-serve");
+        let addr = server.addr();
+
+        // Warmup: touch the mapped pages through the server.
+        {
+            let mut c = Client::connect(addr).expect("connect");
+            for chunk in points.chunks(frame).take(64) {
+                c.probe(chunk, false).expect("warmup probe");
+            }
+        }
+        let warm_probes = server.stats().probes;
+
+        // Measured run: each connection owns a contiguous stripe.
+        let t0 = Instant::now();
+        let stripe = points.len().div_ceil(connections);
+        let results: Vec<(Vec<u64>, Vec<f64>)> = std::thread::scope(|scope| {
+            let point_stripes: Vec<&[Coord]> = points.chunks(stripe.max(1)).collect();
+            let handles: Vec<_> = point_stripes
+                .into_iter()
+                .map(|mine| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut counts = vec![0u64; num_zones];
+                        let mut lat_us = Vec::with_capacity(mine.len() / frame + 1);
+                        for chunk in mine.chunks(frame) {
+                            let t = Instant::now();
+                            let reply = client.probe(chunk, false).expect("probe frame");
+                            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                            for refs in &reply.refs {
+                                for &(id, _) in refs {
+                                    counts[id as usize] += 1;
+                                }
+                            }
+                        }
+                        (counts, lat_us)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+
+        // Verify: aggregated server answers ≡ offline probe.
+        let mut counts = vec![0u64; num_zones];
+        let mut latencies = Vec::new();
+        for (c, l) in results {
+            for (acc, v) in counts.iter_mut().zip(c) {
+                *acc += v;
+            }
+            latencies.extend(l);
+        }
+        assert_eq!(counts, expected, "served counts diverged — not recording");
+
+        // Exact-mode spot check against local refinement.
+        let exact_n = points.len().min(EXACT_SAMPLE);
+        {
+            let refiner = Refiner::new(&ds.polygons);
+            let view = snap.view();
+            let mut c = Client::connect(addr).expect("connect");
+            let sample = &points[..exact_n];
+            let reply = c.probe(sample, true).expect("exact probe");
+            for (pt, got) in sample.iter().zip(&reply.refs) {
+                let want: Vec<(u32, bool)> = view
+                    .resolve_refs(view.probe_coord(*pt))
+                    .filter(|&(id, interior)| interior || refiner.contains(id, *pt))
+                    .map(|(id, _)| (id, true))
+                    .collect();
+                assert_eq!(*got, want, "exact mode diverged at {pt} — not recording");
+            }
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let stats = server.stats();
+        let measured_probes = stats.probes - warm_probes - exact_n as u64;
+        assert_eq!(measured_probes, points.len() as u64);
+        let throughput = points.len() as f64 / secs;
+        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+        let batch_width = stats.probes as f64 / stats.batches.max(1) as f64;
+        println!(
+            "served {} probes in {secs:.2} s  ({:.2} M probes/s, {connections} conn, {frame}/frame)",
+            points.len(),
+            throughput / 1e6
+        );
+        println!(
+            "latency/frame: p50 {p50:.0} us, p99 {p99:.0} us, max {:.0} us; mean micro-batch width {batch_width:.1}",
+            latencies.last().copied().unwrap_or(f64::NAN)
+        );
+
+        entries.push(
+            Obj::new()
+                .str("dataset", &ds.name)
+                .int("polygons", num_zones as u64)
+                .num("precision_m", precision)
+                .int("points", points.len() as u64)
+                .int("connections", connections as u64)
+                .int("points_per_frame", frame as u64)
+                .num("secs", secs)
+                .num("probes_per_sec", throughput)
+                .num("frame_latency_p50_us", p50)
+                .num("frame_latency_p99_us", p99)
+                .num(
+                    "frame_latency_max_us",
+                    latencies.last().copied().unwrap_or(f64::NAN),
+                )
+                .int("server_batches", stats.batches)
+                .num("mean_batch_width", batch_width)
+                .int("epoch", stats.epoch as u64)
+                .bool("counts_verified", true)
+                .bool("exact_mode_verified", true)
+                .build(),
+        );
+        server.shutdown();
+    }
+
+    let doc = Obj::new()
+        .str("bench", "serve")
+        .str(
+            "command",
+            "cargo run --release -p bench --bin loadgen -- --batch 1024",
+        )
+        .raw("machine", machine_stamp())
+        .int("seed", opts.seed)
+        .raw("serve_runs", array(entries))
+        .build();
+
+    // Anchor to the workspace root (two levels above crates/bench) so the
+    // committed baseline is updated regardless of the invocation CWD.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join("BENCH_serve.json"), pretty(&doc)).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json to {}", root.display());
+}

@@ -4,7 +4,7 @@
 //! rebuilding the index from the polygon set?
 //!
 //! ```text
-//! cargo run --release -p bench --bin snapshot [--datasets a,b] [--seed S] [--snapshot DIR]
+//! cargo run --release -p bench --bin snapshot [--datasets a,b] [--seed S] [--snapshot DIR] [--mmap]
 //! ```
 //!
 //! Per selected dataset it builds the index once (timed), saves the
@@ -14,9 +14,14 @@
 //! after every load that the arena is byte-identical to the built one
 //! and that a probe sample agrees. Minimum load times are recorded (the
 //! steady warm-page-cache state a restarting fleet node sees).
+//!
+//! `--mmap` adds a third mode: [`act_core::MappedSnapshot::open`], where
+//! "load" is mmap + validate and the page cache backs the probes — the
+//! serving path `act-serve` runs on. On a warm cache it skips the big
+//! copy entirely, so it should beat the heap read.
 
-use act_core::{ActIndex, Probe, SnapshotBuf};
-use bench::json::{array, pretty, Obj};
+use act_core::{ActIndex, MappedSnapshot, Probe, SnapshotBuf};
+use bench::json::{array, machine_stamp, pretty, Obj};
 use bench::{make_points, paper_datasets, snapshot_path, to_cells, Opts};
 use std::time::Instant;
 
@@ -110,6 +115,21 @@ fn main() {
             assert_eq!(got, want, "view probes diverged — not recording");
         }
 
+        // Memory-mapped loads (--mmap): open = mmap + validate; probing
+        // faults pages in from the cache on demand. The probe sample
+        // runs outside the timed region, like the other modes.
+        let mut mmap_runs = Vec::new();
+        if opts.mmap {
+            for _ in 0..LOADS {
+                let t = Instant::now();
+                let mapped = MappedSnapshot::open(&path).expect("map snapshot");
+                mmap_runs.push(t.elapsed().as_secs_f64());
+                assert!(mapped.is_mmap() || !cfg!(unix), "unix must really map");
+                mapped.probe_batch(&cells, &mut got);
+                assert_eq!(got, want, "mmap probes diverged — not recording");
+            }
+        }
+
         let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
         let (owned_min, view_min) = (min(&owned_runs), min(&view_runs));
         println!(
@@ -117,43 +137,42 @@ fn main() {
             build_secs / owned_min,
             build_secs / view_min
         );
+        if opts.mmap {
+            println!(
+                "mmap:  {:.6} s open+validate ({:.0}x vs build; probes run off the page cache)",
+                min(&mmap_runs),
+                build_secs / min(&mmap_runs)
+            );
+        }
 
         let runs = |v: &[f64]| array(v.iter().map(|s| format!("{s:.6}")));
-        entries.push(
-            Obj::new()
-                .str("dataset", &ds.name)
-                .int("polygons", ds.polygons.len() as u64)
-                .num("precision_m", precision)
-                .int("snapshot_bytes", snapshot_bytes)
-                .int("index_nodes", built.act().num_nodes() as u64)
-                .num("build_secs", build_secs)
-                .num("save_secs", save_secs)
-                .num("load_owned_secs_min", owned_min)
-                .num("load_view_secs_min", view_min)
-                .num("build_over_load_owned", build_secs / owned_min)
-                .num("build_over_load_view", build_secs / view_min)
-                .raw("load_owned_secs", runs(&owned_runs))
-                .raw("load_view_secs", runs(&view_runs))
-                .build(),
-        );
+        let mut entry = Obj::new()
+            .str("dataset", &ds.name)
+            .int("polygons", ds.polygons.len() as u64)
+            .num("precision_m", precision)
+            .int("snapshot_bytes", snapshot_bytes)
+            .int("index_nodes", built.act().num_nodes() as u64)
+            .num("build_secs", build_secs)
+            .num("save_secs", save_secs)
+            .num("load_owned_secs_min", owned_min)
+            .num("load_view_secs_min", view_min)
+            .num("build_over_load_owned", build_secs / owned_min)
+            .num("build_over_load_view", build_secs / view_min)
+            .raw("load_owned_secs", runs(&owned_runs))
+            .raw("load_view_secs", runs(&view_runs));
+        if opts.mmap {
+            entry = entry
+                .num("load_mmap_secs_min", min(&mmap_runs))
+                .num("build_over_load_mmap", build_secs / min(&mmap_runs))
+                .raw("load_mmap_secs", runs(&mmap_runs));
+        }
+        entries.push(entry.build());
     }
 
     let doc = Obj::new()
         .str("bench", "snapshot")
         .str("command", "cargo run --release -p bench --bin snapshot")
-        .raw(
-            "machine",
-            Obj::new()
-                .int(
-                    "hardware_threads",
-                    std::thread::available_parallelism()
-                        .map(|n| n.get() as u64)
-                        .unwrap_or(1),
-                )
-                .str("os", std::env::consts::OS)
-                .str("arch", std::env::consts::ARCH)
-                .build(),
-        )
+        .raw("machine", machine_stamp())
         .int("seed", opts.seed)
         .int("loads_per_mode", LOADS as u64)
         .raw("snapshot_runs", array(entries))

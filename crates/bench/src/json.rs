@@ -67,6 +67,32 @@ impl Obj {
     }
 }
 
+/// The shared machine/profile stamp every committed `BENCH_*.json`
+/// carries. Hardware thread count and cargo profile make the
+/// "single-core container, release build" caveat machine-readable: a
+/// consumer comparing baselines can reject apples-to-oranges numbers
+/// (different core counts, or a dev-profile run) without parsing prose.
+pub fn machine_stamp() -> String {
+    Obj::new()
+        .int(
+            "hardware_threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        )
+        .str("os", std::env::consts::OS)
+        .str("arch", std::env::consts::ARCH)
+        .str(
+            "cargo_profile",
+            if cfg!(debug_assertions) {
+                "dev"
+            } else {
+                "release"
+            },
+        )
+        .build()
+}
+
 /// Renders a JSON array from already-rendered element strings.
 pub fn array(items: impl IntoIterator<Item = String>) -> String {
     let mut out = String::from("[");
@@ -169,6 +195,17 @@ mod tests {
             o,
             r#"{"name":"he said \"hi\"","n":3,"x":1.500000,"bad":null,"ok":true,"arr":[1,2]}"#
         );
+    }
+
+    #[test]
+    fn machine_stamp_has_the_caveat_fields() {
+        let stamp = machine_stamp();
+        for key in ["hardware_threads", "os", "arch", "cargo_profile"] {
+            assert!(
+                stamp.contains(&format!("\"{key}\":")),
+                "missing {key}: {stamp}"
+            );
+        }
     }
 
     #[test]

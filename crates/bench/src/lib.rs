@@ -8,13 +8,18 @@
 //! * `baseline` — machine-readable perf baseline (`BENCH_build.json` /
 //!   `BENCH_probe.json`, committed at the repo root)
 //! * `snapshot` — build-once/load-many index-persistence baseline
-//!   (`BENCH_snapshot.json`, committed at the repo root)
+//!   (`BENCH_snapshot.json`, committed at the repo root; `--mmap` adds
+//!   the memory-mapped load rows)
+//! * `loadgen`  — drives an in-process `act-serve` over TCP and records
+//!   client-observed latency/throughput (`BENCH_serve.json`)
 //!
 //! Criterion benches (`cargo bench`): `throughput`, `scalability`,
 //! `ablations`, `build_phase`.
 //!
 //! All binaries share the [`Opts`] flags (see [`USAGE`]); unknown flags
 //! print the usage message and exit non-zero.
+
+#![forbid(unsafe_code)]
 
 use act_core::{coord_to_cell, ActIndex, JoinStats};
 use datagen::{Dataset, PointGen};
@@ -45,6 +50,8 @@ pub struct Opts {
     /// Directory for index snapshots: binaries that support it save each
     /// built index there on first run and load-and-verify on later runs.
     pub snapshot: Option<String>,
+    /// Also measure memory-mapped snapshot loads (`snapshot` bin).
+    pub mmap: bool,
 }
 
 impl Default for Opts {
@@ -57,6 +64,7 @@ impl Default for Opts {
             threads: Vec::new(),
             batch: act_core::DEFAULT_PROBE_BATCH,
             snapshot: None,
+            mmap: false,
         }
     }
 }
@@ -72,6 +80,8 @@ usage: <bin> [options]
   --batch B         points per batched-probe block (default 64; 1 = scalar)
   --snapshot DIR    save built indexes as snapshots in DIR on first run;
                     load-and-verify them on later runs
+  --mmap            also measure memory-mapped snapshot loads
+                    (snapshot bin; adds the mmap rows to BENCH_snapshot.json)
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -147,6 +157,7 @@ impl Opts {
                     }
                     o.snapshot = Some(dir.to_string());
                 }
+                "--mmap" => o.mmap = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -367,6 +378,7 @@ mod tests {
             "128",
             "--snapshot",
             "target/snaps",
+            "--mmap",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -376,6 +388,7 @@ mod tests {
         assert_eq!(o.threads, vec![1, 2, 4]);
         assert_eq!(o.batch, 128);
         assert_eq!(o.snapshot.as_deref(), Some("target/snaps"));
+        assert!(o.mmap);
     }
 
     #[test]

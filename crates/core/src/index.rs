@@ -230,6 +230,21 @@ impl ActIndex {
         crate::snapshot::load(r)
     }
 
+    /// Opens a snapshot file as a query-ready
+    /// [`MappedSnapshot`](crate::snapshot::MappedSnapshot): memory-mapped
+    /// where the platform allows (probes run off the page cache, warm
+    /// loads copy almost nothing), an owned aligned heap read otherwise.
+    /// This is the warm-start entry point a serving fleet wants —
+    /// restarts ship snapshots, not polygon sets.
+    ///
+    /// # Errors
+    /// As [`ActIndex::load_snapshot`].
+    pub fn map_snapshot(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<crate::snapshot::MappedSnapshot, SnapshotError> {
+        crate::snapshot::MappedSnapshot::open(path)
+    }
+
     /// True when two indexes are the same query artifact byte for byte:
     /// node arena, roots, lookup-table words, and insertion counters all
     /// equal (build wall-times excluded — they are measurements, not

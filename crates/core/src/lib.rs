@@ -44,6 +44,10 @@
 //! assert_eq!(refs, vec![(0, true)]);
 //! ```
 
+// All unsafe in the serving stack lives in `vendor/mmapio` (the mmap
+// syscall shim + checked slice casts); this crate is pure safe code.
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod covering;
 pub mod index;
@@ -65,7 +69,7 @@ pub use join::{
 };
 pub use lookup::{LookupTable, LookupTableBuilder};
 pub use refs::{PolygonRef, RefSet, MAX_POLYGON_ID};
-pub use snapshot::{ActIndexView, SnapshotBuf, SnapshotError};
+pub use snapshot::{ActIndexView, MappedSnapshot, SnapshotBuf, SnapshotError};
 pub use sorted_index::SortedCellIndex;
 pub use supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 pub use trie::{resolve_probe, Act, Probe};

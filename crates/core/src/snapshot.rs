@@ -66,6 +66,12 @@
 //!   are copied out. Zero-copy views require a little-endian target (all
 //!   tier-1 targets are); big-endian hosts get a typed
 //!   [`SnapshotError::UnsupportedEndian`].
+//! * **Memory-mapped** — [`MappedSnapshot::open`] `mmap`s the file (via
+//!   the `mmapio` shim) and probes straight off the page cache; it
+//!   validates once at open and hands out the same [`ActIndexView`]s
+//!   cheaply thereafter. Files or buffers that cannot be mapped or are
+//!   misaligned fall back to an owned aligned heap copy instead of
+//!   erroring — mapping is an optimization, never a correctness risk.
 //!
 //! ## Bumping the format version
 //!
@@ -282,36 +288,27 @@ fn write_u32_words(w: &mut impl Write, values: &[u32]) -> std::io::Result<()> {
 /// Reinterprets an 8-byte aligned byte slice as u64 words.
 /// Callers must have checked alignment, length divisibility, and that the
 /// target is little-endian (so word values equal the encoded LE values).
+/// The `unsafe` lives behind [`mmapio::cast`]'s checked API, keeping this
+/// crate `forbid(unsafe_code)`.
 fn bytes_as_words(bytes: &[u8]) -> &[u64] {
-    debug_assert!((bytes.as_ptr() as usize).is_multiple_of(8) && bytes.len().is_multiple_of(8));
-    // SAFETY: u64 has no invalid bit patterns; the pointer is 8-byte
-    // aligned and the length a whole number of words (checked by every
-    // caller); the returned borrow has the same lifetime as `bytes`.
-    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, bytes.len() / 8) }
+    mmapio::cast::bytes_as_u64s(bytes)
 }
 
 /// Reinterprets a 4-byte aligned byte slice as u32 words (same contract
 /// as [`bytes_as_words`]; section offsets are 8-aligned, hence 4-aligned).
 fn bytes_as_u32s(bytes: &[u8]) -> &[u32] {
-    debug_assert!((bytes.as_ptr() as usize).is_multiple_of(4) && bytes.len().is_multiple_of(4));
-    // SAFETY: as bytes_as_words, with 4-byte alignment and u32 elements.
-    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+    mmapio::cast::bytes_as_u32s(bytes)
 }
 
-/// Views a u64 slice as raw bytes (always safe: every byte of an
-/// initialized u64 slice is an initialized u8).
+/// Views a u64 slice as raw bytes (always valid).
 fn words_as_bytes(words: &[u64]) -> &[u8] {
-    // SAFETY: u8 has alignment 1 and no invalid bit patterns; the length
-    // covers exactly the words' storage; lifetime is inherited.
-    unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, words.len() * 8) }
+    mmapio::cast::u64s_as_bytes(words)
 }
 
 /// Mutable byte view of a u64 buffer — lets [`SnapshotBuf::read_from`]
 /// stream file bytes straight into aligned storage.
 fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
-    // SAFETY: as words_as_bytes; any byte pattern written through the
-    // view is a valid u64 pattern.
-    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8) }
+    mmapio::cast::u64s_as_bytes_mut(words)
 }
 
 // ---------------------------------------------------------------------
@@ -518,6 +515,13 @@ impl<'a> ActIndexView<'a> {
     /// # Errors
     /// Any [`SnapshotError`] variant; never panics on malformed input.
     pub fn from_bytes(bytes: &'a [u8]) -> Result<ActIndexView<'a>, SnapshotError> {
+        Self::parse(bytes).map(|(_, view)| view)
+    }
+
+    /// [`ActIndexView::from_bytes`] plus the validated [`Layout`] — the
+    /// shared parse behind the borrowed view and [`MappedSnapshot`]
+    /// (which stores the layout so later views skip re-validation).
+    fn parse(bytes: &'a [u8]) -> Result<(Layout, ActIndexView<'a>), SnapshotError> {
         if cfg!(target_endian = "big") {
             return Err(SnapshotError::UnsupportedEndian);
         }
@@ -588,14 +592,26 @@ impl<'a> ActIndexView<'a> {
             build_supercover_secs: f64::from_bits(m[11]),
             build_insert_secs: f64::from_bits(m[12]),
         };
-        Ok(ActIndexView {
-            slots,
-            roots,
-            table,
-            stats,
-            inserted_cells: m[0],
-            denormalized_slots: m[1],
-        })
+        Ok((
+            lay,
+            ActIndexView {
+                slots,
+                roots,
+                table,
+                stats,
+                inserted_cells: m[0],
+                denormalized_slots: m[1],
+            },
+        ))
+    }
+
+    /// Resolves a [`Probe`] returned by this view's batch or scalar
+    /// probes into `(polygon id, is_true_hit)` pairs, consulting the
+    /// borrowed lookup table when necessary — the view-side counterpart
+    /// of [`crate::trie::resolve_probe`].
+    #[inline]
+    pub fn resolve_refs(&self, probe: Probe) -> impl Iterator<Item = (u32, bool)> + '_ {
+        resolve_probe_words(probe, self.table)
     }
 
     #[inline]
@@ -801,6 +817,199 @@ pub fn load(r: &mut impl Read) -> Result<ActIndex, SnapshotError> {
     Ok(buf.view()?.to_owned_index())
 }
 
+// ---------------------------------------------------------------------
+// Memory-mapped loading
+// ---------------------------------------------------------------------
+
+/// What actually holds a [`MappedSnapshot`]'s bytes.
+#[derive(Debug)]
+enum Backing {
+    /// A live read-only file mapping: probes run straight off the page
+    /// cache, and a warm load copies nothing but the roots and metadata.
+    Mapped(mmapio::Mmap),
+    /// The portable fallback: the whole file read into an owned aligned
+    /// buffer (non-unix targets, unmappable/ragged files, unaligned
+    /// caller buffers).
+    Heap(SnapshotBuf),
+}
+
+impl Backing {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Mapped(m) => m.as_bytes(),
+            Backing::Heap(b) => b.bytes(),
+        }
+    }
+}
+
+/// A self-contained, query-ready snapshot: the bytes (memory-mapped when
+/// the platform allows, an owned aligned copy otherwise) together with
+/// their validated layout. Constructing one runs the full
+/// [`ActIndexView::from_bytes`] validation exactly once; every
+/// [`MappedSnapshot::view`] after that is a few slice borrows — cheap
+/// enough to call per batch, which is what the serving layer does.
+///
+/// Unlike [`ActIndexView`], this type owns its backing and so has no
+/// lifetime parameter: it can be put in an `Arc` and shared across
+/// worker threads, which is exactly the multi-worker single-mapping
+/// serving story from the paper's online-join motivation.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    backing: Backing,
+    layout: Layout,
+    roots: [u32; 6],
+    stats: BuildStats,
+    inserted_cells: u64,
+    denormalized_slots: u64,
+}
+
+impl MappedSnapshot {
+    /// Opens `path` for probing, preferring a real `mmap`.
+    ///
+    /// Falls back to an owned aligned heap copy when mapping is not an
+    /// option — non-unix target, empty file, or a file whose size is not
+    /// a whole number of words (a mapping of those could never pass
+    /// validation, but the typed error should come from the canonical
+    /// loader, not from a misalignment artifact). Validation failures of
+    /// well-formed mappings are returned as-is; they would fail
+    /// identically from the heap.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; never panics on malformed input.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<MappedSnapshot, SnapshotError> {
+        let path = path.as_ref();
+        match mmapio::Mmap::map_path(path) {
+            Ok(map)
+                if (map.as_bytes().as_ptr() as usize).is_multiple_of(8)
+                    && map.len() >= HEADER_LEN
+                    && map.len().is_multiple_of(8) =>
+            {
+                Self::from_backing(Backing::Mapped(map))
+            }
+            // Unsupported target, unmappable file, or a mapping no view
+            // could accept (short/ragged): take the owned-read path,
+            // which produces the canonical typed error for bad files.
+            _ => Self::open_heap(path),
+        }
+    }
+
+    /// Opens `path` without attempting to map it: the file is read into
+    /// an owned, aligned buffer. The explicit form of [`MappedSnapshot::open`]'s
+    /// fallback — useful for like-for-like load benchmarking.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; never panics on malformed input.
+    pub fn open_heap(path: impl AsRef<std::path::Path>) -> Result<MappedSnapshot, SnapshotError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::from_backing(Backing::Heap(SnapshotBuf::read_from(&mut f)?))
+    }
+
+    /// Builds a query-ready snapshot from caller-held bytes of **any**
+    /// alignment: aligned input would also be accepted by
+    /// [`ActIndexView::from_bytes`] directly; unaligned input (a slice
+    /// into a larger message buffer, say) is copied into aligned
+    /// storage instead of erroring with [`SnapshotError::Misaligned`].
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; never panics on malformed input.
+    pub fn from_unaligned_bytes(bytes: &[u8]) -> Result<MappedSnapshot, SnapshotError> {
+        Self::from_backing(Backing::Heap(SnapshotBuf::from_bytes(bytes)?))
+    }
+
+    /// Validates `backing` once and captures the layout + copied-out
+    /// header fields that make later [`MappedSnapshot::view`] calls
+    /// borrow-only.
+    fn from_backing(backing: Backing) -> Result<MappedSnapshot, SnapshotError> {
+        let (layout, roots, stats, inserted_cells, denormalized_slots) = {
+            let (layout, view) = ActIndexView::parse(backing.bytes())?;
+            (
+                layout,
+                view.roots,
+                view.stats,
+                view.inserted_cells,
+                view.denormalized_slots,
+            )
+        };
+        Ok(MappedSnapshot {
+            backing,
+            layout,
+            roots,
+            stats,
+            inserted_cells,
+            denormalized_slots,
+        })
+    }
+
+    /// A zero-copy view over the backing bytes. Infallible and cheap:
+    /// validation already happened in the constructor, so this is slice
+    /// arithmetic plus a small stats copy.
+    pub fn view(&self) -> ActIndexView<'_> {
+        let bytes = self.backing.bytes();
+        let words = bytes_as_words(bytes);
+        let (trie_off, trie_len) = self.layout.trie;
+        let (table_off, table_len) = self.layout.table;
+        ActIndexView {
+            slots: &words[trie_off / 8..(trie_off + trie_len) / 8],
+            roots: self.roots,
+            table: bytes_as_u32s(&bytes[table_off..table_off + table_len]),
+            stats: self.stats.clone(),
+            inserted_cells: self.inserted_cells,
+            denormalized_slots: self.denormalized_slots,
+        }
+    }
+
+    /// True when the backing is a live file mapping (false on the heap
+    /// fallback path).
+    #[inline]
+    pub fn is_mmap(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// The raw snapshot bytes (8-byte aligned in either backing).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        self.backing.bytes()
+    }
+
+    /// Build metrics restored from the snapshot.
+    #[inline]
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Probes with a precomputed leaf cell id (see [`ActIndex::probe_cell`]).
+    #[inline]
+    pub fn probe_cell(&self, leaf: CellId) -> Probe {
+        self.view().probe_cell(leaf)
+    }
+
+    /// Probes a batch of leaf cell ids (see [`ActIndex::probe_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `cells.len() != out.len()`.
+    #[inline]
+    pub fn probe_batch(&self, cells: &[CellId], out: &mut [Probe]) {
+        self.view().probe_batch(cells, out);
+    }
+
+    /// Probes with a lat/lng coordinate (see [`ActIndex::probe_coord`]).
+    #[inline]
+    pub fn probe_coord(&self, c: Coord) -> Probe {
+        self.view().probe_coord(c)
+    }
+
+    /// The `(polygon id, is_true_hit)` pairs for a query point.
+    pub fn lookup_refs(&self, c: Coord) -> Vec<(u32, bool)> {
+        self.view().lookup_refs(c)
+    }
+
+    /// Deep-copies the snapshot into an owned [`ActIndex`].
+    pub fn to_owned_index(&self) -> ActIndex {
+        self.view().to_owned_index()
+    }
+}
+
 /// Recomputes and patches the header checksum of a snapshot image in
 /// place. Test-only hook: lets corruption tests mutate payload fields and
 /// still reach the deeper validation layers behind the checksum.
@@ -933,6 +1142,98 @@ mod tests {
             ActIndexView::from_bytes(shifted),
             Err(SnapshotError::Misaligned)
         ));
+    }
+
+    fn temp_snap(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("act-snap-test-{}-{name}.snap", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_snapshot_matches_owned_load() {
+        let idx = sample_index();
+        let bytes = save_to_vec(&idx);
+        let path = temp_snap("mapped", &bytes);
+        let mapped = MappedSnapshot::open(&path).unwrap();
+        assert_eq!(cfg!(unix), mapped.is_mmap(), "unix targets must map");
+        assert_eq!(mapped.bytes(), bytes.as_slice());
+        assert_eq!(mapped.stats().act_bytes, idx.stats().act_bytes);
+        for k in 0..200 {
+            let c = Coord::new(-74.1 + 0.001 * k as f64, 40.70);
+            assert_eq!(mapped.probe_coord(c), idx.probe_coord(c), "at {c}");
+            assert_eq!(mapped.lookup_refs(c), idx.lookup_refs(c), "at {c}");
+        }
+        assert!(mapped.to_owned_index().identical_to(&idx));
+        // The explicit heap path answers identically and is not a map.
+        let heap = MappedSnapshot::open_heap(&path).unwrap();
+        assert!(!heap.is_mmap());
+        let c = Coord::new(-74.05, 40.70);
+        assert_eq!(heap.probe_coord(c), mapped.probe_coord(c));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unaligned_bytes_fall_back_to_heap_copy() {
+        let idx = sample_index();
+        let bytes = save_to_vec(&idx);
+        // Construct a guaranteed-misaligned slice over the same content.
+        let mut padded = vec![0u8; bytes.len() + 8];
+        let base = padded.as_ptr() as usize;
+        let off = if base.is_multiple_of(8) {
+            1
+        } else {
+            8 - base % 8 + 1
+        };
+        padded[off..off + bytes.len()].copy_from_slice(&bytes);
+        let shifted = &padded[off..off + bytes.len()];
+        assert!(matches!(
+            ActIndexView::from_bytes(shifted),
+            Err(SnapshotError::Misaligned)
+        ));
+        // The mapped-snapshot constructor copies instead of erroring.
+        let snap = MappedSnapshot::from_unaligned_bytes(shifted).unwrap();
+        assert!(!snap.is_mmap());
+        for k in 0..200 {
+            let c = Coord::new(-74.1 + 0.001 * k as f64, 40.70);
+            assert_eq!(snap.probe_coord(c), idx.probe_coord(c), "at {c}");
+        }
+    }
+
+    #[test]
+    fn mapped_snapshot_rejects_corruption_and_ragged_files() {
+        let idx = sample_index();
+        let mut bytes = save_to_vec(&idx);
+        // Flip a payload byte: the checksum must catch it via either path.
+        bytes[HEADER_LEN + 3] ^= 0xFF;
+        let path = temp_snap("corrupt", &bytes);
+        assert!(matches!(
+            MappedSnapshot::open(&path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // A ragged-length file cannot be viewed; the heap fallback
+        // produces the canonical typed error rather than a panic.
+        let mut ragged = save_to_vec(&idx);
+        ragged.push(0);
+        let path2 = temp_snap("ragged", &ragged);
+        assert!(MappedSnapshot::open(&path2).is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn view_resolve_refs_matches_lookup_refs() {
+        let idx = sample_index();
+        let bytes = save_to_vec(&idx);
+        let buf = SnapshotBuf::from_bytes(&bytes).unwrap();
+        let view = buf.view().unwrap();
+        for k in 0..100 {
+            let c = Coord::new(-74.08 + 0.001 * k as f64, 40.70);
+            let probe = view.probe_coord(c);
+            let via_resolve: Vec<(u32, bool)> = view.resolve_refs(probe).collect();
+            assert_eq!(via_resolve, idx.lookup_refs(c), "at {c}");
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!
 //! Everything is deterministic under a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod fractal;
 pub mod lattice;
 pub mod points;

@@ -34,6 +34,8 @@
 //! assert!(!square.contains(Coord::new(1.5, 0.5)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coord;
 pub mod polygon;
 pub mod prepared;

@@ -32,6 +32,8 @@
 //! assert_eq!(refs, &[(0, true)]); // true hit
 //! ```
 
+#![forbid(unsafe_code)]
+
 use geom::{CellRelation, Coord, Polygon, Rect};
 
 /// A fixed-resolution grid index with true-hit filtering.

@@ -23,6 +23,8 @@
 //! assert_eq!(t.query_point(Coord::new(0.5, 0.5)), vec![0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod node;
 mod split;
 mod str_load;

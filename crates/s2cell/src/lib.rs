@@ -43,6 +43,8 @@
 //! assert!(coarse.contains(leaf));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cell;
 pub mod cellid;
 pub mod cellunion;

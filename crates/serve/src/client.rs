@@ -1,0 +1,131 @@
+//! A small blocking client for the act-serve protocol. One TCP
+//! connection, one in-flight request at a time (the server answers a
+//! connection's frames in order). Spin up several clients on separate
+//! connections for parallel load — that is also what lets the server
+//! form cross-connection micro-batches.
+
+use crate::protocol as proto;
+use geom::Coord;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Largest response body the client will accept (a full probe frame's
+/// worth of densely referenced points stays far below this).
+const MAX_RESP_BODY: usize = 1 << 26;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(io::Error),
+    /// The peer violated the protocol (the string names how).
+    Protocol(&'static str),
+    /// The server answered with a non-OK status code.
+    Server(u8),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Server(s) => write!(f, "server status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking act-serve connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and disables Nagle (frames are latency-sensitive).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Probes a batch of points (at most [`proto::MAX_POINTS`]).
+    /// `exact = false` returns the paper's approximate answer — true
+    /// hits flagged, ε-bounded candidates riding along; `exact = true`
+    /// asks the server to refine candidates to actual membership
+    /// (requires a server-side refiner).
+    ///
+    /// # Errors
+    /// I/O failures, protocol violations, or a non-OK server status
+    /// ([`ClientError::Server`]).
+    ///
+    /// # Panics
+    /// Panics if `coords` exceeds [`proto::MAX_POINTS`].
+    pub fn probe(
+        &mut self,
+        coords: &[Coord],
+        exact: bool,
+    ) -> Result<proto::ProbeReply, ClientError> {
+        self.stream
+            .write_all(&proto::encode_probe_request(coords, exact))?;
+        let (h, payload) = self.read_response()?;
+        if h.op != proto::OP_PROBE {
+            return Err(ClientError::Protocol("response op does not echo PROBE"));
+        }
+        if h.status != proto::STATUS_OK {
+            return Err(ClientError::Server(h.status));
+        }
+        if h.n as usize != coords.len() {
+            return Err(ClientError::Protocol("response point count mismatch"));
+        }
+        let refs = proto::decode_probe_payload(h.n, &payload).map_err(ClientError::Protocol)?;
+        Ok(proto::ProbeReply {
+            epoch: h.epoch,
+            refs,
+        })
+    }
+
+    /// Liveness check: returns the serving epoch and total probes served.
+    ///
+    /// # Errors
+    /// As [`Client::probe`].
+    pub fn ping(&mut self) -> Result<proto::PingReply, ClientError> {
+        self.stream.write_all(&proto::encode_ping_request())?;
+        let (h, payload) = self.read_response()?;
+        if h.op != proto::OP_PING {
+            return Err(ClientError::Protocol("response op does not echo PING"));
+        }
+        if h.status != proto::STATUS_OK {
+            return Err(ClientError::Server(h.status));
+        }
+        Ok(proto::PingReply {
+            epoch: h.epoch,
+            probes_served: proto::decode_ping_payload(&payload).map_err(ClientError::Protocol)?,
+        })
+    }
+
+    fn read_response(&mut self) -> Result<(proto::RespHeader, Vec<u8>), ClientError> {
+        let body = proto::read_frame(&mut self.stream, MAX_RESP_BODY)?
+            .ok_or(ClientError::Protocol("connection closed mid-conversation"))?;
+        let (h, payload) = proto::decode_response(&body).map_err(ClientError::Protocol)?;
+        Ok((h, payload.to_vec()))
+    }
+}

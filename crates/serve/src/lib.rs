@@ -1,0 +1,238 @@
+//! # act-serve — the ACT as an online geofencing service
+//!
+//! The paper's pitch is that an Adaptive Cell Trie makes point-in-polygon
+//! joins cheap enough to answer **online**. This crate is that last
+//! mile: a TCP server (std::net only — no async runtime, no new deps)
+//! that answers batched coordinate→polygon-id probes out of a
+//! memory-mapped index snapshot, with two production-shaped properties
+//! layered on top:
+//!
+//! * **Adaptive micro-batching** — connection readers enqueue decoded
+//!   requests on a shared queue; probe workers drain it until empty (up
+//!   to a 256-lane budget) and answer each micro-batch with one
+//!   level-synchronous [`lookup_batch`](act_core::Act::lookup_batch)
+//!   walk. Light load degenerates to per-request dispatch; heavy load
+//!   widens batches automatically.
+//! * **Epoch hot-swap** — the serving snapshot lives behind an
+//!   epoch-counted [`IndexStore`]; a watcher polls the snapshot path and
+//!   swaps validated replacements in. In-flight batches finish on the
+//!   old index (their `Arc` pins the old mapping), new batches see the
+//!   new one, and responses echo the answering epoch so clients can
+//!   observe the cutover. Restarts — and now live reloads — ship
+//!   snapshots, not polygon sets.
+//!
+//! See [`protocol`] for the frame layout, [`server`] for the threading
+//! model, and the repo README's "Serving" section for the operator
+//! story (`loadgen`, atomic snapshot replacement, exact-mode contract).
+//!
+//! ```no_run
+//! use act_serve::{Client, ServeConfig, Server};
+//! use geom::Coord;
+//!
+//! let server = Server::spawn("target/zones.snap", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.probe(&[Coord::new(-73.9855, 40.7580)], false).unwrap();
+//! println!("epoch {}: {:?}", reply.epoch, reply.refs[0]);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod swap;
+
+pub use client::{Client, ClientError};
+pub use protocol::{PingReply, ProbeReply};
+pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
+pub use swap::IndexStore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Coord, Polygon, Ring};
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    fn snap_file(name: &str, polys: &[Polygon]) -> (std::path::PathBuf, act_core::ActIndex) {
+        let idx = act_core::ActIndex::build(polys, 15.0).unwrap();
+        let mut bytes = Vec::new();
+        idx.save_snapshot(&mut bytes).unwrap();
+        let mut p = std::env::temp_dir();
+        p.push(format!("act-serve-test-{}-{name}.snap", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        (p, idx)
+    }
+
+    #[test]
+    fn probe_ping_and_shutdown() {
+        let polys = vec![square(-74.05, 40.70, 0.02), square(-73.95, 40.70, 0.02)];
+        let (path, idx) = snap_file("roundtrip", &polys);
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut client = Client::connect(server.addr()).unwrap();
+        let coords: Vec<Coord> = (0..500)
+            .map(|k| Coord::new(-74.1 + 0.0004 * k as f64, 40.70))
+            .collect();
+        let reply = client.probe(&coords, false).unwrap();
+        assert_eq!(reply.epoch, 1);
+        assert_eq!(reply.refs.len(), coords.len());
+        for (c, got) in coords.iter().zip(&reply.refs) {
+            assert_eq!(*got, idx.lookup_refs(*c), "at {c}");
+        }
+
+        let ping = client.ping().unwrap();
+        assert_eq!(ping.epoch, 1);
+        assert_eq!(ping.probes_served, coords.len() as u64);
+
+        let stats = server.stats();
+        assert_eq!(stats.probes, coords.len() as u64);
+        assert_eq!(stats.requests, 2);
+        assert!(stats.batches >= 1);
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exact_mode_refines_and_needs_a_refiner() {
+        let polys = vec![square(-74.0, 40.7, 0.02)];
+        let (path, idx) = snap_file("exact", &polys);
+        // Without a refiner: EXACT is a typed server status.
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let pts = [Coord::new(-74.0, 40.7)];
+        match client.probe(&pts, true) {
+            Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_UNSUPPORTED),
+            other => panic!("expected UNSUPPORTED, got {other:?}"),
+        }
+        // The connection stays usable afterwards.
+        assert_eq!(client.probe(&pts, false).unwrap().refs.len(), 1);
+        server.shutdown();
+
+        // With a refiner: exact answers equal join_exact's memberships.
+        let refiner = act_core::Refiner::new(&polys);
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                refiner: Some(act_core::Refiner::new(&polys)),
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Points straddling the boundary: some inside, some within ε
+        // outside (candidates that exact mode must reject).
+        let coords: Vec<Coord> = (0..200)
+            .map(|k| Coord::new(-74.02 + 0.0002 * k as f64, 40.7))
+            .collect();
+        let reply = client.probe(&coords, true).unwrap();
+        for (c, got) in coords.iter().zip(&reply.refs) {
+            let want: Vec<(u32, bool)> = idx
+                .lookup_refs(*c)
+                .into_iter()
+                .filter(|&(id, interior)| interior || refiner.contains(id, *c))
+                .map(|(id, _)| (id, true))
+                .collect();
+            assert_eq!(*got, want, "at {c}");
+        }
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_frame_gets_bad_request_then_close() {
+        use std::io::{Read, Write};
+        let (path, _idx) = snap_file("badframe", &[square(-74.0, 40.7, 0.02)]);
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // A header-only body with an unknown op.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&8u32.to_le_bytes());
+        frame.extend_from_slice(&[99, 0, 0, 0, 0, 0, 0, 0]);
+        stream.write_all(&frame).unwrap();
+        let body = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+        let (h, _) = protocol::decode_response(&body).unwrap();
+        assert_eq!(h.status, protocol::STATUS_BAD_REQUEST);
+        // The server closes after a bad frame.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_connections_share_micro_batches() {
+        let polys = vec![square(-74.05, 40.70, 0.02), square(-73.95, 40.70, 0.02)];
+        let (path, idx) = snap_file("concurrent", &polys);
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                workers: 2,
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let idx = std::sync::Arc::new(idx);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let idx = std::sync::Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for round in 0..20 {
+                        let coords: Vec<Coord> = (0..37)
+                            .map(|k| {
+                                Coord::new(-74.1 + 0.0007 * (k + t * 37 + round) as f64, 40.70)
+                            })
+                            .collect();
+                        let reply = client.probe(&coords, false).unwrap();
+                        for (c, got) in coords.iter().zip(&reply.refs) {
+                            assert_eq!(*got, idx.lookup_refs(*c), "at {c}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.probes, 4 * 20 * 37);
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

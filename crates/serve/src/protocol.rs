@@ -1,0 +1,495 @@
+//! The wire protocol: small, length-prefixed, little-endian binary frames.
+//!
+//! Everything on the wire is little-endian. A **frame** is a `u32` body
+//! length followed by the body; request and response bodies carry a
+//! fixed small header and an op-specific payload:
+//!
+//! ```text
+//! request frame
+//!   u32  body_len
+//!   u8   op          1 = PROBE, 2 = PING
+//!   u8   flags       bit 0: EXACT (refine candidates via the server's
+//!                    polygon set; requires the server to hold a Refiner)
+//!   u16  reserved    must be 0
+//!   u32  n           number of points (PROBE) or 0 (PING)
+//!   then n × { f64 lng, f64 lat }                       (PROBE only)
+//!
+//! response frame
+//!   u32  body_len
+//!   u8   op          echoes the request op
+//!   u8   status      0 = OK, 1 = BAD_REQUEST, 2 = UNSUPPORTED, 3 = INTERNAL
+//!   u16  reserved    0
+//!   u32  epoch       the snapshot epoch that answered (bumps on hot-swap)
+//!   u32  n           number of per-point entries (PROBE) or 0 (PING)
+//!   PROBE: n × { u32 count, count × u32 ref }
+//!          ref = (polygon_id << 1) | hit_bit
+//!            approx mode: hit_bit = is_true_hit (candidates ride along
+//!            with bit 0 — the paper's ε-bounded approximate answer)
+//!            exact mode:  only actual members are listed, hit_bit = 1
+//!   PING:  { u64 probes_served }
+//! ```
+//!
+//! A probe frame carries at most [`MAX_POINTS`] points, which bounds
+//! every allocation a frame can force on the server; oversized or
+//! malformed frames get a `BAD_REQUEST` response and the connection is
+//! closed. `u32 n` on the response always equals the request's `n`, so a
+//! client can correlate by position; requests on one connection are
+//! answered in order.
+
+use geom::Coord;
+use std::io::{self, Read, Write};
+
+/// Probe a batch of coordinates.
+pub const OP_PROBE: u8 = 1;
+/// Liveness / epoch / counter check.
+pub const OP_PING: u8 = 2;
+
+/// Request flag bit 0: refine candidate hits to exact membership.
+pub const FLAG_EXACT: u8 = 1;
+
+/// Response status codes.
+pub const STATUS_OK: u8 = 0;
+/// The frame was structurally invalid (also closes the connection).
+pub const STATUS_BAD_REQUEST: u8 = 1;
+/// The request needs a capability the server lacks (exact mode without
+/// a refiner).
+pub const STATUS_UNSUPPORTED: u8 = 2;
+/// The server failed internally while answering.
+pub const STATUS_INTERNAL: u8 = 3;
+
+/// Hard cap on points per probe frame (bounds per-frame allocations).
+pub const MAX_POINTS: usize = 65_536;
+/// Request body header: op + flags + reserved + n.
+pub const REQ_HEADER_LEN: usize = 8;
+/// Response body header: op + status + reserved + epoch + n.
+pub const RESP_HEADER_LEN: usize = 12;
+/// Largest acceptable request body (a full probe frame).
+pub const MAX_REQ_BODY: usize = REQ_HEADER_LEN + MAX_POINTS * 16;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Probe `coords`; `exact` selects refine-to-membership mode.
+    Probe {
+        /// The query points (x = lng, y = lat degrees).
+        coords: Vec<Coord>,
+        /// Refine candidates via the server's polygon set.
+        exact: bool,
+    },
+    /// Liveness check; the response carries epoch + probes served.
+    Ping,
+}
+
+/// One point's answer: `(polygon id, hit bit)` pairs (see the module
+/// docs for the bit's meaning per mode).
+pub type PointRefs = Vec<(u32, bool)>;
+
+/// A decoded probe response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReply {
+    /// Snapshot epoch that answered (bumps on hot-swap).
+    pub epoch: u32,
+    /// Per-point reference lists, aligned with the request's coords.
+    pub refs: Vec<PointRefs>,
+}
+
+/// A decoded ping response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingReply {
+    /// Snapshot epoch currently serving.
+    pub epoch: u32,
+    /// Total probe points answered since the server started.
+    pub probes_served: u64,
+}
+
+/// Packs a polygon reference for the wire.
+#[inline]
+pub fn encode_ref(id: u32, hit: bool) -> u32 {
+    (id << 1) | hit as u32
+}
+
+/// Unpacks a wire polygon reference.
+#[inline]
+pub fn decode_ref(word: u32) -> (u32, bool) {
+    (word >> 1, word & 1 == 1)
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Renders a complete probe request frame.
+pub fn encode_probe_request(coords: &[Coord], exact: bool) -> Vec<u8> {
+    assert!(coords.len() <= MAX_POINTS, "probe frame over MAX_POINTS");
+    let body_len = REQ_HEADER_LEN + coords.len() * 16;
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(OP_PROBE);
+    out.push(if exact { FLAG_EXACT } else { 0 });
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&(coords.len() as u32).to_le_bytes());
+    for c in coords {
+        out.extend_from_slice(&c.x.to_le_bytes());
+        out.extend_from_slice(&c.y.to_le_bytes());
+    }
+    out
+}
+
+/// Renders a complete ping request frame.
+pub fn encode_ping_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + REQ_HEADER_LEN);
+    out.extend_from_slice(&(REQ_HEADER_LEN as u32).to_le_bytes());
+    out.push(OP_PING);
+    out.extend_from_slice(&[0, 0, 0]);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+/// Renders a complete response frame around an already-encoded payload.
+pub fn encode_response(op: u8, status: u8, epoch: u32, n: u32, payload: &[u8]) -> Vec<u8> {
+    let body_len = RESP_HEADER_LEN + payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(op);
+    out.push(status);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+#[inline]
+fn u32_at(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn u64_at(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn f64_at(b: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes a request body (the bytes after the `u32` length prefix).
+///
+/// # Errors
+/// A static description of the structural violation; the server answers
+/// `BAD_REQUEST` and closes the connection.
+pub fn decode_request(body: &[u8]) -> Result<Request, &'static str> {
+    if body.len() < REQ_HEADER_LEN {
+        return Err("request body shorter than its header");
+    }
+    let (op, flags) = (body[0], body[1]);
+    if body[2] != 0 || body[3] != 0 {
+        return Err("nonzero reserved bytes");
+    }
+    let n = u32_at(body, 4) as usize;
+    match op {
+        OP_PROBE => {
+            if flags & !FLAG_EXACT != 0 {
+                return Err("unknown request flags");
+            }
+            if n > MAX_POINTS {
+                return Err("probe frame exceeds MAX_POINTS");
+            }
+            if body.len() != REQ_HEADER_LEN + n * 16 {
+                return Err("probe body length disagrees with point count");
+            }
+            let mut coords = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = REQ_HEADER_LEN + i * 16;
+                let (x, y) = (f64_at(body, at), f64_at(body, at + 8));
+                if !x.is_finite() || !y.is_finite() {
+                    return Err("non-finite coordinate");
+                }
+                coords.push(Coord::new(x, y));
+            }
+            Ok(Request::Probe {
+                coords,
+                exact: flags & FLAG_EXACT != 0,
+            })
+        }
+        OP_PING => {
+            if flags != 0 {
+                return Err("ping takes no flags");
+            }
+            if n != 0 || body.len() != REQ_HEADER_LEN {
+                return Err("ping carries no payload");
+            }
+            Ok(Request::Ping)
+        }
+        _ => Err("unknown op"),
+    }
+}
+
+/// Response header fields, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespHeader {
+    /// Echoed request op.
+    pub op: u8,
+    /// Status code (`STATUS_*`).
+    pub status: u8,
+    /// Answering snapshot epoch.
+    pub epoch: u32,
+    /// Per-point entry count.
+    pub n: u32,
+}
+
+/// Decodes a response body into its header and payload slice.
+///
+/// # Errors
+/// A static description of the structural violation.
+pub fn decode_response(body: &[u8]) -> Result<(RespHeader, &[u8]), &'static str> {
+    if body.len() < RESP_HEADER_LEN {
+        return Err("response body shorter than its header");
+    }
+    if body[2] != 0 || body[3] != 0 {
+        return Err("nonzero reserved bytes");
+    }
+    Ok((
+        RespHeader {
+            op: body[0],
+            status: body[1],
+            epoch: u32_at(body, 4),
+            n: u32_at(body, 8),
+        },
+        &body[RESP_HEADER_LEN..],
+    ))
+}
+
+/// Decodes a probe response payload into per-point reference lists.
+///
+/// # Errors
+/// A static description of the structural violation.
+pub fn decode_probe_payload(n: u32, payload: &[u8]) -> Result<Vec<PointRefs>, &'static str> {
+    let mut refs = Vec::with_capacity(n as usize);
+    let mut at = 0usize;
+    for _ in 0..n {
+        if at + 4 > payload.len() {
+            return Err("probe payload truncated at a count");
+        }
+        let count = u32_at(payload, at) as usize;
+        at += 4;
+        if at + count * 4 > payload.len() {
+            return Err("probe payload truncated inside a ref list");
+        }
+        let mut one = Vec::with_capacity(count);
+        for k in 0..count {
+            one.push(decode_ref(u32_at(payload, at + k * 4)));
+        }
+        at += count * 4;
+        refs.push(one);
+    }
+    if at != payload.len() {
+        return Err("trailing bytes after the last ref list");
+    }
+    Ok(refs)
+}
+
+/// Decodes a ping response payload.
+///
+/// # Errors
+/// A static description of the structural violation.
+pub fn decode_ping_payload(payload: &[u8]) -> Result<u64, &'static str> {
+    if payload.len() != 8 {
+        return Err("ping payload is not exactly a u64");
+    }
+    Ok(u64_at(payload, 0))
+}
+
+// ---------------------------------------------------------------------
+// Blocking frame I/O (client side and tests; the server uses its own
+// shutdown-aware reader)
+// ---------------------------------------------------------------------
+
+/// Reads one length-prefixed frame body. `Ok(None)` is a clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+/// I/O errors, truncation mid-frame, and frames above `max_body`.
+pub fn read_frame(r: &mut impl Read, max_body: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match read_full(r, &mut len)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => return Err(io::ErrorKind::UnexpectedEof.into()),
+    }
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds the protocol's size cap",
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    if read_full(r, &mut body)? != body_len {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(Some(body))
+}
+
+/// Writes a fully rendered frame.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read. Retries on
+/// `Interrupted`.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => break,
+            Ok(k) => at += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_request_roundtrip() {
+        let coords = vec![Coord::new(-74.0, 40.7), Coord::new(1.5, -2.25)];
+        let frame = encode_probe_request(&coords, true);
+        let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            decode_request(&body).unwrap(),
+            Request::Probe {
+                coords,
+                exact: true
+            }
+        );
+    }
+
+    #[test]
+    fn ping_request_roundtrip() {
+        let frame = encode_ping_request();
+        let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_request(&body).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut [].as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        // Truncated header.
+        assert!(decode_request(&[1, 0, 0]).is_err());
+        // Unknown op.
+        let mut frame = encode_ping_request();
+        frame[4] = 99;
+        assert!(decode_request(&frame[4..]).is_err());
+        // Reserved bytes set.
+        let mut frame = encode_probe_request(&[Coord::new(0.0, 0.0)], false);
+        frame[6] = 1;
+        assert!(decode_request(&frame[4..]).is_err());
+        // Point count disagreeing with the body length.
+        let mut frame = encode_probe_request(&[Coord::new(0.0, 0.0)], false);
+        frame[8] = 2;
+        assert!(decode_request(&frame[4..]).is_err());
+        // Non-finite coordinate.
+        let frame = encode_probe_request(&[Coord::new(f64::NAN, 0.0)], false);
+        assert!(decode_request(&frame[4..]).is_err());
+        // Unknown flags.
+        let mut frame = encode_probe_request(&[Coord::new(0.0, 0.0)], false);
+        frame[5] = 0x80;
+        assert!(decode_request(&frame[4..]).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 64]);
+        let err = read_frame(&mut frame.as_slice(), MAX_REQ_BODY).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn response_roundtrip_with_refs() {
+        // Two points: [] and [(5, true), (9, false)].
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&encode_ref(5, true).to_le_bytes());
+        payload.extend_from_slice(&encode_ref(9, false).to_le_bytes());
+        let frame = encode_response(OP_PROBE, STATUS_OK, 7, 2, &payload);
+        let body = read_frame(&mut frame.as_slice(), usize::MAX)
+            .unwrap()
+            .unwrap();
+        let (h, p) = decode_response(&body).unwrap();
+        assert_eq!(
+            h,
+            RespHeader {
+                op: OP_PROBE,
+                status: STATUS_OK,
+                epoch: 7,
+                n: 2
+            }
+        );
+        let refs = decode_probe_payload(h.n, p).unwrap();
+        assert_eq!(refs, vec![vec![], vec![(5, true), (9, false)]]);
+    }
+
+    #[test]
+    fn truncated_probe_payload_is_an_error() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u32.to_le_bytes()); // claims 3 refs
+        payload.extend_from_slice(&encode_ref(1, true).to_le_bytes());
+        assert!(decode_probe_payload(1, &payload).is_err());
+        assert!(decode_probe_payload(2, &[0, 0, 0, 0]).is_err());
+        // Trailing garbage.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(&0u32.to_le_bytes());
+        ok.push(0xFF);
+        assert!(decode_probe_payload(1, &ok).is_err());
+    }
+
+    #[test]
+    fn ref_encoding_roundtrip() {
+        for (id, hit) in [
+            (0u32, false),
+            (0, true),
+            (12345, true),
+            ((1 << 30) - 1, false),
+        ] {
+            assert_eq!(decode_ref(encode_ref(id, hit)), (id, hit));
+        }
+    }
+
+    #[test]
+    fn ping_payload_roundtrip() {
+        let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &42u64.to_le_bytes());
+        let body = read_frame(&mut frame.as_slice(), usize::MAX)
+            .unwrap()
+            .unwrap();
+        let (h, p) = decode_response(&body).unwrap();
+        assert_eq!(h.epoch, 3);
+        assert_eq!(decode_ping_payload(p).unwrap(), 42);
+        assert!(decode_ping_payload(&[0; 7]).is_err());
+    }
+}

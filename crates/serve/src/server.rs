@@ -1,0 +1,592 @@
+//! The TCP server: accept loop → connection readers → micro-batching
+//! probe workers → epoch-pinned snapshot.
+//!
+//! ## Threading model (std::net, no async runtime)
+//!
+//! * One **accept loop** hands each connection its own reader thread.
+//! * Each **connection thread** decodes frames, converts coordinates to
+//!   leaf cells (spreading that work across connections), enqueues a
+//!   [`Job`] on the shared queue, and writes the worker's reply back.
+//!   Requests on one connection are answered in order.
+//! * A small pool of **probe workers** drains the queue in **adaptive
+//!   micro-batches**: drain-until-empty, up to [`ServeConfig::batch_lanes`]
+//!   points per batch (256 by default — one full level-synchronous
+//!   `lookup_batch` block). Under light load a worker wakes per request
+//!   and latency is one queue hop; under heavy load the queue fills and
+//!   batches widen toward the lane budget automatically — the same
+//!   load-adaptive batching story as the paper's online join, with the
+//!   batch riding the existing memory-level-parallel trie walk.
+//! * Every micro-batch pins one `(snapshot, epoch)` pair from the
+//!   [`IndexStore`]; a concurrent hot-swap affects only later batches,
+//!   so no request ever observes a torn index.
+//!
+//! Shutdown is cooperative: a flag + condvar broadcast; connection
+//! threads poll the flag between (and, via read timeouts, inside)
+//! frames. [`ServerHandle::shutdown`] (or drop) joins everything.
+
+use crate::protocol as proto;
+use crate::swap::{snapshot_signature, watch_loop, IndexStore};
+use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner, SnapshotError};
+use geom::Coord;
+use s2cell::CellId;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A failure spawning the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket/bind/thread failures.
+    Io(io::Error),
+    /// The initial snapshot could not be opened or validated.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "serve snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> ServeError {
+        ServeError::Snapshot(e)
+    }
+}
+
+/// Server tuning knobs. `Default` is a sensible local server: ephemeral
+/// loopback port, one worker per hardware thread, 256-lane batches, a
+/// 200 ms snapshot watcher, approximate mode only.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Probe worker shards (minimum 1).
+    pub workers: usize,
+    /// Micro-batch lane budget: a batch closes at this many points (or
+    /// when the queue runs dry). 256 matches one level-synchronous
+    /// `lookup_batch` block.
+    pub batch_lanes: usize,
+    /// Polygon refiner enabling the protocol's EXACT flag. Must be
+    /// built from the same polygon set as the served snapshots — the
+    /// hot-swap path ships cell tries, not geometry, so swapping to a
+    /// snapshot of *different* polygons with a stale refiner is an
+    /// operator error.
+    pub refiner: Option<Refiner>,
+    /// Snapshot-file poll interval for hot-swap; `None` disables the
+    /// watcher.
+    pub watch: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_lanes: 256,
+            refiner: None,
+            watch: Some(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// Aggregate serving counters (see [`ServerHandle::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Probe points answered.
+    pub probes: u64,
+    /// Frames handled (probes + pings).
+    pub requests: u64,
+    /// Micro-batches executed (probes / batches = achieved batch width).
+    pub batches: u64,
+    /// Current snapshot epoch (1 + successful hot-swaps).
+    pub epoch: u32,
+}
+
+/// One enqueued probe request.
+struct Job {
+    cells: Vec<CellId>,
+    coords: Vec<Coord>,
+    exact: bool,
+    reply: mpsc::SyncSender<Reply>,
+}
+
+/// A worker's answer to one [`Job`], ready to frame.
+struct Reply {
+    status: u8,
+    epoch: u32,
+    n: u32,
+    payload: Vec<u8>,
+}
+
+struct State {
+    store: IndexStore,
+    refiner: Option<Refiner>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    batch_lanes: usize,
+    probes: AtomicU64,
+    requests: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Spawns an [`act-serve`](crate) server over the snapshot at
+/// `snapshot_path` and returns a handle once it is accepting.
+pub struct Server;
+
+impl Server {
+    /// Opens (mmap-preferred) and validates the snapshot, binds
+    /// `config.addr`, and starts the worker pool, accept loop, and
+    /// (unless disabled) the hot-swap watcher.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the initial snapshot is unusable,
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn spawn(
+        snapshot_path: impl Into<PathBuf>,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let path = snapshot_path.into();
+        // Signature before open: if the file is replaced in the gap, the
+        // watcher sees a change and re-loads — never the reverse race
+        // (baselining on a file newer than the one being served).
+        let initial_sig = snapshot_signature(&path);
+        let snap = MappedSnapshot::open(&path)?;
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            store: IndexStore::new(snap),
+            refiner: config.refiner,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch_lanes: config.batch_lanes.max(1),
+            probes: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut threads = Vec::new();
+        for w in 0..config.workers.max(1) {
+            let st = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("act-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&st))
+                    .expect("spawn probe worker"),
+            );
+        }
+        {
+            let (st, cn) = (Arc::clone(&state), Arc::clone(&conns));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("act-serve-accept".to_string())
+                    .spawn(move || accept_loop(listener, st, cn))
+                    .expect("spawn accept loop"),
+            );
+        }
+        let watcher = config.watch.map(|interval| {
+            let st = Arc::clone(&state);
+            let p = path.clone();
+            std::thread::Builder::new()
+                .name("act-serve-watch".to_string())
+                .spawn(move || watch_loop(&p, interval, &st.store, &st.shutdown, initial_sig))
+                .expect("spawn snapshot watcher")
+        });
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            conns,
+            threads,
+            watcher,
+        })
+    }
+}
+
+/// A running server. Dropping it (or calling [`ServerHandle::shutdown`])
+/// stops accepting, wakes every thread, and joins them all.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    threads: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<u64>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolve the ephemeral port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving snapshot epoch (1 + successful hot-swaps).
+    pub fn epoch(&self) -> u32 {
+        self.state.store.epoch()
+    }
+
+    /// Aggregate serving counters so far.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            probes: self.state.probes.load(Ordering::Relaxed),
+            requests: self.state.requests.load(Ordering::Relaxed),
+            batches: self.state.batches.load(Ordering::Relaxed),
+            epoch: self.state.store.epoch(),
+        }
+    }
+
+    /// Stops the server and joins every thread. Equivalent to dropping
+    /// the handle, but explicit at call sites that care about ordering.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Notify while holding the queue mutex: a worker that already
+        // checked the shutdown flag but has not yet parked in wait()
+        // still holds the lock, so acquiring it here orders this
+        // notify_all after that worker reaches wait() — no lost wakeup,
+        // no join() deadlock.
+        {
+            let _guard = self.state.queue.lock().expect("probe queue");
+            self.state.ready.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+        // Accept loop is down: the connection set is final. Join it.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let st = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name("act-serve-conn".to_string())
+                    .spawn(move || conn_loop(stream, &st))
+                    .expect("spawn connection thread");
+                let mut guard = conns.lock().expect("conns lock");
+                guard.push(handle);
+                // Reap finished connections so a long-lived server's
+                // handle list doesn't grow without bound.
+                if guard.len() > 64 {
+                    guard.retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// How a shutdown-aware buffered read ended.
+enum Fill {
+    Full,
+    CleanEof,
+    Shutdown,
+}
+
+/// Fills `buf` from `stream`, retrying read timeouts (the stream runs
+/// with a short read timeout precisely so this loop can poll the
+/// shutdown flag mid-frame without losing framing).
+fn fill(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<Fill> {
+    let mut at = 0;
+    while at < buf.len() {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(Fill::Shutdown);
+        }
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                return if at == 0 {
+                    Ok(Fill::CleanEof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(k) => at += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Reads one request frame body; `Ok(None)` means the connection is done
+/// (clean EOF or server shutdown).
+fn read_request_frame(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match fill(stream, &mut len, shutdown)? {
+        Fill::Full => {}
+        Fill::CleanEof | Fill::Shutdown => return Ok(None),
+    }
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > proto::MAX_REQ_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request frame exceeds the protocol cap",
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    match fill(stream, &mut body, shutdown)? {
+        Fill::Full => Ok(Some(body)),
+        Fill::CleanEof => Err(io::ErrorKind::UnexpectedEof.into()),
+        Fill::Shutdown => Ok(None),
+    }
+}
+
+fn conn_loop(mut stream: TcpStream, state: &State) {
+    // BSD-derived unixes make accepted sockets inherit the listener's
+    // O_NONBLOCK (Linux does not); force blocking so the read timeout
+    // below actually blocks instead of busy-spinning on WouldBlock.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    // Depth 1 is enough: this thread never has more than one job in
+    // flight (requests on a connection are answered in order).
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
+    loop {
+        let body = match read_request_frame(&mut stream, &state.shutdown) {
+            Ok(Some(b)) => b,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let f = proto::encode_response(
+                    0,
+                    proto::STATUS_BAD_REQUEST,
+                    state.store.epoch(),
+                    0,
+                    &[],
+                );
+                let _ = stream.write_all(&f);
+                return;
+            }
+            Err(_) => return,
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        match proto::decode_request(&body) {
+            Err(_) => {
+                let f = proto::encode_response(
+                    body.first().copied().unwrap_or(0),
+                    proto::STATUS_BAD_REQUEST,
+                    state.store.epoch(),
+                    0,
+                    &[],
+                );
+                let _ = stream.write_all(&f);
+                return;
+            }
+            Ok(proto::Request::Ping) => {
+                let payload = state.probes.load(Ordering::Relaxed).to_le_bytes();
+                let f = proto::encode_response(
+                    proto::OP_PING,
+                    proto::STATUS_OK,
+                    state.store.epoch(),
+                    0,
+                    &payload,
+                );
+                if stream.write_all(&f).is_err() {
+                    return;
+                }
+            }
+            Ok(proto::Request::Probe { coords, exact }) => {
+                let cells: Vec<CellId> = coords.iter().map(|&c| coord_to_cell(c)).collect();
+                {
+                    let mut q = state.queue.lock().expect("probe queue");
+                    q.push_back(Job {
+                        cells,
+                        coords,
+                        exact,
+                        reply: reply_tx.clone(),
+                    });
+                }
+                state.ready.notify_one();
+                let reply = loop {
+                    match reply_rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(r) => break Some(r),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if state.shutdown.load(Ordering::Acquire) {
+                                break None;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                    }
+                };
+                let Some(reply) = reply else { return };
+                let f = proto::encode_response(
+                    proto::OP_PROBE,
+                    reply.status,
+                    reply.epoch,
+                    reply.n,
+                    &reply.payload,
+                );
+                if stream.write_all(&f).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probe workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(state: &State) {
+    loop {
+        let batch = {
+            let mut q = state.queue.lock().expect("probe queue");
+            loop {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if !q.is_empty() {
+                    break;
+                }
+                q = state.ready.wait(q).expect("probe queue wait");
+            }
+            // Adaptive micro-batch: drain until the queue is empty or
+            // the lane budget is met. A single over-budget job still
+            // runs alone (lookup_batch blocks internally).
+            let mut lanes = 0usize;
+            let mut batch = Vec::new();
+            while let Some(front) = q.front() {
+                if !batch.is_empty() && lanes + front.cells.len() > state.batch_lanes {
+                    break;
+                }
+                lanes += front.cells.len();
+                batch.push(q.pop_front().expect("front checked"));
+                if lanes >= state.batch_lanes {
+                    break;
+                }
+            }
+            batch
+        };
+        process_batch(state, batch);
+    }
+}
+
+/// Answers one micro-batch against a single pinned `(snapshot, epoch)`.
+fn process_batch(state: &State, batch: Vec<Job>) {
+    let (snap, epoch) = state.store.current();
+    let view = snap.view();
+    let total: usize = batch.iter().map(|j| j.cells.len()).sum();
+    let mut cells = Vec::with_capacity(total);
+    for job in &batch {
+        cells.extend_from_slice(&job.cells);
+    }
+    let mut probes = vec![Probe::Miss; cells.len()];
+    view.probe_batch(&cells, &mut probes);
+    state.probes.fetch_add(total as u64, Ordering::Relaxed);
+    state.batches.fetch_add(1, Ordering::Relaxed);
+
+    let mut at = 0usize;
+    for job in batch {
+        let n = job.cells.len();
+        let out = &probes[at..at + n];
+        at += n;
+        let reply = if job.exact && state.refiner.is_none() {
+            Reply {
+                status: proto::STATUS_UNSUPPORTED,
+                epoch,
+                n: 0,
+                payload: Vec::new(),
+            }
+        } else {
+            let mut payload = Vec::with_capacity(n * 8);
+            for (i, &p) in out.iter().enumerate() {
+                let count_at = payload.len();
+                payload.extend_from_slice(&0u32.to_le_bytes());
+                let mut count = 0u32;
+                if job.exact {
+                    let refiner = state.refiner.as_ref().expect("checked above");
+                    for (id, interior) in view.resolve_refs(p) {
+                        // True hits skip the point-in-polygon test — the
+                        // paper's true-hit filtering, carried onto the wire.
+                        if interior || refiner.contains(id, job.coords[i]) {
+                            payload.extend_from_slice(&proto::encode_ref(id, true).to_le_bytes());
+                            count += 1;
+                        }
+                    }
+                } else {
+                    for (id, hit) in view.resolve_refs(p) {
+                        payload.extend_from_slice(&proto::encode_ref(id, hit).to_le_bytes());
+                        count += 1;
+                    }
+                }
+                payload[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
+            }
+            Reply {
+                status: proto::STATUS_OK,
+                epoch,
+                n: n as u32,
+                payload,
+            }
+        };
+        // A send failure means the connection died while we probed;
+        // nothing to deliver to.
+        let _ = job.reply.send(reply);
+    }
+}

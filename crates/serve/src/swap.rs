@@ -1,0 +1,239 @@
+//! Epoch-counted snapshot hot-swap.
+//!
+//! The serving invariant: a probe batch runs start-to-finish against
+//! **one** snapshot. [`IndexStore::current`] hands out an
+//! `Arc<MappedSnapshot>` plus the epoch it belongs to; a concurrent
+//! [`IndexStore::swap`] publishes a new snapshot for *future* batches
+//! while in-flight ones finish on the Arc they already hold — the
+//! rolling-restart story (ship a snapshot, not a polygon set), in
+//! process. The store is a `Mutex<Arc<…>>` held only long enough to
+//! clone or replace the Arc — nanoseconds per batch, uncontended in
+//! practice — plus a monotonic epoch counter that responses echo so
+//! clients can observe a swap.
+//!
+//! [`watch_loop`] is the operator-facing half: poll a snapshot path's
+//! `(mtime, len)` signature, and when it changes and holds still for one
+//! interval, open + validate the new file and swap it in. Validation
+//! failures (half-written file, wrong version, corruption) leave the
+//! current snapshot serving and are retried only when the signature
+//! changes again — dropping a bad file on the path can never take the
+//! server down. Prefer `write to a sibling + rename` over in-place
+//! rewrites: rename is atomic on unix, and the old mapping stays valid
+//! because the old inode lives until unmapped.
+
+use act_core::MappedSnapshot;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
+
+/// The epoch-counted holder of the serving snapshot.
+#[derive(Debug)]
+pub struct IndexStore {
+    current: Mutex<Arc<MappedSnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl IndexStore {
+    /// Starts serving `snap` at epoch 1.
+    pub fn new(snap: MappedSnapshot) -> IndexStore {
+        IndexStore {
+            current: Mutex::new(Arc::new(snap)),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// The snapshot to answer the next batch with, and its epoch. The
+    /// returned Arc keeps that snapshot (and its file mapping) alive for
+    /// as long as the batch needs it, whatever swaps happen meanwhile.
+    pub fn current(&self) -> (Arc<MappedSnapshot>, u32) {
+        // Read the epoch while holding the lock so a concurrent swap
+        // can't pair the old Arc with the new epoch.
+        let guard = self.current.lock().expect("index store poisoned");
+        let epoch = self.epoch.load(Ordering::Acquire) as u32;
+        (Arc::clone(&guard), epoch)
+    }
+
+    /// Publishes `snap` for future batches; returns the new epoch.
+    /// In-flight batches finish on whatever [`IndexStore::current`] gave
+    /// them.
+    pub fn swap(&self, snap: MappedSnapshot) -> u32 {
+        let mut guard = self.current.lock().expect("index store poisoned");
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *guard = Arc::new(snap);
+        epoch as u32
+    }
+
+    /// The current epoch (1 until the first swap).
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Acquire) as u32
+    }
+}
+
+/// A file's change signature: inode + modified time + length. The inode
+/// is the load-bearing part for the documented rename-replacement flow:
+/// Linux stamps mtimes from the *coarse* clock (jiffy granularity, a few
+/// ms), so two same-shaped snapshots written back-to-back can carry
+/// identical `(mtime, len)` — but a rename always installs a different
+/// inode. mtime + len still catch in-place rewrites. No content hashing:
+/// a poll must stay cheap at hundreds of MB.
+type Signature = (u64, Option<SystemTime>, u64);
+
+#[cfg(unix)]
+fn file_id(meta: &std::fs::Metadata) -> u64 {
+    std::os::unix::fs::MetadataExt::ino(meta)
+}
+
+#[cfg(not(unix))]
+fn file_id(_meta: &std::fs::Metadata) -> u64 {
+    0 // non-unix: fall back to mtime + len only
+}
+
+/// The change signature of the snapshot file at `path` right now.
+/// Capture it **before** opening the snapshot you are about to serve and
+/// hand it to [`watch_loop`]: reading it later races a concurrent
+/// replacement (the watcher would baseline on the new file while the
+/// store still serves the old one, missing the swap forever). The
+/// capture-then-open order makes the race benign — at worst the watcher
+/// re-loads the file it is already serving.
+pub fn snapshot_signature(path: &Path) -> Option<Signature> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((file_id(&meta), meta.modified().ok(), meta.len()))
+}
+
+/// Polls `path` every `interval` until `shutdown`, swapping validated
+/// new snapshots into `store`. `initial` is the signature of the file
+/// the store is currently serving, captured by the caller **before** it
+/// opened that snapshot (see [`snapshot_signature`]). Returns the number
+/// of successful swaps.
+///
+/// A change is acted on only after the signature holds still for one
+/// full interval (an in-place writer mid-copy keeps moving the mtime);
+/// a signature whose load failed is remembered and not retried until it
+/// changes again.
+pub fn watch_loop(
+    path: &Path,
+    interval: Duration,
+    store: &IndexStore,
+    shutdown: &AtomicBool,
+    initial: Option<Signature>,
+) -> u64 {
+    let mut loaded_sig = initial;
+    let mut failed_sig: Option<Signature> = None;
+    let mut prev_poll = loaded_sig;
+    let mut swaps = 0u64;
+    while !shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        let sig = snapshot_signature(path);
+        let stable = sig == prev_poll;
+        prev_poll = sig;
+        let Some(sig) = sig else { continue }; // vanished: keep serving
+        if Some(sig) == loaded_sig || Some(sig) == failed_sig || !stable {
+            continue;
+        }
+        match MappedSnapshot::open(path) {
+            Ok(snap) => {
+                let epoch = store.swap(snap);
+                swaps += 1;
+                loaded_sig = Some(sig);
+                failed_sig = None;
+                eprintln!("act-serve: hot-swapped snapshot {path:?} (epoch {epoch})");
+            }
+            Err(e) => {
+                // Keep serving the old snapshot; retry only on change.
+                failed_sig = Some(sig);
+                eprintln!("act-serve: new snapshot at {path:?} rejected ({e}); keeping current");
+            }
+        }
+    }
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Coord, Polygon, Ring};
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - half, cy - half),
+                Coord::new(cx + half, cy - half),
+                Coord::new(cx + half, cy + half),
+                Coord::new(cx - half, cy + half),
+            ]),
+            vec![],
+        )
+    }
+
+    fn snap_file(name: &str, polys: &[Polygon]) -> std::path::PathBuf {
+        let idx = act_core::ActIndex::build(polys, 15.0).unwrap();
+        let mut bytes = Vec::new();
+        idx.save_snapshot(&mut bytes).unwrap();
+        let mut p = std::env::temp_dir();
+        p.push(format!("act-swap-test-{}-{name}.snap", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_keeps_old_arcs_alive() {
+        let a = snap_file("a", &[square(-74.0, 40.7, 0.02)]);
+        let b = snap_file("b", &[square(-73.9, 40.7, 0.02)]);
+        let store = IndexStore::new(MappedSnapshot::open(&a).unwrap());
+        let (old, e1) = store.current();
+        assert_eq!(e1, 1);
+        let inside_a = Coord::new(-74.0, 40.7);
+        assert!(!old.lookup_refs(inside_a).is_empty());
+
+        let e2 = store.swap(MappedSnapshot::open(&b).unwrap());
+        assert_eq!(e2, 2);
+        assert_eq!(store.epoch(), 2);
+        let (new, e) = store.current();
+        assert_eq!(e, 2);
+        // New snapshot answers differently; the old Arc still answers as
+        // before (in-flight batches are undisturbed).
+        assert!(new.lookup_refs(inside_a).is_empty());
+        assert!(!old.lookup_refs(inside_a).is_empty());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+
+    #[test]
+    fn watcher_swaps_on_change_and_survives_garbage() {
+        let path = snap_file("watch", &[square(-74.0, 40.7, 0.02)]);
+        let store = Arc::new(IndexStore::new(MappedSnapshot::open(&path).unwrap()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let initial = snapshot_signature(&path);
+        let handle = {
+            let (store, shutdown, path) = (store.clone(), shutdown.clone(), path.clone());
+            std::thread::spawn(move || {
+                watch_loop(&path, Duration::from_millis(10), &store, &shutdown, initial)
+            })
+        };
+
+        // Garbage dropped on the path must not take the store down.
+        // Replace via sibling + rename: truncating the live file in
+        // place would invalidate the store's active mapping (SIGBUS on
+        // the next probe) — exactly what the module docs forbid.
+        let garbage = path.with_extension("garbage");
+        std::fs::write(&garbage, b"not a snapshot at all").unwrap();
+        std::fs::rename(&garbage, &path).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(store.epoch(), 1, "garbage must not swap");
+
+        // A valid replacement snapshot is picked up.
+        let b = snap_file("watch-b", &[square(-73.9, 40.7, 0.02)]);
+        std::fs::rename(&b, &path).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.epoch() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(store.epoch(), 2, "watcher must pick up the new snapshot");
+
+        shutdown.store(true, Ordering::Release);
+        let swaps = handle.join().unwrap();
+        assert_eq!(swaps, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -22,14 +22,28 @@
 //! Point `ACT_SNAPSHOT` at a different path (or delete the default one)
 //! to force a cold build.
 //!
+//! **Online:** the same scenario also runs split across processes, the
+//! way the paper's "online join" would actually deploy — one `act-serve`
+//! process owning the memory-mapped snapshot, N clients streaming ride
+//! requests over TCP:
+//!
 //! ```text
-//! cargo run --release -p act-examples --example geofencing
+//! cargo run --release -p act-examples --example geofencing            # offline (in-process)
+//! cargo run --release -p act-examples --example geofencing -- --serve [ADDR]
+//! cargo run --release -p act-examples --example geofencing -- --client [ADDR]
 //! ```
+//!
+//! The server watches its snapshot file: drop a new one on the path
+//! (write a sibling + `mv` over it) and it hot-swaps without dropping a
+//! request — watch the epoch in the client's summary move.
 
 use act_core::{coord_to_cell, ActIndex};
 use datagen::PointGen;
 use s2cell::CellId;
 use std::time::Instant;
+
+/// Default address for `--serve` / `--client` when none is given.
+const DEFAULT_ADDR: &str = "127.0.0.1:4817";
 
 const REQUESTS: u64 = 2_000_000;
 const WORKERS: usize = 4;
@@ -67,6 +81,13 @@ fn load_or_build(path: &str, ds: &datagen::Dataset) -> ActIndex {
             Err(e) => println!("snapshot {path} unusable ({e}); rebuilding"),
         }
     }
+    build_and_save(path, ds)
+}
+
+/// The cold path shared by the offline and serving modes: build the zone
+/// index and persist it at `path` (best-effort — a failed save only
+/// costs the next start its warmth).
+fn build_and_save(path: &str, ds: &datagen::Dataset) -> ActIndex {
     println!(
         "cold start: building index over {} zones...",
         ds.polygons.len()
@@ -87,6 +108,126 @@ fn load_or_build(path: &str, ds: &datagen::Dataset) -> ActIndex {
     idx
 }
 
+/// `--serve`: own the snapshot, answer probes over TCP, hot-swap on
+/// snapshot replacement. Runs until killed.
+fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) -> ! {
+    // Ensure a current snapshot exists at the path. A cheap mmap open
+    // validates it (and its ε) without the full heap deserialization the
+    // offline warm start pays — the server only probes the mapping.
+    match act_core::MappedSnapshot::open(snap_path) {
+        Ok(snap) if snap.stats().precision_m == PRECISION_M => {}
+        Ok(snap) => {
+            println!(
+                "snapshot {snap_path} was built at ε = {} m, want {PRECISION_M} m; rebuilding",
+                snap.stats().precision_m
+            );
+            drop(snap); // unmap before the file is replaced
+            build_and_save(snap_path, ds);
+        }
+        Err(e) => {
+            println!("snapshot {snap_path} unusable ({e}); rebuilding");
+            build_and_save(snap_path, ds);
+        }
+    }
+    let server = act_serve::Server::spawn(
+        snap_path,
+        act_serve::ServeConfig {
+            addr: addr.to_string(),
+            // Zone geometry ships alongside the server in this example,
+            // so exact-mode refinement is on offer.
+            refiner: Some(act_core::Refiner::new(&ds.polygons)),
+            ..act_serve::ServeConfig::default()
+        },
+    )
+    .expect("spawn act-serve");
+    println!(
+        "act-serve: {} zones on {}, watching {snap_path} for hot-swaps (Ctrl-C to stop)",
+        ds.polygons.len(),
+        server.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = server.stats();
+        println!(
+            "epoch {}: {} probes in {} requests ({} micro-batches)",
+            s.epoch, s.probes, s.requests, s.batches
+        );
+    }
+}
+
+/// `--client`: stream the ride-request workload to a server and print
+/// the same zone-demand summary the offline mode computes in-process.
+fn client_mode(addr: &str, num_zones: usize, bbox: geom::Rect) {
+    const FRAME: usize = 2048;
+    println!("streaming {REQUESTS} requests to act-serve at {addr} over {WORKERS} connections...");
+    let start = Instant::now();
+    let per_worker = REQUESTS.div_ceil(WORKERS as u64);
+    let (demand, processed, last_epoch) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS as u64)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut client =
+                        act_serve::Client::connect(addr).expect("connect to act-serve");
+                    let gen = PointGen::nyc_taxi_like(bbox, 7);
+                    let lo = w * per_worker;
+                    let hi = ((w + 1) * per_worker).min(REQUESTS);
+                    let mut local = vec![0u64; num_zones];
+                    let mut coords = Vec::with_capacity(FRAME);
+                    let mut epoch = 0u32;
+                    let mut i = lo;
+                    while i < hi {
+                        coords.clear();
+                        coords.extend((i..hi.min(i + FRAME as u64)).map(|k| gen.point_at(k)));
+                        let reply = client.probe(&coords, false).expect("probe frame");
+                        epoch = reply.epoch;
+                        for refs in &reply.refs {
+                            for &(id, _) in refs {
+                                local[id as usize] += 1;
+                            }
+                        }
+                        i += coords.len() as u64;
+                    }
+                    (local, hi.saturating_sub(lo), epoch)
+                })
+            })
+            .collect();
+        let mut demand = vec![0u64; num_zones];
+        let mut processed = 0u64;
+        let mut epoch = 0u32;
+        for h in handles {
+            let (local, n, e) = h.join().expect("client worker panicked");
+            for (g, l) in demand.iter_mut().zip(&local) {
+                *g += l;
+            }
+            processed += n;
+            epoch = epoch.max(e);
+        }
+        (demand, processed, epoch)
+    });
+    let secs = start.elapsed().as_secs_f64();
+    print_summary(
+        &demand,
+        processed,
+        secs,
+        &format!("served (epoch {last_epoch})"),
+    );
+}
+
+fn print_summary(demand: &[u64], processed: u64, secs: f64, how: &str) {
+    let mut top: Vec<(usize, u64)> = demand.iter().copied().enumerate().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!(
+        "\nprocessed {processed} requests in {secs:.2} s  ({:.1} M req/s, {how})",
+        processed as f64 / secs / 1e6
+    );
+    println!("hottest zones (surge candidates):");
+    for (zone, count) in top.iter().take(5) {
+        println!("  zone {zone:>4}: {count} requests");
+    }
+    let total: u64 = demand.iter().sum();
+    println!("total matches: {total} (≥ requests: boundary points may match 2 zones)");
+}
+
 fn main() {
     // Zones: the neighborhood-like dataset (289 polygons).
     let ds = datagen::neighborhoods(ZONE_SEED);
@@ -99,6 +240,25 @@ fn main() {
             ds.polygons.len()
         )
     });
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            serve_mode(addr, &snap_path, &ds);
+        }
+        Some("--client") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            client_mode(addr, ds.polygons.len(), ds.bbox);
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown mode {other}; use --serve [ADDR], --client [ADDR], or no args");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+
     let index = load_or_build(&snap_path, &ds);
     println!(
         "index: {:.1} MB, ε = {} m",
@@ -153,17 +313,10 @@ fn main() {
     });
     let secs = start.elapsed().as_secs_f64();
 
-    let mut top: Vec<(usize, u64)> = demand.iter().copied().enumerate().collect();
-    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-
-    println!(
-        "\nprocessed {processed} requests in {secs:.2} s  ({:.1} M req/s with {WORKERS} share-nothing workers)",
-        processed as f64 / secs / 1e6
+    print_summary(
+        &demand,
+        processed,
+        secs,
+        &format!("{WORKERS} share-nothing in-process workers"),
     );
-    println!("hottest zones (surge candidates):");
-    for (zone, count) in top.iter().take(5) {
-        println!("  zone {zone:>4}: {count} requests");
-    }
-    let total: u64 = demand.iter().sum();
-    println!("total matches: {total} (≥ requests: boundary points may match 2 zones)");
 }

@@ -5,3 +5,5 @@
 //! ```text
 //! cargo run --release -p act-examples --example quickstart
 //! ```
+
+#![forbid(unsafe_code)]

@@ -5,3 +5,5 @@
 //! * `cross_index.rs` — ACT / sorted-array / flat-grid / R-tree agreement
 //! * `parallel_and_determinism.rs` — parallel ≡ sequential; seeded determinism
 //! * `full_scale.rs` — paper-sized runs (`--ignored`)
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,311 @@
+//! # mmapio — minimal read-only file memory mapping
+//!
+//! The build environment has no crate registry, so instead of `memmap2`
+//! this tiny shim exposes exactly what the snapshot loader needs: map a
+//! whole file read-only ([`Mmap`]), hand out its bytes, and unmap on
+//! drop. On unix targets it calls the raw `mmap`/`munmap` syscalls
+//! through `extern "C"` declarations (no libc crate); everywhere else
+//! [`Mmap::map_file`] returns [`std::io::ErrorKind::Unsupported`] and
+//! callers fall back to an owned heap read (`act_core`'s
+//! `SnapshotBuf`), so the portable path is never more than one `match`
+//! away.
+//!
+//! The crate also centralizes the workspace's *aligned slice
+//! reinterpretation* helpers ([`cast`]): checked, safe-to-call wrappers
+//! over `slice::from_raw_parts` that the snapshot code uses to view
+//! word-aligned byte buffers as `u64`/`u32` arrays. Keeping them here —
+//! next to the only other `unsafe` the serving stack needs — lets every
+//! non-vendored crate carry `#![forbid(unsafe_code)]`.
+//!
+//! ## Safety model
+//!
+//! A [`Mmap`] is a **private, read-only** mapping of a regular file:
+//! `PROT_READ` + `MAP_PRIVATE`. The kernel guarantees page (≥ 8-byte)
+//! alignment of the base address. One sharp edge is inherited from mmap
+//! itself and documented on [`Mmap::map_file`]: if another process
+//! *truncates* the file while it is mapped, touching pages past the new
+//! end raises `SIGBUS`. The snapshot workflow writes new files and
+//! renames them into place (never truncating a live one), which is also
+//! the contract the serving hot-swap watcher documents.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// Checked reinterpretation of aligned byte slices as word slices (and
+/// back). Every function validates alignment and length divisibility and
+/// panics on violation, so the `unsafe` inside is locally provable and
+/// callers stay entirely safe code.
+pub mod cast {
+    /// Views an 8-byte-aligned byte slice as `u64` words.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not 8-byte aligned or its length is not a
+    /// multiple of 8.
+    pub fn bytes_as_u64s(bytes: &[u8]) -> &[u64] {
+        assert!(
+            (bytes.as_ptr() as usize).is_multiple_of(8) && bytes.len().is_multiple_of(8),
+            "bytes_as_u64s: misaligned or ragged buffer"
+        );
+        // SAFETY: u64 has no invalid bit patterns; the pointer is 8-byte
+        // aligned and the length a whole number of words (asserted
+        // above); the returned borrow has the same lifetime as `bytes`.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, bytes.len() / 8) }
+    }
+
+    /// Views a 4-byte-aligned byte slice as `u32` words.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not 4-byte aligned or its length is not a
+    /// multiple of 4.
+    pub fn bytes_as_u32s(bytes: &[u8]) -> &[u32] {
+        assert!(
+            (bytes.as_ptr() as usize).is_multiple_of(4) && bytes.len().is_multiple_of(4),
+            "bytes_as_u32s: misaligned or ragged buffer"
+        );
+        // SAFETY: as bytes_as_u64s, with 4-byte alignment and u32
+        // elements.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+    }
+
+    /// Views a `u64` slice as raw bytes (always valid: every byte of an
+    /// initialized `u64` slice is an initialized `u8`, and u8 has
+    /// alignment 1).
+    pub fn u64s_as_bytes(words: &[u64]) -> &[u8] {
+        // SAFETY: u8 has alignment 1 and no invalid bit patterns; the
+        // length covers exactly the words' storage; lifetime inherited.
+        unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, words.len() * 8) }
+    }
+
+    /// Mutable byte view of a `u64` buffer — lets loaders stream file
+    /// bytes straight into aligned storage.
+    pub fn u64s_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+        // SAFETY: as u64s_as_bytes; any byte pattern written through the
+        // view is a valid u64 pattern.
+        unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8) }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    // Values shared by every tier-1 unix target (Linux, macOS, the BSDs).
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        /// `off_t` is declared as `isize` (pointer-width `long`), which
+        /// matches the default ABI on both 32- and 64-bit unix targets;
+        /// we only ever pass offset 0.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: isize,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, private memory mapping of an entire regular file.
+///
+/// Dereferences to `&[u8]`; the base address is page-aligned (so always
+/// 8-byte aligned, which is what the snapshot view requires). The
+/// mapping is unmapped on drop.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: std::ptr::NonNull<u8>,
+    #[cfg(not(unix))]
+    never: std::convert::Infallible,
+    len: usize,
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime —
+// no view into it is ever mutable, and unmapping requires `&mut self`
+// (drop). Sharing or sending it between threads is therefore no
+// different from sharing a `&[u8]` into leaked memory.
+unsafe impl Send for Mmap {}
+// SAFETY: as for Send — immutable shared reads only.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps all of `file` read-only.
+    ///
+    /// Fails with [`io::ErrorKind::Unsupported`] on non-unix targets and
+    /// with [`io::ErrorKind::InvalidInput`] for empty files (`mmap`
+    /// rejects zero-length mappings); callers are expected to fall back
+    /// to reading the file into an owned buffer. Other failures surface
+    /// the OS error.
+    ///
+    /// The file must not be truncated while the mapping is alive:
+    /// accessing pages past a shrunken end is a `SIGBUS` on unix.
+    /// Replace files by writing a sibling and renaming over the old
+    /// path — the old inode (and this mapping) stays intact.
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        Self::map_len(file, len)
+    }
+
+    /// Opens `path` and maps it via [`Mmap::map_file`].
+    pub fn map_path(path: impl AsRef<Path>) -> io::Result<Mmap> {
+        Self::map_file(&File::open(path)?)
+    }
+
+    #[cfg(unix)]
+    fn map_len(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        // SAFETY: a fresh PROT_READ + MAP_PRIVATE mapping of `len` bytes
+        // at a kernel-chosen address. The fd stays valid for the duration
+        // of the call (we hold `&File`), and the mapping's validity does
+        // not depend on the fd afterwards. MAP_FAILED (-1) is checked
+        // before the pointer is used.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        let ptr = std::ptr::NonNull::new(ptr as *mut u8)
+            .ok_or_else(|| io::Error::other("mmap returned a null mapping"))?;
+        Ok(Mmap { ptr, len })
+    }
+
+    #[cfg(not(unix))]
+    fn map_len(_file: &File, _len: usize) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap is only wired up on unix targets; read the file instead",
+        ))
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            // SAFETY: `ptr` is the base of a live mapping exactly `len`
+            // bytes long (established in map_len, immutable until drop),
+            // and the mapping is readable (PROT_READ).
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+        #[cfg(not(unix))]
+        match self.never {}
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        {
+            // SAFETY: `ptr`/`len` describe a mapping we own and have not
+            // yet unmapped; after this call nothing can touch it (drop
+            // takes the only remaining handle by &mut).
+            let rc = unsafe { sys::munmap(self.ptr.as_ptr() as *mut std::ffi::c_void, self.len) };
+            debug_assert_eq!(rc, 0, "munmap failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mmapio-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn maps_whole_file_and_matches_read() {
+        let path = temp_path("whole");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mmap::map_path(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(&*map, payload.as_slice());
+        assert!(
+            (map.as_bytes().as_ptr() as usize).is_multiple_of(8),
+            "mmap base must be at least 8-byte aligned"
+        );
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn empty_file_is_a_clean_error() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let err = Mmap::map_path(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::map_path(temp_path("nonexistent")).is_err());
+    }
+
+    #[test]
+    fn casts_roundtrip() {
+        let mut words = vec![0u64, u64::MAX, 0x0102_0304_0506_0708];
+        let bytes = cast::u64s_as_bytes(&words);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(cast::bytes_as_u64s(bytes), words.as_slice());
+        assert_eq!(cast::bytes_as_u32s(bytes).len(), 6);
+        cast::u64s_as_bytes_mut(&mut words)[0] = 7;
+        assert_eq!(words[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned or ragged")]
+    fn ragged_cast_panics() {
+        let words = [0u64; 2];
+        let bytes = cast::u64s_as_bytes(&words);
+        let _ = cast::bytes_as_u64s(&bytes[..12]);
+    }
+}
