@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin loadgen -- \
-//!     [--datasets census] [--points N] [--seed S] [--threads C] [--batch B] [--snapshot DIR]
+//!     [--datasets census] [--points N] [--seed S] [--threads C] [--batch B] \
+//!     [--snapshot DIR] [--overload]
 //! ```
 //!
 //! The server is spawned **in-process** on an ephemeral loopback port —
@@ -21,16 +22,57 @@
 //! locally. On a single-core container the server and clients share one
 //! hardware thread, so recorded numbers are a *floor* — see the
 //! machine stamp.
+//!
+//! Every response read carries a deadline: a wedged server surfaces as a
+//! typed `"failed": true` row in `BENCH_serve.json` (and a non-zero
+//! exit), never as a hung benchmark.
+//!
+//! `--overload` adds a second phase against a **fresh, deliberately
+//! small** server: queue depth D lanes, one worker whose per-batch delay
+//! pins capacity to a known constant, and pipelining clients driving ≥4×
+//! that capacity. The phase asserts the admission-control contract —
+//! every frame answered (`OK` or `LOADSHED`, nothing dropped), queue
+//! high-water ≤ D, `accepted = answered + shed` — verifies the `OK`
+//! answers against an offline probe of exactly those frames, and records
+//! shed rate + goodput-under-overload rows.
 
 use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner};
-use act_serve::{Client, ServeConfig, Server};
+use act_serve::{protocol as proto, Client, ServeConfig, Server};
 use bench::json::{array, machine_stamp, pretty, Obj};
 use bench::{make_points, paper_datasets, snapshot_path, Opts};
 use geom::Coord;
-use std::time::Instant;
+use std::io::Write;
+use std::time::{Duration, Instant};
 
 /// Points per exact-mode verification sample.
 const EXACT_SAMPLE: usize = 2_000;
+/// Response-read deadline: far above any healthy frame latency, far
+/// below "the bench hung overnight".
+const READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Overload phase shape: queue depth D (lanes), frame size, pipelined
+/// frames per connection, connections, and the per-batch delay that pins
+/// worker capacity to `OVERLOAD_BATCH_LANES / OVERLOAD_BATCH_DELAY`.
+const OVERLOAD_DEPTH_LANES: usize = 1_024;
+const OVERLOAD_FRAME: usize = 256;
+// The *server-side* per-connection in-flight cap for the phase. The
+// client pipelines without a window of its own (decoupled writer +
+// always-draining reader, see `overload_conn`), so this cap — and TCP
+// backpressure behind it — is what bounds the server's buffering.
+const OVERLOAD_WINDOW: usize = 32;
+const OVERLOAD_CONNS: usize = 4;
+const OVERLOAD_BATCH_LANES: usize = 256;
+const OVERLOAD_BATCH_DELAY: Duration = Duration::from_millis(2);
+/// Cap on overload-phase points (the phase measures shedding, not
+/// scale; ~1 600 frames is plenty).
+const OVERLOAD_MAX_POINTS: usize = 409_600;
+
+/// One connection's measured-run outcome: per-zone counts + frame
+/// latencies (µs), or the typed failure that ends the run.
+type ConnResult = Result<(Vec<u64>, Vec<f64>), String>;
+/// One overload connection's outcome: per-frame OK mask (false =
+/// LOADSHED) + zone counts over the OK frames.
+type OverloadResult = Result<(Vec<bool>, Vec<u64>), String>;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -50,192 +92,47 @@ fn main() {
     };
     let connections = opts.threads_or(&[1]);
     let connections = connections.first().copied().unwrap_or(1).max(1);
-    let frame = opts.batch.clamp(1, act_serve::protocol::MAX_POINTS);
+    let frame = opts.batch.clamp(1, proto::MAX_POINTS);
     let dir = opts
         .snapshot
         .clone()
         .unwrap_or_else(|| "target/serve-bench".to_string());
     std::fs::create_dir_all(&dir).expect("create snapshot dir");
     println!(
-        "LOADGEN: {} points, {connections} connection(s), {frame} points/frame, datasets {selected:?}",
-        opts.points
+        "LOADGEN: {} points, {connections} connection(s), {frame} points/frame, datasets {selected:?}{}",
+        opts.points,
+        if opts.overload { ", overload phase on" } else { "" }
     );
 
     let mut entries = Vec::new();
+    let mut failed = false;
     for ds in paper_datasets(opts.seed) {
         if !selected.iter().any(|d| d == &ds.name) {
             continue;
         }
-        let precision = 15.0;
-        println!(
-            "\n=== {} ({} polygons, {precision} m) ===",
-            ds.name,
-            ds.polygons.len()
-        );
-
-        // Snapshot cache: build + save on first run, reuse afterwards
-        // (restarts ship snapshots, not polygon sets).
-        let path = snapshot_path(&dir, &ds.name, precision);
-        if !path.exists() {
-            let t = Instant::now();
-            let built = act_core::ActIndex::build(&ds.polygons, precision).expect("build index");
-            println!(
-                "built index in {:.2} s (no cached snapshot)",
-                t.elapsed().as_secs_f64()
-            );
-            let mut f = std::fs::File::create(&path).expect("create snapshot");
-            built.save_snapshot(&mut f).expect("save snapshot");
-        }
-
-        // The workload, striped across connections.
-        let points = make_points(&ds, opts.points, opts.seed);
-        let num_zones = ds.polygons.len();
-
-        // Offline truth from the same snapshot the server maps.
-        let snap = MappedSnapshot::open(&path).expect("map snapshot");
-        let mut expected = vec![0u64; num_zones];
-        {
-            let view = snap.view();
-            let cells: Vec<_> = points.iter().map(|&c| coord_to_cell(c)).collect();
-            let mut probes = vec![Probe::Miss; cells.len()];
-            view.probe_batch(&cells, &mut probes);
-            for &p in &probes {
-                for (id, _) in view.resolve_refs(p) {
-                    expected[id as usize] += 1;
-                }
+        match run_dataset(&ds, &dir, connections, frame, &opts) {
+            Ok(mut rows) => entries.append(&mut rows),
+            Err(e) => {
+                // The typed failure row: the bench records *that* and
+                // *why* it failed instead of hanging or dying silently.
+                eprintln!("LOADGEN FAILURE on {}: {e}", ds.name);
+                failed = true;
+                entries.push(
+                    Obj::new()
+                        .str("dataset", &ds.name)
+                        .bool("failed", true)
+                        .str("error", &e)
+                        .build(),
+                );
             }
         }
-
-        let server = Server::spawn(
-            &path,
-            ServeConfig {
-                refiner: Some(Refiner::new(&ds.polygons)),
-                watch: None,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("spawn act-serve");
-        let addr = server.addr();
-
-        // Warmup: touch the mapped pages through the server.
-        {
-            let mut c = Client::connect(addr).expect("connect");
-            for chunk in points.chunks(frame).take(64) {
-                c.probe(chunk, false).expect("warmup probe");
-            }
-        }
-        let warm_probes = server.stats().probes;
-
-        // Measured run: each connection owns a contiguous stripe.
-        let t0 = Instant::now();
-        let stripe = points.len().div_ceil(connections);
-        let results: Vec<(Vec<u64>, Vec<f64>)> = std::thread::scope(|scope| {
-            let point_stripes: Vec<&[Coord]> = points.chunks(stripe.max(1)).collect();
-            let handles: Vec<_> = point_stripes
-                .into_iter()
-                .map(|mine| {
-                    scope.spawn(move || {
-                        let mut client = Client::connect(addr).expect("connect");
-                        let mut counts = vec![0u64; num_zones];
-                        let mut lat_us = Vec::with_capacity(mine.len() / frame + 1);
-                        for chunk in mine.chunks(frame) {
-                            let t = Instant::now();
-                            let reply = client.probe(chunk, false).expect("probe frame");
-                            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
-                            for refs in &reply.refs {
-                                for &(id, _) in refs {
-                                    counts[id as usize] += 1;
-                                }
-                            }
-                        }
-                        (counts, lat_us)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client thread"))
-                .collect()
-        });
-        let secs = t0.elapsed().as_secs_f64();
-
-        // Verify: aggregated server answers ≡ offline probe.
-        let mut counts = vec![0u64; num_zones];
-        let mut latencies = Vec::new();
-        for (c, l) in results {
-            for (acc, v) in counts.iter_mut().zip(c) {
-                *acc += v;
-            }
-            latencies.extend(l);
-        }
-        assert_eq!(counts, expected, "served counts diverged — not recording");
-
-        // Exact-mode spot check against local refinement.
-        let exact_n = points.len().min(EXACT_SAMPLE);
-        {
-            let refiner = Refiner::new(&ds.polygons);
-            let view = snap.view();
-            let mut c = Client::connect(addr).expect("connect");
-            let sample = &points[..exact_n];
-            let reply = c.probe(sample, true).expect("exact probe");
-            for (pt, got) in sample.iter().zip(&reply.refs) {
-                let want: Vec<(u32, bool)> = view
-                    .resolve_refs(view.probe_coord(*pt))
-                    .filter(|&(id, interior)| interior || refiner.contains(id, *pt))
-                    .map(|(id, _)| (id, true))
-                    .collect();
-                assert_eq!(*got, want, "exact mode diverged at {pt} — not recording");
-            }
-        }
-
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let stats = server.stats();
-        let measured_probes = stats.probes - warm_probes - exact_n as u64;
-        assert_eq!(measured_probes, points.len() as u64);
-        let throughput = points.len() as f64 / secs;
-        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
-        let batch_width = stats.probes as f64 / stats.batches.max(1) as f64;
-        println!(
-            "served {} probes in {secs:.2} s  ({:.2} M probes/s, {connections} conn, {frame}/frame)",
-            points.len(),
-            throughput / 1e6
-        );
-        println!(
-            "latency/frame: p50 {p50:.0} us, p99 {p99:.0} us, max {:.0} us; mean micro-batch width {batch_width:.1}",
-            latencies.last().copied().unwrap_or(f64::NAN)
-        );
-
-        entries.push(
-            Obj::new()
-                .str("dataset", &ds.name)
-                .int("polygons", num_zones as u64)
-                .num("precision_m", precision)
-                .int("points", points.len() as u64)
-                .int("connections", connections as u64)
-                .int("points_per_frame", frame as u64)
-                .num("secs", secs)
-                .num("probes_per_sec", throughput)
-                .num("frame_latency_p50_us", p50)
-                .num("frame_latency_p99_us", p99)
-                .num(
-                    "frame_latency_max_us",
-                    latencies.last().copied().unwrap_or(f64::NAN),
-                )
-                .int("server_batches", stats.batches)
-                .num("mean_batch_width", batch_width)
-                .int("epoch", stats.epoch as u64)
-                .bool("counts_verified", true)
-                .bool("exact_mode_verified", true)
-                .build(),
-        );
-        server.shutdown();
     }
 
     let doc = Obj::new()
         .str("bench", "serve")
         .str(
             "command",
-            "cargo run --release -p bench --bin loadgen -- --batch 1024",
+            "cargo run --release -p bench --bin loadgen -- --batch 1024 --overload",
         )
         .raw("machine", machine_stamp())
         .int("seed", opts.seed)
@@ -247,4 +144,445 @@ fn main() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     std::fs::write(root.join("BENCH_serve.json"), pretty(&doc)).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json to {}", root.display());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The full per-dataset pipeline: snapshot, offline truth, the measured
+/// throughput run, verification, and (optionally) the overload phase.
+/// Client-side I/O failures come back as `Err` rows, not hangs.
+fn run_dataset(
+    ds: &datagen::Dataset,
+    dir: &str,
+    connections: usize,
+    frame: usize,
+    opts: &Opts,
+) -> Result<Vec<String>, String> {
+    let precision = 15.0;
+    println!(
+        "\n=== {} ({} polygons, {precision} m) ===",
+        ds.name,
+        ds.polygons.len()
+    );
+
+    // Snapshot cache: build + save on first run, reuse afterwards
+    // (restarts ship snapshots, not polygon sets).
+    let path = snapshot_path(dir, &ds.name, precision);
+    if !path.exists() {
+        let t = Instant::now();
+        let built = act_core::ActIndex::build(&ds.polygons, precision).expect("build index");
+        println!(
+            "built index in {:.2} s (no cached snapshot)",
+            t.elapsed().as_secs_f64()
+        );
+        let mut f = std::fs::File::create(&path).expect("create snapshot");
+        built.save_snapshot(&mut f).expect("save snapshot");
+    }
+
+    // The workload, striped across connections.
+    let points = make_points(ds, opts.points, opts.seed);
+    let num_zones = ds.polygons.len();
+
+    // Offline truth from the same snapshot the server maps.
+    let snap = MappedSnapshot::open(&path).expect("map snapshot");
+    let mut expected = vec![0u64; num_zones];
+    {
+        let view = snap.view();
+        let cells: Vec<_> = points.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut probes = vec![Probe::Miss; cells.len()];
+        view.probe_batch(&cells, &mut probes);
+        for &p in &probes {
+            for (id, _) in view.resolve_refs(p) {
+                expected[id as usize] += 1;
+            }
+        }
+    }
+
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            refiner: Some(Refiner::new(&ds.polygons)),
+            watch: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn act-serve");
+    let addr = server.addr();
+    let connect = |what: &str| -> Result<Client, String> {
+        let mut c = Client::connect(addr).map_err(|e| format!("{what}: connect: {e}"))?;
+        c.set_read_timeout(Some(READ_DEADLINE))
+            .map_err(|e| format!("{what}: set deadline: {e}"))?;
+        Ok(c)
+    };
+
+    // Warmup: touch the mapped pages through the server.
+    {
+        let mut c = connect("warmup")?;
+        for chunk in points.chunks(frame).take(64) {
+            c.probe(chunk, false)
+                .map_err(|e| format!("warmup probe: {e}"))?;
+        }
+    }
+    let warm_probes = server.stats().probes;
+
+    // Measured run: each connection owns a contiguous stripe.
+    let t0 = Instant::now();
+    let stripe = points.len().div_ceil(connections);
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let point_stripes: Vec<&[Coord]> = points.chunks(stripe.max(1)).collect();
+        let handles: Vec<_> = point_stripes
+            .into_iter()
+            .map(|mine| {
+                scope.spawn(move || {
+                    let mut client = connect("measured run")?;
+                    let mut counts = vec![0u64; num_zones];
+                    let mut lat_us = Vec::with_capacity(mine.len() / frame + 1);
+                    for chunk in mine.chunks(frame) {
+                        let t = Instant::now();
+                        let reply = client
+                            .probe(chunk, false)
+                            .map_err(|e| format!("probe frame: {e}"))?;
+                        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        for refs in &reply.refs {
+                            for &(id, _) in refs {
+                                counts[id as usize] += 1;
+                            }
+                        }
+                    }
+                    Ok((counts, lat_us))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Verify: aggregated server answers ≡ offline probe.
+    let mut counts = vec![0u64; num_zones];
+    let mut latencies = Vec::new();
+    for r in results {
+        let (c, l) = r?;
+        for (acc, v) in counts.iter_mut().zip(c) {
+            *acc += v;
+        }
+        latencies.extend(l);
+    }
+    assert_eq!(counts, expected, "served counts diverged — not recording");
+
+    // Exact-mode spot check against local refinement.
+    let exact_n = points.len().min(EXACT_SAMPLE);
+    {
+        let refiner = Refiner::new(&ds.polygons);
+        let view = snap.view();
+        let mut c = connect("exact check")?;
+        let sample = &points[..exact_n];
+        let reply = c
+            .probe(sample, true)
+            .map_err(|e| format!("exact probe: {e}"))?;
+        for (pt, got) in sample.iter().zip(&reply.refs) {
+            let want: Vec<(u32, bool)> = view
+                .resolve_refs(view.probe_coord(*pt))
+                .filter(|&(id, interior)| interior || refiner.contains(id, *pt))
+                .map(|(id, _)| (id, true))
+                .collect();
+            assert_eq!(*got, want, "exact mode diverged at {pt} — not recording");
+        }
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let stats = server.stats();
+    let measured_probes = stats.probes - warm_probes - exact_n as u64;
+    assert_eq!(measured_probes, points.len() as u64);
+    assert_eq!(
+        stats.shed, 0,
+        "the throughput phase must never shed (default depth)"
+    );
+    assert_eq!(stats.accepted, stats.answered + stats.shed);
+    let throughput = points.len() as f64 / secs;
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    let batch_width = stats.probes as f64 / stats.batches.max(1) as f64;
+    println!(
+        "served {} probes in {secs:.2} s  ({:.2} M probes/s, {connections} conn, {frame}/frame)",
+        points.len(),
+        throughput / 1e6
+    );
+    println!(
+        "latency/frame: p50 {p50:.0} us, p99 {p99:.0} us, max {:.0} us; mean micro-batch width {batch_width:.1}",
+        latencies.last().copied().unwrap_or(f64::NAN)
+    );
+
+    let mut rows = vec![Obj::new()
+        .str("dataset", &ds.name)
+        .int("polygons", num_zones as u64)
+        .num("precision_m", precision)
+        .int("points", points.len() as u64)
+        .int("connections", connections as u64)
+        .int("points_per_frame", frame as u64)
+        .num("secs", secs)
+        .num("probes_per_sec", throughput)
+        .num("frame_latency_p50_us", p50)
+        .num("frame_latency_p99_us", p99)
+        .num(
+            "frame_latency_max_us",
+            latencies.last().copied().unwrap_or(f64::NAN),
+        )
+        .int("server_batches", stats.batches)
+        .num("mean_batch_width", batch_width)
+        .int("epoch", stats.epoch as u64)
+        .bool("counts_verified", true)
+        .bool("exact_mode_verified", true)
+        .build()];
+    server.shutdown();
+
+    if opts.overload {
+        rows.push(run_overload(ds, &path, &snap, &points)?);
+    }
+    Ok(rows)
+}
+
+/// The overload phase: a fresh small-queue server, pipelining clients
+/// past capacity, shed-rate + goodput rows. See the bin docs for the
+/// asserted contract.
+fn run_overload(
+    ds: &datagen::Dataset,
+    path: &std::path::Path,
+    snap: &MappedSnapshot,
+    points: &[Coord],
+) -> Result<String, String> {
+    let n_points = points.len().min(OVERLOAD_MAX_POINTS);
+    let points = &points[..n_points];
+    let frames: Vec<&[Coord]> = points.chunks(OVERLOAD_FRAME).collect();
+    let capacity_lanes_per_sec = OVERLOAD_BATCH_LANES as f64 / OVERLOAD_BATCH_DELAY.as_secs_f64();
+    println!(
+        "overload: {} frames × {OVERLOAD_FRAME} pts over {OVERLOAD_CONNS} pipelining conns \
+         (server in-flight cap {OVERLOAD_WINDOW}), depth {OVERLOAD_DEPTH_LANES} lanes, capacity {:.0} lanes/s",
+        frames.len(),
+        capacity_lanes_per_sec
+    );
+
+    let server = Server::spawn(
+        path,
+        ServeConfig {
+            workers: 1,
+            batch_lanes: OVERLOAD_BATCH_LANES,
+            queue_depth_lanes: OVERLOAD_DEPTH_LANES,
+            max_inflight_frames: OVERLOAD_WINDOW,
+            batch_delay: Some(OVERLOAD_BATCH_DELAY),
+            watch: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn overload act-serve");
+    let addr = server.addr();
+
+    // Pipelined drive: each connection owns a stripe of frames, keeps a
+    // window of OVERLOAD_WINDOW requests on the wire, and records which
+    // frames were answered OK vs LOADSHED (in order — the protocol
+    // answers a connection's frames in request order).
+    let t0 = Instant::now();
+    let stripe = frames.len().div_ceil(OVERLOAD_CONNS).max(1);
+    let per_conn: Vec<OverloadResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = frames
+            .chunks(stripe)
+            .map(|mine| scope.spawn(move || overload_conn(addr, mine, ds.polygons.len())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overload client thread"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut ok_mask: Vec<bool> = Vec::with_capacity(frames.len());
+    let mut got_counts = vec![0u64; ds.polygons.len()];
+    for r in per_conn {
+        let (mask, counts) = r?;
+        ok_mask.extend(mask);
+        for (acc, v) in got_counts.iter_mut().zip(counts) {
+            *acc += v;
+        }
+    }
+    assert_eq!(
+        ok_mask.len(),
+        frames.len(),
+        "every frame must be answered, OK or LOADSHED"
+    );
+
+    // Verify the OK answers against an offline probe of exactly those
+    // frames — shedding must never corrupt what *is* answered.
+    let mut want_counts = vec![0u64; ds.polygons.len()];
+    {
+        let view = snap.view();
+        let ok_cells: Vec<_> = ok_mask
+            .iter()
+            .zip(&frames)
+            .filter(|(ok, _)| **ok)
+            .flat_map(|(_, f)| f.iter().map(|&c| coord_to_cell(c)))
+            .collect();
+        let mut probes = vec![Probe::Miss; ok_cells.len()];
+        view.probe_batch(&ok_cells, &mut probes);
+        for &p in &probes {
+            for (id, _) in view.resolve_refs(p) {
+                want_counts[id as usize] += 1;
+            }
+        }
+    }
+    assert_eq!(
+        got_counts, want_counts,
+        "OK answers under overload diverged from offline probe — not recording"
+    );
+
+    let ok_frames = ok_mask.iter().filter(|&&b| b).count();
+    let shed_frames = frames.len() - ok_frames;
+    let stats = server.stats();
+    server.shutdown();
+
+    // The admission-control contract, asserted before recording.
+    assert_eq!(
+        stats.accepted,
+        frames.len() as u64,
+        "one admission per frame"
+    );
+    assert_eq!(
+        stats.shed, shed_frames as u64,
+        "server and client agree on sheds"
+    );
+    assert_eq!(
+        stats.accepted,
+        stats.answered + stats.shed,
+        "counters reconcile"
+    );
+    assert!(
+        stats.queue_high_water_lanes <= OVERLOAD_DEPTH_LANES as u64,
+        "queue high-water {} exceeded depth {OVERLOAD_DEPTH_LANES}",
+        stats.queue_high_water_lanes
+    );
+    assert!(shed_frames > 0, "overload phase must actually shed");
+
+    let ok_points: usize = ok_mask
+        .iter()
+        .zip(&frames)
+        .filter(|(ok, _)| **ok)
+        .map(|(_, f)| f.len())
+        .sum();
+    let offered_per_sec = points.len() as f64 / secs;
+    let goodput_per_sec = ok_points as f64 / secs;
+    let shed_rate = shed_frames as f64 / frames.len() as f64;
+    let offered_x_capacity = offered_per_sec / capacity_lanes_per_sec;
+    assert!(
+        offered_x_capacity >= 4.0,
+        "overload must drive ≥4× capacity (got {offered_x_capacity:.1}×) — raise the window/conns"
+    );
+    println!(
+        "overload: offered {:.0} pts/s ({offered_x_capacity:.1}× capacity), goodput {:.0} pts/s, \
+         shed rate {:.1}% ({shed_frames}/{} frames), queue high-water {} ≤ {OVERLOAD_DEPTH_LANES} lanes",
+        offered_per_sec,
+        goodput_per_sec,
+        shed_rate * 100.0,
+        frames.len(),
+        stats.queue_high_water_lanes
+    );
+
+    Ok(Obj::new()
+        .str("dataset", &ds.name)
+        .str("mode", "overload")
+        .int("points", points.len() as u64)
+        .int("frames", frames.len() as u64)
+        .int("points_per_frame", OVERLOAD_FRAME as u64)
+        .int("connections", OVERLOAD_CONNS as u64)
+        .int("server_inflight_cap", OVERLOAD_WINDOW as u64)
+        .int("queue_depth_lanes", OVERLOAD_DEPTH_LANES as u64)
+        .num("batch_delay_ms", OVERLOAD_BATCH_DELAY.as_secs_f64() * 1e3)
+        .num("capacity_lanes_per_sec", capacity_lanes_per_sec)
+        .num("secs", secs)
+        .num("offered_points_per_sec", offered_per_sec)
+        .num("offered_x_capacity", offered_x_capacity)
+        .num("goodput_points_per_sec", goodput_per_sec)
+        .int("ok_frames", ok_frames as u64)
+        .int("shed_frames", shed_frames as u64)
+        .num("shed_rate", shed_rate)
+        .int("queue_high_water_lanes", stats.queue_high_water_lanes)
+        .bool("all_frames_answered", true)
+        .bool("ok_counts_verified", true)
+        .build())
+}
+
+/// Drives one overload connection over its stripe of frames with the
+/// write and read sides fully decoupled: a scoped writer thread blasts
+/// every frame while this thread drains replies as fast as they arrive.
+/// The decoupling matters — a single-threaded sliding window blocks on
+/// each *admitted* frame's service latency at the window front, which
+/// self-throttles the offered load back down to roughly capacity (a
+/// stable equilibrium that defeats the whole point of the phase). The
+/// server's `max_inflight_frames` plus the always-draining reader keep
+/// both sides deadlock-free.
+fn overload_conn(
+    addr: std::net::SocketAddr,
+    mine: &[&[Coord]],
+    num_zones: usize,
+) -> OverloadResult {
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("overload connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(READ_DEADLINE))
+        .map_err(|e| e.to_string())?;
+    let mut wstream = stream.try_clone().map_err(|e| e.to_string())?;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> Result<(), String> {
+            for chunk in mine {
+                wstream
+                    .write_all(&proto::encode_probe_request(chunk, false))
+                    .map_err(|e| format!("overload write: {e}"))?;
+            }
+            Ok(())
+        });
+
+        let mut stream = stream;
+        let mut ok_mask = Vec::with_capacity(mine.len());
+        let mut counts = vec![0u64; num_zones];
+        // Replies arrive in request order; the k-th reply is frame k's.
+        for chunk in mine {
+            let body = proto::read_frame(&mut stream, 1 << 26)
+                .map_err(|e| format!("overload read (deadline {READ_DEADLINE:?}): {e}"))?
+                .ok_or("overload: server closed mid-conversation")?;
+            let (h, payload) = proto::decode_response(&body).map_err(|e| e.to_string())?;
+            if h.op != proto::OP_PROBE {
+                return Err(format!("overload: unexpected op {}", h.op));
+            }
+            match h.status {
+                proto::STATUS_OK => {
+                    if h.n as usize != chunk.len() {
+                        return Err("overload: OK reply with wrong point count".into());
+                    }
+                    let refs =
+                        proto::decode_probe_payload(h.n, payload).map_err(|e| e.to_string())?;
+                    for one in refs {
+                        for (id, _) in one {
+                            counts[id as usize] += 1;
+                        }
+                    }
+                    ok_mask.push(true);
+                }
+                proto::STATUS_LOADSHED => {
+                    if h.n != 0 || !payload.is_empty() {
+                        return Err("overload: LOADSHED reply carries entries".into());
+                    }
+                    ok_mask.push(false);
+                }
+                s => {
+                    return Err(format!(
+                        "overload: frame answered {} — only OK or LOADSHED is legal",
+                        proto::status_name(s)
+                    ))
+                }
+            }
+        }
+        writer.join().expect("overload writer thread")?;
+        Ok((ok_mask, counts))
+    })
 }

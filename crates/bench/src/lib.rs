@@ -52,6 +52,9 @@ pub struct Opts {
     pub snapshot: Option<String>,
     /// Also measure memory-mapped snapshot loads (`snapshot` bin).
     pub mmap: bool,
+    /// Also run the overload phase (`loadgen` bin): drive a
+    /// small-queue server past capacity and record shed rate + goodput.
+    pub overload: bool,
 }
 
 impl Default for Opts {
@@ -65,6 +68,7 @@ impl Default for Opts {
             batch: act_core::DEFAULT_PROBE_BATCH,
             snapshot: None,
             mmap: false,
+            overload: false,
         }
     }
 }
@@ -82,6 +86,9 @@ usage: <bin> [options]
                     load-and-verify them on later runs
   --mmap            also measure memory-mapped snapshot loads
                     (snapshot bin; adds the mmap rows to BENCH_snapshot.json)
+  --overload        also run the overload phase (loadgen bin): drive a
+                    small-queue server past capacity and record shed rate
+                    + goodput rows into BENCH_serve.json
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -158,6 +165,7 @@ impl Opts {
                     o.snapshot = Some(dir.to_string());
                 }
                 "--mmap" => o.mmap = true,
+                "--overload" => o.overload = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -379,6 +387,7 @@ mod tests {
             "--snapshot",
             "target/snaps",
             "--mmap",
+            "--overload",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -389,6 +398,7 @@ mod tests {
         assert_eq!(o.batch, 128);
         assert_eq!(o.snapshot.as_deref(), Some("target/snaps"));
         assert!(o.mmap);
+        assert!(o.overload);
     }
 
     #[test]

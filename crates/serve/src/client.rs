@@ -30,7 +30,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "client I/O error: {e}"),
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
-            ClientError::Server(s) => write!(f, "server status {s}"),
+            ClientError::Server(s) => write!(f, "server status {s} ({})", proto::status_name(*s)),
         }
     }
 }
@@ -67,6 +67,19 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Bounds every response read: a wedged or drained-away server
+    /// surfaces as [`ClientError::Io`] (`WouldBlock`/`TimedOut`) instead
+    /// of hanging the caller forever. `None` restores blocking reads.
+    ///
+    /// After a timeout fires mid-frame the stream may hold a partial
+    /// response, so treat the connection as dead and reconnect.
+    ///
+    /// # Errors
+    /// Propagates `setsockopt` failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     /// Probes a batch of points (at most [`proto::MAX_POINTS`]).
     /// `exact = false` returns the paper's approximate answer — true
     /// hits flagged, ε-bounded candidates riding along; `exact = true`
@@ -87,11 +100,14 @@ impl Client {
         self.stream
             .write_all(&proto::encode_probe_request(coords, exact))?;
         let (h, payload) = self.read_response()?;
-        if h.op != proto::OP_PROBE {
-            return Err(ClientError::Protocol("response op does not echo PROBE"));
-        }
+        // Status before the op echo: a BUSY reject arrives with op 0 (it
+        // answers the connection, not any frame) and must surface as the
+        // typed server status, not as a protocol violation.
         if h.status != proto::STATUS_OK {
             return Err(ClientError::Server(h.status));
+        }
+        if h.op != proto::OP_PROBE {
+            return Err(ClientError::Protocol("response op does not echo PROBE"));
         }
         if h.n as usize != coords.len() {
             return Err(ClientError::Protocol("response point count mismatch"));
@@ -103,23 +119,48 @@ impl Client {
         })
     }
 
-    /// Liveness check: returns the serving epoch and total probes served.
+    /// Liveness check: returns the serving epoch and the counter block
+    /// (total probes served, shed/bad-frame tallies, queue high-water).
     ///
     /// # Errors
     /// As [`Client::probe`].
     pub fn ping(&mut self) -> Result<proto::PingReply, ClientError> {
-        self.stream.write_all(&proto::encode_ping_request())?;
+        let counters = self.counters_request(proto::OP_PING, &proto::encode_ping_request())?;
+        Ok(proto::PingReply {
+            epoch: counters.0,
+            probes_served: counters.1.probes,
+            counters: counters.1,
+        })
+    }
+
+    /// Counter/metrics snapshot (the monitoring twin of [`Client::ping`]).
+    ///
+    /// # Errors
+    /// As [`Client::probe`].
+    pub fn stats(&mut self) -> Result<proto::StatsReply, ClientError> {
+        let (epoch, counters) =
+            self.counters_request(proto::OP_STATS, &proto::encode_stats_request())?;
+        Ok(proto::StatsReply { epoch, counters })
+    }
+
+    fn counters_request(
+        &mut self,
+        op: u8,
+        frame: &[u8],
+    ) -> Result<(u32, proto::CounterBlock), ClientError> {
+        self.stream.write_all(frame)?;
         let (h, payload) = self.read_response()?;
-        if h.op != proto::OP_PING {
-            return Err(ClientError::Protocol("response op does not echo PING"));
-        }
+        // Status first: BUSY carries op 0 (see Client::probe).
         if h.status != proto::STATUS_OK {
             return Err(ClientError::Server(h.status));
         }
-        Ok(proto::PingReply {
-            epoch: h.epoch,
-            probes_served: proto::decode_ping_payload(&payload).map_err(ClientError::Protocol)?,
-        })
+        if h.op != op {
+            return Err(ClientError::Protocol(
+                "response op does not echo the request",
+            ));
+        }
+        let counters = proto::decode_counters(&payload).map_err(ClientError::Protocol)?;
+        Ok((h.epoch, counters))
     }
 
     fn read_response(&mut self) -> Result<(proto::RespHeader, Vec<u8>), ClientError> {

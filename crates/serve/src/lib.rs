@@ -20,10 +20,19 @@
 //!   new one, and responses echo the answering epoch so clients can
 //!   observe the cutover. Restarts — and now live reloads — ship
 //!   snapshots, not polygon sets.
+//! * **Admission control & graceful drain** — the probe queue is
+//!   bounded in lanes; overflow is answered immediately with `LOADSHED`
+//!   (never dropped, never queued). Per-connection in-flight caps turn a
+//!   slow reader's backlog into TCP backpressure on that client alone, a
+//!   connection cap answers `BUSY` at the accept gate, and
+//!   [`ServerHandle::shutdown`] drains: stop accepting, answer every
+//!   accepted frame, flush, join. Counters for all of it ride the PING
+//!   reply and the STATS frame ([`protocol::CounterBlock`]).
 //!
 //! See [`protocol`] for the frame layout, [`server`] for the threading
-//! model, and the repo README's "Serving" section for the operator
-//! story (`loadgen`, atomic snapshot replacement, exact-mode contract).
+//! model and overload semantics, and the repo README's "Serving" section
+//! for the operator story (`loadgen`, atomic snapshot replacement,
+//! exact-mode contract, overload behavior & shutdown).
 //!
 //! ```no_run
 //! use act_serve::{Client, ServeConfig, Server};
@@ -44,7 +53,7 @@ pub mod server;
 pub mod swap;
 
 pub use client::{Client, ClientError};
-pub use protocol::{PingReply, ProbeReply};
+pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsReply};
 pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
 pub use swap::IndexStore;
 
@@ -102,11 +111,126 @@ mod tests {
         let ping = client.ping().unwrap();
         assert_eq!(ping.epoch, 1);
         assert_eq!(ping.probes_served, coords.len() as u64);
+        // The PING payload carries the full counter block.
+        assert_eq!(ping.counters.probes, coords.len() as u64);
+        assert_eq!(ping.counters.shed, 0);
+        assert_eq!(ping.counters.swaps, 0);
+        assert!(ping.counters.queue_high_water_lanes <= coords.len() as u64);
+
+        // STATS mirrors PING (plus the frames exchanged meanwhile).
+        let stats_reply = client.stats().unwrap();
+        assert_eq!(stats_reply.epoch, 1);
+        assert_eq!(stats_reply.counters.probes, coords.len() as u64);
+        assert_eq!(stats_reply.counters.accepted, 3);
 
         let stats = server.stats();
         assert_eq!(stats.probes, coords.len() as u64);
-        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.requests, 3);
         assert!(stats.batches >= 1);
+        assert_eq!(stats.accepted, stats.answered + stats.shed);
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_loadshed_and_connection_survives() {
+        let (path, _idx) = snap_file("shed", &[square(-74.0, 40.7, 0.02)]);
+        // Depth 0: every non-empty probe frame overflows the queue —
+        // the degenerate config that makes shedding deterministic.
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                queue_depth_lanes: 0,
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let pts = [Coord::new(-74.0, 40.7)];
+        for _ in 0..3 {
+            match client.probe(&pts, false) {
+                Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_LOADSHED),
+                other => panic!("expected LOADSHED, got {other:?}"),
+            }
+        }
+        // The connection stays open and PING still answers.
+        let ping = client.ping().unwrap();
+        assert_eq!(ping.counters.shed, 3);
+        assert_eq!(
+            ping.counters.accepted,
+            ping.counters.answered + ping.counters.shed
+        );
+        let stats = server.stats();
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.queue_high_water_lanes, 0);
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn connection_cap_answers_busy_and_frees_on_close() {
+        use std::io::Read;
+        let (path, _idx) = snap_file("busy", &[square(-74.0, 40.7, 0.02)]);
+        let server = Server::spawn(
+            &path,
+            ServeConfig {
+                max_connections: 1,
+                watch: None,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut first = Client::connect(server.addr()).unwrap();
+        // Force the first connection through the accept loop before the
+        // second one races it for the single slot.
+        first.ping().unwrap();
+
+        let mut second = std::net::TcpStream::connect(server.addr()).unwrap();
+        second
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let body = protocol::read_frame(&mut second, 1 << 20).unwrap().unwrap();
+        let (h, _) = protocol::decode_response(&body).unwrap();
+        assert_eq!(h.status, protocol::STATUS_BUSY);
+        assert_eq!(h.op, 0, "BUSY has no request to echo");
+        // …and the connection is closed right after the BUSY frame.
+        let mut rest = Vec::new();
+        assert_eq!(second.read_to_end(&mut rest).unwrap(), 0);
+        assert!(server.stats().busy >= 1);
+
+        // The typed Client surfaces BUSY as a server status (op 0 must
+        // not trip the op-echo check).
+        let mut third = Client::connect(server.addr()).unwrap();
+        match third.ping() {
+            Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_BUSY),
+            other => panic!("expected BUSY through the Client, got {other:?}"),
+        }
+
+        // Closing the served connection frees the slot.
+        drop(first);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut again = loop {
+            let mut c = Client::connect(server.addr()).unwrap();
+            match c.ping() {
+                Ok(_) => break c,
+                Err(_) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "slot was never released"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        };
+        assert_eq!(
+            again
+                .probe(&[Coord::new(-74.0, 40.7)], false)
+                .unwrap()
+                .refs
+                .len(),
+            1
+        );
         server.shutdown();
         std::fs::remove_file(&path).unwrap();
     }

@@ -7,26 +7,27 @@
 //! ```text
 //! request frame
 //!   u32  body_len
-//!   u8   op          1 = PROBE, 2 = PING
+//!   u8   op          1 = PROBE, 2 = PING, 3 = STATS
 //!   u8   flags       bit 0: EXACT (refine candidates via the server's
 //!                    polygon set; requires the server to hold a Refiner)
 //!   u16  reserved    must be 0
-//!   u32  n           number of points (PROBE) or 0 (PING)
+//!   u32  n           number of points (PROBE) or 0 (PING/STATS)
 //!   then n × { f64 lng, f64 lat }                       (PROBE only)
 //!
 //! response frame
 //!   u32  body_len
-//!   u8   op          echoes the request op
-//!   u8   status      0 = OK, 1 = BAD_REQUEST, 2 = UNSUPPORTED, 3 = INTERNAL
+//!   u8   op          echoes the request op (0 for a BUSY accept reject)
+//!   u8   status      0 = OK, 1 = BAD_REQUEST, 2 = UNSUPPORTED,
+//!                    3 = INTERNAL, 4 = LOADSHED, 5 = BUSY
 //!   u16  reserved    0
 //!   u32  epoch       the snapshot epoch that answered (bumps on hot-swap)
-//!   u32  n           number of per-point entries (PROBE) or 0 (PING)
+//!   u32  n           number of per-point entries (PROBE) or 0 otherwise
 //!   PROBE: n × { u32 count, count × u32 ref }
 //!          ref = (polygon_id << 1) | hit_bit
 //!            approx mode: hit_bit = is_true_hit (candidates ride along
 //!            with bit 0 — the paper's ε-bounded approximate answer)
 //!            exact mode:  only actual members are listed, hit_bit = 1
-//!   PING:  { u64 probes_served }
+//!   PING / STATS: a 72-byte counter block (see [`CounterBlock`])
 //! ```
 //!
 //! A probe frame carries at most [`MAX_POINTS`] points, which bounds
@@ -35,6 +36,16 @@
 //! closed. `u32 n` on the response always equals the request's `n`, so a
 //! client can correlate by position; requests on one connection are
 //! answered in order.
+//!
+//! ## Admission-control statuses
+//!
+//! * `LOADSHED` (probe only, `n = 0`, empty payload): the server's
+//!   bounded probe queue was full, so the frame was answered immediately
+//!   instead of queuing. The connection **stays open** — the client may
+//!   retry or back off; a shed frame is never silently dropped.
+//! * `BUSY` (op `0`, sent straight from the accept loop, then close):
+//!   the server is at its connection cap and refused this connection
+//!   before a reader thread was even spawned.
 
 use geom::Coord;
 use std::io::{self, Read, Write};
@@ -43,6 +54,9 @@ use std::io::{self, Read, Write};
 pub const OP_PROBE: u8 = 1;
 /// Liveness / epoch / counter check.
 pub const OP_PING: u8 = 2;
+/// Counter/metrics snapshot (same payload as PING; a distinct op so
+/// monitoring traffic is distinguishable from liveness checks).
+pub const OP_STATS: u8 = 3;
 
 /// Request flag bit 0: refine candidate hits to exact membership.
 pub const FLAG_EXACT: u8 = 1;
@@ -56,6 +70,25 @@ pub const STATUS_BAD_REQUEST: u8 = 1;
 pub const STATUS_UNSUPPORTED: u8 = 2;
 /// The server failed internally while answering.
 pub const STATUS_INTERNAL: u8 = 3;
+/// The probe queue was full; the frame was answered immediately instead
+/// of queuing (the connection stays open — retry or back off).
+pub const STATUS_LOADSHED: u8 = 4;
+/// The server is at its connection cap; sent once on accept, then the
+/// connection is closed.
+pub const STATUS_BUSY: u8 = 5;
+
+/// Human-readable name of a status code (for logs and error displays).
+pub fn status_name(status: u8) -> &'static str {
+    match status {
+        STATUS_OK => "OK",
+        STATUS_BAD_REQUEST => "BAD_REQUEST",
+        STATUS_UNSUPPORTED => "UNSUPPORTED",
+        STATUS_INTERNAL => "INTERNAL",
+        STATUS_LOADSHED => "LOADSHED",
+        STATUS_BUSY => "BUSY",
+        _ => "UNKNOWN",
+    }
+}
 
 /// Hard cap on points per probe frame (bounds per-frame allocations).
 pub const MAX_POINTS: usize = 65_536;
@@ -76,8 +109,10 @@ pub enum Request {
         /// Refine candidates via the server's polygon set.
         exact: bool,
     },
-    /// Liveness check; the response carries epoch + probes served.
+    /// Liveness check; the response carries epoch + the counter block.
     Ping,
+    /// Counter/metrics snapshot; same response shape as [`Request::Ping`].
+    Stats,
 }
 
 /// One point's answer: `(polygon id, hit bit)` pairs (see the module
@@ -98,8 +133,94 @@ pub struct ProbeReply {
 pub struct PingReply {
     /// Snapshot epoch currently serving.
     pub epoch: u32,
-    /// Total probe points answered since the server started.
+    /// Total probe points answered since the server started
+    /// (`counters.probes`, kept as a field for convenience).
     pub probes_served: u64,
+    /// The full serving counter block.
+    pub counters: CounterBlock,
+}
+
+/// A decoded stats response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Snapshot epoch currently serving.
+    pub epoch: u32,
+    /// The serving counter block.
+    pub counters: CounterBlock,
+}
+
+/// The server's aggregate serving counters, as carried in PING and STATS
+/// payloads: nine little-endian `u64` words, in field order.
+///
+/// Reconciliation invariant (after a graceful drain, with all replies
+/// delivered): `accepted == answered + shed` — every accepted frame got
+/// exactly one reply, and a shed frame is always answered `LOADSHED`,
+/// never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterBlock {
+    /// Probe points answered (sum of lanes over answered probe frames).
+    pub probes: u64,
+    /// Well-formed frames taken in (probe, ping, stats — shed included).
+    pub accepted: u64,
+    /// Frames answered with a real (non-LOADSHED) reply.
+    pub answered: u64,
+    /// Probe frames answered `LOADSHED` because the queue was full.
+    pub shed: u64,
+    /// Malformed frames answered `BAD_REQUEST` (connection then closed).
+    pub bad_frames: u64,
+    /// Connections refused with `BUSY` at the accept gate.
+    pub busy: u64,
+    /// Probe micro-batches executed (`probes / batches` = mean width).
+    pub batches: u64,
+    /// Successful snapshot hot-swaps (`epoch - 1`).
+    pub swaps: u64,
+    /// Highest queue occupancy observed, in lanes (points). Bounded by
+    /// the server's configured queue depth.
+    pub queue_high_water_lanes: u64,
+}
+
+/// Serialized size of a [`CounterBlock`]: nine `u64` words.
+pub const COUNTER_BLOCK_LEN: usize = 72;
+
+/// Serializes a counter block (PING/STATS response payload).
+pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
+    let words = [
+        c.probes,
+        c.accepted,
+        c.answered,
+        c.shed,
+        c.bad_frames,
+        c.busy,
+        c.batches,
+        c.swaps,
+        c.queue_high_water_lanes,
+    ];
+    let mut out = [0u8; COUNTER_BLOCK_LEN];
+    for (slot, w) in out.chunks_exact_mut(8).zip(words) {
+        slot.copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a counter block from a PING/STATS response payload.
+///
+/// # Errors
+/// A static description of the structural violation.
+pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
+    if payload.len() != COUNTER_BLOCK_LEN {
+        return Err("counter block is not exactly nine u64 words");
+    }
+    Ok(CounterBlock {
+        probes: u64_at(payload, 0),
+        accepted: u64_at(payload, 8),
+        answered: u64_at(payload, 16),
+        shed: u64_at(payload, 24),
+        bad_frames: u64_at(payload, 32),
+        busy: u64_at(payload, 40),
+        batches: u64_at(payload, 48),
+        swaps: u64_at(payload, 56),
+        queue_high_water_lanes: u64_at(payload, 64),
+    })
 }
 
 /// Packs a polygon reference for the wire.
@@ -137,9 +258,19 @@ pub fn encode_probe_request(coords: &[Coord], exact: bool) -> Vec<u8> {
 
 /// Renders a complete ping request frame.
 pub fn encode_ping_request() -> Vec<u8> {
+    encode_headless_request(OP_PING)
+}
+
+/// Renders a complete stats request frame.
+pub fn encode_stats_request() -> Vec<u8> {
+    encode_headless_request(OP_STATS)
+}
+
+/// A request frame that is all header: op, zero flags, zero points.
+fn encode_headless_request(op: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + REQ_HEADER_LEN);
     out.extend_from_slice(&(REQ_HEADER_LEN as u32).to_le_bytes());
-    out.push(OP_PING);
+    out.push(op);
     out.extend_from_slice(&[0, 0, 0]);
     out.extend_from_slice(&0u32.to_le_bytes());
     out
@@ -217,14 +348,18 @@ pub fn decode_request(body: &[u8]) -> Result<Request, &'static str> {
                 exact: flags & FLAG_EXACT != 0,
             })
         }
-        OP_PING => {
+        OP_PING | OP_STATS => {
             if flags != 0 {
-                return Err("ping takes no flags");
+                return Err("ping/stats take no flags");
             }
             if n != 0 || body.len() != REQ_HEADER_LEN {
-                return Err("ping carries no payload");
+                return Err("ping/stats carry no payload");
             }
-            Ok(Request::Ping)
+            Ok(if op == OP_PING {
+                Request::Ping
+            } else {
+                Request::Stats
+            })
         }
         _ => Err("unknown op"),
     }
@@ -292,17 +427,6 @@ pub fn decode_probe_payload(n: u32, payload: &[u8]) -> Result<Vec<PointRefs>, &'
         return Err("trailing bytes after the last ref list");
     }
     Ok(refs)
-}
-
-/// Decodes a ping response payload.
-///
-/// # Errors
-/// A static description of the structural violation.
-pub fn decode_ping_payload(payload: &[u8]) -> Result<u64, &'static str> {
-    if payload.len() != 8 {
-        return Err("ping payload is not exactly a u64");
-    }
-    Ok(u64_at(payload, 0))
 }
 
 // ---------------------------------------------------------------------
@@ -482,14 +606,65 @@ mod tests {
     }
 
     #[test]
-    fn ping_payload_roundtrip() {
-        let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &42u64.to_le_bytes());
+    fn counter_payload_roundtrip() {
+        let counters = CounterBlock {
+            probes: 42,
+            accepted: 7,
+            answered: 5,
+            shed: 2,
+            bad_frames: 1,
+            busy: 3,
+            batches: 4,
+            swaps: 1,
+            queue_high_water_lanes: 512,
+        };
+        let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &encode_counters(&counters));
         let body = read_frame(&mut frame.as_slice(), usize::MAX)
             .unwrap()
             .unwrap();
         let (h, p) = decode_response(&body).unwrap();
         assert_eq!(h.epoch, 3);
-        assert_eq!(decode_ping_payload(p).unwrap(), 42);
-        assert!(decode_ping_payload(&[0; 7]).is_err());
+        assert_eq!(decode_counters(p).unwrap(), counters);
+        assert_eq!(counters.accepted, counters.answered + counters.shed);
+        assert!(decode_counters(&[0; 71]).is_err());
+        assert!(decode_counters(&[0; 73]).is_err());
+    }
+
+    #[test]
+    fn stats_request_roundtrip() {
+        let frame = encode_stats_request();
+        let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_request(&body).unwrap(), Request::Stats);
+        // STATS takes no flags and no payload, like PING.
+        let mut bad = encode_stats_request();
+        bad[5] = 1;
+        assert!(decode_request(&bad[4..]).is_err());
+    }
+
+    #[test]
+    fn admission_statuses_frame_cleanly() {
+        // LOADSHED: a probe reject with zero entries, connection stays open.
+        let frame = encode_response(OP_PROBE, STATUS_LOADSHED, 9, 0, &[]);
+        let body = read_frame(&mut frame.as_slice(), usize::MAX)
+            .unwrap()
+            .unwrap();
+        let (h, p) = decode_response(&body).unwrap();
+        assert_eq!(
+            (h.op, h.status, h.epoch, h.n),
+            (OP_PROBE, STATUS_LOADSHED, 9, 0)
+        );
+        assert!(p.is_empty());
+        // BUSY: an accept-gate reject carries op 0.
+        let frame = encode_response(0, STATUS_BUSY, 2, 0, &[]);
+        let body = read_frame(&mut frame.as_slice(), usize::MAX)
+            .unwrap()
+            .unwrap();
+        let (h, _) = decode_response(&body).unwrap();
+        assert_eq!((h.op, h.status), (0, STATUS_BUSY));
+        assert_eq!(status_name(STATUS_LOADSHED), "LOADSHED");
+        assert_eq!(status_name(STATUS_BUSY), "BUSY");
+        assert_eq!(status_name(200), "UNKNOWN");
     }
 }

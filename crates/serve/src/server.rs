@@ -1,13 +1,28 @@
 //! The TCP server: accept loop → connection readers → micro-batching
-//! probe workers → epoch-pinned snapshot.
+//! probe workers → epoch-pinned snapshot, with admission control and a
+//! graceful-drain lifecycle on top.
 //!
 //! ## Threading model (std::net, no async runtime)
 //!
-//! * One **accept loop** hands each connection its own reader thread.
+//! * One **accept loop** hands each connection its own reader thread —
+//!   unless the server is at [`ServeConfig::max_connections`], in which
+//!   case the connection is answered with a single `BUSY` frame and
+//!   closed before a thread is ever spawned.
 //! * Each **connection thread** decodes frames, converts coordinates to
-//!   leaf cells (spreading that work across connections), enqueues a
-//!   [`Job`] on the shared queue, and writes the worker's reply back.
-//!   Requests on one connection are answered in order.
+//!   leaf cells (spreading that work across connections), and admits a
+//!   [`Job`] to the shared bounded queue. Up to
+//!   [`ServeConfig::max_inflight_frames`] frames may be in flight per
+//!   connection (a pipelining client overlaps request and response
+//!   streams); once the cap is hit the thread **stops reading** until the
+//!   oldest reply is written, so a connection whose responses back up
+//!   slows its own reads via ordinary TCP backpressure instead of
+//!   buffering without bound. Replies always go out in request order.
+//! * The queue is **bounded in lanes** (points), not frames: admission
+//!   takes `queued_lanes + frame_lanes <= queue_depth_lanes`, so the
+//!   worst-case queued work — and the memory behind it — is capped no
+//!   matter how the traffic is framed. An overflowing probe frame is
+//!   answered immediately with `LOADSHED` (never silently dropped) and
+//!   the connection stays open.
 //! * A small pool of **probe workers** drains the queue in **adaptive
 //!   micro-batches**: drain-until-empty, up to [`ServeConfig::batch_lanes`]
 //!   points per batch (256 by default — one full level-synchronous
@@ -20,9 +35,21 @@
 //!   [`IndexStore`]; a concurrent hot-swap affects only later batches,
 //!   so no request ever observes a torn index.
 //!
-//! Shutdown is cooperative: a flag + condvar broadcast; connection
-//! threads poll the flag between (and, via read timeouts, inside)
-//! frames. [`ServerHandle::shutdown`] (or drop) joins everything.
+//! ## Graceful drain
+//!
+//! [`ServerHandle::shutdown`] (or drop) flips one `draining` flag and
+//! then joins everything, in dependency order:
+//!
+//! 1. The accept loop exits — no new connections.
+//! 2. Connection readers stop reading (a partially read frame is
+//!    abandoned, never half-admitted) — no new work. Admission is
+//!    checked under the queue lock, so "accepted before shutdown" is a
+//!    linearization point, not a race.
+//! 3. Workers drain every job still queued, then exit — every accepted
+//!    frame gets its real answer.
+//! 4. Connection threads flush their pending replies (bounded by
+//!    [`ServeConfig::drain_grace`], so one stalled client cannot wedge
+//!    shutdown), then close.
 
 use crate::protocol as proto;
 use crate::swap::{snapshot_signature, watch_loop, IndexStore};
@@ -34,10 +61,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A failure spawning the server.
 #[derive(Debug)]
@@ -80,7 +107,8 @@ impl From<SnapshotError> for ServeError {
 
 /// Server tuning knobs. `Default` is a sensible local server: ephemeral
 /// loopback port, one worker per hardware thread, 256-lane batches, a
-/// 200 ms snapshot watcher, approximate mode only.
+/// 200 ms snapshot watcher, approximate mode only, and admission limits
+/// loose enough that well-behaved traffic never sees them.
 #[derive(Debug)]
 pub struct ServeConfig {
     /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
@@ -100,6 +128,28 @@ pub struct ServeConfig {
     /// Snapshot-file poll interval for hot-swap; `None` disables the
     /// watcher.
     pub watch: Option<Duration>,
+    /// Probe-queue depth in **lanes** (points), the bounded-memory knob:
+    /// a probe frame is admitted only if `queued + frame_lanes` stays
+    /// within this cap, else it is answered `LOADSHED` immediately.
+    /// Frames larger than the whole depth are therefore *always* shed —
+    /// size it at least [`proto::MAX_POINTS`] (the default) unless you
+    /// also bound client frame sizes.
+    pub queue_depth_lanes: usize,
+    /// Max frames in flight per connection before the reader stops
+    /// reading (TCP backpressure to that client). Bounds per-connection
+    /// reply buffering.
+    pub max_inflight_frames: usize,
+    /// Max simultaneously served connections; the accept loop answers
+    /// excess connections with one `BUSY` frame and closes them.
+    pub max_connections: usize,
+    /// How long a draining connection keeps trying to flush owed replies
+    /// before giving up (protects shutdown from a stalled client).
+    pub drain_grace: Duration,
+    /// Fault-injection / capacity-pinning knob: sleep this long before
+    /// every micro-batch. `None` (the default) in production; the chaos
+    /// suite and `loadgen --overload` use it to make "capacity" a known
+    /// constant so shedding is deterministic.
+    pub batch_delay: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +162,11 @@ impl Default for ServeConfig {
             batch_lanes: 256,
             refiner: None,
             watch: Some(Duration::from_millis(200)),
+            queue_depth_lanes: proto::MAX_POINTS,
+            max_inflight_frames: 16,
+            max_connections: 256,
+            drain_grace: Duration::from_secs(5),
+            batch_delay: None,
         }
     }
 }
@@ -121,12 +176,24 @@ impl Default for ServeConfig {
 pub struct ServeStats {
     /// Probe points answered.
     pub probes: u64,
-    /// Frames handled (probes + pings).
+    /// Frames handled (accepted + malformed).
     pub requests: u64,
     /// Micro-batches executed (probes / batches = achieved batch width).
     pub batches: u64,
     /// Current snapshot epoch (1 + successful hot-swaps).
     pub epoch: u32,
+    /// Well-formed frames taken in (probe/ping/stats, shed included).
+    pub accepted: u64,
+    /// Frames answered with a real (non-LOADSHED) reply.
+    pub answered: u64,
+    /// Probe frames answered `LOADSHED`.
+    pub shed: u64,
+    /// Malformed frames answered `BAD_REQUEST`.
+    pub bad_frames: u64,
+    /// Connections refused `BUSY` at the accept gate.
+    pub busy: u64,
+    /// Highest queue occupancy observed, in lanes (≤ configured depth).
+    pub queue_high_water_lanes: u64,
 }
 
 /// One enqueued probe request.
@@ -145,16 +212,50 @@ struct Reply {
     payload: Vec<u8>,
 }
 
+/// The bounded probe queue. `lanes` mirrors the summed `cells.len()` of
+/// `jobs` so admission is O(1); both live under one mutex so admission,
+/// batch formation, and the drain-exit check are linearized.
+struct Queue {
+    jobs: VecDeque<Job>,
+    lanes: usize,
+}
+
 struct State {
     store: IndexStore,
     refiner: Option<Refiner>,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<Queue>,
     ready: Condvar,
-    shutdown: AtomicBool,
+    draining: AtomicBool,
     batch_lanes: usize,
+    queue_depth_lanes: usize,
+    max_inflight: usize,
+    drain_grace: Duration,
+    batch_delay: Option<Duration>,
+    conns_live: AtomicUsize,
     probes: AtomicU64,
-    requests: AtomicU64,
+    accepted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    bad_frames: AtomicU64,
+    busy: AtomicU64,
     batches: AtomicU64,
+    queue_hw_lanes: AtomicU64,
+}
+
+impl State {
+    fn counter_block(&self) -> proto::CounterBlock {
+        proto::CounterBlock {
+            probes: self.probes.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            swaps: self.store.swaps(),
+            queue_high_water_lanes: self.queue_hw_lanes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Spawns an [`act-serve`](crate) server over the snapshot at
@@ -184,14 +285,28 @@ impl Server {
         let state = Arc::new(State {
             store: IndexStore::new(snap),
             refiner: config.refiner,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                lanes: 0,
+            }),
             ready: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             batch_lanes: config.batch_lanes.max(1),
+            queue_depth_lanes: config.queue_depth_lanes,
+            max_inflight: config.max_inflight_frames.max(1),
+            drain_grace: config.drain_grace,
+            batch_delay: config.batch_delay,
+            conns_live: AtomicUsize::new(0),
             probes: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            queue_hw_lanes: AtomicU64::new(0),
         });
+        let max_connections = config.max_connections;
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut threads = Vec::new();
@@ -209,7 +324,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name("act-serve-accept".to_string())
-                    .spawn(move || accept_loop(listener, st, cn))
+                    .spawn(move || accept_loop(listener, st, cn, max_connections))
                     .expect("spawn accept loop"),
             );
         }
@@ -218,7 +333,7 @@ impl Server {
             let p = path.clone();
             std::thread::Builder::new()
                 .name("act-serve-watch".to_string())
-                .spawn(move || watch_loop(&p, interval, &st.store, &st.shutdown, initial_sig))
+                .spawn(move || watch_loop(&p, interval, &st.store, &st.draining, initial_sig))
                 .expect("spawn snapshot watcher")
         });
 
@@ -233,7 +348,8 @@ impl Server {
 }
 
 /// A running server. Dropping it (or calling [`ServerHandle::shutdown`])
-/// stops accepting, wakes every thread, and joins them all.
+/// stops accepting, drains accepted work, flushes responses, and joins
+/// every thread.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<State>,
@@ -255,26 +371,38 @@ impl ServerHandle {
 
     /// Aggregate serving counters so far.
     pub fn stats(&self) -> ServeStats {
+        let c = self.state.counter_block();
         ServeStats {
-            probes: self.state.probes.load(Ordering::Relaxed),
-            requests: self.state.requests.load(Ordering::Relaxed),
-            batches: self.state.batches.load(Ordering::Relaxed),
+            probes: c.probes,
+            requests: c.accepted + c.bad_frames,
+            batches: c.batches,
             epoch: self.state.store.epoch(),
+            accepted: c.accepted,
+            answered: c.answered,
+            shed: c.shed,
+            bad_frames: c.bad_frames,
+            busy: c.busy,
+            queue_high_water_lanes: c.queue_high_water_lanes,
         }
     }
 
-    /// Stops the server and joins every thread. Equivalent to dropping
-    /// the handle, but explicit at call sites that care about ordering.
-    pub fn shutdown(mut self) {
+    /// Gracefully drains and stops the server: stop accepting, answer
+    /// everything already accepted, flush responses, join every thread.
+    /// Equivalent to dropping the handle, but explicit at call sites
+    /// that care about ordering — and it returns the **final** counters,
+    /// captured after the drain, so work answered during the drain is
+    /// included (a pre-shutdown `stats()` call would undercount it).
+    pub fn shutdown(mut self) -> ServeStats {
         self.stop();
+        self.stats()
     }
 
     fn stop(&mut self) {
-        if self.state.shutdown.swap(true, Ordering::AcqRel) {
+        if self.state.draining.swap(true, Ordering::AcqRel) {
             return;
         }
         // Notify while holding the queue mutex: a worker that already
-        // checked the shutdown flag but has not yet parked in wait()
+        // checked the draining flag but has not yet parked in wait()
         // still holds the lock, so acquiring it here orders this
         // notify_all after that worker reaches wait() — no lost wakeup,
         // no join() deadlock.
@@ -288,7 +416,9 @@ impl ServerHandle {
         if let Some(w) = self.watcher.take() {
             let _ = w.join();
         }
-        // Accept loop is down: the connection set is final. Join it.
+        // Accept loop is down: the connection set is final. Join it (the
+        // workers above drained the queue first, so every pending reply
+        // the connections are flushing already exists).
         let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
         for c in conns {
             let _ = c.join();
@@ -306,17 +436,39 @@ impl Drop for ServerHandle {
 // Accept + connection threads
 // ---------------------------------------------------------------------
 
-fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<State>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_connections: usize,
+) {
     listener
         .set_nonblocking(true)
         .expect("nonblocking listener");
-    while !state.shutdown.load(Ordering::Acquire) {
+    while !state.draining.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if state.conns_live.load(Ordering::Acquire) >= max_connections {
+                    state.busy.fetch_add(1, Ordering::Relaxed);
+                    refuse_busy(stream, &state);
+                    continue;
+                }
+                state.conns_live.fetch_add(1, Ordering::AcqRel);
                 let st = Arc::clone(&state);
                 let handle = std::thread::Builder::new()
                     .name("act-serve-conn".to_string())
-                    .spawn(move || conn_loop(stream, &st))
+                    .spawn(move || {
+                        // Decrement-on-exit guard so a panicking
+                        // connection can never leak a connection slot.
+                        struct Live<'a>(&'a State);
+                        impl Drop for Live<'_> {
+                            fn drop(&mut self) {
+                                self.0.conns_live.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
+                        let _live = Live(&st);
+                        conn_loop(stream, &st);
+                    })
                     .expect("spawn connection thread");
                 let mut guard = conns.lock().expect("conns lock");
                 guard.push(handle);
@@ -334,23 +486,385 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
     }
 }
 
+/// Answers a connection refused at the accept gate: one `BUSY` frame
+/// (op 0 — there is no request to echo), best effort, then close.
+fn refuse_busy(mut stream: TcpStream, state: &State) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let frame = proto::encode_response(0, proto::STATUS_BUSY, state.store.epoch(), 0, &[]);
+    let _ = stream.write_all(&frame);
+}
+
 /// How a shutdown-aware buffered read ended.
 enum Fill {
     Full,
     CleanEof,
-    Shutdown,
+    Drain,
 }
 
-/// Fills `buf` from `stream`, retrying read timeouts (the stream runs
-/// with a short read timeout precisely so this loop can poll the
-/// shutdown flag mid-frame without losing framing).
-fn fill(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<Fill> {
+/// Admission verdict for one probe frame.
+enum Admission {
+    Enqueued,
+    Shed,
+    Draining,
+}
+
+/// Admits `job` to the bounded queue, or rejects it. The depth check and
+/// the draining check both run under the queue lock, which linearizes
+/// them against worker drain-exit: a job admitted here is *guaranteed* a
+/// worker answer, and after drain begins nothing new is ever admitted.
+fn try_enqueue(state: &State, job: Job) -> Admission {
+    let lanes = job.cells.len();
+    {
+        let mut q = state.queue.lock().expect("probe queue");
+        if state.draining.load(Ordering::Acquire) {
+            return Admission::Draining;
+        }
+        if q.lanes + lanes > state.queue_depth_lanes {
+            return Admission::Shed;
+        }
+        q.lanes += lanes;
+        q.jobs.push_back(job);
+        state
+            .queue_hw_lanes
+            .fetch_max(q.lanes as u64, Ordering::Relaxed);
+    }
+    state.ready.notify_one();
+    Admission::Enqueued
+}
+
+/// A reply owed to the client, in request order.
+enum Pending {
+    /// A probe job in flight; the worker delivers here.
+    Waiting(mpsc::Receiver<Reply>),
+    /// An already-rendered frame (ping/stats/shed/bad-request).
+    Ready(Vec<u8>),
+}
+
+/// The drain-grace clock shared by every blocking wait on a connection:
+/// unbounded until draining (or a terminal flush) starts, then one fixed
+/// deadline for everything that remains.
+struct DrainClock {
+    grace: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DrainClock {
+    fn new(grace: Duration) -> DrainClock {
+        DrainClock {
+            grace,
+            deadline: None,
+        }
+    }
+
+    /// Starts the countdown now (idempotent).
+    fn arm(&mut self) {
+        self.deadline
+            .get_or_insert_with(|| Instant::now() + self.grace);
+    }
+
+    /// True when blocking work should give up: armed (directly, or
+    /// because the server is draining) and past the deadline.
+    fn expired(&mut self, state: &State) -> bool {
+        if self.deadline.is_none() {
+            if !state.draining.load(Ordering::Acquire) {
+                return false;
+            }
+            self.arm();
+        }
+        Instant::now() >= self.deadline.expect("armed above")
+    }
+}
+
+/// A connection is two threads sharing the socket: this **reader**
+/// (the `act-serve-conn` thread itself) decodes frames, admits jobs, and
+/// pushes one [`Pending`] entry per frame onto a **bounded** in-order
+/// channel; a scoped **writer** thread drains that channel, waiting on
+/// each entry's reply and writing it out. The split keeps both
+/// directions event-driven — a reply never waits for a read timeout to
+/// be flushed — and the channel bound *is* the per-connection in-flight
+/// cap: when the client's responses back up, the channel fills, the
+/// reader stops reading, and TCP backpressure does the rest.
+fn conn_loop(stream: TcpStream, state: &State) {
+    // BSD-derived unixes make accepted sockets inherit the listener's
+    // O_NONBLOCK (Linux does not); force blocking so the read timeout
+    // below actually blocks instead of busy-spinning on WouldBlock.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    // The read timeout is only a drain-poll tick, never request latency.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let Ok(w) = stream.try_clone() else { return };
+    let _ = w.set_write_timeout(Some(Duration::from_millis(50)));
+    let (tx, rx) = mpsc::sync_channel::<Pending>(state.max_inflight);
+    // Either side setting this tells the other to wind down (writer hit
+    // an error or its drain deadline; reader hit EOF is signaled by the
+    // channel disconnect instead).
+    let dead = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("act-serve-conn-writer".to_string())
+            .spawn_scoped(scope, || writer_loop(state, w, rx, &dead))
+            .expect("spawn connection writer");
+        let mut r = stream;
+        reader_loop(state, &mut r, &tx, &dead);
+        // Dropping the sender is the writer's EOF: it delivers every
+        // entry still owed (bounded by the drain grace), then exits; the
+        // scope joins it.
+        drop(tx);
+    });
+}
+
+/// The read half: decode → admit → push the owed reply entry, in order.
+fn reader_loop(
+    state: &State,
+    r: &mut TcpStream,
+    tx: &mpsc::SyncSender<Pending>,
+    dead: &AtomicBool,
+) {
+    loop {
+        let body = match read_request_frame(r, state, dead) {
+            Ok(Some(b)) => b,
+            // Clean EOF, drain, or writer death: stop reading. What is
+            // already owed still flows through the writer.
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized frame: typed reject, then close.
+                state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let f = proto::encode_response(
+                    0,
+                    proto::STATUS_BAD_REQUEST,
+                    state.store.epoch(),
+                    0,
+                    &[],
+                );
+                let _ = push_pending(tx, Pending::Ready(f), dead);
+                return;
+            }
+            Err(_) => return,
+        };
+        match proto::decode_request(&body) {
+            Err(_) => {
+                state.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let f = proto::encode_response(
+                    body.first().copied().unwrap_or(0),
+                    proto::STATUS_BAD_REQUEST,
+                    state.store.epoch(),
+                    0,
+                    &[],
+                );
+                let _ = push_pending(tx, Pending::Ready(f), dead);
+                return;
+            }
+            Ok(proto::Request::Ping) => {
+                if !answer_counters(state, tx, proto::OP_PING, dead) {
+                    return;
+                }
+            }
+            Ok(proto::Request::Stats) => {
+                if !answer_counters(state, tx, proto::OP_STATS, dead) {
+                    return;
+                }
+            }
+            Ok(proto::Request::Probe { coords, exact }) => {
+                let cells: Vec<CellId> = coords.iter().map(|&c| coord_to_cell(c)).collect();
+                let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
+                let job = Job {
+                    cells,
+                    coords,
+                    exact,
+                    reply: reply_tx,
+                };
+                match try_enqueue(state, job) {
+                    Admission::Enqueued => {
+                        state.accepted.fetch_add(1, Ordering::Relaxed);
+                        if !push_pending(tx, Pending::Waiting(reply_rx), dead) {
+                            return;
+                        }
+                    }
+                    Admission::Shed => {
+                        // Shed frames are answered, never dropped — and
+                        // always with LOADSHED, nothing else.
+                        state.accepted.fetch_add(1, Ordering::Relaxed);
+                        state.shed.fetch_add(1, Ordering::Relaxed);
+                        let f = proto::encode_response(
+                            proto::OP_PROBE,
+                            proto::STATUS_LOADSHED,
+                            state.store.epoch(),
+                            0,
+                            &[],
+                        );
+                        if !push_pending(tx, Pending::Ready(f), dead) {
+                            return;
+                        }
+                    }
+                    // Not accepted: the drain owes this frame nothing.
+                    Admission::Draining => return,
+                }
+            }
+        }
+    }
+}
+
+/// Counts and renders a PING/STATS answer — through the pending FIFO,
+/// so it cannot overtake an in-flight probe reply.
+fn answer_counters(
+    state: &State,
+    tx: &mpsc::SyncSender<Pending>,
+    op: u8,
+    dead: &AtomicBool,
+) -> bool {
+    state.accepted.fetch_add(1, Ordering::Relaxed);
+    state.answered.fetch_add(1, Ordering::Relaxed);
+    let payload = proto::encode_counters(&state.counter_block());
+    let f = proto::encode_response(op, proto::STATUS_OK, state.store.epoch(), 0, &payload);
+    push_pending(tx, Pending::Ready(f), dead)
+}
+
+/// Pushes an owed reply onto the bounded channel. A full channel means
+/// the connection is at its in-flight cap: the reader (our caller)
+/// blocks here — which is exactly the read-side slowdown — until the
+/// writer frees a slot or dies. Returns false when the writer is gone.
+fn push_pending(tx: &mpsc::SyncSender<Pending>, entry: Pending, dead: &AtomicBool) -> bool {
+    let mut entry = entry;
+    loop {
+        match tx.try_send(entry) {
+            Ok(()) => return true,
+            Err(mpsc::TrySendError::Full(e)) => {
+                if dead.load(Ordering::Acquire) {
+                    return false;
+                }
+                entry = e;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// The write half: deliver every owed reply, in order, event-driven.
+/// After the reader disconnects the channel, whatever is buffered is
+/// still delivered — that is the flush half of the graceful drain —
+/// bounded by the drain grace once draining begins.
+fn writer_loop(state: &State, mut w: TcpStream, rx: mpsc::Receiver<Pending>, dead: &AtomicBool) {
+    let mut clock = DrainClock::new(state.drain_grace);
+    let result: io::Result<()> = (|| {
+        loop {
+            let entry = loop {
+                match rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(e) => break e,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if clock.expired(state) {
+                            return Err(io::ErrorKind::TimedOut.into());
+                        }
+                    }
+                    // Reader gone and everything owed delivered: done.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                }
+            };
+            let frame = match entry {
+                Pending::Ready(f) => f,
+                Pending::Waiting(reply_rx) => loop {
+                    match reply_rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(reply) => {
+                            break proto::encode_response(
+                                proto::OP_PROBE,
+                                reply.status,
+                                reply.epoch,
+                                reply.n,
+                                &reply.payload,
+                            )
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if clock.expired(state) {
+                                return Err(io::ErrorKind::TimedOut.into());
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            return Err(io::ErrorKind::BrokenPipe.into())
+                        }
+                    }
+                },
+            };
+            write_all_retry(state, &mut w, &frame, &mut clock)?;
+        }
+    })();
+    let _ = result;
+    // Tell the reader; a send failure path follows for anything still
+    // buffered (workers' sends to dropped receivers are ignored).
+    dead.store(true, Ordering::Release);
+}
+
+/// Writes a whole frame, riding out write timeouts (the write half
+/// carries a short timeout so a stalled client is re-checked against the
+/// drain deadline instead of blocking shutdown forever).
+fn write_all_retry(
+    state: &State,
+    w: &mut TcpStream,
+    frame: &[u8],
+    clock: &mut DrainClock,
+) -> io::Result<()> {
+    let mut at = 0;
+    while at < frame.len() {
+        match w.write(&frame[at..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(k) => at += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if clock.expired(state) {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request frame body; `Ok(None)` means the connection is done
+/// (clean EOF, server drain, or a dead writer).
+fn read_request_frame(
+    r: &mut TcpStream,
+    state: &State,
+    dead: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match fill(r, &mut len, state, dead)? {
+        Fill::Full => {}
+        Fill::CleanEof | Fill::Drain => return Ok(None),
+    }
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > proto::MAX_REQ_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request frame exceeds the protocol cap",
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    match fill(r, &mut body, state, dead)? {
+        Fill::Full => Ok(Some(body)),
+        Fill::CleanEof => Err(io::ErrorKind::UnexpectedEof.into()),
+        Fill::Drain => Ok(None),
+    }
+}
+
+/// Fills `buf`, retrying read timeouts; each timeout tick polls the
+/// draining flag (so drain is observed mid-frame without losing framing)
+/// and the writer's death (so a half-dead connection never keeps
+/// reading).
+fn fill(r: &mut TcpStream, buf: &mut [u8], state: &State, dead: &AtomicBool) -> io::Result<Fill> {
     let mut at = 0;
     while at < buf.len() {
-        if shutdown.load(Ordering::Acquire) {
-            return Ok(Fill::Shutdown);
+        if state.draining.load(Ordering::Acquire) || dead.load(Ordering::Acquire) {
+            return Ok(Fill::Drain);
         }
-        match stream.read(&mut buf[at..]) {
+        match r.read(&mut buf[at..]) {
             Ok(0) => {
                 return if at == 0 {
                     Ok(Fill::CleanEof)
@@ -372,124 +886,6 @@ fn fill(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Re
     Ok(Fill::Full)
 }
 
-/// Reads one request frame body; `Ok(None)` means the connection is done
-/// (clean EOF or server shutdown).
-fn read_request_frame(
-    stream: &mut TcpStream,
-    shutdown: &AtomicBool,
-) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match fill(stream, &mut len, shutdown)? {
-        Fill::Full => {}
-        Fill::CleanEof | Fill::Shutdown => return Ok(None),
-    }
-    let body_len = u32::from_le_bytes(len) as usize;
-    if body_len > proto::MAX_REQ_BODY {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request frame exceeds the protocol cap",
-        ));
-    }
-    let mut body = vec![0u8; body_len];
-    match fill(stream, &mut body, shutdown)? {
-        Fill::Full => Ok(Some(body)),
-        Fill::CleanEof => Err(io::ErrorKind::UnexpectedEof.into()),
-        Fill::Shutdown => Ok(None),
-    }
-}
-
-fn conn_loop(mut stream: TcpStream, state: &State) {
-    // BSD-derived unixes make accepted sockets inherit the listener's
-    // O_NONBLOCK (Linux does not); force blocking so the read timeout
-    // below actually blocks instead of busy-spinning on WouldBlock.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    // Depth 1 is enough: this thread never has more than one job in
-    // flight (requests on a connection are answered in order).
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
-    loop {
-        let body = match read_request_frame(&mut stream, &state.shutdown) {
-            Ok(Some(b)) => b,
-            Ok(None) => return,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let f = proto::encode_response(
-                    0,
-                    proto::STATUS_BAD_REQUEST,
-                    state.store.epoch(),
-                    0,
-                    &[],
-                );
-                let _ = stream.write_all(&f);
-                return;
-            }
-            Err(_) => return,
-        };
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        match proto::decode_request(&body) {
-            Err(_) => {
-                let f = proto::encode_response(
-                    body.first().copied().unwrap_or(0),
-                    proto::STATUS_BAD_REQUEST,
-                    state.store.epoch(),
-                    0,
-                    &[],
-                );
-                let _ = stream.write_all(&f);
-                return;
-            }
-            Ok(proto::Request::Ping) => {
-                let payload = state.probes.load(Ordering::Relaxed).to_le_bytes();
-                let f = proto::encode_response(
-                    proto::OP_PING,
-                    proto::STATUS_OK,
-                    state.store.epoch(),
-                    0,
-                    &payload,
-                );
-                if stream.write_all(&f).is_err() {
-                    return;
-                }
-            }
-            Ok(proto::Request::Probe { coords, exact }) => {
-                let cells: Vec<CellId> = coords.iter().map(|&c| coord_to_cell(c)).collect();
-                {
-                    let mut q = state.queue.lock().expect("probe queue");
-                    q.push_back(Job {
-                        cells,
-                        coords,
-                        exact,
-                        reply: reply_tx.clone(),
-                    });
-                }
-                state.ready.notify_one();
-                let reply = loop {
-                    match reply_rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(r) => break Some(r),
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            if state.shutdown.load(Ordering::Acquire) {
-                                break None;
-                            }
-                        }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break None,
-                    }
-                };
-                let Some(reply) = reply else { return };
-                let f = proto::encode_response(
-                    proto::OP_PROBE,
-                    reply.status,
-                    reply.epoch,
-                    reply.n,
-                    &reply.payload,
-                );
-                if stream.write_all(&f).is_err() {
-                    return;
-                }
-            }
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
 // Probe workers
 // ---------------------------------------------------------------------
@@ -499,11 +895,13 @@ fn worker_loop(state: &State) {
         let batch = {
             let mut q = state.queue.lock().expect("probe queue");
             loop {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if !q.is_empty() {
+                if !q.jobs.is_empty() {
+                    // Jobs outrank drain: an accepted frame is owed its
+                    // real answer, so workers exit only on empty+drain.
                     break;
+                }
+                if state.draining.load(Ordering::Acquire) {
+                    return;
                 }
                 q = state.ready.wait(q).expect("probe queue wait");
             }
@@ -512,18 +910,23 @@ fn worker_loop(state: &State) {
             // runs alone (lookup_batch blocks internally).
             let mut lanes = 0usize;
             let mut batch = Vec::new();
-            while let Some(front) = q.front() {
+            while let Some(front) = q.jobs.front() {
                 if !batch.is_empty() && lanes + front.cells.len() > state.batch_lanes {
                     break;
                 }
-                lanes += front.cells.len();
-                batch.push(q.pop_front().expect("front checked"));
+                let job = q.jobs.pop_front().expect("front checked");
+                lanes += job.cells.len();
+                q.lanes -= job.cells.len();
+                batch.push(job);
                 if lanes >= state.batch_lanes {
                     break;
                 }
             }
             batch
         };
+        if let Some(delay) = state.batch_delay {
+            std::thread::sleep(delay);
+        }
         process_batch(state, batch);
     }
 }
@@ -585,6 +988,9 @@ fn process_batch(state: &State, batch: Vec<Job>) {
                 payload,
             }
         };
+        // Counted at production: the reply exists whether or not the
+        // connection survives to carry it.
+        state.answered.fetch_add(1, Ordering::Relaxed);
         // A send failure means the connection died while we probed;
         // nothing to deliver to.
         let _ = job.reply.send(reply);

@@ -68,6 +68,11 @@ impl IndexStore {
     pub fn epoch(&self) -> u32 {
         self.epoch.load(Ordering::Acquire) as u32
     }
+
+    /// Successful hot-swaps so far (`epoch - 1`).
+    pub fn swaps(&self) -> u64 {
+        u64::from(self.epoch()).saturating_sub(1)
+    }
 }
 
 /// A file's change signature: inode + modified time + length. The inode
@@ -123,7 +128,19 @@ pub fn watch_loop(
     let mut prev_poll = loaded_sig;
     let mut swaps = 0u64;
     while !shutdown.load(Ordering::Acquire) {
-        std::thread::sleep(interval);
+        // Sleep in small slices so a graceful drain never waits a whole
+        // poll interval for this thread to join.
+        let wake = std::time::Instant::now() + interval;
+        loop {
+            let left = wake.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            std::thread::sleep(left.min(Duration::from_millis(10)));
+            if shutdown.load(Ordering::Acquire) {
+                return swaps;
+            }
+        }
         let sig = snapshot_signature(path);
         let stable = sig == prev_poll;
         prev_poll = sig;
@@ -189,6 +206,7 @@ mod tests {
         let e2 = store.swap(MappedSnapshot::open(&b).unwrap());
         assert_eq!(e2, 2);
         assert_eq!(store.epoch(), 2);
+        assert_eq!(store.swaps(), 1);
         let (new, e) = store.current();
         assert_eq!(e, 2);
         // New snapshot answers differently; the old Arc still answers as

@@ -1,0 +1,126 @@
+//! Property tests for the wire protocol's new admission-control
+//! surfaces: counter-block serialization, response framing across every
+//! status (LOADSHED/BUSY included), STATS/PING requests, and probe
+//! request round trips — alongside the example-based frame tests in
+//! `protocol.rs`.
+
+use act_serve::protocol as proto;
+use geom::Coord;
+use proptest::prelude::*;
+
+fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(probes, accepted, answered, shed, bad_frames, busy, batches, swaps, hw)| {
+                proto::CounterBlock {
+                    probes,
+                    accepted,
+                    answered,
+                    shed,
+                    bad_frames,
+                    busy,
+                    batches,
+                    swaps,
+                    queue_high_water_lanes: hw,
+                }
+            },
+        )
+}
+
+fn arb_status() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        Just(proto::STATUS_OK),
+        Just(proto::STATUS_BAD_REQUEST),
+        Just(proto::STATUS_UNSUPPORTED),
+        Just(proto::STATUS_INTERNAL),
+        Just(proto::STATUS_LOADSHED),
+        Just(proto::STATUS_BUSY),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counter blocks survive encode → decode bit-for-bit.
+    #[test]
+    fn counter_block_roundtrip(c in arb_counters()) {
+        let bytes = proto::encode_counters(&c);
+        prop_assert_eq!(bytes.len(), proto::COUNTER_BLOCK_LEN);
+        prop_assert_eq!(proto::decode_counters(&bytes).unwrap(), c);
+    }
+
+    /// Any truncation or extension of a counter block is a typed error,
+    /// never a garbage decode.
+    #[test]
+    fn counter_block_rejects_wrong_lengths(c in arb_counters(), cut in 0usize..proto::COUNTER_BLOCK_LEN) {
+        let bytes = proto::encode_counters(&c);
+        prop_assert!(proto::decode_counters(&bytes[..cut]).is_err());
+        let mut long = bytes.to_vec();
+        long.push(0);
+        prop_assert!(proto::decode_counters(&long).is_err());
+    }
+
+    /// Response frames round-trip for every status the server can send —
+    /// LOADSHED and BUSY included — with the payload intact.
+    #[test]
+    fn response_roundtrip_every_status(
+        op in 0u8..=3,
+        status in arb_status(),
+        epoch in any::<u32>(),
+        n in 0u32..10_000,
+        payload in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let frame = proto::encode_response(op, status, epoch, n, &payload);
+        let body = proto::read_frame(&mut frame.as_slice(), usize::MAX).unwrap().unwrap();
+        let (h, p) = proto::decode_response(&body).unwrap();
+        prop_assert_eq!(h, proto::RespHeader { op, status, epoch, n });
+        prop_assert_eq!(p, payload.as_slice());
+    }
+
+    /// PING and STATS responses carry a decodable counter block whatever
+    /// the counter values are.
+    #[test]
+    fn ping_and_stats_replies_roundtrip(c in arb_counters(), epoch in any::<u32>()) {
+        for op in [proto::OP_PING, proto::OP_STATS] {
+            let frame = proto::encode_response(op, proto::STATUS_OK, epoch, 0, &proto::encode_counters(&c));
+            let body = proto::read_frame(&mut frame.as_slice(), usize::MAX).unwrap().unwrap();
+            let (h, p) = proto::decode_response(&body).unwrap();
+            prop_assert_eq!((h.op, h.status, h.epoch, h.n), (op, proto::STATUS_OK, epoch, 0));
+            prop_assert_eq!(proto::decode_counters(p).unwrap(), c);
+        }
+    }
+
+    /// The header-only request frames decode back to their ops.
+    #[test]
+    fn headless_requests_roundtrip(which in proptest::bool::ANY) {
+        let (frame, want) = if which {
+            (proto::encode_ping_request(), proto::Request::Ping)
+        } else {
+            (proto::encode_stats_request(), proto::Request::Stats)
+        };
+        let body = proto::read_frame(&mut frame.as_slice(), proto::MAX_REQ_BODY).unwrap().unwrap();
+        prop_assert_eq!(proto::decode_request(&body).unwrap(), want);
+    }
+
+    /// Probe requests round-trip for any finite coordinate set and flag.
+    #[test]
+    fn probe_request_roundtrip(
+        pts in proptest::collection::vec((-180.0f64..180.0, -90.0f64..90.0), 0..64),
+        exact in proptest::bool::ANY,
+    ) {
+        let coords: Vec<Coord> = pts.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        let frame = proto::encode_probe_request(&coords, exact);
+        let body = proto::read_frame(&mut frame.as_slice(), proto::MAX_REQ_BODY).unwrap().unwrap();
+        prop_assert_eq!(proto::decode_request(&body).unwrap(), proto::Request::Probe { coords, exact });
+    }
+}

@@ -109,8 +109,11 @@ fn build_and_save(path: &str, ds: &datagen::Dataset) -> ActIndex {
 }
 
 /// `--serve`: own the snapshot, answer probes over TCP, hot-swap on
-/// snapshot replacement. Runs until killed.
-fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) -> ! {
+/// snapshot replacement. Runs until SIGINT (Ctrl-C), then drains
+/// gracefully: the self-pipe flag installed below flips, the loop calls
+/// `Server::shutdown()` — stop accepting, answer every accepted frame,
+/// flush, join — and the final counters are printed.
+fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) {
     // Ensure a current snapshot exists at the path. A cheap mmap open
     // validates it (and its ε) without the full heap deserialization the
     // offline warm start pays — the server only probes the mapping.
@@ -141,18 +144,40 @@ fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) -> ! {
     )
     .expect("spawn act-serve");
     println!(
-        "act-serve: {} zones on {}, watching {snap_path} for hot-swaps (Ctrl-C to stop)",
+        "act-serve: {} zones on {}, watching {snap_path} for hot-swaps (Ctrl-C drains + exits)",
         ds.polygons.len(),
         server.addr()
     );
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(10));
-        let s = server.stats();
-        println!(
-            "epoch {}: {} probes in {} requests ({} micro-batches)",
-            s.epoch, s.probes, s.requests, s.batches
-        );
+    // SIGINT → graceful drain, via the self-pipe flag: the handler only
+    // sets an atomic and writes one pipe byte; this loop does the work.
+    let sig = sigflag::SigFlag::install(sigflag::SIGINT).expect("install SIGINT handler");
+    let mut last_report = std::time::Instant::now();
+    while !sig.is_raised() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if last_report.elapsed() >= std::time::Duration::from_secs(10) {
+            last_report = std::time::Instant::now();
+            let s = server.stats();
+            println!(
+                "epoch {}: {} probes in {} requests ({} micro-batches, {} shed, {} busy)",
+                s.epoch, s.probes, s.requests, s.batches, s.shed, s.busy
+            );
+        }
     }
+    println!("act-serve: SIGINT — draining (accepted frames get answered, then sockets close)");
+    // shutdown() returns the post-drain counters: frames answered
+    // *during* the drain are included in the final report.
+    let s = server.shutdown();
+    println!(
+        "act-serve: drained. epoch {}: {} probes in {} requests ({} micro-batches, {} shed, {} bad, {} busy, queue high-water {} lanes)",
+        s.epoch,
+        s.probes,
+        s.requests,
+        s.batches,
+        s.shed,
+        s.bad_frames,
+        s.busy,
+        s.queue_high_water_lanes
+    );
 }
 
 /// `--client`: stream the ride-request workload to a server and print
@@ -246,6 +271,7 @@ fn main() {
         Some("--serve") => {
             let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);
             serve_mode(addr, &snap_path, &ds);
+            return;
         }
         Some("--client") => {
             let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);

@@ -1,0 +1,347 @@
+//! Chaos soak: concurrent clients hammer probes across repeated
+//! snapshot hot-swaps on a deliberately tiny, deliberately slow server
+//! (small lane queue + pinned per-batch delay, so shedding really
+//! happens) while one client stalls its reader mid-burst. The contract:
+//!
+//! * every frame sent gets **exactly one** reply;
+//! * every non-shed reply matches an offline probe of the snapshot its
+//!   echoed epoch names — hot-swapping under overload never corrupts an
+//!   answer;
+//! * a shed frame is only ever answered `LOADSHED` — never dropped,
+//!   never answered with anything else;
+//! * the final counters reconcile: `accepted = answered + shed`;
+//! * and the graceful drain answers everything accepted before
+//!   `shutdown()`, nothing after.
+//!
+//! Time-budgeted: the whole file runs in well under 5 s.
+
+use act_core::ActIndex;
+use act_serve::{protocol as proto, Client, ClientError, ServeConfig, Server};
+use geom::{Coord, Polygon, Ring};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+    Polygon::new(
+        Ring::new(vec![
+            Coord::new(cx - half, cy - half),
+            Coord::new(cx + half, cy - half),
+            Coord::new(cx + half, cy + half),
+            Coord::new(cx - half, cy + half),
+        ]),
+        vec![],
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("act-chaos-{}-{name}.snap", std::process::id()));
+    p
+}
+
+fn save_snapshot_to(path: &std::path::Path, idx: &ActIndex) {
+    let mut bytes = Vec::new();
+    idx.save_snapshot(&mut bytes).unwrap();
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// Points spanning both squares and the void between them, so answers
+/// differ between the two snapshots at many probes.
+fn chaos_points(n: usize, salt: u64) -> Vec<Coord> {
+    (0..n)
+        .map(|k| {
+            let t = ((k as u64).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f64 / 1000.0;
+            Coord::new(-74.08 + 0.16 * t, 40.70 + 0.01 * (t - 0.5))
+        })
+        .collect()
+}
+
+/// The index the echoed epoch was served from: the test swaps
+/// A → B → A → B, so odd epochs are A, even epochs are B.
+fn index_for_epoch<'a>(epoch: u32, a: &'a ActIndex, b: &'a ActIndex) -> &'a ActIndex {
+    if epoch % 2 == 1 {
+        a
+    } else {
+        b
+    }
+}
+
+#[test]
+fn hot_swaps_under_shedding_with_a_stalled_reader() {
+    let polys_a = vec![square(-74.05, 40.70, 0.02)];
+    let polys_b = vec![square(-73.95, 40.70, 0.02)];
+    let idx_a = ActIndex::build(&polys_a, 15.0).unwrap();
+    let idx_b = ActIndex::build(&polys_b, 15.0).unwrap();
+    let path = temp_path("soak");
+    save_snapshot_to(&path, &idx_a);
+    let sibling_b = temp_path("soak-b");
+    let sibling_a = temp_path("soak-a");
+
+    // Tiny and slow on purpose: depth 512 lanes, one worker, 0.5 ms per
+    // batch (capacity ≈ 512 k lanes/s) — the stalled client's burst
+    // must overflow the queue.
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            workers: 1,
+            batch_lanes: 256,
+            queue_depth_lanes: 512,
+            max_inflight_frames: 32,
+            batch_delay: Some(Duration::from_micros(500)),
+            watch: Some(Duration::from_millis(10)),
+            drain_grace: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let stop = AtomicBool::new(false);
+    let client_frames = AtomicU64::new(0);
+    let client_sheds = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+        let _stop_guard = StopOnDrop(&stop);
+
+        // Three well-behaved clients: continuous verified traffic
+        // across every swap. Each frame gets exactly one reply (the
+        // blocking client errors loudly on anything else).
+        let mut well_behaved = Vec::new();
+        for t in 0..3u64 {
+            let (stop, frames, sheds) = (&stop, &client_frames, &client_sheds);
+            let (idx_a, idx_b) = (&idx_a, &idx_b);
+            well_behaved.push(scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("chaos client connect");
+                c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let pts = chaos_points(32, t * 7919 + round);
+                    round += 1;
+                    frames.fetch_add(1, Ordering::Relaxed);
+                    match c.probe(&pts, false) {
+                        Ok(reply) => {
+                            let idx = index_for_epoch(reply.epoch, idx_a, idx_b);
+                            for (pt, got) in pts.iter().zip(&reply.refs) {
+                                assert_eq!(
+                                    *got,
+                                    idx.lookup_refs(*pt),
+                                    "epoch {} answer diverged at {pt}",
+                                    reply.epoch
+                                );
+                            }
+                        }
+                        // A shed is answered LOADSHED and nothing else;
+                        // the connection stays usable.
+                        Err(ClientError::Server(s)) => {
+                            assert_eq!(
+                                s,
+                                proto::STATUS_LOADSHED,
+                                "only LOADSHED may reject a well-formed probe"
+                            );
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("chaos client failed: {e}"),
+                    }
+                }
+            }));
+        }
+
+        // The stalled reader: burst 8 × 128-point frames in one write,
+        // then go silent while the swaps churn, then collect. Its
+        // replies must be exactly 8, in order, each OK (and correct for
+        // its epoch) or LOADSHED.
+        let stalled = {
+            let (idx_a, idx_b) = (&idx_a, &idx_b);
+            scope.spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).expect("stalled connect");
+                s.set_nodelay(true).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let frames: Vec<Vec<Coord>> =
+                    (0..8).map(|k| chaos_points(128, 40_000 + k)).collect();
+                let mut burst = Vec::new();
+                for f in &frames {
+                    burst.extend_from_slice(&proto::encode_probe_request(f, false));
+                }
+                s.write_all(&burst).expect("stalled burst write");
+                // The deliberate stall: sleep through the hot-swaps
+                // with replies backing up.
+                std::thread::sleep(Duration::from_millis(600));
+                let mut sheds = 0u64;
+                for (k, f) in frames.iter().enumerate() {
+                    let body = proto::read_frame(&mut s, 1 << 22)
+                        .expect("stalled read")
+                        .unwrap_or_else(|| panic!("reply {k} missing: frame dropped"));
+                    let (h, payload) = proto::decode_response(&body).unwrap();
+                    assert_eq!(h.op, proto::OP_PROBE);
+                    match h.status {
+                        proto::STATUS_OK => {
+                            let refs = proto::decode_probe_payload(h.n, payload).unwrap();
+                            let idx = index_for_epoch(h.epoch, idx_a, idx_b);
+                            for (pt, got) in f.iter().zip(&refs) {
+                                assert_eq!(*got, idx.lookup_refs(*pt), "stalled frame {k} at {pt}");
+                            }
+                        }
+                        proto::STATUS_LOADSHED => {
+                            assert_eq!(h.n, 0, "LOADSHED carries no entries");
+                            sheds += 1;
+                        }
+                        other => panic!(
+                            "stalled frame {k} answered {} — only OK or LOADSHED is legal",
+                            proto::status_name(other)
+                        ),
+                    }
+                }
+                // Exactly 8 replies and not a byte more in flight.
+                sheds
+            })
+        };
+
+        // Drive three hot-swaps while all of the above is in the air.
+        let deadline = Instant::now() + Duration::from_secs(4);
+        for (target_epoch, idx) in [(2u32, &idx_b), (3, &idx_a), (4, &idx_b)] {
+            let sibling = if target_epoch % 2 == 0 {
+                &sibling_b
+            } else {
+                &sibling_a
+            };
+            save_snapshot_to(sibling, idx);
+            std::fs::rename(sibling, &path).unwrap();
+            while server.epoch() < target_epoch {
+                assert!(
+                    Instant::now() < deadline,
+                    "watcher did not reach epoch {target_epoch} in time"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        assert_eq!(server.epoch(), 4, "three swaps must have landed");
+
+        // Let traffic ride the final epoch briefly, then stop.
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Release);
+        for h in well_behaved {
+            h.join().expect("well-behaved chaos client");
+        }
+        let stalled_sheds = stalled.join().expect("stalled reader");
+        // The burst (1024 lanes) overflows the 512-lane queue no matter
+        // how the worker interleaves: some of it must have shed.
+        assert!(
+            stalled_sheds > 0,
+            "the stalled burst must overflow the queue"
+        );
+        client_sheds.fetch_add(stalled_sheds, Ordering::Relaxed);
+    });
+
+    // Every reply is in; the books must balance.
+    let stats = server.stats();
+    assert_eq!(
+        stats.accepted,
+        stats.answered + stats.shed,
+        "accepted = answered + shed must reconcile after the soak"
+    );
+    assert_eq!(
+        stats.shed,
+        client_sheds.load(Ordering::Relaxed),
+        "server-side sheds must equal client-observed LOADSHED replies"
+    );
+    assert!(
+        stats.queue_high_water_lanes <= 512,
+        "queue high-water {} exceeded the configured depth",
+        stats.queue_high_water_lanes
+    );
+    assert_eq!(stats.bad_frames, 0);
+    assert_eq!(stats.epoch, 4);
+    // The well-behaved clients sent at least a few hundred frames and
+    // every single one was answered (counted at the server): frames
+    // observed client-side ≤ accepted (the stalled 8 ride on top).
+    let sent = client_frames.load(Ordering::Relaxed);
+    assert!(sent > 50, "chaos traffic too thin ({sent} frames)");
+    assert_eq!(stats.accepted, sent + 8, "exactly one admission per frame");
+
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The drain half of the lifecycle, on its own small server: frames
+/// accepted before `shutdown()` all get real answers; nothing sent after
+/// is ever answered.
+#[test]
+fn shutdown_drains_accepted_frames_and_nothing_more() {
+    let polys = vec![square(-74.0, 40.7, 0.02)];
+    let idx = ActIndex::build(&polys, 15.0).unwrap();
+    let path = temp_path("drain");
+    save_snapshot_to(&path, &idx);
+
+    // Slow worker so the queue is demonstrably non-empty at shutdown.
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            workers: 1,
+            batch_lanes: 64,
+            batch_delay: Some(Duration::from_millis(2)),
+            max_inflight_frames: 16,
+            watch: None,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let frames: Vec<Vec<Coord>> = (0..8).map(|k| chaos_points(64, 90_000 + k)).collect();
+    let mut burst = Vec::new();
+    for f in &frames {
+        burst.extend_from_slice(&proto::encode_probe_request(f, false));
+    }
+    s.write_all(&burst).unwrap();
+
+    // Wait until every frame is *accepted* (admitted, not yet all
+    // answered — the slow worker guarantees a backlog), then shut down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().accepted < frames.len() as u64 {
+        assert!(Instant::now() < deadline, "frames were never accepted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.shutdown();
+
+    // Everything accepted pre-shutdown is answered, in order, for real.
+    for (k, f) in frames.iter().enumerate() {
+        let body = proto::read_frame(&mut s, 1 << 22)
+            .expect("post-drain read")
+            .unwrap_or_else(|| panic!("drain dropped frame {k}"));
+        let (h, payload) = proto::decode_response(&body).unwrap();
+        assert_eq!(
+            (h.op, h.status),
+            (proto::OP_PROBE, proto::STATUS_OK),
+            "drained frame {k} must get its real answer"
+        );
+        let refs = proto::decode_probe_payload(h.n, payload).unwrap();
+        for (pt, got) in f.iter().zip(&refs) {
+            assert_eq!(*got, idx.lookup_refs(*pt), "drained frame {k} at {pt}");
+        }
+    }
+    // …and nothing more: the stream ends. A frame sent now is never
+    // answered (the listener is gone; the write may succeed into a dead
+    // socket, but no reply can ever arrive).
+    let _ = s.write_all(&proto::encode_probe_request(&frames[0], false));
+    let mut rest = Vec::new();
+    match s.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "no answers after shutdown"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected post-shutdown error: {e}"
+        ),
+    }
+    std::fs::remove_file(&path).unwrap();
+}

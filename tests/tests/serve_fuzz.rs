@@ -1,0 +1,352 @@
+//! Deterministic protocol fuzzing against a live act-serve: a seeded
+//! RNG generates ≥500 malformed frames — truncations, oversized length
+//! prefixes, garbage opcodes, bad flags/reserved bytes, point-count
+//! mismatches, non-finite coordinates, mid-frame disconnects — and fires
+//! each at the server on its own connection. The contract under attack:
+//!
+//! * the server never panics and never wedges (every read here carries a
+//!   deadline, so a wedge fails the test instead of hanging it);
+//! * every malformed frame is answered with a **typed** `BAD_REQUEST`
+//!   (then close) or met with a clean close — never garbage, never
+//!   silence on an intact connection;
+//! * a concurrent well-formed connection keeps getting byte-correct
+//!   answers the whole time, and the server still serves after the last
+//!   attack.
+
+use act_core::ActIndex;
+use act_serve::{protocol as proto, Client, ServeConfig, Server};
+use geom::Coord;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// splitmix64: tiny, seeded, deterministic — the same generator the
+/// vendored proptest uses, reimplemented here so the fuzz corpus is
+/// fixed by the seed below and nothing else.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next() as u8).collect()
+    }
+}
+
+const FUZZ_CASES: usize = 520;
+const SEED: u64 = 0x0AC7_5EED;
+
+fn snap_file(name: &str) -> (std::path::PathBuf, ActIndex) {
+    let ds = datagen::blocks_scaled(3, 2, 11);
+    let idx = ActIndex::build(&ds.polygons, 60.0).unwrap();
+    let mut bytes = Vec::new();
+    idx.save_snapshot(&mut bytes).unwrap();
+    let mut p = std::env::temp_dir();
+    p.push(format!("act-fuzz-{}-{name}.snap", std::process::id()));
+    std::fs::write(&p, bytes).unwrap();
+    (p, idx)
+}
+
+/// A fresh attack connection with a read deadline (a wedged server fails
+/// fast instead of hanging the suite).
+fn attack_conn(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// True for the error kinds a freshly closed TCP peer legitimately
+/// produces on the next read: the server closing a socket that still
+/// holds unread client bytes sends RST, which surfaces as a reset.
+fn is_close(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
+}
+
+/// Asserts the server answered exactly one BAD_REQUEST frame and then
+/// closed the connection. `trailing_unread` marks the cases that leave
+/// bytes the server never reads (e.g. past an oversized length prefix):
+/// there the close is an RST, which may race ahead of — or clip — the
+/// reject frame, so a bare reset also counts as "closed, typed or not".
+fn expect_bad_request_then_close(mut s: TcpStream, what: &str, trailing_unread: bool) {
+    let body = match proto::read_frame(&mut s, 1 << 20) {
+        Ok(Some(body)) => body,
+        Ok(None) if trailing_unread => return, // close beat the reject
+        Ok(None) => panic!("{what}: server closed without a typed reject"),
+        Err(e) if trailing_unread && is_close(e.kind()) => return,
+        Err(e) => panic!("{what}: reading the reject failed: {e}"),
+    };
+    let (h, _) = proto::decode_response(&body).unwrap_or_else(|e| panic!("{what}: {e}"));
+    assert_eq!(
+        h.status,
+        proto::STATUS_BAD_REQUEST,
+        "{what}: expected BAD_REQUEST, got {}",
+        proto::status_name(h.status)
+    );
+    let mut rest = Vec::new();
+    match s.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "{what}: server must close after a bad frame"),
+        Err(e) if is_close(e.kind()) => {} // RST from unread bytes
+        Err(e) => panic!("{what}: post-reject read failed: {e}"),
+    }
+}
+
+/// Asserts the server closed the connection without sending anything
+/// (the reaction to a frame that never structurally completed).
+fn expect_clean_close(mut s: TcpStream, what: &str) {
+    s.shutdown(std::net::Shutdown::Write).ok();
+    let mut rest = Vec::new();
+    match s.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "{what}: expected a clean close, got {n} bytes"),
+        Err(e) if is_close(e.kind()) => {}
+        Err(e) => panic!("{what}: close-side read failed: {e}"),
+    }
+}
+
+/// One well-formed probe on a fresh connection, verified against the
+/// offline index — the "is the server still sane" pulse.
+fn assert_still_serving(addr: std::net::SocketAddr, idx: &ActIndex, grid: &[Coord]) {
+    let mut c = Client::connect(addr).expect("post-attack connect");
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reply = c.probe(grid, false).expect("post-attack probe");
+    for (pt, got) in grid.iter().zip(&reply.refs) {
+        assert_eq!(*got, idx.lookup_refs(*pt), "post-attack divergence at {pt}");
+    }
+}
+
+#[test]
+fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
+    let (path, idx) = snap_file("fuzz");
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            watch: None,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let ds = datagen::blocks_scaled(3, 2, 11);
+    let (lo, hi) = (ds.bbox.min, ds.bbox.max);
+    let grid: Vec<Coord> = (0..48)
+        .map(|k| {
+            Coord::new(
+                lo.x + (hi.x - lo.x) * (k % 8) as f64 / 7.0,
+                lo.y + (hi.y - lo.y) * (k / 8) as f64 / 5.0,
+            )
+        })
+        .collect();
+
+    // The concurrent well-formed connection: probes continuously while
+    // the fuzzer attacks, verifying every answer. A panic in here
+    // propagates through the join below.
+    let stop = AtomicBool::new(false);
+    let sentinel_rounds = std::thread::scope(|scope| {
+        // Stop the sentinel even if a fuzz-case assertion unwinds:
+        // without this, the scope's implicit join waits on a sentinel
+        // that never got the stop signal and the panic masquerades as a
+        // hang.
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+        let _stop_guard = StopOnDrop(&stop);
+        let sentinel = {
+            let (stop, grid, idx) = (&stop, &grid, &idx);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("sentinel connect");
+                c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let mut rounds = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let reply = c.probe(grid, false).expect("sentinel probe");
+                    for (pt, got) in grid.iter().zip(&reply.refs) {
+                        assert_eq!(*got, idx.lookup_refs(*pt), "sentinel divergence at {pt}");
+                    }
+                    rounds += 1;
+                    // Throttle: the point is continuous coverage, not
+                    // load — an unthrottled spin starves the fuzzer on a
+                    // single-core machine and turns a 2 s suite into
+                    // minutes.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                rounds
+            })
+        };
+
+        let mut rng = Rng(SEED);
+        for case in 0..FUZZ_CASES {
+            let what = format!("case {case}");
+            match rng.below(9) {
+                // Garbage body under a correct length prefix, op forced
+                // invalid so the expectation is deterministic.
+                0 => {
+                    let n = rng.below(64) as usize + 1;
+                    let mut body = rng.bytes(n);
+                    body[0] = 4 + (rng.next() as u8 % 250); // op ∉ {1,2,3}
+                    let mut s = attack_conn(addr);
+                    let mut f = (body.len() as u32).to_le_bytes().to_vec();
+                    f.extend_from_slice(&body);
+                    s.write_all(&f).unwrap();
+                    if body.len() >= proto::REQ_HEADER_LEN {
+                        expect_bad_request_then_close(s, &format!("{what}: garbage op"), false);
+                    } else {
+                        // Shorter than a header is also a typed reject.
+                        expect_bad_request_then_close(s, &format!("{what}: short body"), false);
+                    }
+                }
+                // Truncated frame: the length prefix promises more than
+                // is ever sent; the connection just ends mid-frame.
+                1 => {
+                    let promised = rng.below(2048) as usize + 8;
+                    let sent = rng.below(promised as u64) as usize;
+                    let mut s = attack_conn(addr);
+                    let mut f = (promised as u32).to_le_bytes().to_vec();
+                    f.extend_from_slice(&rng.bytes(sent));
+                    s.write_all(&f).unwrap();
+                    expect_clean_close(s, &format!("{what}: truncated frame"));
+                }
+                // Oversized length prefix: rejected before any
+                // allocation, typed, then close.
+                2 => {
+                    let over = proto::MAX_REQ_BODY as u64
+                        + 1
+                        + rng.below(u32::MAX as u64 - proto::MAX_REQ_BODY as u64);
+                    let mut s = attack_conn(addr);
+                    let mut f = (over as u32).to_le_bytes().to_vec();
+                    f.extend_from_slice(&rng.bytes(16));
+                    s.write_all(&f).unwrap();
+                    expect_bad_request_then_close(s, &format!("{what}: oversized length"), true);
+                }
+                // Unknown opcode in an otherwise perfect header.
+                3 => {
+                    let mut f = proto::encode_ping_request();
+                    f[4] = 4 + (rng.next() as u8 % 250);
+                    let mut s = attack_conn(addr);
+                    s.write_all(&f).unwrap();
+                    expect_bad_request_then_close(s, &format!("{what}: unknown op"), false);
+                }
+                // Point count disagreeing with the body length.
+                4 => {
+                    let k = rng.below(16) as usize + 1;
+                    let coords: Vec<Coord> = (0..k).map(|i| Coord::new(i as f64, 0.0)).collect();
+                    let mut f = proto::encode_probe_request(&coords, false);
+                    // Lie about n (offset 8..12 in the frame).
+                    let lie = (k as u32).wrapping_add(1 + rng.below(100) as u32);
+                    f[8..12].copy_from_slice(&lie.to_le_bytes());
+                    let mut s = attack_conn(addr);
+                    s.write_all(&f).unwrap();
+                    expect_bad_request_then_close(s, &format!("{what}: count mismatch"), false);
+                }
+                // Non-finite coordinates.
+                5 => {
+                    let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][rng.below(3) as usize];
+                    let mut coords = vec![Coord::new(0.0, 0.0); rng.below(8) as usize + 1];
+                    let at = rng.below(coords.len() as u64) as usize;
+                    coords[at] = Coord::new(bad, 0.0);
+                    let mut s = attack_conn(addr);
+                    s.write_all(&proto::encode_probe_request(&coords, false))
+                        .unwrap();
+                    expect_bad_request_then_close(s, &format!("{what}: non-finite coord"), false);
+                }
+                // Reserved bytes / unknown flag bits set.
+                6 => {
+                    let mut f = proto::encode_probe_request(&[Coord::new(0.0, 0.0)], false);
+                    if rng.below(2) == 0 {
+                        f[6 + rng.below(2) as usize] = 1 + rng.next() as u8 % 255;
+                    } else {
+                        f[5] |= 2 << rng.below(7); // any flag beyond EXACT
+                    }
+                    let mut s = attack_conn(addr);
+                    s.write_all(&f).unwrap();
+                    expect_bad_request_then_close(s, &format!("{what}: reserved/flags"), false);
+                }
+                // Mid-frame disconnect: a valid frame cut anywhere, then
+                // the socket is dropped entirely.
+                7 => {
+                    let coords: Vec<Coord> = (0..rng.below(32) + 1)
+                        .map(|i| Coord::new(i as f64 * 0.001, 0.0))
+                        .collect();
+                    let f = proto::encode_probe_request(&coords, false);
+                    let cut = rng.below(f.len() as u64 - 1) as usize + 1;
+                    let mut s = attack_conn(addr);
+                    s.write_all(&f[..cut]).unwrap();
+                    drop(s); // no FIN-then-read: just vanish
+                }
+                // A valid frame answered correctly, THEN garbage on the
+                // same connection: the good answer must arrive first.
+                _ => {
+                    let mut s = attack_conn(addr);
+                    let probe: Vec<Coord> =
+                        grid[..rng.below(grid.len() as u64) as usize + 1].to_vec();
+                    s.write_all(&proto::encode_probe_request(&probe, false))
+                        .unwrap();
+                    let body = proto::read_frame(&mut s, 1 << 20)
+                        .expect("valid-frame read")
+                        .expect("valid frame must be answered");
+                    let (h, payload) = proto::decode_response(&body).unwrap();
+                    assert_eq!(
+                        h.status,
+                        proto::STATUS_OK,
+                        "{what}: valid frame pre-garbage"
+                    );
+                    let refs = proto::decode_probe_payload(h.n, payload).unwrap();
+                    for (pt, got) in probe.iter().zip(&refs) {
+                        assert_eq!(*got, idx.lookup_refs(*pt), "{what}: at {pt}");
+                    }
+                    let mut junk = proto::encode_ping_request();
+                    junk[4] = 0; // op 0 is invalid
+                    s.write_all(&junk).unwrap();
+                    expect_bad_request_then_close(
+                        s,
+                        &format!("{what}: garbage after valid"),
+                        false,
+                    );
+                }
+            }
+            // A periodic pulse through a fresh, fully well-formed
+            // connection (cheap; catches a wedge early with a case id).
+            if case % 64 == 0 {
+                assert_still_serving(addr, &idx, &grid);
+            }
+        }
+        stop.store(true, Ordering::Release);
+        sentinel.join().expect("sentinel must never fail")
+    });
+    assert!(
+        sentinel_rounds > 0,
+        "the well-formed connection must have made progress during the attack"
+    );
+
+    // Post-attack: still serving, counters coherent, nothing shed (the
+    // attack never fills the default queue) and plenty rejected.
+    assert_still_serving(addr, &idx, &grid);
+    let stats = server.stats();
+    assert!(
+        stats.bad_frames >= (FUZZ_CASES / 3) as u64,
+        "most categories must have produced typed rejects (got {})",
+        stats.bad_frames
+    );
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.accepted, stats.answered + stats.shed);
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
