@@ -20,9 +20,13 @@
 //! serving path `act-serve` runs on. On a warm cache it skips the big
 //! copy entirely, so it should beat the heap read.
 
-use act_core::{ActIndex, MappedSnapshot, Probe, SnapshotBuf};
+use act_core::{
+    header_checksum, save_delta_file, ActIndex, DeltaLink, DeltaOp, MappedSnapshot, Probe,
+    SnapshotBuf,
+};
 use bench::json::{array, machine_stamp, pretty, Obj};
 use bench::{make_points, paper_datasets, snapshot_path, to_cells, Opts};
+use geom::{Coord, Polygon, Ring};
 use std::time::Instant;
 
 /// Loads per mode; the minimum is recorded.
@@ -82,7 +86,8 @@ fn main() {
         );
 
         // The probe sample every loaded copy must answer identically.
-        let cells = to_cells(&make_points(&ds, VERIFY_POINTS, opts.seed));
+        let sample = make_points(&ds, VERIFY_POINTS, opts.seed);
+        let cells = to_cells(&sample);
         let mut want = vec![Probe::Miss; cells.len()];
         built.probe_batch(&cells, &mut want);
         let mut got = vec![Probe::Miss; cells.len()];
@@ -130,8 +135,73 @@ fn main() {
             }
         }
 
+        // Delta apply (the live-update path): a one-polygon ACTDLT01
+        // delta applied in place to a primed scratch index — what the
+        // act-serve watcher does per delta instead of a full reload.
+        // Timed region = the apply itself (the watcher's apply-to-
+        // publish latency); the scratch re-clone runs after publish,
+        // off that path, and is recorded separately. The polygon is a
+        // realistic churn unit: a ~40 m geofence, not a district (those
+        // go through a rebuild, not a delta).
+        let delta_p = {
+            let c = Coord::new(
+                (ds.bbox.min.x + ds.bbox.max.x) / 2.0,
+                (ds.bbox.min.y + ds.bbox.max.y) / 2.0,
+            );
+            let h = 0.0002; // ~20 m half-width at NYC latitudes
+            Polygon::new(
+                Ring::new(vec![
+                    Coord::new(c.x - h, c.y - h),
+                    Coord::new(c.x + h, c.y - h),
+                    Coord::new(c.x + h, c.y + h),
+                    Coord::new(c.x - h, c.y + h),
+                    Coord::new(c.x - h, c.y - h),
+                ]),
+                vec![],
+            )
+        };
+        let base_sum = header_checksum(&std::fs::read(&path).expect("read snapshot"))
+            .expect("snapshot header");
+        let delta_file = path.with_extension("snap.d1");
+        let ops = [DeltaOp::Insert {
+            id: ds.polygons.len() as u32,
+            polygon: delta_p,
+        }];
+        save_delta_file(&ops, DeltaLink::for_base(base_sum), &delta_file).expect("save delta");
+        let delta_bytes = std::fs::metadata(&delta_file).expect("stat delta").len();
+        let new_id = ds.polygons.len() as u32;
+        // Resolved-id ground truth (raw probes encode arena offsets,
+        // which legitimately shift when the arena mutates).
+        let want_refs: Vec<Vec<(u32, bool)>> =
+            sample.iter().map(|&p| built.lookup_refs(p)).collect();
+        let mut scratch = built.clone();
+        scratch.prime_mutations(); // one-time, like the watcher's lineage open
+        let mut delta_runs = Vec::new();
+        let mut clone_runs = Vec::new();
+        for _ in 0..LOADS {
+            let t = Instant::now();
+            let mut live = scratch.clone();
+            clone_runs.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            act_core::apply_delta_file(&mut live, &delta_file, DeltaLink::for_base(base_sum))
+                .expect("apply delta");
+            delta_runs.push(t.elapsed().as_secs_f64());
+            // Modulo the freshly inserted polygon, every sample point
+            // must resolve exactly as in the built index.
+            for (p, w) in sample.iter().zip(&want_refs) {
+                let mut refs = live.lookup_refs(*p);
+                refs.retain(|r| r.0 != new_id);
+                assert_eq!(
+                    &refs, w,
+                    "delta-applied lookup diverged at {p} — not recording"
+                );
+            }
+        }
+        std::fs::remove_file(&delta_file).ok();
+
         let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
         let (owned_min, view_min) = (min(&owned_runs), min(&view_runs));
+        let delta_min = min(&delta_runs);
         println!(
             "load:  owned {owned_min:.3} s ({:.0}x vs build), zero-copy {view_min:.3} s ({:.0}x vs build)",
             build_secs / owned_min,
@@ -144,6 +214,12 @@ fn main() {
                 build_secs / min(&mmap_runs)
             );
         }
+        println!(
+            "delta: {delta_min:.6} s in-place apply of a {delta_bytes}-byte one-polygon delta \
+             ({:.0}x vs owned reload; off-path scratch re-clone {:.3} s)",
+            owned_min / delta_min,
+            min(&clone_runs)
+        );
 
         let runs = |v: &[f64]| array(v.iter().map(|s| format!("{s:.6}")));
         let mut entry = Obj::new()
@@ -159,7 +235,12 @@ fn main() {
             .num("build_over_load_owned", build_secs / owned_min)
             .num("build_over_load_view", build_secs / view_min)
             .raw("load_owned_secs", runs(&owned_runs))
-            .raw("load_view_secs", runs(&view_runs));
+            .raw("load_view_secs", runs(&view_runs))
+            .int("delta_bytes", delta_bytes)
+            .num("delta_apply_secs_min", delta_min)
+            .num("reload_owned_over_delta_apply", owned_min / delta_min)
+            .num("delta_scratch_clone_secs_min", min(&clone_runs))
+            .raw("delta_apply_secs", runs(&delta_runs));
         if opts.mmap {
             entry = entry
                 .num("load_mmap_secs_min", min(&mmap_runs))

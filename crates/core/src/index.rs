@@ -44,11 +44,30 @@ pub struct BuildStats {
 }
 
 /// The query-ready index over a set of polygons.
-#[derive(Debug)]
+///
+/// Built once via [`ActIndex::build`] and then either served as-is or
+/// mutated in place: [`ActIndex::insert_polygon`] and
+/// [`ActIndex::remove_polygon`] edit the live trie (inserts append into
+/// the node arena, removals tombstone references), and a lazy
+/// [`ActIndex::compact`] rewrites the arena once the accumulated garbage
+/// crosses [`ActIndex::COMPACT_WASTE_THRESHOLD`].
+#[derive(Debug, Clone)]
 pub struct ActIndex {
     act: Act,
     table: LookupTable,
     stats: BuildStats,
+    /// Estimated garbage bytes accumulated by mutations since the last
+    /// compaction (orphaned arena nodes + stale lookup-table words).
+    /// Transient: not persisted in snapshots.
+    waste_bytes: u64,
+    /// Superset of the polygon ids the trie can reference (stale entries
+    /// from tombstoned removals may linger until a compaction — that
+    /// only costs a wasted scan, never a wrong answer). `None` until the
+    /// first mutation (or [`ActIndex::prime_mutations`]) pays the one
+    /// arena scan to build it; maintained incrementally afterwards so
+    /// upserts of unseen ids skip the full-arena remove pass. Transient:
+    /// not persisted in snapshots.
+    live_ids: Option<std::collections::BTreeSet<u32>>,
 }
 
 impl ActIndex {
@@ -197,13 +216,25 @@ impl ActIndex {
             build_insert_secs: insert_secs,
         };
 
-        ActIndex { act, table, stats }
+        ActIndex {
+            act,
+            table,
+            stats,
+            waste_bytes: 0,
+            live_ids: None,
+        }
     }
 
     /// Reassembles an index from already-validated parts (snapshot load
     /// path; see [`crate::snapshot`]).
     pub(crate) fn from_parts(act: Act, table: LookupTable, stats: BuildStats) -> ActIndex {
-        ActIndex { act, table, stats }
+        ActIndex {
+            act,
+            table,
+            stats,
+            waste_bytes: 0,
+            live_ids: None,
+        }
     }
 
     /// Serializes the built index into the versioned snapshot format
@@ -309,6 +340,224 @@ impl ActIndex {
     /// Returns the `(polygon id, is_true_hit)` pairs for a query point.
     pub fn lookup_refs(&self, c: Coord) -> Vec<(u32, bool)> {
         crate::trie::resolve_probe(self.probe_coord(c), &self.table).collect()
+    }
+
+    /// A borrowed zero-copy view over this index — the same query surface
+    /// a mapped snapshot exposes, so serving code can treat owned
+    /// (mutated) and mapped indexes uniformly.
+    #[inline]
+    pub fn as_view(&self) -> crate::snapshot::ActIndexView<'_> {
+        crate::snapshot::ActIndexView::from_index(self)
+    }
+
+    // ---- live mutation --------------------------------------------------
+
+    /// Waste fraction above which a mutation triggers [`ActIndex::compact`]
+    /// automatically.
+    pub const COMPACT_WASTE_THRESHOLD: f64 = 0.25;
+
+    /// Inserts (or replaces — upsert semantics) polygon `id` into the live
+    /// index, covering it at the index's precision bound. The covering is
+    /// appended into the existing node arena; cells of other polygons that
+    /// overlap the new covering are extracted, merged with it through the
+    /// same conflict-resolution engine the full build uses, and
+    /// re-inserted. Probe results afterwards are equivalent to a fresh
+    /// rebuild over the updated polygon set (the mutation property tests
+    /// assert exactly this against the cross-index oracles).
+    ///
+    /// # Errors
+    /// Returns an error (leaving the index untouched) if the polygon spans
+    /// multiple cube faces.
+    ///
+    /// # Panics
+    /// Panics if `id` exceeds [`MAX_POLYGON_ID`].
+    pub fn insert_polygon(&mut self, id: u32, polygon: &Polygon) -> Result<(), MultiFaceError> {
+        assert!(id <= MAX_POLYGON_ID, "polygon id exceeds 30 bits");
+        let params = CoveringParams::new(self.stats.precision_m);
+        let uv = UvPolygon::from_polygon(polygon)?; // fail before mutating
+        let covering = cover_uv_polygon(&uv, &params);
+
+        // Upsert: any previous shape under this id goes first. The
+        // live-id superset lets inserts of unseen ids — the common case
+        // for delta streams — skip that full-arena scan entirely.
+        self.ensure_live_ids();
+        if self.may_contain(id) {
+            self.remove_inner(id);
+        }
+
+        // Extract + clear everything overlapping the new covering, then
+        // let the super-covering engine resolve the combined set. Its
+        // outputs are descendants-or-equal of its inputs, i.e. confined
+        // to the territory the clearing pass just freed, so re-insertion
+        // cannot collide with surviving cells.
+        let mut waste = crate::trie::MutationWaste::default();
+        let mut affected: Vec<(CellId, crate::refs::RefSet)> = Vec::new();
+        for &(cell, _) in &covering.cells {
+            self.act
+                .clear_overlaps(cell, self.table.words(), &mut affected, &mut waste);
+        }
+        let mut pairs: Vec<(CellId, crate::refs::PolygonRef)> =
+            Vec::with_capacity(covering.cells.len() + affected.len());
+        for &(cell, interior) in &covering.cells {
+            pairs.push((cell, crate::refs::PolygonRef { id, interior }));
+        }
+        for (cell, refs) in &affected {
+            for r in refs.iter() {
+                pairs.push((*cell, r));
+            }
+        }
+        let sc = crate::supercover::build_from_pairs(pairs);
+        let mut tb = LookupTableBuilder::from_table(std::mem::take(&mut self.table));
+        for (cell, refs) in &sc.cells {
+            self.act.insert(*cell, refs, &mut tb);
+        }
+        self.table = tb.build();
+        if let Some(ids) = &mut self.live_ids {
+            ids.insert(id);
+        }
+        self.note_mutation(waste);
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Removes polygon `id` from the live index: every reference to it is
+    /// tombstoned out of the trie, emptied subtrees are pruned so probes
+    /// miss, and the arena/table garbage this leaves behind is reclaimed
+    /// by the next (possibly automatic) [`ActIndex::compact`]. Returns
+    /// whether the index referenced `id` at all.
+    pub fn remove_polygon(&mut self, id: u32) -> bool {
+        self.ensure_live_ids();
+        if !self.may_contain(id) {
+            return false;
+        }
+        let changed = self.remove_inner(id);
+        if changed {
+            self.maybe_compact();
+        }
+        changed
+    }
+
+    fn remove_inner(&mut self, id: u32) -> bool {
+        let mut waste = crate::trie::MutationWaste::default();
+        let mut tb = LookupTableBuilder::from_table(std::mem::take(&mut self.table));
+        let changed = self.act.remove_refs(id, &mut tb, &mut waste);
+        self.table = tb.build();
+        // The remove pass strips *every* reference to `id`, so the id is
+        // definitively gone whether or not anything changed.
+        if let Some(ids) = &mut self.live_ids {
+            ids.remove(&id);
+        }
+        if changed {
+            self.note_mutation(waste);
+        }
+        changed
+    }
+
+    /// `false` means polygon `id` is definitively absent; `true` means it
+    /// may be present (the tracked set is a superset of the live ids).
+    fn may_contain(&self, id: u32) -> bool {
+        self.live_ids.as_ref().is_none_or(|ids| ids.contains(&id))
+    }
+
+    /// Builds the live-id superset if it has not been built yet: one
+    /// sequential pass over the node arena (inline `ONE`/`TWO` payloads)
+    /// plus one over the lookup-table words. Orphaned nodes and stale
+    /// table entries contribute ids too — a superset is all the fast
+    /// path needs, and compactions shed the stragglers.
+    fn ensure_live_ids(&mut self) {
+        if self.live_ids.is_some() {
+            return;
+        }
+        let mut ids = std::collections::BTreeSet::new();
+        self.act.collect_inline_ids(&mut ids);
+        let words = self.table.words();
+        let mut off = 0usize;
+        while off < words.len() {
+            let n_true = words[off] as usize;
+            let n_cand = words[off + 1 + n_true] as usize;
+            for &id in &words[off + 1..off + 1 + n_true] {
+                ids.insert(id);
+            }
+            for &id in &words[off + 2 + n_true..off + 2 + n_true + n_cand] {
+                ids.insert(id);
+            }
+            off += 2 + n_true + n_cand;
+        }
+        self.live_ids = Some(ids);
+    }
+
+    /// Pays the one-time live-id scan up front (see
+    /// [`ActIndex::insert_polygon`]) so the first mutation after a load
+    /// is as fast as the steady state. Idempotent; called automatically
+    /// by the first mutation otherwise.
+    pub fn prime_mutations(&mut self) {
+        self.ensure_live_ids();
+    }
+
+    /// Rewrites the node arena and lookup table from the live cell set,
+    /// dropping orphaned nodes and tombstoned table entries. Mutations
+    /// call this automatically once [`ActIndex::waste_ratio`] crosses
+    /// [`ActIndex::COMPACT_WASTE_THRESHOLD`]; it is also safe to call at
+    /// any time. Probe results are unchanged.
+    pub fn compact(&mut self) {
+        let cells = self.act.extract_all(self.table.words());
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        for (cell, refs) in &cells {
+            act.insert(*cell, refs, &mut tb);
+        }
+        self.act = act;
+        self.table = tb.build();
+        // The extracted cells are exactly the live set, so this is the
+        // one place the id superset can be made exact again.
+        if self.live_ids.is_some() {
+            let mut ids = std::collections::BTreeSet::new();
+            for (_, refs) in &cells {
+                for r in refs.iter() {
+                    ids.insert(r.id);
+                }
+            }
+            self.live_ids = Some(ids);
+        }
+        self.waste_bytes = 0;
+        self.note_mutation(crate::trie::MutationWaste::default());
+    }
+
+    /// Estimated garbage bytes accumulated by mutations since the last
+    /// compaction (orphaned arena nodes + superseded lookup-table words).
+    #[inline]
+    pub fn waste_bytes(&self) -> u64 {
+        self.waste_bytes
+    }
+
+    /// `waste_bytes / memory_bytes` — the lazy-compaction trigger metric.
+    pub fn waste_ratio(&self) -> f64 {
+        let total = self.memory_bytes() as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.waste_bytes as f64 / total
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.waste_ratio() > Self::COMPACT_WASTE_THRESHOLD {
+            self.compact();
+        }
+    }
+
+    /// Folds a mutation's garbage estimate into the waste counters and
+    /// refreshes the size/count fields of [`BuildStats`] (the build
+    /// wall-time fields keep their original values; cell counts follow
+    /// the live trie and are approximate between compactions, exact
+    /// right after one).
+    fn note_mutation(&mut self, waste: crate::trie::MutationWaste) {
+        self.waste_bytes +=
+            waste.orphaned_nodes * (crate::trie::FANOUT as u64 * 8) + waste.stale_table_words * 4;
+        self.stats.indexed_cells = self.act.inserted_cells();
+        self.stats.denormalized_slots = self.act.denormalized_slots();
+        self.stats.act_bytes = self.act.memory_bytes();
+        self.stats.lookup_table_bytes = self.table.memory_bytes();
     }
 }
 

@@ -50,6 +50,7 @@
 
 pub mod adaptive;
 pub mod covering;
+pub mod delta;
 pub mod index;
 pub mod join;
 pub mod lookup;
@@ -62,6 +63,7 @@ pub mod uvpoly;
 
 pub use adaptive::{build_with_budget, AdaptReport, AdaptiveIndex, AdaptiveParams, BudgetedBuild};
 pub use covering::{cover_polygon, Covering, CoveringParams};
+pub use delta::{apply_delta_file, save_delta, save_delta_file, Delta, DeltaLink, DeltaOp};
 pub use index::{coord_to_cell, ActIndex, BuildStats};
 pub use join::{
     join_approx_cells, join_approx_cells_batch, join_approx_coords, join_exact,
@@ -69,7 +71,7 @@ pub use join::{
 };
 pub use lookup::{LookupTable, LookupTableBuilder};
 pub use refs::{PolygonRef, RefSet, MAX_POLYGON_ID};
-pub use snapshot::{ActIndexView, MappedSnapshot, SnapshotBuf, SnapshotError};
+pub use snapshot::{header_checksum, ActIndexView, MappedSnapshot, SnapshotBuf, SnapshotError};
 pub use sorted_index::SortedCellIndex;
 pub use supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};
 pub use trie::{resolve_probe, Act, Probe};

@@ -24,6 +24,33 @@ impl LookupTableBuilder {
         LookupTableBuilder::default()
     }
 
+    /// Reopens a built table for appending (the live-mutation path):
+    /// existing entries keep their offsets — trie entries pointing at them
+    /// stay valid — and the dedup map is rebuilt by walking the encoded
+    /// entries so re-interned sets resolve to the words already present.
+    pub fn from_table(table: LookupTable) -> LookupTableBuilder {
+        let data = table.data;
+        let mut dedup = HashMap::new();
+        let mut off = 0usize;
+        while off < data.len() {
+            let n_true = data[off] as usize;
+            let n_cand = data[off + 1 + n_true] as usize;
+            let len = 2 + n_true + n_cand;
+            dedup
+                .entry(data[off..off + len].to_vec())
+                .or_insert(off as u32);
+            off += len;
+        }
+        LookupTableBuilder { data, dedup }
+    }
+
+    /// The raw word array so far (offsets returned by
+    /// [`LookupTableBuilder::intern`] index into it).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u32] {
+        &self.data
+    }
+
     /// Interns a reference set, returning its offset in the array.
     /// Identical sets return identical offsets.
     pub fn intern(&mut self, refs: &RefSet) -> u32 {
@@ -60,7 +87,7 @@ impl LookupTableBuilder {
 }
 
 /// The immutable query-time lookup table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LookupTable {
     data: Vec<u32>,
 }

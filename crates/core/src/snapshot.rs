@@ -224,13 +224,13 @@ impl From<std::io::Error> for SnapshotError {
 // Checksum + word packing
 // ---------------------------------------------------------------------
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a folded one 64-bit word at a time. A word-granular variant (the
 /// format pads everything to whole words) keeps checksum validation far
 /// from the critical path of a census-scale load.
-fn fnv1a_words(mut h: u64, words: &[u64]) -> u64 {
+pub(crate) fn fnv1a_words(mut h: u64, words: &[u64]) -> u64 {
     for &w in words {
         h ^= w;
         h = h.wrapping_mul(FNV_PRIME);
@@ -603,6 +603,21 @@ impl<'a> ActIndexView<'a> {
                 denormalized_slots: m[1],
             },
         ))
+    }
+
+    /// A borrowed view over a live [`ActIndex`] (no snapshot bytes
+    /// involved): the same query surface as a parsed snapshot view, so
+    /// serving code can treat owned (mutated) and mapped indexes
+    /// uniformly. No validation — the index is trusted by construction.
+    pub(crate) fn from_index(ix: &'a ActIndex) -> ActIndexView<'a> {
+        ActIndexView {
+            slots: ix.act().slots(),
+            roots: *ix.act().roots(),
+            table: ix.table().words(),
+            stats: ix.stats().clone(),
+            inserted_cells: ix.act().inserted_cells(),
+            denormalized_slots: ix.act().denormalized_slots(),
+        }
     }
 
     /// Resolves a [`Probe`] returned by this view's batch or scalar
@@ -1008,6 +1023,24 @@ impl MappedSnapshot {
     pub fn to_owned_index(&self) -> ActIndex {
         self.view().to_owned_index()
     }
+
+    /// The snapshot's whole-file checksum from the validated header — the
+    /// identity a delta lineage binds to (see [`crate::delta`]).
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        header_checksum(self.bytes()).expect("validated snapshot has a header")
+    }
+}
+
+/// The whole-file checksum stored in a snapshot header (word 3), or
+/// `None` if `bytes` is too short to hold one. Purely a header read — no
+/// validation; pair with a full load before trusting the bytes. Useful
+/// for binding freshly written snapshot images into a delta lineage
+/// without reparsing them (see [`crate::delta`]).
+pub fn header_checksum(bytes: &[u8]) -> Option<u64> {
+    bytes
+        .get(24..32)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte slice")))
 }
 
 /// Recomputes and patches the header checksum of a snapshot image in

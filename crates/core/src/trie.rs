@@ -258,8 +258,72 @@ impl RawTrie<'_> {
     }
 }
 
+/// Arena bookkeeping returned by the mutating walks: how much of the
+/// index became garbage (unreachable nodes, superseded lookup-table
+/// entries). [`crate::ActIndex`] accumulates these into its waste ratio
+/// to decide when a lazy compaction pays for itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MutationWaste {
+    /// Nodes that became unreachable from the roots (their slots are
+    /// zeroed, but the arena still holds them until a compaction).
+    pub(crate) orphaned_nodes: u64,
+    /// Lookup-table words left behind by rewritten `Many` entries.
+    pub(crate) stale_table_words: u64,
+}
+
+/// Decodes a terminal entry into its reference set, consulting the raw
+/// lookup-table `words` for `TAG_OFFSET` entries.
+fn entry_refset(e: u64, words: &[u32]) -> RefSet {
+    match e & TAG_MASK {
+        TAG_ONE => RefSet::One(PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF)),
+        TAG_TWO => RefSet::Two(
+            PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF),
+            PolygonRef::decode((e >> 33) as u32 & 0x7FFF_FFFF),
+        ),
+        TAG_OFFSET => {
+            let (t, c) = crate::lookup::decode_at(words, (e >> 2) as u32 & 0x7FFF_FFFF);
+            RefSet::Many(
+                t.iter()
+                    .map(|&id| PolygonRef::true_hit(id))
+                    .chain(c.iter().map(|&id| PolygonRef::candidate(id)))
+                    .collect(),
+            )
+        }
+        _ => unreachable!("child entries carry no references"),
+    }
+}
+
+/// The cell of the single slot `s` of the node covering `node_cell`
+/// (four quadtree levels down, two key bits per level).
+fn slot_cell(node_cell: CellId, s: usize) -> CellId {
+    node_cell
+        .child(((s >> 6) & 3) as u8)
+        .child(((s >> 4) & 3) as u8)
+        .child(((s >> 2) & 3) as u8)
+        .child((s & 3) as u8)
+}
+
+/// The cell of an aligned uniform slot run `[base, base+size)` of the
+/// node covering `node_cell` — the inverse of denormalization: runs of
+/// 256/64/16/4/1 slots are cells 0/1/2/3/4 levels below the node's.
+fn run_cell(node_cell: CellId, base: usize, size: usize) -> CellId {
+    let steps = match size {
+        256 => 0,
+        64 => 1,
+        16 => 2,
+        4 => 3,
+        1 => 4,
+        _ => unreachable!("runs are aligned power-of-4 blocks"),
+    };
+    let mut c = node_cell;
+    for k in 0..steps {
+        c = c.child(((base >> (6 - 2 * k)) & 3) as u8);
+    }
+    c
+}
+
 /// The Adaptive Cell Trie.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Act {
     /// Flat node arena: node `i` occupies `slots[i*256 .. (i+1)*256]`.
     /// Node 0 is the all-zero sentinel.
@@ -525,6 +589,363 @@ impl Act {
                 _ => st.terminals.2 += 1,
             }
         }
+    }
+
+    // ---- live mutation (incremental inserts / removals) ----------------
+    //
+    // The walks below are the write-side complement of the probe walks:
+    // they invert denormalization (maximal aligned uniform slot runs map
+    // back to cells), extract the `(cell, refs)` pairs a region holds,
+    // and zero what they extracted so `insert` can repopulate the freed
+    // slots. Child nodes cut loose this way stay in the arena as all-zero
+    // orphans until [`crate::ActIndex::compact`] rewrites it.
+
+    /// The maximal aligned uniform run containing slot `s` of `node`
+    /// (entry `e`, non-child). May merge sibling cells that happen to
+    /// carry the same entry — probe-equivalent, since every leaf in the
+    /// merged block resolves to the same entry either way.
+    fn expand_run(&self, node: usize, s: usize, e: u64) -> (usize, usize) {
+        for size in [256usize, 64, 16, 4] {
+            let base = s & !(size - 1);
+            if self.slots[node * FANOUT + base..node * FANOUT + base + size]
+                .iter()
+                .all(|&x| x == e)
+            {
+                return (base, size);
+            }
+        }
+        (s, 1)
+    }
+
+    /// Zeroes an extracted run and keeps the insertion counters honest.
+    fn zero_run(&mut self, node: usize, base: usize, size: usize) {
+        for s in base..base + size {
+            self.slots[node * FANOUT + s] = 0;
+        }
+        self.denormalized_slots = self.denormalized_slots.saturating_sub(size as u64);
+        self.inserted_cells = self.inserted_cells.saturating_sub(1);
+    }
+
+    /// Extracts every `(cell, refs)` pair stored under `node` (which
+    /// covers `node_cell`), in range order. With `zero`, also clears the
+    /// visited slots — the subtree's nodes become all-zero orphans,
+    /// counted in `waste`.
+    fn extract_node(
+        &mut self,
+        node: usize,
+        node_cell: CellId,
+        words: &[u32],
+        out: &mut Vec<(CellId, RefSet)>,
+        zero: bool,
+        waste: &mut MutationWaste,
+    ) {
+        let mut s = 0usize;
+        while s < FANOUT {
+            let e = self.slots[node * FANOUT + s];
+            if e == 0 {
+                s += 1;
+                continue;
+            }
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                self.extract_node(idx, slot_cell(node_cell, s), words, out, zero, waste);
+                if zero {
+                    self.slots[node * FANOUT + s] = 0;
+                    waste.orphaned_nodes += 1;
+                }
+                s += 1;
+            } else {
+                // Left-to-right greedy: at an aligned boundary a uniform
+                // block this large is maximal (a larger one would have
+                // been taken at its own boundary).
+                let mut size = 1usize;
+                for cand in [256usize, 64, 16, 4] {
+                    if s.is_multiple_of(cand)
+                        && self.slots[node * FANOUT + s..node * FANOUT + s + cand]
+                            .iter()
+                            .all(|&x| x == e)
+                    {
+                        size = cand;
+                        break;
+                    }
+                }
+                out.push((run_cell(node_cell, s, size), entry_refset(e, words)));
+                if zero {
+                    self.zero_run(node, s, size);
+                }
+                s += size;
+            }
+        }
+    }
+
+    /// Extracts the full live cell set `(cell, refs)` in range order —
+    /// the compaction source. The trie is left untouched.
+    pub(crate) fn extract_all(&mut self, words: &[u32]) -> Vec<(CellId, RefSet)> {
+        let mut out = Vec::new();
+        let mut waste = MutationWaste::default();
+        for f in 0..6u8 {
+            let root = self.roots[f as usize] as usize;
+            if root != 0 {
+                self.extract_node(
+                    root,
+                    CellId::from_face(f),
+                    words,
+                    &mut out,
+                    false,
+                    &mut waste,
+                );
+            }
+        }
+        out
+    }
+
+    /// Collects every polygon id held inline in `ONE`/`TWO` entries by a
+    /// flat scan of the whole arena — orphaned nodes included, so
+    /// together with a lookup-table scan the result is a *superset* of
+    /// the ids the index can still answer with. One sequential pass over
+    /// the slot array; no tree walk.
+    pub(crate) fn collect_inline_ids(&self, into: &mut std::collections::BTreeSet<u32>) {
+        // Denormalization writes the same entry across aligned runs of
+        // up to 256 slots, so skipping consecutive repeats removes the
+        // bulk of the set insertions (the scan itself stays linear).
+        let mut prev = 0u64;
+        for &e in &self.slots {
+            if e == prev {
+                continue;
+            }
+            prev = e;
+            match e & TAG_MASK {
+                TAG_ONE => {
+                    into.insert(PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF).id);
+                }
+                TAG_TWO => {
+                    into.insert(PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF).id);
+                    into.insert(PolygonRef::decode((e >> 33) as u32 & 0x7FFF_FFFF).id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Extracts and clears every indexed cell overlapping `cell` (the
+    /// cell's ancestors, itself, and its descendants — quadtree cells are
+    /// laminar, so nothing else can overlap). After this returns, `cell`'s
+    /// whole territory probes as a miss and [`Act::insert`] can write into
+    /// it. Extracted ancestor runs may extend beyond `cell` (a coarser
+    /// denormalized run covers it); those slots are cleared too, and the
+    /// returned pairs carry everything needed to re-insert them.
+    pub(crate) fn clear_overlaps(
+        &mut self,
+        cell: CellId,
+        words: &[u32],
+        out: &mut Vec<(CellId, RefSet)>,
+        waste: &mut MutationWaste,
+    ) {
+        debug_assert!(cell.is_valid());
+        let level = cell.level();
+        assert!(
+            level <= MAX_INDEX_LEVEL,
+            "cell level exceeds MAX_INDEX_LEVEL"
+        );
+        let face = cell.face();
+        let mut node = self.roots[face as usize] as usize;
+        if node == 0 {
+            return;
+        }
+        let mut node_cell = CellId::from_face(face);
+        if level == 0 {
+            // A face cell overlaps everything on the face.
+            self.extract_node(node, node_cell, words, out, true, waste);
+            return;
+        }
+        let d_last = ((level - 1) / GRANULARITY) as u32;
+        for d in 0..d_last {
+            let b = cell.key_byte(d) as usize;
+            let e = self.slots[node * FANOUT + b];
+            match e & TAG_MASK {
+                TAG_CHILD => {
+                    let idx = (e >> 2) as usize;
+                    if idx == 0 {
+                        return; // nothing indexed under here
+                    }
+                    node_cell = slot_cell(node_cell, b);
+                    node = idx;
+                }
+                _ => {
+                    // An ancestor terminal covers `cell` entirely: its
+                    // denormalized run is the only overlap.
+                    let (base, size) = self.expand_run(node, b, e);
+                    out.push((run_cell(node_cell, base, size), entry_refset(e, words)));
+                    self.zero_run(node, base, size);
+                    return;
+                }
+            }
+        }
+        // Final node: the slot range `cell` denormalizes to. Runs are
+        // aligned, so each either lies inside the range or contains it.
+        let bits = 2 * (level as u32 - GRANULARITY as u32 * d_last);
+        let byte = cell.key_byte(d_last) as usize;
+        let base = byte & !((1usize << (8 - bits)) - 1);
+        let count = 1usize << (8 - bits);
+        let mut s = base;
+        while s < base + count {
+            let e = self.slots[node * FANOUT + s];
+            if e == 0 {
+                s += 1;
+                continue;
+            }
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if idx != 0 {
+                    self.extract_node(idx, slot_cell(node_cell, s), words, out, true, waste);
+                    self.slots[node * FANOUT + s] = 0;
+                    waste.orphaned_nodes += 1;
+                }
+                s += 1;
+            } else {
+                let (rbase, rsize) = self.expand_run(node, s, e);
+                out.push((run_cell(node_cell, rbase, rsize), entry_refset(e, words)));
+                self.zero_run(node, rbase, rsize);
+                s = rbase + rsize; // a containing run ends past the range
+            }
+        }
+    }
+
+    /// Strips every reference to polygon `id`, tombstoning in place:
+    /// terminal runs are rewritten (`Two`→`One`, `Many`→ smaller set, sole
+    /// ref → empty), emptied subtrees are pruned bottom-up so probes into
+    /// them miss, and superseded `Many` entries leave their old words in
+    /// the table as garbage (counted in `waste`). Returns whether anything
+    /// referenced `id`.
+    pub(crate) fn remove_refs(
+        &mut self,
+        id: u32,
+        tb: &mut LookupTableBuilder,
+        waste: &mut MutationWaste,
+    ) -> bool {
+        let mut memo: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut changed = false;
+        for f in 0..6 {
+            let root = self.roots[f] as usize;
+            if root == 0 {
+                continue;
+            }
+            if self.remove_rec(root, id, tb, &mut memo, &mut changed, waste) {
+                self.roots[f] = 0;
+                waste.orphaned_nodes += 1;
+            }
+        }
+        changed
+    }
+
+    /// Returns true when `node` is all-zero after the rewrite.
+    fn remove_rec(
+        &mut self,
+        node: usize,
+        id: u32,
+        tb: &mut LookupTableBuilder,
+        memo: &mut std::collections::HashMap<u64, u64>,
+        changed: &mut bool,
+        waste: &mut MutationWaste,
+    ) -> bool {
+        let mut all_zero = true;
+        let mut s = 0usize;
+        while s < FANOUT {
+            let e = self.slots[node * FANOUT + s];
+            if e == 0 {
+                s += 1;
+                continue;
+            }
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if self.remove_rec(idx, id, tb, memo, changed, waste) {
+                    self.slots[node * FANOUT + s] = 0;
+                    waste.orphaned_nodes += 1;
+                } else {
+                    all_zero = false;
+                }
+                s += 1;
+            } else {
+                let (rbase, rsize) = self.expand_run(node, s, e);
+                let ne = match memo.get(&e) {
+                    Some(&ne) => ne,
+                    None => {
+                        let ne = rewrite_without(e, id, tb, waste);
+                        memo.insert(e, ne);
+                        ne
+                    }
+                };
+                if ne != e {
+                    *changed = true;
+                    for i in rbase..rbase + rsize {
+                        self.slots[node * FANOUT + i] = ne;
+                    }
+                    if ne == 0 {
+                        self.denormalized_slots =
+                            self.denormalized_slots.saturating_sub(rsize as u64);
+                        self.inserted_cells = self.inserted_cells.saturating_sub(1);
+                    }
+                }
+                if ne != 0 {
+                    all_zero = false;
+                }
+                s = rbase + rsize;
+            }
+        }
+        all_zero
+    }
+}
+
+/// Rewrites a terminal entry with polygon `id`'s reference dropped;
+/// returns the entry unchanged when it does not reference `id`, and `0`
+/// when `id` was its only reference. A shrunk `Many` set re-interns into
+/// `tb` (the old entry's words become table garbage, counted in `waste`).
+fn rewrite_without(e: u64, id: u32, tb: &mut LookupTableBuilder, waste: &mut MutationWaste) -> u64 {
+    match e & TAG_MASK {
+        TAG_ONE => {
+            let r = PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF);
+            if r.id == id {
+                0
+            } else {
+                e
+            }
+        }
+        TAG_TWO => {
+            let a = PolygonRef::decode((e >> 2) as u32 & 0x7FFF_FFFF);
+            let b = PolygonRef::decode((e >> 33) as u32 & 0x7FFF_FFFF);
+            match (a.id == id, b.id == id) {
+                (false, false) => e,
+                (true, false) => encode_one(b.encode()),
+                (false, true) => encode_one(a.encode()),
+                (true, true) => 0, // ids are unique per set; defensive
+            }
+        }
+        TAG_OFFSET => {
+            let off = (e >> 2) as u32 & 0x7FFF_FFFF;
+            let (t, c) = crate::lookup::decode_at(tb.words(), off);
+            if !t.contains(&id) && !c.contains(&id) {
+                return e;
+            }
+            waste.stale_table_words += (t.len() + c.len() + 2) as u64;
+            let mut v: Vec<PolygonRef> = t
+                .iter()
+                .filter(|&&x| x != id)
+                .map(|&x| PolygonRef::true_hit(x))
+                .chain(
+                    c.iter()
+                        .filter(|&&x| x != id)
+                        .map(|&x| PolygonRef::candidate(x)),
+                )
+                .collect();
+            v.sort_unstable_by_key(|r| r.id);
+            match v.len() {
+                0 => 0,
+                1 => encode_one(v[0].encode()),
+                2 => encode_two(v[0].encode(), v[1].encode()),
+                _ => encode_offset(tb.intern(&RefSet::Many(v))),
+            }
+        }
+        _ => unreachable!("child entries are handled by the walk"),
     }
 }
 

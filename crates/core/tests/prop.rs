@@ -1,12 +1,18 @@
 //! Property-based tests for the ACT core: trie ≡ model, super-covering
-//! semantics preservation, the precision guarantee, and index agreement.
+//! semantics preservation, the precision guarantee, index agreement, and
+//! live-mutation (insert/remove/compact) ≡ fresh rebuild.
 
+use act_core::covering::cover_uv_polygon;
 use act_core::snapshot::SnapshotBuf;
 use act_core::supercover::build_from_pairs;
-use act_core::{ActIndex, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex};
+use act_core::uvpoly::UvPolygon;
+use act_core::{
+    ActIndex, CoveringParams, LookupTableBuilder, PolygonRef, Probe, RefSet, SortedCellIndex,
+};
 use geom::{Coord, Polygon, Ring};
 use proptest::prelude::*;
 use s2cell::{CellId, LatLng};
+use std::collections::BTreeMap;
 
 fn arb_nyc_latlng() -> impl Strategy<Value = LatLng> {
     (40.5f64..40.9, -74.2f64..-73.8).prop_map(|(lat, lng)| LatLng::from_degrees(lat, lng))
@@ -296,6 +302,204 @@ proptest! {
                     prop_assert!(poly.contains(p), "true hit outside polygon at {}", p);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live mutation: incremental insert/remove/compact ≡ fresh rebuild
+// ---------------------------------------------------------------------
+
+fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+    Polygon::new(
+        Ring::new(vec![
+            Coord::new(cx - half, cy - half),
+            Coord::new(cx + half, cy - half),
+            Coord::new(cx + half, cy + half),
+            Coord::new(cx - half, cy + half),
+        ]),
+        vec![],
+    )
+}
+
+/// Fresh-rebuild reference: covers every live polygon under its real id
+/// (ids are sparse after edits, so this goes through `build_from_pairs`
+/// rather than `ActIndex::build`'s dense slice-index ids).
+fn rebuild(live: &BTreeMap<u32, Polygon>, precision_m: f64) -> ActIndex {
+    let params = CoveringParams::new(precision_m);
+    let mut pairs: Vec<(CellId, PolygonRef)> = Vec::new();
+    for (&id, poly) in live {
+        let uv = UvPolygon::from_polygon(poly).unwrap();
+        for &(cell, interior) in &cover_uv_polygon(&uv, &params).cells {
+            pairs.push((cell, PolygonRef { id, interior }));
+        }
+    }
+    ActIndex::from_supercover(build_from_pairs(pairs), params)
+}
+
+/// One step of a random edit script over a small id space (so removes,
+/// upserts, and remove-then-reinsert all actually happen).
+#[derive(Debug, Clone)]
+enum EditOp {
+    Insert {
+        id: u32,
+        cx: f64,
+        cy: f64,
+        half: f64,
+    },
+    Remove {
+        id: u32,
+    },
+    Compact,
+}
+
+fn arb_insert_op() -> impl Strategy<Value = EditOp> {
+    (0u32..6, -74.15f64..-73.85, 40.55f64..40.85, 0.003f64..0.02)
+        .prop_map(|(id, cx, cy, half)| EditOp::Insert { id, cx, cy, half })
+}
+
+fn arb_edit_script() -> impl Strategy<Value = Vec<EditOp>> {
+    proptest::collection::vec(
+        // The vendored prop_oneof! has no arm weights; repeating the
+        // insert arm skews the mix toward inserts (~4:2:1).
+        prop_oneof![
+            arb_insert_op(),
+            arb_insert_op(),
+            arb_insert_op(),
+            arb_insert_op(),
+            (0u32..6).prop_map(|id| EditOp::Remove { id }),
+            (0u32..6).prop_map(|id| EditOp::Remove { id }),
+            Just(EditOp::Compact),
+        ],
+        1..12,
+    )
+}
+
+/// Points that must agree: the random probes plus every edited polygon's
+/// center and corners (guaranteed hits, boundaries, and stale locations
+/// of removed polygons).
+fn mutation_probe_points(script: &[EditOp], probes: &[(f64, f64)]) -> Vec<Coord> {
+    let mut pts: Vec<Coord> = probes.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+    for op in script {
+        if let EditOp::Insert { cx, cy, half, .. } = *op {
+            pts.push(Coord::new(cx, cy));
+            pts.push(Coord::new(cx - half, cy - half));
+            pts.push(Coord::new(cx + half, cy + half));
+            pts.push(Coord::new(cx + half * 1.01, cy));
+        }
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The mutation flagship: after ANY random edit script (upserts,
+    /// removes of present and absent ids, interleaved explicit compacts)
+    /// applied to a built index, every probe answers exactly like an index
+    /// rebuilt from scratch over the surviving polygon set.
+    #[test]
+    fn incremental_edits_equal_fresh_rebuild(
+        initial in arb_squares(),
+        script in arb_edit_script(),
+        probes in proptest::collection::vec((-74.2f64..-73.8, 40.5f64..40.9), 24),
+    ) {
+        let precision = 60.0;
+        let mut live: BTreeMap<u32, Polygon> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p.clone()))
+            .collect();
+        let mut idx = rebuild(&live, precision);
+        for op in &script {
+            match *op {
+                EditOp::Insert { id, cx, cy, half } => {
+                    let p = square(cx, cy, half);
+                    idx.insert_polygon(id, &p).unwrap();
+                    live.insert(id, p);
+                }
+                EditOp::Remove { id } => {
+                    let changed = idx.remove_polygon(id);
+                    prop_assert_eq!(changed, live.remove(&id).is_some(),
+                        "remove({}) change-report disagrees with model", id);
+                }
+                EditOp::Compact => idx.compact(),
+            }
+        }
+        let fresh = rebuild(&live, precision);
+        for c in mutation_probe_points(&script, &probes) {
+            let mut got = idx.lookup_refs(c);
+            let mut want = fresh.lookup_refs(c);
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "probe at {} diverged from fresh rebuild", c);
+        }
+        // Compaction is probe-invariant from any mutated state.
+        idx.compact();
+        for c in mutation_probe_points(&script, &probes) {
+            let mut got = idx.lookup_refs(c);
+            let mut want = fresh.lookup_refs(c);
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "post-compact probe at {} diverged", c);
+        }
+    }
+
+    /// Removing a polygon and re-inserting the identical geometry restores
+    /// probe behavior exactly; removing everything empties the index; and
+    /// an index grown entirely from an empty build matches a fresh build.
+    #[test]
+    fn remove_reinsert_and_empty_index(
+        polys in arb_squares(),
+        probes in proptest::collection::vec((-74.2f64..-73.8, 40.5f64..40.9), 24),
+    ) {
+        let precision = 60.0;
+        let built = ActIndex::build(&polys, precision).unwrap();
+        let pts: Vec<Coord> = probes
+            .iter()
+            .map(|&(x, y)| Coord::new(x, y))
+            .chain(polys.iter().map(|p| {
+                let b = p.outer().vertices()[0];
+                Coord::new(b.x + 0.001, b.y + 0.001)
+            }))
+            .collect();
+
+        // Remove then re-insert the same shape under the same id.
+        let mut idx = built.clone();
+        let victim = (polys.len() - 1) as u32;
+        prop_assert!(idx.remove_polygon(victim));
+        prop_assert!(!idx.remove_polygon(victim), "double remove must be a no-op");
+        idx.insert_polygon(victim, &polys[victim as usize]).unwrap();
+        for &c in &pts {
+            let mut got = idx.lookup_refs(c);
+            let mut want = built.lookup_refs(c);
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "remove+reinsert at {} diverged", c);
+        }
+
+        // Remove everything: the index must answer like an empty one.
+        let mut idx = built.clone();
+        for id in 0..polys.len() as u32 {
+            prop_assert!(idx.remove_polygon(id));
+        }
+        for &c in &pts {
+            prop_assert!(idx.lookup_refs(c).is_empty(), "ghost refs at {}", c);
+        }
+        idx.compact();
+        prop_assert_eq!(idx.stats().indexed_cells, 0);
+
+        // Grow from empty: insert-by-insert ≡ batch build.
+        let mut grown = ActIndex::build(&[], precision).unwrap();
+        for (i, p) in polys.iter().enumerate() {
+            grown.insert_polygon(i as u32, p).unwrap();
+        }
+        for &c in &pts {
+            let mut got = grown.lookup_refs(c);
+            let mut want = built.lookup_refs(c);
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "grown-from-empty at {} diverged", c);
         }
     }
 }

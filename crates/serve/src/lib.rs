@@ -19,7 +19,11 @@
 //!   old index (their `Arc` pins the old mapping), new batches see the
 //!   new one, and responses echo the answering epoch so clients can
 //!   observe the cutover. Restarts — and now live reloads — ship
-//!   snapshots, not polygon sets.
+//!   snapshots, not polygon sets. Small edits ship as `ACTDLT01`
+//!   **delta files** beside the base snapshot: the watcher validates
+//!   each against the lineage cursor, applies it to the live index in
+//!   milliseconds (no base remap), and periodically folds the chain
+//!   into a fresh base (see [`swap`]).
 //! * **Admission control & graceful drain** — the probe queue is
 //!   bounded in lanes; overflow is answered immediately with `LOADSHED`
 //!   (never dropped, never queued). Per-connection in-flight caps turn a
@@ -55,7 +59,7 @@ pub mod swap;
 pub use client::{Client, ClientError};
 pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsReply};
 pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
-pub use swap::IndexStore;
+pub use swap::{delta_path, IndexStore, ServeIndex, FOLD_AFTER_DELTAS};
 
 #[cfg(test)]
 mod tests {

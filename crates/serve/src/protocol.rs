@@ -27,7 +27,7 @@
 //!            approx mode: hit_bit = is_true_hit (candidates ride along
 //!            with bit 0 — the paper's ε-bounded approximate answer)
 //!            exact mode:  only actual members are listed, hit_bit = 1
-//!   PING / STATS: a 72-byte counter block (see [`CounterBlock`])
+//!   PING / STATS: an 80-byte counter block (see [`CounterBlock`])
 //! ```
 //!
 //! A probe frame carries at most [`MAX_POINTS`] points, which bounds
@@ -150,7 +150,7 @@ pub struct StatsReply {
 }
 
 /// The server's aggregate serving counters, as carried in PING and STATS
-/// payloads: nine little-endian `u64` words, in field order.
+/// payloads: ten little-endian `u64` words, in field order.
 ///
 /// Reconciliation invariant (after a graceful drain, with all replies
 /// delivered): `accepted == answered + shed` — every accepted frame got
@@ -172,15 +172,19 @@ pub struct CounterBlock {
     pub busy: u64,
     /// Probe micro-batches executed (`probes / batches` = mean width).
     pub batches: u64,
-    /// Successful snapshot hot-swaps (`epoch - 1`).
+    /// Successful index publishes (`epoch - 1`): full snapshot
+    /// hot-swaps plus delta applies.
     pub swaps: u64,
     /// Highest queue occupancy observed, in lanes (points). Bounded by
     /// the server's configured queue depth.
     pub queue_high_water_lanes: u64,
+    /// Delta files applied onto the live index (a subset of `swaps` —
+    /// the updates that arrived without remapping the base snapshot).
+    pub delta_applies: u64,
 }
 
-/// Serialized size of a [`CounterBlock`]: nine `u64` words.
-pub const COUNTER_BLOCK_LEN: usize = 72;
+/// Serialized size of a [`CounterBlock`]: ten `u64` words.
+pub const COUNTER_BLOCK_LEN: usize = 80;
 
 /// Serializes a counter block (PING/STATS response payload).
 pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
@@ -194,6 +198,7 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
         c.batches,
         c.swaps,
         c.queue_high_water_lanes,
+        c.delta_applies,
     ];
     let mut out = [0u8; COUNTER_BLOCK_LEN];
     for (slot, w) in out.chunks_exact_mut(8).zip(words) {
@@ -208,7 +213,7 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
 /// A static description of the structural violation.
 pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
     if payload.len() != COUNTER_BLOCK_LEN {
-        return Err("counter block is not exactly nine u64 words");
+        return Err("counter block is not exactly ten u64 words");
     }
     Ok(CounterBlock {
         probes: u64_at(payload, 0),
@@ -220,6 +225,7 @@ pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
         batches: u64_at(payload, 48),
         swaps: u64_at(payload, 56),
         queue_high_water_lanes: u64_at(payload, 64),
+        delta_applies: u64_at(payload, 72),
     })
 }
 
@@ -617,6 +623,7 @@ mod tests {
             batches: 4,
             swaps: 1,
             queue_high_water_lanes: 512,
+            delta_applies: 1,
         };
         let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &encode_counters(&counters));
         let body = read_frame(&mut frame.as_slice(), usize::MAX)
@@ -626,8 +633,10 @@ mod tests {
         assert_eq!(h.epoch, 3);
         assert_eq!(decode_counters(p).unwrap(), counters);
         assert_eq!(counters.accepted, counters.answered + counters.shed);
-        assert!(decode_counters(&[0; 71]).is_err());
-        assert!(decode_counters(&[0; 73]).is_err());
+        assert!(decode_counters(&[0; 79]).is_err());
+        assert!(decode_counters(&[0; 81]).is_err());
+        // The old nine-word block is rejected, not misread.
+        assert!(decode_counters(&[0; 72]).is_err());
     }
 
     #[test]

@@ -254,6 +254,7 @@ impl State {
             batches: self.batches.load(Ordering::Relaxed),
             swaps: self.store.swaps(),
             queue_high_water_lanes: self.queue_hw_lanes.load(Ordering::Relaxed),
+            delta_applies: self.store.delta_applies(),
         }
     }
 }
@@ -639,6 +640,7 @@ fn reader_loop(
                     &[],
                 );
                 let _ = push_pending(tx, Pending::Ready(f), dead);
+                drain_unread(r);
                 return;
             }
             Err(_) => return,
@@ -654,6 +656,7 @@ fn reader_loop(
                     &[],
                 );
                 let _ = push_pending(tx, Pending::Ready(f), dead);
+                drain_unread(r);
                 return;
             }
             Ok(proto::Request::Ping) => {
@@ -702,6 +705,31 @@ fn reader_loop(
                     Admission::Draining => return,
                 }
             }
+        }
+    }
+}
+
+/// After a typed reject on a malformed frame, consume (and discard) the
+/// request bytes the client may still be sending — bounded in bytes and
+/// time — so closing the socket performs an orderly FIN instead of an
+/// RST. Closing with unread data in the receive buffer makes the kernel
+/// reset the connection, and a reset discards the queued reject before
+/// the client can read it: the race the fuzz suite used to tolerate.
+/// Exits as soon as the client pauses (one read-timeout tick), goes
+/// quiet (EOF), or the bounds trip — a hostile sender cannot hold the
+/// thread.
+fn drain_unread(r: &mut TcpStream) {
+    let deadline = Instant::now() + Duration::from_millis(200);
+    let mut sunk = 0usize;
+    let mut buf = [0u8; 4096];
+    while sunk < 64 * 1024 && Instant::now() < deadline {
+        match r.read(&mut buf) {
+            Ok(0) => return, // client finished sending
+            Ok(k) => sunk += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // WouldBlock/TimedOut: nothing in flight right now — the
+            // socket's short read timeout already waited long enough.
+            Err(_) => return,
         }
     }
 }

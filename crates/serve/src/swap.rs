@@ -1,52 +1,109 @@
-//! Epoch-counted snapshot hot-swap.
+//! Epoch-counted snapshot hot-swap, now delta-aware.
 //!
 //! The serving invariant: a probe batch runs start-to-finish against
-//! **one** snapshot. [`IndexStore::current`] hands out an
-//! `Arc<MappedSnapshot>` plus the epoch it belongs to; a concurrent
-//! [`IndexStore::swap`] publishes a new snapshot for *future* batches
-//! while in-flight ones finish on the Arc they already hold — the
-//! rolling-restart story (ship a snapshot, not a polygon set), in
-//! process. The store is a `Mutex<Arc<…>>` held only long enough to
-//! clone or replace the Arc — nanoseconds per batch, uncontended in
-//! practice — plus a monotonic epoch counter that responses echo so
-//! clients can observe a swap.
+//! **one** index. [`IndexStore::current`] hands out an
+//! `Arc<ServeIndex>` plus the epoch it belongs to; a concurrent swap
+//! publishes a new index for *future* batches while in-flight ones
+//! finish on the Arc they already hold — the rolling-restart story
+//! (ship a snapshot, not a polygon set), in process. The store is a
+//! `Mutex<Arc<…>>` held only long enough to clone or replace the Arc —
+//! nanoseconds per batch, uncontended in practice — plus a monotonic
+//! epoch counter that responses echo so clients can observe a swap.
 //!
-//! [`watch_loop`] is the operator-facing half: poll a snapshot path's
-//! `(mtime, len)` signature, and when it changes and holds still for one
-//! interval, open + validate the new file and swap it in. Validation
-//! failures (half-written file, wrong version, corruption) leave the
-//! current snapshot serving and are retried only when the signature
-//! changes again — dropping a bad file on the path can never take the
-//! server down. Prefer `write to a sibling + rename` over in-place
-//! rewrites: rename is atomic on unix, and the old mapping stays valid
-//! because the old inode lives until unmapped.
+//! [`ServeIndex`] is the two-sourced serving artifact: `Mapped` is the
+//! mmap-backed full snapshot the server boots from; `Owned` is a live
+//! [`ActIndex`] produced by applying `ACTDLT01` delta files (see
+//! [`act_core::delta`]) to the running index — a few fence edits arrive
+//! in milliseconds without remapping the multi-hundred-MB base.
+//!
+//! [`watch_loop`] is the operator-facing half. Each poll it checks two
+//! things:
+//!
+//! 1. **The base snapshot path.** When its signature changes and holds
+//!    still for one interval, the file is opened, validated, and
+//!    swapped in (a *full* reload); any delta lineage in progress is
+//!    abandoned — a new base supersedes it.
+//! 2. **The next delta sibling** `<base>.d<seq>` (seq = 1, 2, … within
+//!    the current lineage). A stable new delta is validated against the
+//!    lineage cursor ([`act_core::DeltaLink`]: base checksum, sequence,
+//!    predecessor checksum), applied to a clone of the watcher's working
+//!    index, and the result is published — the store flips one Arc, the
+//!    epoch bumps, zero requests drop. After
+//!    [`FOLD_AFTER_DELTAS`] applies the watcher *folds*: it writes the
+//!    working index as a new base (sibling + rename), deletes the
+//!    consumed delta files, and restarts the lineage at seq 1.
+//!
+//! Validation failures (half-written file, wrong version, corruption,
+//! out-of-lineage delta) leave the current index serving and are retried
+//! only when the offending signature changes again — dropping a bad file
+//! on the path can never take the server down. Prefer `write to a
+//! sibling + rename` over in-place rewrites: rename is atomic on unix,
+//! and the old mapping stays valid because the old inode lives until
+//! unmapped.
 
-use act_core::MappedSnapshot;
-use std::path::Path;
+use act_core::{apply_delta_file, ActIndex, DeltaLink, MappedSnapshot};
+use geom::Coord;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
-/// The epoch-counted holder of the serving snapshot.
+/// Deltas applied before the watcher folds them into a new base file.
+pub const FOLD_AFTER_DELTAS: u64 = 16;
+
+/// The index being served: a mapped base snapshot, or an owned live
+/// index carrying delta edits on top of one. Both expose the same
+/// zero-copy query view, so batch execution never cares which it holds.
+#[derive(Debug)]
+pub enum ServeIndex {
+    /// The mmap-backed full snapshot (boot and full-reload path).
+    Mapped(MappedSnapshot),
+    /// A live index with delta edits applied (delta hot-apply path).
+    Owned(ActIndex),
+}
+
+impl ServeIndex {
+    /// The borrowed query view a probe batch runs against.
+    #[inline]
+    pub fn view(&self) -> act_core::ActIndexView<'_> {
+        match self {
+            ServeIndex::Mapped(snap) => snap.view(),
+            ServeIndex::Owned(ix) => ix.as_view(),
+        }
+    }
+
+    /// `(polygon id, is_true_hit)` pairs for one query point.
+    pub fn lookup_refs(&self, c: Coord) -> Vec<(u32, bool)> {
+        match self {
+            ServeIndex::Mapped(snap) => snap.lookup_refs(c),
+            ServeIndex::Owned(ix) => ix.lookup_refs(c),
+        }
+    }
+}
+
+/// The epoch-counted holder of the serving index.
 #[derive(Debug)]
 pub struct IndexStore {
-    current: Mutex<Arc<MappedSnapshot>>,
+    current: Mutex<Arc<ServeIndex>>,
     epoch: AtomicU64,
+    delta_applies: AtomicU64,
 }
 
 impl IndexStore {
     /// Starts serving `snap` at epoch 1.
     pub fn new(snap: MappedSnapshot) -> IndexStore {
         IndexStore {
-            current: Mutex::new(Arc::new(snap)),
+            current: Mutex::new(Arc::new(ServeIndex::Mapped(snap))),
             epoch: AtomicU64::new(1),
+            delta_applies: AtomicU64::new(0),
         }
     }
 
-    /// The snapshot to answer the next batch with, and its epoch. The
-    /// returned Arc keeps that snapshot (and its file mapping) alive for
-    /// as long as the batch needs it, whatever swaps happen meanwhile.
-    pub fn current(&self) -> (Arc<MappedSnapshot>, u32) {
+    /// The index to answer the next batch with, and its epoch. The
+    /// returned Arc keeps that index (and any file mapping behind it)
+    /// alive for as long as the batch needs it, whatever swaps happen
+    /// meanwhile.
+    pub fn current(&self) -> (Arc<ServeIndex>, u32) {
         // Read the epoch while holding the lock so a concurrent swap
         // can't pair the old Arc with the new epoch.
         let guard = self.current.lock().expect("index store poisoned");
@@ -54,13 +111,24 @@ impl IndexStore {
         (Arc::clone(&guard), epoch)
     }
 
-    /// Publishes `snap` for future batches; returns the new epoch.
-    /// In-flight batches finish on whatever [`IndexStore::current`] gave
-    /// them.
+    /// Publishes a full snapshot for future batches; returns the new
+    /// epoch. In-flight batches finish on whatever
+    /// [`IndexStore::current`] gave them.
     pub fn swap(&self, snap: MappedSnapshot) -> u32 {
+        self.publish(Arc::new(ServeIndex::Mapped(snap)))
+    }
+
+    /// Publishes an owned (delta-edited) index for future batches and
+    /// counts a delta apply; returns the new epoch.
+    pub fn swap_owned(&self, index: ActIndex) -> u32 {
+        self.delta_applies.fetch_add(1, Ordering::Relaxed);
+        self.publish(Arc::new(ServeIndex::Owned(index)))
+    }
+
+    fn publish(&self, next: Arc<ServeIndex>) -> u32 {
         let mut guard = self.current.lock().expect("index store poisoned");
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        *guard = Arc::new(snap);
+        *guard = next;
         epoch as u32
     }
 
@@ -69,20 +137,37 @@ impl IndexStore {
         self.epoch.load(Ordering::Acquire) as u32
     }
 
-    /// Successful hot-swaps so far (`epoch - 1`).
+    /// Successful publishes so far (`epoch - 1`): full snapshot swaps +
+    /// delta applies.
     pub fn swaps(&self) -> u64 {
         u64::from(self.epoch()).saturating_sub(1)
     }
+
+    /// Delta files applied onto the live index so far (a subset of
+    /// [`IndexStore::swaps`]).
+    pub fn delta_applies(&self) -> u64 {
+        self.delta_applies.load(Ordering::Relaxed)
+    }
 }
 
-/// A file's change signature: inode + modified time + length. The inode
-/// is the load-bearing part for the documented rename-replacement flow:
-/// Linux stamps mtimes from the *coarse* clock (jiffy granularity, a few
-/// ms), so two same-shaped snapshots written back-to-back can carry
-/// identical `(mtime, len)` — but a rename always installs a different
-/// inode. mtime + len still catch in-place rewrites. No content hashing:
-/// a poll must stay cheap at hundreds of MB.
-type Signature = (u64, Option<SystemTime>, u64);
+/// A file's change signature: inode + modified time + length + content
+/// fingerprint. The inode catches the documented rename-replacement flow
+/// on unix: Linux stamps mtimes from the *coarse* clock (jiffy
+/// granularity, a few ms), so two same-shaped snapshots written
+/// back-to-back can carry identical `(mtime, len)` — but a rename always
+/// installs a different inode. The fingerprint — FNV-1a over the first
+/// [`FINGERPRINT_BYTES`] bytes (the snapshot header + section table,
+/// whose whole-file checksum changes with any content change) — carries
+/// that guarantee to platforms with no stable file id, where the old
+/// inode-hardcoded-to-0 signature missed same-length rewrites forever.
+/// Still cheap: one tiny pread per poll, never a content hash of
+/// hundreds of MB.
+type Signature = (u64, Option<SystemTime>, u64, u64);
+
+/// How much of the file the fingerprint covers: the `ACTSNP01` 96-byte
+/// header (magic, version, checksum, section table) — any valid rewrite
+/// changes the embedded checksum, so this span is change-complete.
+const FINGERPRINT_BYTES: usize = 96;
 
 #[cfg(unix)]
 fn file_id(meta: &std::fs::Metadata) -> u64 {
@@ -91,7 +176,32 @@ fn file_id(meta: &std::fs::Metadata) -> u64 {
 
 #[cfg(not(unix))]
 fn file_id(_meta: &std::fs::Metadata) -> u64 {
-    0 // non-unix: fall back to mtime + len only
+    0 // non-unix: the content fingerprint carries the signature
+}
+
+/// FNV-1a over the first [`FINGERPRINT_BYTES`] bytes of `path` (0 when
+/// unreadable — metadata polls degrade, they don't error).
+fn content_fingerprint(path: &Path) -> u64 {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return 0;
+    };
+    let mut buf = [0u8; FINGERPRINT_BYTES];
+    let mut n = 0usize;
+    while n < buf.len() {
+        match f.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return 0,
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &buf[..n] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The change signature of the snapshot file at `path` right now.
@@ -103,16 +213,50 @@ fn file_id(_meta: &std::fs::Metadata) -> u64 {
 /// re-loads the file it is already serving.
 pub fn snapshot_signature(path: &Path) -> Option<Signature> {
     let meta = std::fs::metadata(path).ok()?;
-    Some((file_id(&meta), meta.modified().ok(), meta.len()))
+    Some((
+        file_id(&meta),
+        meta.modified().ok(),
+        meta.len(),
+        content_fingerprint(path),
+    ))
+}
+
+/// The sibling path of delta `seq` for the base snapshot at `base`:
+/// `<base>.d<seq>` (e.g. `census.snap.d3`).
+pub fn delta_path(base: &Path, seq: u64) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(&format!(".d{seq}"));
+    base.with_file_name(name)
+}
+
+/// The delta lineage the watcher is carrying: where the chain is, the
+/// index with every applied delta folded in (shared with the store), a
+/// pre-armed mutable copy for the next apply, and how many applies since
+/// the last fold.
+struct Lineage {
+    link: DeltaLink,
+    /// The published state (what the store serves once a delta landed).
+    working: Arc<ServeIndex>,
+    /// A private owned copy equal to `working`, primed for mutation.
+    /// Deltas apply here *in place*, so the big-arena clone is not on
+    /// the apply-to-publish latency path — the scratch is re-cloned from
+    /// the published index right after each swap, while readers are
+    /// already on the new epoch. `None` only transiently mid-apply.
+    scratch: Option<ActIndex>,
+    applied: u64,
 }
 
 /// Polls `path` every `interval` until `shutdown`, swapping validated
-/// new snapshots into `store`. `initial` is the signature of the file
-/// the store is currently serving, captured by the caller **before** it
-/// opened that snapshot (see [`snapshot_signature`]). Returns the number
-/// of successful swaps.
+/// new snapshots — and applying validated sibling delta files — into
+/// `store`. `initial` is the signature of the file the store is
+/// currently serving, captured by the caller **before** it opened that
+/// snapshot (see [`snapshot_signature`]). Returns the number of
+/// successful publishes (full swaps + delta applies).
 ///
-/// A change is acted on only after the signature holds still for one
+/// A change is acted on only after its signature holds still for one
 /// full interval (an in-place writer mid-copy keeps moving the mtime);
 /// a signature whose load failed is remembered and not retried until it
 /// changes again.
@@ -123,10 +267,25 @@ pub fn watch_loop(
     shutdown: &AtomicBool,
     initial: Option<Signature>,
 ) -> u64 {
+    watch_loop_opts(path, interval, store, shutdown, initial, FOLD_AFTER_DELTAS)
+}
+
+/// [`watch_loop`] with the fold threshold exposed (tests fold quickly).
+pub fn watch_loop_opts(
+    path: &Path,
+    interval: Duration,
+    store: &IndexStore,
+    shutdown: &AtomicBool,
+    initial: Option<Signature>,
+    fold_after: u64,
+) -> u64 {
     let mut loaded_sig = initial;
     let mut failed_sig: Option<Signature> = None;
     let mut prev_poll = loaded_sig;
-    let mut swaps = 0u64;
+    let mut lineage: Option<Lineage> = None;
+    let mut delta_prev_poll: Option<Signature> = None;
+    let mut delta_failed: Option<Signature> = None;
+    let mut publishes = 0u64;
     while !shutdown.load(Ordering::Acquire) {
         // Sleep in small slices so a graceful drain never waits a whole
         // poll interval for this thread to join.
@@ -138,38 +297,164 @@ pub fn watch_loop(
             }
             std::thread::sleep(left.min(Duration::from_millis(10)));
             if shutdown.load(Ordering::Acquire) {
-                return swaps;
+                return publishes;
             }
         }
+
+        // 1. The base path: a changed, stable, valid snapshot is a full
+        //    reload and supersedes any delta lineage in progress.
         let sig = snapshot_signature(path);
         let stable = sig == prev_poll;
         prev_poll = sig;
-        let Some(sig) = sig else { continue }; // vanished: keep serving
-        if Some(sig) == loaded_sig || Some(sig) == failed_sig || !stable {
+        if let Some(sig) = sig {
+            if Some(sig) != loaded_sig && Some(sig) != failed_sig && stable {
+                match MappedSnapshot::open(path) {
+                    Ok(snap) => {
+                        let epoch = store.swap(snap);
+                        publishes += 1;
+                        loaded_sig = Some(sig);
+                        failed_sig = None;
+                        lineage = None;
+                        delta_prev_poll = None;
+                        delta_failed = None;
+                        eprintln!("act-serve: hot-swapped snapshot {path:?} (epoch {epoch})");
+                        continue;
+                    }
+                    Err(e) => {
+                        // Keep serving the old snapshot; retry on change.
+                        failed_sig = Some(sig);
+                        eprintln!(
+                            "act-serve: new snapshot at {path:?} rejected ({e}); keeping current"
+                        );
+                    }
+                }
+            }
+        }
+        // Base vanished or unchanged: look for the next delta sibling.
+
+        // 2. The next delta in the lineage (seq 1 when none is open).
+        let next_seq = lineage.as_ref().map_or(1, |l| l.link.next_seq);
+        let dpath = delta_path(path, next_seq);
+        let dsig = snapshot_signature(&dpath);
+        let dstable = dsig == delta_prev_poll;
+        delta_prev_poll = dsig;
+        let Some(dsig) = dsig else { continue };
+        if Some(dsig) == delta_failed || !dstable {
             continue;
         }
-        match MappedSnapshot::open(path) {
-            Ok(snap) => {
-                let epoch = store.swap(snap);
-                swaps += 1;
-                loaded_sig = Some(sig);
-                failed_sig = None;
-                eprintln!("act-serve: hot-swapped snapshot {path:?} (epoch {epoch})");
+
+        // Open the lineage on first use: the working copy starts from
+        // the mapped base the store is serving.
+        if lineage.is_none() {
+            let (cur, _) = store.current();
+            let ServeIndex::Mapped(snap) = &*cur else {
+                continue; // unreachable: no lineage means mapped base
+            };
+            let mut owned = snap.to_owned_index();
+            // One-time: pay the live-id scan now so every apply is as
+            // fast as the steady state.
+            owned.prime_mutations();
+            lineage = Some(Lineage {
+                link: DeltaLink::for_base(snap.checksum()),
+                scratch: Some(owned.clone()),
+                working: Arc::new(ServeIndex::Owned(owned)),
+                applied: 0,
+            });
+        }
+        let lin = lineage.as_mut().expect("opened above");
+
+        // Apply in place on the pre-armed scratch; on success it is
+        // published as-is and a fresh scratch is cloned afterwards —
+        // keeping the clone off the apply-to-publish latency path.
+        let mut next = lin
+            .scratch
+            .take()
+            .expect("scratch is armed between applies");
+        match apply_delta_file(&mut next, &dpath, lin.link) {
+            Ok(new_link) => {
+                let epoch = store.swap_owned(next);
+                publishes += 1;
+                lin.link = new_link;
+                lin.working = store.current().0;
+                // Re-arm: readers are already on the new epoch while
+                // this clone runs.
+                let ServeIndex::Owned(cur) = &*lin.working else {
+                    unreachable!("swap_owned published an owned index");
+                };
+                lin.scratch = Some(cur.clone());
+                lin.applied += 1;
+                delta_prev_poll = None;
+                delta_failed = None;
+                eprintln!(
+                    "act-serve: applied delta {dpath:?} (epoch {epoch}, \
+                     {} in lineage)",
+                    lin.applied
+                );
+                if lin.applied >= fold_after {
+                    match fold_lineage(path, lin) {
+                        Ok(()) => {
+                            // The fold rewrote the base file with
+                            // identical probe semantics: baseline the
+                            // watcher on it without reloading.
+                            loaded_sig = snapshot_signature(path);
+                            prev_poll = loaded_sig;
+                            failed_sig = None;
+                            eprintln!("act-serve: folded {fold_after} deltas into {path:?}");
+                        }
+                        Err(e) => {
+                            // Fold is best-effort: the lineage keeps
+                            // extending and the next apply retries it.
+                            lin.applied = fold_after.saturating_sub(1);
+                            eprintln!("act-serve: delta fold failed ({e}); will retry");
+                        }
+                    }
+                }
             }
             Err(e) => {
-                // Keep serving the old snapshot; retry only on change.
-                failed_sig = Some(sig);
-                eprintln!("act-serve: new snapshot at {path:?} rejected ({e}); keeping current");
+                // A rejected delta may have left the scratch prefix-
+                // applied (per-op failures mutate before erroring), so
+                // rebuild it from the published state. `drop(next)`
+                // first: holding old + published + new scratch at once
+                // would spike memory to three arenas.
+                drop(next);
+                let ServeIndex::Owned(cur) = &*lin.working else {
+                    unreachable!("lineage working index is always owned");
+                };
+                lin.scratch = Some(cur.clone());
+                delta_failed = Some(dsig);
+                eprintln!("act-serve: delta at {dpath:?} rejected ({e}); keeping current");
             }
         }
     }
-    swaps
+    publishes
+}
+
+/// Folds the lineage's working index into a new base snapshot: write to
+/// a sibling, fsync, rename over the base path, delete the consumed
+/// delta files, and restart the chain from the new base checksum.
+fn fold_lineage(base: &Path, lin: &mut Lineage) -> Result<(), act_core::SnapshotError> {
+    let ServeIndex::Owned(working) = &*lin.working else {
+        unreachable!("lineage working index is always owned");
+    };
+    let mut bytes = Vec::new();
+    working.save_snapshot(&mut bytes)?;
+    let new_sum = act_core::header_checksum(&bytes).expect("save_snapshot wrote a whole header");
+    let tmp = base.with_extension("fold-tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, base)?;
+    for seq in 1..lin.link.next_seq {
+        let _ = std::fs::remove_file(delta_path(base, seq));
+    }
+    lin.link = DeltaLink::for_base(new_sum);
+    lin.applied = 0;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geom::{Coord, Polygon, Ring};
+    use act_core::{save_delta_file, DeltaOp};
+    use geom::{Polygon, Ring};
 
     fn square(cx: f64, cy: f64, half: f64) -> Polygon {
         Polygon::new(
@@ -207,6 +492,7 @@ mod tests {
         assert_eq!(e2, 2);
         assert_eq!(store.epoch(), 2);
         assert_eq!(store.swaps(), 1);
+        assert_eq!(store.delta_applies(), 0);
         let (new, e) = store.current();
         assert_eq!(e, 2);
         // New snapshot answers differently; the old Arc still answers as
@@ -252,6 +538,147 @@ mod tests {
         shutdown.store(true, Ordering::Release);
         let swaps = handle.join().unwrap();
         assert_eq!(swaps, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The satellite regression: a same-length rewrite whose `(mtime,
+    /// len)` may collide must still change the signature, on every
+    /// platform, via the content fingerprint (the inode is forced out of
+    /// the comparison to model non-unix).
+    #[test]
+    fn fingerprint_catches_same_length_rewrite() {
+        // Two *valid* snapshots of the same polygon set: identical
+        // length and shape, different content (the META section persists
+        // build wall-times, so the embedded checksum differs) — exactly
+        // the same-length rewrite a metadata-only signature misses.
+        let polys = [square(-74.0, 40.7, 0.02)];
+        let a = snap_file("fp-a", &polys);
+        let bytes_b = {
+            let idx = act_core::ActIndex::build(&polys, 15.0).unwrap();
+            let mut b = Vec::new();
+            idx.save_snapshot(&mut b).unwrap();
+            b
+        };
+        let bytes_a = std::fs::read(&a).unwrap();
+        assert_eq!(bytes_a.len(), bytes_b.len(), "same build, same length");
+        assert_ne!(bytes_a, bytes_b, "wall-time meta must differ");
+
+        let sig_a = snapshot_signature(&a).unwrap();
+        // Rewrite a's *content* in place (same inode, same length) —
+        // on a coarse-clock filesystem the mtime can also collide, so
+        // only the fingerprint reliably separates the signatures.
+        std::fs::write(&a, &bytes_b).unwrap();
+        let sig_a2 = snapshot_signature(&a).unwrap();
+        assert_eq!(sig_a.0, sig_a2.0, "in-place rewrite keeps the inode");
+        assert_eq!(sig_a.2, sig_a2.2, "lengths match by construction");
+        assert_ne!(
+            sig_a.3, sig_a2.3,
+            "content fingerprint must catch a same-length rewrite"
+        );
+        std::fs::remove_file(&a).unwrap();
+    }
+
+    /// Delta files beside the base are validated, applied in lineage
+    /// order without remapping the base, and folded into a new base once
+    /// the threshold is crossed; garbage deltas are rejected harmlessly.
+    #[test]
+    fn watcher_applies_deltas_and_folds() {
+        let path = snap_file("delta", &[square(-74.0, 40.7, 0.02)]);
+        let base_sum = act_core::header_checksum(&std::fs::read(&path).unwrap()).unwrap();
+        let store = Arc::new(IndexStore::new(MappedSnapshot::open(&path).unwrap()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let initial = snapshot_signature(&path);
+        let handle = {
+            let (store, shutdown, path) = (store.clone(), shutdown.clone(), path.clone());
+            std::thread::spawn(move || {
+                // fold_after = 2 so this test exercises the fold.
+                watch_loop_opts(
+                    &path,
+                    Duration::from_millis(10),
+                    &store,
+                    &shutdown,
+                    initial,
+                    2,
+                )
+            })
+        };
+        let wait_epoch = |want: u32| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while store.epoch() < want && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(store.epoch(), want, "epoch did not reach {want}");
+        };
+
+        // Garbage where delta 1 should be: rejected, nothing swaps.
+        std::fs::write(delta_path(&path, 1), b"junk").unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(store.epoch(), 1, "garbage delta must not publish");
+
+        // Delta 1: add a polygon. (Overwrites the junk — new signature.)
+        let link = DeltaLink::for_base(base_sum);
+        let add = DeltaOp::Insert {
+            id: 7,
+            polygon: square(-73.9, 40.7, 0.02),
+        };
+        let (link, _) = save_delta_file(&[add], link, &delta_path(&path, 1)).unwrap();
+        wait_epoch(2);
+        assert_eq!(store.delta_applies(), 1);
+        let (idx, _) = store.current();
+        assert!(
+            matches!(&*idx, ServeIndex::Owned(_)),
+            "delta apply must not remap"
+        );
+        assert!(!idx.lookup_refs(Coord::new(-73.9, 40.7)).is_empty());
+        assert!(!idx.lookup_refs(Coord::new(-74.0, 40.7)).is_empty());
+
+        // Delta 2: remove the original polygon. This crosses
+        // fold_after = 2, so the base file is rewritten and deltas are
+        // deleted.
+        let rm = DeltaOp::Remove { id: 0 };
+        save_delta_file(&[rm], link, &delta_path(&path, 2)).unwrap();
+        wait_epoch(3);
+        assert_eq!(store.delta_applies(), 2);
+        let (idx, _) = store.current();
+        assert!(idx.lookup_refs(Coord::new(-74.0, 40.7)).is_empty());
+        assert!(!idx.lookup_refs(Coord::new(-73.9, 40.7)).is_empty());
+
+        // The fold: consumed delta files disappear, the rewritten base
+        // answers like the live index, and the watcher does NOT reload
+        // it (epoch stays put).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (delta_path(&path, 1).exists() || delta_path(&path, 2).exists())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            !delta_path(&path, 1).exists(),
+            "fold must delete consumed deltas"
+        );
+        assert!(!delta_path(&path, 2).exists());
+        let folded = MappedSnapshot::open(&path).unwrap();
+        assert!(folded.lookup_refs(Coord::new(-74.0, 40.7)).is_empty());
+        assert!(!folded.lookup_refs(Coord::new(-73.9, 40.7)).is_empty());
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(store.epoch(), 3, "fold must not trigger a reload");
+
+        // The new lineage restarts at seq 1 against the folded base.
+        let folded_sum = act_core::header_checksum(&std::fs::read(&path).unwrap()).unwrap();
+        let link = DeltaLink::for_base(folded_sum);
+        let add2 = DeltaOp::Insert {
+            id: 9,
+            polygon: square(-73.8, 40.7, 0.02),
+        };
+        save_delta_file(&[add2], link, &delta_path(&path, 1)).unwrap();
+        wait_epoch(4);
+        let (idx, _) = store.current();
+        assert!(!idx.lookup_refs(Coord::new(-73.8, 40.7)).is_empty());
+
+        shutdown.store(true, Ordering::Release);
+        let publishes = handle.join().unwrap();
+        assert_eq!(publishes, 3);
+        let _ = std::fs::remove_file(delta_path(&path, 1));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -19,9 +19,10 @@ fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
+        any::<u64>(),
     )
         .prop_map(
-            |(probes, accepted, answered, shed, bad_frames, busy, batches, swaps, hw)| {
+            |(probes, accepted, answered, shed, bad_frames, busy, batches, swaps, hw, deltas)| {
                 proto::CounterBlock {
                     probes,
                     accepted,
@@ -32,6 +33,7 @@ fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
                     batches,
                     swaps,
                     queue_high_water_lanes: hw,
+                    delta_applies: deltas,
                 }
             },
         )

@@ -153,3 +153,166 @@ fn true_hit_rate_improves_with_interior_cells() {
         stats.true_hits
     );
 }
+
+/// A deterministic edit script mutates a live ACT index — inserts,
+/// upserts, removals, compactions — while grid and R-tree oracles are
+/// rebuilt from the evolving polygon set at every checkpoint. The claim
+/// under test is the dynamic-geofence contract end to end: incremental
+/// mutation ≡ fresh rebuild ≡ oracle.
+#[test]
+fn edit_scripts_agree_with_grid_and_rtree_oracles() {
+    use act_core::covering::cover_uv_polygon;
+    use act_core::supercover::build_from_pairs;
+    use act_core::uvpoly::UvPolygon;
+    use act_core::PolygonRef;
+    use geom::{Polygon, Ring};
+    use std::collections::BTreeMap;
+
+    // splitmix64, fixed seed: the script is part of the test.
+    let mut state = 0x00DD_5EED_u64;
+    let mut rng = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let precision = 15.0;
+    let ds = datagen::blocks_scaled(6, 5, 7);
+    let mut act = ActIndex::build(&ds.polygons, precision).unwrap();
+    let mut live: BTreeMap<u32, Polygon> = ds
+        .polygons
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, p)| (i as u32, p))
+        .collect();
+    let mut next_id = ds.polygons.len() as u32;
+
+    let (lo, hi) = (ds.bbox.min, ds.bbox.max);
+    let synth_square = |rng: &mut dyn FnMut() -> u64| {
+        let fx = (rng() % 1_000) as f64 / 1_000.0;
+        let fy = (rng() % 1_000) as f64 / 1_000.0;
+        let cx = lo.x + (hi.x - lo.x) * fx;
+        let cy = lo.y + (hi.y - lo.y) * fy;
+        let h = 0.0004 + (rng() % 100) as f64 * 2e-5; // 40–250 m across
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - h, cy - h),
+                Coord::new(cx + h, cy - h),
+                Coord::new(cx + h, cy + h),
+                Coord::new(cx - h, cy + h),
+            ]),
+            vec![],
+        )
+    };
+
+    // Fresh rebuild of the live set under its *real* (sparse) ids.
+    let rebuild = |live: &BTreeMap<u32, Polygon>| -> ActIndex {
+        let params = act_core::CoveringParams::new(precision);
+        let mut pairs = Vec::new();
+        for (&id, poly) in live {
+            let uv = UvPolygon::from_polygon(poly).unwrap();
+            for &(cell, interior) in &cover_uv_polygon(&uv, &params).cells {
+                pairs.push((cell, PolygonRef { id, interior }));
+            }
+        }
+        ActIndex::from_supercover(build_from_pairs(pairs), params)
+    };
+
+    let exact_ids = |live: &BTreeMap<u32, Polygon>, p: Coord| -> Vec<u32> {
+        let mut ids: Vec<u32> = live
+            .iter()
+            .filter(|(_, poly)| poly.contains(p))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    // Filter refs → exact ids via direct point-in-polygon refinement.
+    let refine = |live: &BTreeMap<u32, Polygon>, refs: Vec<(u32, bool)>, p: Coord| -> Vec<u32> {
+        let mut ids: Vec<u32> = refs
+            .into_iter()
+            .filter(|&(id, interior)| interior || live[&id].contains(p))
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+
+    for step in 0..40u32 {
+        match rng() % 6 {
+            0 | 1 => {
+                let poly = synth_square(&mut rng);
+                act.insert_polygon(next_id, &poly).unwrap();
+                live.insert(next_id, poly);
+                next_id += 1;
+            }
+            2 => {
+                // Upsert: replace an existing polygon's shape in place.
+                if let Some(&id) = live.keys().nth(rng() as usize % live.len()) {
+                    let poly = synth_square(&mut rng);
+                    act.insert_polygon(id, &poly).unwrap();
+                    live.insert(id, poly);
+                }
+            }
+            3 | 4 => {
+                if let Some(&id) = live.keys().nth(rng() as usize % live.len()) {
+                    assert!(act.remove_polygon(id), "live id {id} must be present");
+                    live.remove(&id);
+                }
+            }
+            _ => act.compact(),
+        }
+
+        // Checkpoint every 8 steps (and at the end): the live index must
+        // agree with a fresh rebuild and with both oracles everywhere.
+        if step % 8 != 7 && step != 39 {
+            continue;
+        }
+        let rebuilt = rebuild(&live);
+        let dense: Vec<Polygon> = live.values().cloned().collect();
+        let dense_ids: Vec<u32> = live.keys().copied().collect();
+        let flat = UniformGrid::build(&dense, ds.bbox, 256, 256);
+        let mut tree = rtree::RTree::new(8);
+        for (&id, poly) in &live {
+            tree.insert(*poly.bbox(), id);
+        }
+
+        // Probe mesh + each live polygon's center (hits matter most).
+        let mut pts = PointGen::nyc_taxi_like(ds.bbox, step as u64).take_vec(500);
+        for poly in live.values() {
+            let b = poly.bbox();
+            pts.push(Coord::new(
+                (b.min.x + b.max.x) / 2.0,
+                (b.min.y + b.max.y) / 2.0,
+            ));
+        }
+        for &p in &pts {
+            let truth = exact_ids(&live, p);
+            let via_live = refine(&live, act.lookup_refs(p), p);
+            assert_eq!(via_live, truth, "step {step}: live ACT diverged at {p}");
+            let via_rebuilt = refine(&live, rebuilt.lookup_refs(p), p);
+            assert_eq!(via_rebuilt, truth, "step {step}: rebuild diverged at {p}");
+            let mut via_grid: Vec<u32> = flat
+                .query(p)
+                .into_iter()
+                .filter(|&(j, interior)| interior || dense[j as usize].contains(p))
+                .map(|(j, _)| dense_ids[j as usize])
+                .collect();
+            via_grid.sort_unstable();
+            assert_eq!(via_grid, truth, "step {step}: grid oracle diverged at {p}");
+            let mut via_tree: Vec<u32> = tree
+                .query_point(p)
+                .into_iter()
+                .filter(|&id| live[&id].contains(p))
+                .collect();
+            via_tree.sort_unstable();
+            assert_eq!(
+                via_tree, truth,
+                "step {step}: R-tree oracle diverged at {p}"
+            );
+        }
+    }
+}

@@ -238,3 +238,115 @@ fn hot_swap_drops_no_requests_and_changes_answers() {
     server.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
+
+/// The live-churn story: serve a base snapshot, drop ACTDLT01 delta
+/// files beside it, and require (a) each delta is applied within the
+/// poll budget *without remapping the base*, (b) **zero** requests fail
+/// across every epoch flip, (c) answers change exactly as the deltas
+/// dictate, and (d) the STATS counters attribute the updates to delta
+/// applies.
+#[test]
+fn delta_hot_swap_drops_no_requests_and_changes_answers() {
+    use act_core::{header_checksum, save_delta_file, DeltaLink, DeltaOp};
+    use act_serve::delta_path;
+
+    let polys_a = vec![square(-74.05, 40.70, 0.02)];
+    let idx_a = ActIndex::build(&polys_a, 15.0).unwrap();
+    let path = temp_path("deltaswap");
+    save_snapshot_to(&path, &idx_a);
+    let base_sum = header_checksum(&std::fs::read(&path).unwrap()).unwrap();
+
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            watch: Some(Duration::from_millis(15)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let in_a = Coord::new(-74.05, 40.70);
+    let in_b = Coord::new(-73.95, 40.70);
+    let frame = [in_a, in_b];
+    let reply = client.probe(&frame, false).expect("pre-delta probe");
+    assert_eq!(reply.epoch, 1);
+    assert!(!reply.refs[0].is_empty() && reply.refs[1].is_empty());
+
+    // Delta 1: a new polygon appears at in_b. Write-then-rename so the
+    // watcher never sees a half-written delta.
+    let added = square(-73.95, 40.70, 0.02);
+    let tmp = temp_path("deltaswap-d1-tmp");
+    let (link, _) = save_delta_file(
+        &[DeltaOp::Insert {
+            id: 1,
+            polygon: added,
+        }],
+        DeltaLink::for_base(base_sum),
+        &tmp,
+    )
+    .unwrap();
+    std::fs::rename(&tmp, delta_path(&path, 1)).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut requests = 0u64;
+    let epoch_two = loop {
+        assert!(
+            Instant::now() < deadline,
+            "watcher did not apply delta 1 within 10 s ({requests} requests served)"
+        );
+        // Every request across the flip must succeed: delta application
+        // publishes a new epoch without taking the server down.
+        let reply = client
+            .probe(&frame, false)
+            .expect("probe across delta apply");
+        requests += 1;
+        match reply.epoch {
+            1 => assert!(reply.refs[1].is_empty()),
+            2 => break reply,
+            e => panic!("unexpected epoch {e}"),
+        }
+    };
+    assert!(
+        !epoch_two.refs[0].is_empty() && !epoch_two.refs[1].is_empty(),
+        "post-delta answers must include the inserted polygon"
+    );
+
+    // Delta 2: the original polygon goes away.
+    let tmp = temp_path("deltaswap-d2-tmp");
+    save_delta_file(&[DeltaOp::Remove { id: 0 }], link, &tmp).unwrap();
+    std::fs::rename(&tmp, delta_path(&path, 2)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let epoch_three = loop {
+        assert!(Instant::now() < deadline, "watcher did not apply delta 2");
+        let reply = client
+            .probe(&frame, false)
+            .expect("probe across delta apply");
+        match reply.epoch {
+            2 => {}
+            3 => break reply,
+            e => panic!("unexpected epoch {e}"),
+        }
+    };
+    assert!(
+        epoch_three.refs[0].is_empty() && !epoch_three.refs[1].is_empty(),
+        "post-removal answers must drop polygon 0"
+    );
+
+    // The counters attribute both flips to delta applies, and a fresh
+    // connection lands on the delta'd epoch.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    let counters = fresh.stats().unwrap().counters;
+    assert_eq!(
+        counters.delta_applies, 2,
+        "both updates must be delta applies"
+    );
+    assert_eq!(counters.swaps, 2, "no full reload happened");
+    assert_eq!(fresh.ping().unwrap().epoch, 3);
+
+    server.shutdown();
+    for seq in 1..=2 {
+        let _ = std::fs::remove_file(delta_path(&path, seq));
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -67,9 +67,9 @@ fn attack_conn(addr: std::net::SocketAddr) -> TcpStream {
     s
 }
 
-/// True for the error kinds a freshly closed TCP peer legitimately
-/// produces on the next read: the server closing a socket that still
-/// holds unread client bytes sends RST, which surfaces as a reset.
+/// True for the error kinds a vanished TCP peer legitimately produces
+/// on the next read (used only by `expect_clean_close`, where the client
+/// side tears down mid-frame).
 fn is_close(kind: std::io::ErrorKind) -> bool {
     matches!(
         kind,
@@ -80,16 +80,14 @@ fn is_close(kind: std::io::ErrorKind) -> bool {
 }
 
 /// Asserts the server answered exactly one BAD_REQUEST frame and then
-/// closed the connection. `trailing_unread` marks the cases that leave
-/// bytes the server never reads (e.g. past an oversized length prefix):
-/// there the close is an RST, which may race ahead of — or clip — the
-/// reject frame, so a bare reset also counts as "closed, typed or not".
-fn expect_bad_request_then_close(mut s: TcpStream, what: &str, trailing_unread: bool) {
+/// closed the connection cleanly. The server drains any unread request
+/// bytes before closing, so the close is a FIN and the reject frame is
+/// always delivered intact — even for frames it rejected without reading
+/// fully (e.g. an oversized length prefix). An RST here is a bug.
+fn expect_bad_request_then_close(mut s: TcpStream, what: &str) {
     let body = match proto::read_frame(&mut s, 1 << 20) {
         Ok(Some(body)) => body,
-        Ok(None) if trailing_unread => return, // close beat the reject
         Ok(None) => panic!("{what}: server closed without a typed reject"),
-        Err(e) if trailing_unread && is_close(e.kind()) => return,
         Err(e) => panic!("{what}: reading the reject failed: {e}"),
     };
     let (h, _) = proto::decode_response(&body).unwrap_or_else(|e| panic!("{what}: {e}"));
@@ -102,8 +100,7 @@ fn expect_bad_request_then_close(mut s: TcpStream, what: &str, trailing_unread: 
     let mut rest = Vec::new();
     match s.read_to_end(&mut rest) {
         Ok(n) => assert_eq!(n, 0, "{what}: server must close after a bad frame"),
-        Err(e) if is_close(e.kind()) => {} // RST from unread bytes
-        Err(e) => panic!("{what}: post-reject read failed: {e}"),
+        Err(e) => panic!("{what}: post-reject read failed (RST instead of FIN?): {e}"),
     }
 }
 
@@ -207,10 +204,10 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     f.extend_from_slice(&body);
                     s.write_all(&f).unwrap();
                     if body.len() >= proto::REQ_HEADER_LEN {
-                        expect_bad_request_then_close(s, &format!("{what}: garbage op"), false);
+                        expect_bad_request_then_close(s, &format!("{what}: garbage op"));
                     } else {
                         // Shorter than a header is also a typed reject.
-                        expect_bad_request_then_close(s, &format!("{what}: short body"), false);
+                        expect_bad_request_then_close(s, &format!("{what}: short body"));
                     }
                 }
                 // Truncated frame: the length prefix promises more than
@@ -234,7 +231,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     let mut f = (over as u32).to_le_bytes().to_vec();
                     f.extend_from_slice(&rng.bytes(16));
                     s.write_all(&f).unwrap();
-                    expect_bad_request_then_close(s, &format!("{what}: oversized length"), true);
+                    expect_bad_request_then_close(s, &format!("{what}: oversized length"));
                 }
                 // Unknown opcode in an otherwise perfect header.
                 3 => {
@@ -242,7 +239,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     f[4] = 4 + (rng.next() as u8 % 250);
                     let mut s = attack_conn(addr);
                     s.write_all(&f).unwrap();
-                    expect_bad_request_then_close(s, &format!("{what}: unknown op"), false);
+                    expect_bad_request_then_close(s, &format!("{what}: unknown op"));
                 }
                 // Point count disagreeing with the body length.
                 4 => {
@@ -254,7 +251,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     f[8..12].copy_from_slice(&lie.to_le_bytes());
                     let mut s = attack_conn(addr);
                     s.write_all(&f).unwrap();
-                    expect_bad_request_then_close(s, &format!("{what}: count mismatch"), false);
+                    expect_bad_request_then_close(s, &format!("{what}: count mismatch"));
                 }
                 // Non-finite coordinates.
                 5 => {
@@ -265,7 +262,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     let mut s = attack_conn(addr);
                     s.write_all(&proto::encode_probe_request(&coords, false))
                         .unwrap();
-                    expect_bad_request_then_close(s, &format!("{what}: non-finite coord"), false);
+                    expect_bad_request_then_close(s, &format!("{what}: non-finite coord"));
                 }
                 // Reserved bytes / unknown flag bits set.
                 6 => {
@@ -277,7 +274,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     }
                     let mut s = attack_conn(addr);
                     s.write_all(&f).unwrap();
-                    expect_bad_request_then_close(s, &format!("{what}: reserved/flags"), false);
+                    expect_bad_request_then_close(s, &format!("{what}: reserved/flags"));
                 }
                 // Mid-frame disconnect: a valid frame cut anywhere, then
                 // the socket is dropped entirely.
@@ -315,11 +312,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                     let mut junk = proto::encode_ping_request();
                     junk[4] = 0; // op 0 is invalid
                     s.write_all(&junk).unwrap();
-                    expect_bad_request_then_close(
-                        s,
-                        &format!("{what}: garbage after valid"),
-                        false,
-                    );
+                    expect_bad_request_then_close(s, &format!("{what}: garbage after valid"));
                 }
             }
             // A periodic pulse through a fresh, fully well-formed

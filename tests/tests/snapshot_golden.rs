@@ -101,3 +101,92 @@ fn golden_snapshot_round_trips_byte_for_byte() {
         assert_eq!(view.lookup_refs(p), want, "view disagrees at {p}");
     }
 }
+
+/// A delta lineage rooted at the golden v1 fixture: save a chain of
+/// ACTDLT01 deltas against the fixture's checksum, apply them in order,
+/// and verify the result equals the same edits replayed on a fresh load.
+/// The fixture file itself is read-only here — the lineage rides beside
+/// it in a temp dir — so v1 bytes stay pinned while the delta format
+/// proves it can extend them.
+#[test]
+fn golden_fixture_anchors_a_delta_lineage() {
+    use act_core::{apply_delta_file, header_checksum, save_delta_file, DeltaLink, DeltaOp};
+    use geom::{Coord, Polygon, Ring};
+
+    let fixture = std::fs::read(fixture_path()).expect("golden fixture present");
+    let base_sum = header_checksum(&fixture).expect("fixture has a whole header");
+    let (_, ds) = build_fixture_index();
+
+    let square = |cx: f64, cy: f64, h: f64| {
+        Polygon::new(
+            Ring::new(vec![
+                Coord::new(cx - h, cy - h),
+                Coord::new(cx + h, cy - h),
+                Coord::new(cx + h, cy + h),
+                Coord::new(cx - h, cy + h),
+            ]),
+            vec![],
+        )
+    };
+    let c = Coord::new(
+        (ds.bbox.min.x + ds.bbox.max.x) / 2.0,
+        (ds.bbox.min.y + ds.bbox.max.y) / 2.0,
+    );
+    let added = square(c.x, c.y, 0.002);
+    let new_id = ds.polygons.len() as u32;
+
+    let dir = std::env::temp_dir().join(format!("act-golden-delta-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let d1 = dir.join("v1.snap.d1");
+    let d2 = dir.join("v1.snap.d2");
+
+    // Save the chain: insert a polygon, then remove polygon 0.
+    let link0 = DeltaLink::for_base(base_sum);
+    let (link1, _) = save_delta_file(
+        &[DeltaOp::Insert {
+            id: new_id,
+            polygon: added.clone(),
+        }],
+        link0,
+        &d1,
+    )
+    .unwrap();
+    save_delta_file(&[DeltaOp::Remove { id: 0 }], link1, &d2).unwrap();
+
+    // Apply to a fixture load, in lineage order.
+    let mut live = ActIndex::load_snapshot(&mut fixture.as_slice()).unwrap();
+    let link = apply_delta_file(&mut live, &d1, link0).unwrap();
+    apply_delta_file(&mut live, &d2, link).unwrap();
+
+    // Out-of-order and replayed applies must be rejected without effect.
+    let mut fresh_load = ActIndex::load_snapshot(&mut fixture.as_slice()).unwrap();
+    assert!(
+        apply_delta_file(&mut fresh_load, &d2, link0).is_err(),
+        "skipping delta 1 must fail the lineage check"
+    );
+    assert!(
+        apply_delta_file(&mut live, &d1, link).is_err(),
+        "replaying delta 1 after delta 2 must fail the lineage check"
+    );
+
+    // The applied result equals the same edits made directly.
+    let mut want = ActIndex::load_snapshot(&mut fixture.as_slice()).unwrap();
+    want.insert_polygon(new_id, &added).unwrap();
+    assert!(want.remove_polygon(0));
+    let pts = PointGen::nyc_taxi_like(ds.bbox, 7).take_vec(2_000);
+    for &p in &pts {
+        assert_eq!(
+            live.lookup_refs(p),
+            want.lookup_refs(p),
+            "delta-applied fixture diverged at {p}"
+        );
+    }
+    assert!(
+        !live.lookup_refs(c).is_empty(),
+        "inserted polygon must probe"
+    );
+
+    // The fixture on disk is untouched by the whole exercise.
+    assert_eq!(std::fs::read(fixture_path()).unwrap(), fixture);
+    std::fs::remove_dir_all(&dir).ok();
+}
