@@ -109,8 +109,11 @@ fn main() {
     println!(
         "LOADGEN: {} points, {connections} connection(s), {frame} points/frame, datasets {selected:?}{}",
         opts.points,
-        if opts.overload { ", overload phase on" } else { "" }
+        if opts.overload { ", overload phase on" } else { "" },
     );
+    if opts.faults && cfg!(not(feature = "fault-injection")) {
+        eprintln!("LOADGEN: --faults needs `--features fault-injection`; phase will fail typed");
+    }
 
     let mut entries = Vec::new();
     let mut failed = false;
@@ -140,7 +143,7 @@ fn main() {
         .str("bench", "serve")
         .str(
             "command",
-            "cargo run --release -p bench --bin loadgen -- --batch 1024 --overload",
+            "cargo run --release -p bench --features fault-injection --bin loadgen -- --overload --faults",
         )
         .raw("machine", machine_stamp())
         .int("seed", opts.seed)
@@ -349,7 +352,197 @@ fn run_dataset(
     if opts.overload {
         rows.push(run_overload(ds, &path, &snap, &points)?);
     }
+    if opts.faults {
+        #[cfg(feature = "fault-injection")]
+        rows.push(run_faults(ds, &path, &snap, &points)?);
+        #[cfg(not(feature = "fault-injection"))]
+        return Err(
+            "--faults requires a loadgen built with --features fault-injection".to_string(),
+        );
+    }
     Ok(rows)
+}
+
+/// The fault soak: a seeded, deterministic fault schedule — worker
+/// panics, socket resets, socket stalls — fires under live traffic
+/// driven through the [`act_serve::ResilientClient`]. Records the
+/// latency penalty during the fault window, the time from the last
+/// injected fault to the first clean reply, and whether every frame was
+/// eventually answered (the client absorbing INTERNAL/reset/stall with
+/// retries) with the server's books balanced.
+#[cfg(feature = "fault-injection")]
+fn run_faults(
+    ds: &datagen::Dataset,
+    path: &std::path::Path,
+    snap: &MappedSnapshot,
+    points: &[Coord],
+) -> Result<String, String> {
+    use act_serve::faults::{FaultPlan, FaultSpec, Site};
+    use act_serve::{ResilientClient, RetryPolicy};
+
+    const FAULT_FRAME: usize = 256;
+    const FAULT_MAX_FRAMES: usize = 600;
+    let frames: Vec<&[Coord]> = points.chunks(FAULT_FRAME).take(FAULT_MAX_FRAMES).collect();
+
+    // The schedule: 4 worker panics spread across the soak, 3 mid-reply
+    // socket resets, 4 socket stalls. Hit numbers are per-site, so the
+    // same seed + same traffic reproduces the same fault times.
+    let plan = FaultPlan::new(0xFA0175)
+        .stall(Duration::from_millis(5))
+        .with(FaultSpec {
+            site: Site::WorkerPanic,
+            first: 5,
+            every: 40,
+            count: 4,
+        })
+        .with(FaultSpec {
+            site: Site::ConnWrite,
+            first: 10,
+            every: 120,
+            count: 3,
+        })
+        .with(FaultSpec {
+            site: Site::ConnStall,
+            first: 20,
+            every: 90,
+            count: 4,
+        });
+    let faults = plan.arm();
+    let planned_fires: u64 = 4 + 3 + 4;
+    println!(
+        "faults: {} frames × {FAULT_FRAME} pts through a seeded schedule \
+         (4 worker panics, 3 socket resets, 4 stalls)",
+        frames.len()
+    );
+
+    let server = Server::spawn(
+        path,
+        ServeConfig {
+            workers: 1,
+            watch: None,
+            faults: Some(std::sync::Arc::clone(&faults)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn fault-soak act-serve");
+
+    let mut client = ResilientClient::new(
+        server.addr(),
+        RetryPolicy {
+            max_attempts: 10,
+            read_timeout: READ_DEADLINE,
+            deadline: Some(Duration::from_secs(60)),
+            ..RetryPolicy::default()
+        },
+    )
+    .map_err(|e| format!("faults: client: {e}"))?;
+
+    let mut counts = vec![0u64; ds.polygons.len()];
+    let mut fault_lat_us = Vec::new();
+    let mut clean_lat_us = Vec::new();
+    let mut fault_end: Option<Instant> = None;
+    let mut recovery = None;
+    for (k, chunk) in frames.iter().enumerate() {
+        let t = Instant::now();
+        let reply = client
+            .probe(chunk, false)
+            .map_err(|e| format!("faults: frame {k} not absorbed by retries: {e}"))?;
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        for refs in &reply.refs {
+            for &(id, _) in refs {
+                counts[id as usize] += 1;
+            }
+        }
+        if faults.total_fires() < planned_fires {
+            fault_lat_us.push(us);
+        } else {
+            if fault_end.is_none() {
+                // This frame completed after the final injected fault:
+                // its completion is the recovery point.
+                let now = Instant::now();
+                fault_end = Some(now);
+                recovery = Some(t.elapsed());
+            }
+            clean_lat_us.push(us);
+        }
+    }
+    if faults.total_fires() < planned_fires {
+        return Err(format!(
+            "faults: schedule only fired {}/{planned_fires} — traffic too thin to trust the row",
+            faults.total_fires()
+        ));
+    }
+
+    // Every frame was eventually answered correctly: aggregated counts
+    // must equal the offline probe of the same frames.
+    let mut want = vec![0u64; ds.polygons.len()];
+    {
+        let view = snap.view();
+        let cells: Vec<_> = frames
+            .iter()
+            .flat_map(|f| f.iter().map(|&c| coord_to_cell(c)))
+            .collect();
+        let mut probes = vec![Probe::Miss; cells.len()];
+        view.probe_batch(&cells, &mut probes);
+        for &p in &probes {
+            for (id, _) in view.resolve_refs(p) {
+                want[id as usize] += 1;
+            }
+        }
+    }
+    assert_eq!(
+        counts, want,
+        "answers under fault injection diverged — not recording"
+    );
+
+    let stats = server.stats();
+    server.shutdown();
+    assert_eq!(
+        stats.accepted,
+        stats.answered + stats.shed,
+        "faults: counters must reconcile"
+    );
+    assert_eq!(
+        stats.panics_contained,
+        faults.fires(Site::WorkerPanic),
+        "every injected panic must be contained (none took a worker down)"
+    );
+
+    fault_lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    clean_lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99_fault = percentile(&fault_lat_us, 0.99);
+    let p99_clean = percentile(&clean_lat_us, 0.99);
+    let recovery_ms = recovery.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+    println!(
+        "faults: p99 {p99_fault:.0} us during the fault window vs {p99_clean:.0} us after; \
+         recovered {recovery_ms:.1} ms after the last fault; {} panics contained, \
+         {} resets, {} stalls, {} retries over {} connections — zero lost frames",
+        stats.panics_contained,
+        faults.fires(Site::ConnWrite),
+        faults.fires(Site::ConnStall),
+        client.retries(),
+        client.connects(),
+    );
+
+    Ok(Obj::new()
+        .str("dataset", &ds.name)
+        .str("mode", "faults")
+        .int("frames", frames.len() as u64)
+        .int("points_per_frame", FAULT_FRAME as u64)
+        .int("worker_panics_injected", faults.fires(Site::WorkerPanic))
+        .int("socket_resets_injected", faults.fires(Site::ConnWrite))
+        .int("socket_stalls_injected", faults.fires(Site::ConnStall))
+        .int("panics_contained", stats.panics_contained)
+        .num("frame_latency_p99_fault_window_us", p99_fault)
+        .num("frame_latency_p99_after_us", p99_clean)
+        .num("recovery_after_last_fault_ms", recovery_ms)
+        .int("client_retries", client.retries())
+        .int("client_connects", client.connects())
+        .num("client_backoff_secs", client.backoff_slept().as_secs_f64())
+        .bool("zero_lost_frames", true)
+        .bool("counts_verified", true)
+        .bool("counters_reconciled", true)
+        .build())
 }
 
 /// The overload phase: a fresh small-queue server, pipelining clients
@@ -601,9 +794,11 @@ fn overload_conn(
                     ok_mask.push(true);
                 }
                 proto::STATUS_LOADSHED => {
-                    if h.n != 0 || !payload.is_empty() {
+                    if h.n != 0 {
                         return Err("overload: LOADSHED reply carries entries".into());
                     }
+                    // v2 sheds carry an optional 4-byte retry hint.
+                    proto::decode_retry_after(payload).map_err(|e| e.to_string())?;
                     ok_mask.push(false);
                 }
                 s => {

@@ -55,6 +55,10 @@ pub struct Opts {
     /// Also run the overload phase (`loadgen` bin): drive a
     /// small-queue server past capacity and record shed rate + goodput.
     pub overload: bool,
+    /// Also run the fault-injection soak (`loadgen` bin, requires the
+    /// `fault-injection` feature): drive live traffic through a seeded
+    /// fault schedule and record recovery rows.
+    pub faults: bool,
 }
 
 impl Default for Opts {
@@ -69,6 +73,7 @@ impl Default for Opts {
             snapshot: None,
             mmap: false,
             overload: false,
+            faults: false,
         }
     }
 }
@@ -89,6 +94,10 @@ usage: <bin> [options]
   --overload        also run the overload phase (loadgen bin): drive a
                     small-queue server past capacity and record shed rate
                     + goodput rows into BENCH_serve.json
+  --faults          also run the fault-injection soak (loadgen bin, built
+                    with --features fault-injection): seeded worker
+                    panics, torn deltas, socket resets under live load;
+                    records recovery rows into BENCH_serve.json
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -166,6 +175,7 @@ impl Opts {
                 }
                 "--mmap" => o.mmap = true,
                 "--overload" => o.overload = true,
+                "--faults" => o.faults = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -388,6 +398,7 @@ mod tests {
             "target/snaps",
             "--mmap",
             "--overload",
+            "--faults",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -399,6 +410,7 @@ mod tests {
         assert_eq!(o.snapshot.as_deref(), Some("target/snaps"));
         assert!(o.mmap);
         assert!(o.overload);
+        assert!(o.faults);
     }
 
     #[test]

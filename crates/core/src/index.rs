@@ -50,8 +50,13 @@ pub struct BuildStats {
 /// [`ActIndex::remove_polygon`] edit the live trie (inserts append into
 /// the node arena, removals tombstone references), and a lazy
 /// [`ActIndex::compact`] rewrites the arena once the accumulated garbage
-/// crosses [`ActIndex::COMPACT_WASTE_THRESHOLD`].
-#[derive(Debug, Clone)]
+/// crosses [`ActIndex::COMPACT_WASTE_THRESHOLD`]. Compaction is
+/// **time-bounded and resumable**: [`ActIndex::compact_deadline`] does a
+/// deadline's worth of rebuild work off to the side (probes keep running
+/// against the untouched live trie) and picks up where it left off on
+/// the next call; a mutation in between invalidates the partial rebuild
+/// and it restarts from the mutated state.
+#[derive(Debug)]
 pub struct ActIndex {
     act: Act,
     table: LookupTable,
@@ -68,7 +73,60 @@ pub struct ActIndex {
     /// upserts of unseen ids skip the full-arena remove pass. Transient:
     /// not persisted in snapshots.
     live_ids: Option<std::collections::BTreeSet<u32>>,
+    /// Bumped by every structural mutation; a paused [`CompactState`]
+    /// snapshots it so interleaved mutations invalidate the partial
+    /// rebuild instead of silently losing their edits.
+    mutation_epoch: u64,
+    /// Paused incremental compaction, if one is mid-flight.
+    compact_state: Option<CompactState>,
+    /// Deadline budget automatic (threshold-triggered) compactions run
+    /// under; `None` keeps the historical run-to-completion behavior.
+    compact_budget: Option<std::time::Duration>,
 }
+
+impl Clone for ActIndex {
+    fn clone(&self) -> ActIndex {
+        ActIndex {
+            act: self.act.clone(),
+            table: self.table.clone(),
+            stats: self.stats.clone(),
+            waste_bytes: self.waste_bytes,
+            live_ids: self.live_ids.clone(),
+            mutation_epoch: self.mutation_epoch,
+            // A paused rebuild references only this index's state; the
+            // clone restarts compaction on its own schedule.
+            compact_state: None,
+            compact_budget: self.compact_budget,
+        }
+    }
+}
+
+/// A paused incremental compaction: the live cell set extracted up
+/// front, plus the replacement trie/table rebuilt `pos` cells deep.
+struct CompactState {
+    cells: Vec<(CellId, crate::refs::RefSet)>,
+    pos: usize,
+    act: Act,
+    tb: LookupTableBuilder,
+    /// The owner's [`ActIndex::mutation_epoch`] when extraction ran; a
+    /// mismatch at resume time means the cell set is stale.
+    epoch: u64,
+}
+
+impl std::fmt::Debug for CompactState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactState")
+            .field("pos", &self.pos)
+            .field("cells", &self.cells.len())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cells re-inserted between deadline checks during an incremental
+/// compaction: coarse enough to amortize the clock read, fine enough
+/// that a 5 ms budget is overshot by microseconds, not milliseconds.
+const COMPACT_CHECK_EVERY: usize = 32;
 
 impl ActIndex {
     /// Builds the index for `polygons` with precision bound `precision_m`
@@ -222,6 +280,9 @@ impl ActIndex {
             stats,
             waste_bytes: 0,
             live_ids: None,
+            mutation_epoch: 0,
+            compact_state: None,
+            compact_budget: None,
         }
     }
 
@@ -234,6 +295,9 @@ impl ActIndex {
             stats,
             waste_bytes: 0,
             live_ids: None,
+            mutation_epoch: 0,
+            compact_state: None,
+            compact_budget: None,
         }
     }
 
@@ -498,21 +562,92 @@ impl ActIndex {
     /// dropping orphaned nodes and tombstoned table entries. Mutations
     /// call this automatically once [`ActIndex::waste_ratio`] crosses
     /// [`ActIndex::COMPACT_WASTE_THRESHOLD`]; it is also safe to call at
-    /// any time. Probe results are unchanged.
+    /// any time. Probe results are unchanged. Runs to completion,
+    /// resuming (or restarting, if a mutation intervened) any paused
+    /// incremental compaction.
     pub fn compact(&mut self) {
-        let cells = self.act.extract_all(self.table.words());
-        let mut act = Act::new();
-        let mut tb = LookupTableBuilder::new();
-        for (cell, refs) in &cells {
-            act.insert(*cell, refs, &mut tb);
+        while !self.compact_step(None) {}
+    }
+
+    /// A deadline-bounded slice of [`ActIndex::compact`]: does rebuild
+    /// work until `deadline` (checked every [`COMPACT_CHECK_EVERY`]
+    /// cells) and pauses the rest for the next call. Returns `true` when
+    /// the compaction completed — or when there was nothing to do —
+    /// `false` when work remains. Probes against the index stay valid
+    /// and unchanged between slices: the rebuild happens off to the
+    /// side and is swapped in atomically on the completing call.
+    ///
+    /// A mutation between slices invalidates the paused rebuild (it was
+    /// extracted from a trie that no longer exists); the next call
+    /// restarts extraction from the mutated state. The extraction pass
+    /// itself is not sliced — it is a read-only arena walk, a small
+    /// fraction of the insert work — so a single call can overshoot a
+    /// very tight deadline by the extraction cost.
+    pub fn compact_deadline(&mut self, deadline: Instant) -> bool {
+        if self.compact_state.is_none() && self.waste_bytes == 0 {
+            return true; // nothing to reclaim; don't churn the arena
         }
-        self.act = act;
-        self.table = tb.build();
-        // The extracted cells are exactly the live set, so this is the
-        // one place the id superset can be made exact again.
+        self.compact_step(Some(deadline))
+    }
+
+    /// True while an incremental compaction is paused mid-rebuild.
+    pub fn compact_in_progress(&self) -> bool {
+        self.compact_state.is_some()
+    }
+
+    /// Sets the deadline budget automatic (threshold-triggered)
+    /// compactions run under: with a budget, a mutation that crosses
+    /// [`ActIndex::COMPACT_WASTE_THRESHOLD`] does at most one budget's
+    /// worth of compaction work before returning, and later mutations
+    /// (or [`ActIndex::compact_deadline`] calls) continue it. `None`
+    /// restores the historical stop-the-world compact-on-threshold.
+    pub fn set_compact_budget(&mut self, budget: Option<std::time::Duration>) {
+        self.compact_budget = budget;
+    }
+
+    /// The engine behind every compact entry point. `deadline: None`
+    /// finishes in one call; otherwise pauses once the deadline passes.
+    /// Returns `true` when the rebuild was swapped in.
+    fn compact_step(&mut self, deadline: Option<Instant>) -> bool {
+        // A paused rebuild from before a mutation is stale: drop it.
+        if self
+            .compact_state
+            .as_ref()
+            .is_some_and(|st| st.epoch != self.mutation_epoch)
+        {
+            self.compact_state = None;
+        }
+        let mut st = match self.compact_state.take() {
+            Some(st) => st,
+            None => CompactState {
+                cells: self.act.extract_all(self.table.words()),
+                pos: 0,
+                act: Act::new(),
+                tb: LookupTableBuilder::new(),
+                epoch: self.mutation_epoch,
+            },
+        };
+        while st.pos < st.cells.len() {
+            let stop = (st.pos + COMPACT_CHECK_EVERY).min(st.cells.len());
+            for (cell, refs) in &st.cells[st.pos..stop] {
+                st.act.insert(*cell, refs, &mut st.tb);
+            }
+            st.pos = stop;
+            if let Some(dl) = deadline {
+                if st.pos < st.cells.len() && Instant::now() >= dl {
+                    self.compact_state = Some(st);
+                    return false;
+                }
+            }
+        }
+        // Done: swap the rebuild in. The extracted cells are exactly the
+        // live set, so this is the one place the id superset can be made
+        // exact again.
+        self.act = st.act;
+        self.table = st.tb.build();
         if self.live_ids.is_some() {
             let mut ids = std::collections::BTreeSet::new();
-            for (_, refs) in &cells {
+            for (_, refs) in &st.cells {
                 for r in refs.iter() {
                     ids.insert(r.id);
                 }
@@ -521,6 +656,7 @@ impl ActIndex {
         }
         self.waste_bytes = 0;
         self.note_mutation(crate::trie::MutationWaste::default());
+        true
     }
 
     /// Estimated garbage bytes accumulated by mutations since the last
@@ -541,8 +677,13 @@ impl ActIndex {
     }
 
     fn maybe_compact(&mut self) {
-        if self.waste_ratio() > Self::COMPACT_WASTE_THRESHOLD {
-            self.compact();
+        if self.compact_state.is_some() || self.waste_ratio() > Self::COMPACT_WASTE_THRESHOLD {
+            match self.compact_budget {
+                Some(budget) => {
+                    let _ = self.compact_step(Some(Instant::now() + budget));
+                }
+                None => self.compact(),
+            }
         }
     }
 
@@ -550,8 +691,10 @@ impl ActIndex {
     /// refreshes the size/count fields of [`BuildStats`] (the build
     /// wall-time fields keep their original values; cell counts follow
     /// the live trie and are approximate between compactions, exact
-    /// right after one).
+    /// right after one). Also bumps the mutation epoch, which is what
+    /// invalidates a paused incremental compaction.
     fn note_mutation(&mut self, waste: crate::trie::MutationWaste) {
+        self.mutation_epoch += 1;
         self.waste_bytes +=
             waste.orphaned_nodes * (crate::trie::FANOUT as u64 * 8) + waste.stale_table_words * 4;
         self.stats.indexed_cells = self.act.inserted_cells();
@@ -681,6 +824,75 @@ mod tests {
         for (c, p) in cells.iter().zip(&out) {
             assert_eq!(*p, idx.probe_cell(*c));
         }
+    }
+
+    /// The pathological tombstone load: remove most of a dense index so
+    /// the threshold-crossing compaction is large, then prove the
+    /// deadline API pauses it, resumes it across calls, keeps probes
+    /// correct the whole way, and restarts cleanly when a mutation
+    /// invalidates the paused rebuild.
+    #[test]
+    fn deadline_compaction_pauses_resumes_and_survives_mutation() {
+        use std::time::Duration;
+        let polys: Vec<Polygon> = (0..30)
+            .map(|k| square(-74.0 + 0.024 * k as f64, 40.7, 0.01))
+            .collect();
+        let mut idx = ActIndex::build(&polys, 15.0).unwrap();
+        // A zero budget means threshold-triggered compactions do one
+        // slice and pause — the waste pile-up below survives them.
+        idx.set_compact_budget(Some(Duration::ZERO));
+        for id in 0..25u32 {
+            assert!(idx.remove_polygon(id));
+        }
+        assert!(
+            idx.waste_bytes() > 0 || idx.compact_in_progress(),
+            "mass removal must leave garbage behind"
+        );
+        let probe_at =
+            |idx: &ActIndex, k: usize| idx.lookup_refs(Coord::new(-74.0 + 0.024 * k as f64, 40.7));
+        let check_survivors = |idx: &ActIndex| {
+            for k in 0..25 {
+                assert!(probe_at(idx, k).is_empty(), "removed polygon {k} answered");
+            }
+            for k in 25..30 {
+                assert_eq!(probe_at(idx, k), vec![(k as u32, true)], "survivor {k}");
+            }
+        };
+        check_survivors(&idx);
+
+        // An already-expired deadline: the slice must pause, not finish
+        // (the surviving cells far exceed one check quantum).
+        assert!(
+            !idx.compact_deadline(Instant::now()),
+            "an expired deadline must pause a large compaction"
+        );
+        assert!(idx.compact_in_progress());
+        // The paused rebuild is invisible to probes.
+        check_survivors(&idx);
+
+        // A mutation invalidates the paused rebuild and still lands.
+        idx.insert_polygon(30, &square(-74.0 + 0.024 * 30.0, 40.7, 0.01))
+            .unwrap();
+        assert_eq!(probe_at(&idx, 30), vec![(30, true)]);
+
+        // Drive the restarted compaction to completion in slices.
+        let mut slices = 0u32;
+        while !idx.compact_deadline(Instant::now() + Duration::from_micros(200)) {
+            slices += 1;
+            assert!(slices < 100_000, "compaction never converged");
+        }
+        assert!(!idx.compact_in_progress());
+        assert_eq!(idx.waste_bytes(), 0, "completed compaction clears waste");
+        check_survivors(&idx);
+        assert_eq!(probe_at(&idx, 30), vec![(30, true)]);
+
+        // compact() is still the run-to-completion wrapper.
+        idx.set_compact_budget(None);
+        assert!(idx.remove_polygon(30));
+        idx.compact();
+        assert!(!idx.compact_in_progress());
+        assert_eq!(idx.waste_bytes(), 0);
+        check_survivors(&idx);
     }
 
     #[test]

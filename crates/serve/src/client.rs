@@ -3,12 +3,21 @@
 //! connection's frames in order). Spin up several clients on separate
 //! connections for parallel load — that is also what lets the server
 //! form cross-connection micro-batches.
+//!
+//! [`Client`] is the bare connection: one attempt, every failure
+//! surfaced. [`ResilientClient`] wraps it with a [`RetryPolicy`]: a
+//! per-attempt read timeout, reconnection after IO or framing failures,
+//! and seeded-jitter exponential backoff on retryable server statuses —
+//! honoring the server's `retry_after_ms` hint when a reject carries one
+//! — all bounded by a total-attempt cap and an optional per-request
+//! deadline.
 
 use crate::protocol as proto;
 use geom::Coord;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Largest response body the client will accept (a full probe frame's
 /// worth of densely referenced points stays far below this).
@@ -21,8 +30,23 @@ pub enum ClientError {
     Io(io::Error),
     /// The peer violated the protocol (the string names how).
     Protocol(&'static str),
-    /// The server answered with a non-OK status code.
-    Server(u8),
+    /// The server answered with a non-OK status code. `retry_after_ms`
+    /// is the server's backoff hint when the reject carried one
+    /// (LOADSHED/BUSY under protocol v2).
+    Server {
+        /// The typed status byte (`STATUS_*`).
+        status: u8,
+        /// Server-suggested earliest retry, when provided.
+        retry_after_ms: Option<u32>,
+    },
+    /// A [`ResilientClient`] ran out of attempts or deadline; the last
+    /// underlying failure is boxed inside.
+    Exhausted {
+        /// Attempts actually made before giving up.
+        attempts: u32,
+        /// The failure that ended the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -30,7 +54,23 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "client I/O error: {e}"),
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
-            ClientError::Server(s) => write!(f, "server status {s} ({})", proto::status_name(*s)),
+            ClientError::Server {
+                status,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "server status {status} ({})",
+                    proto::status_name(*status)
+                )?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, ", retry after {ms} ms")?;
+                }
+                Ok(())
+            }
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -39,6 +79,7 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Io(e) => Some(e),
+            ClientError::Exhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -104,7 +145,7 @@ impl Client {
         // answers the connection, not any frame) and must surface as the
         // typed server status, not as a protocol violation.
         if h.status != proto::STATUS_OK {
-            return Err(ClientError::Server(h.status));
+            return Err(server_error(h.status, &payload));
         }
         if h.op != proto::OP_PROBE {
             return Err(ClientError::Protocol("response op does not echo PROBE"));
@@ -152,7 +193,7 @@ impl Client {
         let (h, payload) = self.read_response()?;
         // Status first: BUSY carries op 0 (see Client::probe).
         if h.status != proto::STATUS_OK {
-            return Err(ClientError::Server(h.status));
+            return Err(server_error(h.status, &payload));
         }
         if h.op != op {
             return Err(ClientError::Protocol(
@@ -169,4 +210,251 @@ impl Client {
         let (h, payload) = proto::decode_response(&body).map_err(ClientError::Protocol)?;
         Ok((h, payload.to_vec()))
     }
+}
+
+/// The typed error for a non-OK response, decoding the optional
+/// `retry_after_ms` hint that LOADSHED/BUSY rejects may carry (v1
+/// servers send none — `decode_retry_after` accepts an empty payload).
+fn server_error(status: u8, payload: &[u8]) -> ClientError {
+    match status {
+        proto::STATUS_LOADSHED | proto::STATUS_BUSY => match proto::decode_retry_after(payload) {
+            Ok(hint) => ClientError::Server {
+                status,
+                retry_after_ms: hint,
+            },
+            Err(what) => ClientError::Protocol(what),
+        },
+        _ => ClientError::Server {
+            status,
+            retry_after_ms: None,
+        },
+    }
+}
+
+/// How a [`ResilientClient`] retries. The defaults suit an interactive
+/// caller: a handful of attempts, millisecond-scale backoff that doubles
+/// per retry, a read timeout that turns a wedged server into a
+/// reconnect, and a per-request deadline that bounds the whole dance.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry when the server sent no hint;
+    /// doubles per consecutive retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-attempt socket read timeout (a response slower than this
+    /// poisons the connection: partial frames may be in flight, so the
+    /// client reconnects before retrying).
+    pub read_timeout: Duration,
+    /// Overall wall-clock budget for one request across every attempt
+    /// and backoff sleep; `None` means attempts alone bound the work.
+    pub deadline: Option<Duration>,
+    /// Seed for the deterministic ±25% backoff jitter (spreads herds of
+    /// shed clients without nondeterminism in tests).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            deadline: Some(Duration::from_secs(10)),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// A [`Client`] that survives a hostile network: it reconnects after IO
+/// and framing failures, retries retryable server statuses (LOADSHED,
+/// BUSY, INTERNAL) under jittered exponential backoff — sleeping the
+/// server's `retry_after_ms` hint instead when the reject carried one —
+/// and gives up with [`ClientError::Exhausted`] once the policy's
+/// attempt cap or deadline is spent. Non-retryable statuses (BAD_FRAME,
+/// UNSUPPORTED) surface immediately: resending a malformed or
+/// unsupported request can only fail the same way.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    connects: u64,
+    retries: u64,
+    backoff_slept: Duration,
+}
+
+impl ResilientClient {
+    /// Resolves `addr` once and readies the client. No connection is
+    /// opened yet — the first request dials (and re-dials on failure).
+    ///
+    /// # Errors
+    /// Address resolution failures.
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<ResilientClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        Ok(ResilientClient {
+            addr,
+            policy,
+            conn: None,
+            connects: 0,
+            retries: 0,
+            backoff_slept: Duration::ZERO,
+        })
+    }
+
+    /// Connections dialed so far (1 in the happy path; each reconnect
+    /// after an IO/framing failure adds one).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Attempts beyond the first, across every request so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Total time spent asleep in backoff (chaos tests assert hints are
+    /// honored; load generators subtract it from offered-load math).
+    pub fn backoff_slept(&self) -> Duration {
+        self.backoff_slept
+    }
+
+    /// [`Client::probe`] with retries per the policy.
+    ///
+    /// # Errors
+    /// The first non-retryable failure, or [`ClientError::Exhausted`].
+    ///
+    /// # Panics
+    /// Panics if `coords` exceeds [`proto::MAX_POINTS`].
+    pub fn probe(
+        &mut self,
+        coords: &[Coord],
+        exact: bool,
+    ) -> Result<proto::ProbeReply, ClientError> {
+        self.with_retries(|c| c.probe(coords, exact))
+    }
+
+    /// [`Client::ping`] with retries per the policy.
+    ///
+    /// # Errors
+    /// As [`ResilientClient::probe`].
+    pub fn ping(&mut self) -> Result<proto::PingReply, ClientError> {
+        self.with_retries(Client::ping)
+    }
+
+    /// [`Client::stats`] with retries per the policy.
+    ///
+    /// # Errors
+    /// As [`ResilientClient::probe`].
+    pub fn stats(&mut self) -> Result<proto::StatsReply, ClientError> {
+        self.with_retries(Client::stats)
+    }
+
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let start = Instant::now();
+        let deadline = self.policy.deadline.map(|d| start + d);
+        let attempts_cap = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match self.ensure_conn() {
+                Ok(conn) => op(conn),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let (retryable, hint_ms) = match &err {
+                // The stream may hold a partial frame (timeout mid-read)
+                // or be gone entirely: poison the connection either way.
+                ClientError::Io(_) | ClientError::Protocol(_) => {
+                    self.conn = None;
+                    (true, None)
+                }
+                ClientError::Server {
+                    status,
+                    retry_after_ms,
+                } => (
+                    matches!(
+                        *status,
+                        proto::STATUS_LOADSHED | proto::STATUS_BUSY | proto::STATUS_INTERNAL
+                    ),
+                    *retry_after_ms,
+                ),
+                ClientError::Exhausted { .. } => (false, None),
+            };
+            if !retryable {
+                return Err(err);
+            }
+            if attempt >= attempts_cap {
+                return Err(ClientError::Exhausted {
+                    attempts: attempt,
+                    last: Box::new(err),
+                });
+            }
+            // The server's hint wins over the local schedule; both get
+            // the same deterministic ±25% jitter.
+            let base = match hint_ms {
+                Some(ms) => Duration::from_millis(u64::from(ms)),
+                None => {
+                    let shift = (attempt - 1).min(16);
+                    self.policy
+                        .base_backoff
+                        .saturating_mul(1u32 << shift)
+                        .min(self.policy.max_backoff)
+                }
+            };
+            let mut sleep = jitter(base, self.policy.jitter_seed, u64::from(attempt));
+            if let Some(dl) = deadline {
+                let left = dl.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(ClientError::Exhausted {
+                        attempts: attempt,
+                        last: Box::new(err),
+                    });
+                }
+                sleep = sleep.min(left);
+            }
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+                self.backoff_slept += sleep;
+            }
+            self.retries += 1;
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            let mut c = Client::connect(self.addr)?;
+            c.set_read_timeout(Some(self.policy.read_timeout))?;
+            self.conn = Some(c);
+            self.connects += 1;
+        }
+        Ok(self.conn.as_mut().expect("connection established above"))
+    }
+}
+
+/// Deterministic ±25% jitter around `base`, keyed by seed and attempt.
+fn jitter(base: Duration, seed: u64, attempt: u64) -> Duration {
+    let micros = base.as_micros() as u64;
+    let quarter = micros / 4;
+    if quarter == 0 {
+        return base;
+    }
+    let mut x = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    Duration::from_micros(micros - quarter + x % (2 * quarter + 1))
 }

@@ -52,14 +52,16 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod swap;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsReply};
 pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
-pub use swap::{delta_path, IndexStore, ServeIndex, FOLD_AFTER_DELTAS};
+pub use swap::{delta_path, IndexStore, ServeIndex, WatchCounters, FOLD_AFTER_DELTAS};
 
 #[cfg(test)]
 mod tests {
@@ -154,7 +156,18 @@ mod tests {
         let pts = [Coord::new(-74.0, 40.7)];
         for _ in 0..3 {
             match client.probe(&pts, false) {
-                Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_LOADSHED),
+                Err(ClientError::Server {
+                    status,
+                    retry_after_ms,
+                }) => {
+                    assert_eq!(status, protocol::STATUS_LOADSHED);
+                    // v2: a shed reply tells the client when to come back.
+                    let hint = retry_after_ms.expect("LOADSHED must carry a retry hint");
+                    assert!(
+                        (protocol::RETRY_AFTER_MIN_MS..=protocol::RETRY_AFTER_MAX_MS)
+                            .contains(&hint)
+                    );
+                }
                 other => panic!("expected LOADSHED, got {other:?}"),
             }
         }
@@ -207,7 +220,16 @@ mod tests {
         // not trip the op-echo check).
         let mut third = Client::connect(server.addr()).unwrap();
         match third.ping() {
-            Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_BUSY),
+            Err(ClientError::Server {
+                status,
+                retry_after_ms,
+            }) => {
+                assert_eq!(status, protocol::STATUS_BUSY);
+                assert!(
+                    retry_after_ms.is_some(),
+                    "BUSY must carry a retry hint under protocol v2"
+                );
+            }
             other => panic!("expected BUSY through the Client, got {other:?}"),
         }
 
@@ -255,7 +277,9 @@ mod tests {
         let mut client = Client::connect(server.addr()).unwrap();
         let pts = [Coord::new(-74.0, 40.7)];
         match client.probe(&pts, true) {
-            Err(ClientError::Server(s)) => assert_eq!(s, protocol::STATUS_UNSUPPORTED),
+            Err(ClientError::Server { status, .. }) => {
+                assert_eq!(status, protocol::STATUS_UNSUPPORTED)
+            }
             other => panic!("expected UNSUPPORTED, got {other:?}"),
         }
         // The connection stays usable afterwards.

@@ -27,7 +27,8 @@
 //!            approx mode: hit_bit = is_true_hit (candidates ride along
 //!            with bit 0 — the paper's ε-bounded approximate answer)
 //!            exact mode:  only actual members are listed, hit_bit = 1
-//!   PING / STATS: an 80-byte counter block (see [`CounterBlock`])
+//!   PING / STATS: a counter block (see [`CounterBlock`])
+//!   LOADSHED / BUSY: optionally a u32 retry_after_ms hint (n stays 0)
 //! ```
 //!
 //! A probe frame carries at most [`MAX_POINTS`] points, which bounds
@@ -37,18 +38,40 @@
 //! client can correlate by position; requests on one connection are
 //! answered in order.
 //!
+//! ## Versioning
+//!
+//! [`PROTOCOL_VERSION`] is 2. The frame and header layouts are unchanged
+//! from version 1; version 2 adds payload, never reshapes it, so the bump
+//! is compatible in both directions:
+//!
+//! * The PING/STATS counter block grew from ten to thirteen `u64` words
+//!   (`watch_errors`, `quarantines`, `panics_contained`). A version-2
+//!   client still accepts the 80-byte version-1 block and reads the
+//!   missing counters as zero ([`decode_counters`]).
+//! * `LOADSHED`/`BUSY` replies may now carry a 4-byte `retry_after_ms`
+//!   payload. Version-1 replies carried none; [`decode_retry_after`]
+//!   maps an empty payload to "no hint". Version-1 clients that ignore
+//!   reject payloads (the documented contract) are unaffected.
+//!
 //! ## Admission-control statuses
 //!
-//! * `LOADSHED` (probe only, `n = 0`, empty payload): the server's
-//!   bounded probe queue was full, so the frame was answered immediately
-//!   instead of queuing. The connection **stays open** — the client may
-//!   retry or back off; a shed frame is never silently dropped.
+//! * `LOADSHED` (probe only, `n = 0`): the server's bounded probe queue
+//!   was full, so the frame was answered immediately instead of queuing.
+//!   The connection **stays open** — the client may retry or back off;
+//!   a shed frame is never silently dropped. The payload, when present,
+//!   is a `u32 retry_after_ms` hint derived from the live queue depth
+//!   and the measured drain rate ([`suggest_retry_after_ms`]).
 //! * `BUSY` (op `0`, sent straight from the accept loop, then close):
 //!   the server is at its connection cap and refused this connection
-//!   before a reader thread was even spawned.
+//!   before a reader thread was even spawned. Carries the same optional
+//!   `retry_after_ms` payload.
 
 use geom::Coord;
 use std::io::{self, Read, Write};
+
+/// Wire protocol version implemented by this build (see the module docs'
+/// "Versioning" section for what changed and why it is compatible).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Probe a batch of coordinates.
 pub const OP_PROBE: u8 = 1;
@@ -150,12 +173,14 @@ pub struct StatsReply {
 }
 
 /// The server's aggregate serving counters, as carried in PING and STATS
-/// payloads: ten little-endian `u64` words, in field order.
+/// payloads: thirteen little-endian `u64` words, in field order.
 ///
 /// Reconciliation invariant (after a graceful drain, with all replies
 /// delivered): `accepted == answered + shed` — every accepted frame got
 /// exactly one reply, and a shed frame is always answered `LOADSHED`,
-/// never silently dropped.
+/// never silently dropped. The invariant holds through worker panics:
+/// a poisoned batch answers its frames `INTERNAL`, which still counts
+/// toward `answered`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterBlock {
     /// Probe points answered (sum of lanes over answered probe frames).
@@ -181,10 +206,27 @@ pub struct CounterBlock {
     /// Delta files applied onto the live index (a subset of `swaps` —
     /// the updates that arrived without remapping the base snapshot).
     pub delta_applies: u64,
+    /// Transient IO errors hit by the snapshot watcher while statting or
+    /// reading (each one also widens the watcher's retry backoff; they
+    /// are no longer silently treated as "no change").
+    pub watch_errors: u64,
+    /// Corrupt or wrong-chain delta files the watcher renamed to
+    /// `*.quarantine` and skipped, keeping the current epoch serving.
+    pub quarantines: u64,
+    /// Worker-thread panics contained by `catch_unwind`: each one
+    /// poisoned a single batch (its frames were answered `INTERNAL`)
+    /// instead of the process.
+    pub panics_contained: u64,
 }
 
-/// Serialized size of a [`CounterBlock`]: ten `u64` words.
-pub const COUNTER_BLOCK_LEN: usize = 80;
+/// Serialized size of a [`CounterBlock`]: thirteen `u64` words
+/// (protocol version 2).
+pub const COUNTER_BLOCK_LEN: usize = 104;
+
+/// Serialized size of a version-1 counter block: ten `u64` words.
+/// Still accepted by [`decode_counters`], with the newer counters read
+/// as zero.
+pub const COUNTER_BLOCK_LEN_V1: usize = 80;
 
 /// Serializes a counter block (PING/STATS response payload).
 pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
@@ -199,6 +241,9 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
         c.swaps,
         c.queue_high_water_lanes,
         c.delta_applies,
+        c.watch_errors,
+        c.quarantines,
+        c.panics_contained,
     ];
     let mut out = [0u8; COUNTER_BLOCK_LEN];
     for (slot, w) in out.chunks_exact_mut(8).zip(words) {
@@ -209,12 +254,17 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
 
 /// Decodes a counter block from a PING/STATS response payload.
 ///
+/// Accepts the current thirteen-word block and, for compatibility with
+/// version-1 servers, the old ten-word block (the three newer counters
+/// decode as zero).
+///
 /// # Errors
 /// A static description of the structural violation.
 pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
-    if payload.len() != COUNTER_BLOCK_LEN {
-        return Err("counter block is not exactly ten u64 words");
+    if payload.len() != COUNTER_BLOCK_LEN && payload.len() != COUNTER_BLOCK_LEN_V1 {
+        return Err("counter block is not ten (v1) or thirteen u64 words");
     }
+    let v2 = payload.len() == COUNTER_BLOCK_LEN;
     Ok(CounterBlock {
         probes: u64_at(payload, 0),
         accepted: u64_at(payload, 8),
@@ -226,7 +276,57 @@ pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
         swaps: u64_at(payload, 56),
         queue_high_water_lanes: u64_at(payload, 64),
         delta_applies: u64_at(payload, 72),
+        watch_errors: if v2 { u64_at(payload, 80) } else { 0 },
+        quarantines: if v2 { u64_at(payload, 88) } else { 0 },
+        panics_contained: if v2 { u64_at(payload, 96) } else { 0 },
     })
+}
+
+// ---------------------------------------------------------------------
+// Retry-after hints (LOADSHED / BUSY payloads)
+// ---------------------------------------------------------------------
+
+/// Serialized size of a retry-after hint: one `u32`, milliseconds.
+pub const RETRY_HINT_LEN: usize = 4;
+
+/// Floor of any emitted retry hint, milliseconds.
+pub const RETRY_AFTER_MIN_MS: u32 = 1;
+/// Ceiling of any emitted retry hint, milliseconds.
+pub const RETRY_AFTER_MAX_MS: u32 = 5_000;
+/// Hint used before the server has measured a drain rate (or for BUSY
+/// rejects, where no queue estimate applies).
+pub const RETRY_AFTER_DEFAULT_MS: u32 = 25;
+
+/// Serializes a `retry_after_ms` hint (LOADSHED/BUSY response payload).
+pub fn encode_retry_hint(ms: u32) -> [u8; RETRY_HINT_LEN] {
+    ms.to_le_bytes()
+}
+
+/// Extracts the optional `retry_after_ms` hint from a LOADSHED or BUSY
+/// reply payload. An empty payload (a version-1 server) is `None`.
+///
+/// # Errors
+/// A static description of the structural violation.
+pub fn decode_retry_after(payload: &[u8]) -> Result<Option<u32>, &'static str> {
+    match payload.len() {
+        0 => Ok(None),
+        RETRY_HINT_LEN => Ok(Some(u32_at(payload, 0))),
+        _ => Err("reject payload is not an optional u32 retry hint"),
+    }
+}
+
+/// Derives a `retry_after_ms` hint from the live queue occupancy and the
+/// measured drain rate: the estimated time for the queue to drain, so a
+/// client that sleeps the hint lands when capacity is plausible again.
+/// Clamped to `[RETRY_AFTER_MIN_MS, RETRY_AFTER_MAX_MS]`; with no
+/// measured rate yet the hint falls back to [`RETRY_AFTER_DEFAULT_MS`].
+pub fn suggest_retry_after_ms(queued_lanes: u64, drain_lanes_per_sec: f64) -> u32 {
+    if drain_lanes_per_sec <= 0.0 || !drain_lanes_per_sec.is_finite() {
+        return RETRY_AFTER_DEFAULT_MS;
+    }
+    let ms = ((queued_lanes as f64 / drain_lanes_per_sec) * 1_000.0).ceil();
+    // `as` saturates on overflow/non-finite, and the clamp bounds it.
+    (ms as u64).clamp(RETRY_AFTER_MIN_MS as u64, RETRY_AFTER_MAX_MS as u64) as u32
 }
 
 /// Packs a polygon reference for the wire.
@@ -624,6 +724,9 @@ mod tests {
             swaps: 1,
             queue_high_water_lanes: 512,
             delta_applies: 1,
+            watch_errors: 2,
+            quarantines: 1,
+            panics_contained: 1,
         };
         let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &encode_counters(&counters));
         let body = read_frame(&mut frame.as_slice(), usize::MAX)
@@ -633,10 +736,66 @@ mod tests {
         assert_eq!(h.epoch, 3);
         assert_eq!(decode_counters(p).unwrap(), counters);
         assert_eq!(counters.accepted, counters.answered + counters.shed);
-        assert!(decode_counters(&[0; 79]).is_err());
-        assert!(decode_counters(&[0; 81]).is_err());
+        assert!(decode_counters(&[0; 103]).is_err());
+        assert!(decode_counters(&[0; 105]).is_err());
         // The old nine-word block is rejected, not misread.
         assert!(decode_counters(&[0; 72]).is_err());
+    }
+
+    #[test]
+    fn v1_counter_block_still_decodes() {
+        // A version-1 server sends ten words; the three newer counters
+        // read as zero, everything else lands in its field.
+        let full = encode_counters(&CounterBlock {
+            probes: 9,
+            accepted: 8,
+            answered: 6,
+            shed: 2,
+            delta_applies: 3,
+            watch_errors: 7,
+            quarantines: 7,
+            panics_contained: 7,
+            ..Default::default()
+        });
+        let got = decode_counters(&full[..COUNTER_BLOCK_LEN_V1]).unwrap();
+        assert_eq!(
+            (
+                got.probes,
+                got.accepted,
+                got.answered,
+                got.shed,
+                got.delta_applies
+            ),
+            (9, 8, 6, 2, 3)
+        );
+        assert_eq!(
+            (got.watch_errors, got.quarantines, got.panics_contained),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn retry_hint_roundtrip_and_bounds() {
+        for ms in [0u32, 1, 25, 4_999, u32::MAX] {
+            let payload = encode_retry_hint(ms);
+            assert_eq!(decode_retry_after(&payload).unwrap(), Some(ms));
+        }
+        // Version-1 rejects carry no payload: that is "no hint".
+        assert_eq!(decode_retry_after(&[]).unwrap(), None);
+        assert!(decode_retry_after(&[1, 2, 3]).is_err());
+        assert!(decode_retry_after(&[0; 5]).is_err());
+
+        // Derivation: no measured rate → default; otherwise queue/rate,
+        // clamped.
+        assert_eq!(suggest_retry_after_ms(100, 0.0), RETRY_AFTER_DEFAULT_MS);
+        assert_eq!(suggest_retry_after_ms(100, -1.0), RETRY_AFTER_DEFAULT_MS);
+        assert_eq!(
+            suggest_retry_after_ms(100, f64::NAN),
+            RETRY_AFTER_DEFAULT_MS
+        );
+        assert_eq!(suggest_retry_after_ms(500, 1_000.0), 500);
+        assert_eq!(suggest_retry_after_ms(0, 1_000.0), RETRY_AFTER_MIN_MS);
+        assert_eq!(suggest_retry_after_ms(u64::MAX, 0.001), RETRY_AFTER_MAX_MS);
     }
 
     #[test]

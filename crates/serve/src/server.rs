@@ -34,6 +34,10 @@
 //! * Every micro-batch pins one `(snapshot, epoch)` pair from the
 //!   [`IndexStore`]; a concurrent hot-swap affects only later batches,
 //!   so no request ever observes a torn index.
+//! * Workers run each batch's compute under `catch_unwind`: a panic
+//!   poisons exactly one batch (its frames are answered with typed
+//!   `INTERNAL` replies and `panics_contained` bumps) instead of the
+//!   process — the worker survives to take the next batch.
 //!
 //! ## Graceful drain
 //!
@@ -52,7 +56,7 @@
 //!    shutdown), then close.
 
 use crate::protocol as proto;
-use crate::swap::{snapshot_signature, watch_loop, IndexStore};
+use crate::swap::{snapshot_signature, watch_loop_opts, IndexStore, WatchCounters, WatchOptions};
 use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner, SnapshotError};
 use geom::Coord;
 use s2cell::CellId;
@@ -60,11 +64,15 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use crate::faults::{FaultAction, Faults, Site};
 
 /// A failure spawning the server.
 #[derive(Debug)]
@@ -150,6 +158,12 @@ pub struct ServeConfig {
     /// suite and `loadgen --overload` use it to make "capacity" a known
     /// constant so shedding is deterministic.
     pub batch_delay: Option<Duration>,
+    /// An armed fault plan ([`crate::faults::FaultPlan::arm`]); hooks in
+    /// the workers, connection writers, and the watcher consult it.
+    /// `None` injects nothing. Only present under the `fault-injection`
+    /// feature — production builds carry no hook sites at all.
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<Arc<Faults>>,
 }
 
 impl Default for ServeConfig {
@@ -167,6 +181,8 @@ impl Default for ServeConfig {
             max_connections: 256,
             drain_grace: Duration::from_secs(5),
             batch_delay: None,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 }
@@ -194,6 +210,13 @@ pub struct ServeStats {
     pub busy: u64,
     /// Highest queue occupancy observed, in lanes (≤ configured depth).
     pub queue_high_water_lanes: u64,
+    /// Worker panics contained by `catch_unwind` (each poisoned exactly
+    /// one batch, answered `INTERNAL`).
+    pub panics_contained: u64,
+    /// Transient IO errors hit by the snapshot watcher.
+    pub watch_errors: u64,
+    /// Corrupt/wrong-chain delta files quarantined by the watcher.
+    pub quarantines: u64,
 }
 
 /// One enqueued probe request.
@@ -240,6 +263,16 @@ struct State {
     busy: AtomicU64,
     batches: AtomicU64,
     queue_hw_lanes: AtomicU64,
+    panics_contained: AtomicU64,
+    /// Watcher-side counters (transient IO errors, quarantined deltas),
+    /// shared with the watch thread.
+    watch: Arc<WatchCounters>,
+    /// Lanes actually answered by workers, paired with `started` to give
+    /// the measured drain rate behind retry-after hints.
+    drained_lanes: AtomicU64,
+    started: Instant,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<Arc<Faults>>,
 }
 
 impl State {
@@ -255,7 +288,24 @@ impl State {
             swaps: self.store.swaps(),
             queue_high_water_lanes: self.queue_hw_lanes.load(Ordering::Relaxed),
             delta_applies: self.store.delta_applies(),
+            watch_errors: self.watch.errors(),
+            quarantines: self.watch.quarantines(),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
         }
+    }
+
+    /// The `retry_after_ms` hint for a reject emitted right now: the
+    /// estimated time for the current queue to drain at the measured
+    /// rate (see [`proto::suggest_retry_after_ms`]).
+    fn retry_hint_ms(&self) -> u32 {
+        let queued = self.queue.lock().map(|q| q.lanes as u64).unwrap_or(0);
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.drained_lanes.load(Ordering::Relaxed) as f64 / secs
+        } else {
+            0.0
+        };
+        proto::suggest_retry_after_ms(queued, rate)
     }
 }
 
@@ -306,6 +356,12 @@ impl Server {
             busy: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             queue_hw_lanes: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            watch: Arc::new(WatchCounters::default()),
+            drained_lanes: AtomicU64::new(0),
+            started: Instant::now(),
+            #[cfg(feature = "fault-injection")]
+            faults: config.faults,
         });
         let max_connections = config.max_connections;
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -332,9 +388,16 @@ impl Server {
         let watcher = config.watch.map(|interval| {
             let st = Arc::clone(&state);
             let p = path.clone();
+            let opts = WatchOptions {
+                interval,
+                counters: Arc::clone(&st.watch),
+                #[cfg(feature = "fault-injection")]
+                faults: st.faults.clone(),
+                ..WatchOptions::default()
+            };
             std::thread::Builder::new()
                 .name("act-serve-watch".to_string())
-                .spawn(move || watch_loop(&p, interval, &st.store, &st.draining, initial_sig))
+                .spawn(move || watch_loop_opts(&p, &st.store, &st.draining, initial_sig, opts))
                 .expect("spawn snapshot watcher")
         });
 
@@ -384,6 +447,9 @@ impl ServerHandle {
             bad_frames: c.bad_frames,
             busy: c.busy,
             queue_high_water_lanes: c.queue_high_water_lanes,
+            panics_contained: c.panics_contained,
+            watch_errors: c.watch_errors,
+            quarantines: c.quarantines,
         }
     }
 
@@ -488,12 +554,14 @@ fn accept_loop(
 }
 
 /// Answers a connection refused at the accept gate: one `BUSY` frame
-/// (op 0 — there is no request to echo), best effort, then close.
+/// (op 0 — there is no request to echo) carrying a retry-after hint,
+/// best effort, then close.
 fn refuse_busy(mut stream: TcpStream, state: &State) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-    let frame = proto::encode_response(0, proto::STATUS_BUSY, state.store.epoch(), 0, &[]);
+    let hint = proto::encode_retry_hint(state.retry_hint_ms());
+    let frame = proto::encode_response(0, proto::STATUS_BUSY, state.store.epoch(), 0, &hint);
     let _ = stream.write_all(&frame);
 }
 
@@ -687,15 +755,19 @@ fn reader_loop(
                     }
                     Admission::Shed => {
                         // Shed frames are answered, never dropped — and
-                        // always with LOADSHED, nothing else.
+                        // always with LOADSHED, nothing else. The payload
+                        // carries the retry-after hint: how long until
+                        // the queue that rejected this frame should have
+                        // drained at the measured rate.
                         state.accepted.fetch_add(1, Ordering::Relaxed);
                         state.shed.fetch_add(1, Ordering::Relaxed);
+                        let hint = proto::encode_retry_hint(state.retry_hint_ms());
                         let f = proto::encode_response(
                             proto::OP_PROBE,
                             proto::STATUS_LOADSHED,
                             state.store.epoch(),
                             0,
-                            &[],
+                            &hint,
                         );
                         if !push_pending(tx, Pending::Ready(f), dead) {
                             return;
@@ -814,6 +886,19 @@ fn writer_loop(state: &State, mut w: TcpStream, rx: mpsc::Receiver<Pending>, dea
                     }
                 },
             };
+            // Fault sites: a stall delays this reply (slow network), a
+            // write fault kills the connection as a peer reset would —
+            // the frames it owed are the client's to retry.
+            #[cfg(feature = "fault-injection")]
+            if let Some(faults) = &state.faults {
+                if let Some(FaultAction::Stall(d)) = faults.check(Site::ConnStall) {
+                    std::thread::sleep(d);
+                }
+                if faults.check(Site::ConnWrite).is_some() {
+                    let _ = w.shutdown(std::net::Shutdown::Both);
+                    return Err(faults.injected_error(Site::ConnWrite));
+                }
+            }
             write_all_retry(state, &mut w, &frame, &mut clock)?;
         }
     })();
@@ -960,12 +1045,62 @@ fn worker_loop(state: &State) {
 }
 
 /// Answers one micro-batch against a single pinned `(snapshot, epoch)`.
+///
+/// The compute half runs under `catch_unwind`: a panic — a bug in the
+/// probe path, or an injected [`Site::WorkerPanic`] — poisons **this
+/// batch only**. Its frames are answered with typed `INTERNAL` replies
+/// (clients see a retryable status, connections stay up), the
+/// `panics_contained` counter bumps, and the worker thread survives to
+/// take the next batch. `answered` counts either way, so the
+/// `accepted = answered + shed` invariant holds through panics.
 fn process_batch(state: &State, batch: Vec<Job>) {
+    let computed = catch_unwind(AssertUnwindSafe(|| compute_replies(state, &batch)));
+    let total: usize = batch.iter().map(|j| j.cells.len()).sum();
+    let replies: Vec<Reply> = match computed {
+        Ok(ok) => ok,
+        Err(_) => {
+            state.panics_contained.fetch_add(1, Ordering::Relaxed);
+            let epoch = state.store.epoch();
+            (0..batch.len())
+                .map(|_| Reply {
+                    status: proto::STATUS_INTERNAL,
+                    epoch,
+                    n: 0,
+                    payload: Vec::new(),
+                })
+                .collect()
+        }
+    };
+    debug_assert_eq!(replies.len(), batch.len());
+    state
+        .drained_lanes
+        .fetch_add(total as u64, Ordering::Relaxed);
+    for (job, reply) in batch.into_iter().zip(replies) {
+        // Counted at production: the reply exists whether or not the
+        // connection survives to carry it.
+        state.answered.fetch_add(1, Ordering::Relaxed);
+        // A send failure means the connection died while we probed;
+        // nothing to deliver to.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// The panic-isolated half of [`process_batch`]: one pinned
+/// `(snapshot, epoch)` pair, one `lookup_batch` walk, one [`Reply`] per
+/// job (in batch order). Touches only monotonic stats counters, so
+/// unwinding out of here leaves no state poisoned.
+fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(faults) = &state.faults {
+        if faults.check(Site::WorkerPanic).is_some() {
+            panic!("injected worker panic (contained; this batch answers INTERNAL)");
+        }
+    }
     let (snap, epoch) = state.store.current();
     let view = snap.view();
     let total: usize = batch.iter().map(|j| j.cells.len()).sum();
     let mut cells = Vec::with_capacity(total);
-    for job in &batch {
+    for job in batch {
         cells.extend_from_slice(&job.cells);
     }
     let mut probes = vec![Probe::Miss; cells.len()];
@@ -973,6 +1108,7 @@ fn process_batch(state: &State, batch: Vec<Job>) {
     state.probes.fetch_add(total as u64, Ordering::Relaxed);
     state.batches.fetch_add(1, Ordering::Relaxed);
 
+    let mut replies = Vec::with_capacity(batch.len());
     let mut at = 0usize;
     for job in batch {
         let n = job.cells.len();
@@ -1016,11 +1152,7 @@ fn process_batch(state: &State, batch: Vec<Job>) {
                 payload,
             }
         };
-        // Counted at production: the reply exists whether or not the
-        // connection survives to carry it.
-        state.answered.fetch_add(1, Ordering::Relaxed);
-        // A send failure means the connection died while we probed;
-        // nothing to deliver to.
-        let _ = job.reply.send(reply);
+        replies.push(reply);
     }
+    replies
 }

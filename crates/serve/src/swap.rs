@@ -33,23 +33,81 @@
 //!    working index as a new base (sibling + rename), deletes the
 //!    consumed delta files, and restarts the lineage at seq 1.
 //!
-//! Validation failures (half-written file, wrong version, corruption,
-//! out-of-lineage delta) leave the current index serving and are retried
-//! only when the offending signature changes again — dropping a bad file
-//! on the path can never take the server down. Prefer `write to a
-//! sibling + rename` over in-place rewrites: rename is atomic on unix,
-//! and the old mapping stays valid because the old inode lives until
-//! unmapped.
+//! ## Failure handling
+//!
+//! Three failure classes get three distinct treatments:
+//!
+//! * **Corrupt or wrong-chain deltas** (bit flips, truncation, wrong
+//!   base, out-of-order sequence) are **quarantined**: the file is
+//!   renamed to `<file>.quarantine`, the `quarantines` counter bumps,
+//!   the current epoch keeps serving, and the lineage resumes as soon as
+//!   a good file appears at the expected sequence. The bad bytes stay on
+//!   disk for the operator; the watcher never re-reads them.
+//! * **Transient IO errors** (stat/open/read failures that are not
+//!   `NotFound`) are surfaced on the `watch_errors` counter and retried
+//!   under **capped exponential backoff** (the poll interval doubles per
+//!   consecutive error, capped at [`WATCH_BACKOFF_CAP`]); they are *not*
+//!   treated as "no change" — the old behavior silently re-baselined
+//!   past a flapping disk and could miss a real replacement forever.
+//! * **Invalid base snapshots** keep the current index serving and are
+//!   retried when the path's signature changes again.
+//!
+//! Prefer `write to a sibling + rename` over in-place rewrites: rename
+//! is atomic on unix, and the old mapping stays valid because the old
+//! inode lives until unmapped.
 
-use act_core::{apply_delta_file, ActIndex, DeltaLink, MappedSnapshot};
+use act_core::{apply_delta_file, ActIndex, DeltaLink, MappedSnapshot, SnapshotError};
 use geom::Coord;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
+#[cfg(feature = "fault-injection")]
+use crate::faults::{Faults, Site};
+
 /// Deltas applied before the watcher folds them into a new base file.
 pub const FOLD_AFTER_DELTAS: u64 = 16;
+
+/// Ceiling on the watcher's exponential error backoff: however long a
+/// disk flaps, the watcher re-checks at least this often.
+pub const WATCH_BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Per-call deadline budget for compaction work on the watcher's scratch
+/// index: mutation bursts (delta applies with heavy tombstone load) can
+/// no longer stall the apply-to-publish path behind a monolithic arena
+/// rewrite — compaction proceeds in these slices and resumes across
+/// polls.
+pub const WATCH_COMPACT_BUDGET: Duration = Duration::from_millis(5);
+
+/// Counters the watcher shares with the serving stack (they ride the
+/// PING/STATS counter block).
+#[derive(Debug, Default)]
+pub struct WatchCounters {
+    errors: AtomicU64,
+    quarantines: AtomicU64,
+}
+
+impl WatchCounters {
+    /// Transient IO errors hit while statting/reading watched files.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt/wrong-chain delta files renamed to `*.quarantine`.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// The index being served: a mapped base snapshot, or an owned live
 /// index carrying delta edits on top of one. Both expose the same
@@ -179,21 +237,20 @@ fn file_id(_meta: &std::fs::Metadata) -> u64 {
     0 // non-unix: the content fingerprint carries the signature
 }
 
-/// FNV-1a over the first [`FINGERPRINT_BYTES`] bytes of `path` (0 when
-/// unreadable — metadata polls degrade, they don't error).
-fn content_fingerprint(path: &Path) -> u64 {
+/// FNV-1a over the first [`FINGERPRINT_BYTES`] bytes of `path`; IO
+/// errors (other than interruption) surface to the caller so the watcher
+/// can count and back off instead of silently degrading.
+fn content_fingerprint(path: &Path) -> io::Result<u64> {
     use std::io::Read;
-    let Ok(mut f) = std::fs::File::open(path) else {
-        return 0;
-    };
+    let mut f = std::fs::File::open(path)?;
     let mut buf = [0u8; FINGERPRINT_BYTES];
     let mut n = 0usize;
     while n < buf.len() {
         match f.read(&mut buf[n..]) {
             Ok(0) => break,
             Ok(k) => n += k,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return 0,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -201,7 +258,28 @@ fn content_fingerprint(path: &Path) -> u64 {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    h
+    Ok(h)
+}
+
+/// The change signature of the file at `path` right now, distinguishing
+/// the three states a poll can land in: `Ok(Some(_))` — readable,
+/// here is its signature; `Ok(None)` — the file does not exist (a real
+/// state, not an error: deltas legitimately appear later); `Err` — a
+/// transient IO failure that says nothing about whether the file
+/// changed, which callers must *not* fold into "no change".
+pub fn try_signature(path: &Path) -> io::Result<Option<Signature>> {
+    let meta = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let fp = match content_fingerprint(path) {
+        Ok(fp) => fp,
+        // Deleted between the stat and the read: genuinely absent.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(Some((file_id(&meta), meta.modified().ok(), meta.len(), fp)))
 }
 
 /// The change signature of the snapshot file at `path` right now.
@@ -211,14 +289,12 @@ fn content_fingerprint(path: &Path) -> u64 {
 /// store still serves the old one, missing the swap forever). The
 /// capture-then-open order makes the race benign — at worst the watcher
 /// re-loads the file it is already serving.
+///
+/// Flattens transient IO errors to `None` — fine at spawn time (the
+/// watcher just reloads), but the watcher itself polls through
+/// [`try_signature`] so errors feed `watch_errors` and the backoff path.
 pub fn snapshot_signature(path: &Path) -> Option<Signature> {
-    let meta = std::fs::metadata(path).ok()?;
-    Some((
-        file_id(&meta),
-        meta.modified().ok(),
-        meta.len(),
-        content_fingerprint(path),
-    ))
+    try_signature(path).ok().flatten()
 }
 
 /// The sibling path of delta `seq` for the base snapshot at `base`:
@@ -249,6 +325,124 @@ struct Lineage {
     applied: u64,
 }
 
+/// Knobs for [`watch_loop_opts`]. `..WatchOptions::default()` keeps
+/// call sites stable as fields grow.
+pub struct WatchOptions {
+    /// Steady-state poll interval (backoff multiplies it on errors).
+    pub interval: Duration,
+    /// Deltas applied before the watcher folds them into a new base
+    /// (tests fold quickly).
+    pub fold_after: u64,
+    /// Shared error/quarantine counters (ride the STATS counter block).
+    pub counters: Arc<WatchCounters>,
+    /// Armed fault plan, when chaos-testing the watcher.
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<Arc<Faults>>,
+}
+
+impl Default for WatchOptions {
+    fn default() -> WatchOptions {
+        WatchOptions {
+            interval: Duration::from_millis(500),
+            fold_after: FOLD_AFTER_DELTAS,
+            counters: Arc::new(WatchCounters::default()),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+}
+
+/// Sleeps `total` in small slices so a graceful drain never waits a
+/// whole poll interval for the watcher to join. Returns `false` when
+/// shutdown fired mid-sleep.
+fn sleep_sliced(total: Duration, shutdown: &AtomicBool) -> bool {
+    let wake = std::time::Instant::now() + total;
+    loop {
+        let left = wake.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            return true;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+        if shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+    }
+}
+
+/// The pause before the next poll after `streak` consecutive transient
+/// errors: `interval × 2^(streak-1)`, capped at [`WATCH_BACKOFF_CAP`]
+/// but never shorter than the configured interval.
+fn backoff(interval: Duration, streak: u32) -> Duration {
+    let shift = streak.saturating_sub(1).min(8);
+    interval
+        .saturating_mul(1u32 << shift)
+        .min(WATCH_BACKOFF_CAP)
+        .max(interval)
+}
+
+/// A signature poll, routed through the fault plan when one is armed.
+fn poll_signature(path: &Path, _opts: &WatchOptions) -> io::Result<Option<Signature>> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(f) = &_opts.faults {
+        if f.check(Site::WatchStat).is_some() {
+            return Err(f.injected_error(Site::WatchStat));
+        }
+    }
+    try_signature(path)
+}
+
+/// A base-snapshot open attempt, routed through the fault plan.
+fn open_snapshot(path: &Path, _opts: &WatchOptions) -> Result<MappedSnapshot, SnapshotError> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(f) = &_opts.faults {
+        if f.check(Site::SnapshotOpen).is_some() {
+            return Err(SnapshotError::Io(f.injected_error(Site::SnapshotOpen)));
+        }
+    }
+    MappedSnapshot::open(path)
+}
+
+/// A delta apply attempt, routed through the fault plan.
+fn apply_delta(
+    next: &mut ActIndex,
+    dpath: &Path,
+    link: DeltaLink,
+    _opts: &WatchOptions,
+) -> Result<DeltaLink, SnapshotError> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(f) = &_opts.faults {
+        if f.check(Site::DeltaOpen).is_some() {
+            return Err(SnapshotError::Io(f.injected_error(Site::DeltaOpen)));
+        }
+    }
+    apply_delta_file(next, dpath, link)
+}
+
+/// Renames a rejected delta to `<file>.quarantine` so the watcher never
+/// re-reads the bad bytes and the operator can inspect them.
+fn quarantine_delta(dpath: &Path) -> io::Result<PathBuf> {
+    let mut name = dpath
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(".quarantine");
+    let qpath = dpath.with_file_name(name);
+    std::fs::rename(dpath, &qpath)?;
+    Ok(qpath)
+}
+
+/// Spends the idle-poll compaction budget on the lineage scratch: delta
+/// bursts with heavy tombstone load shed their arena waste a slice at a
+/// time between polls instead of stalling an apply behind a monolithic
+/// rewrite.
+fn idle_compact(lineage: &mut Option<Lineage>) {
+    if let Some(lin) = lineage {
+        if let Some(scratch) = lin.scratch.as_mut() {
+            scratch.compact_deadline(std::time::Instant::now() + WATCH_COMPACT_BUDGET);
+        }
+    }
+}
+
 /// Polls `path` every `interval` until `shutdown`, swapping validated
 /// new snapshots — and applying validated sibling delta files — into
 /// `store`. `initial` is the signature of the file the store is
@@ -258,8 +452,10 @@ struct Lineage {
 ///
 /// A change is acted on only after its signature holds still for one
 /// full interval (an in-place writer mid-copy keeps moving the mtime);
-/// a signature whose load failed is remembered and not retried until it
-/// changes again.
+/// a signature whose load failed *validation* is remembered and not
+/// retried until it changes again. Transient IO failures are different:
+/// they are counted, retried under capped exponential backoff, and never
+/// mistaken for "no change" (see the module docs' failure taxonomy).
 pub fn watch_loop(
     path: &Path,
     interval: Duration,
@@ -267,18 +463,28 @@ pub fn watch_loop(
     shutdown: &AtomicBool,
     initial: Option<Signature>,
 ) -> u64 {
-    watch_loop_opts(path, interval, store, shutdown, initial, FOLD_AFTER_DELTAS)
+    watch_loop_opts(
+        path,
+        store,
+        shutdown,
+        initial,
+        WatchOptions {
+            interval,
+            ..WatchOptions::default()
+        },
+    )
 }
 
-/// [`watch_loop`] with the fold threshold exposed (tests fold quickly).
+/// [`watch_loop`] with every knob exposed (see [`WatchOptions`]).
 pub fn watch_loop_opts(
     path: &Path,
-    interval: Duration,
     store: &IndexStore,
     shutdown: &AtomicBool,
     initial: Option<Signature>,
-    fold_after: u64,
+    opts: WatchOptions,
 ) -> u64 {
+    let interval = opts.interval;
+    let fold_after = opts.fold_after;
     let mut loaded_sig = initial;
     let mut failed_sig: Option<Signature> = None;
     let mut prev_poll = loaded_sig;
@@ -286,29 +492,36 @@ pub fn watch_loop_opts(
     let mut delta_prev_poll: Option<Signature> = None;
     let mut delta_failed: Option<Signature> = None;
     let mut publishes = 0u64;
+    // Consecutive transient-error polls; doubles the pause (capped).
+    let mut err_streak = 0u32;
     while !shutdown.load(Ordering::Acquire) {
-        // Sleep in small slices so a graceful drain never waits a whole
-        // poll interval for this thread to join.
-        let wake = std::time::Instant::now() + interval;
-        loop {
-            let left = wake.saturating_duration_since(std::time::Instant::now());
-            if left.is_zero() {
-                break;
-            }
-            std::thread::sleep(left.min(Duration::from_millis(10)));
-            if shutdown.load(Ordering::Acquire) {
-                return publishes;
-            }
+        let pause = if err_streak == 0 {
+            interval
+        } else {
+            backoff(interval, err_streak)
+        };
+        if !sleep_sliced(pause, shutdown) {
+            return publishes;
         }
 
         // 1. The base path: a changed, stable, valid snapshot is a full
         //    reload and supersedes any delta lineage in progress.
-        let sig = snapshot_signature(path);
+        let sig = match poll_signature(path, &opts) {
+            Ok(s) => s,
+            Err(e) => {
+                // Says nothing about whether the file changed — count it
+                // and retry under backoff rather than re-baselining.
+                opts.counters.note_error();
+                err_streak = err_streak.saturating_add(1);
+                eprintln!("act-serve: watch stat of {path:?} failed ({e}); backing off");
+                continue;
+            }
+        };
         let stable = sig == prev_poll;
         prev_poll = sig;
         if let Some(sig) = sig {
             if Some(sig) != loaded_sig && Some(sig) != failed_sig && stable {
-                match MappedSnapshot::open(path) {
+                match open_snapshot(path, &opts) {
                     Ok(snap) => {
                         let epoch = store.swap(snap);
                         publishes += 1;
@@ -317,11 +530,22 @@ pub fn watch_loop_opts(
                         lineage = None;
                         delta_prev_poll = None;
                         delta_failed = None;
+                        err_streak = 0;
                         eprintln!("act-serve: hot-swapped snapshot {path:?} (epoch {epoch})");
                         continue;
                     }
+                    Err(SnapshotError::Io(e)) => {
+                        // Short/failed read: the bytes were never
+                        // judged, so do NOT remember this signature as
+                        // failed — back off and re-attempt the open.
+                        opts.counters.note_error();
+                        err_streak = err_streak.saturating_add(1);
+                        eprintln!("act-serve: snapshot read at {path:?} failed ({e}); backing off");
+                        continue;
+                    }
                     Err(e) => {
-                        // Keep serving the old snapshot; retry on change.
+                        // Invalid bytes: keep serving the old snapshot;
+                        // retry when the signature changes again.
                         failed_sig = Some(sig);
                         eprintln!(
                             "act-serve: new snapshot at {path:?} rejected ({e}); keeping current"
@@ -335,11 +559,25 @@ pub fn watch_loop_opts(
         // 2. The next delta in the lineage (seq 1 when none is open).
         let next_seq = lineage.as_ref().map_or(1, |l| l.link.next_seq);
         let dpath = delta_path(path, next_seq);
-        let dsig = snapshot_signature(&dpath);
+        let dsig = match poll_signature(&dpath, &opts) {
+            Ok(s) => s,
+            Err(e) => {
+                opts.counters.note_error();
+                err_streak = err_streak.saturating_add(1);
+                eprintln!("act-serve: watch stat of {dpath:?} failed ({e}); backing off");
+                continue;
+            }
+        };
         let dstable = dsig == delta_prev_poll;
         delta_prev_poll = dsig;
-        let Some(dsig) = dsig else { continue };
+        let Some(dsig) = dsig else {
+            // Fully idle poll: no pending work, clean IO.
+            err_streak = 0;
+            idle_compact(&mut lineage);
+            continue;
+        };
         if Some(dsig) == delta_failed || !dstable {
+            err_streak = 0;
             continue;
         }
 
@@ -370,7 +608,7 @@ pub fn watch_loop_opts(
             .scratch
             .take()
             .expect("scratch is armed between applies");
-        match apply_delta_file(&mut next, &dpath, lin.link) {
+        match apply_delta(&mut next, &dpath, lin.link, &opts) {
             Ok(new_link) => {
                 let epoch = store.swap_owned(next);
                 publishes += 1;
@@ -385,6 +623,7 @@ pub fn watch_loop_opts(
                 lin.applied += 1;
                 delta_prev_poll = None;
                 delta_failed = None;
+                err_streak = 0;
                 eprintln!(
                     "act-serve: applied delta {dpath:?} (epoch {epoch}, \
                      {} in lineage)",
@@ -421,8 +660,39 @@ pub fn watch_loop_opts(
                     unreachable!("lineage working index is always owned");
                 };
                 lin.scratch = Some(cur.clone());
-                delta_failed = Some(dsig);
-                eprintln!("act-serve: delta at {dpath:?} rejected ({e}); keeping current");
+                if matches!(e, SnapshotError::Io(_)) {
+                    // Short/failed read: no verdict on the bytes. Leave
+                    // `delta_prev_poll` standing so the very next poll
+                    // (after backoff) retries the same stable file.
+                    opts.counters.note_error();
+                    err_streak = err_streak.saturating_add(1);
+                    eprintln!("act-serve: delta read at {dpath:?} failed ({e}); backing off");
+                } else {
+                    // Corrupt or wrong-chain bytes: quarantine so the
+                    // lineage resumes the moment a good file lands at
+                    // this sequence, and the bad file is never re-read.
+                    match quarantine_delta(&dpath) {
+                        Ok(qpath) => {
+                            opts.counters.note_quarantine();
+                            delta_prev_poll = None;
+                            delta_failed = None;
+                            err_streak = 0;
+                            eprintln!(
+                                "act-serve: delta at {dpath:?} rejected ({e}); \
+                                 quarantined to {qpath:?}"
+                            );
+                        }
+                        Err(re) => {
+                            // Can't move it aside: fall back to the old
+                            // remember-and-skip behavior.
+                            delta_failed = Some(dsig);
+                            eprintln!(
+                                "act-serve: delta at {dpath:?} rejected ({e}); \
+                                 quarantine failed ({re}); ignoring until it changes"
+                            );
+                        }
+                    }
+                }
             }
         }
     }
@@ -581,24 +851,33 @@ mod tests {
     /// Delta files beside the base are validated, applied in lineage
     /// order without remapping the base, and folded into a new base once
     /// the threshold is crossed; garbage deltas are rejected harmlessly.
+    // The `..default()` spread is needless only when `fault-injection`
+    // is off (it supplies the cfg'd `faults` field when it is on).
+    #[allow(clippy::needless_update)]
     #[test]
     fn watcher_applies_deltas_and_folds() {
         let path = snap_file("delta", &[square(-74.0, 40.7, 0.02)]);
         let base_sum = act_core::header_checksum(&std::fs::read(&path).unwrap()).unwrap();
         let store = Arc::new(IndexStore::new(MappedSnapshot::open(&path).unwrap()));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(WatchCounters::default());
         let initial = snapshot_signature(&path);
         let handle = {
             let (store, shutdown, path) = (store.clone(), shutdown.clone(), path.clone());
+            let counters = Arc::clone(&counters);
             std::thread::spawn(move || {
                 // fold_after = 2 so this test exercises the fold.
                 watch_loop_opts(
                     &path,
-                    Duration::from_millis(10),
                     &store,
                     &shutdown,
                     initial,
-                    2,
+                    WatchOptions {
+                        interval: Duration::from_millis(10),
+                        fold_after: 2,
+                        counters,
+                        ..WatchOptions::default()
+                    },
                 )
             })
         };
@@ -610,12 +889,28 @@ mod tests {
             assert_eq!(store.epoch(), want, "epoch did not reach {want}");
         };
 
-        // Garbage where delta 1 should be: rejected, nothing swaps.
+        // Garbage where delta 1 should be: rejected, nothing swaps, the
+        // bad bytes are quarantined out of the way.
         std::fs::write(delta_path(&path, 1), b"junk").unwrap();
-        std::thread::sleep(Duration::from_millis(80));
+        let qpath = {
+            let d = delta_path(&path, 1);
+            let mut name = d.file_name().unwrap().to_string_lossy().into_owned();
+            name.push_str(".quarantine");
+            d.with_file_name(name)
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counters.quarantines() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         assert_eq!(store.epoch(), 1, "garbage delta must not publish");
+        assert_eq!(counters.quarantines(), 1);
+        assert!(qpath.exists(), "rejected delta must be renamed aside");
+        assert!(
+            !delta_path(&path, 1).exists(),
+            "quarantine must clear the lineage slot"
+        );
 
-        // Delta 1: add a polygon. (Overwrites the junk — new signature.)
+        // Delta 1: add a polygon in the slot the quarantine cleared.
         let link = DeltaLink::for_base(base_sum);
         let add = DeltaOp::Insert {
             id: 7,
@@ -679,6 +974,71 @@ mod tests {
         let publishes = handle.join().unwrap();
         assert_eq!(publishes, 3);
         let _ = std::fs::remove_file(delta_path(&path, 1));
+        let _ = std::fs::remove_file(&qpath);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A transient stat failure must be counted — not folded into "no
+    /// change" — and polling must resume once the fault clears. Uses the
+    /// fault plan (a deterministic stand-in for a flapping disk).
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn watcher_counts_stat_errors_and_recovers() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let path = snap_file("staterr", &[square(-74.0, 40.7, 0.02)]);
+        let store = Arc::new(IndexStore::new(MappedSnapshot::open(&path).unwrap()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(WatchCounters::default());
+        // The first three base-path stats fail; everything after is
+        // clean, so the replacement written below still swaps in.
+        let faults = FaultPlan::new(11)
+            .with(FaultSpec {
+                site: crate::faults::Site::WatchStat,
+                first: 1,
+                every: 1,
+                count: 3,
+            })
+            .arm();
+        let initial = snapshot_signature(&path);
+        let handle = {
+            let (store, shutdown, path) = (store.clone(), shutdown.clone(), path.clone());
+            let (counters, faults) = (Arc::clone(&counters), Arc::clone(&faults));
+            std::thread::spawn(move || {
+                watch_loop_opts(
+                    &path,
+                    &store,
+                    &shutdown,
+                    initial,
+                    WatchOptions {
+                        interval: Duration::from_millis(5),
+                        counters,
+                        faults: Some(faults),
+                        ..WatchOptions::default()
+                    },
+                )
+            })
+        };
+
+        let b = snap_file("staterr-b", &[square(-73.9, 40.7, 0.02)]);
+        std::fs::rename(&b, &path).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.epoch() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            store.epoch(),
+            2,
+            "watcher must recover after the fault clears"
+        );
+        assert_eq!(
+            counters.errors(),
+            3,
+            "each injected stat failure is counted"
+        );
+        assert_eq!(counters.quarantines(), 0);
+
+        shutdown.store(true, Ordering::Release);
+        handle.join().unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 }

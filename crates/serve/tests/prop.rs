@@ -1,42 +1,30 @@
-//! Property tests for the wire protocol's new admission-control
-//! surfaces: counter-block serialization, response framing across every
-//! status (LOADSHED/BUSY included), STATS/PING requests, and probe
-//! request round trips — alongside the example-based frame tests in
-//! `protocol.rs`.
+//! Property tests for the wire protocol's admission-control and
+//! resilience surfaces: counter-block serialization (version 2, with
+//! the version-1 compatibility decode), response framing across every
+//! status (LOADSHED/BUSY included), the retry-after hint those two
+//! statuses carry, STATS/PING requests, and probe request round trips —
+//! alongside the example-based frame tests in `protocol.rs`.
 
 use act_serve::protocol as proto;
 use geom::Coord;
 use proptest::prelude::*;
 
 fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
-    (
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(probes, accepted, answered, shed, bad_frames, busy, batches, swaps, hw, deltas)| {
-                proto::CounterBlock {
-                    probes,
-                    accepted,
-                    answered,
-                    shed,
-                    bad_frames,
-                    busy,
-                    batches,
-                    swaps,
-                    queue_high_water_lanes: hw,
-                    delta_applies: deltas,
-                }
-            },
-        )
+    proptest::collection::vec(any::<u64>(), 13).prop_map(|w| proto::CounterBlock {
+        probes: w[0],
+        accepted: w[1],
+        answered: w[2],
+        shed: w[3],
+        bad_frames: w[4],
+        busy: w[5],
+        batches: w[6],
+        swaps: w[7],
+        queue_high_water_lanes: w[8],
+        delta_applies: w[9],
+        watch_errors: w[10],
+        quarantines: w[11],
+        panics_contained: w[12],
+    })
 }
 
 fn arb_status() -> impl Strategy<Value = u8> {
@@ -61,12 +49,33 @@ proptest! {
         prop_assert_eq!(proto::decode_counters(&bytes).unwrap(), c);
     }
 
-    /// Any truncation or extension of a counter block is a typed error,
-    /// never a garbage decode.
+    /// The protocol-version-2 bump is backward compatible: the first 80
+    /// bytes of a v2 block ARE a v1 block, and decoding one yields the
+    /// same ten legacy counters with the three v2 counters zeroed — a
+    /// v2 client reading a v1 server never sees garbage.
+    #[test]
+    fn counter_block_v1_compat_decode(c in arb_counters()) {
+        let bytes = proto::encode_counters(&c);
+        let v1 = proto::decode_counters(&bytes[..proto::COUNTER_BLOCK_LEN_V1]).unwrap();
+        prop_assert_eq!(
+            v1,
+            proto::CounterBlock {
+                watch_errors: 0,
+                quarantines: 0,
+                panics_contained: 0,
+                ..c
+            }
+        );
+    }
+
+    /// Any length that is neither the v2 nor the v1 block is a typed
+    /// error, never a garbage decode.
     #[test]
     fn counter_block_rejects_wrong_lengths(c in arb_counters(), cut in 0usize..proto::COUNTER_BLOCK_LEN) {
         let bytes = proto::encode_counters(&c);
-        prop_assert!(proto::decode_counters(&bytes[..cut]).is_err());
+        if cut != proto::COUNTER_BLOCK_LEN_V1 {
+            prop_assert!(proto::decode_counters(&bytes[..cut]).is_err());
+        }
         let mut long = bytes.to_vec();
         long.push(0);
         prop_assert!(proto::decode_counters(&long).is_err());
@@ -87,6 +96,49 @@ proptest! {
         let (h, p) = proto::decode_response(&body).unwrap();
         prop_assert_eq!(h, proto::RespHeader { op, status, epoch, n });
         prop_assert_eq!(p, payload.as_slice());
+    }
+
+    /// The retry-after hint round-trips through a full LOADSHED frame
+    /// for any millisecond value, and its absence (the v1 empty payload)
+    /// decodes as `None` — both directions of the version bump.
+    #[test]
+    fn retry_hint_roundtrips_and_v1_absence_is_none(
+        ms in any::<u32>(),
+        status in prop_oneof![Just(proto::STATUS_LOADSHED), Just(proto::STATUS_BUSY)],
+        epoch in any::<u32>(),
+    ) {
+        let frame = proto::encode_response(proto::OP_PROBE, status, epoch, 0, &proto::encode_retry_hint(ms));
+        let body = proto::read_frame(&mut frame.as_slice(), usize::MAX).unwrap().unwrap();
+        let (h, p) = proto::decode_response(&body).unwrap();
+        prop_assert_eq!(h.n, 0, "a reject frame must not claim points");
+        prop_assert_eq!(proto::decode_retry_after(p).unwrap(), Some(ms));
+        prop_assert_eq!(proto::decode_retry_after(&[]).unwrap(), None);
+    }
+
+    /// Any hint payload that is neither empty nor exactly 4 bytes is a
+    /// typed error.
+    #[test]
+    fn retry_hint_rejects_wrong_lengths(len in 1usize..16) {
+        prop_assume!(len != proto::RETRY_HINT_LEN);
+        prop_assert!(proto::decode_retry_after(&vec![0u8; len]).is_err());
+    }
+
+    /// The server-derived hint is always within the protocol's bounds,
+    /// whatever the queue depth and drain-rate measurements — zero,
+    /// huge, negative, or not yet warmed up (NaN/zero rate).
+    #[test]
+    fn suggested_retry_after_is_always_in_bounds(
+        queued in any::<u64>(),
+        rate in prop_oneof![
+            Just(0.0f64),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(-1.0f64),
+            1e-9f64..1e9,
+        ],
+    ) {
+        let ms = proto::suggest_retry_after_ms(queued, rate);
+        prop_assert!((proto::RETRY_AFTER_MIN_MS..=proto::RETRY_AFTER_MAX_MS).contains(&ms));
     }
 
     /// PING and STATS responses carry a decodable counter block whatever

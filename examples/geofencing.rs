@@ -182,17 +182,31 @@ fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) {
 
 /// `--client`: stream the ride-request workload to a server and print
 /// the same zone-demand summary the offline mode computes in-process.
+///
+/// The stream rides [`act_serve::ResilientClient`]: a `BUSY` accept
+/// gate, a `LOADSHED`'s retry-after hint, a contained worker panic
+/// (`INTERNAL`), or a dropped connection costs a backoff-and-retry, not
+/// the run — fleet clients reconnect, they don't crash.
 fn client_mode(addr: &str, num_zones: usize, bbox: geom::Rect) {
     const FRAME: usize = 2048;
     println!("streaming {REQUESTS} requests to act-serve at {addr} over {WORKERS} connections...");
     let start = Instant::now();
     let per_worker = REQUESTS.div_ceil(WORKERS as u64);
-    let (demand, processed, last_epoch) = std::thread::scope(|scope| {
+    let (demand, processed, last_epoch, retries) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..WORKERS as u64)
             .map(|w| {
                 scope.spawn(move || {
-                    let mut client =
-                        act_serve::Client::connect(addr).expect("connect to act-serve");
+                    let mut client = act_serve::ResilientClient::new(
+                        addr,
+                        act_serve::RetryPolicy {
+                            // Streams are long: shed frames should wait
+                            // out the hint rather than give up early.
+                            max_attempts: 8,
+                            jitter_seed: 0x9E0F + w,
+                            ..act_serve::RetryPolicy::default()
+                        },
+                    )
+                    .expect("resolve act-serve address");
                     let gen = PointGen::nyc_taxi_like(bbox, 7);
                     let lo = w * per_worker;
                     let hi = ((w + 1) * per_worker).min(REQUESTS);
@@ -212,29 +226,31 @@ fn client_mode(addr: &str, num_zones: usize, bbox: geom::Rect) {
                         }
                         i += coords.len() as u64;
                     }
-                    (local, hi.saturating_sub(lo), epoch)
+                    (local, hi.saturating_sub(lo), epoch, client.retries())
                 })
             })
             .collect();
         let mut demand = vec![0u64; num_zones];
         let mut processed = 0u64;
         let mut epoch = 0u32;
+        let mut retries = 0u64;
         for h in handles {
-            let (local, n, e) = h.join().expect("client worker panicked");
+            let (local, n, e, r) = h.join().expect("client worker panicked");
             for (g, l) in demand.iter_mut().zip(&local) {
                 *g += l;
             }
             processed += n;
             epoch = epoch.max(e);
+            retries += r;
         }
-        (demand, processed, epoch)
+        (demand, processed, epoch, retries)
     });
     let secs = start.elapsed().as_secs_f64();
     print_summary(
         &demand,
         processed,
         secs,
-        &format!("served (epoch {last_epoch})"),
+        &format!("served (epoch {last_epoch}, {retries} retried frames)"),
     );
 }
 

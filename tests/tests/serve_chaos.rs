@@ -138,11 +138,18 @@ fn hot_swaps_under_shedding_with_a_stalled_reader() {
                         }
                         // A shed is answered LOADSHED and nothing else;
                         // the connection stays usable.
-                        Err(ClientError::Server(s)) => {
+                        Err(ClientError::Server {
+                            status,
+                            retry_after_ms,
+                        }) => {
                             assert_eq!(
-                                s,
+                                status,
                                 proto::STATUS_LOADSHED,
                                 "only LOADSHED may reject a well-formed probe"
+                            );
+                            assert!(
+                                retry_after_ms.is_some(),
+                                "a shed under protocol v2 must hint when to retry"
                             );
                             sheds.fetch_add(1, Ordering::Relaxed);
                         }

@@ -343,3 +343,213 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
     server.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
+
+/// Mid-reply socket resets: clients pipeline several fat probe frames
+/// (large replies), let the server start writing, then vanish with
+/// reply bytes still undelivered — the close-with-unread-data turns
+/// into an RST against the server's writer. The server must shrug off
+/// every reset (EPIPE/ECONNRESET on its write path), keep its books
+/// (`accepted = answered + shed` — answers to vanished peers still
+/// count as answered), and keep serving everyone else.
+#[test]
+fn mid_reply_resets_never_wedge_and_books_stay_balanced() {
+    let (path, idx) = snap_file("resets");
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            watch: None,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let ds = datagen::blocks_scaled(3, 2, 11);
+    let (lo, hi) = (ds.bbox.min, ds.bbox.max);
+    let grid: Vec<Coord> = (0..48)
+        .map(|k| {
+            Coord::new(
+                lo.x + (hi.x - lo.x) * (k % 8) as f64 / 7.0,
+                lo.y + (hi.y - lo.y) * (k / 8) as f64 / 5.0,
+            )
+        })
+        .collect();
+    // A fat frame: 2000 points → a multi-KB reply the kernel cannot
+    // hand over in one piece once the receive window is ignored.
+    let fat: Vec<Coord> = (0..2000)
+        .map(|k| {
+            Coord::new(
+                lo.x + (hi.x - lo.x) * (k % 50) as f64 / 49.0,
+                lo.y + (hi.y - lo.y) * (k / 50) as f64 / 39.0,
+            )
+        })
+        .collect();
+    let fat_frame = proto::encode_probe_request(&fat, false);
+
+    let mut rng = Rng(SEED ^ 0x5E7);
+    for round in 0..40 {
+        let mut s = attack_conn(addr);
+        // Pipeline 1..4 fat frames, never read a byte of the replies.
+        for _ in 0..rng.below(4) + 1 {
+            s.write_all(&fat_frame).unwrap();
+        }
+        // Give the server a beat to start (or finish) writing replies
+        // into our receive buffer, then vanish: closing with unread
+        // data pending makes the OS send RST, not FIN.
+        std::thread::sleep(Duration::from_millis(rng.below(3)));
+        drop(s);
+        if round % 8 == 0 {
+            assert_still_serving(addr, &idx, &grid);
+        }
+    }
+
+    assert_still_serving(addr, &idx, &grid);
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.accepted,
+        stats.answered + stats.shed,
+        "replies to vanished peers must still be accounted answered"
+    );
+    assert_eq!(stats.shed, 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A non-atomic delta writer caught between polls: the file at the
+/// delta path keeps growing while the watcher looks at it. The
+/// stability gate (same signature across two consecutive polls) must
+/// hold the watcher off the whole time — no premature apply, no
+/// quarantine of a file still being written, epoch pinned — and the
+/// moment the writer finishes and the file goes quiet, the delta
+/// applies. A *stalled* writer (half a file, then silence) is the
+/// opposite case: that file IS stable, fails to parse, and must be
+/// quarantined so the slot frees up for a good rewrite.
+#[test]
+fn half_written_delta_between_polls_applies_only_once_complete() {
+    use act_core::{header_checksum, save_delta_file, DeltaLink, DeltaOp};
+    use act_serve::delta_path;
+
+    let (path, idx) = snap_file("torn");
+    let base_sum = header_checksum(&std::fs::read(&path).unwrap()).unwrap();
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            // Long interval relative to the writer's 3 ms append cadence:
+            // two consecutive polls can never see the growing file quiet.
+            watch: Some(Duration::from_millis(200)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let ds = datagen::blocks_scaled(3, 2, 11);
+    let inside = Coord::new(
+        (ds.bbox.min.x + ds.bbox.max.x) / 2.0,
+        (ds.bbox.min.y + ds.bbox.max.y) / 2.0,
+    );
+    let frame = [inside];
+    let want = idx.lookup_refs(inside);
+
+    // The delta: remove every polygon the probe point matches (so the
+    // apply is observable), serialized to bytes we can tear at will.
+    let mut tmp = std::env::temp_dir();
+    tmp.push(format!("act-fuzz-{}-torn-delta.tmp", std::process::id()));
+    let ops: Vec<DeltaOp> = want.iter().map(|&(id, _)| DeltaOp::Remove { id }).collect();
+    assert!(!ops.is_empty(), "probe point must start inside a polygon");
+    save_delta_file(&ops, DeltaLink::for_base(base_sum), &tmp).unwrap();
+    let delta_bytes = std::fs::read(&tmp).unwrap();
+    std::fs::remove_file(&tmp).unwrap();
+    let dpath = delta_path(&path, 1);
+    let qpath = {
+        let mut name = dpath.file_name().unwrap().to_os_string();
+        name.push(".quarantine");
+        dpath.with_file_name(name)
+    };
+
+    // Slow-writer phase: the file grows a sliver every 20 ms for
+    // ~800 ms — spanning four 200 ms polls — straight at the watched
+    // path (no write-then-rename; this test IS the misbehaving writer
+    // the rename discipline exists to avoid). Growth changes the file
+    // length, so no two consecutive polls ever see the same signature.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&dpath).unwrap();
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let sliver = delta_bytes.len().div_ceil(40).max(1);
+        for chunk in delta_bytes.chunks(sliver) {
+            f.write_all(chunk).unwrap();
+            f.flush().unwrap();
+            let reply = client
+                .probe(&frame, false)
+                .expect("probe during torn write");
+            assert_eq!(
+                reply.epoch, 1,
+                "a growing delta file must never be applied mid-write"
+            );
+            assert_eq!(reply.refs[0], want, "answers must be pinned mid-write");
+            assert!(
+                !qpath.exists(),
+                "a growing delta file must not be quarantined"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Writer finished; the file goes quiet and the next two polls see
+    // it stable → applied.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "completed delta was not applied"
+        );
+        let reply = client.probe(&frame, false).expect("probe across apply");
+        if reply.epoch == 2 {
+            assert!(
+                reply.refs[0].is_empty(),
+                "the delta removed these polygons; epoch 2 must reflect that"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Stalled-writer phase at the next sequence: half a file, then
+    // silence. Stable + unparseable → quarantined; serving holds.
+    let d2 = delta_path(&path, 2);
+    let q2 = {
+        let mut name = d2.file_name().unwrap().to_os_string();
+        name.push(".quarantine");
+        d2.with_file_name(name)
+    };
+    std::fs::write(&d2, &delta_bytes[..delta_bytes.len() / 2]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !q2.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled half-written delta was not quarantined"
+        );
+        let reply = client.probe(&frame, false).expect("probe during stall");
+        assert_eq!(
+            reply.epoch, 2,
+            "a stalled torn delta must not move the epoch"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.quarantines, 1,
+        "exactly the stalled file is quarantined"
+    );
+    assert_eq!(stats.accepted, stats.answered + stats.shed);
+    std::fs::remove_file(&q2).unwrap();
+    std::fs::remove_file(&path).unwrap();
+}

@@ -87,6 +87,52 @@ pub mod cast {
     }
 }
 
+/// Test-only fault injection (the `fault-injection` feature): a harness
+/// can force the next N [`Mmap::map_file`] attempts to fail with
+/// [`io::ErrorKind::Other`], proving out callers' heap-read fallbacks
+/// without needing an actually unmappable file. Process-global, like the
+/// syscall it stands in for.
+#[cfg(feature = "fault-injection")]
+pub mod faults {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static FAIL_NEXT: AtomicU64 = AtomicU64::new(0);
+    static FIRED: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms the hook: the next `n` map attempts fail.
+    pub fn fail_next_maps(n: u64) {
+        FAIL_NEXT.store(n, Ordering::SeqCst);
+    }
+
+    /// How many injected failures have fired since the last [`reset`].
+    pub fn fires() -> u64 {
+        FIRED.load(Ordering::SeqCst)
+    }
+
+    /// Disarms the hook and zeroes the fire count.
+    pub fn reset() {
+        FAIL_NEXT.store(0, Ordering::SeqCst);
+        FIRED.store(0, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed failure, if any (called by `map_file`).
+    pub(crate) fn take() -> bool {
+        let mut cur = FAIL_NEXT.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match FAIL_NEXT.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    FIRED.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
 #[cfg(unix)]
 mod sys {
     use std::ffi::{c_int, c_void};
@@ -147,6 +193,10 @@ impl Mmap {
     /// Replace files by writing a sibling and renaming over the old
     /// path — the old inode (and this mapping) stays intact.
     pub fn map_file(file: &File) -> io::Result<Mmap> {
+        #[cfg(feature = "fault-injection")]
+        if faults::take() {
+            return Err(io::Error::other("injected mmap failure"));
+        }
         let len = file.metadata()?.len();
         let len = usize::try_from(len).map_err(|_| {
             io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
