@@ -35,6 +35,15 @@
 //! high-water ≤ D, `accepted = answered + shed` — verifies the `OK`
 //! answers against an offline probe of exactly those frames, and records
 //! shed rate + goodput-under-overload rows.
+//!
+//! `--router` adds the sharded-serving phase: the snapshot splits into
+//! [`ROUTER_SHARDS`] per-shard snapshots (`act_core::write_shard_files`),
+//! one worker per shard, and the scatter-gather router in front — the
+//! same wire protocol, so the measured path is identical to the
+//! single-process run plus the extra hop. The phase verifies the routed
+//! counts against the offline probe, cross-checks the router's merged
+//! counter block against the per-worker sums, and records routed
+//! throughput next to the single-process number from the first phase.
 
 use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner};
 use act_serve::{protocol as proto, Client, ServeConfig, Server};
@@ -72,6 +81,16 @@ const OVERLOAD_MAX_POINTS: usize = 409_600;
 /// below it, the run is a *throttled equilibrium* and the row says so
 /// instead of passing the target off as what was actually offered.
 const OVERLOAD_TARGET_X_CAPACITY: f64 = 4.0;
+
+/// Sharded-serving phase shape: the fleet size behind the router.
+const ROUTER_SHARDS: usize = 4;
+/// Split level for the routed phase. The paper datasets are one
+/// metropolitan area; at the global default (level 4, ~600 km cells)
+/// the whole city is one prefix and one shard does all the work. Level
+/// 10 (~10 km cells) spreads an NYC-sized bbox over ~100 prefixes so
+/// the fleet actually shares the load — the row records the per-shard
+/// split so imbalance is visible, not assumed away.
+const ROUTER_SPLIT_LEVEL: u8 = 10;
 
 /// One connection's measured-run outcome: per-zone counts + frame
 /// latencies (µs), or the typed failure that ends the run.
@@ -143,7 +162,7 @@ fn main() {
         .str("bench", "serve")
         .str(
             "command",
-            "cargo run --release -p bench --features fault-injection --bin loadgen -- --overload --faults",
+            "cargo run --release -p bench --features fault-injection --bin loadgen -- --overload --faults --router",
         )
         .raw("machine", machine_stamp())
         .int("seed", opts.seed)
@@ -349,6 +368,17 @@ fn run_dataset(
         .build()];
     server.shutdown();
 
+    if opts.router {
+        rows.push(run_router(
+            ds,
+            &path,
+            &snap,
+            &points,
+            connections,
+            frame,
+            throughput,
+        )?);
+    }
     if opts.overload {
         rows.push(run_overload(ds, &path, &snap, &points)?);
     }
@@ -361,6 +391,204 @@ fn run_dataset(
         );
     }
     Ok(rows)
+}
+
+/// The sharded-serving phase: sharder → [`ROUTER_SHARDS`] in-process
+/// workers → scatter-gather router, the same workload driven through
+/// the router's endpoint, counts verified against the offline probe and
+/// the merged counter block cross-checked against per-worker sums. The
+/// recorded ratio vs the single-process run is the scale-out headline;
+/// on a box with fewer cores than workers it is a floor, not the
+/// ceiling (see the machine stamp).
+#[allow(clippy::too_many_arguments)]
+fn run_router(
+    ds: &datagen::Dataset,
+    path: &std::path::Path,
+    snap: &MappedSnapshot,
+    points: &[Coord],
+    connections: usize,
+    frame: usize,
+    single_process_throughput: f64,
+) -> Result<String, String> {
+    use act_core::write_shard_files;
+    use act_serve::{Router, RouterConfig};
+
+    let num_zones = ds.polygons.len();
+    println!("router: sharding into {ROUTER_SHARDS} workers, {connections} conn(s), {frame}/frame");
+
+    // Shard the cached snapshot. The shards are derived artifacts —
+    // rebuilt per run, removed after — so a refreshed base snapshot can
+    // never race stale shards.
+    let index = {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("router: open snapshot: {e}"))?;
+        act_core::ActIndex::load_snapshot(&mut f).map_err(|e| format!("router: load: {e}"))?
+    };
+    let shard_dir = path.with_extension("shards");
+    let t = Instant::now();
+    let shard_paths = write_shard_files(&index, &shard_dir, ROUTER_SPLIT_LEVEL, ROUTER_SHARDS)
+        .map_err(|e| format!("router: shard: {e}"))?;
+    println!("router: sharded in {:.2} s", t.elapsed().as_secs_f64());
+    drop(index);
+
+    let workers: Vec<_> = shard_paths
+        .iter()
+        .map(|p| {
+            Server::spawn(
+                p,
+                ServeConfig {
+                    watch: None,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("spawn shard worker")
+        })
+        .collect();
+    let router = Router::spawn(
+        workers.iter().map(|w| w.addr()).collect(),
+        RouterConfig {
+            split_level: ROUTER_SPLIT_LEVEL,
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(|e| format!("router: spawn: {e}"))?;
+    let addr = router.addr();
+    let connect = |what: &str| -> Result<Client, String> {
+        let mut c = Client::connect(addr).map_err(|e| format!("{what}: connect: {e}"))?;
+        c.set_read_timeout(Some(READ_DEADLINE))
+            .map_err(|e| format!("{what}: set deadline: {e}"))?;
+        Ok(c)
+    };
+
+    // Warmup: touch every shard's mapped pages through the router.
+    {
+        let mut c = connect("router warmup")?;
+        for chunk in points.chunks(frame).take(64) {
+            c.probe(chunk, false)
+                .map_err(|e| format!("router warmup probe: {e}"))?;
+        }
+    }
+    let warm_probes: u64 = workers.iter().map(|w| w.stats().probes).sum();
+
+    // Measured routed run: same striping as the single-process phase.
+    let t0 = Instant::now();
+    let stripe = points.len().div_ceil(connections);
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(stripe.max(1))
+            .map(|mine| {
+                scope.spawn(move || {
+                    let mut client = connect("routed run")?;
+                    let mut counts = vec![0u64; num_zones];
+                    let mut lat_us = Vec::with_capacity(mine.len() / frame + 1);
+                    for chunk in mine.chunks(frame) {
+                        let t = Instant::now();
+                        let reply = client
+                            .probe(chunk, false)
+                            .map_err(|e| format!("routed probe: {e}"))?;
+                        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        for refs in &reply.refs {
+                            for &(id, _) in refs {
+                                counts[id as usize] += 1;
+                            }
+                        }
+                    }
+                    Ok((counts, lat_us))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("routed client thread"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut counts = vec![0u64; num_zones];
+    let mut latencies = Vec::new();
+    for r in results {
+        let (c, l) = r?;
+        for (acc, v) in counts.iter_mut().zip(c) {
+            *acc += v;
+        }
+        latencies.extend(l);
+    }
+
+    // Oracle: routed counts ≡ offline probe of the unsharded snapshot.
+    let mut expected = vec![0u64; num_zones];
+    {
+        let view = snap.view();
+        let cells: Vec<_> = points.iter().map(|&c| coord_to_cell(c)).collect();
+        let mut probes = vec![Probe::Miss; cells.len()];
+        view.probe_batch(&cells, &mut probes);
+        for &p in &probes {
+            for (id, _) in view.resolve_refs(p) {
+                expected[id as usize] += 1;
+            }
+        }
+    }
+    assert_eq!(counts, expected, "routed counts diverged — not recording");
+
+    // Books: every probe point was answered by exactly one worker, and
+    // the router's merged counter block equals the sum of the parts.
+    let per_shard: Vec<u64> = workers.iter().map(|w| w.stats().probes).collect();
+    let fleet_probes: u64 = per_shard.iter().sum();
+    assert_eq!(fleet_probes - warm_probes, points.len() as u64);
+    let merged = {
+        let mut c = connect("router stats")?;
+        c.stats().map_err(|e| format!("router stats: {e}"))?
+    };
+    assert_eq!(merged.counters.probes, fleet_probes);
+    assert_eq!(merged.counters.shed, 0, "routed run must never shed");
+    assert_eq!(merged.epoch, 1, "fresh fleet min epoch");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let throughput = points.len() as f64 / secs;
+    let speedup = throughput / single_process_throughput;
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    println!(
+        "router: {} probes in {secs:.2} s ({:.2} M probes/s routed vs {:.2} M single-process, \
+         {speedup:.2}x with {ROUTER_SHARDS} workers); latency/frame p50 {p50:.0} us p99 {p99:.0} us; \
+         per-shard probes {per_shard:?}",
+        points.len(),
+        throughput / 1e6,
+        single_process_throughput / 1e6
+    );
+
+    router.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+    std::fs::remove_dir_all(&shard_dir).ok();
+
+    Ok(Obj::new()
+        .str("dataset", &ds.name)
+        .str("mode", "router")
+        .int("shards", ROUTER_SHARDS as u64)
+        .int("split_level", ROUTER_SPLIT_LEVEL as u64)
+        .raw(
+            "fleet_probes_per_shard",
+            format!(
+                "[{}]",
+                per_shard
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+        .int("points", points.len() as u64)
+        .int("connections", connections as u64)
+        .int("points_per_frame", frame as u64)
+        .num("secs", secs)
+        .num("probes_per_sec_routed", throughput)
+        .num("probes_per_sec_single_process", single_process_throughput)
+        .num("routed_over_single_process", speedup)
+        .num("frame_latency_p50_us", p50)
+        .num("frame_latency_p99_us", p99)
+        .int("fleet_probes", fleet_probes)
+        .bool("counts_verified", true)
+        .bool("merged_counters_verified", true)
+        .build())
 }
 
 /// The fault soak: a seeded, deterministic fault schedule — worker

@@ -59,6 +59,10 @@ pub struct Opts {
     /// `fault-injection` feature): drive live traffic through a seeded
     /// fault schedule and record recovery rows.
     pub faults: bool,
+    /// Also run the sharded-routing phase (`loadgen` bin): split the
+    /// index across a worker fleet behind a scatter-gather router and
+    /// record routed goodput vs the single-process baseline.
+    pub router: bool,
 }
 
 impl Default for Opts {
@@ -74,6 +78,7 @@ impl Default for Opts {
             mmap: false,
             overload: false,
             faults: false,
+            router: false,
         }
     }
 }
@@ -98,6 +103,10 @@ usage: <bin> [options]
                     with --features fault-injection): seeded worker
                     panics, torn deltas, socket resets under live load;
                     records recovery rows into BENCH_serve.json
+  --router          also run the sharded-routing phase (loadgen bin):
+                    shard the index across a worker fleet behind the
+                    scatter-gather router and record routed goodput vs
+                    the single-process baseline into BENCH_serve.json
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -176,6 +185,7 @@ impl Opts {
                 "--mmap" => o.mmap = true,
                 "--overload" => o.overload = true,
                 "--faults" => o.faults = true,
+                "--router" => o.router = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -399,6 +409,7 @@ mod tests {
             "--mmap",
             "--overload",
             "--faults",
+            "--router",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -411,6 +422,8 @@ mod tests {
         assert!(o.mmap);
         assert!(o.overload);
         assert!(o.faults);
+        assert!(o.router);
+        assert!(!parse(&[]).unwrap().router);
     }
 
     #[test]

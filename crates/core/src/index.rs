@@ -73,6 +73,16 @@ pub struct ActIndex {
     /// upserts of unseen ids skip the full-arena remove pass. Transient:
     /// not persisted in snapshots.
     live_ids: Option<std::collections::BTreeSet<u32>>,
+    /// Per-id cell inventory: id → the cells whose territories may still
+    /// reference it, recorded as inserts land. Removal walks exactly
+    /// these territories instead of the whole node arena — O(cells
+    /// touched), not O(arena). A *superset* per id (cells another insert
+    /// later overwrote linger until a compaction rebuilds the inventory
+    /// exact) — a stale entry only costs a no-op descent, never a wrong
+    /// answer. `None` until the first mutation (or
+    /// [`ActIndex::prime_mutations`]) pays one tree walk to build it.
+    /// Transient: not persisted in snapshots.
+    cell_inventory: Option<std::collections::HashMap<u32, Vec<CellId>>>,
     /// Bumped by every structural mutation; a paused [`CompactState`]
     /// snapshots it so interleaved mutations invalidate the partial
     /// rebuild instead of silently losing their edits.
@@ -92,6 +102,7 @@ impl Clone for ActIndex {
             stats: self.stats.clone(),
             waste_bytes: self.waste_bytes,
             live_ids: self.live_ids.clone(),
+            cell_inventory: self.cell_inventory.clone(),
             mutation_epoch: self.mutation_epoch,
             // A paused rebuild references only this index's state; the
             // clone restarts compaction on its own schedule.
@@ -280,6 +291,7 @@ impl ActIndex {
             stats,
             waste_bytes: 0,
             live_ids: None,
+            cell_inventory: None,
             mutation_epoch: 0,
             compact_state: None,
             compact_budget: None,
@@ -295,6 +307,7 @@ impl ActIndex {
             stats,
             waste_bytes: 0,
             live_ids: None,
+            cell_inventory: None,
             mutation_epoch: 0,
             compact_state: None,
             compact_budget: None,
@@ -443,8 +456,9 @@ impl ActIndex {
 
         // Upsert: any previous shape under this id goes first. The
         // live-id superset lets inserts of unseen ids — the common case
-        // for delta streams — skip that full-arena scan entirely.
+        // for delta streams — skip the removal pass entirely.
         self.ensure_live_ids();
+        self.ensure_inventory();
         if self.may_contain(id) {
             self.remove_inner(id);
         }
@@ -479,6 +493,16 @@ impl ActIndex {
         if let Some(ids) = &mut self.live_ids {
             ids.insert(id);
         }
+        // Record where every re-inserted reference landed — the merged
+        // set covers both the new polygon and its displaced neighbors,
+        // so each touched id's inventory stays a territory superset.
+        if let Some(inv) = &mut self.cell_inventory {
+            for (cell, refs) in &sc.cells {
+                for r in refs.iter() {
+                    inv.entry(r.id).or_default().push(*cell);
+                }
+            }
+        }
         self.note_mutation(waste);
         self.maybe_compact();
         Ok(())
@@ -494,6 +518,7 @@ impl ActIndex {
         if !self.may_contain(id) {
             return false;
         }
+        self.ensure_inventory();
         let changed = self.remove_inner(id);
         if changed {
             self.maybe_compact();
@@ -504,7 +529,36 @@ impl ActIndex {
     fn remove_inner(&mut self, id: u32) -> bool {
         let mut waste = crate::trie::MutationWaste::default();
         let mut tb = LookupTableBuilder::from_table(std::mem::take(&mut self.table));
-        let changed = self.act.remove_refs(id, &mut tb, &mut waste);
+        // The inventory names every cell whose territory may still
+        // reference `id`; walk those territories only. No entry means no
+        // live reference anywhere (the inventory is a per-id superset of
+        // the live trie, maintained by every insert since it was built),
+        // so there is nothing to walk at all.
+        let cells = self
+            .cell_inventory
+            .as_mut()
+            .expect("inventory is ensured before removal")
+            .remove(&id);
+        let changed = match cells {
+            Some(mut cells) => {
+                cells.sort_unstable();
+                cells.dedup();
+                let mut memo = std::collections::HashMap::new();
+                let mut changed = false;
+                for cell in cells {
+                    self.act.remove_refs_in_cell(
+                        cell,
+                        id,
+                        &mut tb,
+                        &mut memo,
+                        &mut changed,
+                        &mut waste,
+                    );
+                }
+                changed
+            }
+            None => false,
+        };
         self.table = tb.build();
         // The remove pass strips *every* reference to `id`, so the id is
         // definitively gone whether or not anything changed.
@@ -550,12 +604,30 @@ impl ActIndex {
         self.live_ids = Some(ids);
     }
 
-    /// Pays the one-time live-id scan up front (see
-    /// [`ActIndex::insert_polygon`]) so the first mutation after a load
-    /// is as fast as the steady state. Idempotent; called automatically
-    /// by the first mutation otherwise.
+    /// Builds the per-id cell inventory if it has not been built yet:
+    /// one tree walk extracting the live `(cell, refs)` set, inverted
+    /// into id → cells. Exact at build time; inserts keep it a superset
+    /// afterwards and compactions make it exact again.
+    fn ensure_inventory(&mut self) {
+        if self.cell_inventory.is_some() {
+            return;
+        }
+        let mut inv: std::collections::HashMap<u32, Vec<CellId>> = std::collections::HashMap::new();
+        for (cell, refs) in self.act.extract_all(self.table.words()) {
+            for r in refs.iter() {
+                inv.entry(r.id).or_default().push(cell);
+            }
+        }
+        self.cell_inventory = Some(inv);
+    }
+
+    /// Pays the one-time live-id scan and per-id cell inventory build up
+    /// front (see [`ActIndex::insert_polygon`]) so the first mutation
+    /// after a load is as fast as the steady state. Idempotent; called
+    /// automatically by the first mutation otherwise.
     pub fn prime_mutations(&mut self) {
         self.ensure_live_ids();
+        self.ensure_inventory();
     }
 
     /// Rewrites the node arena and lookup table from the live cell set,
@@ -641,8 +713,8 @@ impl ActIndex {
             }
         }
         // Done: swap the rebuild in. The extracted cells are exactly the
-        // live set, so this is the one place the id superset can be made
-        // exact again.
+        // live set, so this is the one place the id superset — and the
+        // per-id cell inventory — can be made exact again.
         self.act = st.act;
         self.table = st.tb.build();
         if self.live_ids.is_some() {
@@ -653,6 +725,16 @@ impl ActIndex {
                 }
             }
             self.live_ids = Some(ids);
+        }
+        if self.cell_inventory.is_some() {
+            let mut inv: std::collections::HashMap<u32, Vec<CellId>> =
+                std::collections::HashMap::new();
+            for (cell, refs) in &st.cells {
+                for r in refs.iter() {
+                    inv.entry(r.id).or_default().push(*cell);
+                }
+            }
+            self.cell_inventory = Some(inv);
         }
         self.waste_bytes = 0;
         self.note_mutation(crate::trie::MutationWaste::default());

@@ -55,6 +55,7 @@ pub mod index;
 pub mod join;
 pub mod lookup;
 pub mod refs;
+pub mod shard;
 pub mod snapshot;
 pub mod sorted_index;
 pub mod supercover;
@@ -71,6 +72,10 @@ pub use join::{
 };
 pub use lookup::{LookupTable, LookupTableBuilder};
 pub use refs::{PolygonRef, RefSet, MAX_POLYGON_ID};
+pub use shard::{
+    shard_file_name, shard_of_cell, shard_paths, shards_for_cell, split_index, write_shard_files,
+    DEFAULT_SPLIT_LEVEL,
+};
 pub use snapshot::{header_checksum, ActIndexView, MappedSnapshot, SnapshotBuf, SnapshotError};
 pub use sorted_index::SortedCellIndex;
 pub use supercover::{build_super_covering, build_super_covering_sharded, SuperCovering};

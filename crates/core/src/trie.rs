@@ -811,31 +811,163 @@ impl Act {
         }
     }
 
-    /// Strips every reference to polygon `id`, tombstoning in place:
-    /// terminal runs are rewritten (`Two`→`One`, `Many`→ smaller set, sole
-    /// ref → empty), emptied subtrees are pruned bottom-up so probes into
-    /// them miss, and superseded `Many` entries leave their old words in
-    /// the table as garbage (counted in `waste`). Returns whether anything
-    /// referenced `id`.
-    pub(crate) fn remove_refs(
+    /// Strips references to polygon `id` under `cell`'s territory only,
+    /// tombstoning in place: terminal runs are rewritten (`Two`→`One`,
+    /// `Many`→ smaller set, sole ref → empty), emptied subtrees under
+    /// the territory are pruned so probes into them miss, and superseded
+    /// `Many` entries leave their old words in the table as garbage
+    /// (counted in `waste`). The descent also handles the run *covering*
+    /// `cell` when its slots were merged into a coarser denormalized
+    /// ancestor run. This is the per-id-inventory complement of the old
+    /// whole-arena removal walk: [`crate::ActIndex`] records which cells
+    /// each id touched at insert time, so removal visits exactly those
+    /// territories — O(cells touched), not O(arena). Idempotent per
+    /// cell; a stale inventory entry (territory no longer referencing
+    /// `id`) rewrites nothing. `memo` caches entry rewrites across the
+    /// calls of one removal; `changed` accumulates whether any slot was
+    /// rewritten.
+    pub(crate) fn remove_refs_in_cell(
         &mut self,
+        cell: CellId,
         id: u32,
         tb: &mut LookupTableBuilder,
+        memo: &mut std::collections::HashMap<u64, u64>,
+        changed: &mut bool,
         waste: &mut MutationWaste,
-    ) -> bool {
-        let mut memo: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-        let mut changed = false;
-        for f in 0..6 {
-            let root = self.roots[f] as usize;
-            if root == 0 {
-                continue;
-            }
-            if self.remove_rec(root, id, tb, &mut memo, &mut changed, waste) {
-                self.roots[f] = 0;
+    ) {
+        debug_assert!(cell.is_valid());
+        let level = cell.level();
+        assert!(
+            level <= MAX_INDEX_LEVEL,
+            "cell level exceeds MAX_INDEX_LEVEL"
+        );
+        let face = cell.face();
+        let root = self.roots[face as usize] as usize;
+        if root == 0 {
+            return;
+        }
+        if level == 0 {
+            // A face cell's territory is the whole root subtree.
+            if self.remove_rec(root, id, tb, memo, changed, waste) {
+                self.roots[face as usize] = 0;
                 waste.orphaned_nodes += 1;
             }
+            return;
         }
-        changed
+        let mut node = root;
+        // The descent path (node per depth), for bottom-up pruning of
+        // nodes the rewrite empties — the waste they become must be
+        // counted or lazy compaction would never see tombstone garbage.
+        let mut path = [0usize; 8];
+        path[0] = root;
+        let d_last = ((level - 1) / GRANULARITY) as u32;
+        for d in 0..d_last {
+            let b = cell.key_byte(d) as usize;
+            let e = self.slots[node * FANOUT + b];
+            match e & TAG_MASK {
+                TAG_CHILD => {
+                    let idx = (e >> 2) as usize;
+                    if idx == 0 {
+                        return; // nothing indexed under here
+                    }
+                    node = idx;
+                    path[d as usize + 1] = idx;
+                }
+                _ => {
+                    // An ancestor terminal covers `cell` entirely: its
+                    // denormalized run is the only territory to rewrite.
+                    let (rbase, rsize) = self.expand_run(node, b, e);
+                    self.rewrite_run(node, rbase, rsize, e, id, tb, memo, changed, waste);
+                    self.prune_path(cell, &path[..d as usize + 1], waste);
+                    return;
+                }
+            }
+        }
+        // Final node: the slot range `cell` denormalizes to. Runs are
+        // aligned, so each either lies inside the range or contains it.
+        let bits = 2 * (level as u32 - GRANULARITY as u32 * d_last);
+        let byte = cell.key_byte(d_last) as usize;
+        let base = byte & !((1usize << (8 - bits)) - 1);
+        let count = 1usize << (8 - bits);
+        let mut s = base;
+        while s < base + count {
+            let e = self.slots[node * FANOUT + s];
+            if e == 0 {
+                s += 1;
+                continue;
+            }
+            if e & TAG_MASK == TAG_CHILD {
+                let idx = (e >> 2) as usize;
+                if idx != 0 && self.remove_rec(idx, id, tb, memo, changed, waste) {
+                    self.slots[node * FANOUT + s] = 0;
+                    waste.orphaned_nodes += 1;
+                }
+                s += 1;
+            } else {
+                let (rbase, rsize) = self.expand_run(node, s, e);
+                self.rewrite_run(node, rbase, rsize, e, id, tb, memo, changed, waste);
+                s = rbase + rsize; // a containing run ends past the range
+            }
+        }
+        self.prune_path(cell, &path[..d_last as usize + 1], waste);
+    }
+
+    /// Prunes the descent path bottom-up after a targeted removal: each
+    /// node the rewrite left all-zero is cut from its parent (or its
+    /// face root) and counted as an orphan, so probes into the emptied
+    /// territory short-circuit and the waste metric sees the garbage.
+    fn prune_path(&mut self, cell: CellId, path: &[usize], waste: &mut MutationWaste) {
+        for d in (0..path.len()).rev() {
+            let node = path[d];
+            if !self.slots[node * FANOUT..(node + 1) * FANOUT]
+                .iter()
+                .all(|&x| x == 0)
+            {
+                return;
+            }
+            if d == 0 {
+                self.roots[cell.face() as usize] = 0;
+            } else {
+                let b = cell.key_byte(d as u32 - 1) as usize;
+                self.slots[path[d - 1] * FANOUT + b] = 0;
+            }
+            waste.orphaned_nodes += 1;
+        }
+    }
+
+    /// Rewrites one terminal run without polygon `id` (memoized), keeping
+    /// the slot counters honest when the run empties.
+    #[allow(clippy::too_many_arguments)]
+    fn rewrite_run(
+        &mut self,
+        node: usize,
+        rbase: usize,
+        rsize: usize,
+        e: u64,
+        id: u32,
+        tb: &mut LookupTableBuilder,
+        memo: &mut std::collections::HashMap<u64, u64>,
+        changed: &mut bool,
+        waste: &mut MutationWaste,
+    ) {
+        let ne = match memo.get(&e) {
+            Some(&ne) => ne,
+            None => {
+                let ne = rewrite_without(e, id, tb, waste);
+                memo.insert(e, ne);
+                ne
+            }
+        };
+        if ne != e {
+            *changed = true;
+            for i in rbase..rbase + rsize {
+                self.slots[node * FANOUT + i] = ne;
+            }
+            if ne == 0 {
+                self.denormalized_slots = self.denormalized_slots.saturating_sub(rsize as u64);
+                self.inserted_cells = self.inserted_cells.saturating_sub(1);
+            }
+        }
     }
 
     /// Returns true when `node` is all-zero after the rewrite.

@@ -1,0 +1,44 @@
+//! Census-scale removal timing, run by hand (ignored by default):
+//!
+//! ```sh
+//! cargo test --release -p act-core --test removal_timing -- --ignored --nocapture
+//! ```
+//!
+//! Builds the census lattice, primes mutation state, and times
+//! `remove_polygon` on a spread of present ids. With the per-id cell
+//! inventory this walks only the cells each id touches; the pre-PR-8
+//! implementation scanned the whole ref arena per removal.
+
+use act_core::ActIndex;
+use std::time::Instant;
+
+#[test]
+#[ignore = "timing harness, run with --ignored --nocapture"]
+fn census_scale_removal_timing() {
+    let ds = datagen::census_blocks(42);
+    let polys = &ds.polygons;
+    let pool = jobs::JobPool::with_available_parallelism();
+    let t = Instant::now();
+    let mut index = ActIndex::build_parallel(polys, 15.0, &pool).expect("build census");
+    println!(
+        "built census index: {} polygons in {:.2} s",
+        polys.len(),
+        t.elapsed().as_secs_f64()
+    );
+
+    // Pay the one-time mutation priming (live-id set + cell inventory)
+    // outside the measured region; steady-state removal is what the
+    // delta watcher feels per `Remove` op.
+    let t = Instant::now();
+    index.prime_mutations();
+    println!("prime_mutations: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let step = (polys.len() / 64).max(1);
+    let ids: Vec<u32> = (0..polys.len() as u32).step_by(step).take(64).collect();
+    let t = Instant::now();
+    for &id in &ids {
+        assert!(index.remove_polygon(id), "id {id} should be present");
+    }
+    let per = t.elapsed().as_secs_f64() * 1e6 / ids.len() as f64;
+    println!("removal: {} ids, {per:.1} us/removal", ids.len());
+}

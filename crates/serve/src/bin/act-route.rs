@@ -1,0 +1,70 @@
+//! The scatter-gather router: one protocol endpoint in front of a
+//! sharded `act-serve` fleet (see `act_serve::router`).
+//!
+//! ```text
+//! act-route --shard <addr> [--shard <addr> ...] [--addr A] [--split-level L]
+//! ```
+//!
+//! Shard order must match the sharder's: the worker given as the k-th
+//! `--shard` serves `shard-<k>-of-<n>.snap`. The split level must equal
+//! the one the shards were written with (default
+//! `act_core::DEFAULT_SPLIT_LEVEL`). Prints `listening on <addr>` once
+//! accepting, then routes until killed.
+
+use act_serve::{Router, RouterConfig};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: act-route --shard <addr> [--shard <addr> ...] [--addr A] [--split-level L]";
+
+fn main() -> ExitCode {
+    let mut shards: Vec<SocketAddr> = Vec::new();
+    let mut config = RouterConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shard" => match args.next().map(|v| v.to_socket_addrs()) {
+                Some(Ok(mut resolved)) => match resolved.next() {
+                    Some(addr) => shards.push(addr),
+                    None => return usage("--shard address resolved to nothing"),
+                },
+                _ => return usage("--shard takes a resolvable address"),
+            },
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => return usage("--addr takes an address"),
+            },
+            "--split-level" => match args.next().and_then(|v| v.parse::<u8>().ok()) {
+                Some(l) if l <= 14 => config.split_level = l,
+                _ => return usage("--split-level takes a level in 0..=14"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage("unexpected argument"),
+        }
+    }
+    if shards.is_empty() {
+        return usage("at least one --shard is required");
+    }
+
+    let router = match Router::spawn(shards, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("act-route: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", router.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("act-route: {why}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,65 @@
+//! One act-serve worker: serves a snapshot (one shard of a fleet, or a
+//! whole index) over the frame protocol until killed.
+//!
+//! ```text
+//! act-serve <snapshot> [--addr A] [--workers N] [--no-watch]
+//! ```
+//!
+//! Prints `listening on <addr>` once accepting (scripts scrape the
+//! ephemeral port from it). The snapshot path is watched for hot-swap —
+//! replace the file (or drop `.d<seq>` delta siblings beside it) and the
+//! worker cuts over without dropping a request; `--no-watch` pins the
+//! starting epoch.
+
+use act_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: act-serve <snapshot> [--addr A] [--workers N] [--no-watch]";
+
+fn main() -> ExitCode {
+    let mut snapshot: Option<String> = None;
+    let mut config = ServeConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => return usage("--addr takes an address"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.workers = n,
+                _ => return usage("--workers takes a positive integer"),
+            },
+            "--no-watch" => config.watch = None,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if snapshot.is_none() => snapshot = Some(a),
+            _ => return usage("unexpected extra argument"),
+        }
+    }
+    let Some(snapshot) = snapshot else {
+        return usage("missing snapshot path");
+    };
+
+    let server = match Server::spawn(&snapshot, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("act-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Serve until killed; the handle's Drop drains gracefully if the
+    // process gets to unwind at all.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("act-serve: {why}\n{USAGE}");
+    ExitCode::from(2)
+}

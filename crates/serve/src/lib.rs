@@ -32,6 +32,13 @@
 //!   [`ServerHandle::shutdown`] drains: stop accepting, answer every
 //!   accepted frame, flush, join. Counters for all of it ride the PING
 //!   reply and the STATS frame ([`protocol::CounterBlock`]).
+//! * **Horizontal scale-out** — [`act_core::write_shard_files`] splits
+//!   one snapshot into N per-shard snapshots, N workers each serve one,
+//!   and a scatter-gather [`Router`] speaks the same frame protocol in
+//!   front of them: probe batches partition by shard, fan out over
+//!   pooled [`ResilientClient`]s, and stitch back in request order with
+//!   merged counters and drain/fault-aware per-shard circuit breaking
+//!   (see [`router`]).
 //!
 //! See [`protocol`] for the frame layout, [`server`] for the threading
 //! model and overload semantics, and the repo README's "Serving" section
@@ -55,11 +62,13 @@ pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod swap;
 
 pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsReply};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
 pub use swap::{delta_path, IndexStore, ServeIndex, WatchCounters, FOLD_AFTER_DELTAS};
 

@@ -219,6 +219,44 @@ pub struct CounterBlock {
     pub panics_contained: u64,
 }
 
+impl CounterBlock {
+    /// Folds another block into this one for a fleet-wide view (the
+    /// router's merged PING/STATS reply). Every counter is a monotonic
+    /// total and sums, except `queue_high_water_lanes`, which is a
+    /// high-water mark — the merged value is the worst shard's.
+    pub fn merge(&mut self, other: &CounterBlock) {
+        self.probes += other.probes;
+        self.accepted += other.accepted;
+        self.answered += other.answered;
+        self.shed += other.shed;
+        self.bad_frames += other.bad_frames;
+        self.busy += other.busy;
+        self.batches += other.batches;
+        self.swaps += other.swaps;
+        self.queue_high_water_lanes = self
+            .queue_high_water_lanes
+            .max(other.queue_high_water_lanes);
+        self.delta_applies += other.delta_applies;
+        self.watch_errors += other.watch_errors;
+        self.quarantines += other.quarantines;
+        self.panics_contained += other.panics_contained;
+    }
+}
+
+/// Canonicalizes one point's reference list after a scatter-gather
+/// merge: sorted by polygon id, one entry per id, a true hit winning
+/// over a candidate. Coarse indexed cells replicated across shards can
+/// make two shards report the same polygon for one point; the answers
+/// only ever differ in multiplicity, never in the hit bit, but the
+/// true-hit-wins rule makes the merge safe even against a stale
+/// replica mid-rolling-swap.
+pub fn dedup_refs(refs: &mut PointRefs) {
+    // Sort so `(id, true)` precedes `(id, false)`, then keep the first
+    // entry of each id.
+    refs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    refs.dedup_by_key(|r| r.0);
+}
+
 /// Serialized size of a [`CounterBlock`]: thirteen `u64` words
 /// (protocol version 2).
 pub const COUNTER_BLOCK_LEN: usize = 104;
@@ -796,6 +834,52 @@ mod tests {
         assert_eq!(suggest_retry_after_ms(500, 1_000.0), 500);
         assert_eq!(suggest_retry_after_ms(0, 1_000.0), RETRY_AFTER_MIN_MS);
         assert_eq!(suggest_retry_after_ms(u64::MAX, 0.001), RETRY_AFTER_MAX_MS);
+    }
+
+    #[test]
+    fn counter_merge_sums_totals_and_maxes_high_water() {
+        let mut a = CounterBlock {
+            probes: 10,
+            accepted: 5,
+            answered: 4,
+            shed: 1,
+            queue_high_water_lanes: 700,
+            swaps: 2,
+            ..Default::default()
+        };
+        let b = CounterBlock {
+            probes: 3,
+            accepted: 2,
+            answered: 2,
+            busy: 1,
+            queue_high_water_lanes: 512,
+            panics_contained: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.probes, 13);
+        assert_eq!(a.accepted, 7);
+        assert_eq!(a.answered, 6);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.busy, 1);
+        assert_eq!(a.swaps, 2);
+        assert_eq!(a.queue_high_water_lanes, 700);
+        assert_eq!(a.panics_contained, 1);
+        // The reconciliation invariant survives a merge.
+        assert_eq!(a.accepted, a.answered + a.shed);
+    }
+
+    #[test]
+    fn dedup_refs_sorts_and_true_hit_wins() {
+        let mut refs = vec![(9, false), (3, true), (9, true), (3, true), (1, false)];
+        dedup_refs(&mut refs);
+        assert_eq!(refs, vec![(1, false), (3, true), (9, true)]);
+        let mut refs = vec![(7, false), (7, false)];
+        dedup_refs(&mut refs);
+        assert_eq!(refs, vec![(7, false)]);
+        let mut empty: PointRefs = vec![];
+        dedup_refs(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,634 @@
+//! Scatter-gather routing over a sharded worker fleet.
+//!
+//! [`Router`] binds a TCP endpoint that speaks the exact same frame
+//! protocol as a single worker ([`crate::protocol`]), so every existing
+//! client — `Client`, `ResilientClient`, the load generator — points at
+//! a router without changing a byte. Behind it sit N `act-serve`
+//! workers, each mmapping one shard snapshot produced by
+//! [`act_core::write_shard_files`] along the [`act_core::shard_of_cell`]
+//! cut.
+//!
+//! ## One probe frame, end to end
+//!
+//! 1. **Partition**: each point's leaf cell names its owning shard via
+//!    `shard_of_cell` — the single routing authority the sharder also
+//!    used, so the owning shard holds every indexed cell whose territory
+//!    covers the point (coarse cells were replicated at split time).
+//! 2. **Scatter**: the per-shard sub-batches go out concurrently over
+//!    this connection's pooled [`ResilientClient`]s (one per shard,
+//!    retries/backoff/reconnect per the policy).
+//! 3. **Gather**: sub-replies are stitched back in request order; each
+//!    point's refs pass through [`crate::protocol::dedup_refs`] so
+//!    replicated coarse cells can never double-report a polygon.
+//!
+//! ## Failure semantics
+//!
+//! Worker failures degrade along the protocol's own vocabulary, worst
+//! status wins: `UNSUPPORTED` forwards as-is (the capability is missing
+//! fleet-wide), any unexpected failure (connect refused after retries, a
+//! protocol violation, `BAD_REQUEST`) answers `INTERNAL`, and a shard
+//! mid-drain or overloaded (`BUSY`/`LOADSHED` surviving the client's own
+//! retries) answers `LOADSHED` carrying the **largest** `retry_after_ms`
+//! hint any shard suggested. A shard that failed enters a short cooldown
+//! during which probes needing it shed immediately instead of burning
+//! the retry budget again — that is what makes a rolling per-shard
+//! restart cheap: the fleet keeps answering, only points owned by the
+//! restarting shard shed, and the first successful contact clears the
+//! cooldown. PING/STATS fan out to every shard, bypass the cooldown
+//! (monitoring wants ground truth and doubles as recovery detection),
+//! and merge counter blocks via [`CounterBlock::merge`] with the fleet
+//! epoch reported as the **minimum** shard epoch (the conservative
+//! answer to "has everyone swapped yet?").
+
+use crate::client::{ClientError, ResilientClient, RetryPolicy};
+use crate::protocol::{self as proto, CounterBlock};
+use act_core::{coord_to_cell, shard_of_cell, DEFAULT_SPLIT_LEVEL};
+use geom::Coord;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Router`] listens, routes, and treats failing shards.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Split level of the shard cut. **Must equal the level the shards
+    /// were written with** — it is the routing authority.
+    pub split_level: u8,
+    /// Retry policy for every per-shard client connection.
+    pub policy: RetryPolicy,
+    /// Inbound connection cap; excess connections are answered with one
+    /// `BUSY` frame and closed, exactly like a worker's accept gate.
+    pub max_connections: usize,
+    /// How long a shard that just failed is considered down. Probes
+    /// needing it during the window shed immediately with the remaining
+    /// cooldown as the retry hint, instead of re-burning the client's
+    /// whole retry budget per request.
+    pub cooldown: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            split_level: DEFAULT_SPLIT_LEVEL,
+            policy: RetryPolicy::default(),
+            max_connections: 256,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-shard circuit state, shared by every connection handler.
+#[derive(Debug, Default)]
+struct ShardHealth {
+    /// While set and in the future, the shard is cooling down.
+    down_until: Option<Instant>,
+}
+
+struct RouterState {
+    split_level: u8,
+    shard_addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    cooldown: Duration,
+    health: Vec<Mutex<ShardHealth>>,
+    draining: AtomicBool,
+    conns_live: AtomicUsize,
+}
+
+impl RouterState {
+    fn num_shards(&self) -> usize {
+        self.shard_addrs.len()
+    }
+
+    fn health(&self, shard: usize) -> std::sync::MutexGuard<'_, ShardHealth> {
+        // A panic while holding this trivial lock leaves a plain Option
+        // behind — recover rather than cascade (see `IndexStore`).
+        self.health[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Remaining cooldown of a down shard, as a retry hint in ms.
+    fn down_hint(&self, shard: usize) -> Option<u32> {
+        let mut h = self.health(shard);
+        match h.down_until {
+            Some(t) => {
+                let left = t.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    h.down_until = None;
+                    None
+                } else {
+                    Some(
+                        (left.as_millis() as u64).clamp(1, u64::from(proto::RETRY_AFTER_MAX_MS))
+                            as u32,
+                    )
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn mark_down(&self, shard: usize) {
+        self.health(shard).down_until = Some(Instant::now() + self.cooldown);
+    }
+
+    fn mark_up(&self, shard: usize) {
+        self.health(shard).down_until = None;
+    }
+}
+
+/// One shard's contribution to a scattered request.
+enum Outcome<T> {
+    Ok(T),
+    /// The shard is shedding/draining/down; carries a retry hint (ms).
+    Shed(u32),
+    /// The shard lacks a capability (exact mode without a refiner).
+    Unsupported,
+    /// The shard failed in a way retries could not mend.
+    Internal,
+}
+
+/// Folds a per-shard client failure into the routed vocabulary and
+/// updates the shard's circuit state.
+fn classify(state: &RouterState, shard: usize, err: &ClientError) -> Outcome<proto::ProbeReply> {
+    // Exhausted wraps the failure that ended the last attempt; the
+    // routed meaning is that of the inner error.
+    let last = match err {
+        ClientError::Exhausted { last, .. } => last.as_ref(),
+        other => other,
+    };
+    match last {
+        ClientError::Server {
+            status,
+            retry_after_ms,
+        } if *status == proto::STATUS_LOADSHED || *status == proto::STATUS_BUSY => {
+            state.mark_down(shard);
+            Outcome::Shed(retry_after_ms.unwrap_or(proto::RETRY_AFTER_DEFAULT_MS))
+        }
+        ClientError::Server { status, .. } if *status == proto::STATUS_UNSUPPORTED => {
+            // Not a health event: the worker is alive and answering.
+            Outcome::Unsupported
+        }
+        _ => {
+            state.mark_down(shard);
+            Outcome::Internal
+        }
+    }
+}
+
+/// Spawns scatter-gather routers over a shard fleet.
+pub struct Router;
+
+impl Router {
+    /// Binds `config.addr` and starts routing over `shard_addrs` (shard
+    /// `k`'s worker at index `k` — the order must match the sharder's).
+    ///
+    /// # Errors
+    /// Bind failures, or an empty shard list.
+    pub fn spawn(shard_addrs: Vec<SocketAddr>, config: RouterConfig) -> io::Result<RouterHandle> {
+        if shard_addrs.is_empty() {
+            return Err(io::Error::other("a router needs at least one shard"));
+        }
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let health = shard_addrs
+            .iter()
+            .map(|_| Mutex::new(ShardHealth::default()))
+            .collect();
+        let state = Arc::new(RouterState {
+            split_level: config.split_level,
+            shard_addrs,
+            policy: config.policy,
+            cooldown: config.cooldown,
+            health,
+            draining: AtomicBool::new(false),
+            conns_live: AtomicUsize::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let (st, cn) = (Arc::clone(&state), Arc::clone(&conns));
+            let max_connections = config.max_connections;
+            std::thread::Builder::new()
+                .name("act-route-accept".to_string())
+                .spawn(move || accept_loop(listener, st, cn, max_connections))
+                .expect("spawn router accept loop")
+        };
+        Ok(RouterHandle {
+            addr,
+            state,
+            conns,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running router. Dropping it (or calling [`RouterHandle::shutdown`])
+/// stops accepting, lets in-flight requests finish, and joins every
+/// thread.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolve the ephemeral port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the router: no new connections, in-flight frames answered,
+    /// all threads joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_connections: usize,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !state.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.conns_live.load(Ordering::Acquire) >= max_connections {
+                    refuse_busy(stream);
+                    continue;
+                }
+                state.conns_live.fetch_add(1, Ordering::AcqRel);
+                let st = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name("act-route-conn".to_string())
+                    .spawn(move || {
+                        // Decrement-on-exit guard so a panicking
+                        // connection can never leak a connection slot.
+                        struct Live<'a>(&'a RouterState);
+                        impl Drop for Live<'_> {
+                            fn drop(&mut self) {
+                                self.0.conns_live.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
+                        let _live = Live(&st);
+                        conn_loop(stream, &st);
+                    })
+                    .expect("spawn router connection thread");
+                let mut guard = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                guard.push(handle);
+                if guard.len() > 64 {
+                    guard.retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Answers a connection refused at the accept gate: one `BUSY` frame
+/// (op 0, default retry hint), best effort, then close.
+fn refuse_busy(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let hint = proto::encode_retry_hint(proto::RETRY_AFTER_DEFAULT_MS);
+    let frame = proto::encode_response(0, proto::STATUS_BUSY, 0, 0, &hint);
+    let _ = stream.write_all(&frame);
+}
+
+/// One inbound connection: a lazily dialed client per shard (the pool),
+/// frames answered in order until clean EOF, a malformed frame
+/// (`BAD_REQUEST`, then close), or drain.
+fn conn_loop(mut stream: TcpStream, state: &RouterState) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the drain poll: at an idle frame boundary the
+    // handler wakes, checks the draining flag, and exits cleanly. A
+    // frame already being read is always finished and answered first —
+    // drain never drops an accepted request.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut clients: Vec<ResilientClient> = state
+        .shard_addrs
+        .iter()
+        .map(|a| ResilientClient::new(*a, state.policy).expect("socket address resolves"))
+        .collect();
+    loop {
+        let body = match read_frame_drain_aware(&mut stream, state) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let reply = match proto::decode_request(&body) {
+            Ok(req) => route_request(state, &mut clients, req),
+            Err(_) => {
+                let frame = proto::encode_response(0, proto::STATUS_BAD_REQUEST, 0, 0, &[]);
+                let _ = stream.write_all(&frame);
+                return;
+            }
+        };
+        if stream.write_all(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// [`proto::read_frame`] that treats a read timeout at an idle frame
+/// boundary as a drain-check tick. Mid-frame the reader keeps waiting
+/// (the bytes are coming; giving up would desynchronize the stream) —
+/// drain only interrupts *between* frames.
+fn read_frame_drain_aware(
+    stream: &mut TcpStream,
+    state: &RouterState,
+) -> io::Result<Option<Vec<u8>>> {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    let mut at = 0usize;
+    while at < 4 {
+        match stream.read(&mut len[at..]) {
+            Ok(0) => {
+                return if at == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(k) => at += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if at == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                if state.draining.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > proto::MAX_REQ_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds the protocol's size cap",
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    let mut at = 0usize;
+    while at < body_len {
+        match stream.read(&mut body[at..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(k) => at += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+fn route_request(
+    state: &RouterState,
+    clients: &mut [ResilientClient],
+    req: proto::Request,
+) -> Vec<u8> {
+    match req {
+        proto::Request::Probe { coords, exact } => route_probe(state, clients, &coords, exact),
+        proto::Request::Ping => route_counters(state, clients, proto::OP_PING),
+        proto::Request::Stats => route_counters(state, clients, proto::OP_STATS),
+    }
+}
+
+/// Partition → scatter → gather for one probe frame (module docs tell
+/// the full story).
+fn route_probe(
+    state: &RouterState,
+    clients: &mut [ResilientClient],
+    coords: &[Coord],
+    exact: bool,
+) -> Vec<u8> {
+    let n = state.num_shards();
+    if coords.is_empty() {
+        return proto::encode_response(proto::OP_PROBE, proto::STATUS_OK, 0, 0, &[]);
+    }
+    let mut per_shard: Vec<Vec<Coord>> = vec![Vec::new(); n];
+    let mut owner = Vec::with_capacity(coords.len());
+    for c in coords {
+        let s = shard_of_cell(coord_to_cell(*c), state.split_level, n);
+        owner.push(s);
+        per_shard[s].push(*c);
+    }
+
+    let mut outcomes: Vec<Option<Outcome<proto::ProbeReply>>> = (0..n).map(|_| None).collect();
+    let shard_probe = |k: usize, client: &mut ResilientClient, pts: &[Coord]| {
+        if let Some(hint) = state.down_hint(k) {
+            return Outcome::Shed(hint);
+        }
+        match client.probe(pts, exact) {
+            Ok(reply) => {
+                state.mark_up(k);
+                Outcome::Ok(reply)
+            }
+            Err(e) => classify(state, k, &e),
+        }
+    };
+    let participating = per_shard.iter().filter(|p| !p.is_empty()).count();
+    if participating == 1 {
+        // Single-owner frame (the common case under geographic
+        // locality): answer inline, no scatter threads to pay for.
+        let k = per_shard.iter().position(|p| !p.is_empty()).expect("one");
+        outcomes[k] = Some(shard_probe(k, &mut clients[k], &per_shard[k]));
+    } else {
+        let shard_probe = &shard_probe;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (k, client) in clients.iter_mut().enumerate() {
+                let pts = &per_shard[k];
+                if pts.is_empty() {
+                    continue;
+                }
+                handles.push((k, scope.spawn(move || shard_probe(k, client, pts))));
+            }
+            for (k, h) in handles {
+                outcomes[k] = Some(h.join().unwrap_or(Outcome::Internal));
+            }
+        });
+    }
+
+    // Worst status wins; OK's epoch is the minimum participating epoch.
+    let mut unsupported = false;
+    let mut internal = false;
+    let mut shed_hint: Option<u32> = None;
+    let mut epoch = u32::MAX;
+    for o in outcomes.iter().flatten() {
+        match o {
+            Outcome::Ok(reply) => epoch = epoch.min(reply.epoch),
+            Outcome::Shed(h) => shed_hint = Some(shed_hint.map_or(*h, |x| x.max(*h))),
+            Outcome::Unsupported => unsupported = true,
+            Outcome::Internal => internal = true,
+        }
+    }
+    if unsupported {
+        return proto::encode_response(proto::OP_PROBE, proto::STATUS_UNSUPPORTED, 0, 0, &[]);
+    }
+    if internal {
+        return proto::encode_response(proto::OP_PROBE, proto::STATUS_INTERNAL, 0, 0, &[]);
+    }
+    if let Some(hint) = shed_hint {
+        let hint = hint.clamp(proto::RETRY_AFTER_MIN_MS, proto::RETRY_AFTER_MAX_MS);
+        return proto::encode_response(
+            proto::OP_PROBE,
+            proto::STATUS_LOADSHED,
+            0,
+            0,
+            &proto::encode_retry_hint(hint),
+        );
+    }
+
+    // Gather: walk the request order, pulling each point's answer from
+    // its owning shard's sub-reply (which preserved sub-batch order).
+    let mut cursors = vec![0usize; n];
+    let mut payload = Vec::new();
+    for &s in &owner {
+        let reply = match &outcomes[s] {
+            Some(Outcome::Ok(r)) => r,
+            _ => unreachable!("owning shard answered OK — statuses handled above"),
+        };
+        let mut refs = reply.refs[cursors[s]].clone();
+        cursors[s] += 1;
+        proto::dedup_refs(&mut refs);
+        payload.extend_from_slice(&(refs.len() as u32).to_le_bytes());
+        for (id, hit) in refs {
+            payload.extend_from_slice(&proto::encode_ref(id, hit).to_le_bytes());
+        }
+    }
+    proto::encode_response(
+        proto::OP_PROBE,
+        proto::STATUS_OK,
+        epoch,
+        coords.len() as u32,
+        &payload,
+    )
+}
+
+/// PING/STATS fan out to every shard — bypassing cooldowns, so
+/// monitoring sees ground truth and a recovered shard is noticed — and
+/// merge into one fleet-wide counter block (min epoch).
+fn route_counters(state: &RouterState, clients: &mut [ResilientClient], op: u8) -> Vec<u8> {
+    let mut outcomes: Vec<Option<Outcome<(u32, CounterBlock)>>> =
+        (0..state.num_shards()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (k, client) in clients.iter_mut().enumerate() {
+            handles.push((
+                k,
+                scope.spawn(move || {
+                    let result = if op == proto::OP_PING {
+                        client.ping().map(|r| (r.epoch, r.counters))
+                    } else {
+                        client.stats().map(|r| (r.epoch, r.counters))
+                    };
+                    match result {
+                        Ok(ok) => {
+                            state.mark_up(k);
+                            Outcome::Ok(ok)
+                        }
+                        Err(e) => match classify(state, k, &e) {
+                            Outcome::Ok(_) => unreachable!("classify never constructs Ok"),
+                            Outcome::Shed(h) => Outcome::Shed(h),
+                            Outcome::Unsupported => Outcome::Unsupported,
+                            Outcome::Internal => Outcome::Internal,
+                        },
+                    }
+                }),
+            ));
+        }
+        for (k, h) in handles {
+            outcomes[k] = Some(h.join().unwrap_or(Outcome::Internal));
+        }
+    });
+
+    let mut merged = CounterBlock::default();
+    let mut unsupported = false;
+    let mut internal = false;
+    let mut shed_hint: Option<u32> = None;
+    let mut epoch = u32::MAX;
+    for o in outcomes.iter().flatten() {
+        match o {
+            Outcome::Ok((e, c)) => {
+                epoch = epoch.min(*e);
+                merged.merge(c);
+            }
+            Outcome::Shed(h) => shed_hint = Some(shed_hint.map_or(*h, |x| x.max(*h))),
+            Outcome::Unsupported => unsupported = true,
+            Outcome::Internal => internal = true,
+        }
+    }
+    if unsupported {
+        return proto::encode_response(op, proto::STATUS_UNSUPPORTED, 0, 0, &[]);
+    }
+    if internal {
+        return proto::encode_response(op, proto::STATUS_INTERNAL, 0, 0, &[]);
+    }
+    if let Some(hint) = shed_hint {
+        let hint = hint.clamp(proto::RETRY_AFTER_MIN_MS, proto::RETRY_AFTER_MAX_MS);
+        return proto::encode_response(
+            op,
+            proto::STATUS_LOADSHED,
+            0,
+            0,
+            &proto::encode_retry_hint(hint),
+        );
+    }
+    proto::encode_response(
+        op,
+        proto::STATUS_OK,
+        epoch,
+        0,
+        &proto::encode_counters(&merged),
+    )
+}

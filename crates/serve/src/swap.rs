@@ -61,7 +61,7 @@ use geom::Coord;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, SystemTime};
 
 #[cfg(feature = "fault-injection")]
@@ -112,6 +112,9 @@ impl WatchCounters {
 /// The index being served: a mapped base snapshot, or an owned live
 /// index carrying delta edits on top of one. Both expose the same
 /// zero-copy query view, so batch execution never cares which it holds.
+// Always held behind one `Arc` per epoch, never moved or stored in
+// bulk, so the variant size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ServeIndex {
     /// The mmap-backed full snapshot (boot and full-reload path).
@@ -163,8 +166,12 @@ impl IndexStore {
     /// meanwhile.
     pub fn current(&self) -> (Arc<ServeIndex>, u32) {
         // Read the epoch while holding the lock so a concurrent swap
-        // can't pair the old Arc with the new epoch.
-        let guard = self.current.lock().expect("index store poisoned");
+        // can't pair the old Arc with the new epoch. A poisoned lock is
+        // recovered, not propagated: the guarded value is a swap-only
+        // Arc that is never left half-written, so whatever panicked
+        // while holding it (now survivable via the worker catch_unwind)
+        // left a fully consistent store behind.
+        let guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         let epoch = self.epoch.load(Ordering::Acquire) as u32;
         (Arc::clone(&guard), epoch)
     }
@@ -184,7 +191,9 @@ impl IndexStore {
     }
 
     fn publish(&self, next: Arc<ServeIndex>) -> u32 {
-        let mut guard = self.current.lock().expect("index store poisoned");
+        // Poison recovery: see `current` — the Arc swap is atomic from
+        // the store's point of view, so the value is always valid.
+        let mut guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         *guard = next;
         epoch as u32
@@ -769,6 +778,44 @@ mod tests {
         // before (in-flight batches are undisturbed).
         assert!(new.lookup_refs(inside_a).is_empty());
         assert!(!old.lookup_refs(inside_a).is_empty());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+
+    /// The poisoned-lock satellite regression: a panic raised while the
+    /// store's mutex is held (survivable since the worker loops run
+    /// probes under `catch_unwind`) used to poison the lock and turn
+    /// every later `current()`/`swap()` into a second panic — one bad
+    /// batch killed the whole serving process. Recovery via
+    /// `PoisonError::into_inner` is sound because the guarded `Arc` is
+    /// replaced atomically and never left half-written.
+    #[test]
+    fn store_survives_panic_under_lock() {
+        let a = snap_file("poison-a", &[square(-74.0, 40.7, 0.02)]);
+        let b = snap_file("poison-b", &[square(-73.9, 40.7, 0.02)]);
+        let store = Arc::new(IndexStore::new(MappedSnapshot::open(&a).unwrap()));
+
+        // Inject a panic while the lock is held, on another thread so
+        // the unwind poisons the mutex.
+        let poisoner = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let _guard = store.current.lock().unwrap();
+                panic!("injected panic while holding the index store lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the injected panic must fire");
+        assert!(store.current.is_poisoned(), "the lock must be poisoned");
+
+        // Probing and swapping must both still work.
+        let (idx, e1) = store.current();
+        assert_eq!(e1, 1);
+        assert!(!idx.lookup_refs(Coord::new(-74.0, 40.7)).is_empty());
+        let e2 = store.swap(MappedSnapshot::open(&b).unwrap());
+        assert_eq!(e2, 2);
+        let (idx, e) = store.current();
+        assert_eq!(e, 2);
+        assert!(!idx.lookup_refs(Coord::new(-73.9, 40.7)).is_empty());
         std::fs::remove_file(&a).unwrap();
         std::fs::remove_file(&b).unwrap();
     }

@@ -31,6 +31,7 @@
 //! cargo run --release -p act-examples --example geofencing            # offline (in-process)
 //! cargo run --release -p act-examples --example geofencing -- --serve [ADDR]
 //! cargo run --release -p act-examples --example geofencing -- --client [ADDR]
+//! cargo run --release -p act-examples --example geofencing -- --fleet [N [ADDR]]
 //! ```
 //!
 //! The server watches its snapshot file: drop a new one on the path
@@ -180,6 +181,58 @@ fn serve_mode(addr: &str, snap_path: &str, ds: &datagen::Dataset) {
     );
 }
 
+/// `--fleet N`: the sharded deployment in one process — split the
+/// snapshot into N per-shard files (`act_core::write_shard_files`), one
+/// worker per shard, the scatter-gather router in front. Point
+/// `--client` at the printed address; it cannot tell the fleet from a
+/// single server. Runs until SIGINT, then drains router-first so every
+/// accepted frame is answered.
+fn fleet_mode(addr: &str, shards: usize, snap_path: &str, ds: &datagen::Dataset) {
+    let index = load_or_build(snap_path, ds);
+    let shard_dir = format!("{snap_path}.shards");
+    let paths = act_core::write_shard_files(
+        &index,
+        std::path::Path::new(&shard_dir),
+        act_core::DEFAULT_SPLIT_LEVEL,
+        shards,
+    )
+    .expect("write shard files");
+    drop(index);
+    let workers: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            act_serve::Server::spawn(p, act_serve::ServeConfig::default())
+                .expect("spawn shard worker")
+        })
+        .collect();
+    let router = act_serve::Router::spawn(
+        workers.iter().map(|w| w.addr()).collect(),
+        act_serve::RouterConfig {
+            addr: addr.to_string(),
+            ..act_serve::RouterConfig::default()
+        },
+    )
+    .expect("spawn router");
+    println!(
+        "act-route: {} zones across {shards} shards on {} (Ctrl-C drains + exits)",
+        ds.polygons.len(),
+        router.addr()
+    );
+    let sig = sigflag::SigFlag::install(sigflag::SIGINT).expect("install SIGINT handler");
+    while !sig.is_raised() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("act-route: SIGINT — draining router, then the fleet");
+    router.shutdown();
+    for (k, w) in workers.into_iter().enumerate() {
+        let s = w.shutdown();
+        println!(
+            "shard {k}: {} probes in {} requests ({} shed)",
+            s.probes, s.requests, s.shed
+        );
+    }
+}
+
 /// `--client`: stream the ride-request workload to a server and print
 /// the same zone-demand summary the offline mode computes in-process.
 ///
@@ -294,8 +347,20 @@ fn main() {
             client_mode(addr, ds.polygons.len(), ds.bbox);
             return;
         }
+        Some("--fleet") => {
+            let shards = args
+                .get(1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4);
+            let addr = args.get(2).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            fleet_mode(addr, shards, &snap_path, &ds);
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown mode {other}; use --serve [ADDR], --client [ADDR], or no args");
+            eprintln!(
+                "unknown mode {other}; use --serve [ADDR], --client [ADDR], --fleet [N [ADDR]], or no args"
+            );
             std::process::exit(2);
         }
         None => {}
