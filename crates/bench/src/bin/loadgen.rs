@@ -36,6 +36,23 @@
 //! answers against an offline probe of exactly those frames, and records
 //! shed rate + goodput-under-overload rows.
 //!
+//! The throughput phase runs with the observability pipeline **on**
+//! (`ObsConfig::default()`): the recorded throughput is the
+//! fully-instrumented number, and the row carries the *server-side*
+//! per-stage latency distribution (queue wait, batch walk, exact
+//! refine, reply write, admission→flush total) pulled over the wire
+//! with a histogram-flagged STATS. Stage quantiles are log-bucket
+//! lower bounds, so `server_frame_p99 ≤ client_frame_p99` is asserted,
+//! not assumed.
+//!
+//! `--router-addr HOST:PORT` drives an **already-running** `act-route`
+//! (or `act-serve`) instead of spawning in-process — the CI
+//! observability smoke uses this to point loadgen at a fleet started
+//! with `--metrics-addr`. The external fleet must serve the same
+//! dataset snapshot; counts are still verified against the local
+//! offline probe, and the in-process phases (overload/faults/router)
+//! are skipped.
+//!
 //! `--router` adds the sharded-serving phase: the snapshot splits into
 //! [`ROUTER_SHARDS`] per-shard snapshots (`act_core::write_shard_files`),
 //! one worker per shard, and the scatter-gather router in front — the
@@ -46,7 +63,7 @@
 //! throughput next to the single-process number from the first phase.
 
 use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner};
-use act_serve::{protocol as proto, Client, ServeConfig, Server};
+use act_serve::{protocol as proto, Client, ObsConfig, ServeConfig, Server};
 use bench::json::{array, machine_stamp, pretty, Obj};
 use bench::{make_points, paper_datasets, snapshot_path, Opts};
 use geom::Coord;
@@ -107,6 +124,54 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The server-side pipeline stages recorded into the bench row, in
+/// pipeline order. Each is a nanosecond histogram on the wire.
+const TIME_STAGES: &[(&str, u8)] = &[
+    ("queue_wait", proto::STAGE_QUEUE_WAIT),
+    ("walk", proto::STAGE_WALK),
+    ("refine", proto::STAGE_REFINE),
+    ("write", proto::STAGE_WRITE),
+    ("frame_total", proto::STAGE_FRAME_TOTAL),
+];
+
+/// Quantile of a wire stage histogram in its native unit (`NaN` when
+/// the stage is absent or empty). Log-bucketed: the returned value is
+/// the bucket **lower bound**, i.e. a slight understatement.
+fn stage_raw(hists: &[proto::StageHistogram], stage: u8, q: f64) -> f64 {
+    hists
+        .iter()
+        .find(|h| h.stage == stage && h.hist.count() > 0)
+        .map_or(f64::NAN, |h| h.hist.quantile(q) as f64)
+}
+
+/// [`stage_raw`] for the nanosecond time stages, scaled to µs.
+fn stage_us(hists: &[proto::StageHistogram], stage: u8, q: f64) -> f64 {
+    stage_raw(hists, stage, q) / 1e3
+}
+
+/// Appends the per-stage server-side p50/p99 columns to a bench row.
+fn with_stage_quantiles(mut row: Obj, hists: &[proto::StageHistogram]) -> Obj {
+    for &(name, stage) in TIME_STAGES {
+        row = row
+            .num(
+                &format!("server_{name}_p50_us"),
+                stage_us(hists, stage, 0.50),
+            )
+            .num(
+                &format!("server_{name}_p99_us"),
+                stage_us(hists, stage, 0.99),
+            );
+    }
+    row.num(
+        "server_probe_depth_p50",
+        stage_raw(hists, proto::STAGE_PROBE_DEPTH, 0.50),
+    )
+    .num(
+        "server_probe_depth_p99",
+        stage_raw(hists, proto::STAGE_PROBE_DEPTH, 0.99),
+    )
 }
 
 fn main() {
@@ -229,11 +294,25 @@ fn run_dataset(
         }
     }
 
+    if let Some(addr) = &opts.router_addr {
+        return Ok(vec![run_external(
+            ds,
+            &points,
+            &expected,
+            connections,
+            frame,
+            addr,
+        )?]);
+    }
+
     let server = Server::spawn(
         &path,
         ServeConfig {
             refiner: Some(Refiner::new(&ds.polygons)),
             watch: None,
+            // The headline throughput is measured with the full
+            // observability pipeline on — overhead is part of the row.
+            obs: Some(ObsConfig::default()),
             ..ServeConfig::default()
         },
     )
@@ -323,6 +402,13 @@ fn run_dataset(
         }
     }
 
+    // Server-side per-stage distribution, over the wire (v3 flagged
+    // STATS) — the same path an external scraper uses.
+    let stats_ex = {
+        let mut c = connect("stage stats")?;
+        c.stats_ex().map_err(|e| format!("stats_ex: {e}"))?
+    };
+
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let stats = server.stats();
     let measured_probes = stats.probes - warm_probes - exact_n as u64;
@@ -345,27 +431,57 @@ fn run_dataset(
         latencies.last().copied().unwrap_or(f64::NAN)
     );
 
-    let mut rows = vec![Obj::new()
-        .str("dataset", &ds.name)
-        .int("polygons", num_zones as u64)
-        .num("precision_m", precision)
-        .int("points", points.len() as u64)
-        .int("connections", connections as u64)
-        .int("points_per_frame", frame as u64)
-        .num("secs", secs)
-        .num("probes_per_sec", throughput)
-        .num("frame_latency_p50_us", p50)
-        .num("frame_latency_p99_us", p99)
-        .num(
-            "frame_latency_max_us",
-            latencies.last().copied().unwrap_or(f64::NAN),
-        )
-        .int("server_batches", stats.batches)
-        .num("mean_batch_width", batch_width)
-        .int("epoch", stats.epoch as u64)
-        .bool("counts_verified", true)
-        .bool("exact_mode_verified", true)
-        .build()];
+    // Sanity: the server-side admission→flush total must sit at or
+    // below what clients observed for the same frames (stage quantiles
+    // are bucket lower bounds; the client adds encode/TCP/decode).
+    let hists = &stats_ex.histograms;
+    let server_frame_p99_us = stage_us(hists, proto::STAGE_FRAME_TOTAL, 0.99);
+    assert!(
+        server_frame_p99_us <= p99,
+        "server-side frame p99 ({server_frame_p99_us:.0} us) exceeded client-side p99 ({p99:.0} us)"
+    );
+    println!(
+        "server stages p50/p99 us: queue_wait {:.1}/{:.1}, walk {:.1}/{:.1}, refine {:.1}/{:.1}, \
+         write {:.1}/{:.1}, frame_total {:.1}/{:.1}; probe depth p99 {:.0}",
+        stage_us(hists, proto::STAGE_QUEUE_WAIT, 0.50),
+        stage_us(hists, proto::STAGE_QUEUE_WAIT, 0.99),
+        stage_us(hists, proto::STAGE_WALK, 0.50),
+        stage_us(hists, proto::STAGE_WALK, 0.99),
+        stage_us(hists, proto::STAGE_REFINE, 0.50),
+        stage_us(hists, proto::STAGE_REFINE, 0.99),
+        stage_us(hists, proto::STAGE_WRITE, 0.50),
+        stage_us(hists, proto::STAGE_WRITE, 0.99),
+        stage_us(hists, proto::STAGE_FRAME_TOTAL, 0.50),
+        stage_us(hists, proto::STAGE_FRAME_TOTAL, 0.99),
+        stage_raw(hists, proto::STAGE_PROBE_DEPTH, 0.99),
+    );
+
+    let mut rows = vec![with_stage_quantiles(
+        Obj::new()
+            .str("dataset", &ds.name)
+            .int("polygons", num_zones as u64)
+            .num("precision_m", precision)
+            .int("points", points.len() as u64)
+            .int("connections", connections as u64)
+            .int("points_per_frame", frame as u64)
+            .num("secs", secs)
+            .num("probes_per_sec", throughput)
+            .num("frame_latency_p50_us", p50)
+            .num("frame_latency_p99_us", p99)
+            .num(
+                "frame_latency_max_us",
+                latencies.last().copied().unwrap_or(f64::NAN),
+            )
+            .int("server_batches", stats.batches)
+            .num("mean_batch_width", batch_width)
+            .int("epoch", stats.epoch as u64)
+            .bool("obs_enabled", true)
+            .bool("server_p99_le_client_p99", true)
+            .bool("counts_verified", true)
+            .bool("exact_mode_verified", true),
+        hists,
+    )
+    .build()];
     server.shutdown();
 
     if opts.router {
@@ -391,6 +507,156 @@ fn run_dataset(
         );
     }
     Ok(rows)
+}
+
+/// The external-target phase (`--router-addr`): the same striped
+/// workload driven at an already-running `act-route` or `act-serve`
+/// endpoint instead of an in-process spawn. Counts are verified against
+/// the local offline probe (the external fleet must serve the same
+/// snapshot); the exact-mode spot check is skipped because an external
+/// worker may run without a refiner. The phase also pulls a flagged
+/// STATS (recording merged per-stage quantiles when the target has
+/// observability on) and probes the DUMP op, tolerating UNSUPPORTED.
+fn run_external(
+    ds: &datagen::Dataset,
+    points: &[Coord],
+    expected: &[u64],
+    connections: usize,
+    frame: usize,
+    addr: &str,
+) -> Result<String, String> {
+    use std::net::ToSocketAddrs;
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("--router-addr {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--router-addr {addr} resolved to nothing"))?;
+    let num_zones = ds.polygons.len();
+    println!("external: driving {addr} with {connections} conn(s), {frame}/frame");
+    let connect = |what: &str| -> Result<Client, String> {
+        let mut c = Client::connect(addr).map_err(|e| format!("{what}: connect {addr}: {e}"))?;
+        c.set_read_timeout(Some(READ_DEADLINE))
+            .map_err(|e| format!("{what}: set deadline: {e}"))?;
+        Ok(c)
+    };
+
+    // Warmup: touch the fleet's mapped pages through the endpoint.
+    {
+        let mut c = connect("external warmup")?;
+        for chunk in points.chunks(frame).take(64) {
+            c.probe(chunk, false)
+                .map_err(|e| format!("external warmup probe: {e}"))?;
+        }
+    }
+
+    let t0 = Instant::now();
+    let stripe = points.len().div_ceil(connections);
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(stripe.max(1))
+            .map(|mine| {
+                scope.spawn(move || {
+                    let mut client = connect("external run")?;
+                    let mut counts = vec![0u64; num_zones];
+                    let mut lat_us = Vec::with_capacity(mine.len() / frame + 1);
+                    for chunk in mine.chunks(frame) {
+                        let t = Instant::now();
+                        let reply = client
+                            .probe(chunk, false)
+                            .map_err(|e| format!("external probe: {e}"))?;
+                        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        for refs in &reply.refs {
+                            for &(id, _) in refs {
+                                counts[id as usize] += 1;
+                            }
+                        }
+                    }
+                    Ok((counts, lat_us))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("external client thread"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut counts = vec![0u64; num_zones];
+    let mut latencies = Vec::new();
+    for r in results {
+        let (c, l) = r?;
+        for (acc, v) in counts.iter_mut().zip(c) {
+            *acc += v;
+        }
+        latencies.extend(l);
+    }
+    if counts != expected {
+        return Err(
+            "external counts diverged from the local offline probe — is the fleet serving the \
+             same snapshot?"
+                .to_string(),
+        );
+    }
+
+    // Observability over the wire: merged stage histograms when the
+    // target runs with obs on (empty section otherwise), and the DUMP
+    // op (UNSUPPORTED when no trace ring is configured).
+    let stats_ex = {
+        let mut c = connect("external stats")?;
+        c.stats_ex()
+            .map_err(|e| format!("external stats_ex: {e}"))?
+    };
+    let hists = &stats_ex.histograms;
+    let has_stage_hists = hists
+        .iter()
+        .any(|h| h.stage == proto::STAGE_FRAME_TOTAL && h.hist.count() > 0);
+    let dump_lines = {
+        let mut c = connect("external dump")?;
+        c.dump().ok().map(|text| text.lines().count() as u64)
+    };
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let throughput = points.len() as f64 / secs;
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    if has_stage_hists {
+        let server_p99 = stage_us(hists, proto::STAGE_FRAME_TOTAL, 0.99);
+        // The external fleet's histograms cover *all* its traffic (ours
+        // plus anything before), so this is a sanity print, not an
+        // assert — the CI smoke asserts on a fleet only we drove.
+        println!(
+            "external: server frame p99 {server_p99:.0} us vs client p99 {p99:.0} us \
+             (fleet-lifetime histogram)"
+        );
+    }
+    println!(
+        "external: {} probes in {secs:.2} s ({:.2} M probes/s); p50 {p50:.0} us p99 {p99:.0} us; \
+         stage histograms {}, trace dump {}",
+        points.len(),
+        throughput / 1e6,
+        if has_stage_hists { "present" } else { "absent" },
+        match dump_lines {
+            Some(n) => format!("{n} events"),
+            None => "unsupported".to_string(),
+        },
+    );
+
+    let row = Obj::new()
+        .str("dataset", &ds.name)
+        .str("mode", "external")
+        .str("addr", &addr.to_string())
+        .int("points", points.len() as u64)
+        .int("connections", connections as u64)
+        .int("points_per_frame", frame as u64)
+        .num("secs", secs)
+        .num("probes_per_sec", throughput)
+        .num("frame_latency_p50_us", p50)
+        .num("frame_latency_p99_us", p99)
+        .bool("stage_histograms_present", has_stage_hists)
+        .bool("trace_dump_supported", dump_lines.is_some())
+        .int("trace_dump_events", dump_lines.unwrap_or(0))
+        .bool("counts_verified", true);
+    Ok(with_stage_quantiles(row, hists).build())
 }
 
 /// The sharded-serving phase: sharder → [`ROUTER_SHARDS`] in-process

@@ -63,6 +63,11 @@ pub struct Opts {
     /// index across a worker fleet behind a scatter-gather router and
     /// record routed goodput vs the single-process baseline.
     pub router: bool,
+    /// Drive an already-running `act-route` (or `act-serve`) at this
+    /// address instead of spawning servers in-process (`loadgen` bin).
+    /// The external fleet must serve the same dataset snapshot the
+    /// workload verifies against.
+    pub router_addr: Option<String>,
 }
 
 impl Default for Opts {
@@ -79,6 +84,7 @@ impl Default for Opts {
             overload: false,
             faults: false,
             router: false,
+            router_addr: None,
         }
     }
 }
@@ -107,6 +113,10 @@ usage: <bin> [options]
                     shard the index across a worker fleet behind the
                     scatter-gather router and record routed goodput vs
                     the single-process baseline into BENCH_serve.json
+  --router-addr A   drive an already-running act-route (or act-serve) at
+                    HOST:PORT instead of spawning in-process (loadgen
+                    bin); the external fleet must serve the same dataset
+                    snapshot the workload verifies against
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -186,6 +196,13 @@ impl Opts {
                 "--overload" => o.overload = true,
                 "--faults" => o.faults = true,
                 "--router" => o.router = true,
+                "--router-addr" => {
+                    let addr = value(args, &mut i, "--router-addr")?;
+                    if addr.is_empty() {
+                        return Err("--router-addr expects HOST:PORT".to_string());
+                    }
+                    o.router_addr = Some(addr.to_string());
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -410,6 +427,8 @@ mod tests {
             "--overload",
             "--faults",
             "--router",
+            "--router-addr",
+            "127.0.0.1:9000",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -423,7 +442,13 @@ mod tests {
         assert!(o.overload);
         assert!(o.faults);
         assert!(o.router);
-        assert!(!parse(&[]).unwrap().router);
+        assert_eq!(o.router_addr.as_deref(), Some("127.0.0.1:9000"));
+        let defaults = parse(&[]).unwrap();
+        assert!(!defaults.router);
+        assert!(defaults.router_addr.is_none());
+        assert!(parse(&["--router-addr", ""])
+            .unwrap_err()
+            .contains("HOST:PORT"));
     }
 
     #[test]

@@ -653,6 +653,16 @@ impl<'a> ActIndexView<'a> {
         self.raw().lookup_batch(cells, out);
     }
 
+    /// [`ActIndexView::probe_batch`] plus per-cell termination depths
+    /// (see [`crate::Act::lookup_batch_depths`]).
+    ///
+    /// # Panics
+    /// Panics if the three slices' lengths disagree.
+    #[inline]
+    pub fn probe_batch_depths(&self, cells: &[CellId], out: &mut [Probe], depths: &mut [u8]) {
+        self.raw().lookup_batch_depths(cells, out, depths);
+    }
+
     /// Probes with a lat/lng coordinate (see [`ActIndex::probe_coord`]).
     #[inline]
     pub fn probe_coord(&self, c: Coord) -> Probe {
@@ -1006,6 +1016,16 @@ impl MappedSnapshot {
     #[inline]
     pub fn probe_batch(&self, cells: &[CellId], out: &mut [Probe]) {
         self.view().probe_batch(cells, out);
+    }
+
+    /// Probes a batch recording per-cell termination depths (see
+    /// [`ActIndex::probe_batch_depths`]).
+    ///
+    /// # Panics
+    /// Panics if the three slices' lengths disagree.
+    #[inline]
+    pub fn probe_batch_depths(&self, cells: &[CellId], out: &mut [Probe], depths: &mut [u8]) {
+        self.view().probe_batch_depths(cells, out, depths);
     }
 
     /// Probes with a lat/lng coordinate (see [`ActIndex::probe_coord`]).

@@ -179,6 +179,90 @@ impl RawTrie<'_> {
         }
     }
 
+    /// See [`Act::lookup_batch_depths`].
+    pub(crate) fn lookup_batch_depths(
+        self,
+        queries: &[CellId],
+        out: &mut [Probe],
+        depths: &mut [u8],
+    ) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lookup_batch_depths: queries/out length mismatch"
+        );
+        assert_eq!(
+            queries.len(),
+            depths.len(),
+            "lookup_batch_depths: queries/depths length mismatch"
+        );
+        for ((q, o), d) in queries
+            .chunks(MAX_PROBE_BLOCK)
+            .zip(out.chunks_mut(MAX_PROBE_BLOCK))
+            .zip(depths.chunks_mut(MAX_PROBE_BLOCK))
+        {
+            self.lookup_block_depths(q, o, d);
+        }
+    }
+
+    /// [`RawTrie::lookup_block`] with per-lane termination depths: the
+    /// same level-synchronous walk (lanes advance one level together,
+    /// resolved lanes compacted out, so the memory-level parallelism
+    /// the batched probe exists for is preserved), plus one byte store
+    /// per lane recording how many node accesses the walk made —
+    /// 0 for an empty root face, 1..=7 otherwise. This is the serving
+    /// pipeline's probed-cell-depth instrumentation hook; the
+    /// depth histogram it feeds is what ROADMAP's prefetch and
+    /// hot-cell-cache items will be judged against.
+    fn lookup_block_depths(self, queries: &[CellId], out: &mut [Probe], depths: &mut [u8]) {
+        let n = queries.len();
+        debug_assert!(n <= MAX_PROBE_BLOCK);
+        let mut node = [0u32; MAX_PROBE_BLOCK];
+        let mut key = [0u64; MAX_PROBE_BLOCK];
+        let mut lanes = [0u16; MAX_PROBE_BLOCK];
+        let mut live = 0usize;
+        for (i, (&q, o)) in queries.iter().zip(out.iter_mut()).enumerate() {
+            let root = self.roots[(q.0 >> 61) as usize];
+            *o = Probe::Miss;
+            depths[i] = 0;
+            if root != 0 {
+                node[i] = root;
+                key[i] = q.0 << 3;
+                lanes[live] = i as u16;
+                live += 1;
+            }
+        }
+        for depth in 1..=7u8 {
+            if live == 0 {
+                return;
+            }
+            let mut kept = 0usize;
+            for j in 0..live {
+                let i = lanes[j] as usize;
+                let b = (key[i] >> 56) as usize;
+                key[i] <<= 8;
+                let e = self.slots[node[i] as usize * FANOUT + b];
+                if e & TAG_MASK == TAG_CHILD {
+                    let idx = (e >> 2) as u32;
+                    if idx != 0 {
+                        node[i] = idx;
+                        lanes[kept] = i as u16;
+                        kept += 1;
+                        // Depth advances with the lane: a lane that runs
+                        // off the key after 7 levels keeps depth 7.
+                        depths[i] = depth;
+                    } else {
+                        depths[i] = depth; // resolved Miss at this level
+                    }
+                } else {
+                    out[i] = Probe::from_entry(e);
+                    depths[i] = depth;
+                }
+            }
+            live = kept;
+        }
+    }
+
     /// One level-synchronous block (≤ [`MAX_PROBE_BLOCK`] lanes).
     fn lookup_block(self, queries: &[CellId], out: &mut [Probe]) {
         let n = queries.len();
@@ -490,6 +574,21 @@ impl Act {
     /// Panics if `queries.len() != out.len()`.
     pub fn lookup_batch(&self, queries: &[CellId], out: &mut [Probe]) {
         self.raw().lookup_batch(queries, out);
+    }
+
+    /// [`Act::lookup_batch`] plus per-query termination depths:
+    /// `depths[i]` is the number of trie node accesses query `i` made
+    /// (0 for an empty root face, 1..=7 otherwise — so `depths[i] * 4`
+    /// is the terminating slot level, matching
+    /// [`Act::lookup_with_slot_level`]). Same level-synchronous walk,
+    /// same memory-level parallelism; the extra cost is one byte store
+    /// per lane per level, so it is cheap enough to run always-on in
+    /// the serving pipeline's probe-depth histogram.
+    ///
+    /// # Panics
+    /// Panics if the three slices' lengths disagree.
+    pub fn lookup_batch_depths(&self, queries: &[CellId], out: &mut [Probe], depths: &mut [u8]) {
+        self.raw().lookup_batch_depths(queries, out, depths);
     }
 
     /// Like [`Act::lookup`], additionally returning the quadtree level of
@@ -1378,6 +1477,69 @@ mod tests {
         assert!(out.iter().any(|p| matches!(p, Probe::Two(..))));
         assert!(out.iter().any(|p| matches!(p, Probe::Table(_))));
         assert!(out.iter().any(|p| matches!(p, Probe::Miss)));
+    }
+
+    #[test]
+    fn lookup_batch_depths_matches_probes_and_slot_levels() {
+        let mut act = Act::new();
+        let mut tb = LookupTableBuilder::new();
+        let leaf = nyc_leaf(40.7580, -73.9855);
+        act.insert(
+            leaf.parent(18),
+            &RefSet::single(PolygonRef::true_hit(1)),
+            &mut tb,
+        );
+        let anc = leaf.parent(3);
+        let mut shallow = anc.child(0);
+        if leaf.parent(4) == shallow {
+            shallow = anc.child(1);
+        }
+        act.insert(
+            shallow,
+            &RefSet::Two(PolygonRef::true_hit(2), PolygonRef::candidate(3)),
+            &mut tb,
+        );
+        let other_face = CellId::from_latlng(LatLng::from_degrees(0.0, 0.0));
+        act.insert(
+            other_face.parent(28),
+            &RefSet::single(PolygonRef::true_hit(4)),
+            &mut tb,
+        );
+        // Hits at shallow and full depth, misses resolved mid-walk, a
+        // run-off miss under the level-28 entry, and an empty face.
+        let mut queries = vec![
+            leaf,
+            leaf.parent(18).range_min(),
+            shallow.range_min(),
+            other_face.parent(28).range_min(),
+            CellId(other_face.parent(28).range_max().0 + 2),
+            CellId::from_latlng(LatLng::from_degrees(-41.0, 100.0)),
+        ];
+        for k in 0..400u64 {
+            queries.push(CellId(other_face.range_min().0 + 2 * k));
+            queries.push(nyc_leaf(41.5, -74.0 + 0.0001 * k as f64));
+        }
+        let mut out = vec![Probe::Miss; queries.len()];
+        let mut plain = vec![Probe::Miss; queries.len()];
+        let mut depths = vec![0xffu8; queries.len()];
+        act.lookup_batch_depths(&queries, &mut out, &mut depths);
+        act.lookup_batch(&queries, &mut plain);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(out[i], plain[i], "probe mismatch for {q:?}");
+            let (probe, slot_level) = act.lookup_with_slot_level(*q);
+            assert_eq!(out[i], probe, "scalar probe mismatch for {q:?}");
+            assert_eq!(
+                u16::from(depths[i]) * 4,
+                u16::from(slot_level),
+                "depth {} vs slot level {} for {q:?}",
+                depths[i],
+                slot_level
+            );
+        }
+        // All the depth classes we constructed must actually appear.
+        assert!(depths.contains(&0), "empty-face depth 0");
+        assert!(depths.iter().any(|&d| (1..7).contains(&d)), "mid-walk");
+        assert!(depths.contains(&7), "full-depth walk");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! A monotonic lap timer for per-stage pipeline attribution.
+
+use std::time::Instant;
+
+/// Attributes one request's wall time to consecutive stages: each
+/// [`StageClock::lap`] returns the nanoseconds since the previous lap
+/// (or since construction) and advances the lap point, so summing every
+/// lap plus [`StageClock::total`]'s remainder never double-counts.
+/// Backed by [`Instant`], so it is monotonic even across wall-clock
+/// steps.
+#[derive(Debug, Clone, Copy)]
+pub struct StageClock {
+    start: Instant,
+    last: Instant,
+}
+
+impl StageClock {
+    /// Starts the clock now.
+    pub fn start() -> StageClock {
+        let now = Instant::now();
+        StageClock {
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Resumes a clock whose admission point was captured earlier (the
+    /// serving pipeline stamps a frame at reader admission and laps it
+    /// stages later, on other threads).
+    pub fn resume(start: Instant) -> StageClock {
+        StageClock { start, last: start }
+    }
+
+    /// Nanoseconds since the previous lap; advances the lap point.
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+
+    /// Nanoseconds since the clock started (does not advance laps).
+    pub fn total(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn laps_partition_total() {
+        let mut c = StageClock::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = c.lap();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.lap();
+        assert!(a >= 1_000_000, "first lap {a} ns");
+        assert!(b >= 1_000_000, "second lap {b} ns");
+        assert!(c.total() >= a + b);
+    }
+
+    #[test]
+    fn resume_attributes_from_the_given_instant() {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let mut c = StageClock::resume(t0);
+        let first = c.lap();
+        assert!(first >= 1_000_000, "lap since resume point {first} ns");
+    }
+}

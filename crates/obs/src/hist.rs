@@ -1,0 +1,273 @@
+//! The lock-free log-bucketed histogram and its plain-data snapshot.
+//!
+//! ## Bucketing
+//!
+//! Values are `u64` (the serving pipeline records **nanoseconds** for
+//! latency stages and raw counts for size/depth histograms). Buckets
+//! are logarithmic with 8 sub-buckets per octave (HDR-style): values
+//! below 8 get exact unit buckets, and every larger bucket spans
+//! `2^(k-3)` for values with the top bit at position `k` — so the
+//! relative width of any bucket is at most 12.5% of its lower bound.
+//! The whole `u64` range maps into [`NUM_BUCKETS`] buckets; nothing is
+//! ever clamped or dropped.
+//!
+//! ## Quantiles are conservative
+//!
+//! [`HistogramSnapshot::quantile`] returns the **lower bound** of the
+//! bucket containing the requested rank. A reported p99 therefore
+//! never exceeds the true p99 (it may undershoot by up to one bucket
+//! width, ≤ 12.5%). This direction is deliberate: the serving bench
+//! asserts `server-side p99 ≤ client-side p99`, and a conservative
+//! server-side quantile keeps that comparison meaningful instead of
+//! letting bucket rounding manufacture violations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` value range.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
+
+/// The bucket index holding `value`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUBS {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+        let sub = (value >> (exp - SUB_BITS)) & (SUBS - 1);
+        (((exp - SUB_BITS + 1) as u64 * SUBS) + sub) as usize
+    }
+}
+
+/// The smallest value that maps to `bucket` (inverse of [`bucket_of`]).
+#[inline]
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    let b = bucket as u64;
+    if b < SUBS {
+        b
+    } else {
+        let g = b / SUBS; // octave group, >= 1
+        let sub = b % SUBS;
+        (SUBS + sub) << (g - 1)
+    }
+}
+
+/// A lock-free histogram: fixed `AtomicU64` buckets plus a running sum.
+/// Recording is one relaxed `fetch_add` per bucket and one for the sum;
+/// concurrent readers take a consistent-enough [`HistogramSnapshot`]
+/// (bucket-level atomicity — the same guarantee a `CounterBlock` read
+/// gives — which is exact once writers quiesce).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0u64; NUM_BUCKETS].map(AtomicU64::new)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed; never blocks, never allocates).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Captures the current contents as plain data, with trailing empty
+    /// buckets trimmed (the wire and the renderer never pay for the
+    /// range that was never hit).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain-data capture of a [`Histogram`]: mergeable, serializable,
+/// and the unit the serve protocol ships in a v3 STATS histogram
+/// section. `buckets[i]` counts values in bucket `i` (see
+/// [`bucket_lower_bound`]); trailing zero buckets are trimmed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values (for means).
+    pub sum: u64,
+    /// Per-bucket counts, trailing zeros trimmed
+    /// (`len() <= NUM_BUCKETS`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count() as f64
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the **lower bound** of
+    /// the bucket containing rank `ceil(q * count)` (conservative — see
+    /// the module docs). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Folds `other` into `self` bucket-wise — the histogram analogue
+    /// of `CounterBlock::merge`. Merging per-shard snapshots yields
+    /// exactly the histogram a single process recording the union
+    /// would have produced (bucket counts and sums are both additive).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (into, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *into += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_inverse() {
+        // Every bucket's lower bound maps back to that bucket, and the
+        // bounds strictly increase.
+        for b in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(b);
+            assert_eq!(bucket_of(lo), b, "bucket {b} lower bound {lo}");
+            if b > 0 {
+                assert!(lo > bucket_lower_bound(b - 1));
+            }
+        }
+        // Values just below a boundary stay in the previous bucket.
+        for b in 1..NUM_BUCKETS {
+            let lo = bucket_lower_bound(b);
+            assert_eq!(bucket_of(lo - 1), b - 1);
+        }
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_of(0), 0);
+    }
+
+    #[test]
+    fn bucket_width_is_within_12_5_percent() {
+        for b in SUBS as usize..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(b) as f64;
+            let hi = bucket_lower_bound(b + 1) as f64;
+            assert!(hi - lo <= lo / 8.0 + 1.0, "bucket {b}: [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn record_count_sum_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum, 500_500);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        // Conservative: never above the true quantile, within one
+        // bucket width (12.5%) below it.
+        for (q, truth) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let got = s.quantile(q);
+            assert!(got <= truth, "q{q}: {got} > {truth}");
+            assert!(
+                got as f64 >= truth as f64 * 0.875 - 1.0,
+                "q{q}: {got} too low"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in [1u64, 5, 100, 10_000] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 100, 1_000_000] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+        // Merge into the shorter side works too.
+        let mut short = b.snapshot();
+        short.merge(&a.snapshot());
+        assert_eq!(short, union.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 7 + i % 97);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal `std::net` HTTP listener serving `GET /metrics`.
+//!
+//! One accept thread, one request per connection, `Connection: close` —
+//! exactly what a Prometheus scraper (or `curl`) needs and nothing
+//! more. The render closure runs per scrape, so the page is always
+//! current; a slow or hostile client is bounded by short socket
+//! timeouts and cannot wedge the listener.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The scrape endpoint path.
+const METRICS_PATH: &str = "/metrics";
+
+/// A running `/metrics` listener. Dropping the handle (or calling
+/// [`MetricsServer::shutdown`]) stops the accept thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (`"127.0.0.1:0"` picks an ephemeral port) and
+    /// serves `render()`'s output on every `GET /metrics`.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn spawn(
+        addr: &str,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("act-metrics".to_string())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_one(stream, &render),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolve the ephemeral port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Answers one scrape: read the request head (bounded), dispatch on the
+/// path, write one response, close.
+fn serve_one(mut stream: TcpStream, render: &Arc<dyn Fn() -> String + Send + Sync>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    // Read until the end of the request head or the 4 KiB bound; the
+    // request line is all we dispatch on.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 4096 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(k) => head.extend_from_slice(&buf[..k]),
+            Err(_) => break,
+        }
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+        )
+    } else if path == METRICS_PATH || path.starts_with("/metrics?") {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// A `curl`-equivalent scrape of `http://{addr}/metrics`, for tests and
+/// the CI smoke: one GET, returns the response body.
+///
+/// # Errors
+/// Connection/read failures and non-200 statuses.
+pub fn scrape(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body split in scrape response",
+        ));
+    };
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape status: {}", head.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::new(|| "act_up 1\n".to_string()))
+            .expect("bind metrics listener");
+        let addr = server.addr();
+        let body = scrape(addr).expect("scrape");
+        assert_eq!(body, "act_up 1\n");
+
+        // Non-/metrics path: 404.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+
+        // Non-GET: 405.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn render_runs_per_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let server = MetricsServer::spawn("127.0.0.1:0", {
+            Arc::new(move || format!("scrapes {}\n", h.fetch_add(1, Ordering::Relaxed) + 1))
+        })
+        .expect("bind");
+        assert_eq!(scrape(server.addr()).unwrap(), "scrapes 1\n");
+        assert_eq!(scrape(server.addr()).unwrap(), "scrapes 2\n");
+        server.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

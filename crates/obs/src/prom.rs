@@ -1,0 +1,144 @@
+//! A hand-rolled Prometheus text renderer (exposition format 0.0.4).
+
+use crate::hist::{bucket_lower_bound, HistogramSnapshot};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Accumulates metric families into Prometheus text format. `# HELP` /
+/// `# TYPE` headers are emitted once per family, however many labeled
+/// series are added to it — add the merged series and the per-shard
+/// breakdown to the same family and the output stays well-formed.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn labelset(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+        let mut parts: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+
+    /// Adds one `counter` sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, "counter", help);
+        let ls = Self::labelset(labels, None);
+        let _ = writeln!(self.out, "{name}{ls} {value}");
+    }
+
+    /// Adds one `gauge` sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, "gauge", help);
+        let ls = Self::labelset(labels, None);
+        let _ = writeln!(self.out, "{name}{ls} {value}");
+    }
+
+    /// Adds one `histogram` series: cumulative `_bucket{le=…}` samples
+    /// (bucket upper edges times `scale` — pass `1e-9` to expose
+    /// nanosecond recordings in seconds), `_sum`, and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        self.header(name, "histogram", help);
+        let mut cum = 0u64;
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            cum += c;
+            if c == 0 {
+                continue; // cumulative value unchanged; skip the line
+            }
+            let le = bucket_lower_bound(i + 1) as f64 * scale;
+            let ls = Self::labelset(labels, Some(("le", &format!("{le}"))));
+            let _ = writeln!(self.out, "{name}_bucket{ls} {cum}");
+        }
+        let ls = Self::labelset(labels, Some(("le", "+Inf")));
+        let _ = writeln!(self.out, "{name}_bucket{ls} {cum}");
+        let ls = Self::labelset(labels, None);
+        let _ = writeln!(self.out, "{name}_sum{ls} {}", snap.sum as f64 * scale);
+        let _ = writeln!(self.out, "{name}_count{ls} {cum}");
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn families_render_once_with_all_series() {
+        let mut p = PromText::new();
+        p.counter("act_probes_total", "Probe points answered.", &[], 42);
+        p.counter(
+            "act_probes_total",
+            "Probe points answered.",
+            &[("shard", "0")],
+            40,
+        );
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE act_probes_total counter").count(), 1);
+        assert!(text.contains("act_probes_total 42"));
+        assert!(text.contains("act_probes_total{shard=\"0\"} 40"));
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_and_scaled() {
+        let h = Histogram::new();
+        h.record(1_000); // 1 µs in ns
+        h.record(1_000);
+        h.record(1_000_000); // 1 ms
+        let mut p = PromText::new();
+        p.histogram("act_stage_seconds", "Stage time.", &[], &h.snapshot(), 1e-9);
+        let text = p.finish();
+        assert!(text.contains("# TYPE act_stage_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.contains("act_stage_seconds_count 3"));
+        // Sum: 1_002_000 ns = 0.001002 s.
+        assert!(text.contains("act_stage_seconds_sum 0.001002"));
+        // Cumulative counts never decrease along the series.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.gauge("g", "h", &[("addr", "a\"b\\c")], 1.0);
+        assert!(p.finish().contains("addr=\"a\\\"b\\\\c\""));
+    }
+}

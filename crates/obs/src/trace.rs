@@ -1,0 +1,219 @@
+//! Sampled structured traces: a seeded 1-in-N sampler and a bounded
+//! ring of events, dumped as JSON lines.
+//!
+//! High-rate events (per-frame admissions) go through [`Sampler`] so
+//! tracing costs one relaxed counter increment on the unsampled path;
+//! rare lifecycle events (shed, swap, quarantine, breaker transitions)
+//! are recorded unconditionally. The ring is bounded: once full, the
+//! oldest event is evicted — a trace is a window, not a log.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Deterministic 1-in-N sampling: the k-th call to
+/// [`Sampler::should_sample`] fires iff `(k + seed) % n == 0`, so the
+/// same seed and the same call sequence reproduce the same sampled set
+/// (the same spirit as the fault plan's seeded schedules). `n = 0`
+/// disables sampling entirely; `n = 1` samples everything.
+#[derive(Debug)]
+pub struct Sampler {
+    every: u64,
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler firing once per `every` calls, phase-shifted by `seed`.
+    pub fn new(every: u64, seed: u64) -> Sampler {
+        Sampler {
+            every,
+            seed,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// True when this call is the 1-in-N winner.
+    #[inline]
+    pub fn should_sample(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        let k = self.calls.fetch_add(1, Ordering::Relaxed);
+        k.wrapping_add(self.seed).is_multiple_of(self.every)
+    }
+
+    /// The configured period (0 = disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+}
+
+/// One structured trace event: a monotonic sequence number, microseconds
+/// since the ring was created, a static kind, and up to a handful of
+/// numeric fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic per-ring sequence number (gap-free across evictions —
+    /// a reader can tell how much the ring dropped).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub micros: u64,
+    /// Event kind (`"admission"`, `"shed"`, `"swap"`, …).
+    pub kind: &'static str,
+    /// Numeric detail fields, rendered as JSON keys.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    /// Keys are static identifiers, values are integers — no escaping
+    /// is ever needed, so the rendering cannot produce invalid JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"us\":{},\"kind\":\"{}\"",
+            self.seq, self.micros, self.kind
+        );
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The bounded trace ring plus its admission sampler.
+#[derive(Debug)]
+pub struct TraceRing {
+    sampler: Sampler,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    started: Instant,
+}
+
+impl TraceRing {
+    /// A ring holding the newest `capacity` events, with 1-in-`every`
+    /// sampling (seeded by `seed`) for [`TraceRing::sampled`] events.
+    pub fn new(capacity: usize, every: u64, seed: u64) -> TraceRing {
+        TraceRing {
+            sampler: Sampler::new(every, seed),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a high-rate event if the sampler selects it; returns
+    /// whether it was recorded. The unsampled path is one relaxed
+    /// counter increment — no lock, no allocation.
+    pub fn sampled(&self, kind: &'static str, fields: &[(&'static str, u64)]) -> bool {
+        if !self.sampler.should_sample() {
+            return false;
+        }
+        self.push(kind, fields);
+        true
+    }
+
+    /// Records a lifecycle event unconditionally.
+    pub fn always(&self, kind: &'static str, fields: &[(&'static str, u64)]) {
+        self.push(kind, fields);
+    }
+
+    fn push(&self, kind: &'static str, fields: &[(&'static str, u64)]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let micros = self.started.elapsed().as_micros() as u64;
+        let event = TraceEvent {
+            seq,
+            micros,
+            kind,
+            fields: fields.to_vec(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Total events ever recorded (including ones the ring evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The current window, oldest first (non-destructive).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    /// The current window as JSON lines — one event per line, oldest
+    /// first, trailing newline after the last line (empty string when
+    /// the ring is empty). This is the DUMP-op payload and the SIGINT
+    /// drain format.
+    pub fn dump_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_one_in_n() {
+        let a = Sampler::new(4, 7);
+        let picks: Vec<bool> = (0..16).map(|_| a.should_sample()).collect();
+        let b = Sampler::new(4, 7);
+        let again: Vec<bool> = (0..16).map(|_| b.should_sample()).collect();
+        assert_eq!(picks, again, "same seed, same schedule");
+        assert_eq!(picks.iter().filter(|&&p| p).count(), 4, "1-in-4 of 16");
+        // A different seed shifts the phase but keeps the rate.
+        let c = Sampler::new(4, 8);
+        let shifted: Vec<bool> = (0..16).map(|_| c.should_sample()).collect();
+        assert_ne!(picks, shifted);
+        assert_eq!(shifted.iter().filter(|&&p| p).count(), 4);
+        // 0 disables, 1 samples everything.
+        let off = Sampler::new(0, 0);
+        assert!((0..8).all(|_| !off.should_sample()));
+        let all = Sampler::new(1, 3);
+        assert!((0..8).all(|_| all.should_sample()));
+    }
+
+    #[test]
+    fn ring_bounds_and_json_lines() {
+        let ring = TraceRing::new(3, 1, 0);
+        for i in 0..5u64 {
+            ring.always("swap", &[("epoch", i)]);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3, "capacity bounds the window");
+        assert_eq!(ring.recorded(), 5, "evictions still count");
+        // Oldest first, gap-free seq shows what was dropped.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        let dump = ring.dump_json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"seq\":2,"));
+        assert!(lines[0].contains("\"kind\":\"swap\""));
+        assert!(lines[0].ends_with(",\"epoch\":2}"));
+    }
+
+    #[test]
+    fn sampled_respects_the_sampler() {
+        let ring = TraceRing::new(16, 4, 0);
+        let hits = (0..16)
+            .filter(|_| ring.sampled("admission", &[("lanes", 9)]))
+            .count();
+        assert_eq!(hits, 4);
+        assert_eq!(ring.events().len(), 4);
+    }
+}

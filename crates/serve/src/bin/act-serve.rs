@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! act-serve <snapshot> [--addr A] [--workers N] [--no-watch]
+//!           [--metrics-addr A] [--trace-every N] [--trace-seed S]
 //! ```
 //!
 //! Prints `listening on <addr>` once accepting (scripts scrape the
@@ -10,15 +11,26 @@
 //! replace the file (or drop `.d<seq>` delta siblings beside it) and the
 //! worker cuts over without dropping a request; `--no-watch` pins the
 //! starting epoch.
+//!
+//! `--metrics-addr` turns on the observability pipeline (per-stage
+//! latency histograms, sampled traces) and serves Prometheus text on
+//! `GET /metrics` at that address (prints `metrics on <addr>`). On
+//! SIGINT/SIGTERM the worker drains the sampled trace ring as JSON
+//! lines to stdout before exiting — without `--metrics-addr` the
+//! signal just exits cleanly.
 
-use act_serve::{ServeConfig, Server};
+use act_serve::{ObsConfig, ServeConfig, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: act-serve <snapshot> [--addr A] [--workers N] [--no-watch]";
+const USAGE: &str = "usage: act-serve <snapshot> [--addr A] [--workers N] [--no-watch] \
+[--metrics-addr A] [--trace-every N] [--trace-seed S]";
 
 fn main() -> ExitCode {
     let mut snapshot: Option<String> = None;
     let mut config = ServeConfig::default();
+    let mut metrics_addr: Option<String> = None;
+    let mut obs = ObsConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,6 +44,18 @@ fn main() -> ExitCode {
                 _ => return usage("--workers takes a positive integer"),
             },
             "--no-watch" => config.watch = None,
+            "--metrics-addr" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => return usage("--metrics-addr takes an address"),
+            },
+            "--trace-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => obs.trace_sample_every = n,
+                None => return usage("--trace-every takes an integer (0 disables sampling)"),
+            },
+            "--trace-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => obs.trace_seed = s,
+                None => return usage("--trace-seed takes an integer"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -43,6 +67,9 @@ fn main() -> ExitCode {
     let Some(snapshot) = snapshot else {
         return usage("missing snapshot path");
     };
+    if metrics_addr.is_some() {
+        config.obs = Some(obs);
+    }
 
     let server = match Server::spawn(&snapshot, config) {
         Ok(s) => s,
@@ -52,11 +79,42 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.addr());
-    // Serve until killed; the handle's Drop drains gracefully if the
-    // process gets to unwind at all.
-    loop {
-        std::thread::park();
+
+    let _metrics = match metrics_addr {
+        Some(addr) => match act_obs::MetricsServer::spawn(&addr, server.metrics_fn()) {
+            Ok(m) => {
+                println!("metrics on {}", m.addr());
+                Some(m)
+            }
+            Err(e) => {
+                eprintln!("act-serve: metrics listener: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    // Serve until SIGINT/SIGTERM, then drain the trace ring (if any)
+    // to stdout. The handles' Drop impls shut the listeners down.
+    let sig = match install_signals() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("act-serve: signal handler: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    while !sig.is_raised() {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    if let Some(trace) = server.trace_json_lines() {
+        print!("{trace}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn install_signals() -> std::io::Result<sigflag::SigFlag> {
+    sigflag::SigFlag::install(sigflag::SIGINT)?;
+    sigflag::SigFlag::install(sigflag::SIGTERM)
 }
 
 fn usage(why: &str) -> ExitCode {

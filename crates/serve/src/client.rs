@@ -184,6 +184,54 @@ impl Client {
         Ok(proto::StatsReply { epoch, counters })
     }
 
+    /// The **flagged** (protocol v3) stats read: the extended counter
+    /// block — including the windowed queue high-water mark, which this
+    /// read consumes — plus every stage histogram the server keeps
+    /// (empty section when observability is off). v1/v2 servers answer
+    /// the flag with BAD_REQUEST, surfaced as [`ClientError::Server`].
+    ///
+    /// # Errors
+    /// As [`Client::probe`].
+    pub fn stats_ex(&mut self) -> Result<proto::StatsExReply, ClientError> {
+        self.stream.write_all(&proto::encode_stats_ex_request())?;
+        let (h, payload) = self.read_response()?;
+        if h.status != proto::STATUS_OK {
+            return Err(server_error(h.status, &payload));
+        }
+        if h.op != proto::OP_STATS {
+            return Err(ClientError::Protocol(
+                "response op does not echo the request",
+            ));
+        }
+        let (counters, histograms) =
+            proto::decode_stats_ex_payload(&payload).map_err(ClientError::Protocol)?;
+        Ok(proto::StatsExReply {
+            epoch: h.epoch,
+            counters,
+            histograms,
+        })
+    }
+
+    /// Dumps the server's sampled trace ring as JSON lines (oldest event
+    /// first; non-destructive). A server running without observability
+    /// answers UNSUPPORTED, surfaced as [`ClientError::Server`].
+    ///
+    /// # Errors
+    /// As [`Client::probe`].
+    pub fn dump(&mut self) -> Result<String, ClientError> {
+        self.stream.write_all(&proto::encode_dump_request())?;
+        let (h, payload) = self.read_response()?;
+        if h.status != proto::STATUS_OK {
+            return Err(server_error(h.status, &payload));
+        }
+        if h.op != proto::OP_DUMP {
+            return Err(ClientError::Protocol(
+                "response op does not echo the request",
+            ));
+        }
+        String::from_utf8(payload).map_err(|_| ClientError::Protocol("trace dump is not UTF-8"))
+    }
+
     fn counters_request(
         &mut self,
         op: u8,
@@ -354,6 +402,22 @@ impl ResilientClient {
     /// As [`ResilientClient::probe`].
     pub fn stats(&mut self) -> Result<proto::StatsReply, ClientError> {
         self.with_retries(Client::stats)
+    }
+
+    /// [`Client::stats_ex`] with retries per the policy.
+    ///
+    /// # Errors
+    /// As [`ResilientClient::probe`].
+    pub fn stats_ex(&mut self) -> Result<proto::StatsExReply, ClientError> {
+        self.with_retries(Client::stats_ex)
+    }
+
+    /// [`Client::dump`] with retries per the policy.
+    ///
+    /// # Errors
+    /// As [`ResilientClient::probe`].
+    pub fn dump(&mut self) -> Result<String, ClientError> {
+        self.with_retries(Client::dump)
     }
 
     fn with_retries<T>(

@@ -61,13 +61,15 @@
 pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod obs;
 pub mod protocol;
 pub mod router;
 pub mod server;
 pub mod swap;
 
 pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
-pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsReply};
+pub use obs::{ObsConfig, PipelineObs};
+pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsExReply, StatsReply};
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
 pub use swap::{delta_path, IndexStore, ServeIndex, WatchCounters, FOLD_AFTER_DELTAS};

@@ -7,11 +7,13 @@
 //! ```text
 //! request frame
 //!   u32  body_len
-//!   u8   op          1 = PROBE, 2 = PING, 3 = STATS
-//!   u8   flags       bit 0: EXACT (refine candidates via the server's
-//!                    polygon set; requires the server to hold a Refiner)
+//!   u8   op          1 = PROBE, 2 = PING, 3 = STATS, 4 = DUMP
+//!   u8   flags       PROBE bit 0: EXACT (refine candidates via the
+//!                    server's polygon set; requires a Refiner)
+//!                    STATS bit 0: HISTOGRAMS (append the stage
+//!                    histogram section to the reply)
 //!   u16  reserved    must be 0
-//!   u32  n           number of points (PROBE) or 0 (PING/STATS)
+//!   u32  n           number of points (PROBE) or 0 (PING/STATS/DUMP)
 //!   then n × { f64 lng, f64 lat }                       (PROBE only)
 //!
 //! response frame
@@ -28,6 +30,9 @@
 //!            with bit 0 — the paper's ε-bounded approximate answer)
 //!            exact mode:  only actual members are listed, hit_bit = 1
 //!   PING / STATS: a counter block (see [`CounterBlock`])
+//!   STATS+HISTOGRAMS: an extended counter block followed by a stage
+//!          histogram section (see [`encode_stats_ex_payload`])
+//!   DUMP:  UTF-8 JSON lines, one sampled trace event per line (n = 0)
 //!   LOADSHED / BUSY: optionally a u32 retry_after_ms hint (n stays 0)
 //! ```
 //!
@@ -40,9 +45,11 @@
 //!
 //! ## Versioning
 //!
-//! [`PROTOCOL_VERSION`] is 2. The frame and header layouts are unchanged
-//! from version 1; version 2 adds payload, never reshapes it, so the bump
-//! is compatible in both directions:
+//! [`PROTOCOL_VERSION`] is 3. The frame and header layouts are unchanged
+//! since version 1; each bump adds payload, never reshapes it, so the
+//! versions are compatible in both directions.
+//!
+//! Version 2 over version 1:
 //!
 //! * The PING/STATS counter block grew from ten to thirteen `u64` words
 //!   (`watch_errors`, `quarantines`, `panics_contained`). A version-2
@@ -52,6 +59,24 @@
 //!   payload. Version-1 replies carried none; [`decode_retry_after`]
 //!   maps an empty payload to "no hint". Version-1 clients that ignore
 //!   reject payloads (the documented contract) are unaffected.
+//!
+//! Version 3 over version 2 — everything new is **opt-in by request**,
+//! so an older peer never sees a payload shape it cannot parse:
+//!
+//! * STATS accepts [`FLAG_HISTOGRAMS`]; the flagged reply carries a
+//!   fourteen-word extended counter block (adding
+//!   `window_high_water_lanes`, the queue high-water mark since the
+//!   previous flagged STATS read) plus a per-stage latency histogram
+//!   section ([`encode_stats_ex_payload`] / [`decode_stats_ex_payload`]).
+//!   A **plain** STATS (or PING) reply still carries the 104-byte
+//!   version-2 block, which version-2 clients parse unchanged; a
+//!   version-2 server answers a flagged STATS `BAD_REQUEST` (its
+//!   decoder requires zero flags), which a version-3 client can detect
+//!   and downgrade from. [`decode_counters`] accepts all three block
+//!   sizes (80/104/112).
+//! * `OP_DUMP` requests the server's sampled trace ring as UTF-8 JSON
+//!   lines (non-destructive). A version-2 server answers it
+//!   `BAD_REQUEST` (unknown op); a version-2 client never sends it.
 //!
 //! ## Admission-control statuses
 //!
@@ -71,7 +96,7 @@ use std::io::{self, Read, Write};
 
 /// Wire protocol version implemented by this build (see the module docs'
 /// "Versioning" section for what changed and why it is compatible).
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Probe a batch of coordinates.
 pub const OP_PROBE: u8 = 1;
@@ -80,9 +105,18 @@ pub const OP_PING: u8 = 2;
 /// Counter/metrics snapshot (same payload as PING; a distinct op so
 /// monitoring traffic is distinguishable from liveness checks).
 pub const OP_STATS: u8 = 3;
+/// Dump the server's sampled trace ring as UTF-8 JSON lines
+/// (non-destructive; version 3+). With observability disabled the
+/// server answers `UNSUPPORTED`.
+pub const OP_DUMP: u8 = 4;
 
-/// Request flag bit 0: refine candidate hits to exact membership.
+/// PROBE request flag bit 0: refine candidate hits to exact membership.
 pub const FLAG_EXACT: u8 = 1;
+/// STATS request flag bit 0: append the extended counter block and the
+/// stage histogram section to the reply (version 3+). Deliberately a
+/// *request* flag: a version-2 client never sets it, so it never
+/// receives the longer payload its decoder would reject.
+pub const FLAG_HISTOGRAMS: u8 = 1;
 
 /// Response status codes.
 pub const STATUS_OK: u8 = 0;
@@ -134,8 +168,15 @@ pub enum Request {
     },
     /// Liveness check; the response carries epoch + the counter block.
     Ping,
-    /// Counter/metrics snapshot; same response shape as [`Request::Ping`].
-    Stats,
+    /// Counter/metrics snapshot; without `histograms` the response
+    /// shape matches [`Request::Ping`], with it the payload is the
+    /// extended block + stage histogram section.
+    Stats {
+        /// [`FLAG_HISTOGRAMS`] was set.
+        histograms: bool,
+    },
+    /// Dump the sampled trace ring as JSON lines.
+    Dump,
 }
 
 /// One point's answer: `(polygon id, hit bit)` pairs (see the module
@@ -172,8 +213,26 @@ pub struct StatsReply {
     pub counters: CounterBlock,
 }
 
+/// A decoded **flagged** stats response (protocol v3): the extended
+/// counter block plus the per-stage histogram section. The section is
+/// empty when the answering server runs without observability — the
+/// counters (including the windowed high-water mark, which this read
+/// consumed) are still meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsExReply {
+    /// Snapshot epoch currently serving.
+    pub epoch: u32,
+    /// The extended serving counter block.
+    pub counters: CounterBlock,
+    /// Per-stage histograms (merged across shards when a router
+    /// answered).
+    pub histograms: Vec<StageHistogram>,
+}
+
 /// The server's aggregate serving counters, as carried in PING and STATS
-/// payloads: thirteen little-endian `u64` words, in field order.
+/// payloads: thirteen little-endian `u64` words, in field order, plus a
+/// fourteenth (`window_high_water_lanes`) present only in the extended
+/// block a flagged STATS returns.
 ///
 /// Reconciliation invariant (after a graceful drain, with all replies
 /// delivered): `accepted == answered + shed` — every accepted frame got
@@ -217,13 +276,21 @@ pub struct CounterBlock {
     /// poisoned a single batch (its frames were answered `INTERNAL`)
     /// instead of the process.
     pub panics_contained: u64,
+    /// Queue high-water mark (lanes) **since the previous flagged STATS
+    /// read** — unlike `queue_high_water_lanes`, which is since server
+    /// start and goes stale after a one-off spike, this one resets to
+    /// the live occupancy baseline on every read, so a dashboard sees
+    /// recent pressure, not history. Version 3+, carried only in the
+    /// extended block; decodes as zero from older blocks.
+    pub window_high_water_lanes: u64,
 }
 
 impl CounterBlock {
     /// Folds another block into this one for a fleet-wide view (the
     /// router's merged PING/STATS reply). Every counter is a monotonic
-    /// total and sums, except `queue_high_water_lanes`, which is a
-    /// high-water mark — the merged value is the worst shard's.
+    /// total and sums, except the two high-water marks
+    /// (`queue_high_water_lanes`, `window_high_water_lanes`) — the
+    /// merged value is the worst shard's.
     pub fn merge(&mut self, other: &CounterBlock) {
         self.probes += other.probes;
         self.accepted += other.accepted;
@@ -240,6 +307,9 @@ impl CounterBlock {
         self.watch_errors += other.watch_errors;
         self.quarantines += other.quarantines;
         self.panics_contained += other.panics_contained;
+        self.window_high_water_lanes = self
+            .window_high_water_lanes
+            .max(other.window_high_water_lanes);
     }
 }
 
@@ -257,8 +327,9 @@ pub fn dedup_refs(refs: &mut PointRefs) {
     refs.dedup_by_key(|r| r.0);
 }
 
-/// Serialized size of a [`CounterBlock`]: thirteen `u64` words
-/// (protocol version 2).
+/// Serialized size of a [`CounterBlock`] as carried by plain PING/STATS:
+/// thirteen `u64` words (protocol version 2 — kept as the default so
+/// version-2 clients parse unflagged replies unchanged).
 pub const COUNTER_BLOCK_LEN: usize = 104;
 
 /// Serialized size of a version-1 counter block: ten `u64` words.
@@ -266,9 +337,38 @@ pub const COUNTER_BLOCK_LEN: usize = 104;
 /// as zero.
 pub const COUNTER_BLOCK_LEN_V1: usize = 80;
 
-/// Serializes a counter block (PING/STATS response payload).
+/// Serialized size of the extended (version-3) counter block a flagged
+/// STATS returns: fourteen `u64` words.
+pub const COUNTER_BLOCK_LEN_V3: usize = 112;
+
+/// Serializes a counter block (plain PING/STATS response payload,
+/// thirteen words — `window_high_water_lanes` is dropped; it travels
+/// only in the extended block).
 pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
-    let words = [
+    let mut out = [0u8; COUNTER_BLOCK_LEN];
+    for (slot, w) in out.chunks_exact_mut(8).zip(counter_words(c)) {
+        slot.copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes the extended fourteen-word counter block (the first part
+/// of a flagged-STATS payload).
+pub fn encode_counters_ex(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN_V3] {
+    let mut out = [0u8; COUNTER_BLOCK_LEN_V3];
+    for (slot, w) in out.chunks_exact_mut(8).zip(
+        counter_words(c)
+            .into_iter()
+            .chain([c.window_high_water_lanes]),
+    ) {
+        slot.copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// The thirteen always-present words, in wire order.
+fn counter_words(c: &CounterBlock) -> [u64; 13] {
+    [
         c.probes,
         c.accepted,
         c.answered,
@@ -282,27 +382,26 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
         c.watch_errors,
         c.quarantines,
         c.panics_contained,
-    ];
-    let mut out = [0u8; COUNTER_BLOCK_LEN];
-    for (slot, w) in out.chunks_exact_mut(8).zip(words) {
-        slot.copy_from_slice(&w.to_le_bytes());
-    }
-    out
+    ]
 }
 
 /// Decodes a counter block from a PING/STATS response payload.
 ///
-/// Accepts the current thirteen-word block and, for compatibility with
-/// version-1 servers, the old ten-word block (the three newer counters
-/// decode as zero).
+/// Accepts the extended fourteen-word block (v3), the thirteen-word
+/// block (v2), and, for compatibility with version-1 servers, the old
+/// ten-word block; counters a shorter block lacks decode as zero.
 ///
 /// # Errors
 /// A static description of the structural violation.
 pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
-    if payload.len() != COUNTER_BLOCK_LEN && payload.len() != COUNTER_BLOCK_LEN_V1 {
-        return Err("counter block is not ten (v1) or thirteen u64 words");
+    if payload.len() != COUNTER_BLOCK_LEN
+        && payload.len() != COUNTER_BLOCK_LEN_V1
+        && payload.len() != COUNTER_BLOCK_LEN_V3
+    {
+        return Err("counter block is not ten (v1), thirteen (v2), or fourteen (v3) u64 words");
     }
-    let v2 = payload.len() == COUNTER_BLOCK_LEN;
+    let v2 = payload.len() >= COUNTER_BLOCK_LEN;
+    let v3 = payload.len() >= COUNTER_BLOCK_LEN_V3;
     Ok(CounterBlock {
         probes: u64_at(payload, 0),
         accepted: u64_at(payload, 8),
@@ -317,7 +416,154 @@ pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
         watch_errors: if v2 { u64_at(payload, 80) } else { 0 },
         quarantines: if v2 { u64_at(payload, 88) } else { 0 },
         panics_contained: if v2 { u64_at(payload, 96) } else { 0 },
+        window_high_water_lanes: if v3 { u64_at(payload, 104) } else { 0 },
     })
+}
+
+// ---------------------------------------------------------------------
+// Stage histograms (flagged-STATS payload section)
+// ---------------------------------------------------------------------
+
+/// Pipeline stage ids for the wire histogram section. The first five
+/// record **nanoseconds**; `BATCH_LANES` records lanes per executed
+/// micro-batch and `PROBE_DEPTH` trie node accesses per probed cell.
+pub const STAGE_QUEUE_WAIT: u8 = 0;
+/// Batched trie walk (`probe_batch`), per micro-batch.
+pub const STAGE_WALK: u8 = 1;
+/// Exact-mode candidate refinement, per micro-batch that refined.
+pub const STAGE_REFINE: u8 = 2;
+/// Reply serialization + socket write, per probe reply.
+pub const STAGE_WRITE: u8 = 3;
+/// Admission to reply-flushed wall time, per probe frame.
+pub const STAGE_FRAME_TOTAL: u8 = 4;
+/// Lanes per executed micro-batch (a value histogram, not a latency).
+pub const STAGE_BATCH_LANES: u8 = 5;
+/// Trie node accesses per probed cell (0–7; see
+/// `Act::lookup_batch_depths`).
+pub const STAGE_PROBE_DEPTH: u8 = 6;
+/// Number of known stages (ids `0..STAGE_COUNT`).
+pub const STAGE_COUNT: usize = 7;
+
+/// Human-readable stage name (metric label / log display).
+pub fn stage_name(stage: u8) -> &'static str {
+    match stage {
+        STAGE_QUEUE_WAIT => "queue_wait",
+        STAGE_WALK => "walk",
+        STAGE_REFINE => "refine",
+        STAGE_WRITE => "write",
+        STAGE_FRAME_TOTAL => "frame_total",
+        STAGE_BATCH_LANES => "batch_lanes",
+        STAGE_PROBE_DEPTH => "probe_depth",
+        _ => "unknown",
+    }
+}
+
+/// One stage's histogram as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageHistogram {
+    /// `STAGE_*` id. Unknown ids decode fine (forward compatibility);
+    /// displays label them `"unknown"`.
+    pub stage: u8,
+    /// The bucket snapshot (log-bucketed; see `act_obs::Histogram`).
+    pub hist: act_obs::HistogramSnapshot,
+}
+
+/// Cap on histograms per section: headroom over [`STAGE_COUNT`] for
+/// future stages while still bounding a hostile frame.
+pub const MAX_WIRE_HISTS: usize = 64;
+
+/// Serializes a flagged-STATS payload: the extended counter block, then
+/// `u32 n_hists`, then per histogram `{ u8 stage, u8 pad[3], u64 sum,
+/// u32 n_buckets, n_buckets × u64 }`. Bucket arrays are trailing-zero
+/// trimmed by the snapshot, so an idle stage costs 17 bytes.
+pub fn encode_stats_ex_payload(c: &CounterBlock, hists: &[StageHistogram]) -> Vec<u8> {
+    assert!(hists.len() <= MAX_WIRE_HISTS, "too many wire histograms");
+    let mut out = Vec::with_capacity(
+        COUNTER_BLOCK_LEN_V3
+            + 4
+            + hists
+                .iter()
+                .map(|h| 16 + h.hist.buckets.len() * 8)
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(&encode_counters_ex(c));
+    out.extend_from_slice(&(hists.len() as u32).to_le_bytes());
+    for h in hists {
+        debug_assert!(h.hist.buckets.len() <= act_obs::NUM_BUCKETS);
+        out.push(h.stage);
+        out.extend_from_slice(&[0, 0, 0]);
+        out.extend_from_slice(&h.hist.sum.to_le_bytes());
+        out.extend_from_slice(&(h.hist.buckets.len() as u32).to_le_bytes());
+        for b in &h.hist.buckets {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a flagged-STATS payload into the extended counter block and
+/// the stage histograms.
+///
+/// # Errors
+/// A static description of the structural violation — truncation at any
+/// boundary, an oversized count, nonzero pad, or trailing bytes.
+pub fn decode_stats_ex_payload(
+    payload: &[u8],
+) -> Result<(CounterBlock, Vec<StageHistogram>), &'static str> {
+    if payload.len() < COUNTER_BLOCK_LEN_V3 + 4 {
+        return Err("stats payload truncated before the histogram section");
+    }
+    let counters = decode_counters(&payload[..COUNTER_BLOCK_LEN_V3])?;
+    let n_hists = u32_at(payload, COUNTER_BLOCK_LEN_V3) as usize;
+    if n_hists > MAX_WIRE_HISTS {
+        return Err("histogram section claims too many histograms");
+    }
+    let mut at = COUNTER_BLOCK_LEN_V3 + 4;
+    let mut hists = Vec::with_capacity(n_hists);
+    for _ in 0..n_hists {
+        if at + 16 > payload.len() {
+            return Err("histogram truncated at its header");
+        }
+        let stage = payload[at];
+        if payload[at + 1] != 0 || payload[at + 2] != 0 || payload[at + 3] != 0 {
+            return Err("nonzero histogram pad bytes");
+        }
+        let sum = u64_at(payload, at + 4);
+        let n_buckets = u32_at(payload, at + 12) as usize;
+        if n_buckets > act_obs::NUM_BUCKETS {
+            return Err("histogram claims more buckets than the format has");
+        }
+        at += 16;
+        if at + n_buckets * 8 > payload.len() {
+            return Err("histogram truncated inside its buckets");
+        }
+        let buckets = (0..n_buckets)
+            .map(|k| u64_at(payload, at + k * 8))
+            .collect();
+        at += n_buckets * 8;
+        hists.push(StageHistogram {
+            stage,
+            hist: act_obs::HistogramSnapshot { sum, buckets },
+        });
+    }
+    if at != payload.len() {
+        return Err("trailing bytes after the histogram section");
+    }
+    Ok((counters, hists))
+}
+
+/// Folds `other`'s histograms into `into` by stage id (bucket-wise sum,
+/// the histogram analogue of [`CounterBlock::merge`]); stages absent
+/// from `into` are appended. Keeps `into` sorted by stage id so merged
+/// router replies are deterministic.
+pub fn merge_stage_histograms(into: &mut Vec<StageHistogram>, other: &[StageHistogram]) {
+    for o in other {
+        match into.iter_mut().find(|h| h.stage == o.stage) {
+            Some(h) => h.hist.merge(&o.hist),
+            None => into.push(o.clone()),
+        }
+    }
+    into.sort_by_key(|h| h.stage);
 }
 
 // ---------------------------------------------------------------------
@@ -402,20 +648,32 @@ pub fn encode_probe_request(coords: &[Coord], exact: bool) -> Vec<u8> {
 
 /// Renders a complete ping request frame.
 pub fn encode_ping_request() -> Vec<u8> {
-    encode_headless_request(OP_PING)
+    encode_headless_request(OP_PING, 0)
 }
 
 /// Renders a complete stats request frame.
 pub fn encode_stats_request() -> Vec<u8> {
-    encode_headless_request(OP_STATS)
+    encode_headless_request(OP_STATS, 0)
 }
 
-/// A request frame that is all header: op, zero flags, zero points.
-fn encode_headless_request(op: u8) -> Vec<u8> {
+/// Renders a stats request with [`FLAG_HISTOGRAMS`] set (the reply
+/// carries the extended counter block + stage histogram section).
+pub fn encode_stats_ex_request() -> Vec<u8> {
+    encode_headless_request(OP_STATS, FLAG_HISTOGRAMS)
+}
+
+/// Renders a complete trace-dump request frame.
+pub fn encode_dump_request() -> Vec<u8> {
+    encode_headless_request(OP_DUMP, 0)
+}
+
+/// A request frame that is all header: op, flags, zero points.
+fn encode_headless_request(op: u8, flags: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + REQ_HEADER_LEN);
     out.extend_from_slice(&(REQ_HEADER_LEN as u32).to_le_bytes());
     out.push(op);
-    out.extend_from_slice(&[0, 0, 0]);
+    out.push(flags);
+    out.extend_from_slice(&[0, 0]);
     out.extend_from_slice(&0u32.to_le_bytes());
     out
 }
@@ -492,17 +750,23 @@ pub fn decode_request(body: &[u8]) -> Result<Request, &'static str> {
                 exact: flags & FLAG_EXACT != 0,
             })
         }
-        OP_PING | OP_STATS => {
-            if flags != 0 {
-                return Err("ping/stats take no flags");
+        OP_PING | OP_STATS | OP_DUMP => {
+            if op == OP_STATS {
+                if flags & !FLAG_HISTOGRAMS != 0 {
+                    return Err("unknown stats flags");
+                }
+            } else if flags != 0 {
+                return Err("ping/dump take no flags");
             }
             if n != 0 || body.len() != REQ_HEADER_LEN {
-                return Err("ping/stats carry no payload");
+                return Err("ping/stats/dump carry no payload");
             }
-            Ok(if op == OP_PING {
-                Request::Ping
-            } else {
-                Request::Stats
+            Ok(match op {
+                OP_PING => Request::Ping,
+                OP_STATS => Request::Stats {
+                    histograms: flags & FLAG_HISTOGRAMS != 0,
+                },
+                _ => Request::Dump,
             })
         }
         _ => Err("unknown op"),
@@ -765,6 +1029,7 @@ mod tests {
             watch_errors: 2,
             quarantines: 1,
             panics_contained: 1,
+            window_high_water_lanes: 0,
         };
         let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &encode_counters(&counters));
         let body = read_frame(&mut frame.as_slice(), usize::MAX)
@@ -853,6 +1118,7 @@ mod tests {
             answered: 2,
             busy: 1,
             queue_high_water_lanes: 512,
+            window_high_water_lanes: 64,
             panics_contained: 1,
             ..Default::default()
         };
@@ -864,6 +1130,7 @@ mod tests {
         assert_eq!(a.busy, 1);
         assert_eq!(a.swaps, 2);
         assert_eq!(a.queue_high_water_lanes, 700);
+        assert_eq!(a.window_high_water_lanes, 64);
         assert_eq!(a.panics_contained, 1);
         // The reconciliation invariant survives a merge.
         assert_eq!(a.accepted, a.answered + a.shed);
@@ -888,11 +1155,151 @@ mod tests {
         let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
             .unwrap()
             .unwrap();
-        assert_eq!(decode_request(&body).unwrap(), Request::Stats);
-        // STATS takes no flags and no payload, like PING.
+        assert_eq!(
+            decode_request(&body).unwrap(),
+            Request::Stats { histograms: false }
+        );
+        // The HISTOGRAMS flag decodes; any other flag bit is an error.
+        let frame = encode_stats_ex_request();
+        assert_eq!(
+            decode_request(&frame[4..]).unwrap(),
+            Request::Stats { histograms: true }
+        );
         let mut bad = encode_stats_request();
+        bad[5] = 2;
+        assert!(decode_request(&bad[4..]).is_err());
+        // PING still takes no flags at all — a version-2 server's view
+        // of a flagged STATS (flags must be zero) is exactly this error.
+        let mut bad = encode_ping_request();
+        bad[5] = FLAG_HISTOGRAMS;
+        assert!(decode_request(&bad[4..]).is_err());
+    }
+
+    #[test]
+    fn dump_request_roundtrip() {
+        let frame = encode_dump_request();
+        let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_request(&body).unwrap(), Request::Dump);
+        let mut bad = encode_dump_request();
         bad[5] = 1;
         assert!(decode_request(&bad[4..]).is_err());
+    }
+
+    fn hist_of(values: &[u64]) -> act_obs::HistogramSnapshot {
+        let h = act_obs::Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn stats_ex_payload_roundtrip() {
+        let counters = CounterBlock {
+            probes: 42,
+            accepted: 7,
+            answered: 7,
+            queue_high_water_lanes: 900,
+            window_high_water_lanes: 120,
+            ..Default::default()
+        };
+        let hists = vec![
+            StageHistogram {
+                stage: STAGE_QUEUE_WAIT,
+                hist: hist_of(&[150, 9_000, 2_000_000]),
+            },
+            StageHistogram {
+                stage: STAGE_PROBE_DEPTH,
+                hist: hist_of(&[0, 3, 7, 7]),
+            },
+            // An idle stage travels too (empty buckets).
+            StageHistogram {
+                stage: STAGE_REFINE,
+                hist: hist_of(&[]),
+            },
+        ];
+        let payload = encode_stats_ex_payload(&counters, &hists);
+        let (c, h) = decode_stats_ex_payload(&payload).unwrap();
+        assert_eq!(c, counters);
+        assert_eq!(h, hists);
+        assert_eq!(h[0].hist.count(), 3);
+        // The plain thirteen-word encoding drops the window mark…
+        let plain = decode_counters(&encode_counters(&counters)).unwrap();
+        assert_eq!(plain.window_high_water_lanes, 0);
+        assert_eq!(plain.queue_high_water_lanes, 900);
+        // …and the extended block alone also decodes via decode_counters.
+        let ex = decode_counters(&encode_counters_ex(&counters)).unwrap();
+        assert_eq!(ex, counters);
+    }
+
+    #[test]
+    fn stats_ex_payload_malformations_are_typed_errors() {
+        let counters = CounterBlock::default();
+        let hists = vec![StageHistogram {
+            stage: STAGE_WALK,
+            hist: hist_of(&[5, 77, 1_000_000_000]),
+        }];
+        let good = encode_stats_ex_payload(&counters, &hists);
+
+        // Truncation at every boundary is rejected, never misread.
+        for cut in [0, COUNTER_BLOCK_LEN_V3, COUNTER_BLOCK_LEN_V3 + 2] {
+            assert!(decode_stats_ex_payload(&good[..cut]).is_err(), "cut {cut}");
+        }
+        for cut in COUNTER_BLOCK_LEN_V3 + 4..good.len() {
+            assert!(decode_stats_ex_payload(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing bytes.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_stats_ex_payload(&long).is_err());
+        // Oversized histogram count.
+        let mut bad = good.clone();
+        bad[COUNTER_BLOCK_LEN_V3..COUNTER_BLOCK_LEN_V3 + 4]
+            .copy_from_slice(&(MAX_WIRE_HISTS as u32 + 1).to_le_bytes());
+        assert!(decode_stats_ex_payload(&bad).is_err());
+        // Oversized bucket count.
+        let mut bad = good.clone();
+        let n_at = COUNTER_BLOCK_LEN_V3 + 4 + 12;
+        bad[n_at..n_at + 4].copy_from_slice(&(act_obs::NUM_BUCKETS as u32 + 1).to_le_bytes());
+        assert!(decode_stats_ex_payload(&bad).is_err());
+        // Nonzero pad.
+        let mut bad = good;
+        bad[COUNTER_BLOCK_LEN_V3 + 4 + 1] = 1;
+        assert!(decode_stats_ex_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn stage_histogram_merge_is_union() {
+        let mut a = vec![
+            StageHistogram {
+                stage: STAGE_WALK,
+                hist: hist_of(&[100, 200]),
+            },
+            StageHistogram {
+                stage: STAGE_WRITE,
+                hist: hist_of(&[50]),
+            },
+        ];
+        let b = vec![
+            StageHistogram {
+                stage: STAGE_QUEUE_WAIT,
+                hist: hist_of(&[9]),
+            },
+            StageHistogram {
+                stage: STAGE_WALK,
+                hist: hist_of(&[300, 400, 500]),
+            },
+        ];
+        merge_stage_histograms(&mut a, &b);
+        let stages: Vec<u8> = a.iter().map(|h| h.stage).collect();
+        assert_eq!(stages, vec![STAGE_QUEUE_WAIT, STAGE_WALK, STAGE_WRITE]);
+        let walk = &a[1].hist;
+        assert_eq!(walk.count(), 5);
+        assert_eq!(walk, &hist_of(&[100, 200, 300, 400, 500]));
+        assert_eq!(stage_name(STAGE_WALK), "walk");
+        assert_eq!(stage_name(250), "unknown");
     }
 
     #[test]

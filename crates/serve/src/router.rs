@@ -41,8 +41,10 @@
 //! answer to "has everyone swapped yet?").
 
 use crate::client::{ClientError, ResilientClient, RetryPolicy};
+use crate::obs::{render_counters, render_histograms, render_trace_meta, ObsConfig};
 use crate::protocol::{self as proto, CounterBlock};
 use act_core::{coord_to_cell, shard_of_cell, DEFAULT_SPLIT_LEVEL};
+use act_obs::{PromText, TraceRing};
 use geom::Coord;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,6 +71,12 @@ pub struct RouterConfig {
     /// cooldown as the retry hint, instead of re-burning the client's
     /// whole retry budget per request.
     pub cooldown: Duration,
+    /// Router-side observability: a trace ring recording sampled frame
+    /// admissions (with their shard fan-out width) and per-shard breaker
+    /// open/close transitions (the router keeps no latency histograms of
+    /// its own — stage timings live in the workers and are gathered
+    /// through flagged STATS). `None` records nothing.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for RouterConfig {
@@ -79,6 +87,7 @@ impl Default for RouterConfig {
             policy: RetryPolicy::default(),
             max_connections: 256,
             cooldown: Duration::from_millis(250),
+            obs: None,
         }
     }
 }
@@ -98,6 +107,9 @@ struct RouterState {
     health: Vec<Mutex<ShardHealth>>,
     draining: AtomicBool,
     conns_live: AtomicUsize,
+    /// Sampled-admission + breaker-transition trace ring; `None`
+    /// records nothing.
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl RouterState {
@@ -134,11 +146,40 @@ impl RouterState {
     }
 
     fn mark_down(&self, shard: usize) {
-        self.health(shard).down_until = Some(Instant::now() + self.cooldown);
+        let was_open = {
+            let mut h = self.health(shard);
+            let was = h.down_until.is_some_and(|t| t > Instant::now());
+            h.down_until = Some(Instant::now() + self.cooldown);
+            was
+        };
+        // Trace the *transition*, not every failure while already open.
+        if !was_open {
+            if let Some(t) = &self.trace {
+                t.always(
+                    "breaker_open",
+                    &[
+                        ("shard", shard as u64),
+                        ("cooldown_ms", self.cooldown.as_millis() as u64),
+                    ],
+                );
+            }
+        }
     }
 
     fn mark_up(&self, shard: usize) {
-        self.health(shard).down_until = None;
+        let was_down = self.health(shard).down_until.take().is_some();
+        if was_down {
+            if let Some(t) = &self.trace {
+                t.always("breaker_close", &[("shard", shard as u64)]);
+            }
+        }
+    }
+
+    /// True when the shard's breaker is currently open (cooling down).
+    fn is_down(&self, shard: usize) -> bool {
+        self.health(shard)
+            .down_until
+            .is_some_and(|t| t > Instant::now())
     }
 }
 
@@ -208,6 +249,13 @@ impl Router {
             health,
             draining: AtomicBool::new(false),
             conns_live: AtomicUsize::new(0),
+            trace: config.obs.as_ref().map(|c| {
+                Arc::new(TraceRing::new(
+                    c.trace_capacity,
+                    c.trace_sample_every,
+                    c.trace_seed,
+                ))
+            }),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -241,6 +289,66 @@ impl RouterHandle {
     /// The bound address (resolve the ephemeral port here).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The router's own trace — sampled admissions and breaker
+    /// transitions — as JSON lines (`None` when router observability is
+    /// off). Non-destructive; `act-route` prints this on SIGINT.
+    pub fn trace_json_lines(&self) -> Option<String> {
+        self.state.trace.as_ref().map(|t| t.dump_json_lines())
+    }
+
+    /// A `/metrics` renderer for [`act_obs::MetricsServer`]. Each scrape
+    /// performs one flagged-STATS fan-out to the fleet and renders the
+    /// **merged** counter/histogram families (no `shard` label, min
+    /// epoch) followed by a per-shard breakdown (`shard="k"` labels),
+    /// plus an `act_shard_down` breaker gauge per shard. A shard that
+    /// cannot be reached during the scrape simply contributes nothing —
+    /// the merged families cover whoever answered.
+    pub fn metrics_fn(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let state = Arc::clone(&self.state);
+        Arc::new(move || {
+            let mut page = PromText::new();
+            let mut merged = CounterBlock::default();
+            let mut merged_hists: Vec<proto::StageHistogram> = Vec::new();
+            let mut epoch = u32::MAX;
+            let mut shards = Vec::new();
+            for (k, addr) in state.shard_addrs.iter().enumerate() {
+                let reply = ResilientClient::new(*addr, state.policy)
+                    .ok()
+                    .and_then(|mut c| c.stats_ex().ok());
+                if let Some(r) = &reply {
+                    epoch = epoch.min(r.epoch);
+                    merged.merge(&r.counters);
+                    proto::merge_stage_histograms(&mut merged_hists, &r.histograms);
+                }
+                shards.push((k.to_string(), reply));
+            }
+            if epoch == u32::MAX {
+                epoch = 0; // nobody answered; the gauges below still render
+            }
+            render_counters(&mut page, &[], epoch, &merged);
+            render_histograms(&mut page, &[], &merged_hists);
+            for (label, reply) in &shards {
+                let labels: [(&str, &str); 1] = [("shard", label.as_str())];
+                if let Some(r) = reply {
+                    render_counters(&mut page, &labels, r.epoch, &r.counters);
+                    render_histograms(&mut page, &labels, &r.histograms);
+                }
+            }
+            for (k, (label, _)) in shards.iter().enumerate() {
+                page.gauge(
+                    "act_shard_down",
+                    "1 while the shard's circuit breaker is open.",
+                    &[("shard", label.as_str())],
+                    if state.is_down(k) { 1.0 } else { 0.0 },
+                );
+            }
+            if let Some(t) = &state.trace {
+                render_trace_meta(&mut page, &[], t);
+            }
+            page.finish()
+        })
     }
 
     /// Stops the router: no new connections, in-flight frames answered,
@@ -439,7 +547,11 @@ fn route_request(
     match req {
         proto::Request::Probe { coords, exact } => route_probe(state, clients, &coords, exact),
         proto::Request::Ping => route_counters(state, clients, proto::OP_PING),
-        proto::Request::Stats => route_counters(state, clients, proto::OP_STATS),
+        proto::Request::Stats { histograms: false } => {
+            route_counters(state, clients, proto::OP_STATS)
+        }
+        proto::Request::Stats { histograms: true } => route_stats_ex(state, clients),
+        proto::Request::Dump => route_dump(state, clients),
     }
 }
 
@@ -477,6 +589,16 @@ fn route_probe(
         }
     };
     let participating = per_shard.iter().filter(|p| !p.is_empty()).count();
+    if let Some(t) = &state.trace {
+        t.sampled(
+            "admission",
+            &[
+                ("lanes", coords.len() as u64),
+                ("shards", participating as u64),
+                ("exact", u64::from(exact)),
+            ],
+        );
+    }
     if participating == 1 {
         // Single-owner frame (the common case under geographic
         // locality): answer inline, no scatter threads to pay for.
@@ -631,4 +753,131 @@ fn route_counters(state: &RouterState, clients: &mut [ResilientClient], op: u8) 
         0,
         &proto::encode_counters(&merged),
     )
+}
+
+/// The flagged (v3) STATS fan-out: every shard's extended counters and
+/// stage histograms, merged — counters via [`CounterBlock::merge`]
+/// (sums, with both high-water marks taking the fleet **max**),
+/// histograms via [`proto::merge_stage_histograms`] (bucket-wise sums,
+/// which is exactly how log-bucketed histograms compose). Worst status
+/// wins, as everywhere else on the router.
+fn route_stats_ex(state: &RouterState, clients: &mut [ResilientClient]) -> Vec<u8> {
+    let mut outcomes: Vec<Option<Outcome<proto::StatsExReply>>> =
+        (0..state.num_shards()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (k, client) in clients.iter_mut().enumerate() {
+            handles.push((
+                k,
+                scope.spawn(move || match client.stats_ex() {
+                    Ok(r) => {
+                        state.mark_up(k);
+                        Outcome::Ok(r)
+                    }
+                    Err(e) => match classify(state, k, &e) {
+                        Outcome::Ok(_) => unreachable!("classify never constructs Ok"),
+                        Outcome::Shed(h) => Outcome::Shed(h),
+                        Outcome::Unsupported => Outcome::Unsupported,
+                        Outcome::Internal => Outcome::Internal,
+                    },
+                }),
+            ));
+        }
+        for (k, h) in handles {
+            outcomes[k] = Some(h.join().unwrap_or(Outcome::Internal));
+        }
+    });
+
+    let mut merged = CounterBlock::default();
+    let mut hists: Vec<proto::StageHistogram> = Vec::new();
+    let mut unsupported = false;
+    let mut internal = false;
+    let mut shed_hint: Option<u32> = None;
+    let mut epoch = u32::MAX;
+    for o in outcomes.iter().flatten() {
+        match o {
+            Outcome::Ok(r) => {
+                epoch = epoch.min(r.epoch);
+                merged.merge(&r.counters);
+                proto::merge_stage_histograms(&mut hists, &r.histograms);
+            }
+            Outcome::Shed(h) => shed_hint = Some(shed_hint.map_or(*h, |x| x.max(*h))),
+            Outcome::Unsupported => unsupported = true,
+            Outcome::Internal => internal = true,
+        }
+    }
+    if unsupported {
+        return proto::encode_response(proto::OP_STATS, proto::STATUS_UNSUPPORTED, 0, 0, &[]);
+    }
+    if internal {
+        return proto::encode_response(proto::OP_STATS, proto::STATUS_INTERNAL, 0, 0, &[]);
+    }
+    if let Some(hint) = shed_hint {
+        let hint = hint.clamp(proto::RETRY_AFTER_MIN_MS, proto::RETRY_AFTER_MAX_MS);
+        return proto::encode_response(
+            proto::OP_STATS,
+            proto::STATUS_LOADSHED,
+            0,
+            0,
+            &proto::encode_retry_hint(hint),
+        );
+    }
+    proto::encode_response(
+        proto::OP_STATS,
+        proto::STATUS_OK,
+        epoch,
+        0,
+        &proto::encode_stats_ex_payload(&merged, &hists),
+    )
+}
+
+/// DUMP fan-out: the router's own trace (sampled admissions + breaker
+/// transitions) first, then
+/// each answering shard's trace window, in shard order (each line is a
+/// self-contained JSON event). A shard without observability answers
+/// UNSUPPORTED and is skipped; the fleet answer is UNSUPPORTED only when
+/// *nothing* — router ring included — had a trace to give. Unreachable
+/// shards are skipped too: a dump is a diagnostic window, and a partial
+/// window beats a fleet-wide error while one shard restarts.
+fn route_dump(state: &RouterState, clients: &mut [ResilientClient]) -> Vec<u8> {
+    let mut parts: Vec<Option<String>> = (0..state.num_shards()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (k, client) in clients.iter_mut().enumerate() {
+            handles.push((
+                k,
+                scope.spawn(move || match client.dump() {
+                    Ok(lines) => {
+                        state.mark_up(k);
+                        Some(lines)
+                    }
+                    Err(e) => {
+                        // UNSUPPORTED means alive-without-obs, not sick.
+                        if !matches!(
+                            &e,
+                            ClientError::Server {
+                                status: proto::STATUS_UNSUPPORTED,
+                                ..
+                            }
+                        ) {
+                            classify(state, k, &e);
+                        }
+                        None
+                    }
+                }),
+            ));
+        }
+        for (k, h) in handles {
+            parts[k] = h.join().unwrap_or(None);
+        }
+    });
+    let own = state.trace.as_ref().map(|t| t.dump_json_lines());
+    if own.is_none() && parts.iter().all(Option::is_none) {
+        return proto::encode_response(proto::OP_DUMP, proto::STATUS_UNSUPPORTED, 0, 0, &[]);
+    }
+    let mut lines = own.unwrap_or_default();
+    for p in parts.into_iter().flatten() {
+        lines.push_str(&p);
+    }
+    proto::encode_response(proto::OP_DUMP, proto::STATUS_OK, 0, 0, lines.as_bytes())
 }

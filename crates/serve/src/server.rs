@@ -55,9 +55,11 @@
 //!    [`ServeConfig::drain_grace`], so one stalled client cannot wedge
 //!    shutdown), then close.
 
+use crate::obs::{render_counters, render_histograms, render_trace_meta, ObsConfig, PipelineObs};
 use crate::protocol as proto;
 use crate::swap::{snapshot_signature, watch_loop_opts, IndexStore, WatchCounters, WatchOptions};
 use act_core::{coord_to_cell, MappedSnapshot, Probe, Refiner, SnapshotError};
+use act_obs::PromText;
 use geom::Coord;
 use s2cell::CellId;
 use std::collections::VecDeque;
@@ -158,6 +160,11 @@ pub struct ServeConfig {
     /// suite and `loadgen --overload` use it to make "capacity" a known
     /// constant so shedding is deterministic.
     pub batch_delay: Option<Duration>,
+    /// Pipeline observability: per-stage latency histograms, the
+    /// batch-size and probe-depth histograms, and the sampled trace
+    /// ring. `None` (the default) records nothing and takes **zero**
+    /// clock reads on the hot path; see [`crate::obs`].
+    pub obs: Option<ObsConfig>,
     /// An armed fault plan ([`crate::faults::FaultPlan::arm`]); hooks in
     /// the workers, connection writers, and the watcher consult it.
     /// `None` injects nothing. Only present under the `fault-injection`
@@ -181,6 +188,7 @@ impl Default for ServeConfig {
             max_connections: 256,
             drain_grace: Duration::from_secs(5),
             batch_delay: None,
+            obs: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -225,6 +233,9 @@ struct Job {
     coords: Vec<Coord>,
     exact: bool,
     reply: mpsc::SyncSender<Reply>,
+    /// Admission timestamp; `Some` only with observability on (the
+    /// worker derives queue-wait from it, the writer frame-total).
+    admitted: Option<Instant>,
 }
 
 /// A worker's answer to one [`Job`], ready to frame.
@@ -271,6 +282,13 @@ struct State {
     /// the measured drain rate behind retry-after hints.
     drained_lanes: AtomicU64,
     started: Instant,
+    /// Queue high-water mark since the last flagged STATS read (see
+    /// `CounterBlock::window_high_water_lanes`). Always maintained —
+    /// one relaxed `fetch_max` under the queue lock — so the windowed
+    /// mark works with observability off too.
+    window_hw_lanes: AtomicU64,
+    /// Per-stage histograms + trace ring; `None` ⇒ no clock reads.
+    obs: Option<Arc<PipelineObs>>,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<Faults>>,
 }
@@ -291,7 +309,23 @@ impl State {
             watch_errors: self.watch.errors(),
             quarantines: self.watch.quarantines(),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            window_high_water_lanes: self.window_hw_lanes.load(Ordering::Relaxed),
         }
+    }
+
+    /// The extended-stats payload for a flagged STATS reply: current
+    /// counters with the **windowed** high-water mark taken (reset to
+    /// zero — documented semantics of the flagged read) plus every stage
+    /// histogram (empty section with observability off).
+    fn stats_ex_payload(&self) -> Vec<u8> {
+        let mut block = self.counter_block();
+        block.window_high_water_lanes = self.window_hw_lanes.swap(0, Ordering::Relaxed);
+        let hists = self
+            .obs
+            .as_ref()
+            .map(|o| o.stage_histograms())
+            .unwrap_or_default();
+        proto::encode_stats_ex_payload(&block, &hists)
     }
 
     /// The `retry_after_ms` hint for a reject emitted right now: the
@@ -360,6 +394,8 @@ impl Server {
             watch: Arc::new(WatchCounters::default()),
             drained_lanes: AtomicU64::new(0),
             started: Instant::now(),
+            window_hw_lanes: AtomicU64::new(0),
+            obs: config.obs.as_ref().map(|c| Arc::new(PipelineObs::new(c))),
             #[cfg(feature = "fault-injection")]
             faults: config.faults,
         });
@@ -391,6 +427,7 @@ impl Server {
             let opts = WatchOptions {
                 interval,
                 counters: Arc::clone(&st.watch),
+                trace: st.obs.as_ref().map(|o| Arc::clone(&o.trace)),
                 #[cfg(feature = "fault-injection")]
                 faults: st.faults.clone(),
                 ..WatchOptions::default()
@@ -451,6 +488,32 @@ impl ServerHandle {
             watch_errors: c.watch_errors,
             quarantines: c.quarantines,
         }
+    }
+
+    /// The sampled trace ring's current window as JSON lines, oldest
+    /// first (`None` when observability is off). Non-destructive; the
+    /// `act-serve` binary prints this on SIGINT as the trace drain.
+    pub fn trace_json_lines(&self) -> Option<String> {
+        self.state.obs.as_ref().map(|o| o.trace.dump_json_lines())
+    }
+
+    /// A self-contained `/metrics` renderer for
+    /// [`act_obs::MetricsServer`]: the counter block as Prometheus
+    /// counters/gauges, plus (with observability on) every stage
+    /// histogram and the trace meta counter. Scrapes are read-only —
+    /// the windowed high-water mark is consumed by flagged STATS reads,
+    /// never by a scrape.
+    pub fn metrics_fn(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let state = Arc::clone(&self.state);
+        Arc::new(move || {
+            let mut page = PromText::new();
+            render_counters(&mut page, &[], state.store.epoch(), &state.counter_block());
+            if let Some(obs) = &state.obs {
+                render_histograms(&mut page, &[], &obs.stage_histograms());
+                render_trace_meta(&mut page, &[], &obs.trace);
+            }
+            page.finish()
+        })
     }
 
     /// Gracefully drains and stops the server: stop accepting, answer
@@ -598,6 +661,9 @@ fn try_enqueue(state: &State, job: Job) -> Admission {
         state
             .queue_hw_lanes
             .fetch_max(q.lanes as u64, Ordering::Relaxed);
+        state
+            .window_hw_lanes
+            .fetch_max(q.lanes as u64, Ordering::Relaxed);
     }
     state.ready.notify_one();
     Admission::Enqueued
@@ -605,8 +671,10 @@ fn try_enqueue(state: &State, job: Job) -> Admission {
 
 /// A reply owed to the client, in request order.
 enum Pending {
-    /// A probe job in flight; the worker delivers here.
-    Waiting(mpsc::Receiver<Reply>),
+    /// A probe job in flight; the worker delivers here. The `Instant`
+    /// is the admission stamp (`Some` only with observability on) the
+    /// writer turns into the frame-total histogram sample.
+    Waiting(mpsc::Receiver<Reply>, Option<Instant>),
     /// An already-rendered frame (ping/stats/shed/bad-request).
     Ready(Vec<u8>),
 }
@@ -732,24 +800,83 @@ fn reader_loop(
                     return;
                 }
             }
-            Ok(proto::Request::Stats) => {
+            Ok(proto::Request::Stats { histograms: false }) => {
                 if !answer_counters(state, tx, proto::OP_STATS, dead) {
+                    return;
+                }
+            }
+            Ok(proto::Request::Stats { histograms: true }) => {
+                // The flagged (v3) read: extended counter block plus the
+                // stage-histogram section, and the windowed high-water
+                // mark is consumed (reset) by this read.
+                state.accepted.fetch_add(1, Ordering::Relaxed);
+                state.answered.fetch_add(1, Ordering::Relaxed);
+                let payload = state.stats_ex_payload();
+                let f = proto::encode_response(
+                    proto::OP_STATS,
+                    proto::STATUS_OK,
+                    state.store.epoch(),
+                    0,
+                    &payload,
+                );
+                if !push_pending(tx, Pending::Ready(f), dead) {
+                    return;
+                }
+            }
+            Ok(proto::Request::Dump) => {
+                state.accepted.fetch_add(1, Ordering::Relaxed);
+                state.answered.fetch_add(1, Ordering::Relaxed);
+                let f = match &state.obs {
+                    Some(obs) => {
+                        // Non-destructive: the ring keeps its window, so
+                        // repeated dumps (and the SIGINT drain) overlap.
+                        let lines = obs.trace.dump_json_lines();
+                        proto::encode_response(
+                            proto::OP_DUMP,
+                            proto::STATUS_OK,
+                            state.store.epoch(),
+                            0,
+                            lines.as_bytes(),
+                        )
+                    }
+                    None => proto::encode_response(
+                        proto::OP_DUMP,
+                        proto::STATUS_UNSUPPORTED,
+                        state.store.epoch(),
+                        0,
+                        &[],
+                    ),
+                };
+                if !push_pending(tx, Pending::Ready(f), dead) {
                     return;
                 }
             }
             Ok(proto::Request::Probe { coords, exact }) => {
                 let cells: Vec<CellId> = coords.iter().map(|&c| coord_to_cell(c)).collect();
                 let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
+                let lanes = cells.len();
+                let admitted = state.obs.as_ref().map(|_| Instant::now());
                 let job = Job {
                     cells,
                     coords,
                     exact,
                     reply: reply_tx,
+                    admitted,
                 };
                 match try_enqueue(state, job) {
                     Admission::Enqueued => {
                         state.accepted.fetch_add(1, Ordering::Relaxed);
-                        if !push_pending(tx, Pending::Waiting(reply_rx), dead) {
+                        if let Some(obs) = &state.obs {
+                            obs.trace.sampled(
+                                "admission",
+                                &[
+                                    ("lanes", lanes as u64),
+                                    ("exact", u64::from(exact)),
+                                    ("epoch", u64::from(state.store.epoch())),
+                                ],
+                            );
+                        }
+                        if !push_pending(tx, Pending::Waiting(reply_rx, admitted), dead) {
                             return;
                         }
                     }
@@ -761,6 +888,9 @@ fn reader_loop(
                         // drained at the measured rate.
                         state.accepted.fetch_add(1, Ordering::Relaxed);
                         state.shed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &state.obs {
+                            obs.trace.always("shed", &[("lanes", lanes as u64)]);
+                        }
                         let hint = proto::encode_retry_hint(state.retry_hint_ms());
                         let f = proto::encode_response(
                             proto::OP_PROBE,
@@ -862,17 +992,20 @@ fn writer_loop(state: &State, mut w: TcpStream, rx: mpsc::Receiver<Pending>, dea
                     Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
                 }
             };
-            let frame = match entry {
-                Pending::Ready(f) => f,
-                Pending::Waiting(reply_rx) => loop {
+            let (frame, admitted) = match entry {
+                Pending::Ready(f) => (f, None),
+                Pending::Waiting(reply_rx, admitted) => loop {
                     match reply_rx.recv_timeout(Duration::from_millis(25)) {
                         Ok(reply) => {
-                            break proto::encode_response(
-                                proto::OP_PROBE,
-                                reply.status,
-                                reply.epoch,
-                                reply.n,
-                                &reply.payload,
+                            break (
+                                proto::encode_response(
+                                    proto::OP_PROBE,
+                                    reply.status,
+                                    reply.epoch,
+                                    reply.n,
+                                    &reply.payload,
+                                ),
+                                admitted,
                             )
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -899,7 +1032,19 @@ fn writer_loop(state: &State, mut w: TcpStream, rx: mpsc::Receiver<Pending>, dea
                     return Err(faults.injected_error(Site::ConnWrite));
                 }
             }
-            write_all_retry(state, &mut w, &frame, &mut clock)?;
+            // Probe replies with observability on pay one clock read
+            // either side of the socket write; the admission stamp then
+            // closes the frame-total span. `admitted` is `Some` only for
+            // probe frames, and only when obs is configured.
+            match (&state.obs, admitted) {
+                (Some(obs), Some(t0)) => {
+                    let w0 = Instant::now();
+                    write_all_retry(state, &mut w, &frame, &mut clock)?;
+                    obs.write.record(w0.elapsed().as_nanos() as u64);
+                    obs.frame_total.record(t0.elapsed().as_nanos() as u64);
+                }
+                _ => write_all_retry(state, &mut w, &frame, &mut clock)?,
+            }
         }
     })();
     let _ = result;
@@ -1037,6 +1182,17 @@ fn worker_loop(state: &State) {
             }
             batch
         };
+        // Queue-wait closes at dequeue, recorded outside the lock (the
+        // stamps are already taken; recording is two relaxed adds each).
+        if let Some(obs) = &state.obs {
+            let now = Instant::now();
+            for job in &batch {
+                if let Some(t0) = job.admitted {
+                    obs.queue_wait
+                        .record(now.saturating_duration_since(t0).as_nanos() as u64);
+                }
+            }
+        }
         if let Some(delay) = state.batch_delay {
             std::thread::sleep(delay);
         }
@@ -1104,11 +1260,29 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
         cells.extend_from_slice(&job.cells);
     }
     let mut probes = vec![Probe::Miss; cells.len()];
-    view.probe_batch(&cells, &mut probes);
+    match &state.obs {
+        Some(obs) => {
+            // The depth-reporting walk mirrors `lookup_batch` level by
+            // level (same memory-level parallelism); per-cell depths
+            // feed the probe-depth histogram, the walk span closes at
+            // batch granularity, and the batch width is recorded here
+            // because this is the one place the widened batch exists.
+            let mut depths = vec![0u8; cells.len()];
+            let t0 = Instant::now();
+            view.probe_batch_depths(&cells, &mut probes, &mut depths);
+            obs.walk.record(t0.elapsed().as_nanos() as u64);
+            obs.batch_lanes.record(total as u64);
+            for &d in &depths {
+                obs.probe_depth.record(u64::from(d));
+            }
+        }
+        None => view.probe_batch(&cells, &mut probes),
+    }
     state.probes.fetch_add(total as u64, Ordering::Relaxed);
     state.batches.fetch_add(1, Ordering::Relaxed);
 
     let mut replies = Vec::with_capacity(batch.len());
+    let mut refine_ns = 0u64;
     let mut at = 0usize;
     for job in batch {
         let n = job.cells.len();
@@ -1122,6 +1296,10 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
                 payload: Vec::new(),
             }
         } else {
+            let refine_t0 = match &state.obs {
+                Some(_) if job.exact => Some(Instant::now()),
+                _ => None,
+            };
             let mut payload = Vec::with_capacity(n * 8);
             for (i, &p) in out.iter().enumerate() {
                 let count_at = payload.len();
@@ -1145,6 +1323,9 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
                 }
                 payload[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
             }
+            if let Some(t0) = refine_t0 {
+                refine_ns += t0.elapsed().as_nanos() as u64;
+            }
             Reply {
                 status: proto::STATUS_OK,
                 epoch,
@@ -1153,6 +1334,11 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
             }
         };
         replies.push(reply);
+    }
+    if refine_ns > 0 {
+        if let Some(obs) = &state.obs {
+            obs.refine.record(refine_ns);
+        }
     }
     replies
 }

@@ -57,6 +57,7 @@
 //! inode lives until unmapped.
 
 use act_core::{apply_delta_file, ActIndex, DeltaLink, MappedSnapshot, SnapshotError};
+use act_obs::TraceRing;
 use geom::Coord;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -344,6 +345,11 @@ pub struct WatchOptions {
     pub fold_after: u64,
     /// Shared error/quarantine counters (ride the STATS counter block).
     pub counters: Arc<WatchCounters>,
+    /// Trace ring shared with the serving pipeline: swap, delta-apply,
+    /// and quarantine lifecycle events are recorded unconditionally
+    /// (they are rare and individually meaningful). `None` records
+    /// nothing — the watcher stays trace-free when observability is off.
+    pub trace: Option<Arc<TraceRing>>,
     /// Armed fault plan, when chaos-testing the watcher.
     #[cfg(feature = "fault-injection")]
     pub faults: Option<Arc<Faults>>,
@@ -355,6 +361,7 @@ impl Default for WatchOptions {
             interval: Duration::from_millis(500),
             fold_after: FOLD_AFTER_DELTAS,
             counters: Arc::new(WatchCounters::default()),
+            trace: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -540,6 +547,9 @@ pub fn watch_loop_opts(
                         delta_prev_poll = None;
                         delta_failed = None;
                         err_streak = 0;
+                        if let Some(t) = &opts.trace {
+                            t.always("swap", &[("epoch", u64::from(epoch))]);
+                        }
                         eprintln!("act-serve: hot-swapped snapshot {path:?} (epoch {epoch})");
                         continue;
                     }
@@ -633,6 +643,16 @@ pub fn watch_loop_opts(
                 delta_prev_poll = None;
                 delta_failed = None;
                 err_streak = 0;
+                if let Some(t) = &opts.trace {
+                    t.always(
+                        "delta_apply",
+                        &[
+                            ("epoch", u64::from(epoch)),
+                            ("seq", next_seq),
+                            ("lineage", lin.applied),
+                        ],
+                    );
+                }
                 eprintln!(
                     "act-serve: applied delta {dpath:?} (epoch {epoch}, \
                      {} in lineage)",
@@ -686,6 +706,9 @@ pub fn watch_loop_opts(
                             delta_prev_poll = None;
                             delta_failed = None;
                             err_streak = 0;
+                            if let Some(t) = &opts.trace {
+                                t.always("quarantine", &[("seq", next_seq)]);
+                            }
                             eprintln!(
                                 "act-serve: delta at {dpath:?} rejected ({e}); \
                                  quarantined to {qpath:?}"

@@ -1,8 +1,11 @@
 //! Property tests for the wire protocol's admission-control and
-//! resilience surfaces: counter-block serialization (version 2, with
-//! the version-1 compatibility decode), response framing across every
-//! status (LOADSHED/BUSY included), the retry-after hint those two
-//! statuses carry, STATS/PING requests, and probe request round trips —
+//! resilience surfaces: counter-block serialization across every
+//! protocol version (v1 × v2 × v3 compatibility matrix), response
+//! framing across every status (LOADSHED/BUSY included), the
+//! retry-after hint those two statuses carry, the header-only request
+//! ops (PING, STATS plain and flagged, DUMP), probe request round
+//! trips, and the flagged-STATS histogram section (round trip plus
+//! typed rejection of truncated, oversized, and padded malformations) —
 //! alongside the example-based frame tests in `protocol.rs`.
 
 use act_serve::protocol as proto;
@@ -10,7 +13,7 @@ use geom::Coord;
 use proptest::prelude::*;
 
 fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
-    proptest::collection::vec(any::<u64>(), 13).prop_map(|w| proto::CounterBlock {
+    proptest::collection::vec(any::<u64>(), 14).prop_map(|w| proto::CounterBlock {
         probes: w[0],
         accepted: w[1],
         answered: w[2],
@@ -24,6 +27,7 @@ fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
         watch_errors: w[10],
         quarantines: w[11],
         panics_contained: w[12],
+        window_high_water_lanes: w[13],
     })
 }
 
@@ -38,42 +42,73 @@ fn arb_status() -> impl Strategy<Value = u8> {
     ]
 }
 
+/// A wire histogram: an arbitrary stage id (unknown ids must survive),
+/// a sum, and a smallish bucket vector (the format's cap is
+/// `act_obs::NUM_BUCKETS`; correctness does not depend on size).
+fn arb_hist() -> impl Strategy<Value = proto::StageHistogram> {
+    // Counts/sums stay below 2^32 so cross-shard merges (sums of sums)
+    // cannot overflow in the arithmetic the assertions do on them.
+    (
+        0u8..12,
+        0u64..(1 << 32),
+        proptest::collection::vec(0u64..(1 << 32), 0..48),
+    )
+        .prop_map(|(stage, sum, buckets)| proto::StageHistogram {
+            stage,
+            hist: act_obs::HistogramSnapshot { sum, buckets },
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Counter blocks survive encode → decode bit-for-bit.
+    /// The version compatibility matrix in one property. A v3 (extended,
+    /// 14-word) block's prefixes ARE the older blocks: decoding the
+    /// first 80 bytes is the v1 read (newer counters zero), the first
+    /// 104 the v2 read (windowed mark zero), and the full 112 returns
+    /// every field — so any client version reading any server version's
+    /// block sees exactly the fields its protocol knows, never garbage.
     #[test]
-    fn counter_block_roundtrip(c in arb_counters()) {
-        let bytes = proto::encode_counters(&c);
-        prop_assert_eq!(bytes.len(), proto::COUNTER_BLOCK_LEN);
-        prop_assert_eq!(proto::decode_counters(&bytes).unwrap(), c);
-    }
+    fn counter_block_version_matrix(c in arb_counters()) {
+        let v3 = proto::encode_counters_ex(&c);
+        prop_assert_eq!(v3.len(), proto::COUNTER_BLOCK_LEN_V3);
 
-    /// The protocol-version-2 bump is backward compatible: the first 80
-    /// bytes of a v2 block ARE a v1 block, and decoding one yields the
-    /// same ten legacy counters with the three v2 counters zeroed — a
-    /// v2 client reading a v1 server never sees garbage.
-    #[test]
-    fn counter_block_v1_compat_decode(c in arb_counters()) {
-        let bytes = proto::encode_counters(&c);
-        let v1 = proto::decode_counters(&bytes[..proto::COUNTER_BLOCK_LEN_V1]).unwrap();
+        // v3 → v3: bit-for-bit.
+        prop_assert_eq!(proto::decode_counters(&v3).unwrap(), c);
+
+        // v3 → v2 prefix: the plain block, windowed mark zeroed. The
+        // plain encoder emits exactly this prefix.
+        let v2 = proto::encode_counters(&c);
+        prop_assert_eq!(v2.len(), proto::COUNTER_BLOCK_LEN);
+        prop_assert_eq!(&v3[..proto::COUNTER_BLOCK_LEN], &v2[..]);
+        prop_assert_eq!(
+            proto::decode_counters(&v2).unwrap(),
+            proto::CounterBlock { window_high_water_lanes: 0, ..c }
+        );
+
+        // v3 → v1 prefix: the ten legacy counters, everything newer zero.
+        let v1 = proto::decode_counters(&v3[..proto::COUNTER_BLOCK_LEN_V1]).unwrap();
         prop_assert_eq!(
             v1,
             proto::CounterBlock {
                 watch_errors: 0,
                 quarantines: 0,
                 panics_contained: 0,
+                window_high_water_lanes: 0,
                 ..c
             }
         );
     }
 
-    /// Any length that is neither the v2 nor the v1 block is a typed
+    /// Any length that is not exactly a v1, v2, or v3 block is a typed
     /// error, never a garbage decode.
     #[test]
-    fn counter_block_rejects_wrong_lengths(c in arb_counters(), cut in 0usize..proto::COUNTER_BLOCK_LEN) {
-        let bytes = proto::encode_counters(&c);
-        if cut != proto::COUNTER_BLOCK_LEN_V1 {
+    fn counter_block_rejects_wrong_lengths(
+        c in arb_counters(),
+        cut in 0usize..proto::COUNTER_BLOCK_LEN_V3,
+    ) {
+        let bytes = proto::encode_counters_ex(&c);
+        if cut != proto::COUNTER_BLOCK_LEN_V1 && cut != proto::COUNTER_BLOCK_LEN {
             prop_assert!(proto::decode_counters(&bytes[..cut]).is_err());
         }
         let mut long = bytes.to_vec();
@@ -85,7 +120,7 @@ proptest! {
     /// LOADSHED and BUSY included — with the payload intact.
     #[test]
     fn response_roundtrip_every_status(
-        op in 0u8..=3,
+        op in 0u8..=4,
         status in arb_status(),
         epoch in any::<u32>(),
         n in 0u32..10_000,
@@ -141,8 +176,9 @@ proptest! {
         prop_assert!((proto::RETRY_AFTER_MIN_MS..=proto::RETRY_AFTER_MAX_MS).contains(&ms));
     }
 
-    /// PING and STATS responses carry a decodable counter block whatever
-    /// the counter values are.
+    /// PING and plain STATS responses carry a decodable counter block
+    /// whatever the counter values are (and drop the windowed mark —
+    /// that field travels only in the flagged reply).
     #[test]
     fn ping_and_stats_replies_roundtrip(c in arb_counters(), epoch in any::<u32>()) {
         for op in [proto::OP_PING, proto::OP_STATS] {
@@ -150,17 +186,23 @@ proptest! {
             let body = proto::read_frame(&mut frame.as_slice(), usize::MAX).unwrap().unwrap();
             let (h, p) = proto::decode_response(&body).unwrap();
             prop_assert_eq!((h.op, h.status, h.epoch, h.n), (op, proto::STATUS_OK, epoch, 0));
-            prop_assert_eq!(proto::decode_counters(p).unwrap(), c);
+            prop_assert_eq!(
+                proto::decode_counters(p).unwrap(),
+                proto::CounterBlock { window_high_water_lanes: 0, ..c }
+            );
         }
     }
 
-    /// The header-only request frames decode back to their ops.
+    /// Every header-only request frame decodes back to its op — the
+    /// flagged STATS (v3 opt-in) included, and distinguished from the
+    /// plain one by the flag alone.
     #[test]
-    fn headless_requests_roundtrip(which in proptest::bool::ANY) {
-        let (frame, want) = if which {
-            (proto::encode_ping_request(), proto::Request::Ping)
-        } else {
-            (proto::encode_stats_request(), proto::Request::Stats)
+    fn headless_requests_roundtrip(which in 0usize..4) {
+        let (frame, want) = match which {
+            0 => (proto::encode_ping_request(), proto::Request::Ping),
+            1 => (proto::encode_stats_request(), proto::Request::Stats { histograms: false }),
+            2 => (proto::encode_stats_ex_request(), proto::Request::Stats { histograms: true }),
+            _ => (proto::encode_dump_request(), proto::Request::Dump),
         };
         let body = proto::read_frame(&mut frame.as_slice(), proto::MAX_REQ_BODY).unwrap().unwrap();
         prop_assert_eq!(proto::decode_request(&body).unwrap(), want);
@@ -176,5 +218,109 @@ proptest! {
         let frame = proto::encode_probe_request(&coords, exact);
         let body = proto::read_frame(&mut frame.as_slice(), proto::MAX_REQ_BODY).unwrap().unwrap();
         prop_assert_eq!(proto::decode_request(&body).unwrap(), proto::Request::Probe { coords, exact });
+    }
+
+    /// The flagged-STATS payload (extended counters + histogram section)
+    /// round-trips for any histogram set that fits the caps.
+    #[test]
+    fn stats_ex_payload_roundtrip(
+        c in arb_counters(),
+        hists in proptest::collection::vec(arb_hist(), 0..8),
+    ) {
+        let payload = proto::encode_stats_ex_payload(&c, &hists);
+        let (dc, dh) = proto::decode_stats_ex_payload(&payload).unwrap();
+        prop_assert_eq!(dc, c);
+        prop_assert_eq!(dh, hists);
+    }
+
+    /// EVERY strict prefix of a flagged-STATS payload is a typed error —
+    /// truncation can never silently drop a histogram or a bucket — and
+    /// so is any trailing garbage after the section.
+    #[test]
+    fn stats_ex_payload_rejects_any_truncation(
+        c in arb_counters(),
+        hists in proptest::collection::vec(arb_hist(), 0..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let payload = proto::encode_stats_ex_payload(&c, &hists);
+        let cut = ((payload.len() as f64) * frac) as usize; // < len
+        prop_assert!(proto::decode_stats_ex_payload(&payload[..cut]).is_err());
+        let mut long = payload.clone();
+        long.push(0);
+        prop_assert!(proto::decode_stats_ex_payload(&long).is_err());
+    }
+
+    /// Oversized claims are rejected before any allocation is attempted:
+    /// a histogram count past the section cap, and a bucket count past
+    /// the format's bucket space.
+    #[test]
+    fn stats_ex_payload_rejects_oversized_claims(
+        c in arb_counters(),
+        extra in 1u32..1000,
+    ) {
+        // n_hists over the cap.
+        let mut p = proto::encode_stats_ex_payload(&c, &[]);
+        let n = proto::MAX_WIRE_HISTS as u32 + extra;
+        p[proto::COUNTER_BLOCK_LEN_V3..proto::COUNTER_BLOCK_LEN_V3 + 4]
+            .copy_from_slice(&n.to_le_bytes());
+        prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
+
+        // n_buckets over the format's bucket count.
+        let hist = proto::StageHistogram {
+            stage: 0,
+            hist: act_obs::HistogramSnapshot { sum: 0, buckets: vec![1] },
+        };
+        let mut p = proto::encode_stats_ex_payload(&c, &[hist]);
+        let at = proto::COUNTER_BLOCK_LEN_V3 + 4 + 12; // n_buckets field
+        let n = act_obs::NUM_BUCKETS as u32 + extra;
+        p[at..at + 4].copy_from_slice(&n.to_le_bytes());
+        prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
+    }
+
+    /// Nonzero pad bytes in a histogram header are a typed error (the
+    /// pad is reserved; tolerating garbage there would foreclose ever
+    /// using it).
+    #[test]
+    fn stats_ex_payload_rejects_nonzero_pad(
+        c in arb_counters(),
+        which in 0usize..3,
+        byte in 1u8..=255,
+    ) {
+        let hist = proto::StageHistogram {
+            stage: 1,
+            hist: act_obs::HistogramSnapshot { sum: 9, buckets: vec![2, 0, 1] },
+        };
+        let mut p = proto::encode_stats_ex_payload(&c, &[hist]);
+        p[proto::COUNTER_BLOCK_LEN_V3 + 4 + 1 + which] = byte;
+        prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
+    }
+
+    /// Router merge semantics: merging any two shard sections sums
+    /// counts bucket-wise per stage, unions the stage sets, and keeps
+    /// the result sorted — so the router's merged reply equals the
+    /// client-side merge of the per-shard replies.
+    #[test]
+    fn stage_histogram_merge_is_commutative_union(
+        a in proptest::collection::vec(arb_hist(), 0..6),
+        b in proptest::collection::vec(arb_hist(), 0..6),
+    ) {
+        let mut ab: Vec<proto::StageHistogram> = Vec::new();
+        proto::merge_stage_histograms(&mut ab, &a);
+        proto::merge_stage_histograms(&mut ab, &b);
+        let mut ba: Vec<proto::StageHistogram> = Vec::new();
+        proto::merge_stage_histograms(&mut ba, &b);
+        proto::merge_stage_histograms(&mut ba, &a);
+
+        // Same stages, sorted, and per-stage totals match in both orders.
+        prop_assert!(ab.windows(2).all(|w| w[0].stage < w[1].stage));
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert_eq!(x.stage, y.stage);
+            prop_assert_eq!(x.hist.count(), y.hist.count());
+            prop_assert_eq!(x.hist.sum, y.hist.sum);
+        }
+        let want: u64 = a.iter().chain(&b).map(|h| h.hist.count()).sum();
+        let got: u64 = ab.iter().map(|h| h.hist.count()).sum();
+        prop_assert_eq!(got, want, "merge must not lose or invent counts");
     }
 }

@@ -198,7 +198,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                 0 => {
                     let n = rng.below(64) as usize + 1;
                     let mut body = rng.bytes(n);
-                    body[0] = 4 + (rng.next() as u8 % 250); // op ∉ {1,2,3}
+                    body[0] = 5 + (rng.next() as u8 % 249); // op ∉ {1,2,3,4}
                     let mut s = attack_conn(addr);
                     let mut f = (body.len() as u32).to_le_bytes().to_vec();
                     f.extend_from_slice(&body);
@@ -236,7 +236,7 @@ fn seeded_malformed_frames_never_panic_never_wedge_never_disturb() {
                 // Unknown opcode in an otherwise perfect header.
                 3 => {
                     let mut f = proto::encode_ping_request();
-                    f[4] = 4 + (rng.next() as u8 % 250);
+                    f[4] = 5 + (rng.next() as u8 % 249); // op ∉ {1,2,3,4}
                     let mut s = attack_conn(addr);
                     s.write_all(&f).unwrap();
                     expect_bad_request_then_close(s, &format!("{what}: unknown op"));
