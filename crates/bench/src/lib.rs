@@ -68,6 +68,14 @@ pub struct Opts {
     /// The external fleet must serve the same dataset snapshot the
     /// workload verifies against.
     pub router_addr: Option<String>,
+    /// Skew exponent for the zipf phase (`loadgen` bin): draw query
+    /// points from a Zipf(s) distribution over a fixed hot set and
+    /// record cache-off vs cache-on throughput/latency rows.
+    pub zipf: Option<f64>,
+    /// Also run the fairness phase (`loadgen` bin): one greedy client
+    /// floods a capacity-pinned server while polite clients probe, and
+    /// worst-client goodput is recorded quota-off vs quota-on.
+    pub greedy: bool,
 }
 
 impl Default for Opts {
@@ -85,6 +93,8 @@ impl Default for Opts {
             faults: false,
             router: false,
             router_addr: None,
+            zipf: None,
+            greedy: false,
         }
     }
 }
@@ -117,6 +127,14 @@ usage: <bin> [options]
                     HOST:PORT instead of spawning in-process (loadgen
                     bin); the external fleet must serve the same dataset
                     snapshot the workload verifies against
+  --zipf S          also run the hot-cell cache phase (loadgen bin):
+                    draw probes Zipf(S)-skewed over a fixed hot set and
+                    record cache-off vs cache-on throughput + p99 rows
+                    into BENCH_serve.json (S > 0; 1.0 ~ classic zipf)
+  --greedy          also run the fairness phase (loadgen bin): a greedy
+                    client floods a capacity-pinned server while polite
+                    clients probe; records worst-client goodput with and
+                    without --quota-lanes into BENCH_serve.json
 (env: ACT_FULL=1 behaves like --full)";
 
 impl Opts {
@@ -203,6 +221,15 @@ impl Opts {
                     }
                     o.router_addr = Some(addr.to_string());
                 }
+                "--zipf" => {
+                    let s = value(args, &mut i, "--zipf")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| "--zipf expects a positive exponent".to_string())?;
+                    o.zipf = Some(s);
+                }
+                "--greedy" => o.greedy = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
@@ -429,6 +456,9 @@ mod tests {
             "--router",
             "--router-addr",
             "127.0.0.1:9000",
+            "--zipf",
+            "1.2",
+            "--greedy",
         ])
         .unwrap();
         assert_eq!(o.points, 1_000_000);
@@ -443,12 +473,18 @@ mod tests {
         assert!(o.faults);
         assert!(o.router);
         assert_eq!(o.router_addr.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(o.zipf, Some(1.2));
+        assert!(o.greedy);
         let defaults = parse(&[]).unwrap();
         assert!(!defaults.router);
         assert!(defaults.router_addr.is_none());
+        assert!(defaults.zipf.is_none());
+        assert!(!defaults.greedy);
         assert!(parse(&["--router-addr", ""])
             .unwrap_err()
             .contains("HOST:PORT"));
+        assert!(parse(&["--zipf", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--zipf", "nan"]).unwrap_err().contains("positive"));
     }
 
     #[test]

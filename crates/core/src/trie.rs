@@ -115,6 +115,32 @@ impl Probe {
     }
 }
 
+/// The canonical identity of a probe's **resolved trie cell**: the key
+/// prefix the walk actually consumed, plus the depth it terminated at.
+///
+/// A lookup for `query` reads the 3 face bits and then `depth` bytes of
+/// the position bit string (see [`RawTrie::lookup`]); nothing below that
+/// prefix can influence the result. Two queries sharing the top
+/// `3 + 8·depth` bits therefore terminate at the same entry with the
+/// same answer — and, because the walk is deterministic, at the same
+/// depth, so for any query exactly one `(prefix, depth)` pair is ever
+/// its key. That makes this value a correct cache key for probe
+/// results: the serving layer's hot-cell cache stores resolved ref sets
+/// under `probe_cell_key(query, depth)` (depth from
+/// [`Act::lookup_batch_depths`]) and looks a query up by trying its
+/// prefixes at each depth `1..=7`.
+///
+/// Layout: the query's top `3 + 8·depth` bits in place, low bits
+/// zeroed, with `depth` (≤ 7, so 3 bits) packed into the low bits —
+/// depths 1..=7 keep ≤ 59 prefix bits, leaving the bottom 5 free.
+#[inline]
+#[must_use]
+pub fn probe_cell_key(query: CellId, depth: u8) -> u64 {
+    let d = u64::from(depth.min(7));
+    let mask = !(u64::MAX >> (3 + 8 * d));
+    (query.0 & mask) | d
+}
+
 /// Per-depth structural statistics (for analysis and the paper's Table I).
 #[derive(Debug, Clone, Default)]
 pub struct TrieStats {
@@ -1572,6 +1598,32 @@ mod tests {
         assert_eq!(act.memory_bytes(), act.num_nodes() * FANOUT * 8);
         // sentinel + root + depth-1 node = 3 nodes.
         assert_eq!(act.num_nodes(), 3);
+    }
+
+    #[test]
+    fn probe_cell_key_is_prefix_and_depth_exact() {
+        let q = CellId(0xABCD_EF01_2345_6789);
+        // Depth 0 keeps only the face bits.
+        assert_eq!(probe_cell_key(q, 0), q.0 & !(u64::MAX >> 3));
+        // Each extra depth keeps one more consumed byte of the shifted key.
+        for d in 1..=7u8 {
+            let kept = 3 + 8 * u32::from(d);
+            let want = (q.0 & !(u64::MAX >> kept)) | u64::from(d);
+            assert_eq!(probe_cell_key(q, d), want, "depth {d}");
+            // Same prefix ⇒ same key; a flipped bit below the prefix
+            // must not change it.
+            let below = q.0 ^ (1u64 << (63 - kept));
+            assert_eq!(probe_cell_key(CellId(below), d), probe_cell_key(q, d));
+            // A flipped bit inside the prefix must.
+            let inside = q.0 ^ (1u64 << (64 - kept));
+            assert_ne!(probe_cell_key(CellId(inside), d), probe_cell_key(q, d));
+        }
+        // Distinct depths of one query never collide.
+        let keys: std::collections::HashSet<u64> =
+            (0..=7u8).map(|d| probe_cell_key(q, d)).collect();
+        assert_eq!(keys.len(), 8);
+        // Depths past the walk's 7-level maximum clamp.
+        assert_eq!(probe_cell_key(q, 9), probe_cell_key(q, 7));
     }
 
     #[test]

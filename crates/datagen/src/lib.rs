@@ -144,6 +144,40 @@ pub fn blocks_scaled(nx: usize, ny: usize, seed: u64) -> Dataset {
     }
 }
 
+/// Surge-pricing-like preset: `layers` independent partitions of the
+/// box stacked on top of each other (each layer its own jittered
+/// lattice), so every point lies in ~one polygon *per layer*. Real
+/// serving traffic probes stacked zone products — surge hexes, delivery
+/// areas, ad geofences — all at once, which makes per-cell ref lists
+/// `layers` deep and resolution the dominant per-probe cost. Planar
+/// presets can't express that; this one exists for exactly that regime
+/// (the hot-cell cache's design point).
+pub fn surge_zones(seed: u64, layers: usize, nx: usize, ny: usize) -> Dataset {
+    let mut polygons = Vec::new();
+    for layer in 0..layers {
+        let params = LatticeParams {
+            nx,
+            ny,
+            bbox: nyc_bbox(),
+            jitter: 0.30,
+            fractal: FractalParams {
+                depth: 2,
+                roughness: 0.20,
+                // Each layer draws a distinct partition; the stack as a
+                // whole is still deterministic under `seed`.
+                seed: seed.wrapping_add(layer as u64).wrapping_mul(0x9E37_79B9),
+            },
+            hole_fraction: 0.0,
+        };
+        polygons.extend(lattice::generate(&params));
+    }
+    Dataset {
+        name: format!("surge-{layers}x{nx}x{ny}"),
+        polygons,
+        bbox: nyc_bbox(),
+    }
+}
+
 /// A small dataset with holes, exercising the hole-handling paths.
 pub fn holed(nx: usize, ny: usize, seed: u64) -> Dataset {
     let params = LatticeParams {
@@ -214,5 +248,14 @@ mod tests {
     fn holed_preset_has_holes() {
         let ds = holed(4, 4, 2);
         assert!(ds.polygons.iter().any(|p| !p.holes().is_empty()));
+    }
+
+    #[test]
+    fn surge_zones_stack_layers_over_one_box() {
+        let ds = surge_zones(3, 4, 3, 3);
+        assert_eq!(ds.polygons.len(), 4 * 9);
+        assert_eq!(surge_zones(3, 4, 3, 3).polygons, ds.polygons);
+        // Layers genuinely differ (distinct partitions, not copies).
+        assert_ne!(ds.polygons[..9], ds.polygons[9..18]);
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! act-serve <snapshot> [--addr A] [--workers N] [--no-watch]
 //!           [--metrics-addr A] [--trace-every N] [--trace-seed S]
+//!           [--cache-capacity N] [--quota-lanes N]
 //! ```
 //!
 //! Prints `listening on <addr>` once accepting (scripts scrape the
@@ -12,6 +13,12 @@
 //! worker cuts over without dropping a request; `--no-watch` pins the
 //! starting epoch.
 //!
+//! `--cache-capacity` turns on the hot-cell result cache (epoch-keyed;
+//! see the serve crate's `cache` module) with that many entries;
+//! `--quota-lanes` enforces the per-client fairness quota: one
+//! connection may have at most N probe lanes admitted at a time, and
+//! over-quota frames are answered `LOADSHED` with a retry hint.
+//!
 //! `--metrics-addr` turns on the observability pipeline (per-stage
 //! latency histograms, sampled traces) and serves Prometheus text on
 //! `GET /metrics` at that address (prints `metrics on <addr>`). On
@@ -19,12 +26,12 @@
 //! lines to stdout before exiting — without `--metrics-addr` the
 //! signal just exits cleanly.
 
-use act_serve::{ObsConfig, ServeConfig, Server};
+use act_serve::{CacheConfig, ObsConfig, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: act-serve <snapshot> [--addr A] [--workers N] [--no-watch] \
-[--metrics-addr A] [--trace-every N] [--trace-seed S]";
+[--metrics-addr A] [--trace-every N] [--trace-seed S] [--cache-capacity N] [--quota-lanes N]";
 
 fn main() -> ExitCode {
     let mut snapshot: Option<String> = None;
@@ -55,6 +62,19 @@ fn main() -> ExitCode {
             "--trace-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(s) => obs.trace_seed = s,
                 None => return usage("--trace-seed takes an integer"),
+            },
+            "--cache-capacity" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    config.cache = Some(CacheConfig {
+                        capacity: n,
+                        ..CacheConfig::default()
+                    })
+                }
+                _ => return usage("--cache-capacity takes a positive entry count"),
+            },
+            "--quota-lanes" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.client_quota_lanes = Some(n),
+                _ => return usage("--quota-lanes takes a positive lane count"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");

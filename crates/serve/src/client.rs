@@ -14,6 +14,7 @@
 
 use crate::protocol as proto;
 use geom::Coord;
+use s2cell::CellId;
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -151,6 +152,37 @@ impl Client {
             return Err(ClientError::Protocol("response op does not echo PROBE"));
         }
         if h.n as usize != coords.len() {
+            return Err(ClientError::Protocol("response point count mismatch"));
+        }
+        let refs = proto::decode_probe_payload(h.n, &payload).map_err(ClientError::Protocol)?;
+        Ok(proto::ProbeReply {
+            epoch: h.epoch,
+            refs,
+        })
+    }
+
+    /// Probes a batch of pre-computed S2 leaf cells ([`proto::FLAG_CELLS`],
+    /// protocol v4): half the payload bytes of the coordinate form, and
+    /// the server skips the coordinate→cell conversion. Approximate mode
+    /// only — refinement needs coordinates. v1–v3 servers reject the
+    /// flag with BAD_REQUEST, surfaced as [`ClientError::Server`].
+    ///
+    /// # Errors
+    /// As [`Client::probe`].
+    ///
+    /// # Panics
+    /// Panics if `cells` exceeds [`proto::MAX_POINTS`].
+    pub fn probe_cells(&mut self, cells: &[CellId]) -> Result<proto::ProbeReply, ClientError> {
+        self.stream
+            .write_all(&proto::encode_probe_cells_request(cells))?;
+        let (h, payload) = self.read_response()?;
+        if h.status != proto::STATUS_OK {
+            return Err(server_error(h.status, &payload));
+        }
+        if h.op != proto::OP_PROBE {
+            return Err(ClientError::Protocol("response op does not echo PROBE"));
+        }
+        if h.n as usize != cells.len() {
             return Err(ClientError::Protocol("response point count mismatch"));
         }
         let refs = proto::decode_probe_payload(h.n, &payload).map_err(ClientError::Protocol)?;
@@ -356,6 +388,22 @@ impl ResilientClient {
         })
     }
 
+    /// Readies a client over an **already-resolved** address —
+    /// infallible, since there is no name resolution left to fail. The
+    /// router's per-connection client pools use this: shard addresses
+    /// are resolved once at router spawn, so building a pool later must
+    /// never be able to panic a connection thread.
+    pub fn from_resolved(addr: SocketAddr, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            addr,
+            policy,
+            conn: None,
+            connects: 0,
+            retries: 0,
+            backoff_slept: Duration::ZERO,
+        }
+    }
+
     /// Connections dialed so far (1 in the happy path; each reconnect
     /// after an IO/framing failure adds one).
     pub fn connects(&self) -> u64 {
@@ -386,6 +434,17 @@ impl ResilientClient {
         exact: bool,
     ) -> Result<proto::ProbeReply, ClientError> {
         self.with_retries(|c| c.probe(coords, exact))
+    }
+
+    /// [`Client::probe_cells`] with retries per the policy.
+    ///
+    /// # Errors
+    /// As [`ResilientClient::probe`].
+    ///
+    /// # Panics
+    /// Panics if `cells` exceeds [`proto::MAX_POINTS`].
+    pub fn probe_cells(&mut self, cells: &[CellId]) -> Result<proto::ProbeReply, ClientError> {
+        self.with_retries(|c| c.probe_cells(cells))
     }
 
     /// [`Client::ping`] with retries per the policy.

@@ -58,6 +58,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
@@ -67,6 +68,7 @@ pub mod router;
 pub mod server;
 pub mod swap;
 
+pub use cache::{CacheConfig, HotCellCache};
 pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use obs::{ObsConfig, PipelineObs};
 pub use protocol::{CounterBlock, PingReply, ProbeReply, StatsExReply, StatsReply};

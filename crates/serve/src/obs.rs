@@ -58,6 +58,9 @@ pub struct PipelineObs {
     pub batch_lanes: Histogram,
     /// Trie node accesses per probed cell (0–7).
     pub probe_depth: Histogram,
+    /// Hot-cell cache hit rate per micro-batch, in whole percent
+    /// (0–100). Recorded only on batches that consulted the cache.
+    pub cache_hit_pct: Histogram,
     /// Sampled structured trace events (`Arc` so the snapshot watcher
     /// can record swap/delta/quarantine events into the same ring).
     pub trace: Arc<TraceRing>,
@@ -74,6 +77,7 @@ impl PipelineObs {
             frame_total: Histogram::new(),
             batch_lanes: Histogram::new(),
             probe_depth: Histogram::new(),
+            cache_hit_pct: Histogram::new(),
             trace: Arc::new(TraceRing::new(
                 config.trace_capacity,
                 config.trace_sample_every,
@@ -92,6 +96,7 @@ impl PipelineObs {
             (proto::STAGE_FRAME_TOTAL, &self.frame_total),
             (proto::STAGE_BATCH_LANES, &self.batch_lanes),
             (proto::STAGE_PROBE_DEPTH, &self.probe_depth),
+            (proto::STAGE_CACHE_HIT_PCT, &self.cache_hit_pct),
         ]
         .into_iter()
         .map(|(stage, h)| proto::StageHistogram {
@@ -165,6 +170,21 @@ pub(crate) fn render_counters(
             "Worker panics contained to one batch.",
             c.panics_contained,
         ),
+        (
+            "act_cache_hits_total",
+            "Probed cells answered from the hot-cell result cache.",
+            c.cache_hits,
+        ),
+        (
+            "act_cache_misses_total",
+            "Probed cells that missed the hot-cell cache and walked the trie.",
+            c.cache_misses,
+        ),
+        (
+            "act_quota_sheds_total",
+            "Probe frames shed by the per-client fairness quota.",
+            c.quota_sheds,
+        ),
     ] {
         page.counter(name, help, labels, v);
     }
@@ -204,6 +224,13 @@ pub(crate) fn render_histograms(
             proto::STAGE_PROBE_DEPTH => page.histogram(
                 "act_probe_depth",
                 "Trie node accesses per probed cell.",
+                labels,
+                &h.hist,
+                1.0,
+            ),
+            proto::STAGE_CACHE_HIT_PCT => page.histogram(
+                "act_cache_hit_pct",
+                "Hot-cell cache hit rate per micro-batch, percent.",
                 labels,
                 &h.hist,
                 1.0,
@@ -255,9 +282,13 @@ mod tests {
         let obs = PipelineObs::new(&ObsConfig::default());
         obs.queue_wait.record(50_000);
         obs.batch_lanes.record(256);
+        obs.cache_hit_pct.record(92);
         let c = proto::CounterBlock {
             probes: 9,
             window_high_water_lanes: 7,
+            cache_hits: 23,
+            cache_misses: 2,
+            quota_sheds: 1,
             ..Default::default()
         };
         let mut page = PromText::new();
@@ -270,6 +301,10 @@ mod tests {
         assert!(text.contains("act_window_high_water_lanes 7"));
         assert!(text.contains("act_stage_seconds_bucket{stage=\"queue_wait\""));
         assert!(text.contains("act_batch_lanes_count 1"));
+        assert!(text.contains("act_cache_hits_total 23"));
+        assert!(text.contains("act_cache_misses_total 2"));
+        assert!(text.contains("act_quota_sheds_total 1"));
+        assert!(text.contains("act_cache_hit_pct_count 1"));
         assert!(text.contains("act_trace_events_total 0"));
         // One header per family even with seven stages sharing one.
         assert_eq!(

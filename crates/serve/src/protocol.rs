@@ -10,11 +10,14 @@
 //!   u8   op          1 = PROBE, 2 = PING, 3 = STATS, 4 = DUMP
 //!   u8   flags       PROBE bit 0: EXACT (refine candidates via the
 //!                    server's polygon set; requires a Refiner)
+//!                    PROBE bit 1: CELLS (points are pre-computed S2
+//!                    leaf cell ids; excludes EXACT)
 //!                    STATS bit 0: HISTOGRAMS (append the stage
 //!                    histogram section to the reply)
 //!   u16  reserved    must be 0
 //!   u32  n           number of points (PROBE) or 0 (PING/STATS/DUMP)
-//!   then n × { f64 lng, f64 lat }                       (PROBE only)
+//!   then n × { f64 lng, f64 lat }              (PROBE, coordinate form)
+//!   or   n × { u64 cell_id }                   (PROBE, CELLS form)
 //!
 //! response frame
 //!   u32  body_len
@@ -78,6 +81,29 @@
 //!   lines (non-destructive). A version-2 server answers it
 //!   `BAD_REQUEST` (unknown op); a version-2 client never sends it.
 //!
+//! Version 4 over version 3 — again additive, again opt-in by request:
+//!
+//! * The extended counter block grew from fourteen to seventeen words
+//!   (the hot-cell cache hit/miss counters and the fairness-quota shed
+//!   counter — `cache_hits`, `cache_misses`, `quota_sheds`), following
+//!   the same append-only rule: [`decode_counters`] accepts all four
+//!   block sizes (80/104/112/136) and reads absent counters as zero,
+//!   and the plain PING/STATS block stays thirteen words. The flagged
+//!   STATS payload leads with the seventeen-word block
+//!   ([`COUNTER_BLOCK_LEN_V4`]).
+//! * PROBE accepts [`FLAG_CELLS`]: the payload is `n` pre-computed S2
+//!   leaf cell ids (`n × u64`) instead of `n` coordinate pairs. The
+//!   client pays the coordinate→cell conversion once at encode time and
+//!   the server skips it entirely — the standard S2 serving idiom, and
+//!   the variant the hot-cell cache is fastest against. Cell frames are
+//!   approximate-only: `FLAG_CELLS | FLAG_EXACT` is `BAD_REQUEST`,
+//!   because refinement tests the *coordinate* against real polygon
+//!   boundaries and a cell id no longer carries one. Arbitrary `u64`
+//!   values are safe — a garbage id prefix-matches nothing in the trie
+//!   and resolves to an empty answer. A version-3 server rejects the
+//!   unknown flag (`BAD_REQUEST`), which a client can detect and
+//!   downgrade from; a version-3 client never sets it.
+//!
 //! ## Admission-control statuses
 //!
 //! * `LOADSHED` (probe only, `n = 0`): the server's bounded probe queue
@@ -92,11 +118,12 @@
 //!   `retry_after_ms` payload.
 
 use geom::Coord;
+use s2cell::CellId;
 use std::io::{self, Read, Write};
 
 /// Wire protocol version implemented by this build (see the module docs'
 /// "Versioning" section for what changed and why it is compatible).
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Probe a batch of coordinates.
 pub const OP_PROBE: u8 = 1;
@@ -112,6 +139,11 @@ pub const OP_DUMP: u8 = 4;
 
 /// PROBE request flag bit 0: refine candidate hits to exact membership.
 pub const FLAG_EXACT: u8 = 1;
+/// PROBE request flag bit 1: the payload is `n × u64` pre-computed S2
+/// leaf cell ids instead of `n × 16`-byte coordinate pairs (version 4+).
+/// Mutually exclusive with [`FLAG_EXACT`] — refinement needs the
+/// coordinate, which a cell id no longer carries.
+pub const FLAG_CELLS: u8 = 2;
 /// STATS request flag bit 0: append the extended counter block and the
 /// stage histogram section to the reply (version 3+). Deliberately a
 /// *request* flag: a version-2 client never sets it, so it never
@@ -165,6 +197,12 @@ pub enum Request {
         coords: Vec<Coord>,
         /// Refine candidates via the server's polygon set.
         exact: bool,
+    },
+    /// Probe pre-computed S2 leaf cells ([`FLAG_CELLS`]; version 4+).
+    /// Always approximate — the exact flag is rejected on cell frames.
+    ProbeCells {
+        /// The query cells (leaf cell ids; garbage ids resolve empty).
+        cells: Vec<CellId>,
     },
     /// Liveness check; the response carries epoch + the counter block.
     Ping,
@@ -283,6 +321,21 @@ pub struct CounterBlock {
     /// recent pressure, not history. Version 3+, carried only in the
     /// extended block; decodes as zero from older blocks.
     pub window_high_water_lanes: u64,
+    /// Hot-cell cache hits: probed cells answered from the epoch-keyed
+    /// result cache without a trie walk. Zero on servers running with
+    /// the cache disabled. Version 4+, extended block only.
+    pub cache_hits: u64,
+    /// Hot-cell cache misses: probed cells that walked the trie (and
+    /// filled the cache, when enabled). With the cache disabled both
+    /// cache counters stay zero — a miss is counted only when the cache
+    /// was actually consulted. Version 4+, extended block only.
+    pub cache_misses: u64,
+    /// Probe frames answered `LOADSHED` by the **per-client fairness
+    /// quota** (the connection already had its full admitted-lanes
+    /// budget in flight) rather than by queue depth. Always a subset of
+    /// `shed` — the reconciliation invariant is unchanged. Version 4+,
+    /// extended block only.
+    pub quota_sheds: u64,
 }
 
 impl CounterBlock {
@@ -310,6 +363,9 @@ impl CounterBlock {
         self.window_high_water_lanes = self
             .window_high_water_lanes
             .max(other.window_high_water_lanes);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.quota_sheds += other.quota_sheds;
     }
 }
 
@@ -337,9 +393,15 @@ pub const COUNTER_BLOCK_LEN: usize = 104;
 /// as zero.
 pub const COUNTER_BLOCK_LEN_V1: usize = 80;
 
-/// Serialized size of the extended (version-3) counter block a flagged
-/// STATS returns: fourteen `u64` words.
+/// Serialized size of the extended version-3 counter block: fourteen
+/// `u64` words. Still accepted by [`decode_counters`] (the version-4
+/// counters read as zero); flagged STATS now sends the v4 block.
 pub const COUNTER_BLOCK_LEN_V3: usize = 112;
+
+/// Serialized size of the extended (version-4) counter block a flagged
+/// STATS returns: seventeen `u64` words — v3 plus the hot-cell cache
+/// hit/miss counters and the fairness-quota shed counter.
+pub const COUNTER_BLOCK_LEN_V4: usize = 136;
 
 /// Serializes a counter block (plain PING/STATS response payload,
 /// thirteen words — `window_high_water_lanes` is dropped; it travels
@@ -352,15 +414,19 @@ pub fn encode_counters(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN] {
     out
 }
 
-/// Serializes the extended fourteen-word counter block (the first part
+/// Serializes the extended seventeen-word counter block (the first part
 /// of a flagged-STATS payload).
-pub fn encode_counters_ex(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN_V3] {
-    let mut out = [0u8; COUNTER_BLOCK_LEN_V3];
-    for (slot, w) in out.chunks_exact_mut(8).zip(
-        counter_words(c)
-            .into_iter()
-            .chain([c.window_high_water_lanes]),
-    ) {
+pub fn encode_counters_ex(c: &CounterBlock) -> [u8; COUNTER_BLOCK_LEN_V4] {
+    let mut out = [0u8; COUNTER_BLOCK_LEN_V4];
+    for (slot, w) in out
+        .chunks_exact_mut(8)
+        .zip(counter_words(c).into_iter().chain([
+            c.window_high_water_lanes,
+            c.cache_hits,
+            c.cache_misses,
+            c.quota_sheds,
+        ]))
+    {
         slot.copy_from_slice(&w.to_le_bytes());
     }
     out
@@ -387,9 +453,10 @@ fn counter_words(c: &CounterBlock) -> [u64; 13] {
 
 /// Decodes a counter block from a PING/STATS response payload.
 ///
-/// Accepts the extended fourteen-word block (v3), the thirteen-word
-/// block (v2), and, for compatibility with version-1 servers, the old
-/// ten-word block; counters a shorter block lacks decode as zero.
+/// Accepts the extended seventeen-word block (v4), the fourteen-word
+/// block (v3), the thirteen-word block (v2), and, for compatibility
+/// with version-1 servers, the old ten-word block; counters a shorter
+/// block lacks decode as zero.
 ///
 /// # Errors
 /// A static description of the structural violation.
@@ -397,11 +464,16 @@ pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
     if payload.len() != COUNTER_BLOCK_LEN
         && payload.len() != COUNTER_BLOCK_LEN_V1
         && payload.len() != COUNTER_BLOCK_LEN_V3
+        && payload.len() != COUNTER_BLOCK_LEN_V4
     {
-        return Err("counter block is not ten (v1), thirteen (v2), or fourteen (v3) u64 words");
+        return Err(
+            "counter block is not ten (v1), thirteen (v2), fourteen (v3), or seventeen (v4) \
+             u64 words",
+        );
     }
     let v2 = payload.len() >= COUNTER_BLOCK_LEN;
     let v3 = payload.len() >= COUNTER_BLOCK_LEN_V3;
+    let v4 = payload.len() >= COUNTER_BLOCK_LEN_V4;
     Ok(CounterBlock {
         probes: u64_at(payload, 0),
         accepted: u64_at(payload, 8),
@@ -417,6 +489,9 @@ pub fn decode_counters(payload: &[u8]) -> Result<CounterBlock, &'static str> {
         quarantines: if v2 { u64_at(payload, 88) } else { 0 },
         panics_contained: if v2 { u64_at(payload, 96) } else { 0 },
         window_high_water_lanes: if v3 { u64_at(payload, 104) } else { 0 },
+        cache_hits: if v4 { u64_at(payload, 112) } else { 0 },
+        cache_misses: if v4 { u64_at(payload, 120) } else { 0 },
+        quota_sheds: if v4 { u64_at(payload, 128) } else { 0 },
     })
 }
 
@@ -441,8 +516,12 @@ pub const STAGE_BATCH_LANES: u8 = 5;
 /// Trie node accesses per probed cell (0–7; see
 /// `Act::lookup_batch_depths`).
 pub const STAGE_PROBE_DEPTH: u8 = 6;
+/// Hot-cell cache hit rate per micro-batch, in whole percent (0–100;
+/// a value histogram). Recorded only on batches that consulted the
+/// cache, so a cache-off server's histogram stays empty.
+pub const STAGE_CACHE_HIT_PCT: u8 = 7;
 /// Number of known stages (ids `0..STAGE_COUNT`).
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 /// Human-readable stage name (metric label / log display).
 pub fn stage_name(stage: u8) -> &'static str {
@@ -454,6 +533,7 @@ pub fn stage_name(stage: u8) -> &'static str {
         STAGE_FRAME_TOTAL => "frame_total",
         STAGE_BATCH_LANES => "batch_lanes",
         STAGE_PROBE_DEPTH => "probe_depth",
+        STAGE_CACHE_HIT_PCT => "cache_hit_pct",
         _ => "unknown",
     }
 }
@@ -479,7 +559,7 @@ pub const MAX_WIRE_HISTS: usize = 64;
 pub fn encode_stats_ex_payload(c: &CounterBlock, hists: &[StageHistogram]) -> Vec<u8> {
     assert!(hists.len() <= MAX_WIRE_HISTS, "too many wire histograms");
     let mut out = Vec::with_capacity(
-        COUNTER_BLOCK_LEN_V3
+        COUNTER_BLOCK_LEN_V4
             + 4
             + hists
                 .iter()
@@ -510,15 +590,15 @@ pub fn encode_stats_ex_payload(c: &CounterBlock, hists: &[StageHistogram]) -> Ve
 pub fn decode_stats_ex_payload(
     payload: &[u8],
 ) -> Result<(CounterBlock, Vec<StageHistogram>), &'static str> {
-    if payload.len() < COUNTER_BLOCK_LEN_V3 + 4 {
+    if payload.len() < COUNTER_BLOCK_LEN_V4 + 4 {
         return Err("stats payload truncated before the histogram section");
     }
-    let counters = decode_counters(&payload[..COUNTER_BLOCK_LEN_V3])?;
-    let n_hists = u32_at(payload, COUNTER_BLOCK_LEN_V3) as usize;
+    let counters = decode_counters(&payload[..COUNTER_BLOCK_LEN_V4])?;
+    let n_hists = u32_at(payload, COUNTER_BLOCK_LEN_V4) as usize;
     if n_hists > MAX_WIRE_HISTS {
         return Err("histogram section claims too many histograms");
     }
-    let mut at = COUNTER_BLOCK_LEN_V3 + 4;
+    let mut at = COUNTER_BLOCK_LEN_V4 + 4;
     let mut hists = Vec::with_capacity(n_hists);
     for _ in 0..n_hists {
         if at + 16 > payload.len() {
@@ -646,6 +726,25 @@ pub fn encode_probe_request(coords: &[Coord], exact: bool) -> Vec<u8> {
     out
 }
 
+/// Renders a probe request frame in cell form ([`FLAG_CELLS`]): the
+/// points are pre-computed S2 leaf cell ids, 8 bytes each instead of 16,
+/// and the server skips the coordinate→cell conversion. Approximate
+/// mode only (see [`FLAG_CELLS`] for why exact is excluded).
+pub fn encode_probe_cells_request(cells: &[CellId]) -> Vec<u8> {
+    assert!(cells.len() <= MAX_POINTS, "probe frame over MAX_POINTS");
+    let body_len = REQ_HEADER_LEN + cells.len() * 8;
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(OP_PROBE);
+    out.push(FLAG_CELLS);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    for c in cells {
+        out.extend_from_slice(&c.0.to_le_bytes());
+    }
+    out
+}
+
 /// Renders a complete ping request frame.
 pub fn encode_ping_request() -> Vec<u8> {
     encode_headless_request(OP_PING, 0)
@@ -727,11 +826,25 @@ pub fn decode_request(body: &[u8]) -> Result<Request, &'static str> {
     let n = u32_at(body, 4) as usize;
     match op {
         OP_PROBE => {
-            if flags & !FLAG_EXACT != 0 {
+            if flags & !(FLAG_EXACT | FLAG_CELLS) != 0 {
                 return Err("unknown request flags");
             }
             if n > MAX_POINTS {
                 return Err("probe frame exceeds MAX_POINTS");
+            }
+            if flags & FLAG_CELLS != 0 {
+                if flags & FLAG_EXACT != 0 {
+                    return Err("cell frames cannot request exact mode");
+                }
+                if body.len() != REQ_HEADER_LEN + n * 8 {
+                    return Err("probe body length disagrees with cell count");
+                }
+                // Any u64 is acceptable here: a garbage id prefix-matches
+                // nothing in the trie and resolves to an empty answer.
+                let cells = (0..n)
+                    .map(|i| CellId(u64_at(body, REQ_HEADER_LEN + i * 8)))
+                    .collect();
+                return Ok(Request::ProbeCells { cells });
             }
             if body.len() != REQ_HEADER_LEN + n * 16 {
                 return Err("probe body length disagrees with point count");
@@ -921,6 +1034,49 @@ mod tests {
     }
 
     #[test]
+    fn probe_cells_request_roundtrip() {
+        let cells = vec![CellId(0x9f43_2100_0000_0001), CellId(u64::MAX), CellId(0)];
+        let frame = encode_probe_cells_request(&cells);
+        let body = read_frame(&mut frame.as_slice(), MAX_REQ_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            decode_request(&body).unwrap(),
+            Request::ProbeCells { cells }
+        );
+    }
+
+    #[test]
+    fn probe_cells_decode_matrix() {
+        let frame = encode_probe_cells_request(&[CellId(7)]);
+        // Cell frames are approximate-only: EXACT alongside CELLS is
+        // structurally invalid, not silently ignored.
+        let mut f = frame.clone();
+        f[5] = FLAG_CELLS | FLAG_EXACT;
+        assert_eq!(
+            decode_request(&f[4..]),
+            Err("cell frames cannot request exact mode")
+        );
+        // A cell body is 8 bytes per point, and the count must agree.
+        let mut f = frame.clone();
+        f[8] = 2;
+        assert_eq!(
+            decode_request(&f[4..]),
+            Err("probe body length disagrees with cell count")
+        );
+        // Reserved bytes still enforced on the cell form.
+        let mut f = frame.clone();
+        f[7] = 1;
+        assert!(decode_request(&f[4..]).is_err());
+        // An empty cell frame is legal, like an empty coordinate frame.
+        let empty = encode_probe_cells_request(&[]);
+        assert_eq!(
+            decode_request(&empty[4..]).unwrap(),
+            Request::ProbeCells { cells: vec![] }
+        );
+    }
+
+    #[test]
     fn clean_eof_is_none() {
         assert!(read_frame(&mut [].as_slice(), MAX_REQ_BODY)
             .unwrap()
@@ -1030,6 +1186,9 @@ mod tests {
             quarantines: 1,
             panics_contained: 1,
             window_high_water_lanes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            quota_sheds: 0,
         };
         let frame = encode_response(OP_PING, STATUS_OK, 3, 0, &encode_counters(&counters));
         let body = read_frame(&mut frame.as_slice(), usize::MAX)
@@ -1043,6 +1202,33 @@ mod tests {
         assert!(decode_counters(&[0; 105]).is_err());
         // The old nine-word block is rejected, not misread.
         assert!(decode_counters(&[0; 72]).is_err());
+        // Near-miss extended sizes are rejected too.
+        assert!(decode_counters(&[0; 135]).is_err());
+        assert!(decode_counters(&[0; 137]).is_err());
+    }
+
+    #[test]
+    fn v4_counter_block_roundtrips_and_v3_reads_zeroes() {
+        let counters = CounterBlock {
+            probes: 11,
+            accepted: 5,
+            window_high_water_lanes: 77,
+            cache_hits: 1_000,
+            cache_misses: 13,
+            quota_sheds: 4,
+            ..Default::default()
+        };
+        let full = encode_counters_ex(&counters);
+        assert_eq!(full.len(), COUNTER_BLOCK_LEN_V4);
+        assert_eq!(decode_counters(&full).unwrap(), counters);
+        // A fourteen-word (v3) block still decodes; the cache and quota
+        // counters read as zero.
+        let got = decode_counters(&full[..COUNTER_BLOCK_LEN_V3]).unwrap();
+        assert_eq!(got.window_high_water_lanes, 77);
+        assert_eq!(
+            (got.cache_hits, got.cache_misses, got.quota_sheds),
+            (0, 0, 0)
+        );
     }
 
     #[test]
@@ -1110,6 +1296,9 @@ mod tests {
             shed: 1,
             queue_high_water_lanes: 700,
             swaps: 2,
+            cache_hits: 90,
+            cache_misses: 10,
+            quota_sheds: 1,
             ..Default::default()
         };
         let b = CounterBlock {
@@ -1120,6 +1309,7 @@ mod tests {
             queue_high_water_lanes: 512,
             window_high_water_lanes: 64,
             panics_contained: 1,
+            cache_hits: 10,
             ..Default::default()
         };
         a.merge(&b);
@@ -1132,6 +1322,11 @@ mod tests {
         assert_eq!(a.queue_high_water_lanes, 700);
         assert_eq!(a.window_high_water_lanes, 64);
         assert_eq!(a.panics_contained, 1);
+        assert_eq!(
+            (a.cache_hits, a.cache_misses, a.quota_sheds),
+            (100, 10, 1),
+            "cache and quota counters are monotonic sums"
+        );
         // The reconciliation invariant survives a merge.
         assert_eq!(a.accepted, a.answered + a.shed);
     }
@@ -1244,10 +1439,15 @@ mod tests {
         let good = encode_stats_ex_payload(&counters, &hists);
 
         // Truncation at every boundary is rejected, never misread.
-        for cut in [0, COUNTER_BLOCK_LEN_V3, COUNTER_BLOCK_LEN_V3 + 2] {
+        for cut in [
+            0,
+            COUNTER_BLOCK_LEN_V3,
+            COUNTER_BLOCK_LEN_V4,
+            COUNTER_BLOCK_LEN_V4 + 2,
+        ] {
             assert!(decode_stats_ex_payload(&good[..cut]).is_err(), "cut {cut}");
         }
-        for cut in COUNTER_BLOCK_LEN_V3 + 4..good.len() {
+        for cut in COUNTER_BLOCK_LEN_V4 + 4..good.len() {
             assert!(decode_stats_ex_payload(&good[..cut]).is_err(), "cut {cut}");
         }
         // Trailing bytes.
@@ -1256,17 +1456,17 @@ mod tests {
         assert!(decode_stats_ex_payload(&long).is_err());
         // Oversized histogram count.
         let mut bad = good.clone();
-        bad[COUNTER_BLOCK_LEN_V3..COUNTER_BLOCK_LEN_V3 + 4]
+        bad[COUNTER_BLOCK_LEN_V4..COUNTER_BLOCK_LEN_V4 + 4]
             .copy_from_slice(&(MAX_WIRE_HISTS as u32 + 1).to_le_bytes());
         assert!(decode_stats_ex_payload(&bad).is_err());
         // Oversized bucket count.
         let mut bad = good.clone();
-        let n_at = COUNTER_BLOCK_LEN_V3 + 4 + 12;
+        let n_at = COUNTER_BLOCK_LEN_V4 + 4 + 12;
         bad[n_at..n_at + 4].copy_from_slice(&(act_obs::NUM_BUCKETS as u32 + 1).to_le_bytes());
         assert!(decode_stats_ex_payload(&bad).is_err());
         // Nonzero pad.
         let mut bad = good;
-        bad[COUNTER_BLOCK_LEN_V3 + 4 + 1] = 1;
+        bad[COUNTER_BLOCK_LEN_V4 + 4 + 1] = 1;
         assert!(decode_stats_ex_payload(&bad).is_err());
     }
 

@@ -448,10 +448,14 @@ fn conn_loop(mut stream: TcpStream, state: &RouterState) {
     // frame already being read is always finished and answered first —
     // drain never drops an accepted request.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // Shard addresses were resolved once at router spawn; building the
+    // pool is infallible. (The old `ResilientClient::new(..).expect(..)`
+    // re-resolved per connection and could panic this thread on a
+    // transient resolver failure — a crash for something retryable.)
     let mut clients: Vec<ResilientClient> = state
         .shard_addrs
         .iter()
-        .map(|a| ResilientClient::new(*a, state.policy).expect("socket address resolves"))
+        .map(|a| ResilientClient::from_resolved(*a, state.policy))
         .collect();
     loop {
         let body = match read_frame_drain_aware(&mut stream, state) {
@@ -546,6 +550,7 @@ fn route_request(
 ) -> Vec<u8> {
     match req {
         proto::Request::Probe { coords, exact } => route_probe(state, clients, &coords, exact),
+        proto::Request::ProbeCells { cells } => route_probe_cells(state, clients, &cells),
         proto::Request::Ping => route_counters(state, clients, proto::OP_PING),
         proto::Request::Stats { histograms: false } => {
             route_counters(state, clients, proto::OP_STATS)
@@ -555,32 +560,76 @@ fn route_request(
     }
 }
 
-/// Partition → scatter → gather for one probe frame (module docs tell
-/// the full story).
+/// Partition → scatter → gather for one coordinate probe frame (module
+/// docs tell the full story).
 fn route_probe(
     state: &RouterState,
     clients: &mut [ResilientClient],
     coords: &[Coord],
     exact: bool,
 ) -> Vec<u8> {
+    route_probe_frames(
+        state,
+        clients,
+        coords,
+        exact,
+        coord_to_cell,
+        |client, pts| client.probe(pts, exact),
+    )
+}
+
+/// [`route_probe`] for the cell form ([`proto::FLAG_CELLS`]): shard
+/// ownership comes straight off the cell id — no conversion anywhere on
+/// the router — and the scatter forwards cell frames downstream so the
+/// workers skip the conversion too.
+fn route_probe_cells(
+    state: &RouterState,
+    clients: &mut [ResilientClient],
+    cells: &[s2cell::CellId],
+) -> Vec<u8> {
+    route_probe_frames(
+        state,
+        clients,
+        cells,
+        false,
+        |c| c,
+        |client, pts| client.probe_cells(pts),
+    )
+}
+
+/// The shared partition → scatter → gather engine behind both probe
+/// forms; `to_cell` derives shard ownership, `send` forwards one
+/// shard's sub-batch in whatever frame form arrived.
+fn route_probe_frames<P, F>(
+    state: &RouterState,
+    clients: &mut [ResilientClient],
+    points: &[P],
+    exact: bool,
+    to_cell: impl Fn(P) -> s2cell::CellId,
+    send: F,
+) -> Vec<u8>
+where
+    P: Copy + Sync,
+    F: Fn(&mut ResilientClient, &[P]) -> Result<proto::ProbeReply, crate::ClientError> + Sync,
+{
     let n = state.num_shards();
-    if coords.is_empty() {
+    if points.is_empty() {
         return proto::encode_response(proto::OP_PROBE, proto::STATUS_OK, 0, 0, &[]);
     }
-    let mut per_shard: Vec<Vec<Coord>> = vec![Vec::new(); n];
-    let mut owner = Vec::with_capacity(coords.len());
-    for c in coords {
-        let s = shard_of_cell(coord_to_cell(*c), state.split_level, n);
+    let mut per_shard: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
+    let mut owner = Vec::with_capacity(points.len());
+    for &p in points {
+        let s = shard_of_cell(to_cell(p), state.split_level, n);
         owner.push(s);
-        per_shard[s].push(*c);
+        per_shard[s].push(p);
     }
 
     let mut outcomes: Vec<Option<Outcome<proto::ProbeReply>>> = (0..n).map(|_| None).collect();
-    let shard_probe = |k: usize, client: &mut ResilientClient, pts: &[Coord]| {
+    let shard_probe = |k: usize, client: &mut ResilientClient, pts: &[P]| {
         if let Some(hint) = state.down_hint(k) {
             return Outcome::Shed(hint);
         }
-        match client.probe(pts, exact) {
+        match send(client, pts) {
             Ok(reply) => {
                 state.mark_up(k);
                 Outcome::Ok(reply)
@@ -593,7 +642,7 @@ fn route_probe(
         t.sampled(
             "admission",
             &[
-                ("lanes", coords.len() as u64),
+                ("lanes", points.len() as u64),
                 ("shards", participating as u64),
                 ("exact", u64::from(exact)),
             ],
@@ -602,7 +651,10 @@ fn route_probe(
     if participating == 1 {
         // Single-owner frame (the common case under geographic
         // locality): answer inline, no scatter threads to pay for.
-        let k = per_shard.iter().position(|p| !p.is_empty()).expect("one");
+        // Every point has the same owner, so the first point's owner
+        // *is* the shard — no searching, nothing to `expect`, and a
+        // connection thread that cannot panic on a routing assertion.
+        let k = owner[0];
         outcomes[k] = Some(shard_probe(k, &mut clients[k], &per_shard[k]));
     } else {
         let shard_probe = &shard_probe;
@@ -672,7 +724,7 @@ fn route_probe(
         proto::OP_PROBE,
         proto::STATUS_OK,
         epoch,
-        coords.len() as u32,
+        points.len() as u32,
         &payload,
     )
 }

@@ -55,6 +55,7 @@
 //!    [`ServeConfig::drain_grace`], so one stalled client cannot wedge
 //!    shutdown), then close.
 
+use crate::cache::{CacheConfig, HotCellCache};
 use crate::obs::{render_counters, render_histograms, render_trace_meta, ObsConfig, PipelineObs};
 use crate::protocol as proto;
 use crate::swap::{snapshot_signature, watch_loop_opts, IndexStore, WatchCounters, WatchOptions};
@@ -69,7 +70,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -165,6 +166,18 @@ pub struct ServeConfig {
     /// ring. `None` (the default) records nothing and takes **zero**
     /// clock reads on the hot path; see [`crate::obs`].
     pub obs: Option<ObsConfig>,
+    /// Hot-cell result cache consulted by the worker batch path before
+    /// the trie walk; entries key on the **resolved trie cell** and
+    /// carry their fill epoch, so hot-swaps invalidate structurally
+    /// (see [`crate::cache`]). `None` (the default) probes every lane.
+    pub cache: Option<CacheConfig>,
+    /// Per-client fairness: the admitted-lanes quota one connection may
+    /// have in flight. A probe frame that would push its connection
+    /// past this is answered `LOADSHED` (with the retry hint) *before*
+    /// the shared queue is consulted, so one greedy pipeliner cannot
+    /// starve polite clients of queue depth. `None` (the default)
+    /// enforces nothing.
+    pub client_quota_lanes: Option<usize>,
     /// An armed fault plan ([`crate::faults::FaultPlan::arm`]); hooks in
     /// the workers, connection writers, and the watcher consult it.
     /// `None` injects nothing. Only present under the `fault-injection`
@@ -189,6 +202,8 @@ impl Default for ServeConfig {
             drain_grace: Duration::from_secs(5),
             batch_delay: None,
             obs: None,
+            cache: None,
+            client_quota_lanes: None,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -225,6 +240,13 @@ pub struct ServeStats {
     pub watch_errors: u64,
     /// Corrupt/wrong-chain delta files quarantined by the watcher.
     pub quarantines: u64,
+    /// Probed cells answered from the hot-cell cache (0 with no cache).
+    pub cache_hits: u64,
+    /// Probed cells that missed the cache and walked the trie.
+    pub cache_misses: u64,
+    /// Probe frames shed by the per-client fairness quota (a subset of
+    /// `shed`).
+    pub quota_sheds: u64,
 }
 
 /// One enqueued probe request.
@@ -236,6 +258,11 @@ struct Job {
     /// Admission timestamp; `Some` only with observability on (the
     /// worker derives queue-wait from it, the writer frame-total).
     admitted: Option<Instant>,
+    /// The owning connection's in-flight-lanes counter (the fairness
+    /// quota's book). Charged at admission by the reader; released by
+    /// the worker when the reply is produced — through the `Arc`, so a
+    /// connection that dies mid-flight still gets its lanes back.
+    quota: Arc<AtomicU64>,
 }
 
 /// A worker's answer to one [`Job`], ready to frame.
@@ -275,6 +302,13 @@ struct State {
     batches: AtomicU64,
     queue_hw_lanes: AtomicU64,
     panics_contained: AtomicU64,
+    /// Probe frames shed by the per-client quota (also counted in
+    /// `shed`; the split tells overload from unfairness on /metrics).
+    quota_sheds: AtomicU64,
+    /// The per-connection admitted-lanes quota; `None` enforces nothing.
+    quota_lanes: Option<usize>,
+    /// The hot-cell result cache; `None` walks every lane.
+    cache: Option<Arc<HotCellCache>>,
     /// Watcher-side counters (transient IO errors, quarantined deltas),
     /// shared with the watch thread.
     watch: Arc<WatchCounters>,
@@ -310,6 +344,9 @@ impl State {
             quarantines: self.watch.quarantines(),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
             window_high_water_lanes: self.window_hw_lanes.load(Ordering::Relaxed),
+            cache_hits: self.cache.as_ref().map_or(0, |c| c.hits()),
+            cache_misses: self.cache.as_ref().map_or(0, |c| c.misses()),
+            quota_sheds: self.quota_sheds.load(Ordering::Relaxed),
         }
     }
 
@@ -332,7 +369,7 @@ impl State {
     /// estimated time for the current queue to drain at the measured
     /// rate (see [`proto::suggest_retry_after_ms`]).
     fn retry_hint_ms(&self) -> u32 {
-        let queued = self.queue.lock().map(|q| q.lanes as u64).unwrap_or(0);
+        let queued = queued_lanes(&self.queue);
         let secs = self.started.elapsed().as_secs_f64();
         let rate = if secs > 0.0 {
             self.drained_lanes.load(Ordering::Relaxed) as f64 / secs
@@ -341,6 +378,17 @@ impl State {
         };
         proto::suggest_retry_after_ms(queued, rate)
     }
+}
+
+/// The queue's current depth in lanes, recovered through lock poison.
+/// A worker panicking under the queue lock poisons it, but `lanes` is a
+/// plain counter kept consistent at every await-free update — there is
+/// no torn state to fear. The old `.map(..).unwrap_or(0)` masked poison
+/// as an **empty** queue, so a server that had just contained a panic
+/// under load advertised near-zero retry hints at exactly the moment it
+/// was sickest, inviting the whole herd back early.
+fn queued_lanes(queue: &Mutex<Queue>) -> u64 {
+    queue.lock().unwrap_or_else(PoisonError::into_inner).lanes as u64
 }
 
 /// Spawns an [`act-serve`](crate) server over the snapshot at
@@ -391,6 +439,12 @@ impl Server {
             batches: AtomicU64::new(0),
             queue_hw_lanes: AtomicU64::new(0),
             panics_contained: AtomicU64::new(0),
+            quota_sheds: AtomicU64::new(0),
+            quota_lanes: config.client_quota_lanes,
+            cache: config
+                .cache
+                .as_ref()
+                .map(|c| Arc::new(HotCellCache::new(c))),
             watch: Arc::new(WatchCounters::default()),
             drained_lanes: AtomicU64::new(0),
             started: Instant::now(),
@@ -487,6 +541,9 @@ impl ServerHandle {
             panics_contained: c.panics_contained,
             watch_errors: c.watch_errors,
             quarantines: c.quarantines,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            quota_sheds: c.quota_sheds,
         }
     }
 
@@ -738,13 +795,18 @@ fn conn_loop(stream: TcpStream, state: &State) {
     // an error or its drain deadline; reader hit EOF is signaled by the
     // channel disconnect instead).
     let dead = AtomicBool::new(false);
+    // This connection's in-flight-lanes book for the fairness quota:
+    // charged by the reader at admission, released by workers at reply
+    // production. Kept even with the quota off — one relaxed add/sub
+    // per frame — so flipping the knob needs no reconnects.
+    let inflight_lanes = Arc::new(AtomicU64::new(0));
     std::thread::scope(|scope| {
         std::thread::Builder::new()
             .name("act-serve-conn-writer".to_string())
             .spawn_scoped(scope, || writer_loop(state, w, rx, &dead))
             .expect("spawn connection writer");
         let mut r = stream;
-        reader_loop(state, &mut r, &tx, &dead);
+        reader_loop(state, &mut r, &tx, &dead, &inflight_lanes);
         // Dropping the sender is the writer's EOF: it delivers every
         // entry still owed (bounded by the drain grace), then exits; the
         // scope joins it.
@@ -758,6 +820,7 @@ fn reader_loop(
     r: &mut TcpStream,
     tx: &mpsc::SyncSender<Pending>,
     dead: &AtomicBool,
+    inflight_lanes: &Arc<AtomicU64>,
 ) {
     loop {
         let body = match read_request_frame(r, state, dead) {
@@ -851,10 +914,51 @@ fn reader_loop(
                     return;
                 }
             }
-            Ok(proto::Request::Probe { coords, exact }) => {
-                let cells: Vec<CellId> = coords.iter().map(|&c| coord_to_cell(c)).collect();
-                let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
+            Ok(req @ (proto::Request::Probe { .. } | proto::Request::ProbeCells { .. })) => {
+                // Cell frames ship pre-computed S2 leaves, so the
+                // conversion below (the priciest fixed cost on the
+                // probe path) only runs for coordinate frames; the
+                // decoder already rejected exact-mode cell frames.
+                let (cells, coords, exact): (Vec<CellId>, Vec<Coord>, bool) = match req {
+                    proto::Request::Probe { coords, exact } => (
+                        coords.iter().map(|&c| coord_to_cell(c)).collect(),
+                        coords,
+                        exact,
+                    ),
+                    proto::Request::ProbeCells { cells } => (cells, Vec::new(), false),
+                    _ => unreachable!("matched a probe form above"),
+                };
                 let lanes = cells.len();
+                // Per-client fairness: a frame that would push this
+                // connection past its admitted-lanes quota is shed
+                // *before* the shared queue is consulted — the greedy
+                // pipeliner pays, not the queue everyone shares. The
+                // check is reader-local (one reader per connection, so
+                // load-then-charge cannot race itself; workers only
+                // ever subtract, which frees quota early at worst).
+                if let Some(quota) = state.quota_lanes {
+                    if inflight_lanes.load(Ordering::Acquire) as usize + lanes > quota {
+                        state.accepted.fetch_add(1, Ordering::Relaxed);
+                        state.shed.fetch_add(1, Ordering::Relaxed);
+                        state.quota_sheds.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &state.obs {
+                            obs.trace.always("quota_shed", &[("lanes", lanes as u64)]);
+                        }
+                        let hint = proto::encode_retry_hint(state.retry_hint_ms());
+                        let f = proto::encode_response(
+                            proto::OP_PROBE,
+                            proto::STATUS_LOADSHED,
+                            state.store.epoch(),
+                            0,
+                            &hint,
+                        );
+                        if !push_pending(tx, Pending::Ready(f), dead) {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                let (reply_tx, reply_rx) = mpsc::sync_channel::<Reply>(1);
                 let admitted = state.obs.as_ref().map(|_| Instant::now());
                 let job = Job {
                     cells,
@@ -862,9 +966,11 @@ fn reader_loop(
                     exact,
                     reply: reply_tx,
                     admitted,
+                    quota: Arc::clone(inflight_lanes),
                 };
                 match try_enqueue(state, job) {
                     Admission::Enqueued => {
+                        inflight_lanes.fetch_add(lanes as u64, Ordering::AcqRel);
                         state.accepted.fetch_add(1, Ordering::Relaxed);
                         if let Some(obs) = &state.obs {
                             obs.trace.sampled(
@@ -1232,6 +1338,11 @@ fn process_batch(state: &State, batch: Vec<Job>) {
         .drained_lanes
         .fetch_add(total as u64, Ordering::Relaxed);
     for (job, reply) in batch.into_iter().zip(replies) {
+        // Release the connection's quota lanes at reply production —
+        // whether the reply is real or a contained-panic INTERNAL, the
+        // work is out of the pipeline either way.
+        job.quota
+            .fetch_sub(job.cells.len() as u64, Ordering::AcqRel);
         // Counted at production: the reply exists whether or not the
         // connection survives to carry it.
         state.answered.fetch_add(1, Ordering::Relaxed);
@@ -1255,28 +1366,104 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
     let (snap, epoch) = state.store.current();
     let view = snap.view();
     let total: usize = batch.iter().map(|j| j.cells.len()).sum();
-    let mut cells = Vec::with_capacity(total);
-    for job in batch {
-        cells.extend_from_slice(&job.cells);
-    }
-    let mut probes = vec![Probe::Miss; cells.len()];
-    match &state.obs {
-        Some(obs) => {
-            // The depth-reporting walk mirrors `lookup_batch` level by
-            // level (same memory-level parallelism); per-cell depths
-            // feed the probe-depth histogram, the walk span closes at
-            // batch granularity, and the batch width is recorded here
-            // because this is the one place the widened batch exists.
-            let mut depths = vec![0u8; cells.len()];
-            let t0 = Instant::now();
-            view.probe_batch_depths(&cells, &mut probes, &mut depths);
-            obs.walk.record(t0.elapsed().as_nanos() as u64);
-            obs.batch_lanes.record(total as u64);
-            for &d in &depths {
-                obs.probe_depth.record(u64::from(d));
+    // A single-job batch (the common shape when one frame fills the
+    // lane budget by itself) borrows its cells straight from the job;
+    // only genuinely widened batches pay the gather copy.
+    let mut cells_buf = Vec::new();
+    let cells: &[CellId] = if batch.len() == 1 {
+        &batch[0].cells
+    } else {
+        cells_buf.reserve(total);
+        for job in batch {
+            cells_buf.extend_from_slice(&job.cells);
+        }
+        &cells_buf
+    };
+    // Only the cache-off arm resolves lanes out of `probes`; with the
+    // cache on every lane lands in the span table instead, so the
+    // allocation (and its memset) is skipped entirely.
+    let mut probes: Vec<Probe> = Vec::new();
+    // With the cache on, every lane lands in the span table — hits copy
+    // their ref lists straight into the batch arena under the shard
+    // read-lock, misses append theirs after the walk + fill. With it
+    // off, both stay empty and lanes resolve lazily out of `probes` at
+    // encode time. The arena holds **packed wire words** (the cache's
+    // storage form), so an approximate hit reaches the reply payload by
+    // copy alone; spans store `len + 1` so `(0, 0)` can mark a lane
+    // whose miss has not been filled yet.
+    let mut arena: Vec<u32> = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    match &state.cache {
+        Some(cache) => {
+            // Read-through at the pinned epoch: consult the cache per
+            // leaf, then walk **only the misses** — with termination
+            // depths, so each fill keys on the resolved trie cell. An
+            // entry filled under an older epoch never matches, so a
+            // concurrent hot-swap can only cost misses, never staleness.
+            arena.reserve(cells.len() * 2);
+            spans.reserve(cells.len());
+            let hits = cache.get_batch(cells, epoch, &mut arena, &mut spans);
+            let miss_idx: Vec<usize> = (0..cells.len()).filter(|&i| spans[i].1 == 0).collect();
+            cache.record(hits, miss_idx.len() as u64);
+            let miss_cells: Vec<CellId> = miss_idx.iter().map(|&i| cells[i]).collect();
+            let mut miss_probes = vec![Probe::Miss; miss_cells.len()];
+            let mut depths = vec![0u8; miss_cells.len()];
+            if !miss_cells.is_empty() {
+                match &state.obs {
+                    Some(obs) => {
+                        let t0 = Instant::now();
+                        view.probe_batch_depths(&miss_cells, &mut miss_probes, &mut depths);
+                        obs.walk.record(t0.elapsed().as_nanos() as u64);
+                        for &d in &depths {
+                            obs.probe_depth.record(u64::from(d));
+                        }
+                    }
+                    None => view.probe_batch_depths(&miss_cells, &mut miss_probes, &mut depths),
+                }
+            }
+            for (k, &i) in miss_idx.iter().enumerate() {
+                // Misses are cached even when empty — a hot cell with
+                // no polygons is still hot. Packing to the wire form
+                // happens once, here; hits never pay it again.
+                let start = arena.len();
+                arena.extend(
+                    view.resolve_refs(miss_probes[k])
+                        .map(|(id, hit)| proto::encode_ref(id, hit)),
+                );
+                cache.insert(cells[i], depths[k], epoch, &arena[start..]);
+                spans[i] = (start, arena.len() - start + 1);
+            }
+            if let Some(obs) = &state.obs {
+                obs.batch_lanes.record(total as u64);
+                if total > 0 {
+                    let hits = (cells.len() - miss_cells.len()) as u64;
+                    obs.cache_hit_pct.record(hits * 100 / total as u64);
+                }
             }
         }
-        None => view.probe_batch(&cells, &mut probes),
+        None => match &state.obs {
+            Some(obs) => {
+                // The depth-reporting walk mirrors `lookup_batch` level
+                // by level (same memory-level parallelism); per-cell
+                // depths feed the probe-depth histogram, the walk span
+                // closes at batch granularity, and the batch width is
+                // recorded here because this is the one place the
+                // widened batch exists.
+                probes.resize(cells.len(), Probe::Miss);
+                let mut depths = vec![0u8; cells.len()];
+                let t0 = Instant::now();
+                view.probe_batch_depths(cells, &mut probes, &mut depths);
+                obs.walk.record(t0.elapsed().as_nanos() as u64);
+                obs.batch_lanes.record(total as u64);
+                for &d in &depths {
+                    obs.probe_depth.record(u64::from(d));
+                }
+            }
+            None => {
+                probes.resize(cells.len(), Probe::Miss);
+                view.probe_batch(cells, &mut probes)
+            }
+        },
     }
     state.probes.fetch_add(total as u64, Ordering::Relaxed);
     state.batches.fetch_add(1, Ordering::Relaxed);
@@ -1286,8 +1473,6 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
     let mut at = 0usize;
     for job in batch {
         let n = job.cells.len();
-        let out = &probes[at..at + n];
-        at += n;
         let reply = if job.exact && state.refiner.is_none() {
             Reply {
                 status: proto::STATUS_UNSUPPORTED,
@@ -1301,27 +1486,24 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
                 _ => None,
             };
             let mut payload = Vec::with_capacity(n * 8);
-            for (i, &p) in out.iter().enumerate() {
-                let count_at = payload.len();
-                payload.extend_from_slice(&0u32.to_le_bytes());
-                let mut count = 0u32;
-                if job.exact {
-                    let refiner = state.refiner.as_ref().expect("checked above");
-                    for (id, interior) in view.resolve_refs(p) {
-                        // True hits skip the point-in-polygon test — the
-                        // paper's true-hit filtering, carried onto the wire.
-                        if interior || refiner.contains(id, job.coords[i]) {
-                            payload.extend_from_slice(&proto::encode_ref(id, true).to_le_bytes());
-                            count += 1;
-                        }
-                    }
+            for i in 0..n {
+                let refine = if job.exact {
+                    Some((
+                        state.refiner.as_ref().expect("checked above"),
+                        job.coords[i],
+                    ))
                 } else {
-                    for (id, hit) in view.resolve_refs(p) {
-                        payload.extend_from_slice(&proto::encode_ref(id, hit).to_le_bytes());
-                        count += 1;
+                    None
+                };
+                // A cached lane encodes straight from its arena span —
+                // exact mode still refines against the cached
+                // candidates, so the cache is refinement-agnostic.
+                match spans.get(at + i) {
+                    Some(&(start, len1)) if len1 > 0 => {
+                        encode_point_words(&mut payload, &arena[start..start + len1 - 1], refine)
                     }
+                    _ => encode_point_refs(&mut payload, view.resolve_refs(probes[at + i]), refine),
                 }
-                payload[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
             }
             if let Some(t0) = refine_t0 {
                 refine_ns += t0.elapsed().as_nanos() as u64;
@@ -1333,6 +1515,7 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
                 payload,
             }
         };
+        at += n;
         replies.push(reply);
     }
     if refine_ns > 0 {
@@ -1341,4 +1524,82 @@ fn compute_replies(state: &State, batch: &[Job]) -> Vec<Reply> {
         }
     }
     replies
+}
+
+/// Appends one point's reply section — the u32 count then one encoded
+/// ref word per reported polygon — from whatever yields the resolved
+/// `(id, interior)` pairs (a cached list or the live trie resolution).
+/// With `refine` set (exact mode), true hits skip the point-in-polygon
+/// test — the paper's true-hit filtering, carried onto the wire — and
+/// candidates that fail it are dropped.
+/// Encodes one point's answer from already-packed wire words (an arena
+/// span). The approximate path is the reason the arena is packed: a
+/// count word and a bulk byte copy, no per-ref work at all. Exact mode
+/// must look inside each ref to refine it, so it unpacks and shares
+/// [`encode_point_refs`].
+fn encode_point_words(payload: &mut Vec<u8>, words: &[u32], refine: Option<(&Refiner, Coord)>) {
+    if refine.is_some() {
+        return encode_point_refs(payload, words.iter().map(|&w| proto::decode_ref(w)), refine);
+    }
+    payload.reserve(4 + words.len() * 4);
+    payload.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for &w in words {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn encode_point_refs(
+    payload: &mut Vec<u8>,
+    refs: impl Iterator<Item = (u32, bool)>,
+    refine: Option<(&Refiner, Coord)>,
+) {
+    let count_at = payload.len();
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    let mut count = 0u32;
+    match refine {
+        Some((refiner, coord)) => {
+            for (id, interior) in refs {
+                if interior || refiner.contains(id, coord) {
+                    payload.extend_from_slice(&proto::encode_ref(id, true).to_le_bytes());
+                    count += 1;
+                }
+            }
+        }
+        None => {
+            for (id, hit) in refs {
+                payload.extend_from_slice(&proto::encode_ref(id, hit).to_le_bytes());
+                count += 1;
+            }
+        }
+    }
+    payload[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a panic under the queue lock poisons the mutex, and
+    /// the retry-hint path used to mask that as `lanes = 0` — an
+    /// overloaded server advertising an empty queue. The hint must see
+    /// the real occupancy through the poison.
+    #[test]
+    fn retry_hint_sees_real_queue_depth_through_lock_poison() {
+        let queue = Arc::new(Mutex::new(Queue {
+            jobs: VecDeque::new(),
+            lanes: 777,
+        }));
+        let q = Arc::clone(&queue);
+        let _ = std::thread::spawn(move || {
+            let _guard = q.lock().expect("first lock of a fresh mutex");
+            panic!("poison the queue lock (deliberate)");
+        })
+        .join();
+        assert!(queue.lock().is_err(), "the lock must actually be poisoned");
+        assert_eq!(
+            queued_lanes(&queue),
+            777,
+            "poison must not masquerade as an empty queue"
+        );
+    }
 }

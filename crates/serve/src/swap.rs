@@ -144,6 +144,15 @@ impl ServeIndex {
 }
 
 /// The epoch-counted holder of the serving index.
+///
+/// The epoch is more than a version number clients echo: it is the
+/// **invalidation key** for the hot-cell result cache
+/// ([`crate::cache::HotCellCache`]). Every publish — full swap or delta
+/// apply — bumps it, and cache entries carry the epoch they were filled
+/// under, so after any publish every cached answer silently stops
+/// matching without a scan. Anything that changes what a probe may
+/// answer MUST go through [`IndexStore::swap`]/[`IndexStore::swap_owned`]
+/// for exactly this reason.
 #[derive(Debug)]
 pub struct IndexStore {
     current: Mutex<Arc<ServeIndex>>,

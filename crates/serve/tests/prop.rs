@@ -1,6 +1,6 @@
 //! Property tests for the wire protocol's admission-control and
 //! resilience surfaces: counter-block serialization across every
-//! protocol version (v1 × v2 × v3 compatibility matrix), response
+//! protocol version (v1 × v2 × v3 × v4 compatibility matrix), response
 //! framing across every status (LOADSHED/BUSY included), the
 //! retry-after hint those two statuses carry, the header-only request
 //! ops (PING, STATS plain and flagged, DUMP), probe request round
@@ -13,7 +13,7 @@ use geom::Coord;
 use proptest::prelude::*;
 
 fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
-    proptest::collection::vec(any::<u64>(), 14).prop_map(|w| proto::CounterBlock {
+    proptest::collection::vec(any::<u64>(), 17).prop_map(|w| proto::CounterBlock {
         probes: w[0],
         accepted: w[1],
         answered: w[2],
@@ -28,6 +28,9 @@ fn arb_counters() -> impl Strategy<Value = proto::CounterBlock> {
         quarantines: w[11],
         panics_contained: w[12],
         window_high_water_lanes: w[13],
+        cache_hits: w[14],
+        cache_misses: w[15],
+        quota_sheds: w[16],
     })
 }
 
@@ -62,32 +65,45 @@ fn arb_hist() -> impl Strategy<Value = proto::StageHistogram> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// The version compatibility matrix in one property. A v3 (extended,
-    /// 14-word) block's prefixes ARE the older blocks: decoding the
+    /// The version compatibility matrix in one property. A v4 (extended,
+    /// 17-word) block's prefixes ARE the older blocks: decoding the
     /// first 80 bytes is the v1 read (newer counters zero), the first
-    /// 104 the v2 read (windowed mark zero), and the full 112 returns
-    /// every field — so any client version reading any server version's
+    /// 104 the v2 read (windowed mark zero), the first 112 the v3 read
+    /// (cache/quota counters zero), and the full 136 returns every
+    /// field — so any client version reading any server version's
     /// block sees exactly the fields its protocol knows, never garbage.
     #[test]
     fn counter_block_version_matrix(c in arb_counters()) {
-        let v3 = proto::encode_counters_ex(&c);
-        prop_assert_eq!(v3.len(), proto::COUNTER_BLOCK_LEN_V3);
+        let v4 = proto::encode_counters_ex(&c);
+        prop_assert_eq!(v4.len(), proto::COUNTER_BLOCK_LEN_V4);
 
-        // v3 → v3: bit-for-bit.
-        prop_assert_eq!(proto::decode_counters(&v3).unwrap(), c);
+        // v4 → v4: bit-for-bit.
+        prop_assert_eq!(proto::decode_counters(&v4).unwrap(), c);
 
-        // v3 → v2 prefix: the plain block, windowed mark zeroed. The
-        // plain encoder emits exactly this prefix.
-        let v2 = proto::encode_counters(&c);
-        prop_assert_eq!(v2.len(), proto::COUNTER_BLOCK_LEN);
-        prop_assert_eq!(&v3[..proto::COUNTER_BLOCK_LEN], &v2[..]);
+        // v4 → v3 prefix: everything but the cache/quota counters.
         prop_assert_eq!(
-            proto::decode_counters(&v2).unwrap(),
-            proto::CounterBlock { window_high_water_lanes: 0, ..c }
+            proto::decode_counters(&v4[..proto::COUNTER_BLOCK_LEN_V3]).unwrap(),
+            proto::CounterBlock { cache_hits: 0, cache_misses: 0, quota_sheds: 0, ..c }
         );
 
-        // v3 → v1 prefix: the ten legacy counters, everything newer zero.
-        let v1 = proto::decode_counters(&v3[..proto::COUNTER_BLOCK_LEN_V1]).unwrap();
+        // v4 → v2 prefix: the plain block, windowed mark zeroed too.
+        // The plain encoder emits exactly this prefix.
+        let v2 = proto::encode_counters(&c);
+        prop_assert_eq!(v2.len(), proto::COUNTER_BLOCK_LEN);
+        prop_assert_eq!(&v4[..proto::COUNTER_BLOCK_LEN], &v2[..]);
+        prop_assert_eq!(
+            proto::decode_counters(&v2).unwrap(),
+            proto::CounterBlock {
+                window_high_water_lanes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                quota_sheds: 0,
+                ..c
+            }
+        );
+
+        // v4 → v1 prefix: the ten legacy counters, everything newer zero.
+        let v1 = proto::decode_counters(&v4[..proto::COUNTER_BLOCK_LEN_V1]).unwrap();
         prop_assert_eq!(
             v1,
             proto::CounterBlock {
@@ -95,20 +111,26 @@ proptest! {
                 quarantines: 0,
                 panics_contained: 0,
                 window_high_water_lanes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                quota_sheds: 0,
                 ..c
             }
         );
     }
 
-    /// Any length that is not exactly a v1, v2, or v3 block is a typed
-    /// error, never a garbage decode.
+    /// Any length that is not exactly a v1, v2, v3, or v4 block is a
+    /// typed error, never a garbage decode.
     #[test]
     fn counter_block_rejects_wrong_lengths(
         c in arb_counters(),
-        cut in 0usize..proto::COUNTER_BLOCK_LEN_V3,
+        cut in 0usize..proto::COUNTER_BLOCK_LEN_V4,
     ) {
         let bytes = proto::encode_counters_ex(&c);
-        if cut != proto::COUNTER_BLOCK_LEN_V1 && cut != proto::COUNTER_BLOCK_LEN {
+        if cut != proto::COUNTER_BLOCK_LEN_V1
+            && cut != proto::COUNTER_BLOCK_LEN
+            && cut != proto::COUNTER_BLOCK_LEN_V3
+        {
             prop_assert!(proto::decode_counters(&bytes[..cut]).is_err());
         }
         let mut long = bytes.to_vec();
@@ -188,7 +210,13 @@ proptest! {
             prop_assert_eq!((h.op, h.status, h.epoch, h.n), (op, proto::STATUS_OK, epoch, 0));
             prop_assert_eq!(
                 proto::decode_counters(p).unwrap(),
-                proto::CounterBlock { window_high_water_lanes: 0, ..c }
+                proto::CounterBlock {
+                    window_high_water_lanes: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    quota_sheds: 0,
+                    ..c
+                }
             );
         }
     }
@@ -261,7 +289,7 @@ proptest! {
         // n_hists over the cap.
         let mut p = proto::encode_stats_ex_payload(&c, &[]);
         let n = proto::MAX_WIRE_HISTS as u32 + extra;
-        p[proto::COUNTER_BLOCK_LEN_V3..proto::COUNTER_BLOCK_LEN_V3 + 4]
+        p[proto::COUNTER_BLOCK_LEN_V4..proto::COUNTER_BLOCK_LEN_V4 + 4]
             .copy_from_slice(&n.to_le_bytes());
         prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
 
@@ -271,7 +299,7 @@ proptest! {
             hist: act_obs::HistogramSnapshot { sum: 0, buckets: vec![1] },
         };
         let mut p = proto::encode_stats_ex_payload(&c, &[hist]);
-        let at = proto::COUNTER_BLOCK_LEN_V3 + 4 + 12; // n_buckets field
+        let at = proto::COUNTER_BLOCK_LEN_V4 + 4 + 12; // n_buckets field
         let n = act_obs::NUM_BUCKETS as u32 + extra;
         p[at..at + 4].copy_from_slice(&n.to_le_bytes());
         prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
@@ -291,7 +319,7 @@ proptest! {
             hist: act_obs::HistogramSnapshot { sum: 9, buckets: vec![2, 0, 1] },
         };
         let mut p = proto::encode_stats_ex_payload(&c, &[hist]);
-        p[proto::COUNTER_BLOCK_LEN_V3 + 4 + 1 + which] = byte;
+        p[proto::COUNTER_BLOCK_LEN_V4 + 4 + 1 + which] = byte;
         prop_assert!(proto::decode_stats_ex_payload(&p).is_err());
     }
 

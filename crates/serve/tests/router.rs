@@ -455,3 +455,71 @@ fn worker_death_yields_typed_errors_and_cooldown_sheds_not_hangs_or_lies() {
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Regression for the router's connection-thread panic: an address that
+/// cannot resolve must surface as a typed `io::Error` from
+/// `ResilientClient::new`, and a pre-resolved address must build a
+/// client **infallibly** (`from_resolved`) whose failures against a
+/// dead port are typed client errors — never a panic in either place.
+#[test]
+fn unresolvable_or_dead_addresses_are_typed_errors_not_panics() {
+    // Name resolution failure: a typed error from the fallible ctor.
+    // (`.invalid` is reserved by RFC 2606 — it can never resolve.)
+    let err = ResilientClient::new("act-serve.invalid:1", RetryPolicy::default());
+    assert!(err.is_err(), "an unresolvable host must be a typed error");
+
+    // A resolved-but-dead address: the infallible ctor builds fine and
+    // every request fails with a typed error, promptly.
+    let dead: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+    let mut client = ResilientClient::from_resolved(
+        dead,
+        RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        },
+    );
+    match client.probe(&[Coord::new(-74.0, 40.7)], false) {
+        Err(ClientError::Exhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected a typed retry-exhausted error, got {other:?}"),
+    }
+}
+
+/// The tentpole's oracle through the full sharded stack: with the
+/// hot-cell cache (and a per-client quota generous enough to never
+/// trip) enabled on every worker, routed probes still answer exactly
+/// like the unsharded index — on the cold pass that fills the cache and
+/// on the warm pass that answers from it. The fleet must actually have
+/// cached (hits observed) for the warm assertion to mean anything.
+#[test]
+fn routed_probes_stay_exact_with_worker_caches_on() {
+    let polys = fleet_polys();
+    let idx = ActIndex::build(&polys, 15.0).unwrap();
+    let pts = probe_grid();
+    let dir = fresh_dir("cache-oracle");
+    let (workers, router) = spawn_fleet(&idx, &dir, 3, || ServeConfig {
+        watch: None,
+        cache: Some(act_serve::CacheConfig::default()),
+        client_quota_lanes: Some(1 << 20),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+    for pass in ["cold", "warm", "warm again"] {
+        let reply = client.probe(&pts, false).unwrap();
+        assert_eq!(reply.refs.len(), pts.len());
+        for (c, got) in pts.iter().zip(&reply.refs) {
+            assert_eq!(*got, sorted(idx.lookup_refs(*c)), "{pass} pass at {c}");
+        }
+    }
+    router.shutdown();
+    let (mut hits, mut quota_sheds) = (0u64, 0u64);
+    for w in workers {
+        let s = w.shutdown();
+        hits += s.cache_hits;
+        quota_sheds += s.quota_sheds;
+    }
+    assert!(hits > 0, "the warm passes must have answered from cache");
+    assert_eq!(quota_sheds, 0, "a generous quota must never shed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -15,8 +15,10 @@
 //!
 //! Time-budgeted: the whole file runs in well under 5 s.
 
-use act_core::ActIndex;
-use act_serve::{protocol as proto, Client, ClientError, ServeConfig, Server};
+use act_core::{header_checksum, save_delta_file, ActIndex, DeltaLink, DeltaOp};
+use act_serve::{
+    delta_path, protocol as proto, CacheConfig, Client, ClientError, ServeConfig, Server,
+};
 use geom::{Coord, Polygon, Ring};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -91,6 +93,9 @@ fn hot_swaps_under_shedding_with_a_stalled_reader() {
             batch_delay: Some(Duration::from_micros(500)),
             watch: Some(Duration::from_millis(10)),
             drain_grace: Duration::from_secs(5),
+            // The hot-cell cache rides the whole soak: its epoch keying
+            // must keep every verified answer exact through the swaps.
+            cache: Some(CacheConfig::default()),
             ..ServeConfig::default()
         },
     )
@@ -351,4 +356,105 @@ fn shutdown_drains_accepted_frames_and_nothing_more() {
         ),
     }
     std::fs::remove_file(&path).unwrap();
+}
+
+/// The cache-invalidation contract, asserted literally: a deliberately
+/// **warm** hot-cell cache (the same hot set probed repeatedly) rides a
+/// full-snapshot swap and then a broadcast-delta apply, and every OK
+/// reply still equals an offline probe of the index its echoed epoch
+/// names — with cache hits observed at every epoch, so the exactness is
+/// proven *of cached answers*, not of a cache that never engaged. A
+/// single stale entry surviving a flip would fail the oracle check on
+/// the very next warm pass.
+#[test]
+fn warm_cache_stays_exact_across_full_and_delta_epoch_flips() {
+    // Three versions: base (epoch 1), a full swap adding a second
+    // square (epoch 2), a delta insert overlapping the hot set's
+    // centerline (epoch 3) — each flip changes many hot answers.
+    let polys1 = vec![square(-74.05, 40.70, 0.02)];
+    let idx1 = ActIndex::build(&polys1, 15.0).unwrap();
+    let mut polys2 = polys1.clone();
+    polys2.push(square(-73.95, 40.70, 0.02));
+    let idx2 = ActIndex::build(&polys2, 15.0).unwrap();
+    let delta_poly = square(-74.00, 40.70, 0.015);
+    let mut polys3 = polys2.clone();
+    polys3.push(delta_poly.clone());
+    let idx3 = ActIndex::build(&polys3, 15.0).unwrap();
+
+    let path = temp_path("warm-cache");
+    save_snapshot_to(&path, &idx1);
+    let server = Server::spawn(
+        &path,
+        ServeConfig {
+            workers: 1,
+            watch: Some(Duration::from_millis(10)),
+            cache: Some(CacheConfig::default()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // One fixed hot set for the whole test: pass ≥ 2 within an epoch
+    // answers from cache, so each post-flip pass would surface any
+    // entry the epoch bump failed to invalidate.
+    let pts = chaos_points(64, 99);
+    let oracles: [&ActIndex; 3] = [&idx1, &idx2, &idx3];
+    let warm_passes = |client: &mut Client, epoch: u32| {
+        let before = server.stats().cache_hits;
+        for pass in 0..3 {
+            let reply = client.probe(&pts, false).unwrap();
+            assert_eq!(reply.epoch, epoch, "pass {pass} echoes the live epoch");
+            let idx = oracles[(epoch - 1) as usize];
+            for (pt, got) in pts.iter().zip(&reply.refs) {
+                assert_eq!(
+                    *got,
+                    idx.lookup_refs(*pt),
+                    "epoch {epoch} pass {pass} diverged from the oracle at {pt}"
+                );
+            }
+        }
+        assert!(
+            server.stats().cache_hits > before,
+            "epoch {epoch}: the warm passes must actually hit the cache"
+        );
+    };
+    let wait_epoch = |at_least: u32| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.epoch() < at_least {
+            assert!(
+                Instant::now() < deadline,
+                "watcher never reached epoch {at_least}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    // Epoch 1: fill, then answer warm.
+    warm_passes(&mut client, 1);
+
+    // Full-snapshot swap against the warm cache.
+    let sibling = temp_path("warm-cache-next");
+    save_snapshot_to(&sibling, &idx2);
+    std::fs::rename(&sibling, &path).unwrap();
+    wait_epoch(2);
+    warm_passes(&mut client, 2);
+
+    // Broadcast-delta apply against the (re-)warmed cache.
+    let base = header_checksum(&std::fs::read(&path).unwrap()).unwrap();
+    let ops = [DeltaOp::Insert {
+        id: polys2.len() as u32,
+        polygon: delta_poly,
+    }];
+    save_delta_file(&ops, DeltaLink::for_base(base), &delta_path(&path, 1)).unwrap();
+    wait_epoch(3);
+    warm_passes(&mut client, 3);
+
+    let stats = server.stats();
+    assert_eq!(stats.epoch, 3);
+    assert!(stats.cache_hits > 0 && stats.cache_misses > 0);
+    assert_eq!(stats.accepted, stats.answered + stats.shed);
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(delta_path(&path, 1));
 }
